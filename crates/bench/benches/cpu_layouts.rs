@@ -1,0 +1,50 @@
+//! Host-side layout effects: the same AoS/SoA/split-SoA trade-offs the paper
+//! studies on the GPU also exist in CPU caches. This bench sweeps a hot-field
+//! reduction (sum of x+mass over all particles) across the host layout types
+//! from particle-layouts — real `repr(C)` data, real cache behaviour.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use particle_layouts::host::{Particle, ParticleAligned, ParticlePacked, PosMass, SoaParticles, Velocity4};
+use simcore::Vec3;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn particles(n: usize) -> Vec<Particle> {
+    (0..n)
+        .map(|i| Particle {
+            pos: Vec3::new(i as f32, 1.0, 2.0),
+            vel: Vec3::new(3.0, 4.0, 5.0),
+            mass: 1.0 + (i % 7) as f32,
+        })
+        .collect()
+}
+
+fn bench_hot_field_sweep(c: &mut Criterion) {
+    let n = 1 << 20;
+    let ps = particles(n);
+    let packed: Vec<ParticlePacked> = ps.iter().map(|&p| p.into()).collect();
+    let aligned: Vec<ParticleAligned> = ps.iter().map(|&p| p.into()).collect();
+    let soa = SoaParticles::from_particles(&ps);
+    let split: (Vec<PosMass>, Vec<Velocity4>) = ps.iter().map(|&p| <(PosMass, Velocity4)>::from(p)).unzip();
+
+    let mut g = c.benchmark_group("cpu_hot_field_sweep");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_with_input(BenchmarkId::new("packed_aos", n), &packed, |b, d| {
+        b.iter(|| d.iter().map(|p| p.px + p.mass).sum::<f32>())
+    });
+    g.bench_with_input(BenchmarkId::new("aligned_aos", n), &aligned, |b, d| {
+        b.iter(|| d.iter().map(|p| p.px + p.mass).sum::<f32>())
+    });
+    g.bench_with_input(BenchmarkId::new("soa", n), &soa, |b, d| {
+        b.iter(|| d.px.iter().zip(&d.mass).map(|(x, m)| x + m).sum::<f32>())
+    });
+    g.bench_with_input(BenchmarkId::new("split_posmass", n), &split.0, |b, d| {
+        b.iter(|| d.iter().map(|p| p.x + p.mass).sum::<f32>())
+    });
+    g.finish();
+    black_box(&split.1);
+}
+
+criterion_group!(benches, bench_hot_field_sweep);
+criterion_main!(benches);

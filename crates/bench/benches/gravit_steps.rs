@@ -1,0 +1,25 @@
+//! Criterion wrapper around the Fig. 12 frame model: one measurement per
+//! optimization level at a fixed size, so regressions in the modeled ladder
+//! show up in CI history.
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_kernels::force::OptLevel;
+use gpu_sim::DriverModel;
+use gravit_app::model::model_frame;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_frame_model(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_frame_model");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for level in OptLevel::ALL {
+        g.bench_function(level.label(), |b| {
+            b.iter(|| black_box(model_frame(black_box(level), 100_000, DriverModel::Cuda10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_frame_model);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion wrapper around the Fig. 10 microbenchmark: wall time of the
+//! cycle-level simulation per layout (the simulated cycle counts themselves
+//! are the figure; this bench tracks the simulator's own cost and guards the
+//! per-layout relative ordering against regressions).
+use bench::membench_harness::run_membench;
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpu_sim::DriverModel;
+use particle_layouts::Layout;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_membench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_membench_sim");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for layout in Layout::ALL {
+        g.bench_function(layout.label(), |b| {
+            b.iter(|| black_box(run_membench(black_box(layout), DriverModel::Cuda10)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_membench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! CPU N-body solver benchmarks: serial vs Rayon vs Barnes-Hut — the
+//! comparators behind the paper's 87x narrative and Sec. I-C's complexity
+//! discussion (the O(n log n) tree beating O(n^2) on a general-purpose CPU).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use nbody::barnes_hut::accelerations_bh;
+use nbody::direct::{accelerations, accelerations_par};
+use nbody::model::ForceParams;
+use nbody::spawn;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_solvers(c: &mut Criterion) {
+    let fp = ForceParams::default();
+    let mut g = c.benchmark_group("nbody_cpu_solvers");
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.sample_size(10);
+    for n in [1024usize, 4096] {
+        let bodies = spawn::plummer(n, 1.0, 1.0, 7);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("serial", n), &bodies, |b, d| {
+            b.iter(|| black_box(accelerations(d, &fp)))
+        });
+        g.bench_with_input(BenchmarkId::new("rayon", n), &bodies, |b, d| {
+            b.iter(|| black_box(accelerations_par(d, &fp)))
+        });
+        g.bench_with_input(BenchmarkId::new("barnes_hut_0.6", n), &bodies, |b, d| {
+            b.iter(|| black_box(accelerations_bh(d, &fp, 0.6)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

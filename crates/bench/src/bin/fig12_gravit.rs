@@ -1,0 +1,71 @@
+//! Regenerates **Figure 12**: end-to-end Gravit frame time for every
+//! optimization level across problem sizes 40k … 1M, plus the serial-CPU
+//! reference line. Run with `--driver 1.0|1.1|2.2` (default 1.0).
+
+use bench::gravit_harness::{cpu_frame_seconds, fig12_sweep, FIG12_SIZES};
+use bench::report::emit;
+use gpu_kernels::force::OptLevel;
+use gpu_sim::DriverModel;
+use simcore::{format_duration_s, Table};
+
+fn main() {
+    let driver = match std::env::args().nth(2).as_deref() {
+        Some("1.1") => DriverModel::Cuda11,
+        Some("2.2") => DriverModel::Cuda22,
+        _ => DriverModel::Cuda10,
+    };
+    let sweep = fig12_sweep(driver);
+
+    let mut t = Table::new(
+        format!("Fig. 12 — Gravit frame time by optimization level ({driver})"),
+        &["N", "CPU serial", "GPU base", "SoA", "AoaS", "SoAoaS", "+unroll", "full opt", "full speedup"],
+    );
+    for n in FIG12_SIZES {
+        let get = |lvl: OptLevel| {
+            sweep
+                .iter()
+                .find(|p| p.level == lvl && p.n == n)
+                .map(|p| p.total_s())
+                .expect("sweep complete")
+        };
+        let cpu = cpu_frame_seconds(n, 4096);
+        let base = get(OptLevel::Baseline);
+        let full = get(OptLevel::Full);
+        t.row(vec![
+            n.to_string(),
+            format_duration_s(cpu),
+            format_duration_s(base),
+            format_duration_s(get(OptLevel::SoA)),
+            format_duration_s(get(OptLevel::AoaS)),
+            format_duration_s(get(OptLevel::SoAoaS)),
+            format_duration_s(get(OptLevel::SoAoaSUnrolled)),
+            format_duration_s(full),
+            format!("{:.2}x", base / full),
+        ]);
+    }
+    emit(&t, &format!("fig12_gravit_{}", driver.label().replace([' ', '.'], "_")));
+
+    // Step-by-step decomposition at the largest size (the paper's narrative).
+    let n = *FIG12_SIZES.last().unwrap();
+    let mut d = Table::new(
+        format!("Fig. 12 decomposition at N = {n} ({driver})"),
+        &["level", "kernel", "transfers", "total", "regs", "occupancy", "vs previous"],
+    );
+    let mut prev: Option<f64> = None;
+    for lvl in OptLevel::ALL {
+        let p = sweep.iter().find(|p| p.level == lvl && p.n == n).unwrap();
+        let total = p.total_s();
+        let step = prev.map(|x| format!("{:.3}x", x / total)).unwrap_or_else(|| "-".into());
+        d.row(vec![
+            lvl.label().into(),
+            format_duration_s(p.kernel_s),
+            format_duration_s(p.upload_s + p.download_s),
+            format_duration_s(total),
+            p.regs.to_string(),
+            format!("{:.0}%", p.occupancy.percent()),
+            step,
+        ]);
+        prev = Some(total);
+    }
+    emit(&d, &format!("fig12_decomposition_{}", driver.label().replace([' ', '.'], "_")));
+}

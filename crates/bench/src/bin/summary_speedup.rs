@@ -1,0 +1,31 @@
+//! Regenerates the **abstract's headline numbers**: the 1.27x speedup of the
+//! fully optimized kernel over the baseline GPU port, and the speedup over
+//! the original serial CPU implementation (the paper reports 87x against a
+//! 2.4 GHz Core 2 Duo; our CPU baseline is this machine's serial Rust build,
+//! so the *GPU-side ratio* is the comparable number).
+use bench::gravit_harness::{cpu_frame_seconds, summary_speedups};
+use bench::report::emit;
+use gpu_sim::DriverModel;
+use simcore::{format_duration_s, Table};
+
+fn main() {
+    let n = 1_000_000u32;
+    let mut t = Table::new(
+        format!("Headline speedups at N = {n}"),
+        &["driver", "full vs GPU baseline", "full vs serial CPU (this machine)"],
+    );
+    for driver in DriverModel::ALL {
+        let (vs_base, vs_cpu) = summary_speedups(n, driver, 8192);
+        t.row(vec![
+            driver.label().into(),
+            format!("{vs_base:.2}x"),
+            format!("{vs_cpu:.1}x"),
+        ]);
+    }
+    emit(&t, "summary_speedup");
+    println!(
+        "CPU serial frame at N={n}: {} (measured at 8192 bodies, O(n^2)-extrapolated)",
+        format_duration_s(cpu_frame_seconds(n, 8192))
+    );
+    println!("Paper: 1.27x over the baseline GPU port; 87x over the 2009 serial CPU build.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates the **Barnes–Hut crossover** study (experiment E13): the
+//! measurable form of the paper's Sec. I-D decision — the O(n log n) tree
+//! code is awkward and resource-starved on a CC-1.x GPU, but how much does
+//! the easy O(n²) kernel actually give up, and where?
+use bench::report::emit;
+use bench::tables::bh_crossover;
+use simcore::{format_duration_s, Table};
+
+fn main() {
+    let sizes = [1_024u32, 4_096, 16_384, 65_536];
+    let mut t = Table::new(
+        "GPU Barnes–Hut (θ=0.5) vs tuned direct O(n²) — modeled kernel time",
+        &["N", "direct O(n^2)", "tree O(n log n)", "tree speedup", "tree occupancy"],
+    );
+    for r in bh_crossover(&sizes) {
+        t.row(vec![
+            r.n.to_string(),
+            format_duration_s(r.direct_s),
+            format_duration_s(r.bh_s),
+            format!("{:.2}x", r.direct_s / r.bh_s),
+            format!("{:.0}%", r.bh_occupancy_pct),
+        ]);
+    }
+    emit(&t, "table_bh_crossover");
+    println!("The traversal kernel runs (validated bit-for-bit vs the CPU) but pays for");
+    println!("divergence and 12 KiB/block stacks (1 block/SM, ~8% occupancy): on the 2007");
+    println!("machine model the tuned O(n^2) kernel stays ahead at these sizes — the");
+    println!("quantitative case for the paper's Sec. I-D decision. Competitive GPU tree");
+    println!("codes needed the warp-cooperative traversals of the Fermi era.");
+}

@@ -1,0 +1,26 @@
+//! Regenerates the **Sec. II-D access-frequency grouping ablation**: traffic
+//! of the force kernel's hot fetch (position + mass) per layout — the case
+//! for storing the mass with the position rather than with the velocities.
+use bench::report::emit;
+use bench::tables::grouping_ablation;
+use gpu_sim::DriverModel;
+use simcore::Table;
+
+fn main() {
+    let mut t = Table::new(
+        "Grouping ablation — hot-path (pos+mass) fetch per half-warp, CUDA 1.0",
+        &["layout", "loads", "transactions", "bus bytes", "efficiency"],
+    );
+    for a in grouping_ablation(DriverModel::Cuda10) {
+        t.row(vec![
+            a.layout.label().into(),
+            a.reads.to_string(),
+            a.transactions.to_string(),
+            a.bus_bytes.to_string(),
+            format!("{:.0}%", 100.0 * a.efficiency()),
+        ]);
+    }
+    emit(&t, "table_grouping");
+    println!("Grouped SoAoaS fetches pos+mass in ONE float4; ungrouped AoaS must pull");
+    println!("both halves of the 32-byte record to reach the mass (2x the traffic).");
+}

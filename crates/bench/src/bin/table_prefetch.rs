@@ -1,0 +1,43 @@
+//! Regenerates the **prefetch (double-buffering) ablation**: issuing each
+//! tile's global fetch before the inner loop over the previous tile hides
+//! the load latency — at the cost of four registers, which on the CC-1.0
+//! register file can cost an occupancy step. A period-accurate trade-off the
+//! paper's tuned kernel implicitly declined.
+use bench::report::emit;
+use gpu_kernels::force::{build_force_kernel, build_force_kernel_prefetch, ForceKernelConfig};
+use gpu_sim::ir::regalloc::register_demand;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::{DeviceConfig, DriverModel};
+use particle_layouts::Layout;
+use simcore::{format_duration_s, Table};
+
+fn main() {
+    let n = 200_000u32;
+    let dev = DeviceConfig::g8800gtx();
+    let mut t = Table::new(
+        format!("Prefetch ablation — SoAoaS + full unroll + ICM, N = {n} (CUDA 1.0)"),
+        &["variant", "block", "regs", "occupancy", "kernel time"],
+    );
+    for block in [128u32, 192] {
+        let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block, unroll: block, icm: true };
+        for (name, kernel) in [
+            ("standard", build_force_kernel(cfg)),
+            ("prefetch", build_force_kernel_prefetch(cfg)),
+        ] {
+            let regs = register_demand(&kernel).regs_per_thread as u32;
+            let occ = occupancy(&dev, block, regs, kernel.smem_bytes);
+            let secs = bench::tables::time_kernel_at(&kernel, cfg, n, DriverModel::Cuda10);
+            t.row(vec![
+                name.into(),
+                block.to_string(),
+                regs.to_string(),
+                format!("{:.0}%", occ.percent()),
+                format_duration_s(secs),
+            ]);
+        }
+    }
+    emit(&t, "table_prefetch");
+    println!("Prefetching hides the tile-fetch latency but its buffer registers can drop");
+    println!("an occupancy step — the reason the era's tuned kernels (and the paper's)");
+    println!("spent registers so carefully.");
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Figures 3/5/7/9** as a table: per-half-warp reads,
+//! transactions, bus bytes and efficiency for a full 7-float record fetch
+//! under each layout and driver protocol.
+use bench::report::emit;
+use bench::tables::transaction_table;
+use gpu_sim::DriverModel;
+use simcore::Table;
+
+fn main() {
+    for driver in DriverModel::ALL {
+        let mut t = Table::new(
+            format!("Figs. 3/5/7/9 — per-half-warp traffic, full record fetch ({driver})"),
+            &["layout", "loads", "transactions", "bus bytes", "useful bytes", "efficiency", "coalesced"],
+        );
+        for a in transaction_table(driver) {
+            t.row(vec![
+                a.layout.label().into(),
+                a.reads.to_string(),
+                a.transactions.to_string(),
+                a.bus_bytes.to_string(),
+                a.useful_bytes.to_string(),
+                format!("{:.0}%", 100.0 * a.efficiency()),
+                a.all_coalesced.to_string(),
+            ]);
+        }
+        emit(&t, &format!("table_transactions_{}", driver.label().replace([' ', '.'], "_")));
+    }
+    println!("Paper (CC 1.0): unopt 7 reads -> 112 transactions; SoA 7 -> 7;");
+    println!("AoaS 2 -> 32; SoAoaS 2 -> 4 (two coalesced 128-bit reads).");
+}

@@ -1,0 +1,129 @@
+//! The Sec. IV-A unrolling analysis as an advisor.
+//!
+//! For a tiled kernel with innermost trip count K, the advisor evaluates
+//! every unroll factor dividing K: per-element instruction budget (measured
+//! on the transformed IR, not estimated), Eq. 3 predicted speedup, register
+//! demand, and the resulting occupancy — then recommends the factor with the
+//! best predicted speedup, breaking ties toward smaller code.
+
+use gpu_kernels::force::{build_force_kernel, ForceKernelConfig};
+use gpu_sim::ir::count::{dynamic_instructions, eq3_speedup};
+use gpu_sim::ir::regalloc::register_demand;
+use gpu_sim::occupancy::{occupancy, Occupancy};
+use gpu_sim::DeviceConfig;
+use particle_layouts::Layout;
+
+/// Evaluation of one unroll factor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnrollOption {
+    /// The factor.
+    pub factor: u32,
+    /// Per-element dynamic instructions (thread 0, reference size).
+    pub instrs_per_element: f64,
+    /// Eq. 3 predicted speedup over factor 1.
+    pub eq3_speedup: f64,
+    /// Registers per thread after the transformation.
+    pub regs: u16,
+    /// Occupancy at this register demand.
+    pub occupancy: Occupancy,
+}
+
+/// The advisor's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnrollAdvice {
+    /// Every factor evaluated, ascending.
+    pub options: Vec<UnrollOption>,
+    /// Index of the recommended option.
+    pub recommended: usize,
+}
+
+impl UnrollAdvice {
+    /// The recommended option.
+    pub fn best(&self) -> &UnrollOption {
+        &self.options[self.recommended]
+    }
+}
+
+/// Analyze unroll factors for the force kernel at a given layout/block/ICM
+/// setting on a device.
+pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) -> UnrollAdvice {
+    let n = block * 64; // reference size; per-element budgets are size-stable
+    let factors: Vec<u32> = (0..=block.ilog2()).map(|e| 1 << e).filter(|f| block % f == 0).collect();
+    let mut options = Vec::new();
+    let mut rolled = None;
+    for &factor in &factors {
+        let cfg = ForceKernelConfig { layout, block, unroll: factor, icm };
+        let k = build_force_kernel(cfg);
+        let mut params = vec![0u32; k.n_params as usize];
+        params[k.n_params as usize - 3] = n;
+        let per_elem = dynamic_instructions(&k, &params) as f64 / n as f64;
+        if factor == 1 {
+            rolled = Some(per_elem);
+        }
+        let regs = register_demand(&k).regs_per_thread;
+        options.push(UnrollOption {
+            factor,
+            instrs_per_element: per_elem,
+            eq3_speedup: eq3_speedup(rolled.expect("factor 1 first"), per_elem),
+            regs,
+            occupancy: occupancy(dev, block, regs as u32, k.smem_bytes),
+        });
+    }
+    // Recommend the best predicted total benefit: Eq. 3 × occupancy gain,
+    // preferring smaller factors on a tie (code size).
+    let base_occ = options[0].occupancy.fraction();
+    let mut recommended = 0;
+    let mut best_score = 0.0f64;
+    for (i, o) in options.iter().enumerate() {
+        let score = o.eq3_speedup * (o.occupancy.fraction() / base_occ).max(1.0);
+        if score > best_score + 1e-9 {
+            best_score = score;
+            recommended = i;
+        }
+    }
+    UnrollAdvice { options, recommended }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_unroll_is_recommended_for_the_gravit_kernel() {
+        let dev = DeviceConfig::g8800gtx();
+        let advice = advise_unroll(&dev, Layout::SoAoaS, 128, false);
+        assert_eq!(advice.options.len(), 8); // 1,2,4,...,128
+        let best = advice.best();
+        assert_eq!(best.factor, 128, "the paper's conclusion: unroll fully");
+        assert!(best.eq3_speedup > 1.15 && best.eq3_speedup < 1.3);
+    }
+
+    #[test]
+    fn speedup_is_monotone_in_factor() {
+        let dev = DeviceConfig::g8800gtx();
+        let advice = advise_unroll(&dev, Layout::SoAoaS, 128, false);
+        for w in advice.options.windows(2) {
+            assert!(
+                w[1].eq3_speedup >= w[0].eq3_speedup - 1e-9,
+                "factor {} worse than {}",
+                w[1].factor,
+                w[0].factor
+            );
+        }
+    }
+
+    #[test]
+    fn register_effects_of_unrolling() {
+        let dev = DeviceConfig::g8800gtx();
+        let advice = advise_unroll(&dev, Layout::SoAoaS, 128, true);
+        let rolled = advice.options[0].regs;
+        // Partial unrolling costs a couple of extra registers (the CSE'd
+        // address base shared by the copies, plus copy-boundary temporaries)
+        // — the classic register-pressure cost of partial unrolling.
+        for o in &advice.options {
+            assert!(o.regs <= rolled + 2, "factor {} uses {} vs rolled {}", o.factor, o.regs, rolled);
+        }
+        // Full unroll frees the iterator — the paper's point.
+        assert!(advice.options.last().unwrap().regs < rolled);
+    }
+}

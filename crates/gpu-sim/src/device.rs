@@ -1,0 +1,135 @@
+//! Device configuration: the static resources of the simulated GPU.
+//!
+//! The preset of record is [`DeviceConfig::g8800gtx`] — the GeForce 8800 GTX
+//! the paper ran on. A GT200-class preset is included for the "different GPU
+//! models" direction the paper lists as future work.
+
+use serde::{Deserialize, Serialize};
+
+/// Static hardware resources of the simulated device.
+///
+/// All quantities follow the CUDA programming guide's tables for the
+/// respective compute capability.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Marketing name, for reports.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp (32 on every CUDA device).
+    pub warp_size: u32,
+    /// Threads per half-warp — the granularity of CC 1.x memory coalescing.
+    pub half_warp: u32,
+    /// 32-bit registers per SM.
+    pub regs_per_sm: u32,
+    /// Register allocation granularity in registers (CC 1.0/1.1: 256).
+    pub reg_alloc_unit: u32,
+    /// Warp allocation granularity for register accounting (CC 1.x: 2).
+    pub warp_alloc_granularity: u32,
+    /// Bytes of shared memory per SM.
+    pub smem_per_sm: u32,
+    /// Shared-memory allocation granularity in bytes (CC 1.x: 512).
+    pub smem_alloc_unit: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum threads per block.
+    pub max_threads_per_block: u32,
+    /// Number of shared-memory banks (CC 1.x: 16).
+    pub smem_banks: u32,
+    /// Shader (SP) clock in Hz — `clock()` counts these cycles.
+    pub clock_hz: f64,
+    /// Theoretical global-memory bandwidth in bytes/second (for reports).
+    pub mem_bandwidth: f64,
+}
+
+impl DeviceConfig {
+    /// GeForce 8800 GTX (G80, compute capability 1.0) — the paper's device.
+    ///
+    /// 16 SMs, 8192 registers/SM, 16 KiB shared memory/SM, 768 threads/SM,
+    /// 1.35 GHz shader clock, 86.4 GB/s memory bandwidth.
+    pub fn g8800gtx() -> Self {
+        DeviceConfig {
+            name: "GeForce 8800 GTX (G80)".into(),
+            num_sms: 16,
+            warp_size: 32,
+            half_warp: 16,
+            regs_per_sm: 8192,
+            reg_alloc_unit: 256,
+            warp_alloc_granularity: 2,
+            smem_per_sm: 16 * 1024,
+            smem_alloc_unit: 512,
+            max_threads_per_sm: 768,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            smem_banks: 16,
+            clock_hz: 1.35e9,
+            mem_bandwidth: 86.4e9,
+        }
+    }
+
+    /// GeForce GTX 280 (GT200, compute capability 1.3) — a later device for
+    /// sensitivity studies (the paper's "different GPU models" future work).
+    pub fn gtx280() -> Self {
+        DeviceConfig {
+            name: "GeForce GTX 280 (GT200)".into(),
+            num_sms: 30,
+            warp_size: 32,
+            half_warp: 16,
+            regs_per_sm: 16384,
+            reg_alloc_unit: 512,
+            warp_alloc_granularity: 2,
+            smem_per_sm: 16 * 1024,
+            smem_alloc_unit: 512,
+            max_threads_per_sm: 1024,
+            max_blocks_per_sm: 8,
+            max_threads_per_block: 512,
+            smem_banks: 16,
+            clock_hz: 1.296e9,
+            mem_bandwidth: 141.7e9,
+        }
+    }
+
+    /// Maximum resident warps per SM.
+    pub fn max_warps_per_sm(&self) -> u32 {
+        self.max_threads_per_sm / self.warp_size
+    }
+
+    /// Validate internal consistency; panics on a malformed configuration.
+    pub fn validate(&self) {
+        assert!(self.warp_size > 0 && self.warp_size % self.half_warp == 0);
+        assert!(self.num_sms > 0);
+        assert!(self.max_threads_per_sm % self.warp_size == 0);
+        assert!(self.max_threads_per_block <= self.max_threads_per_sm);
+        assert!(self.reg_alloc_unit.is_power_of_two());
+        assert!(self.smem_banks.is_power_of_two());
+        assert!(self.clock_hz > 0.0 && self.mem_bandwidth > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        DeviceConfig::g8800gtx().validate();
+        DeviceConfig::gtx280().validate();
+    }
+
+    #[test]
+    fn g80_warp_arithmetic() {
+        let d = DeviceConfig::g8800gtx();
+        assert_eq!(d.max_warps_per_sm(), 24);
+        assert_eq!(d.half_warp, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        let mut d = DeviceConfig::g8800gtx();
+        d.max_threads_per_sm = 700; // not a multiple of warp size
+        d.validate();
+    }
+}

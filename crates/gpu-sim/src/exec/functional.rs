@@ -1,0 +1,394 @@
+//! Functional (untimed) execution of a whole grid.
+//!
+//! Blocks run sequentially; inside a block, warps run round-robin in
+//! barrier-delimited segments (a warp runs until it hits `Sync` or retires,
+//! then the next warp runs), which is equivalent to lock-step execution for
+//! race-free kernels and keeps the interpreter simple and fast.
+//!
+//! In functional mode `clock()` reads a per-warp retired-instruction counter
+//! — deterministic, and good enough for the membench kernels' *functional*
+//! validation (their timing numbers come from the timed engine).
+
+use super::machine::{exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv, WARP};
+use crate::ir::lower::{lower, LinStmt, Program};
+use crate::ir::Kernel;
+use crate::mem::GlobalMemory;
+
+/// Statistics of a functional run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FunctionalRun {
+    /// Warp instructions executed across the whole grid.
+    pub warp_instructions: u64,
+    /// Block barriers crossed (per block, summed).
+    pub barriers: u64,
+}
+
+/// Execute every block of the grid functionally against `gmem`.
+///
+/// `grid` × `block` threads; `params` are the kernel parameter values.
+pub fn run_grid(kernel: &Kernel, grid: u32, block: u32, params: &[u32], gmem: &mut GlobalMemory) -> FunctionalRun {
+    let prog = lower(kernel);
+    run_grid_lowered(&prog, grid, block, params, gmem)
+}
+
+/// As [`run_grid`], for an already-lowered program.
+pub fn run_grid_lowered(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+) -> FunctionalRun {
+    assert!(grid > 0 && block > 0, "empty launch");
+    let env = LaunchEnv { block_dim: block, grid_dim: grid };
+    let mut stats = FunctionalRun::default();
+    for b in 0..grid {
+        run_block(prog, b, block as usize, params, &env, gmem, &mut stats);
+    }
+    stats
+}
+
+fn run_block(
+    prog: &Program,
+    block_id: u32,
+    n_threads: usize,
+    params: &[u32],
+    env: &LaunchEnv,
+    gmem: &mut GlobalMemory,
+    stats: &mut FunctionalRun,
+) {
+    let n_warps = n_threads.div_ceil(WARP);
+    let mut ctx = BlockCtx::new(prog, block_id, n_threads, params);
+    let mut cursors: Vec<Cursor> = (0..n_warps)
+        .map(|w| Cursor::new(prog, live_lane_mask(n_threads, w)))
+        .collect();
+    let mut instr_counts = vec![0u64; n_warps];
+
+    // Run warps in barrier-delimited segments.
+    loop {
+        let mut any_progress = false;
+        let mut at_sync = vec![false; n_warps];
+        for w in 0..n_warps {
+            if cursors[w].done() {
+                continue;
+            }
+            // Run this warp until Sync or completion.
+            loop {
+                let Some(item) = cursors[w].fetch(prog) else {
+                    break;
+                };
+                let (stmt, mask) = match item {
+                    FetchItem::Stmt(s, m) => (s, m),
+                    FetchItem::WhileBackedge { pred, negate, mask } => {
+                        // The loop branch: lanes whose predicate still holds
+                        // run another pass.
+                        let cont = pred_mask(&ctx, w, mask, pred, negate);
+                        cursors[w].while_backedge(cont);
+                        instr_counts[w] += 1;
+                        stats.warp_instructions += 1;
+                        any_progress = true;
+                        continue;
+                    }
+                };
+                match stmt {
+                    LinStmt::I(i) => {
+                        exec_instr(i, &mut ctx, w, mask, env, gmem, instr_counts[w]);
+                        instr_counts[w] += 1;
+                        stats.warp_instructions += 1;
+                        cursors[w].step();
+                        any_progress = true;
+                    }
+                    LinStmt::Bra { pred, negate, target } => {
+                        let m = pred_mask(&ctx, w, mask, *pred, *negate);
+                        assert!(
+                            m == 0 || m == mask,
+                            "divergent loop branch in {} (warp {w}): mask {mask:#x}, taken {m:#x}",
+                            prog.name
+                        );
+                        let target = *target;
+                        cursors[w].branch(m == mask, target);
+                        instr_counts[w] += 1;
+                        stats.warp_instructions += 1;
+                        any_progress = true;
+                    }
+                    LinStmt::IfMasked { pred, negate, then_seq, else_seq } => {
+                        let tm = pred_mask(&ctx, w, mask, *pred, *negate);
+                        let em = mask & !tm;
+                        let (ts, es) = (*then_seq, *else_seq);
+                        cursors[w].enter_if(ts, es, tm, em);
+                        any_progress = true;
+                    }
+                    LinStmt::WhileMasked { pred, negate, body_seq } => {
+                        let (p, n, bs) = (*pred, *negate, *body_seq);
+                        let m = mask;
+                        cursors[w].enter_while(bs, p, n, m);
+                        any_progress = true;
+                    }
+                    LinStmt::Sync => {
+                        at_sync[w] = true;
+                        break;
+                    }
+                }
+            }
+        }
+        let done = cursors.iter().all(|c| c.done());
+        if done {
+            break;
+        }
+        // Every unfinished warp must be parked at the same barrier.
+        let all_at_sync = (0..n_warps).all(|w| cursors[w].done() || at_sync[w]);
+        assert!(
+            all_at_sync && any_progress,
+            "deadlock in {}: not all warps reached the barrier (a divergent __syncthreads)",
+            prog.name
+        );
+        for (w, c) in cursors.iter_mut().enumerate() {
+            if !c.done() && at_sync[w] {
+                c.step();
+                stats.barriers += 1;
+                stats.warp_instructions += 1; // bar.sync is an instruction
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{CmpOp, KernelBuilder, MemSpace, Operand};
+
+    /// vec-add: out[i] = a[i] + b[i]
+    #[test]
+    fn vector_add_whole_grid() {
+        let mut b = KernelBuilder::new("vadd");
+        let pa = b.param();
+        let pb = b.param();
+        let po = b.param();
+        let i = b.global_thread_index();
+        let off = b.imul(i.into(), Operand::ImmU(4));
+        let aa = b.iadd(pa.into(), off.into());
+        let ab = b.iadd(pb.into(), off.into());
+        let ao = b.iadd(po.into(), off.into());
+        let va = b.ld(MemSpace::Global, aa, 0, 1)[0];
+        let vb = b.ld(MemSpace::Global, ab, 0, 1)[0];
+        let s = b.fadd(va.into(), vb.into());
+        b.st(MemSpace::Global, ao, 0, vec![s.into()]);
+        let k = b.finish();
+
+        let n = 256usize;
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let ys: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
+        let a = gmem.alloc_f32(&xs);
+        let bb = gmem.alloc_f32(&ys);
+        let o = gmem.alloc(n as u64 * 4);
+        run_grid(&k, 4, 64, &[a.0 as u32, bb.0 as u32, o.0 as u32], &mut gmem);
+        let out = gmem.read_f32(o, n);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3.0 * i as f32, "lane {i}");
+        }
+    }
+
+    /// Loop + accumulate: out[i] = sum_{j<m} j  (same for all threads).
+    #[test]
+    fn looped_accumulation() {
+        let mut b = KernelBuilder::new("loopsum");
+        let po = b.param();
+        let m = b.param();
+        let i = b.global_thread_index();
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), m.into(), 1, |b, j| {
+            let jf = b.reg();
+            b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: jf, a: j.into() });
+            b.alu_into(acc, crate::ir::AluOp::FAdd, acc.into(), jf.into());
+        });
+        let ao = b.mad_u(i.into(), Operand::ImmU(4), po.into());
+        b.st(MemSpace::Global, ao, 0, vec![acc.into()]);
+        let k = b.finish();
+
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let o = gmem.alloc(64 * 4);
+        run_grid(&k, 1, 64, &[o.0 as u32, 10], &mut gmem);
+        let out = gmem.read_f32(o, 64);
+        assert!(out.iter().all(|&v| v == 45.0));
+    }
+
+    /// Shared-memory exchange across warps with a barrier: thread t writes
+    /// t to smem, then reads the value of (t+1) mod blockDim.
+    #[test]
+    fn smem_exchange_with_barrier() {
+        let mut b = KernelBuilder::new("xchg");
+        b.shared_mem(64 * 4);
+        let po = b.param();
+        let tid = b.special(crate::ir::SpecialReg::TidX);
+        let ntid = b.special(crate::ir::SpecialReg::NtidX);
+        let my = b.imul(tid.into(), Operand::ImmU(4));
+        let tf = b.reg();
+        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: tf, a: tid.into() });
+        b.st(MemSpace::Shared, my, 0, vec![tf.into()]);
+        b.sync();
+        let tp1 = b.iadd(tid.into(), Operand::ImmU(1));
+        // (t+1) mod blockDim without a mod instruction: if t+1 == ntid → 0.
+        let p = b.setp(CmpOp::UEq, tp1.into(), ntid.into());
+        let idx = b.reg();
+        b.emit(crate::ir::Instr::Mov { dst: idx, src: tp1.into() });
+        b.if_then(p, |b| {
+            b.emit(crate::ir::Instr::Mov { dst: idx, src: Operand::ImmU(0) });
+        });
+        let sa = b.imul(idx.into(), Operand::ImmU(4));
+        let v = b.ld(MemSpace::Shared, sa, 0, 1)[0];
+        let ao = b.mad_u(tid.into(), Operand::ImmU(4), po.into());
+        b.st(MemSpace::Global, ao, 0, vec![v.into()]);
+        let k = b.finish();
+
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let o = gmem.alloc(64 * 4);
+        run_grid(&k, 1, 64, &[o.0 as u32], &mut gmem);
+        let out = gmem.read_f32(o, 64);
+        for t in 0..64 {
+            assert_eq!(out[t], ((t + 1) % 64) as f32, "thread {t}");
+        }
+    }
+
+    /// Masked If: even threads write 1.0, odd threads write 2.0.
+    #[test]
+    fn divergent_if_writes_both_paths() {
+        let mut b = KernelBuilder::new("div");
+        let po = b.param();
+        let tid = b.special(crate::ir::SpecialReg::TidX);
+        let bit = b.alu(crate::ir::AluOp::IAnd, tid.into(), Operand::ImmU(1));
+        let p = b.setp(CmpOp::UEq, bit.into(), Operand::ImmU(0));
+        let v = b.reg();
+        b.if_else(
+            p,
+            |b| {
+                b.emit(crate::ir::Instr::Mov { dst: v, src: Operand::ImmF(1.0) });
+            },
+            |b| {
+                b.emit(crate::ir::Instr::Mov { dst: v, src: Operand::ImmF(2.0) });
+            },
+        );
+        let ao = b.mad_u(tid.into(), Operand::ImmU(4), po.into());
+        b.st(MemSpace::Global, ao, 0, vec![v.into()]);
+        let k = b.finish();
+
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let o = gmem.alloc(32 * 4);
+        run_grid(&k, 1, 32, &[o.0 as u32], &mut gmem);
+        let out = gmem.read_f32(o, 32);
+        for t in 0..32 {
+            assert_eq!(out[t], if t % 2 == 0 { 1.0 } else { 2.0 });
+        }
+    }
+
+    /// Partial last warp: 40 threads = one full warp + 8 lanes.
+    #[test]
+    fn partial_warp_block() {
+        let mut b = KernelBuilder::new("partial");
+        let po = b.param();
+        let i = b.global_thread_index();
+        let ao = b.mad_u(i.into(), Operand::ImmU(4), po.into());
+        let one = b.mov(Operand::ImmF(1.0));
+        b.st(MemSpace::Global, ao, 0, vec![one.into()]);
+        let k = b.finish();
+        let mut gmem = GlobalMemory::new(1 << 12);
+        let o = gmem.alloc(40 * 4);
+        run_grid(&k, 1, 40, &[o.0 as u32], &mut gmem);
+        assert!(gmem.read_f32(o, 40).iter().all(|&v| v == 1.0));
+    }
+}
+
+#[cfg(test)]
+mod while_tests {
+    use super::*;
+    use crate::ir::{AluOp, CmpOp, KernelBuilder, MemSpace, Operand};
+
+    /// Collatz step-count per thread: genuinely divergent iteration counts.
+    /// out[tid] = number of steps for (tid+1) to reach 1.
+    fn collatz_kernel() -> crate::ir::Kernel {
+        let mut b = KernelBuilder::new("collatz");
+        let out = b.param();
+        let tid = b.special(crate::ir::SpecialReg::TidX);
+        let n = b.iadd(tid.into(), Operand::ImmU(1));
+        let steps = b.mov(Operand::ImmU(0));
+        // do { if n != 1 { n = odd ? 3n+1 : n/2 (shr via and trick) ; steps++ } } while (n != 1)
+        b.do_while(|b| {
+            let not_one = b.setp(CmpOp::UNe, n.into(), Operand::ImmU(1));
+            b.if_then(not_one, |b| {
+                let bit = b.alu(AluOp::IAnd, n.into(), Operand::ImmU(1));
+                let podd = b.setp(CmpOp::UEq, bit.into(), Operand::ImmU(1));
+                b.if_else(
+                    podd,
+                    |b| {
+                        // n = 3n + 1
+                        let t = b.mad_u(n.into(), Operand::ImmU(3), Operand::ImmU(1));
+                        b.emit(crate::ir::Instr::Mov { dst: n, src: t.into() });
+                    },
+                    |b| {
+                        // n = n / 2 — no shift-right op; n/2 == (n - bit)/2 via
+                        // multiply-high is overkill, so use a subtract loop…
+                        // simpler: n even ⇒ n = n * 0x8000_0001? No — emulate
+                        // with IShl-based doubling comparison is silly; add a
+                        // dedicated halving using IAnd+IShl identities is not
+                        // available, so divide by repeated subtraction is too
+                        // slow. Instead: n/2 for even n == (n >> 1); we lack
+                        // shr, so precompute via u32 multiply by 0x80000000?
+                        // mad.lo gives low 32 bits (n * 2^31 mod 2^32) — not
+                        // the high half. Use float conversion: exact for the
+                        // magnitudes in this test (n < 2^24).
+                        let f = b.reg();
+                        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: f, a: n.into() });
+                        let h = b.fmul(f.into(), Operand::ImmF(0.5));
+                        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::F2U, dst: n, a: h.into() });
+                    },
+                );
+                b.alu_into(steps, AluOp::IAdd, steps.into(), Operand::ImmU(1));
+            });
+            b.setp(CmpOp::UNe, n.into(), Operand::ImmU(1))
+        });
+        let oaddr = b.mad_u(tid.into(), Operand::ImmU(4), out.into());
+        b.st(MemSpace::Global, oaddr, 0, vec![steps.into()]);
+        b.finish()
+    }
+
+    fn collatz_steps(mut n: u32) -> u32 {
+        let mut s = 0;
+        while n != 1 {
+            n = if n % 2 == 1 { 3 * n + 1 } else { n / 2 };
+            s += 1;
+        }
+        s
+    }
+
+    #[test]
+    fn divergent_while_computes_collatz_per_lane() {
+        let k = collatz_kernel();
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let out = gmem.alloc(64 * 4);
+        run_grid(&k, 1, 64, &[out.0 as u32], &mut gmem);
+        for t in 0..64u64 {
+            let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0 + 4 * t), 4).try_into().unwrap());
+            assert_eq!(got, collatz_steps(t as u32 + 1), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn timed_while_charges_until_the_slowest_lane() {
+        use crate::exec::timed::time_resident;
+        use crate::timing::TimingParams;
+        use crate::{DeviceConfig, DriverModel};
+        let k = collatz_kernel();
+        let dev = DeviceConfig::g8800gtx();
+        let tp = TimingParams::for_driver(DriverModel::Cuda10);
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let out = gmem.alloc(64 * 4);
+        let run = time_resident(&k, &[0], 64, 1, &[out.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        // Functional result still correct under the timed engine.
+        let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0), 4).try_into().unwrap());
+        assert_eq!(got, collatz_steps(1));
+        assert!(run.cycles > 0);
+        // The warp executes max-lane passes: thread 26 (n=27) needs 111 steps,
+        // so at least 111 body passes were issued by its warp.
+        assert!(run.warp_instructions > 111, "divergence must serialize the warp");
+    }
+}

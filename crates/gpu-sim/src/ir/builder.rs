@@ -1,0 +1,329 @@
+//! Ergonomic construction of [`Kernel`] values.
+//!
+//! The builder keeps a stack of statement lists so structured constructs
+//! (`for_loop`, `if_then`) nest naturally with closures:
+//!
+//! ```
+//! use gpu_sim::ir::{KernelBuilder, MemSpace, Operand};
+//!
+//! let mut b = KernelBuilder::new("saxpy");
+//! let x_base = b.param();          // Reg bound to param 0 at launch
+//! let y_base = b.param();
+//! let a = b.param();               // f32 scale factor as raw bits
+//! let i = b.global_thread_index();
+//! let xa = b.mad_u(i.into(), Operand::ImmU(4), x_base.into());
+//! let ya = b.mad_u(i.into(), Operand::ImmU(4), y_base.into());
+//! let x = b.ld(MemSpace::Global, xa, 0, 1)[0];
+//! let y = b.ld(MemSpace::Global, ya, 0, 1)[0];
+//! let r = b.fmad(x.into(), a.into(), y.into());
+//! b.st(MemSpace::Global, ya, 0, vec![r.into()]);
+//! let k = b.finish();
+//! assert_eq!(k.n_params, 3);
+//! ```
+
+use super::*;
+
+/// Builder for [`Kernel`] values. See the module docs for an example.
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    n_params: u16,
+    next_reg: u16,
+    next_pred: u16,
+    smem_bytes: u32,
+    params_closed: bool,
+    stack: Vec<Vec<Stmt>>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            n_params: 0,
+            next_reg: 0,
+            next_pred: 0,
+            smem_bytes: 0,
+            params_closed: false,
+            stack: vec![Vec::new()],
+        }
+    }
+
+    /// Declare static shared memory for the block.
+    pub fn shared_mem(&mut self, bytes: u32) -> &mut Self {
+        self.smem_bytes = bytes;
+        self
+    }
+
+    /// Declare the next kernel parameter; must precede any instruction.
+    /// Returns the register the parameter is bound to at launch.
+    pub fn param(&mut self) -> Reg {
+        assert!(!self.params_closed, "declare all parameters before emitting instructions");
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        self.n_params += 1;
+        r
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        self.params_closed = true;
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate a fresh predicate register.
+    pub fn pred(&mut self) -> Pred {
+        let p = Pred(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Emit a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.params_closed = true;
+        self.stack.last_mut().expect("builder stack").push(Stmt::I(i));
+    }
+
+    // ---- Convenience emitters (each returns the destination register) ----
+
+    /// `dst = src`
+    pub fn mov(&mut self, src: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Mov { dst, src });
+        dst
+    }
+
+    /// Read a special register.
+    pub fn special(&mut self, sr: SpecialReg) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Special { dst, sr });
+        dst
+    }
+
+    /// Two-operand ALU op.
+    pub fn alu(&mut self, op: AluOp, a: Operand, b: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Alu { op, dst, a, b });
+        dst
+    }
+
+    /// Two-operand ALU op writing an existing register (for accumulators).
+    pub fn alu_into(&mut self, dst: Reg, op: AluOp, a: Operand, b: Operand) {
+        self.emit(Instr::Alu { op, dst, a, b });
+    }
+
+    /// `fadd`
+    pub fn fadd(&mut self, a: Operand, b: Operand) -> Reg {
+        self.alu(AluOp::FAdd, a, b)
+    }
+
+    /// `fsub`
+    pub fn fsub(&mut self, a: Operand, b: Operand) -> Reg {
+        self.alu(AluOp::FSub, a, b)
+    }
+
+    /// `fmul`
+    pub fn fmul(&mut self, a: Operand, b: Operand) -> Reg {
+        self.alu(AluOp::FMul, a, b)
+    }
+
+    /// f32 `mad`: `a*b + c`.
+    pub fn fmad(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Mad { float: true, dst, a, b, c });
+        dst
+    }
+
+    /// f32 `mad` into an existing accumulator register.
+    pub fn fmad_into(&mut self, dst: Reg, a: Operand, b: Operand, c: Operand) {
+        self.emit(Instr::Mad { float: true, dst, a, b, c });
+    }
+
+    /// u32 `mad.lo`: `a*b + c` — the address-computation workhorse.
+    pub fn mad_u(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Mad { float: false, dst, a, b, c });
+        dst
+    }
+
+    /// u32 add.
+    pub fn iadd(&mut self, a: Operand, b: Operand) -> Reg {
+        self.alu(AluOp::IAdd, a, b)
+    }
+
+    /// u32 multiply.
+    pub fn imul(&mut self, a: Operand, b: Operand) -> Reg {
+        self.alu(AluOp::IMul, a, b)
+    }
+
+    /// `rsqrt.f32`
+    pub fn frsqrt(&mut self, a: Operand) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Unary { op: UnaryOp::FRsqrt, dst, a });
+        dst
+    }
+
+    /// Set a predicate.
+    pub fn setp(&mut self, cmp: CmpOp, a: Operand, b: Operand) -> Pred {
+        let dst = self.pred();
+        self.emit(Instr::Setp { dst, cmp, a, b });
+        dst
+    }
+
+    /// Vector load of `width` ∈ {1,2,4} words; returns the destination regs.
+    pub fn ld(&mut self, space: MemSpace, base: Reg, offset: u32, width: usize) -> Vec<Reg> {
+        assert!(matches!(width, 1 | 2 | 4), "load width must be 1, 2 or 4 words");
+        let dsts: Vec<Reg> = (0..width).map(|_| self.reg()).collect();
+        self.emit(Instr::Ld { dsts: dsts.clone(), space, base, offset });
+        dsts
+    }
+
+    /// Vector load into pre-allocated destination registers (for
+    /// double-buffering patterns where the destination must persist across
+    /// loop iterations).
+    pub fn ld_into(&mut self, space: MemSpace, base: Reg, offset: u32, dsts: Vec<Reg>) {
+        assert!(matches!(dsts.len(), 1 | 2 | 4), "load width must be 1, 2 or 4 words");
+        self.emit(Instr::Ld { dsts, space, base, offset });
+    }
+
+    /// Vector store.
+    pub fn st(&mut self, space: MemSpace, base: Reg, offset: u32, srcs: Vec<Operand>) {
+        assert!(matches!(srcs.len(), 1 | 2 | 4), "store width must be 1, 2 or 4 words");
+        self.emit(Instr::St { srcs, space, base, offset });
+    }
+
+    /// `clock()`
+    pub fn clock(&mut self) -> Reg {
+        let dst = self.reg();
+        self.emit(Instr::Clock { dst });
+        dst
+    }
+
+    /// `blockIdx.x * blockDim.x + threadIdx.x` — the canonical 1-D index.
+    pub fn global_thread_index(&mut self) -> Reg {
+        let tid = self.special(SpecialReg::TidX);
+        let ctaid = self.special(SpecialReg::CtaidX);
+        let ntid = self.special(SpecialReg::NtidX);
+        self.mad_u(ctaid.into(), ntid.into(), tid.into())
+    }
+
+    // ---- Structured constructs ----
+
+    /// Counted loop; the closure receives the builder and the induction
+    /// register.
+    pub fn for_loop(&mut self, start: Operand, end: Operand, step: u32, f: impl FnOnce(&mut Self, Reg)) {
+        assert!(step > 0, "loop step must be positive");
+        let var = self.reg();
+        self.stack.push(Vec::new());
+        f(self, var);
+        let body = self.stack.pop().expect("builder stack");
+        self.stack.last_mut().unwrap().push(Stmt::For { var, start, end, step, body });
+    }
+
+    /// Divergent bottom-tested loop (`do { body } while (pred)`), for
+    /// data-dependent iteration like tree traversals. The closure builds the
+    /// body and must return the continuation predicate it computed.
+    pub fn do_while(&mut self, f: impl FnOnce(&mut Self) -> Pred) {
+        self.stack.push(Vec::new());
+        let pred = f(self);
+        let body = self.stack.pop().expect("builder stack");
+        self.stack.last_mut().unwrap().push(Stmt::While { pred, negate: false, body });
+    }
+
+    /// Masked two-sided conditional.
+    pub fn if_else(&mut self, pred: Pred, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
+        self.stack.push(Vec::new());
+        then(self);
+        let t = self.stack.pop().unwrap();
+        self.stack.push(Vec::new());
+        els(self);
+        let e = self.stack.pop().unwrap();
+        self.stack.last_mut().unwrap().push(Stmt::If { pred, negate: false, then: t, els: e });
+    }
+
+    /// Masked one-sided conditional.
+    pub fn if_then(&mut self, pred: Pred, then: impl FnOnce(&mut Self)) {
+        self.if_else(pred, then, |_| {});
+    }
+
+    /// Block barrier.
+    pub fn sync(&mut self) {
+        self.stack.last_mut().unwrap().push(Stmt::Sync);
+    }
+
+    /// Finish and validate the kernel.
+    pub fn finish(mut self) -> Kernel {
+        assert_eq!(self.stack.len(), 1, "unbalanced structured constructs");
+        let k = Kernel {
+            name: self.name,
+            n_params: self.n_params,
+            n_regs: self.next_reg,
+            n_preds: self.next_pred,
+            smem_bytes: self.smem_bytes,
+            body: self.stack.pop().unwrap(),
+        };
+        k.validate();
+        k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_structure() {
+        let mut b = KernelBuilder::new("nested");
+        let n = b.param();
+        b.for_loop(Operand::ImmU(0), n.into(), 1, |b, i| {
+            let p = b.setp(CmpOp::ULt, i.into(), Operand::ImmU(2));
+            b.if_then(p, |b| {
+                b.mov(Operand::ImmU(7));
+            });
+            b.sync();
+        });
+        let k = b.finish();
+        assert_eq!(k.n_params, 1);
+        assert_eq!(k.n_preds, 1);
+        match &k.body[0] {
+            Stmt::For { body, .. } => {
+                assert!(matches!(body[0], Stmt::I(Instr::Setp { .. })));
+                assert!(matches!(body[1], Stmt::If { .. }));
+                assert!(matches!(body[2], Stmt::Sync));
+            }
+            other => panic!("expected For, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn params_after_instructions_rejected() {
+        let mut b = KernelBuilder::new("bad");
+        b.mov(Operand::ImmU(0));
+        b.param();
+    }
+
+    #[test]
+    fn global_thread_index_uses_three_specials() {
+        let mut b = KernelBuilder::new("gti");
+        let _ = b.global_thread_index();
+        let k = b.finish();
+        let mut specials = 0;
+        k.visit_stmts(&mut |s| {
+            if matches!(s, Stmt::I(Instr::Special { .. })) {
+                specials += 1;
+            }
+        });
+        assert_eq!(specials, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_load_width_rejected() {
+        let mut b = KernelBuilder::new("w");
+        let base = b.mov(Operand::ImmU(0));
+        b.ld(MemSpace::Global, base, 0, 3);
+    }
+}

@@ -1,0 +1,326 @@
+//! Instruction counting and the paper's Eq. 3 speedup model.
+//!
+//! Section IV-A of the paper models a tiled O(n²) kernel as
+//! `S + (N/K)·B + N·P` instructions per thread — setup, per-tile block code,
+//! and the innermost per-element code — and predicts the unrolling speedup as
+//! `P₁/P₂`, the ratio of innermost-loop instruction budgets. This module
+//! computes all three quantities *from the IR*, so the model's inputs are
+//! measured rather than assumed.
+
+use super::*;
+
+/// Resolve an operand that must be a launch-time constant: an immediate or a
+/// parameter register. Returns `None` for anything data-dependent.
+fn resolve_const(op: &Operand, params: &[u32]) -> Option<u32> {
+    match op {
+        Operand::ImmU(v) => Some(*v),
+        Operand::R(r) if (r.0 as usize) < params.len() => Some(params[r.0 as usize]),
+        _ => None,
+    }
+}
+
+/// Trip count of a lowered (bottom-tested) loop: at least one iteration.
+pub fn trip_count(start: u32, end: u32, step: u32) -> u64 {
+    assert!(step > 0);
+    if end <= start {
+        1 // bottom-tested loops execute once even when the bound is degenerate
+    } else {
+        ((end - start) as u64).div_ceil(step as u64)
+    }
+}
+
+/// Dynamic instructions executed by **one thread** of the kernel, given the
+/// launch parameter values (loop bounds must be immediates or parameters).
+///
+/// Loop accounting matches [`super::lower`]: one init `mov`, plus per
+/// iteration the body and the 3-instruction overhead (add, compare, branch).
+/// Both sides of an `If` are charged (divergent serialization — the
+/// conservative SIMT cost).
+pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> u64 {
+    assert_eq!(kernel.n_params as usize, params.len(), "parameter count mismatch");
+    fn count(stmts: &[Stmt], params: &[u32]) -> u64 {
+        let mut total = 0u64;
+        for s in stmts {
+            match s {
+                Stmt::I(_) => total += 1,
+                Stmt::Sync => total += 1,
+                Stmt::If { then, els, .. } => {
+                    total += count(then, params) + count(els, params);
+                }
+                Stmt::For { start, end, step, body, .. } => {
+                    // A data-dependent start (the grid-strided tile loop
+                    // starts at `tid`) counts as thread 0's trip count.
+                    let st = resolve_const(start, params).unwrap_or(0);
+                    let en = resolve_const(end, params)
+                        .expect("loop end must be an immediate or parameter for counting");
+                    let trips = trip_count(st, en, *step);
+                    total += 1 + trips * (count(body, params) + 3);
+                }
+                Stmt::While { .. } => {
+                    panic!("data-dependent While loops cannot be statically counted")
+                }
+            }
+        }
+        total
+    }
+    count(&kernel.body, params)
+}
+
+/// Profile of the innermost loop: the `P` term of Eq. 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerLoopProfile {
+    /// Static instructions in the innermost loop body.
+    pub body_instrs: u64,
+    /// Loop-overhead instructions per iteration (3 in the lowered form).
+    pub overhead_instrs: u64,
+    /// Nesting depth at which the innermost loop was found (1 = top level).
+    pub depth: u32,
+}
+
+impl InnerLoopProfile {
+    /// Instructions per innermost iteration including overhead — the paper's
+    /// "a little more than 25 instructions including the instructions needed
+    /// for the loop".
+    pub fn per_iteration(&self) -> u64 {
+        self.body_instrs + self.overhead_instrs
+    }
+}
+
+/// Find the innermost (deepest, first encountered at that depth) loop and
+/// profile it. Returns `None` for loop-free kernels — e.g. a fully unrolled
+/// one, whose "per iteration" cost should then be measured as straight-line
+/// instructions per element instead.
+pub fn inner_loop_profile(kernel: &Kernel) -> Option<InnerLoopProfile> {
+    fn static_count(stmts: &[Stmt]) -> u64 {
+        let mut n = 0;
+        for s in stmts {
+            match s {
+                Stmt::I(_) | Stmt::Sync => n += 1,
+                Stmt::If { then, els, .. } => n += 1 + static_count(then) + static_count(els),
+                Stmt::For { body, .. } => n += 4 + static_count(body), // init + overhead
+                Stmt::While { body, .. } => n += 1 + static_count(body), // + backedge branch
+            }
+        }
+        n
+    }
+    fn deepest(stmts: &[Stmt], depth: u32, best: &mut Option<(u32, u64)>) {
+        for s in stmts {
+            match s {
+                Stmt::While { body, .. } => deepest(body, depth, best),
+                Stmt::For { body, .. } => {
+                    let has_nested = body.iter().any(|b| matches!(b, Stmt::For { .. }));
+                    if !has_nested {
+                        let cnt = static_count(body);
+                        match best {
+                            Some((d, _)) if *d >= depth + 1 => {}
+                            _ => *best = Some((depth + 1, cnt)),
+                        }
+                    }
+                    deepest(body, depth + 1, best);
+                }
+                Stmt::If { then, els, .. } => {
+                    deepest(then, depth, best);
+                    deepest(els, depth, best);
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut best = None;
+    deepest(&kernel.body, 0, &mut best);
+    best.map(|(depth, body_instrs)| InnerLoopProfile { body_instrs, overhead_instrs: 3, depth })
+}
+
+/// The paper's Eq. 3: predicted speedup from replacing an innermost-loop
+/// budget of `p1` instructions/element with `p2`.
+pub fn eq3_speedup(p1: f64, p2: f64) -> f64 {
+    assert!(p1 > 0.0 && p2 > 0.0);
+    p1 / p2
+}
+
+/// Dynamic instruction histogram by coarse class, for reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// f32 arithmetic (add/sub/mul/mad/min/max/neg).
+    pub fp: u64,
+    /// Integer/address arithmetic, moves, converts, predicates.
+    pub int: u64,
+    /// Special-function (rsqrt).
+    pub sfu: u64,
+    /// Global + shared loads.
+    pub loads: u64,
+    /// Global + shared stores.
+    pub stores: u64,
+    /// Loop overhead (induction add + compare + branch) and syncs.
+    pub control: u64,
+}
+
+impl InstrMix {
+    /// Total dynamic instructions.
+    pub fn total(&self) -> u64 {
+        self.fp + self.int + self.sfu + self.loads + self.stores + self.control
+    }
+}
+
+/// Dynamic instruction mix for one thread.
+pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> InstrMix {
+    fn classify(i: &Instr, m: &mut InstrMix, mult: u64) {
+        match i {
+            Instr::Alu { op, .. } if op.is_float() => m.fp += mult,
+            Instr::Mad { float: true, .. } => m.fp += mult,
+            Instr::Unary { op: UnaryOp::FRsqrt, .. } => m.sfu += mult,
+            Instr::Unary { .. } => m.int += mult,
+            Instr::Ld { .. } => m.loads += mult,
+            Instr::St { .. } => m.stores += mult,
+            Instr::Clock { .. } => m.int += mult,
+            _ => m.int += mult,
+        }
+    }
+    fn walk(stmts: &[Stmt], params: &[u32], mult: u64, m: &mut InstrMix) {
+        for s in stmts {
+            match s {
+                Stmt::I(i) => classify(i, m, mult),
+                Stmt::Sync => m.control += mult,
+                Stmt::If { then, els, .. } => {
+                    walk(then, params, mult, m);
+                    walk(els, params, mult, m);
+                }
+                Stmt::While { .. } => {
+                    panic!("data-dependent While loops cannot be statically counted")
+                }
+                Stmt::For { start, end, step, body, .. } => {
+                    let st = resolve_const(start, params).unwrap_or(0);
+                    let en = resolve_const(end, params).expect("countable loop end");
+                    let trips = trip_count(st, en, *step);
+                    m.int += mult; // init mov
+                    m.control += mult * trips * 3;
+                    walk(body, params, mult * trips, m);
+                }
+            }
+        }
+    }
+    let mut m = InstrMix::default();
+    walk(&kernel.body, params, 1, &mut m);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::KernelBuilder;
+
+    #[test]
+    fn trip_count_semantics() {
+        assert_eq!(trip_count(0, 10, 1), 10);
+        assert_eq!(trip_count(0, 10, 3), 4);
+        assert_eq!(trip_count(5, 5, 1), 1, "bottom-tested: at least once");
+        assert_eq!(trip_count(2, 10, 4), 2);
+    }
+
+    #[test]
+    fn straight_line_count() {
+        let mut b = KernelBuilder::new("sl");
+        b.mov(Operand::ImmU(1));
+        b.mov(Operand::ImmU(2));
+        assert_eq!(dynamic_instructions(&b.finish(), &[]), 2);
+    }
+
+    #[test]
+    fn loop_count_includes_overhead() {
+        let mut b = KernelBuilder::new("l");
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(10), 1, |b, _| {
+            b.mov(Operand::ImmF(0.0));
+            b.mov(Operand::ImmF(1.0));
+        });
+        // 1 init + 10 × (2 body + 3 overhead) = 51
+        assert_eq!(dynamic_instructions(&b.finish(), &[]), 51);
+    }
+
+    #[test]
+    fn param_bound_loop_resolves_from_launch_values() {
+        let mut b = KernelBuilder::new("p");
+        let n = b.param();
+        b.for_loop(Operand::ImmU(0), n.into(), 1, |b, _| {
+            b.mov(Operand::ImmF(0.0));
+        });
+        let k = b.finish();
+        assert_eq!(dynamic_instructions(&k, &[5]), 1 + 5 * 4);
+        assert_eq!(dynamic_instructions(&k, &[100]), 1 + 100 * 4);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let mut b = KernelBuilder::new("nest");
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, _| {
+            b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, _| {
+                b.mov(Operand::ImmF(0.0));
+            });
+        });
+        // outer: 1 + 4 × (inner + 3); inner: 1 + 8 × (1 + 3) = 33
+        assert_eq!(dynamic_instructions(&b.finish(), &[]), 1 + 4 * (33 + 3));
+    }
+
+    #[test]
+    fn inner_loop_profile_finds_deepest() {
+        let mut b = KernelBuilder::new("prof");
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, _| {
+            b.mov(Operand::ImmF(0.0));
+            b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, _| {
+                b.mov(Operand::ImmF(1.0));
+                b.mov(Operand::ImmF(2.0));
+            });
+        });
+        let p = inner_loop_profile(&b.finish()).unwrap();
+        assert_eq!(p.depth, 2);
+        assert_eq!(p.body_instrs, 2);
+        assert_eq!(p.per_iteration(), 5);
+    }
+
+    #[test]
+    fn loop_free_kernel_has_no_profile() {
+        let mut b = KernelBuilder::new("flat");
+        b.mov(Operand::ImmU(0));
+        assert!(inner_loop_profile(&b.finish()).is_none());
+    }
+
+    #[test]
+    fn eq3_matches_paper_example() {
+        // Removing 4 of 21 per-iteration instructions predicts ≈ 1.19×,
+        // the paper's ~18 % unrolling gain.
+        let s = eq3_speedup(21.0, 17.0);
+        assert!((s - 21.0 / 17.0).abs() < 1e-12);
+        assert!(s > 1.18 && s < 1.25);
+    }
+
+    #[test]
+    fn mix_classifies_by_unit() {
+        let mut b = KernelBuilder::new("mix");
+        let base = b.param();
+        let x = b.ld(MemSpace::Global, base, 0, 1)[0];
+        let y = b.fmul(x.into(), x.into());
+        let r = b.frsqrt(y.into());
+        b.st(MemSpace::Global, base, 4, vec![r.into()]);
+        let m = instruction_mix(&b.finish(), &[0]);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.sfu, 1);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn mix_total_matches_dynamic_count() {
+        let mut b = KernelBuilder::new("consistent");
+        let n = b.param();
+        let base = b.param();
+        b.for_loop(Operand::ImmU(0), n.into(), 1, |b, i| {
+            let a = b.mad_u(i.into(), Operand::ImmU(4), base.into());
+            let v = b.ld(MemSpace::Global, a, 0, 1)[0];
+            let w = b.fadd(v.into(), Operand::ImmF(1.0));
+            b.st(MemSpace::Global, a, 0, vec![w.into()]);
+        });
+        let k = b.finish();
+        let params = &[7u32, 0u32];
+        assert_eq!(instruction_mix(&k, params).total(), dynamic_instructions(&k, params));
+    }
+}

@@ -1,0 +1,228 @@
+//! A PTX-flavoured textual form of kernels — the "disassembly" view.
+//!
+//! Used for debugging passes and for documentation: the paper's discussion of
+//! what unrolling removes ("one compare, an add, a jump plus an additional
+//! add") is easiest to *see* on the printed kernel before and after the
+//! passes. The format is stable enough to test against but is not a parsed
+//! language.
+
+use super::*;
+use std::fmt::Write as _;
+
+fn op(o: &Operand) -> String {
+    match o {
+        Operand::R(r) => format!("%r{}", r.0),
+        Operand::ImmF(f) => format!("{f:?}"),
+        Operand::ImmU(u) => format!("{u}"),
+    }
+}
+
+fn reg(r: &Reg) -> String {
+    format!("%r{}", r.0)
+}
+
+fn instr(i: &Instr) -> String {
+    match i {
+        Instr::Mov { dst, src } => format!("mov      {}, {}", reg(dst), op(src)),
+        Instr::Special { dst, sr } => {
+            let name = match sr {
+                SpecialReg::TidX => "%tid.x",
+                SpecialReg::CtaidX => "%ctaid.x",
+                SpecialReg::NtidX => "%ntid.x",
+                SpecialReg::NctaidX => "%nctaid.x",
+            };
+            format!("mov      {}, {name}", reg(dst))
+        }
+        Instr::Alu { op: o, dst, a, b } => {
+            let name = match o {
+                AluOp::FAdd => "add.f32 ",
+                AluOp::FSub => "sub.f32 ",
+                AluOp::FMul => "mul.f32 ",
+                AluOp::FMin => "min.f32 ",
+                AluOp::FMax => "max.f32 ",
+                AluOp::IAdd => "add.u32 ",
+                AluOp::ISub => "sub.u32 ",
+                AluOp::IMul => "mul.u32 ",
+                AluOp::IShl => "shl.u32 ",
+                AluOp::IAnd => "and.u32 ",
+                AluOp::IMin => "min.u32 ",
+            };
+            format!("{name} {}, {}, {}", reg(dst), op(a), op(b))
+        }
+        Instr::Mad { float, dst, a, b, c } => {
+            let name = if *float { "mad.f32 " } else { "mad.u32 " };
+            format!("{name} {}, {}, {}, {}", reg(dst), op(a), op(b), op(c))
+        }
+        Instr::Unary { op: o, dst, a } => {
+            let name = match o {
+                UnaryOp::FRsqrt => "rsqrt.f32",
+                UnaryOp::FNeg => "neg.f32  ",
+                UnaryOp::U2F => "cvt.f32.u32",
+                UnaryOp::F2U => "cvt.u32.f32",
+            };
+            format!("{name} {}, {}", reg(dst), op(a))
+        }
+        Instr::Setp { dst, cmp, a, b } => {
+            let name = match cmp {
+                CmpOp::ULt => "lt.u32",
+                CmpOp::UGe => "ge.u32",
+                CmpOp::UEq => "eq.u32",
+                CmpOp::UNe => "ne.u32",
+                CmpOp::FLt => "lt.f32",
+            };
+            format!("setp.{name} %p{}, {}, {}", dst.0, op(a), op(b))
+        }
+        Instr::Ld { dsts, space, base, offset } => {
+            let sp = match space {
+                MemSpace::Global => "global",
+                MemSpace::Shared => "shared",
+                MemSpace::Texture => "tex",
+            };
+            let v = match dsts.len() {
+                1 => String::new(),
+                n => format!(".v{n}"),
+            };
+            let ds: Vec<String> = dsts.iter().map(reg).collect();
+            format!("ld.{sp}{v}  {{{}}}, [{}+{}]", ds.join(","), reg(base), offset)
+        }
+        Instr::St { srcs, space, base, offset } => {
+            let sp = match space {
+                MemSpace::Global => "global",
+                MemSpace::Shared => "shared",
+                MemSpace::Texture => "tex",
+            };
+            let v = match srcs.len() {
+                1 => String::new(),
+                n => format!(".v{n}"),
+            };
+            let ss: Vec<String> = srcs.iter().map(op).collect();
+            format!("st.{sp}{v}  [{}+{}], {{{}}}", reg(base), offset, ss.join(","))
+        }
+        Instr::Clock { dst } => format!("mov      {}, %clock", reg(dst)),
+    }
+}
+
+fn walk(stmts: &[Stmt], depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 1);
+    for s in stmts {
+        match s {
+            Stmt::I(i) => {
+                let _ = writeln!(out, "{pad}{}", instr(i));
+            }
+            Stmt::Sync => {
+                let _ = writeln!(out, "{pad}bar.sync 0");
+            }
+            Stmt::For { var, start, end, step, body } => {
+                let _ = writeln!(
+                    out,
+                    "{pad}for {} = {}; {} < {}; {} += {} {{",
+                    reg(var),
+                    op(start),
+                    reg(var),
+                    op(end),
+                    reg(var),
+                    step
+                );
+                walk(body, depth + 1, out);
+                let _ = writeln!(out, "{pad}}}");
+            }
+            Stmt::While { pred, negate, body } => {
+                let neg = if *negate { "!" } else { "" };
+                let _ = writeln!(out, "{pad}do {{");
+                walk(body, depth + 1, out);
+                let _ = writeln!(out, "{pad}}} while {neg}%p{}", pred.0);
+            }
+            Stmt::If { pred, negate, then, els } => {
+                let neg = if *negate { "!" } else { "" };
+                let _ = writeln!(out, "{pad}if {neg}%p{} {{", pred.0);
+                walk(then, depth + 1, out);
+                if !els.is_empty() {
+                    let _ = writeln!(out, "{pad}}} else {{");
+                    walk(els, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Render a kernel as PTX-flavoured text.
+pub fn disassemble(kernel: &Kernel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        ".kernel {} (params: {}, regs: {}, smem: {} B) {{",
+        kernel.name, kernel.n_params, kernel.n_regs, kernel.smem_bytes
+    );
+    walk(&kernel.body, 0, &mut out);
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::passes::unroll_innermost;
+    use crate::ir::KernelBuilder;
+
+    fn sample() -> Kernel {
+        let mut b = KernelBuilder::new("disasm");
+        let base = b.param();
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, j| {
+            let addr = b.mad_u(j.into(), Operand::ImmU(4), base.into());
+            let v = b.ld(MemSpace::Shared, addr, 0, 1)[0];
+            b.alu_into(acc, AluOp::FAdd, acc.into(), v.into());
+        });
+        b.st(MemSpace::Global, base, 0, vec![acc.into()]);
+        b.finish()
+    }
+
+    #[test]
+    fn disassembly_contains_every_construct() {
+        let text = disassemble(&sample());
+        assert!(text.contains(".kernel disasm"));
+        assert!(text.contains("for %r"));
+        assert!(text.contains("mad.u32"));
+        assert!(text.contains("ld.shared"));
+        assert!(text.contains("st.global"));
+        assert!(text.contains("add.f32"));
+    }
+
+    #[test]
+    fn unrolling_is_visible_in_the_text() {
+        let k = sample();
+        let before = disassemble(&k);
+        let after = disassemble(&unroll_innermost(&k, 4));
+        assert!(before.contains("for "));
+        assert!(!after.contains("for "), "fully unrolled kernel has no loop:\n{after}");
+        // The hard-coded offsets the paper describes.
+        for off in [0, 4, 8, 12] {
+            assert!(after.contains(&format!("+{off}]")), "missing offset {off}:\n{after}");
+        }
+        // And the address mads are gone.
+        assert!(!after.contains("mad.u32"), "address computation should fold away");
+    }
+
+    #[test]
+    fn nested_structure_indents() {
+        let mut b = KernelBuilder::new("nest");
+        let x = b.mov(Operand::ImmU(1));
+        let p = b.setp(CmpOp::ULt, x.into(), Operand::ImmU(2));
+        b.if_else(
+            p,
+            |b| {
+                b.mov(Operand::ImmF(1.0));
+            },
+            |b| {
+                b.mov(Operand::ImmF(2.0));
+            },
+        );
+        b.sync();
+        let text = disassemble(&b.finish());
+        assert!(text.contains("if %p0 {"));
+        assert!(text.contains("} else {"));
+        assert!(text.contains("bar.sync"));
+        assert!(text.contains("setp.lt.u32"));
+    }
+}

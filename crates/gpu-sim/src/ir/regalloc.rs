@@ -1,0 +1,387 @@
+//! Register-demand analysis.
+//!
+//! Occupancy on CC-1.x devices is usually register-bound, so the paper's
+//! optimization story hinges on *registers per thread*: full unrolling frees
+//! the inner induction variable (18 → 17) and invariant code motion frees one
+//! more (→ 16). We compute register demand the way an allocator would bound
+//! it: the maximum number of simultaneously-live **values** (MAXLIVE) over
+//! the structured program, plus a small fixed ABI reserve.
+//!
+//! Liveness is per *value*, not per register name: each definition opens a
+//! new live segment that ends at the value's last use before the next
+//! redefinition. (This matters after unrolling, where 128 loop copies reuse
+//! the same temporary names back to back — an interval-per-name analysis
+//! would wrongly see them live across the whole block.) Loop-carried values
+//! — those whose first touch inside a loop body is a *use* (accumulators,
+//! induction variables, setup values consumed per iteration) — are live
+//! across the entire loop, back edge included.
+//!
+//! Parameter registers are excluded: on CC-1.x, kernel parameters live in
+//! shared/param space and are re-read at each use (`ld.param` folds into the
+//! consumer), costing no registers. A kernel that wants a parameter in a
+//! register across a loop copies it with a `Mov`, and the copy is counted.
+
+use super::*;
+use std::collections::HashMap;
+
+/// Extra registers reserved per thread beyond live user values. Calibrated
+/// to 0: the per-value MAXLIVE approximation above already lands on the
+/// paper's reported 18-register baseline for the force kernel, so any ABI
+/// reserve the real toolchain kept is absorbed by the approximation.
+pub const ABI_RESERVED_REGS: u16 = 0;
+
+/// Result of the register-demand analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegDemand {
+    /// Maximum simultaneously-live 32-bit values.
+    pub max_live: u16,
+    /// Reported registers per thread (`max_live + ABI_RESERVED_REGS`) — what
+    /// `nvcc --ptxas-options=-v` would print, fed to the occupancy
+    /// calculator.
+    pub regs_per_thread: u16,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Touch {
+    pos: u32,
+    is_def: bool,
+}
+
+#[derive(Default)]
+struct Walker {
+    pos: u32,
+    touches: HashMap<Reg, Vec<Touch>>,
+    /// Loop body spans (first body position, last overhead position),
+    /// collected in post-order (innermost first).
+    loops: Vec<(u32, u32)>,
+}
+
+impl Walker {
+    fn touch(&mut self, r: Reg, is_def: bool) {
+        self.touches.entry(r).or_default().push(Touch { pos: self.pos, is_def });
+    }
+
+    fn touch_operand(&mut self, o: &Operand) {
+        if let Operand::R(r) = o {
+            self.touch(*r, false);
+        }
+    }
+
+    fn walk(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match s {
+                Stmt::I(i) => {
+                    self.pos += 1;
+                    // Reads happen before the write.
+                    for r in i.uses() {
+                        self.touch(r, false);
+                    }
+                    for r in i.defs() {
+                        self.touch(r, true);
+                    }
+                }
+                Stmt::Sync => {
+                    self.pos += 1;
+                }
+                Stmt::For { var, start, end, step: _, body } => {
+                    // Loop init: mov var, start.
+                    self.pos += 1;
+                    self.touch_operand(start);
+                    self.touch(*var, true);
+                    let loop_start = self.pos + 1;
+                    self.walk(body);
+                    // Overhead: add var; setp var, end; bra.
+                    self.pos += 1;
+                    self.touch(*var, false);
+                    self.touch(*var, true);
+                    self.pos += 1;
+                    self.touch(*var, false);
+                    self.touch_operand(end);
+                    self.pos += 1; // bra
+                    self.loops.push((loop_start, self.pos));
+                }
+                Stmt::If { then, els, .. } => {
+                    self.pos += 1;
+                    self.walk(then);
+                    self.walk(els);
+                }
+                Stmt::While { body, .. } => {
+                    self.pos += 1; // entry marker
+                    let loop_start = self.pos + 1;
+                    self.walk(body);
+                    self.pos += 1; // backedge branch
+                    self.loops.push((loop_start, self.pos));
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Segment {
+    start: u32,
+    end: u32,
+}
+
+/// Compute register demand for a kernel.
+pub fn register_demand(kernel: &Kernel) -> RegDemand {
+    let mut w = Walker::default();
+    w.walk(&kernel.body);
+    for p in 0..kernel.n_params {
+        w.touches.remove(&Reg(p));
+    }
+
+    // Build per-value segments from the touch streams.
+    let mut segments: HashMap<Reg, Vec<Segment>> = HashMap::new();
+    for (r, ts) in &w.touches {
+        let mut segs: Vec<Segment> = Vec::new();
+        for t in ts {
+            if t.is_def {
+                match segs.last_mut() {
+                    // Read-modify-write (`acc = acc + x`, or a load whose
+                    // base register is its destination): the old value dies
+                    // exactly where the new one is born — an allocator reuses
+                    // the register, so this is one live value, not two.
+                    Some(s) if s.end == t.pos => {}
+                    _ => segs.push(Segment { start: t.pos, end: t.pos }),
+                }
+            } else {
+                match segs.last_mut() {
+                    Some(s) => s.end = s.end.max(t.pos),
+                    // Upward-exposed use with no prior def (shouldn't happen
+                    // for well-formed kernels once params are excluded).
+                    None => segs.push(Segment { start: 0, end: t.pos }),
+                }
+            }
+        }
+        segments.insert(*r, segs);
+    }
+
+    // Loop-carried extension, innermost loops first: a register whose first
+    // touch inside the loop body is a use carries its value across the back
+    // edge — merge the feeding segment and everything inside the loop into
+    // one segment covering the whole loop.
+    for &(ls, le) in &w.loops {
+        for (r, segs) in segments.iter_mut() {
+            let Some(first_inside) = w.touches[r].iter().find(|t| t.pos >= ls && t.pos <= le) else {
+                continue;
+            };
+            if first_inside.is_def {
+                continue; // freshly defined each iteration; no back-edge value
+            }
+            // Merge: the last segment starting before the loop (the feeder)
+            // plus all segments intersecting the loop body.
+            let mut new_start = ls;
+            let mut new_end = le;
+            let mut keep: Vec<Segment> = Vec::new();
+            let mut before: Vec<Segment> = Vec::new();
+            let mut inside: Vec<Segment> = Vec::new();
+            let mut after: Vec<Segment> = Vec::new();
+            for s in segs.iter() {
+                if s.start < ls && s.end < ls {
+                    before.push(*s);
+                } else if s.start > le {
+                    after.push(*s);
+                } else {
+                    inside.push(*s);
+                }
+            }
+            // The value live on entry comes from the last segment before the
+            // loop (spanning ones are already in `inside`).
+            if inside.iter().all(|s| s.start >= ls) {
+                if let Some(feeder) = before.last().copied() {
+                    before.pop();
+                    inside.push(feeder);
+                }
+            }
+            for s in &inside {
+                new_start = new_start.min(s.start);
+                new_end = new_end.max(s.end);
+            }
+            keep.extend(before);
+            keep.push(Segment { start: new_start, end: new_end });
+            keep.extend(after);
+            keep.sort_by_key(|s| s.start);
+            *segs = keep;
+        }
+    }
+
+    // MAXLIVE sweep.
+    let mut events: Vec<(u32, i32)> = Vec::new();
+    for segs in segments.values() {
+        for s in segs {
+            events.push((s.start, 1));
+            events.push((s.end + 1, -1));
+        }
+    }
+    events.sort_unstable();
+    let (mut live, mut max_live) = (0i32, 0i32);
+    for (_, d) in events {
+        live += d;
+        max_live = max_live.max(live);
+    }
+    let max_live = max_live as u16;
+    RegDemand { max_live, regs_per_thread: max_live + ABI_RESERVED_REGS }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::passes::unroll_innermost;
+    use crate::ir::KernelBuilder;
+
+    fn demand(k: &Kernel) -> u16 {
+        register_demand(k).max_live
+    }
+
+    #[test]
+    fn disjoint_values_share_a_slot() {
+        let mut b = KernelBuilder::new("disjoint");
+        let a = b.mov(Operand::ImmF(1.0));
+        let _a2 = b.fadd(a.into(), Operand::ImmF(1.0));
+        let c = b.mov(Operand::ImmF(2.0));
+        let _c2 = b.fadd(c.into(), Operand::ImmF(1.0));
+        assert_eq!(demand(&b.finish()), 2);
+    }
+
+    #[test]
+    fn simultaneously_live_values_stack_up() {
+        let mut b = KernelBuilder::new("stack");
+        let r1 = b.mov(Operand::ImmF(1.0));
+        let r2 = b.mov(Operand::ImmF(2.0));
+        let r3 = b.mov(Operand::ImmF(3.0));
+        let s = b.fadd(r1.into(), r2.into());
+        let _t = b.fadd(s.into(), r3.into());
+        assert_eq!(demand(&b.finish()), 4);
+    }
+
+    #[test]
+    fn reused_temp_names_do_not_stack() {
+        // The unrolled-copy pattern: the same register redefined and consumed
+        // back to back must count once, not once per copy.
+        let mut b = KernelBuilder::new("reuse");
+        let acc = b.mov(Operand::ImmF(0.0));
+        let t = b.mov(Operand::ImmF(1.0));
+        for _ in 0..8 {
+            b.emit(Instr::Mov { dst: t, src: Operand::ImmF(2.0) });
+            b.alu_into(acc, AluOp::FAdd, acc.into(), t.into());
+        }
+        let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
+        assert_eq!(demand(&b.finish()), 2, "acc and t only — copies reuse t");
+    }
+
+    #[test]
+    fn value_used_inside_loop_lives_across_it() {
+        let mut b = KernelBuilder::new("looplive");
+        let x = b.mov(Operand::ImmF(1.0));
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(10), 1, |b, _i| {
+            let t = b.fmul(x.into(), Operand::ImmF(2.0));
+            b.alu_into(acc, AluOp::FAdd, acc.into(), t.into());
+        });
+        let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
+        // Live through the loop: x, acc, induction var; t briefly → 4.
+        assert_eq!(demand(&b.finish()), 4);
+    }
+
+    #[test]
+    fn accumulator_is_live_across_the_back_edge() {
+        let mut b = KernelBuilder::new("acc");
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, _| {
+            // acc is used then redefined each iteration: loop-carried.
+            b.alu_into(acc, AluOp::FAdd, acc.into(), Operand::ImmF(1.0));
+            // A fresh temp per iteration is NOT loop-carried.
+            let t = b.fmul(acc.into(), Operand::ImmF(2.0));
+            let _ = t;
+        });
+        let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
+        // acc + var live through loop; t transient → peak 3.
+        assert_eq!(demand(&b.finish()), 3);
+    }
+
+    #[test]
+    fn induction_variable_costs_a_register() {
+        let mk = |with_loop: bool| {
+            let mut b = KernelBuilder::new("iv");
+            let acc = b.mov(Operand::ImmF(0.0));
+            if with_loop {
+                b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, _i| {
+                    b.alu_into(acc, AluOp::FAdd, acc.into(), Operand::ImmF(1.0));
+                });
+            } else {
+                for _ in 0..4 {
+                    b.alu_into(acc, AluOp::FAdd, acc.into(), Operand::ImmF(1.0));
+                }
+            }
+            b.finish()
+        };
+        assert_eq!(demand(&mk(true)) - demand(&mk(false)), 1);
+    }
+
+    #[test]
+    fn unrolling_a_real_loop_reduces_demand() {
+        let mut b = KernelBuilder::new("u");
+        let base = b.param();
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, j| {
+            let addr = b.mad_u(j.into(), Operand::ImmU(4), base.into());
+            let v = b.ld(MemSpace::Shared, addr, 0, 1)[0];
+            b.alu_into(acc, AluOp::FAdd, acc.into(), v.into());
+        });
+        let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
+        let k = b.finish();
+        let u = unroll_innermost(&k, 8);
+        // Unrolling frees the induction register AND folds the per-iteration
+        // address temporary into hard-coded load offsets.
+        assert_eq!(demand(&k) - demand(&u), 2, "induction register + address temp");
+    }
+
+    #[test]
+    fn hoisting_an_invariant_reduces_pressure() {
+        let mk = |hoisted: bool| {
+            let mut b = KernelBuilder::new("icm");
+            let ep = b.param();
+            let eps = b.mov(ep.into());
+            let acc = b.mov(Operand::ImmF(0.0));
+            let pre = if hoisted { Some(b.fmul(eps.into(), eps.into())) } else { None };
+            b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, _| {
+                let e2 = pre.unwrap_or_else(|| b.fmul(eps.into(), eps.into()));
+                b.alu_into(acc, AluOp::FAdd, acc.into(), e2.into());
+            });
+            let _o = b.fadd(acc.into(), Operand::ImmF(0.0));
+            b.finish()
+        };
+        assert_eq!(demand(&mk(false)) - demand(&mk(true)), 1);
+    }
+
+    #[test]
+    fn params_live_in_param_space_and_cost_nothing() {
+        let mut b = KernelBuilder::new("params");
+        let _unused = b.param();
+        let used = b.param();
+        let _x = b.iadd(used.into(), Operand::ImmU(1));
+        assert_eq!(demand(&b.finish()), 1);
+    }
+
+    #[test]
+    fn param_copied_to_register_is_counted() {
+        let mut b = KernelBuilder::new("copy");
+        let p = b.param();
+        let local = b.mov(p.into());
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.for_loop(Operand::ImmU(0), Operand::ImmU(4), 1, |b, _| {
+            b.alu_into(acc, AluOp::FAdd, acc.into(), local.into());
+        });
+        let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
+        assert_eq!(demand(&b.finish()), 3);
+    }
+
+    #[test]
+    fn reported_regs_add_the_abi_reserve() {
+        let mut b = KernelBuilder::new("abi");
+        let _x = b.mov(Operand::ImmU(0));
+        let d = register_demand(&b.finish());
+        assert_eq!(d.regs_per_thread, d.max_live + ABI_RESERVED_REGS);
+    }
+}

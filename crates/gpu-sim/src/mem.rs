@@ -1,0 +1,228 @@
+//! Simulated device global memory.
+//!
+//! A flat byte-addressable store with a bump allocator. Kernel `Ld`/`St`
+//! instructions operate on this memory through typed, bounds- and
+//! alignment-checked accessors, so layout bugs (the paper's whole subject)
+//! surface as hard errors instead of silently wrong physics.
+
+/// Alignment guaranteed by [`GlobalMemory::alloc`] — `cudaMalloc` guarantees
+/// at least 256 bytes, which also satisfies every coalescing base-alignment
+/// rule in [`crate::coalesce`].
+pub const ALLOC_ALIGN: u64 = 256;
+
+/// A device pointer: byte offset into the simulated global memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DevicePtr(pub u64);
+
+impl DevicePtr {
+    /// Pointer arithmetic in bytes.
+    #[inline]
+    pub fn offset(self, bytes: u64) -> DevicePtr {
+        DevicePtr(self.0 + bytes)
+    }
+
+    /// The raw address.
+    #[inline]
+    pub fn addr(self) -> u64 {
+        self.0
+    }
+}
+
+/// Simulated device global memory with a bump allocator.
+#[derive(Debug, Clone)]
+pub struct GlobalMemory {
+    data: Vec<u8>,
+    next: u64,
+}
+
+impl GlobalMemory {
+    /// Create a memory of `capacity` bytes (the 8800 GTX shipped 768 MiB; the
+    /// experiments here need far less, so pick what the workload requires).
+    pub fn new(capacity: u64) -> Self {
+        GlobalMemory { data: vec![0u8; capacity as usize], next: 0 }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.data.len() as u64
+    }
+
+    /// Bytes allocated so far.
+    pub fn allocated(&self) -> u64 {
+        self.next
+    }
+
+    /// Allocate `bytes`, aligned to [`ALLOC_ALIGN`]. Panics on exhaustion
+    /// (a simulation configuration error, not a recoverable condition).
+    pub fn alloc(&mut self, bytes: u64) -> DevicePtr {
+        let start = self.next.next_multiple_of(ALLOC_ALIGN);
+        let end = start + bytes;
+        assert!(
+            end <= self.capacity(),
+            "device OOM: need {} bytes at {}, capacity {}",
+            bytes,
+            start,
+            self.capacity()
+        );
+        self.next = end;
+        DevicePtr(start)
+    }
+
+    /// Copy a host byte slice to the device (`cudaMemcpy` host→device).
+    pub fn upload(&mut self, dst: DevicePtr, bytes: &[u8]) {
+        let s = dst.0 as usize;
+        self.data[s..s + bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Copy device bytes back to the host (`cudaMemcpy` device→host).
+    pub fn download(&self, src: DevicePtr, len: u64) -> Vec<u8> {
+        let s = src.0 as usize;
+        self.data[s..s + len as usize].to_vec()
+    }
+
+    /// Allocate and upload a slice of `f32` in one step; returns the pointer.
+    pub fn alloc_f32(&mut self, values: &[f32]) -> DevicePtr {
+        let ptr = self.alloc(values.len() as u64 * 4);
+        for (i, v) in values.iter().enumerate() {
+            self.store_f32(ptr.0 + i as u64 * 4, *v);
+        }
+        ptr
+    }
+
+    /// Read back `n` `f32` values from `ptr`.
+    pub fn read_f32(&self, ptr: DevicePtr, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.load_f32(ptr.0 + i as u64 * 4)).collect()
+    }
+
+    #[inline]
+    fn check(&self, addr: u64, width: u64) {
+        assert!(
+            addr % width == 0,
+            "misaligned {width}-byte global access at {addr:#x}"
+        );
+        assert!(
+            addr + width <= self.capacity(),
+            "global access out of bounds: {addr:#x}+{width} > {}",
+            self.capacity()
+        );
+    }
+
+    /// Load a 32-bit word as raw bits.
+    #[inline]
+    pub fn load_u32(&self, addr: u64) -> u32 {
+        self.check(addr, 4);
+        let a = addr as usize;
+        u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+    }
+
+    /// Store a 32-bit word as raw bits.
+    #[inline]
+    pub fn store_u32(&mut self, addr: u64, v: u32) {
+        self.check(addr, 4);
+        let a = addr as usize;
+        self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Load an `f32`.
+    #[inline]
+    pub fn load_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.load_u32(addr))
+    }
+
+    /// Store an `f32`.
+    #[inline]
+    pub fn store_f32(&mut self, addr: u64, v: f32) {
+        self.store_u32(addr, v.to_bits());
+    }
+
+    /// Vector load of `n` consecutive 32-bit words (n ∈ {1, 2, 4}); the CUDA
+    /// rule that a 64/128-bit access must be naturally aligned is enforced.
+    pub fn load_vec(&self, addr: u64, n: usize) -> Vec<u32> {
+        assert!(matches!(n, 1 | 2 | 4), "vector width must be 1, 2 or 4");
+        self.check(addr, 4 * n as u64);
+        (0..n).map(|i| self.load_u32(addr + 4 * i as u64)).collect()
+    }
+
+    /// Vector store of `n` consecutive 32-bit words (n ∈ {1, 2, 4}).
+    pub fn store_vec(&mut self, addr: u64, vals: &[u32]) {
+        assert!(matches!(vals.len(), 1 | 2 | 4), "vector width must be 1, 2 or 4");
+        self.check(addr, 4 * vals.len() as u64);
+        for (i, v) in vals.iter().enumerate() {
+            self.store_u32(addr + 4 * i as u64, *v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_is_aligned_and_disjoint() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(100);
+        let b = m.alloc(100);
+        assert_eq!(a.0 % ALLOC_ALIGN, 0);
+        assert_eq!(b.0 % ALLOC_ALIGN, 0);
+        assert!(b.0 >= a.0 + 100);
+    }
+
+    #[test]
+    fn f32_roundtrip_including_nan_payloads() {
+        let mut m = GlobalMemory::new(1024);
+        let p = m.alloc(16);
+        m.store_f32(p.0, -0.0);
+        assert_eq!(m.load_f32(p.0).to_bits(), (-0.0f32).to_bits());
+        m.store_u32(p.0 + 4, 0x7FC0_1234); // NaN with payload survives as bits
+        assert_eq!(m.load_u32(p.0 + 4), 0x7FC0_1234);
+    }
+
+    #[test]
+    fn upload_download_roundtrip() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(8);
+        m.upload(p, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(m.download(p, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn alloc_f32_and_read_back() {
+        let mut m = GlobalMemory::new(4096);
+        let xs = [1.0f32, -2.5, 3.25];
+        let p = m.alloc_f32(&xs);
+        assert_eq!(m.read_f32(p, 3), xs.to_vec());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oob_load_panics() {
+        let m = GlobalMemory::new(16);
+        m.load_u32(16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn misaligned_vec_load_panics() {
+        let mut m = GlobalMemory::new(64);
+        let p = m.alloc(32);
+        // float4 load at +4 is not 16-byte aligned.
+        m.load_vec(p.0 + 4, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oom_panics() {
+        let mut m = GlobalMemory::new(512);
+        m.alloc(256);
+        m.alloc(512);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let mut m = GlobalMemory::new(1024);
+        let p = m.alloc(16);
+        m.store_vec(p.0, &[1, 2, 3, 4]);
+        assert_eq!(m.load_vec(p.0, 4), vec![1, 2, 3, 4]);
+        assert_eq!(m.load_vec(p.0 + 8, 2), vec![3, 4]);
+    }
+}

@@ -1,0 +1,219 @@
+//! The CUDA occupancy calculator for compute-capability 1.x devices.
+//!
+//! Occupancy — resident warps over the SM's warp capacity — is the lever
+//! behind the paper's final optimization step: freeing registers (18 → 17 by
+//! full unrolling, → 16 by invariant code motion) and moving to 128-thread
+//! blocks raised occupancy from 50 % to 67 % for another ~6 % of speedup.
+//! The arithmetic below follows NVIDIA's occupancy-calculator spreadsheet
+//! rules for CC 1.0/1.1:
+//!
+//! * warps are allocated per block at a granularity of 2 warps;
+//! * registers are allocated **per block**:
+//!   `ceil(regs_per_thread × 32 × ceil(warps_per_block, 2), 256)`;
+//! * shared memory is allocated per block at 512-byte granularity;
+//! * the block count per SM is the minimum over the thread, block, register
+//!   and shared-memory limits.
+
+use crate::device::DeviceConfig;
+use serde::{Deserialize, Serialize};
+
+/// Result of the occupancy computation for one kernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident blocks per SM.
+    pub active_blocks: u32,
+    /// Resident warps per SM.
+    pub active_warps: u32,
+    /// The SM's warp capacity.
+    pub max_warps: u32,
+    /// Which resource bounds the configuration.
+    pub limiter: Limiter,
+}
+
+/// The resource that limits residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Limiter {
+    /// Max resident threads (or warps) per SM.
+    Threads,
+    /// Max resident blocks per SM.
+    Blocks,
+    /// Register file capacity.
+    Registers,
+    /// Shared-memory capacity.
+    SharedMemory,
+}
+
+impl Occupancy {
+    /// Occupancy as a fraction of the SM's warp capacity, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.active_warps as f64 / self.max_warps as f64
+    }
+
+    /// Occupancy as a percentage.
+    pub fn percent(&self) -> f64 {
+        100.0 * self.fraction()
+    }
+}
+
+fn ceil_to(x: u32, unit: u32) -> u32 {
+    x.div_ceil(unit) * unit
+}
+
+/// Registers allocated per block under the CC-1.x per-block rule.
+pub fn regs_per_block(dev: &DeviceConfig, threads_per_block: u32, regs_per_thread: u32) -> u32 {
+    let warps = threads_per_block.div_ceil(dev.warp_size);
+    let alloc_warps = ceil_to(warps.max(1), dev.warp_alloc_granularity);
+    ceil_to(regs_per_thread * dev.warp_size * alloc_warps, dev.reg_alloc_unit)
+}
+
+/// Compute occupancy for a kernel with the given block size, registers per
+/// thread and shared-memory bytes per block.
+///
+/// Panics if the block alone exceeds a hard per-block limit (CUDA would fail
+/// the launch).
+pub fn occupancy(dev: &DeviceConfig, threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> Occupancy {
+    assert!(threads_per_block > 0, "empty block");
+    assert!(
+        threads_per_block <= dev.max_threads_per_block,
+        "block of {threads_per_block} exceeds device limit {}",
+        dev.max_threads_per_block
+    );
+    let warps_per_block = threads_per_block.div_ceil(dev.warp_size);
+    let max_warps = dev.max_warps_per_sm();
+
+    // Limit 1: threads / warps per SM.
+    let lim_threads = max_warps / warps_per_block;
+    // Limit 2: blocks per SM.
+    let lim_blocks = dev.max_blocks_per_sm;
+    // Limit 3: registers.
+    let rpb = regs_per_block(dev, threads_per_block, regs_per_thread);
+    let lim_regs = if regs_per_thread == 0 {
+        lim_blocks
+    } else {
+        assert!(rpb <= dev.regs_per_sm, "kernel needs {rpb} registers per block, SM has {}", dev.regs_per_sm);
+        dev.regs_per_sm / rpb
+    };
+    // Limit 4: shared memory.
+    let spb = ceil_to(smem_per_block.max(1), dev.smem_alloc_unit);
+    assert!(spb <= dev.smem_per_sm, "kernel needs {spb} B shared memory, SM has {}", dev.smem_per_sm);
+    let lim_smem = if smem_per_block == 0 { lim_blocks } else { dev.smem_per_sm / spb };
+
+    let blocks = lim_threads.min(lim_blocks).min(lim_regs).min(lim_smem);
+    assert!(blocks >= 1, "kernel cannot be resident at all");
+    let limiter = if blocks == lim_threads {
+        Limiter::Threads
+    } else if blocks == lim_regs && regs_per_thread > 0 {
+        Limiter::Registers
+    } else if blocks == lim_smem && smem_per_block > 0 {
+        Limiter::SharedMemory
+    } else {
+        Limiter::Blocks
+    };
+    Occupancy {
+        active_blocks: blocks,
+        active_warps: blocks * warps_per_block,
+        max_warps,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g80() -> DeviceConfig {
+        DeviceConfig::g8800gtx()
+    }
+
+    // --- The paper's three configurations (Sec. IV-A) ---
+
+    #[test]
+    fn paper_baseline_18_regs_block_192_is_50_percent() {
+        // regs/block = ceil(18*32*6, 256) = 3456 → 8192/3456 = 2 blocks
+        // → 12 warps of 24 → 50 %.
+        let o = occupancy(&g80(), 192, 18, 192 * 16);
+        assert_eq!(o.active_blocks, 2);
+        assert_eq!(o.active_warps, 12);
+        assert!((o.percent() - 50.0).abs() < 1e-9);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn paper_unrolled_17_regs_still_50_percent() {
+        // Unrolling frees one register (18→17) but occupancy stays 50 %:
+        // the speedup at this step is purely from instruction reduction.
+        let o = occupancy(&g80(), 192, 17, 192 * 16);
+        assert_eq!(o.active_warps, 12);
+        assert!((o.percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_tuned_16_regs_block_128_is_67_percent() {
+        // regs/block = ceil(16*32*4, 256) = 2048 → 4 blocks → 16 warps → 66.7 %.
+        let o = occupancy(&g80(), 128, 16, 128 * 16);
+        assert_eq!(o.active_blocks, 4);
+        assert_eq!(o.active_warps, 16);
+        assert!((o.fraction() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seventeen_regs_at_block_128_is_only_50_percent() {
+        // Without the ICM register (17 regs), block 128 allocates
+        // ceil(17*32*4, 256) = 2304 regs/block → 3 blocks → 12 warps → 50 %.
+        let o = occupancy(&g80(), 128, 17, 128 * 16);
+        assert_eq!(o.active_blocks, 3);
+        assert!((o.percent() - 50.0).abs() < 1e-9);
+    }
+
+    // --- General calculator behaviour ---
+
+    #[test]
+    fn tiny_blocks_hit_the_block_limit() {
+        let o = occupancy(&g80(), 32, 4, 0);
+        assert_eq!(o.active_blocks, 8);
+        assert_eq!(o.limiter, Limiter::Blocks);
+        assert_eq!(o.active_warps, 8);
+    }
+
+    #[test]
+    fn zero_resource_kernel_hits_thread_limit() {
+        let o = occupancy(&g80(), 256, 8, 0);
+        assert_eq!(o.active_blocks, 3);
+        assert_eq!(o.active_warps, 24);
+        assert!((o.percent() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        // 9 KB per block → only one block fits in 16 KB.
+        let o = occupancy(&g80(), 64, 8, 9 * 1024);
+        assert_eq!(o.active_blocks, 1);
+        assert_eq!(o.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn warp_alloc_granularity_matters() {
+        // 96 threads = 3 warps, allocated as 4: regs/block = ceil(20*32*4,256)=2560
+        // → 3 blocks, not the 4 a naive per-thread model would give (8192/(20*96)=4).
+        let o = occupancy(&g80(), 96, 20, 0);
+        assert_eq!(o.active_blocks, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_block_rejected() {
+        occupancy(&g80(), 1024, 8, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn impossible_register_demand_rejected() {
+        occupancy(&g80(), 512, 64, 0); // 64 regs × 512 threads ≫ 8192
+    }
+
+    #[test]
+    fn gt200_has_more_headroom() {
+        let o = occupancy(&DeviceConfig::gtx280(), 128, 16, 2048);
+        assert!(o.active_warps > 16, "GT200's larger register file should admit more warps");
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-SM texture cache model.
+//!
+//! Pre-Fermi devices had no general-purpose cache, but the *texture* path
+//! went through a small read-only cache per SM (≈ 8 KiB on G80, ~32-byte
+//! lines). Binding a buffer to a texture and fetching with `tex1Dfetch` was
+//! the standard workaround for access patterns the CC-1.x coalescer punished
+//! — the road the paper explicitly does not take ("texture- and constant
+//! memory … will not be discussed here"). We model it so the comparison the
+//! paper skipped can be run (see the `table_texture` experiment).
+//!
+//! The model is a direct-mapped cache of 32-byte lines: small, deterministic
+//! and conservative (a real 20-way anything would only hit more often; for
+//! the streaming access patterns of the membench kernels associativity is
+//! irrelevant).
+
+/// A direct-mapped read-only cache of 32-byte lines.
+#[derive(Debug, Clone)]
+pub struct TexCache {
+    /// Tag per set (`None` = cold).
+    tags: Vec<Option<u64>>,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed (each implies a 32-byte line fill).
+    pub misses: u64,
+}
+
+/// Cache line size in bytes.
+pub const TEX_LINE: u64 = 32;
+
+impl TexCache {
+    /// Cache with `capacity_bytes` of storage (G80: 8 KiB per SM).
+    pub fn new(capacity_bytes: u64) -> TexCache {
+        let lines = (capacity_bytes / TEX_LINE).max(1) as usize;
+        assert!(lines.is_power_of_two(), "cache line count must be a power of two");
+        TexCache { tags: vec![None; lines], hits: 0, misses: 0 }
+    }
+
+    /// The G80 per-SM texture cache.
+    pub fn g80() -> TexCache {
+        TexCache::new(8 * 1024)
+    }
+
+    /// Access the line containing `addr`; returns `true` on a hit and fills
+    /// the line on a miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / TEX_LINE;
+        let set = (line as usize) & (self.tags.len() - 1);
+        if self.tags[set] == Some(line) {
+            self.hits += 1;
+            true
+        } else {
+            self.tags[set] = Some(line);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Distinct lines touched by an access of `bytes` at `addr` (an aligned
+    /// 4/8/16-byte access touches exactly one 32-byte line).
+    pub fn lines_of(addr: u64, bytes: u64) -> impl Iterator<Item = u64> {
+        let first = addr / TEX_LINE;
+        let last = (addr + bytes - 1) / TEX_LINE;
+        (first..=last).map(|l| l * TEX_LINE)
+    }
+
+    /// Hit rate so far (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = TexCache::new(1024);
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(96), "same 32B line");
+        assert_eq!(c.misses, 1);
+        assert_eq!(c.hits, 2);
+    }
+
+    #[test]
+    fn distinct_lines_do_not_alias_within_capacity() {
+        let mut c = TexCache::new(1024); // 32 lines
+        for i in 0..32u64 {
+            assert!(!c.access(i * 32));
+        }
+        for i in 0..32u64 {
+            assert!(c.access(i * 32), "line {i} should still be resident");
+        }
+    }
+
+    #[test]
+    fn capacity_conflicts_evict() {
+        let mut c = TexCache::new(1024); // 32 lines, direct-mapped
+        assert!(!c.access(0));
+        assert!(!c.access(32 * 32)); // same set, different tag
+        assert!(!c.access(0), "evicted by the aliasing line");
+    }
+
+    #[test]
+    fn lines_of_spans() {
+        let v: Vec<u64> = TexCache::lines_of(28, 8).collect();
+        assert_eq!(v, vec![0, 32], "an 8-byte access at 28 straddles two lines");
+        let v: Vec<u64> = TexCache::lines_of(64, 16).collect();
+        assert_eq!(v, vec![64]);
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = TexCache::new(64);
+        assert_eq!(c.hit_rate(), 0.0);
+        c.access(0);
+        c.access(0);
+        c.access(0);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Host↔device transfer model (PCIe).
+//!
+//! The paper's Figure 12 measures "from copying the data to the device,
+//! through the kernel invocation till after copying the results back" — so
+//! the end-to-end Gravit harness needs a transfer-time model. A 2008-era
+//! PCIe 1.1 ×16 link delivers ~3 GB/s of effective pinned-memory bandwidth
+//! with a fixed per-copy overhead of a few microseconds.
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe link model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieModel {
+    /// Effective bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Fixed overhead per `cudaMemcpy` call, in seconds (driver + DMA setup).
+    pub per_copy_overhead_s: f64,
+}
+
+impl PcieModel {
+    /// PCIe 1.1 ×16, the paper's platform (Core 2 Duo host).
+    pub fn pcie1_x16() -> Self {
+        PcieModel { bandwidth: 3.0e9, per_copy_overhead_s: 10e-6 }
+    }
+
+    /// Time to move `bytes` in one copy.
+    pub fn copy_time_s(&self, bytes: u64) -> f64 {
+        assert!(self.bandwidth > 0.0);
+        self.per_copy_overhead_s + bytes as f64 / self.bandwidth
+    }
+
+    /// Time for a sequence of copies of the given sizes (each pays overhead —
+    /// which is why layouts that split one buffer into several arrays pay a
+    /// small extra cost the paper's SoA variants accept).
+    pub fn copies_time_s(&self, sizes: &[u64]) -> f64 {
+        sizes.iter().map(|&b| self.copy_time_s(b)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_time_scales_with_bytes() {
+        let p = PcieModel::pcie1_x16();
+        let t1 = p.copy_time_s(1 << 20);
+        let t2 = p.copy_time_s(2 << 20);
+        assert!(t2 > t1);
+        assert!((t2 - t1 - (1 << 20) as f64 / p.bandwidth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn many_small_copies_cost_more_than_one_big_one() {
+        let p = PcieModel::pcie1_x16();
+        let one = p.copy_time_s(7 << 20);
+        let seven = p.copies_time_s(&[1 << 20; 7]);
+        assert!(seven > one);
+    }
+
+    #[test]
+    fn zero_bytes_still_pays_overhead() {
+        let p = PcieModel::pcie1_x16();
+        assert_eq!(p.copy_time_s(0), p.per_copy_overhead_s);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests for the GPU simulator's core invariants.
+
+use gpu_sim::coalesce::{coalesce_half_warp, AccessWidth};
+use gpu_sim::ir::count::trip_count;
+use gpu_sim::ir::passes::{fold_addressing, licm, unroll_innermost};
+use gpu_sim::ir::regalloc::register_demand;
+use gpu_sim::ir::{AluOp, Kernel, KernelBuilder, MemSpace, Operand};
+use gpu_sim::mem::GlobalMemory;
+use gpu_sim::occupancy::occupancy;
+use gpu_sim::{DeviceConfig, DriverModel};
+use proptest::prelude::*;
+
+fn width_strategy() -> impl Strategy<Value = AccessWidth> {
+    prop_oneof![Just(AccessWidth::W4), Just(AccessWidth::W8), Just(AccessWidth::W16)]
+}
+
+/// Aligned address streams for a half-warp: per-lane slot indices in a
+/// window, scaled by the access width.
+fn addr_strategy() -> impl Strategy<Value = (Vec<Option<u64>>, AccessWidth)> {
+    (width_strategy(), proptest::collection::vec(proptest::option::of(0u64..256), 1..=16)).prop_map(
+        |(w, slots)| {
+            let addrs = slots.into_iter().map(|s| s.map(|s| s * w.bytes())).collect();
+            (addrs, w)
+        },
+    )
+}
+
+proptest! {
+    /// Every protocol's transactions cover every requested byte.
+    #[test]
+    fn coalescing_covers_all_requested_bytes((addrs, width) in addr_strategy(),
+                                             driver in prop_oneof![Just(DriverModel::Cuda10), Just(DriverModel::Cuda11), Just(DriverModel::Cuda22)]) {
+        let res = coalesce_half_warp(driver, &addrs, width);
+        for a in addrs.iter().flatten() {
+            for byte in *a..*a + width.bytes() {
+                prop_assert!(
+                    res.transactions.iter().any(|t| byte >= t.start && byte < t.start + t.bytes as u64),
+                    "byte {byte} of access at {a} not covered under {driver}"
+                );
+            }
+        }
+    }
+
+    /// Transactions are segment-aligned power-of-two sizes within limits.
+    #[test]
+    fn transactions_are_well_formed((addrs, width) in addr_strategy(),
+                                    driver in prop_oneof![Just(DriverModel::Cuda10), Just(DriverModel::Cuda11), Just(DriverModel::Cuda22)]) {
+        let res = coalesce_half_warp(driver, &addrs, width);
+        for t in &res.transactions {
+            prop_assert!(matches!(t.bytes, 32 | 64 | 128), "bad size {}", t.bytes);
+            prop_assert_eq!(t.start % t.bytes as u64, 0, "misaligned transaction");
+        }
+        // Never more transactions than active lanes — except the coalesced
+        // 128-bit fast path, which always issues its two 128-byte halves
+        // regardless of how many lanes are active.
+        let active = addrs.iter().flatten().count();
+        prop_assert!(res.transactions.len() <= active.max(1) + 1);
+    }
+
+    /// The segmented protocol never issues more transactions than the strict
+    /// one. (It MAY move more bytes: two scattered 8-byte accesses in one
+    /// 128-byte segment become one 128-byte transaction where CC 1.0 issued
+    /// two 32-byte ones — fewer commands, more bus traffic. That trade is
+    /// real hardware behaviour, so only the count is asserted.)
+    #[test]
+    fn cuda22_never_exceeds_cuda10_transactions((addrs, width) in addr_strategy()) {
+        let strict = coalesce_half_warp(DriverModel::Cuda10, &addrs, width);
+        let seg = coalesce_half_warp(DriverModel::Cuda22, &addrs, width);
+        prop_assert!(seg.count() <= strict.count());
+    }
+
+    /// Occupancy is monotone: more registers per thread never increases the
+    /// number of resident warps.
+    #[test]
+    fn occupancy_monotone_in_registers(block in prop_oneof![Just(64u32), Just(128), Just(192), Just(256)],
+                                       regs in 4u32..24) {
+        let dev = DeviceConfig::g8800gtx();
+        let a = occupancy(&dev, block, regs, block * 16);
+        let b = occupancy(&dev, block, regs + 1, block * 16);
+        prop_assert!(b.active_warps <= a.active_warps);
+        prop_assert!(a.active_warps <= a.max_warps);
+        prop_assert!(a.active_blocks >= 1);
+    }
+
+    /// Bottom-tested trip counts: at least 1, and consistent with the
+    /// mathematical ceiling for non-degenerate bounds.
+    #[test]
+    fn trip_count_properties(start in 0u32..1000, len in 0u32..1000, step in 1u32..64) {
+        let end = start + len;
+        let t = trip_count(start, end, step);
+        prop_assert!(t >= 1);
+        if len > 0 {
+            prop_assert_eq!(t, ((len + step - 1) / step) as u64);
+        }
+    }
+}
+
+/// A randomized reduction kernel: `out[tid] = Σ_{j<trips} data[tid*trips + j] · scale`.
+fn reduction_kernel(trips: u32) -> Kernel {
+    let mut b = KernelBuilder::new("prop_reduce");
+    let data = b.param();
+    let out = b.param();
+    let scale = b.param();
+    let tid = b.special(gpu_sim::ir::SpecialReg::TidX);
+    let s = b.mov(scale.into());
+    let acc = b.mov(Operand::ImmF(0.0));
+    let base = b.mad_u(tid.into(), Operand::ImmU(trips * 4), data.into());
+    b.for_loop(Operand::ImmU(0), Operand::ImmU(trips), 1, |b, j| {
+        let addr = b.mad_u(j.into(), Operand::ImmU(4), base.into());
+        let v = b.ld(MemSpace::Global, addr, 0, 1)[0];
+        let scaled = b.fmul(v.into(), s.into());
+        b.alu_into(acc, AluOp::FAdd, acc.into(), scaled.into());
+    });
+    let oaddr = b.mad_u(tid.into(), Operand::ImmU(4), out.into());
+    b.st(MemSpace::Global, oaddr, 0, vec![acc.into()]);
+    b.finish()
+}
+
+fn run_reduction(k: &Kernel, data: &[f32], threads: u32, scale: f32) -> Vec<f32> {
+    let mut gmem = GlobalMemory::new(4 << 20);
+    let d = gmem.alloc_f32(data);
+    let out = gmem.alloc(threads as u64 * 4);
+    gpu_sim::exec::functional::run_grid(
+        k,
+        1,
+        threads,
+        &[d.0 as u32, out.0 as u32, scale.to_bits()],
+        &mut gmem,
+    );
+    gmem.read_f32(out, threads as usize)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Semantics preservation: unrolling (any dividing factor), LICM and
+    /// address folding leave the kernel's results bit-identical on random
+    /// data.
+    #[test]
+    fn passes_preserve_semantics(data in proptest::collection::vec(-100.0f32..100.0, 64 * 8),
+                                 factor in prop_oneof![Just(1u32), Just(2), Just(4), Just(8)],
+                                 scale in -4.0f32..4.0) {
+        let trips = 8u32;
+        let threads = 64u32;
+        let k = reduction_kernel(trips);
+        let reference = run_reduction(&k, &data, threads, scale);
+
+        let folded = fold_addressing(&k);
+        prop_assert_eq!(&run_reduction(&folded, &data, threads, scale), &reference);
+
+        let hoisted = licm(&k);
+        prop_assert_eq!(&run_reduction(&hoisted, &data, threads, scale), &reference);
+
+        if factor > 1 {
+            let unrolled = unroll_innermost(&k, factor);
+            prop_assert_eq!(&run_reduction(&unrolled, &data, threads, scale), &reference);
+            let both = unroll_innermost(&licm(&k), factor);
+            prop_assert_eq!(&run_reduction(&both, &data, threads, scale), &reference);
+        }
+    }
+
+    /// Register demand never panics and full unroll never increases it, for
+    /// any trip count in range.
+    #[test]
+    fn unroll_register_effect_is_stable(trips in prop_oneof![Just(2u32), Just(4), Just(8), Just(16)]) {
+        let k = reduction_kernel(trips);
+        let rolled = register_demand(&k).max_live;
+        let unrolled = register_demand(&unroll_innermost(&k, trips)).max_live;
+        prop_assert!(unrolled <= rolled, "full unroll raised pressure {rolled} -> {unrolled}");
+    }
+}

@@ -1,0 +1,209 @@
+//! Force-calculation backends.
+//!
+//! The paper's Sec. I-C/I-D landscape, as selectable engines:
+//!
+//! * [`Backend::CpuSerial`] — the original O(n²) loop (the 87× baseline);
+//! * [`Backend::CpuParallel`] — the same, Rayon-parallel (a fair multi-core
+//!   comparator the paper didn't have);
+//! * [`Backend::BarnesHut`] — Gravit's O(n log n) tree code;
+//! * [`Backend::GpuSim`] — the tiled CUDA kernel at a chosen optimization
+//!   level, *functionally executed* on the simulated GPU. Physics results
+//!   are bit-identical to `CpuSerial`; wall-clock is that of the simulator,
+//!   so use [`modeled_frame_seconds`](Backend::modeled_frame_seconds) for
+//!   device-time questions (that is what Fig. 12 reports).
+
+use gpu_kernels::force::{build_force_kernel, force_params, OptLevel};
+use gpu_sim::exec::functional::run_grid;
+use gpu_sim::mem::GlobalMemory;
+use gpu_sim::DriverModel;
+use nbody::barnes_hut::accelerations_bh;
+use nbody::direct::{accelerations, accelerations_par};
+use nbody::model::{Bodies, ForceParams};
+use particle_layouts::device::{alloc_accel_out, download_accels};
+use particle_layouts::{DeviceImage, Particle};
+use simcore::Vec3;
+
+/// A force backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backend {
+    /// Serial O(n²) on the CPU.
+    CpuSerial,
+    /// Rayon-parallel O(n²) on the CPU.
+    CpuParallel,
+    /// Barnes–Hut tree code with opening angle θ.
+    BarnesHut {
+        /// Opening angle (0.3–1.0 typical; smaller = more accurate).
+        theta: f32,
+    },
+    /// The simulated-GPU tiled kernel at an optimization level.
+    GpuSim {
+        /// Optimization level (layout/unroll/ICM/block).
+        level: OptLevel,
+        /// Driver revision for the timing model.
+        driver: DriverModel,
+    },
+}
+
+impl Backend {
+    /// Short name for reports.
+    pub fn label(&self) -> String {
+        match self {
+            Backend::CpuSerial => "cpu-serial".into(),
+            Backend::CpuParallel => "cpu-parallel".into(),
+            Backend::BarnesHut { theta } => format!("barnes-hut(θ={theta})"),
+            Backend::GpuSim { level, .. } => format!("gpu-sim[{}]", level.label()),
+        }
+    }
+
+    /// Compute accelerations for the bodies.
+    pub fn accelerations(&self, bodies: &Bodies, fp: &ForceParams) -> Vec<Vec3> {
+        match self {
+            Backend::CpuSerial => accelerations(bodies, fp),
+            Backend::CpuParallel => accelerations_par(bodies, fp),
+            Backend::BarnesHut { theta } => accelerations_bh(bodies, fp, *theta),
+            Backend::GpuSim { level, .. } => gpu_accelerations(bodies, fp, *level),
+        }
+    }
+
+    /// The modeled wall-clock seconds one frame of this backend would take on
+    /// the 8800 GTX (GPU backends only; `None` otherwise). This is the
+    /// quantity Fig. 12 plots.
+    pub fn modeled_frame_seconds(&self, n: u32) -> Option<f64> {
+        match self {
+            Backend::GpuSim { level, driver } => {
+                Some(crate::model::model_frame(*level, n, *driver).total_s())
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Run the force kernel functionally on the simulated device.
+fn gpu_accelerations(bodies: &Bodies, fp: &ForceParams, level: OptLevel) -> Vec<Vec3> {
+    let cfg = level.config();
+    let kernel = build_force_kernel(cfg);
+    let particles: Vec<Particle> = (0..bodies.len())
+        .map(|i| Particle {
+            pos: bodies.pos[i],
+            vel: bodies.vel[i],
+            // The kernels consume G-premultiplied masses (see gpu-kernels).
+            mass: fp.g * bodies.mass[i],
+        })
+        .collect();
+    // Memory budget: layout buffers + float4 output, with headroom.
+    let padded = (bodies.len() as u32).div_ceil(cfg.block) * cfg.block;
+    let bytes = (padded as u64 * 64 + (1 << 20)).next_power_of_two();
+    let mut gmem = GlobalMemory::new(bytes);
+    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
+    let out = alloc_accel_out(&mut gmem, img.padded_n);
+    let params = force_params(&img, out, fp.softening);
+    let grid = img.padded_n / cfg.block;
+    run_grid(&kernel, grid, cfg.block, &params, &mut gmem);
+    download_accels(&gmem, out, img.n)
+}
+
+
+/// Run `steps` device-resident Euler steps: upload once, alternate the force
+/// and integration kernels on the simulated device, download once — the full
+/// port shape of the paper's Gravit (state stays on the GPU across a frame).
+///
+/// Bit-identical to `steps` iterations of `accelerations` + host
+/// `step_euler` (the integration kernel mirrors the host operation order).
+pub fn run_device_resident(
+    bodies: &Bodies,
+    fp: &ForceParams,
+    dt: f32,
+    steps: u32,
+    level: OptLevel,
+) -> Bodies {
+    use gpu_kernels::integrate::{build_integrate_kernel, integrate_params};
+    let cfg = level.config();
+    let force_k = build_force_kernel(cfg);
+    let integ_k = build_integrate_kernel(cfg.layout);
+    let particles: Vec<Particle> = (0..bodies.len())
+        .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: fp.g * bodies.mass[i] })
+        .collect();
+    let padded = (bodies.len() as u32).div_ceil(cfg.block) * cfg.block;
+    let bytes = (padded as u64 * 80 + (1 << 20)).next_power_of_two();
+    let mut gmem = GlobalMemory::new(bytes);
+    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
+    let acc = alloc_accel_out(&mut gmem, img.padded_n);
+    let grid = img.padded_n / cfg.block;
+    let fparams = force_params(&img, acc, fp.softening);
+    let iparams = integrate_params(&img, acc, dt);
+    for _ in 0..steps {
+        run_grid(&force_k, grid, cfg.block, &fparams, &mut gmem);
+        run_grid(&integ_k, grid, cfg.block, &iparams, &mut gmem);
+    }
+    let out = img.read_all(&gmem);
+    let mut result = Bodies::with_capacity(bodies.len());
+    for (i, p) in out.into_iter().enumerate() {
+        // Masses were pre-scaled by G for the kernels; restore the originals
+        // (they are unchanged on device, so this avoids a divide round trip).
+        result.push(p.pos, p.vel, bodies.mass[i]);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody::spawn;
+
+    #[test]
+    fn all_backends_agree_on_physics() {
+        let bodies = spawn::uniform_ball(300, 5.0, 2.0, 11);
+        let fp = ForceParams::default();
+        let reference = Backend::CpuSerial.accelerations(&bodies, &fp);
+        // Parallel and GPU are bit-identical.
+        let par = Backend::CpuParallel.accelerations(&bodies, &fp);
+        assert_eq!(reference, par);
+        let gpu = Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 }
+            .accelerations(&bodies, &fp);
+        assert_eq!(reference, gpu, "GPU functional execution must match CPU bitwise");
+        // Barnes-Hut is approximate.
+        let bh = Backend::BarnesHut { theta: 0.4 }.accelerations(&bodies, &fp);
+        for i in 0..bodies.len() {
+            let err = (bh[i] - reference[i]).norm() / reference[i].norm().max(1e-9);
+            assert!(err < 0.05, "body {i} err {err}");
+        }
+    }
+
+    #[test]
+    fn only_gpu_backends_have_a_frame_model() {
+        assert!(Backend::CpuSerial.modeled_frame_seconds(1000).is_none());
+        let t = Backend::GpuSim { level: OptLevel::SoAoaS, driver: DriverModel::Cuda10 }
+            .modeled_frame_seconds(40_000)
+            .unwrap();
+        assert!(t > 0.0 && t < 10.0, "modeled frame {t}s out of plausible range");
+    }
+
+
+    #[test]
+    fn device_resident_loop_matches_host_euler_bitwise() {
+        use nbody::integrator::step_euler;
+        let fp = ForceParams { g: 1.0, softening: 0.05 };
+        let dt = 0.01f32;
+        let steps = 4u32;
+        let bodies0 = spawn::disk_galaxy(200, 4.0, 1.0, fp.g, 21);
+
+        // Host loop: acc at current positions, then Euler, repeated.
+        let mut host = bodies0.clone();
+        for _ in 0..steps {
+            let acc = Backend::CpuSerial.accelerations(&host, &fp);
+            step_euler(&mut host, &acc, dt, None);
+        }
+
+        let dev = run_device_resident(&bodies0, &fp, dt, steps, OptLevel::Full);
+        assert_eq!(host, dev, "device-resident trajectory must match the host");
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(Backend::CpuSerial.label(), "cpu-serial");
+        assert!(Backend::BarnesHut { theta: 0.5 }.label().contains("0.5"));
+        assert!(Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 }
+            .label()
+            .contains("SoAoaS"));
+    }
+}

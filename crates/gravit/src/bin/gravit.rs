@@ -1,0 +1,176 @@
+//! The `gravit` CLI: a Gravit-like gravity simulator over the reproduction's
+//! backends.
+//!
+//! ```text
+//! gravit run    [--n N] [--steps S] [--backend cpu|par|bh|gpu] [--spawn ball|disk|collision|plummer]
+//!               [--dt DT] [--record FILE] [--seed SEED]
+//! gravit ladder                 # the paper's optimization ladder (Fig. 12 levels)
+//! gravit model  [--n N]         # modeled GPU frame times at size N
+//! gravit help
+//! ```
+
+use gpu_kernels::force::OptLevel;
+use gpu_sim::{DeviceConfig, DriverModel};
+use gravit_app::backend::Backend;
+use gravit_app::config::{SimConfig, SpawnKind};
+use gravit_app::recorder::Recording;
+use gravit_app::sim::Simulation;
+use simcore::format_duration_s;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("ladder") => cmd_ladder(),
+        Some("model") => cmd_model(&args[1..]),
+        Some("render") => cmd_render(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
+        _ => print_help(),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn cmd_run(args: &[String]) {
+    let n: usize = flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(2048);
+    let steps: u64 = flag(args, "--steps").and_then(|v| v.parse().ok()).unwrap_or(50);
+    let dt: f32 = flag(args, "--dt").and_then(|v| v.parse().ok()).unwrap_or(0.005);
+    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let backend = match flag(args, "--backend").as_deref() {
+        Some("cpu") => Backend::CpuSerial,
+        Some("bh") => Backend::BarnesHut { theta: 0.6 },
+        Some("gpu") => Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 },
+        _ => Backend::CpuParallel,
+    };
+    let spawn = match flag(args, "--spawn").as_deref() {
+        Some("ball") => SpawnKind::UniformBall { radius: 5.0 },
+        Some("plummer") => SpawnKind::Plummer { a: 1.0 },
+        Some("collision") => SpawnKind::Collision { separation: 20.0, approach_speed: 0.4 },
+        _ => SpawnKind::DiskGalaxy { radius: 5.0 },
+    };
+    let cfg = SimConfig { n, spawn, seed, dt, backend, ..SimConfig::default() };
+    println!("gravit: n={n}, steps={steps}, dt={dt}, backend={}", backend.label());
+
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(cfg);
+    let mut recording = flag(args, "--record").map(|_| Recording::new(n, (n / 512).max(1)));
+    if let Some(rec) = recording.as_mut() {
+        rec.capture(&sim);
+    }
+    for s in 1..=steps {
+        sim.step();
+        if let Some(rec) = recording.as_mut() {
+            if s % 5 == 0 {
+                rec.capture(&sim);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "done: t={:.3}, wall={}, {:.1} steps/s, energy drift {:.3e}, |momentum| {:.3e}",
+        sim.time,
+        format_duration_s(wall),
+        steps as f64 / wall,
+        sim.energy_drift(),
+        sim.momentum_magnitude()
+    );
+    if let (Some(rec), Some(path)) = (recording, flag(args, "--record")) {
+        rec.write(&path).expect("write recording");
+        println!("recording written to {path} ({} frames)", rec_len(&path));
+    }
+}
+
+fn rec_len(path: &str) -> usize {
+    std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| Recording::from_json(&s).ok())
+        .map(|r| r.frames.len())
+        .unwrap_or(0)
+}
+
+fn cmd_ladder() {
+    let dev = DeviceConfig::g8800gtx();
+    println!("Optimization ladder on {} (CUDA 1.0 model):\n", dev.name);
+    println!(
+        "{:<32} {:>10} {:>12} {:>6} {:>10}",
+        "level", "tile-fetch", "instrs/elem", "regs", "occupancy"
+    );
+    for step in gravit_core::pipeline::optimization_ladder(&dev, DriverModel::Cuda10) {
+        println!(
+            "{:<32} {:>10} {:>12.2} {:>6} {:>9.0}%",
+            step.level.label(),
+            step.tile_fetch_transactions,
+            step.instrs_per_element,
+            step.regs,
+            step.occupancy.percent()
+        );
+    }
+}
+
+fn cmd_model(args: &[String]) {
+    let n: u32 = flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    println!("Modeled 8800 GTX frame times at N = {n} (CUDA 1.0):\n");
+    let base = gravit_app::model::model_frame(OptLevel::Baseline, n, DriverModel::Cuda10).total_s();
+    for level in OptLevel::ALL {
+        let p = gravit_app::model::model_frame(level, n, DriverModel::Cuda10);
+        println!(
+            "{:<32} {:>10}  (kernel {:>10}, transfers {:>9})  {:>5.2}x",
+            level.label(),
+            format_duration_s(p.total_s()),
+            format_duration_s(p.kernel_s),
+            format_duration_s(p.upload_s + p.download_s),
+            base / p.total_s()
+        );
+    }
+}
+
+fn cmd_report(args: &[String]) {
+    use gravit_core::layout_advisor::StructSchema;
+    let dev = DeviceConfig::g8800gtx();
+    let report = gravit_core::build_report(&dev, DriverModel::Cuda10, &StructSchema::gravit_particle());
+    let json = report.to_json();
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &json).expect("write report");
+            println!("optimization report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_render(args: &[String]) {
+    let Some(input) = flag(args, "--input") else {
+        eprintln!("render: --input FILE.json required (produced by `gravit run --record`)");
+        std::process::exit(2);
+    };
+    let out = flag(args, "--out").unwrap_or_else(|| "frames".into());
+    let size: usize = flag(args, "--size").and_then(|v| v.parse().ok()).unwrap_or(256);
+    let rec = Recording::from_json(&std::fs::read_to_string(&input).expect("read recording"))
+        .expect("parse recording");
+    let n = gravit_app::render::render_recording(&rec, &out, size).expect("render");
+    println!("rendered {n} frames to {out}/frame_NNNN.pgm");
+    if let Some(last) = rec.frames.last() {
+        let bounds = gravit_app::render::auto_bounds(&rec);
+        let img = gravit_app::render::render_frame(last, size, size, bounds);
+        println!("last frame preview:\n{}", img.ascii_preview(64));
+    }
+}
+
+fn print_help() {
+    println!(
+        "gravit — a Gravit-like gravity simulator (ICPP'09 CUDA-optimizations reproduction)
+
+USAGE:
+  gravit run    [--n N] [--steps S] [--backend cpu|par|bh|gpu]
+                [--spawn ball|disk|collision|plummer] [--dt DT]
+                [--seed SEED] [--record FILE]
+  gravit ladder             print the paper's optimization ladder
+  gravit model  [--n N]     modeled GPU frame times at size N
+  gravit render --input REC.json [--out DIR] [--size PX]
+  gravit report [--out FILE]    full optimization report as JSON
+  gravit help"
+    );
+}

@@ -1,0 +1,132 @@
+//! Simulation configuration.
+
+use crate::backend::Backend;
+use nbody::model::{Bodies, ForceParams};
+use nbody::spawn;
+use serde::{Deserialize, Serialize};
+
+/// Initial-condition generators (Gravit's spawn scripts).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SpawnKind {
+    /// Uniform ball of the given radius.
+    UniformBall {
+        /// Ball radius.
+        radius: f32,
+    },
+    /// Plummer-like sphere with scale length `a`.
+    Plummer {
+        /// Scale length.
+        a: f32,
+    },
+    /// Rotating disk galaxy of the given radius.
+    DiskGalaxy {
+        /// Disk radius.
+        radius: f32,
+    },
+    /// Two colliding disk galaxies.
+    Collision {
+        /// Initial separation.
+        separation: f32,
+        /// Approach speed of the second galaxy.
+        approach_speed: f32,
+    },
+}
+
+impl SpawnKind {
+    /// Generate `n` bodies deterministically from `seed`.
+    pub fn generate(self, n: usize, g: f32, seed: u64) -> Bodies {
+        match self {
+            SpawnKind::UniformBall { radius } => spawn::uniform_ball(n, radius, 1.0, seed),
+            SpawnKind::Plummer { a } => spawn::plummer(n, a, 1.0, seed),
+            SpawnKind::DiskGalaxy { radius } => spawn::disk_galaxy(n, radius, 1.0, g, seed),
+            SpawnKind::Collision { separation, approach_speed } => {
+                spawn::colliding_galaxies(n / 2, separation, approach_speed, seed)
+            }
+        }
+    }
+}
+
+/// Time integrator choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Integrator {
+    /// Semi-implicit Euler (Gravit's simple update).
+    Euler,
+    /// Leapfrog kick-drift-kick.
+    Leapfrog,
+}
+
+/// Full simulation configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of bodies.
+    pub n: usize,
+    /// Workload generator.
+    pub spawn: SpawnKind,
+    /// RNG seed for the workload.
+    pub seed: u64,
+    /// Time step.
+    pub dt: f32,
+    /// Force-law parameters.
+    pub force: ForceParams,
+    /// Integrator.
+    pub integrator: Integrator,
+    /// Force backend.
+    pub backend: Backend,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n: 2048,
+            spawn: SpawnKind::DiskGalaxy { radius: 5.0 },
+            seed: 42,
+            dt: 0.005,
+            force: ForceParams::default(),
+            integrator: Integrator::Leapfrog,
+            backend: Backend::CpuParallel,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validate the configuration, panicking on nonsense.
+    pub fn validate(&self) {
+        assert!(self.n >= 2, "need at least two bodies");
+        assert!(self.dt > 0.0 && self.dt.is_finite(), "bad time step");
+        assert!(self.force.softening >= 0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        SimConfig::default().validate();
+    }
+
+    #[test]
+    fn spawners_generate_requested_counts() {
+        for kind in [
+            SpawnKind::UniformBall { radius: 3.0 },
+            SpawnKind::Plummer { a: 1.0 },
+            SpawnKind::DiskGalaxy { radius: 4.0 },
+        ] {
+            let b = kind.generate(500, 1.0, 7);
+            assert_eq!(b.len(), 500, "{kind:?}");
+            b.validate();
+        }
+        // Collision spawns n/2 per galaxy.
+        let b = SpawnKind::Collision { separation: 20.0, approach_speed: 0.5 }.generate(600, 1.0, 7);
+        assert_eq!(b.len(), 600);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dt_rejected() {
+        let mut c = SimConfig::default();
+        c.dt = 0.0;
+        c.validate();
+    }
+}

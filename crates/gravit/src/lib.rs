@@ -1,0 +1,32 @@
+//! # gravit-app — a Gravit-like gravity simulator
+//!
+//! The application layer of the reproduction: the paper accelerates Gravit, a
+//! Newtonian gravity simulator, so the repository ships one. It wires the
+//! [`nbody`] physics and the simulated-GPU backends from [`gravit_core`] into
+//! a configurable simulation loop with recording and diagnostics:
+//!
+//! * [`config`] — simulation configuration (workload, force law, integrator,
+//!   backend);
+//! * [`backend`] — force-calculation backends: serial CPU (the paper's 87×
+//!   baseline), Rayon-parallel CPU, Barnes–Hut (Gravit's tree code), and the
+//!   simulated-GPU kernel at any optimization level;
+//! * [`model`] — the device frame-time model (Fig. 12's quantity);
+//! * [`sim`] — the time-stepping loop with energy/momentum diagnostics;
+//! * [`recorder`] — JSON frame recording;
+//! * [`render`] — PGM/ASCII rendering of recordings (Gravit's visual side).
+//!
+//! The `gravit` binary exposes `run`, `ladder` and `model` subcommands; see
+//! `gravit help`.
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod config;
+pub mod model;
+pub mod recorder;
+pub mod render;
+pub mod sim;
+
+pub use backend::Backend;
+pub use config::{Integrator, SimConfig, SpawnKind};
+pub use sim::Simulation;

@@ -1,0 +1,157 @@
+//! The device frame-time model (the quantity Figure 12 plots).
+//!
+//! One Gravit GPU frame is: upload the particle buffers, run the tiled force
+//! kernel over the whole grid, download the accelerations. Kernel time comes
+//! from cycle-level simulation of one SM's resident wave at two reduced tile
+//! counts, linearly extrapolated to the real particle count and scaled by the
+//! wave count (see DESIGN.md §6 for why ratios survive this extrapolation).
+
+use gpu_kernels::force::{build_force_kernel, force_params, ForceKernelConfig, OptLevel};
+use gpu_sim::exec::launch::extrapolate_linear;
+use gpu_sim::exec::timed::time_resident;
+use gpu_sim::ir::regalloc::register_demand;
+use gpu_sim::mem::GlobalMemory;
+use gpu_sim::occupancy::{occupancy, Occupancy};
+use gpu_sim::transfer::PcieModel;
+use gpu_sim::{DeviceConfig, DriverModel, TimingParams};
+use particle_layouts::device::alloc_accel_out;
+use particle_layouts::{DeviceImage, Particle};
+use simcore::Vec3;
+
+/// One modeled Gravit frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FramePoint {
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Real particle count.
+    pub n: u32,
+    /// Host→device copy seconds.
+    pub upload_s: f64,
+    /// Kernel seconds (modeled).
+    pub kernel_s: f64,
+    /// Device→host copy seconds.
+    pub download_s: f64,
+    /// Registers per thread (from the allocator).
+    pub regs: u32,
+    /// Occupancy of the launch.
+    pub occupancy: Occupancy,
+}
+
+impl FramePoint {
+    /// End-to-end frame seconds (the Fig. 12 metric).
+    pub fn total_s(&self) -> f64 {
+        self.upload_s + self.kernel_s + self.download_s
+    }
+}
+
+/// Tile counts (as multiples of the block) used for the steady-state fit.
+const FIT_TILES: [u32; 2] = [4, 8];
+
+/// Frame decomposition for an arbitrary kernel configuration (no named
+/// optimization level) — used by the block-size ablation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigFrame {
+    /// Host→device copy seconds.
+    pub upload_s: f64,
+    /// Kernel seconds (modeled).
+    pub kernel_s: f64,
+    /// Device→host copy seconds.
+    pub download_s: f64,
+    /// Occupancy of the launch.
+    pub occupancy: Occupancy,
+}
+
+/// Model one Gravit frame at optimization level `level` and size `n`, under
+/// the given driver revision.
+pub fn model_frame(level: OptLevel, n: u32, driver: DriverModel) -> FramePoint {
+    let (f, regs) = model_frame_config(level.config(), n, driver);
+    FramePoint {
+        level,
+        n,
+        upload_s: f.upload_s,
+        kernel_s: f.kernel_s,
+        download_s: f.download_s,
+        regs: regs as u32,
+        occupancy: f.occupancy,
+    }
+}
+
+/// Model one Gravit frame for an arbitrary force-kernel configuration.
+/// Returns the decomposition and the registers per thread.
+pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -> (ConfigFrame, u16) {
+    let dev = DeviceConfig::g8800gtx();
+    let tp = TimingParams::for_driver(driver);
+    let pcie = PcieModel::pcie1_x16();
+    let kernel = build_force_kernel(cfg);
+    let regs = register_demand(&kernel).regs_per_thread as u32;
+    let occ = occupancy(&dev, cfg.block, regs, kernel.smem_bytes);
+
+    let padded = n.div_ceil(cfg.block) * cfg.block;
+
+    // Kernel time: simulate the resident wave at two small tile counts and
+    // extrapolate per-wave cycles to the real tile count.
+    let resident: Vec<u32> = (0..occ.active_blocks).collect();
+    let mut measured = Vec::new();
+    for tiles in FIT_TILES {
+        let small_n = tiles * cfg.block;
+        let particles: Vec<Particle> = (0..small_n)
+            .map(|i| Particle { pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0), vel: Vec3::ZERO, mass: 1.0 })
+            .collect();
+        let mut gmem = GlobalMemory::new(64 << 20);
+        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
+        let out = alloc_accel_out(&mut gmem, img.padded_n);
+        let params = force_params(&img, out, 0.05);
+        let run = time_resident(
+            &kernel,
+            &resident,
+            cfg.block,
+            resident.len() as u32,
+            &params,
+            &mut gmem,
+            &dev,
+            driver,
+            &tp,
+        );
+        measured.push((small_n as u64, run.cycles));
+    }
+    let wave_cycles = extrapolate_linear(&measured, padded as u64);
+
+    let blocks = (padded / cfg.block) as u64;
+    let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
+    let kernel_s = (wave_cycles * waves) as f64 / dev.clock_hz;
+
+    let buffer_sizes: Vec<u64> =
+        cfg.layout.buffers().iter().map(|b| b.stride() * padded as u64).collect();
+    (
+        ConfigFrame {
+            upload_s: pcie.copies_time_s(&buffer_sizes),
+            kernel_s,
+            download_s: pcie.copy_time_s(16 * padded as u64),
+            occupancy: occ,
+        },
+        regs as u16,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unroll_step_gives_paper_scale_speedup() {
+        let n = 200_000;
+        let rolled = model_frame(OptLevel::SoAoaS, n, DriverModel::Cuda10).total_s();
+        let unrolled = model_frame(OptLevel::SoAoaSUnrolled, n, DriverModel::Cuda10).total_s();
+        let s = rolled / unrolled;
+        assert!((1.1..1.3).contains(&s), "unroll speedup {s:.3} outside the paper's ~1.18 band");
+    }
+
+    #[test]
+    fn full_ladder_lands_near_one_point_27() {
+        let n = 400_000;
+        let base = model_frame(OptLevel::Baseline, n, DriverModel::Cuda10).total_s();
+        let full = model_frame(OptLevel::Full, n, DriverModel::Cuda10).total_s();
+        let s = base / full;
+        assert!((1.15..1.40).contains(&s), "total speedup {s:.3} outside the paper's 1.27 band");
+    }
+}

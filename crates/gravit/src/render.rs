@@ -1,0 +1,201 @@
+//! Rendering recordings to images — Gravit is a *visual* simulator ("it also
+//! creates beautiful looking gravity patterns"), so the reproduction can show
+//! its work: each recorded frame projects onto the XY plane as a density
+//! splat and is written as a binary PGM (portable graymap) image, plus an
+//! ASCII preview for terminals.
+
+use crate::recorder::{Frame, Recording};
+use std::io;
+use std::path::Path;
+
+/// A grayscale image buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major pixels, 0–255.
+    pub pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Pixel accessor (row-major).
+    pub fn at(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Serialize as binary PGM (P5).
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let mut out = format!("P5\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.extend_from_slice(&self.pixels);
+        out
+    }
+
+    /// Write as a `.pgm` file.
+    pub fn write_pgm(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_pgm())
+    }
+
+    /// A coarse ASCII preview (for terminals): `cols` characters wide.
+    pub fn ascii_preview(&self, cols: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let cols = cols.clamp(8, self.width);
+        let rows = (cols * self.height / self.width / 2).max(4);
+        let mut out = String::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                // Max over the source region: sparse splats stay visible
+                // (averaging would wash single particles out).
+                let x0 = c * self.width / cols;
+                let x1 = ((c + 1) * self.width / cols).max(x0 + 1);
+                let y0 = r * self.height / rows;
+                let y1 = ((r + 1) * self.height / rows).max(y0 + 1);
+                let mut peak = 0u8;
+                for y in y0..y1 {
+                    for x in x0..x1 {
+                        peak = peak.max(self.at(x, y));
+                    }
+                }
+                let idx = (peak as usize * (RAMP.len() - 1)) / 255;
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Render one frame as a density splat over the XY plane.
+///
+/// `bounds` is the half-extent of the viewport (world units); positions
+/// outside are clipped. Each particle deposits intensity into its pixel;
+/// the result is tone-mapped with a sqrt curve so dense cores do not clip
+/// everything else to white.
+pub fn render_frame(frame: &Frame, width: usize, height: usize, bounds: f32) -> GrayImage {
+    assert!(width >= 8 && height >= 8, "image too small");
+    assert!(bounds > 0.0);
+    let mut counts = vec![0u32; width * height];
+    for p in &frame.positions {
+        let nx = (p[0] / bounds + 1.0) * 0.5;
+        let ny = (p[1] / bounds + 1.0) * 0.5;
+        if !(0.0..1.0).contains(&nx) || !(0.0..1.0).contains(&ny) {
+            continue;
+        }
+        let x = (nx * (width - 1) as f32) as usize;
+        let y = ((1.0 - ny) * (height - 1) as f32) as usize;
+        counts[y * width + x] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1) as f32;
+    let pixels = counts
+        .into_iter()
+        .map(|c| ((c as f32 / max).sqrt() * 255.0).round() as u8)
+        .collect();
+    GrayImage { width, height, pixels }
+}
+
+/// Auto-fit bounds: the largest |x|,|y| across all frames, padded 10 %.
+pub fn auto_bounds(rec: &Recording) -> f32 {
+    let mut m = 0.0f32;
+    for f in &rec.frames {
+        for p in &f.positions {
+            m = m.max(p[0].abs()).max(p[1].abs());
+        }
+    }
+    (m * 1.1).max(1e-3)
+}
+
+/// Render every frame of a recording into `dir/frame_NNNN.pgm`; returns the
+/// number of images written.
+pub fn render_recording(rec: &Recording, dir: impl AsRef<Path>, size: usize) -> io::Result<usize> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let bounds = auto_bounds(rec);
+    for (i, f) in rec.frames.iter().enumerate() {
+        render_frame(f, size, size, bounds).write_pgm(dir.join(format!("frame_{i:04}.pgm")))?;
+    }
+    Ok(rec.frames.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_with(positions: Vec<[f32; 3]>) -> Frame {
+        Frame { time: 0.0, step: 0, positions, energy_drift: 0.0 }
+    }
+
+    #[test]
+    fn single_particle_lights_its_pixel() {
+        let f = frame_with(vec![[0.0, 0.0, 0.0]]);
+        let img = render_frame(&f, 64, 64, 1.0);
+        // Center pixel bright, corners dark.
+        let cx = (0.5 * 63.0) as usize;
+        assert_eq!(img.at(cx, cx), 255);
+        assert_eq!(img.at(0, 0), 0);
+        assert_eq!(img.at(63, 63), 0);
+    }
+
+    #[test]
+    fn out_of_bounds_particles_are_clipped() {
+        let f = frame_with(vec![[100.0, 0.0, 0.0], [0.0, -100.0, 0.0]]);
+        let img = render_frame(&f, 32, 32, 1.0);
+        assert!(img.pixels.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn y_axis_points_up() {
+        // A particle at +y should land in the top half of the image.
+        let f = frame_with(vec![[0.0, 0.9, 0.0]]);
+        let img = render_frame(&f, 32, 32, 1.0);
+        let bright_y = (0..32)
+            .flat_map(|y| (0..32).map(move |x| (x, y)))
+            .find(|&(x, y)| img.at(x, y) > 0)
+            .map(|(_, y)| y)
+            .unwrap();
+        assert!(bright_y < 8, "bright pixel at row {bright_y}, expected near the top");
+    }
+
+    #[test]
+    fn pgm_header_is_wellformed() {
+        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 16, 8, 1.0);
+        let pgm = img.to_pgm();
+        assert!(pgm.starts_with(b"P5\n16 8\n255\n"));
+        assert_eq!(pgm.len(), "P5\n16 8\n255\n".len() + 16 * 8);
+    }
+
+    #[test]
+    fn ascii_preview_has_requested_shape() {
+        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 64, 64, 1.0);
+        let a = img.ascii_preview(32);
+        let lines: Vec<&str> = a.lines().collect();
+        assert!(lines.iter().all(|l| l.chars().count() == 32));
+        assert!(lines.len() >= 4);
+        assert!(a.contains('@') || a.contains('%'), "the splat should be visible");
+    }
+
+    #[test]
+    fn auto_bounds_covers_everything() {
+        let mut rec = Recording::new(2, 1);
+        rec.frames.push(frame_with(vec![[3.0, -7.0, 0.0], [1.0, 2.0, 0.0]]));
+        let b = auto_bounds(&rec);
+        assert!((b - 7.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn render_recording_writes_files() {
+        let mut rec = Recording::new(1, 1);
+        rec.frames.push(frame_with(vec![[0.0, 0.0, 0.0]]));
+        rec.frames.push(frame_with(vec![[0.5, 0.5, 0.0]]));
+        let dir = std::env::temp_dir().join(format!("gravit_render_test_{}", std::process::id()));
+        let n = render_recording(&rec, &dir, 32).unwrap();
+        assert_eq!(n, 2);
+        assert!(dir.join("frame_0000.pgm").exists());
+        assert!(dir.join("frame_0001.pgm").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `gravit` binary (the path a user actually takes).
+
+use std::process::Command;
+
+fn gravit() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_gravit"))
+}
+
+#[test]
+fn help_lists_all_subcommands() {
+    let out = gravit().output().expect("run gravit");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for cmd in ["run", "ladder", "model", "render"] {
+        assert!(text.contains(cmd), "help missing `{cmd}`");
+    }
+}
+
+#[test]
+fn ladder_prints_the_register_story() {
+    let out = gravit().arg("ladder").output().expect("run gravit ladder");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("SoAoaS+unroll"));
+    assert!(text.contains("67%"));
+    assert!(text.contains("50%"));
+}
+
+#[test]
+fn run_record_render_pipeline() {
+    let dir = std::env::temp_dir().join(format!("gravit_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rec = dir.join("rec.json");
+
+    let out = gravit()
+        .args(["run", "--n", "512", "--steps", "10", "--spawn", "disk", "--record"])
+        .arg(&rec)
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("energy drift"), "missing diagnostics: {text}");
+    assert!(rec.exists());
+
+    let frames = dir.join("frames");
+    let out = gravit()
+        .args(["render", "--input"])
+        .arg(&rec)
+        .args(["--size", "64", "--out"])
+        .arg(&frames)
+        .output()
+        .expect("render");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(frames.join("frame_0000.pgm").exists());
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gpu_backend_runs_from_the_cli() {
+    let out = gravit()
+        .args(["run", "--n", "256", "--steps", "3", "--backend", "gpu"])
+        .output()
+        .expect("run gpu");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("gpu-sim"), "backend label missing: {text}");
+}
+
+#[test]
+fn render_without_input_fails_cleanly() {
+    let out = gravit().arg("render").output().expect("run render");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--input"));
+}
+
+#[test]
+fn report_emits_valid_json() {
+    let out = gravit().arg("report").output().expect("run report");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid JSON report");
+    assert_eq!(v["recommended_unroll"], 128);
+    assert_eq!(v["ladder"].as_array().unwrap().len(), 6);
+}

@@ -1,0 +1,133 @@
+//! Shared-memory bank-conflict microbenchmark.
+//!
+//! Sec. I-A of the paper introduces the bank-conflict rule ("when the same
+//! shared memory banks are accessed by multiple threads at the same time …
+//! the reads to the same memory bank will be serialized"); the force kernel
+//! then deliberately reads the *same* word from all lanes (a broadcast,
+//! conflict-free). This kernel makes the rule measurable: each thread reads
+//! `smem[(tid · stride) mod words]` repeatedly, so the stride dials the
+//! conflict degree on the 16-bank CC-1.x layout:
+//!
+//! | word stride | degree |
+//! |---|---|
+//! | 1 | 1 (conflict-free) |
+//! | 2 | 2 |
+//! | 4 | 4 |
+//! | 8 | 8 |
+//! | 16 | 16 (fully serialized) |
+//! | odd (3, 5, …) | 1 (gcd with 16 is 1) |
+
+use gpu_sim::ir::{AluOp, Kernel, KernelBuilder, MemSpace, Operand, SpecialReg};
+
+/// Words of shared memory the benchmark cycles through (a multiple of every
+/// interesting stride × 16 lanes).
+pub const SMEM_WORDS: u32 = 1024;
+
+/// Build the bank benchmark: `iters` strided shared-memory reads per thread,
+/// clock()-timed, summed into a global output to keep them alive.
+///
+/// Parameters: `out_delta`, `out_sum`.
+pub fn build_bank_kernel(stride_words: u32, iters: u32) -> Kernel {
+    assert!(stride_words > 0 && iters > 0);
+    let mut b = KernelBuilder::new(format!("banks_s{stride_words}"));
+    b.shared_mem(SMEM_WORDS * 4);
+    let out_delta = b.param();
+    let out_sum = b.param();
+
+    let tid = b.special(SpecialReg::TidX);
+    // Seed shared memory (each thread writes its own word, conflict-free).
+    let seed_addr = b.imul(tid.into(), Operand::ImmU(4));
+    let tf = b.reg();
+    b.emit(gpu_sim::ir::Instr::Unary { op: gpu_sim::ir::UnaryOp::U2F, dst: tf, a: tid.into() });
+    b.st(MemSpace::Shared, seed_addr, 0, vec![tf.into()]);
+    b.sync();
+
+    // The strided access address: (tid * stride mod SMEM_WORDS) * 4. The
+    // modulo is a power-of-two mask.
+    let scaled = b.imul(tid.into(), Operand::ImmU(stride_words));
+    let masked = b.alu(AluOp::IAnd, scaled.into(), Operand::ImmU(SMEM_WORDS - 1));
+    let addr = b.imul(masked.into(), Operand::ImmU(4));
+
+    let acc = b.mov(Operand::ImmF(0.0));
+    let t0 = b.clock();
+    b.for_loop(Operand::ImmU(0), Operand::ImmU(iters), 1, |b, _it| {
+        let v = b.ld(MemSpace::Shared, addr, 0, 1)[0];
+        b.alu_into(acc, AluOp::FAdd, acc.into(), v.into());
+    });
+    let t1 = b.clock();
+
+    let dt = b.alu(AluOp::ISub, t1.into(), t0.into());
+    let da = b.mad_u(tid.into(), Operand::ImmU(4), out_delta.into());
+    b.st(MemSpace::Global, da, 0, vec![dt.into()]);
+    let sa = b.mad_u(tid.into(), Operand::ImmU(4), out_sum.into());
+    b.st(MemSpace::Global, sa, 0, vec![acc.into()]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::banks::conflict_degree;
+    use gpu_sim::exec::functional::run_grid;
+    use gpu_sim::exec::timed::time_resident;
+    use gpu_sim::mem::GlobalMemory;
+    use gpu_sim::{DeviceConfig, DriverModel, TimingParams};
+
+    fn timed_cycles(stride: u32) -> u64 {
+        let dev = DeviceConfig::g8800gtx();
+        let tp = TimingParams::for_driver(DriverModel::Cuda10);
+        let k = build_bank_kernel(stride, 32);
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let d = gmem.alloc(128 * 4);
+        let s = gmem.alloc(128 * 4);
+        let run =
+            time_resident(&k, &[0], 128, 1, &[d.0 as u32, s.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        run.cycles
+    }
+
+    #[test]
+    fn conflict_degree_drives_the_measured_cycles() {
+        let free = timed_cycles(1);
+        let four_way = timed_cycles(4);
+        let full = timed_cycles(16);
+        assert!(four_way > free, "4-way conflicts must cost more: {four_way} vs {free}");
+        assert!(full > four_way, "16-way must cost more than 4-way: {full} vs {four_way}");
+        // Odd strides are conflict-free regardless of magnitude.
+        let odd = timed_cycles(5);
+        assert!(
+            (odd as f64) < 1.2 * free as f64,
+            "odd stride should be near conflict-free: {odd} vs {free}"
+        );
+    }
+
+    #[test]
+    fn functional_sums_match_the_address_pattern() {
+        let stride = 4u32;
+        let iters = 8u32;
+        let k = build_bank_kernel(stride, iters);
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let d = gmem.alloc(64 * 4);
+        let s = gmem.alloc(64 * 4);
+        run_grid(&k, 1, 64, &[d.0 as u32, s.0 as u32], &mut gmem);
+        let sums = gmem.read_f32(s, 64);
+        for (t, v) in sums.iter().enumerate() {
+            let word = (t as u32 * stride) & (SMEM_WORDS - 1);
+            // smem[word] was seeded with `word as f32` (only the first 64
+            // words are seeded here; strided targets ≥ 64 read zero).
+            let expect = if word < 64 { iters as f32 * word as f32 } else { 0.0 };
+            assert_eq!(*v, expect, "thread {t}");
+        }
+    }
+
+    #[test]
+    fn kernel_pattern_matches_model_degree() {
+        // The addresses the kernel generates have exactly the analytic
+        // conflict degree for a half-warp.
+        for (stride, expected) in [(1u32, 1u32), (2, 2), (4, 4), (8, 8), (16, 16), (3, 1), (5, 1)] {
+            let addrs: Vec<Option<u64>> = (0..16)
+                .map(|t| Some((((t * stride) & (SMEM_WORDS - 1)) * 4) as u64))
+                .collect();
+            assert_eq!(conflict_degree(&addrs, 16), expected, "stride {stride}");
+        }
+    }
+}

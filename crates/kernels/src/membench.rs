@@ -1,0 +1,260 @@
+//! The stripped-down memory benchmark kernels of Sec. III.
+//!
+//! Per the paper, the test kernel is:
+//!
+//! 1. set up all the variables,
+//! 2. read `clock()`,
+//! 3. load data from global memory using the layout under test,
+//! 4. sum up everything that was loaded (so the compiler cannot drop or hoist
+//!    the loads past the clock),
+//! 5. read `clock()` again, store the difference for review.
+//!
+//! Each thread walks `iters` particles at a grid stride (so all threads of a
+//! half-warp always touch *adjacent* particles — the pattern the layouts
+//! differ on). The metric of Fig. 10 is
+//! `Δclock / (iters × 7)` — average cycles per single 4-byte element.
+
+use gpu_sim::ir::{Kernel, KernelBuilder, MemSpace, Operand};
+use particle_layouts::Layout;
+
+/// Configuration of a membench kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MembenchConfig {
+    /// Layout under test.
+    pub layout: Layout,
+    /// Particles each thread reads.
+    pub iters: u32,
+}
+
+impl MembenchConfig {
+    /// Total particles the launch touches (buffers must hold at least this).
+    pub fn particles_needed(&self, grid: u32, block: u32) -> u32 {
+        self.iters * grid * block
+    }
+
+    /// Elements (4-byte values the paper divides by): 7 per particle.
+    pub fn elements(&self) -> u64 {
+        self.iters as u64 * 7
+    }
+}
+
+/// Build the membench kernel for a layout.
+///
+/// Parameters, in order: the layout's buffers ([`Layout::buffers`]), then
+/// `out_delta` (u32 per thread) and `out_sum` (f32 per thread, keeps the
+/// loads alive).
+pub fn build_membench_kernel(cfg: MembenchConfig) -> Kernel {
+    build_membench_with_space(cfg, MemSpace::Global)
+}
+
+/// As [`build_membench_kernel`] but reading through the **texture path** —
+/// the pre-Fermi workaround for uncoalesced patterns the paper sets aside
+/// ("texture- and constant memory … will not be discussed here"). Identical
+/// access plan, cached read pipe instead of the coalescer.
+pub fn build_membench_texture_kernel(cfg: MembenchConfig) -> Kernel {
+    build_membench_with_space(cfg, MemSpace::Texture)
+}
+
+fn build_membench_with_space(cfg: MembenchConfig, space: MemSpace) -> Kernel {
+    let plan = cfg.layout.read_plan_all();
+    let n_buffers = cfg.layout.buffers().len();
+    let tag = if space == MemSpace::Texture { "_tex" } else { "" };
+    let mut b = KernelBuilder::new(format!("membench_{}{tag}", cfg.layout.label()));
+    let bufs: Vec<_> = (0..n_buffers).map(|_| b.param()).collect();
+    let out_delta = b.param();
+    let out_sum = b.param();
+
+    // (1) setup
+    let i = b.global_thread_index();
+    let ntid = b.special(gpu_sim::ir::SpecialReg::NtidX);
+    let nctaid = b.special(gpu_sim::ir::SpecialReg::NctaidX);
+    let total = b.imul(ntid.into(), nctaid.into());
+    let acc = b.mov(Operand::ImmF(0.0));
+
+    // (2) first clock
+    let t0 = b.clock();
+
+    // (3)+(4) strided reads and sum
+    b.for_loop(Operand::ImmU(0), Operand::ImmU(cfg.iters), 1, |b, it| {
+        let idx = b.mad_u(it.into(), total.into(), i.into());
+        for r in &plan.reads {
+            let addr = b.mad_u(idx.into(), Operand::ImmU(r.stride), bufs[r.buffer].into());
+            let vals = b.ld(space, addr, r.offset, r.words as usize);
+            for v in vals {
+                b.alu_into(acc, gpu_sim::ir::AluOp::FAdd, acc.into(), v.into());
+            }
+        }
+    });
+
+    // (5) second clock, store delta (and the sum, to anchor the loads)
+    let t1 = b.clock();
+    let dt = b.alu(gpu_sim::ir::AluOp::ISub, t1.into(), t0.into());
+    let da = b.mad_u(i.into(), Operand::ImmU(4), out_delta.into());
+    b.st(MemSpace::Global, da, 0, vec![dt.into()]);
+    let sa = b.mad_u(i.into(), Operand::ImmU(4), out_sum.into());
+    b.st(MemSpace::Global, sa, 0, vec![acc.into()]);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::exec::functional::run_grid;
+    use gpu_sim::ir::count::dynamic_instructions;
+    use gpu_sim::mem::GlobalMemory;
+    use particle_layouts::{DeviceImage, Particle};
+    use simcore::Vec3;
+
+    fn particles(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| Particle {
+                pos: Vec3::new(1.0, 2.0, 3.0),
+                vel: Vec3::new(4.0, 5.0, 6.0),
+                mass: 7.0 + (i % 3) as f32,
+            })
+            .collect()
+    }
+
+    /// The functional contract: every layout's kernel computes the same sums.
+    #[test]
+    fn all_layouts_sum_the_same_record() {
+        let grid = 2u32;
+        let block = 64u32;
+        let iters = 4u32;
+        let n = (grid * block * iters) as usize;
+        let ps = particles(n);
+        let mut reference: Option<Vec<f32>> = None;
+        for layout in Layout::ALL {
+            let cfg = MembenchConfig { layout, iters };
+            let k = build_membench_kernel(cfg);
+            let mut gmem = GlobalMemory::new(16 << 20);
+            let img = DeviceImage::upload(&mut gmem, layout, &ps, block);
+            let out_delta = gmem.alloc((grid * block) as u64 * 4);
+            let out_sum = gmem.alloc((grid * block) as u64 * 4);
+            let mut params = img.base_params();
+            params.push(out_delta.0 as u32);
+            params.push(out_sum.0 as u32);
+            run_grid(&k, grid, block, &params, &mut gmem);
+            let sums = gmem.read_f32(out_sum, (grid * block) as usize);
+            // Each thread read `iters` full records; the 7-float sum of a
+            // record i is 1+2+3+4+5+6+(7+i%3).
+            for (t, s) in sums.iter().enumerate() {
+                let mut expect = 0.0f32;
+                for it in 0..iters {
+                    let pi = (it * grid * block) as usize + t;
+                    expect += ps[pi].fields().iter().sum::<f32>();
+                }
+                assert_eq!(*s, expect, "{layout}: thread {t}");
+            }
+            match &reference {
+                None => reference = Some(sums),
+                Some(r) => assert_eq!(r, &sums, "{layout} disagrees with reference sums"),
+            }
+        }
+    }
+
+    #[test]
+    fn vector_layouts_issue_fewer_loads() {
+        let scalar = build_membench_kernel(MembenchConfig { layout: Layout::Unopt, iters: 8 });
+        let vector = build_membench_kernel(MembenchConfig { layout: Layout::SoAoaS, iters: 8 });
+        // Same param count shape differs; compare per-thread instructions.
+        let ds = dynamic_instructions(&scalar, &[0, 0, 0]);
+        let dv = dynamic_instructions(&vector, &[0, 0, 0, 0]);
+        assert!(dv < ds, "SoAoaS ({dv}) must execute fewer instructions than unopt ({ds})");
+    }
+
+    #[test]
+    fn delta_outputs_are_written() {
+        let cfg = MembenchConfig { layout: Layout::SoA, iters: 2 };
+        let k = build_membench_kernel(cfg);
+        let grid = 1u32;
+        let block = 32u32;
+        let ps = particles((grid * block * cfg.iters) as usize);
+        let mut gmem = GlobalMemory::new(8 << 20);
+        let img = DeviceImage::upload(&mut gmem, Layout::SoA, &ps, block);
+        let out_delta = gmem.alloc(32 * 4);
+        let out_sum = gmem.alloc(32 * 4);
+        let mut params = img.base_params();
+        params.push(out_delta.0 as u32);
+        params.push(out_sum.0 as u32);
+        // Functional clock counts retired warp instructions: delta > 0.
+        run_grid(&k, grid, block, &params, &mut gmem);
+        let deltas = gmem.download(out_delta, 4);
+        let d0 = u32::from_le_bytes(deltas.try_into().unwrap());
+        assert!(d0 > 0, "clock delta must be positive, got {d0}");
+    }
+
+    #[test]
+    fn particles_needed_accounting() {
+        let cfg = MembenchConfig { layout: Layout::AoaS, iters: 16 };
+        assert_eq!(cfg.particles_needed(4, 128), 8192);
+        assert_eq!(cfg.elements(), 112);
+    }
+}
+
+#[cfg(test)]
+mod texture_tests {
+    use super::*;
+    use gpu_sim::exec::functional::run_grid;
+    use gpu_sim::exec::timed::time_resident;
+    use gpu_sim::mem::GlobalMemory;
+    use gpu_sim::{DeviceConfig, DriverModel, TimingParams};
+    use particle_layouts::{DeviceImage, Particle};
+    use simcore::Vec3;
+
+    fn run_sum(kernel: &gpu_sim::ir::Kernel, layout: Layout, iters: u32) -> Vec<f32> {
+        let block = 64u32;
+        let n = (block * iters) as usize;
+        let ps: Vec<Particle> = (0..n)
+            .map(|i| Particle { pos: Vec3::splat(i as f32), vel: Vec3::ZERO, mass: 1.0 })
+            .collect();
+        let mut gmem = GlobalMemory::new(16 << 20);
+        let img = DeviceImage::upload(&mut gmem, layout, &ps, block);
+        let d = gmem.alloc(block as u64 * 4);
+        let s = gmem.alloc(block as u64 * 4);
+        let mut params = img.base_params();
+        params.push(d.0 as u32);
+        params.push(s.0 as u32);
+        run_grid(kernel, 1, block, &params, &mut gmem);
+        gmem.read_f32(s, block as usize)
+    }
+
+    #[test]
+    fn texture_path_is_functionally_identical() {
+        let cfg = MembenchConfig { layout: Layout::Unopt, iters: 4 };
+        let g = run_sum(&build_membench_kernel(cfg), cfg.layout, cfg.iters);
+        let t = run_sum(&build_membench_texture_kernel(cfg), cfg.layout, cfg.iters);
+        assert_eq!(g, t);
+    }
+
+    #[test]
+    fn texture_rescues_the_uncoalesced_layout() {
+        // The experiment the paper skipped: the unopt layout through the
+        // texture cache vs through the CC-1.0 coalescer.
+        let dev = DeviceConfig::g8800gtx();
+        let tp = TimingParams::for_driver(DriverModel::Cuda10);
+        let cfg = MembenchConfig { layout: Layout::Unopt, iters: 16 };
+        let time = |k: &gpu_sim::ir::Kernel| {
+            let n = cfg.particles_needed(1, 128) as usize;
+            let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
+            let mut gmem = GlobalMemory::new(64 << 20);
+            let img = DeviceImage::upload(&mut gmem, cfg.layout, &ps, 128);
+            let d = gmem.alloc(128 * 4);
+            let s = gmem.alloc(128 * 4);
+            let mut params = img.base_params();
+            params.push(d.0 as u32);
+            params.push(s.0 as u32);
+            time_resident(k, &[0], 128, 1, &params, &mut gmem, &dev, DriverModel::Cuda10, &tp)
+        };
+        let global = time(&build_membench_kernel(cfg));
+        let tex = time(&build_membench_texture_kernel(cfg));
+        assert!(
+            tex.cycles < global.cycles,
+            "texture ({}) should beat uncoalesced global ({})",
+            tex.cycles,
+            global.cycles
+        );
+        assert!(tex.tex_hits > 0, "adjacent threads share 32B lines");
+        assert!(tex.bus_bytes < global.bus_bytes, "the cache deduplicates line traffic");
+    }
+}

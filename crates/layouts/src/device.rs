@@ -1,0 +1,248 @@
+//! Serializing particle sets into simulated device memory.
+//!
+//! [`DeviceImage::upload`] lays a particle slice out in [`gpu_sim`] global
+//! memory under any [`Layout`], padding the count up to a block multiple with
+//! zero-mass sentinels (the GPU-Gems trick that removes the bounds check from
+//! the kernel — see the layouts crate docs). [`DeviceImage::download_accels`]
+//! and friends read results back.
+
+use crate::host::Particle;
+use crate::plan::{BufferKind, Field, Layout};
+use gpu_sim::mem::{DevicePtr, GlobalMemory};
+
+/// A particle set resident in simulated device memory under some layout.
+#[derive(Debug, Clone)]
+pub struct DeviceImage {
+    /// The layout used.
+    pub layout: Layout,
+    /// Real (unpadded) particle count.
+    pub n: u32,
+    /// Padded count (multiple of the pad unit, ≥ n).
+    pub padded_n: u32,
+    /// Base pointer of each buffer, in [`Layout::buffers`] order.
+    pub buffers: Vec<DevicePtr>,
+    /// Bytes uploaded (all buffers, padded).
+    pub bytes: u64,
+}
+
+impl DeviceImage {
+    /// Upload `particles` under `layout`, padding the count to a multiple of
+    /// `pad_to` (typically the block size) with [`Particle::SENTINEL`].
+    pub fn upload(gmem: &mut GlobalMemory, layout: Layout, particles: &[Particle], pad_to: u32) -> DeviceImage {
+        assert!(pad_to > 0, "pad unit must be positive");
+        assert!(!particles.is_empty(), "empty particle set");
+        let n = particles.len() as u32;
+        let padded_n = n.div_ceil(pad_to) * pad_to;
+        let kinds = layout.buffers();
+        let mut buffers = Vec::with_capacity(kinds.len());
+        let mut bytes = 0u64;
+        for kind in &kinds {
+            let size = kind.stride() * padded_n as u64;
+            let ptr = gmem.alloc(size);
+            bytes += size;
+            for i in 0..padded_n {
+                let p = particles.get(i as usize).copied().unwrap_or(Particle::SENTINEL);
+                write_record(gmem, *kind, ptr, i as u64, &p);
+            }
+            buffers.push(ptr);
+        }
+        DeviceImage { layout, n, padded_n, buffers, bytes }
+    }
+
+    /// Read particle `i` back from the device image (for roundtrip checks).
+    pub fn read_particle(&self, gmem: &GlobalMemory, i: u32) -> Particle {
+        assert!(i < self.padded_n);
+        let mut p = Particle::SENTINEL;
+        for (kind, base) in self.layout.buffers().iter().zip(&self.buffers) {
+            read_record(gmem, *kind, *base, i as u64, &mut p);
+        }
+        p
+    }
+
+    /// Read all real (unpadded) particles back.
+    pub fn read_all(&self, gmem: &GlobalMemory) -> Vec<Particle> {
+        (0..self.n).map(|i| self.read_particle(gmem, i)).collect()
+    }
+
+    /// Parameter values (buffer base addresses) to pass to a kernel.
+    pub fn base_params(&self) -> Vec<u32> {
+        self.buffers.iter().map(|p| p.0 as u32).collect()
+    }
+}
+
+fn write_record(gmem: &mut GlobalMemory, kind: BufferKind, base: DevicePtr, i: u64, p: &Particle) {
+    let at = |off: u64| base.0 + i * kind.stride() + off;
+    match kind {
+        BufferKind::Packed28 | BufferKind::Aligned32 => {
+            for (f, v) in p.fields().iter().enumerate() {
+                gmem.store_f32(at(4 * f as u64), *v);
+            }
+            if kind == BufferKind::Aligned32 {
+                gmem.store_f32(at(28), 0.0);
+            }
+        }
+        BufferKind::ScalarArray(field) => {
+            let v = match field {
+                Field::Px => p.pos.x,
+                Field::Py => p.pos.y,
+                Field::Pz => p.pos.z,
+                Field::Vx => p.vel.x,
+                Field::Vy => p.vel.y,
+                Field::Vz => p.vel.z,
+                Field::Mass => p.mass,
+            };
+            gmem.store_f32(at(0), v);
+        }
+        BufferKind::PosMass4 => {
+            gmem.store_f32(at(0), p.pos.x);
+            gmem.store_f32(at(4), p.pos.y);
+            gmem.store_f32(at(8), p.pos.z);
+            gmem.store_f32(at(12), p.mass);
+        }
+        BufferKind::Velocity4 => {
+            gmem.store_f32(at(0), p.vel.x);
+            gmem.store_f32(at(4), p.vel.y);
+            gmem.store_f32(at(8), p.vel.z);
+            gmem.store_f32(at(12), 0.0);
+        }
+    }
+}
+
+fn read_record(gmem: &GlobalMemory, kind: BufferKind, base: DevicePtr, i: u64, p: &mut Particle) {
+    let at = |off: u64| base.0 + i * kind.stride() + off;
+    match kind {
+        BufferKind::Packed28 | BufferKind::Aligned32 => {
+            p.pos.x = gmem.load_f32(at(0));
+            p.pos.y = gmem.load_f32(at(4));
+            p.pos.z = gmem.load_f32(at(8));
+            p.vel.x = gmem.load_f32(at(12));
+            p.vel.y = gmem.load_f32(at(16));
+            p.vel.z = gmem.load_f32(at(20));
+            p.mass = gmem.load_f32(at(24));
+        }
+        BufferKind::ScalarArray(field) => {
+            let v = gmem.load_f32(at(0));
+            match field {
+                Field::Px => p.pos.x = v,
+                Field::Py => p.pos.y = v,
+                Field::Pz => p.pos.z = v,
+                Field::Vx => p.vel.x = v,
+                Field::Vy => p.vel.y = v,
+                Field::Vz => p.vel.z = v,
+                Field::Mass => p.mass = v,
+            }
+        }
+        BufferKind::PosMass4 => {
+            p.pos.x = gmem.load_f32(at(0));
+            p.pos.y = gmem.load_f32(at(4));
+            p.pos.z = gmem.load_f32(at(8));
+            p.mass = gmem.load_f32(at(12));
+        }
+        BufferKind::Velocity4 => {
+            p.vel.x = gmem.load_f32(at(0));
+            p.vel.y = gmem.load_f32(at(4));
+            p.vel.z = gmem.load_f32(at(8));
+        }
+    }
+}
+
+/// Allocate an output buffer for per-particle `float4` accelerations and
+/// return its pointer.
+pub fn alloc_accel_out(gmem: &mut GlobalMemory, padded_n: u32) -> DevicePtr {
+    gmem.alloc(padded_n as u64 * 16)
+}
+
+/// Read back `n` accelerations from a `float4` output buffer.
+pub fn download_accels(gmem: &GlobalMemory, out: DevicePtr, n: u32) -> Vec<simcore::Vec3> {
+    (0..n as u64)
+        .map(|i| {
+            simcore::Vec3::new(
+                gmem.load_f32(out.0 + 16 * i),
+                gmem.load_f32(out.0 + 16 * i + 4),
+                gmem.load_f32(out.0 + 16 * i + 8),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::Vec3;
+
+    fn sample(n: usize) -> Vec<Particle> {
+        (0..n)
+            .map(|i| Particle {
+                pos: Vec3::new(i as f32, 2.0 * i as f32, -(i as f32)),
+                vel: Vec3::new(0.5, -0.5, i as f32),
+                mass: 1.0 + i as f32,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_every_layout() {
+        for layout in Layout::ALL {
+            let mut gmem = GlobalMemory::new(1 << 20);
+            let ps = sample(100);
+            let img = DeviceImage::upload(&mut gmem, layout, &ps, 128);
+            assert_eq!(img.n, 100);
+            assert_eq!(img.padded_n, 128);
+            assert_eq!(img.read_all(&gmem), ps, "{layout} roundtrip");
+        }
+    }
+
+    #[test]
+    fn padding_is_zero_mass() {
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &sample(5), 128);
+        for i in 5..128 {
+            let p = img.read_particle(&gmem, i);
+            assert_eq!(p.mass, 0.0, "padding particle {i} must be massless");
+            assert_eq!(p.pos, Vec3::ZERO);
+        }
+    }
+
+    #[test]
+    fn buffer_bases_are_vector_aligned() {
+        for layout in Layout::ALL {
+            let mut gmem = GlobalMemory::new(1 << 20);
+            let img = DeviceImage::upload(&mut gmem, layout, &sample(64), 64);
+            for b in &img.buffers {
+                assert_eq!(b.0 % 128, 0, "{layout}: cudaMalloc-grade alignment expected");
+            }
+        }
+    }
+
+    #[test]
+    fn uploaded_bytes_match_layout_footprint() {
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let img = DeviceImage::upload(&mut gmem, Layout::AoaS, &sample(64), 64);
+        assert_eq!(img.bytes, 64 * 32);
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let img = DeviceImage::upload(&mut gmem, Layout::Unopt, &sample(64), 64);
+        assert_eq!(img.bytes, 64 * 28);
+        let mut gmem = GlobalMemory::new(1 << 20);
+        let img = DeviceImage::upload(&mut gmem, Layout::SoA, &sample(64), 64);
+        assert_eq!(img.bytes, 64 * 28);
+    }
+
+    #[test]
+    fn accel_out_roundtrip() {
+        let mut gmem = GlobalMemory::new(1 << 16);
+        let out = alloc_accel_out(&mut gmem, 64);
+        gmem.store_f32(out.0 + 16 * 3, 1.5);
+        gmem.store_f32(out.0 + 16 * 3 + 4, 2.5);
+        gmem.store_f32(out.0 + 16 * 3 + 8, 3.5);
+        let acc = download_accels(&gmem, out, 64);
+        assert_eq!(acc[3], Vec3::new(1.5, 2.5, 3.5));
+        assert_eq!(acc[0], Vec3::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_upload_rejected() {
+        let mut gmem = GlobalMemory::new(1 << 16);
+        DeviceImage::upload(&mut gmem, Layout::SoA, &[], 128);
+    }
+}

@@ -1,0 +1,92 @@
+//! Conservation diagnostics (f64 accumulation over the f32 state).
+
+use crate::model::Bodies;
+use crate::model::ForceParams;
+use simcore::Vec3;
+
+/// Total kinetic energy `Σ ½ m v²`.
+pub fn kinetic_energy(b: &Bodies) -> f64 {
+    (0..b.len())
+        .map(|i| 0.5 * b.mass[i] as f64 * b.vel[i].norm_sq() as f64)
+        .sum()
+}
+
+/// Total (softened) potential energy `−Σ_{i<j} G m_i m_j / sqrt(r² + ε²)`.
+pub fn potential_energy(b: &Bodies, p: &ForceParams) -> f64 {
+    let eps2 = p.eps_sq() as f64;
+    let g = p.g as f64;
+    let mut e = 0.0f64;
+    for i in 0..b.len() {
+        for j in (i + 1)..b.len() {
+            let d = b.pos[i] - b.pos[j];
+            let r2 = d.norm_sq() as f64 + eps2;
+            e -= g * b.mass[i] as f64 * b.mass[j] as f64 / r2.sqrt();
+        }
+    }
+    e
+}
+
+/// Total energy (kinetic + potential).
+pub fn total_energy(b: &Bodies, p: &ForceParams) -> f64 {
+    kinetic_energy(b) + potential_energy(b, p)
+}
+
+/// Total linear momentum `Σ m v` (f64 components).
+pub fn momentum(b: &Bodies) -> [f64; 3] {
+    let mut m = [0.0f64; 3];
+    for i in 0..b.len() {
+        m[0] += (b.mass[i] * b.vel[i].x) as f64;
+        m[1] += (b.mass[i] * b.vel[i].y) as f64;
+        m[2] += (b.mass[i] * b.vel[i].z) as f64;
+    }
+    m
+}
+
+/// Total angular momentum about the origin.
+pub fn angular_momentum(b: &Bodies) -> [f64; 3] {
+    let mut l = [0.0f64; 3];
+    for i in 0..b.len() {
+        let lv: Vec3 = b.pos[i].cross(b.vel[i]) * b.mass[i];
+        l[0] += lv.x as f64;
+        l[1] += lv.y as f64;
+        l[2] += lv.z as f64;
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinetic_of_known_state() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::new(3.0, 4.0, 0.0), 2.0);
+        assert!((kinetic_energy(&b) - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn potential_of_pair() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 2.0);
+        b.push(Vec3::new(4.0, 0.0, 0.0), Vec3::ZERO, 3.0);
+        let p = ForceParams { g: 1.0, softening: 0.0 };
+        assert!((potential_energy(&b, &p) + 6.0 / 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn momentum_of_opposed_pair_is_zero() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::new(1.0, 0.0, 0.0), 2.0);
+        b.push(Vec3::ZERO, Vec3::new(-2.0, 0.0, 0.0), 1.0);
+        assert_eq!(momentum(&b), [0.0; 3]);
+    }
+
+    #[test]
+    fn angular_momentum_of_circular_motion() {
+        let mut b = Bodies::default();
+        b.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), 3.0);
+        let l = angular_momentum(&b);
+        assert_eq!(l, [0.0, 0.0, 6.0]);
+    }
+}

@@ -1,0 +1,139 @@
+//! Time integration — the "simple Newtonian physics" layer of Gravit.
+//!
+//! Two steppers:
+//! * [`step_euler`] — the symplectic (semi-implicit) Euler step Gravit's
+//!   simple update loop amounts to: kick then drift;
+//! * [`step_leapfrog`] — kick-drift-kick, second order, the usual choice
+//!   when energy conservation matters.
+//!
+//! Both also accept an optional **external force** field, covering the `F_E`
+//! term of the paper's Eq. 1 (total = external + near + far field).
+
+use crate::model::Bodies;
+use simcore::Vec3;
+
+/// An external acceleration field (the paper's `F_E`): evaluated per body.
+pub type ExternalField<'a> = &'a dyn Fn(Vec3) -> Vec3;
+
+/// Semi-implicit Euler: `v += a·dt; p += v·dt`.
+pub fn step_euler(b: &mut Bodies, accels: &[Vec3], dt: f32, external: Option<ExternalField>) {
+    assert_eq!(accels.len(), b.len());
+    for i in 0..b.len() {
+        let mut a = accels[i];
+        if let Some(f) = external {
+            a += f(b.pos[i]);
+        }
+        b.vel[i] += a * dt;
+        b.pos[i] += b.vel[i] * dt;
+    }
+}
+
+/// Leapfrog (kick-drift-kick). `accel` recomputes accelerations at the
+/// drifted positions for the second half-kick.
+pub fn step_leapfrog(
+    b: &mut Bodies,
+    accels: &[Vec3],
+    dt: f32,
+    external: Option<ExternalField>,
+    accel: impl FnOnce(&Bodies) -> Vec<Vec3>,
+) -> Vec<Vec3> {
+    assert_eq!(accels.len(), b.len());
+    let half = 0.5 * dt;
+    for i in 0..b.len() {
+        let mut a = accels[i];
+        if let Some(f) = external {
+            a += f(b.pos[i]);
+        }
+        b.vel[i] += a * half;
+        b.pos[i] += b.vel[i] * dt;
+    }
+    let new_acc = accel(b);
+    assert_eq!(new_acc.len(), b.len());
+    for i in 0..b.len() {
+        let mut a = new_acc[i];
+        if let Some(f) = external {
+            a += f(b.pos[i]);
+        }
+        b.vel[i] += a * half;
+    }
+    new_acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::accelerations;
+    use crate::energy::total_energy;
+    use crate::model::ForceParams;
+    use crate::spawn;
+
+    #[test]
+    fn free_particle_moves_in_a_straight_line() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::new(1.0, 2.0, 0.0), 1.0);
+        step_euler(&mut b, &[Vec3::ZERO], 0.5, None);
+        assert_eq!(b.pos[0], Vec3::new(0.5, 1.0, 0.0));
+    }
+
+    #[test]
+    fn external_field_accelerates() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 1.0);
+        let g = |_p: Vec3| Vec3::new(0.0, -10.0, 0.0);
+        step_euler(&mut b, &[Vec3::ZERO], 0.1, Some(&g));
+        assert!((b.vel[0].y + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn circular_orbit_stays_circular_under_leapfrog() {
+        // Central mass M=1 at origin (softening off), satellite on a circular
+        // orbit at r=1: v = sqrt(GM/r) = 1.
+        let p = ForceParams { g: 1.0, softening: 0.0 };
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 1.0);
+        b.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 1e-9);
+        let dt = 0.01;
+        let mut acc = accelerations(&b, &p);
+        for _ in 0..((2.0 * std::f32::consts::PI / dt) as usize) {
+            acc = step_leapfrog(&mut b, &acc, dt, None, |bb| accelerations(bb, &p));
+        }
+        let r = (b.pos[1] - b.pos[0]).norm();
+        assert!((r - 1.0).abs() < 0.02, "orbit radius drifted to {r}");
+    }
+
+    #[test]
+    fn leapfrog_conserves_energy_better_than_euler() {
+        let p = ForceParams { g: 1.0, softening: 0.1 };
+        let dt = 0.01;
+        let steps = 200;
+        let run = |leap: bool| {
+            let mut b = spawn::uniform_ball(60, 2.0, 1.0, 77);
+            let e0 = total_energy(&b, &p);
+            let mut acc = accelerations(&b, &p);
+            for _ in 0..steps {
+                if leap {
+                    acc = step_leapfrog(&mut b, &acc, dt, None, |bb| accelerations(bb, &p));
+                } else {
+                    step_euler(&mut b, &acc, dt, None);
+                    acc = accelerations(&b, &p);
+                }
+            }
+            ((total_energy(&b, &p) - e0) / e0.abs()).abs()
+        };
+        let drift_euler = run(false);
+        let drift_leap = run(true);
+        assert!(
+            drift_leap < drift_euler,
+            "leapfrog drift {drift_leap} should beat euler drift {drift_euler}"
+        );
+        assert!(drift_leap < 0.05, "leapfrog drift {drift_leap} too large");
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_accel_slice_rejected() {
+        let mut b = Bodies::default();
+        b.push(Vec3::ZERO, Vec3::ZERO, 1.0);
+        step_euler(&mut b, &[], 0.1, None);
+    }
+}

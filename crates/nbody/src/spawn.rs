@@ -1,0 +1,149 @@
+//! Deterministic workload generators — stand-ins for Gravit's spawn scripts.
+//!
+//! Every generator is a pure function of its parameters and a `u64` seed
+//! (see the simcore RNG), so benchmark workloads are reproducible across
+//! machines and runs.
+
+use crate::model::Bodies;
+use simcore::{Rng64, Vec3, Xoshiro256pp};
+
+/// Uniform ball of radius `r`, bodies at rest, equal masses summing to
+/// `total_mass`.
+pub fn uniform_ball(n: usize, r: f32, total_mass: f32, seed: u64) -> Bodies {
+    assert!(n > 0 && r > 0.0 && total_mass > 0.0);
+    let mut rng = Xoshiro256pp::seeded(seed);
+    let m = total_mass / n as f32;
+    let mut b = Bodies::with_capacity(n);
+    for _ in 0..n {
+        b.push(rng.in_unit_ball() * r, Vec3::ZERO, m);
+    }
+    b
+}
+
+/// Plummer-like sphere: radius distribution `r = a / sqrt(u^(-2/3) − 1)`
+/// (truncated at `10 a`), isotropic positions, bodies at rest.
+pub fn plummer(n: usize, a: f32, total_mass: f32, seed: u64) -> Bodies {
+    assert!(n > 0 && a > 0.0 && total_mass > 0.0);
+    let mut rng = Xoshiro256pp::seeded(seed);
+    let m = total_mass / n as f32;
+    let mut b = Bodies::with_capacity(n);
+    for _ in 0..n {
+        let r = loop {
+            let u = rng.next_f64().max(1e-9);
+            let r = a * ((u.powf(-2.0 / 3.0) - 1.0) as f32).max(1e-12).sqrt().recip();
+            if r.is_finite() && r < 10.0 * a {
+                break r;
+            }
+        };
+        b.push(rng.on_unit_sphere() * r, Vec3::ZERO, m);
+    }
+    b
+}
+
+/// A rotating disk "galaxy": a heavy central body plus `n − 1` light bodies
+/// on near-circular orbits in the XY plane, the classic Gravit screenshot
+/// workload.
+///
+/// `g` must match the force parameters used for the simulation, so the
+/// circular speeds `v = sqrt(G·M_enc / r)` are consistent.
+pub fn disk_galaxy(n: usize, radius: f32, central_mass: f32, g: f32, seed: u64) -> Bodies {
+    assert!(n >= 2 && radius > 0.0 && central_mass > 0.0 && g > 0.0);
+    let mut rng = Xoshiro256pp::seeded(seed);
+    let mut b = Bodies::with_capacity(n);
+    let disk_mass = central_mass * 0.1;
+    let m = disk_mass / (n - 1) as f32;
+    b.push(Vec3::ZERO, Vec3::ZERO, central_mass);
+    for _ in 1..n {
+        let d = rng.in_unit_disk_xy();
+        // Avoid the singular center; bias outward a little.
+        let rr = (d.norm().max(0.08)) * radius;
+        let dir = d.normalized().unwrap_or(Vec3::new(1.0, 0.0, 0.0));
+        let pos = dir * rr + Vec3::new(0.0, 0.0, 0.02 * radius * rng.normal());
+        // Circular speed about the central mass (disk self-gravity is a
+        // perturbation at 10% mass).
+        let v = (g * central_mass / rr).sqrt();
+        let tangent = Vec3::new(-dir.y, dir.x, 0.0);
+        b.push(pos, tangent * v, m);
+    }
+    b
+}
+
+/// Two disk galaxies on a collision course — the paper's "beautiful looking
+/// gravity patterns" workload, and our largest-scale example scenario.
+pub fn colliding_galaxies(n_each: usize, separation: f32, approach_speed: f32, seed: u64) -> Bodies {
+    let g = 1.0;
+    let a = disk_galaxy(n_each, separation * 0.25, 1.0, g, seed);
+    let b2 = disk_galaxy(n_each, separation * 0.25, 1.0, g, seed.wrapping_add(1));
+    let offset = Vec3::new(separation, separation * 0.15, 0.0);
+    let kick = Vec3::new(-approach_speed, 0.0, 0.0);
+    let mut merged = Bodies::with_capacity(2 * n_each);
+    merged.extend(&a);
+    for i in 0..b2.len() {
+        merged.push(b2.pos[i] + offset, b2.vel[i] + kick, b2.mass[i]);
+    }
+    a.validate();
+    merged.validate();
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = uniform_ball(100, 5.0, 1.0, 9);
+        let b = uniform_ball(100, 5.0, 1.0, 9);
+        let c = uniform_ball(100, 5.0, 1.0, 10);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ball_respects_radius_and_mass() {
+        let b = uniform_ball(500, 3.0, 7.0, 1);
+        assert_eq!(b.len(), 500);
+        assert!((b.total_mass() - 7.0).abs() < 1e-3);
+        assert!(b.pos.iter().all(|p| p.norm() <= 3.0 + 1e-4));
+    }
+
+    #[test]
+    fn plummer_concentrates_mass_centrally() {
+        let b = plummer(2000, 1.0, 1.0, 2);
+        let inner = b.pos.iter().filter(|p| p.norm() < 1.0).count();
+        let outer = b.pos.iter().filter(|p| p.norm() >= 1.0).count();
+        assert!(inner > outer / 2, "Plummer half-mass radius ≈ 1.3a: inner {inner}, outer {outer}");
+        assert!(b.pos.iter().all(|p| p.norm() <= 10.0));
+    }
+
+    #[test]
+    fn disk_orbits_are_roughly_circular() {
+        let g = 1.0;
+        let b = disk_galaxy(200, 4.0, 1.0, g, 3);
+        assert_eq!(b.len(), 200);
+        assert_eq!(b.mass[0], 1.0);
+        for i in 1..b.len() {
+            let r = Vec3::new(b.pos[i].x, b.pos[i].y, 0.0);
+            let v = b.vel[i];
+            // Velocity ⟂ radius and |v| ≈ sqrt(GM/r).
+            let cosang = r.normalized().unwrap().dot(v.normalized().unwrap()).abs();
+            assert!(cosang < 1e-3, "body {i} velocity not tangential");
+            let vexp = (g * 1.0 / r.norm()).sqrt();
+            assert!((v.norm() - vexp).abs() / vexp < 1e-3, "body {i} speed off");
+        }
+    }
+
+    #[test]
+    fn collision_workload_is_two_separated_groups() {
+        let b = colliding_galaxies(300, 20.0, 0.5, 4);
+        assert_eq!(b.len(), 600);
+        let left = b.pos.iter().filter(|p| p.x < 10.0).count();
+        let right = b.pos.iter().filter(|p| p.x >= 10.0).count();
+        assert!(left >= 290 && right >= 290, "split {left}/{right}");
+        // The second galaxy approaches.
+        let mean_vx_right: f32 =
+            b.pos.iter().zip(&b.vel).filter(|(p, _)| p.x >= 10.0).map(|(_, v)| v.x).sum::<f32>()
+                / right as f32;
+        assert!(mean_vx_right < -0.2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests on the physics substrate's invariants.
+
+use nbody::barnes_hut::Octree;
+use nbody::direct::{accelerations, accelerations_par, accelerations_tiled};
+use nbody::energy::momentum;
+use nbody::integrator::step_leapfrog;
+use nbody::model::{Bodies, ForceParams};
+use proptest::prelude::*;
+use simcore::Vec3;
+
+fn bodies_strategy(max_n: usize) -> impl Strategy<Value = Bodies> {
+    proptest::collection::vec(
+        (
+            (-10.0f32..10.0, -10.0f32..10.0, -10.0f32..10.0),
+            (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0),
+            0.0f32..5.0,
+        ),
+        2..max_n,
+    )
+    .prop_map(|rows| {
+        let mut b = Bodies::default();
+        for ((px, py, pz), (vx, vy, vz), m) in rows {
+            b.push(Vec3::new(px, py, pz), Vec3::new(vx, vy, vz), m);
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serial, parallel and tiled solvers agree bit-for-bit on arbitrary
+    /// body sets (same summation order by construction).
+    #[test]
+    fn solvers_agree_bitwise(b in bodies_strategy(64), tile in 1usize..80) {
+        let fp = ForceParams::default();
+        let s = accelerations(&b, &fp);
+        let p = accelerations_par(&b, &fp);
+        let t = accelerations_tiled(&b, &fp, tile);
+        prop_assert_eq!(&s, &p);
+        prop_assert_eq!(&s, &t);
+    }
+
+    /// Accelerations are finite for any (softened) configuration, including
+    /// coincident bodies.
+    #[test]
+    fn softened_forces_are_finite(mut b in bodies_strategy(32)) {
+        // Force a coincident pair.
+        let p0 = b.pos[0];
+        b.push(p0, Vec3::ZERO, 1.0);
+        let fp = ForceParams { g: 1.0, softening: 0.05 };
+        let acc = accelerations(&b, &fp);
+        prop_assert!(acc.iter().all(|a| a.is_finite()));
+    }
+
+    /// Net force (Σ mᵢaᵢ) vanishes relative to the force scale — Newton's
+    /// third law through the pairwise sum.
+    #[test]
+    fn pairwise_forces_cancel(b in bodies_strategy(48)) {
+        let fp = ForceParams::default();
+        let acc = accelerations(&b, &fp);
+        let (mut fx, mut fy, mut fz, mut scale) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for i in 0..b.len() {
+            fx += (b.mass[i] * acc[i].x) as f64;
+            fy += (b.mass[i] * acc[i].y) as f64;
+            fz += (b.mass[i] * acc[i].z) as f64;
+            scale += (b.mass[i] * acc[i].norm()) as f64;
+        }
+        let tol = 1e-3 * scale.max(1e-12);
+        prop_assert!(fx.abs() < tol && fy.abs() < tol && fz.abs() < tol,
+            "net force ({fx}, {fy}, {fz}) vs scale {scale}");
+    }
+
+    /// The octree's mass moments equal the body totals regardless of the
+    /// spatial distribution.
+    #[test]
+    fn octree_moments_are_exact(b in bodies_strategy(96)) {
+        prop_assume!(b.total_mass() > 1e-3);
+        let t = Octree::build(&b);
+        let dm = (t.root_mass() as f64 - b.total_mass()).abs() / b.total_mass();
+        prop_assert!(dm < 1e-3, "mass mismatch {dm}");
+        let dc = (t.root_com() - b.center_of_mass()).norm();
+        prop_assert!(dc < 1e-2, "com mismatch {dc}");
+    }
+
+    /// Iterative and recursive tree traversals agree exactly for any θ.
+    #[test]
+    fn traversals_agree(b in bodies_strategy(48), theta in 0.0f32..1.5) {
+        let fp = ForceParams::default();
+        let t = Octree::build(&b);
+        for i in (0..b.len()).step_by(7) {
+            let r = t.accel_recursive(&b, &fp, b.pos[i], theta);
+            let it = t.accel_iterative(&b, &fp, b.pos[i], theta);
+            prop_assert_eq!(r, it);
+        }
+    }
+
+    /// One leapfrog step preserves total momentum (the kick is pairwise).
+    #[test]
+    fn leapfrog_preserves_momentum(mut b in bodies_strategy(32), dt in 0.001f32..0.02) {
+        let fp = ForceParams::default();
+        let m0 = momentum(&b);
+        let acc = accelerations(&b, &fp);
+        step_leapfrog(&mut b, &acc, dt, None, |bb| accelerations(bb, &fp));
+        let m1 = momentum(&b);
+        let scale: f64 = (0..b.len()).map(|i| (b.mass[i] * b.vel[i].norm()) as f64).sum::<f64>().max(1e-9);
+        for k in 0..3 {
+            prop_assert!((m1[k] - m0[k]).abs() < 2e-3 * scale,
+                "momentum component {k}: {} -> {}", m0[k], m1[k]);
+        }
+    }
+}

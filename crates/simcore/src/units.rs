@@ -1,0 +1,148 @@
+//! Quantities and pretty-printing: GPU cycles, seconds, bytes.
+
+use serde::{Deserialize, Serialize};
+
+/// A count of GPU core clock cycles.
+///
+/// A newtype rather than a bare `u64` so that cycle arithmetic in the timing
+/// engine cannot be silently mixed with byte counts or instruction counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+pub struct Cycles(pub u64);
+
+impl Cycles {
+    /// Zero cycles.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Raw count.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Convert to seconds at a given core clock (Hz).
+    #[inline]
+    pub fn to_seconds(self, clock_hz: f64) -> f64 {
+        assert!(clock_hz > 0.0, "clock must be positive");
+        self.0 as f64 / clock_hz
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl core::ops::Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::ops::Sub for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.checked_sub(rhs.0).expect("cycle underflow"))
+    }
+}
+
+impl core::ops::Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Cycles {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{} cyc", self.0)
+    }
+}
+
+/// Human-readable byte count (binary prefixes).
+pub fn format_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes as f64;
+    let mut i = 0;
+    while v >= 1024.0 && i + 1 < UNITS.len() {
+        v /= 1024.0;
+        i += 1;
+    }
+    if i == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{v:.2} {}", UNITS[i])
+    }
+}
+
+/// Human-readable duration from seconds.
+pub fn format_duration_s(secs: f64) -> String {
+    if secs < 0.0 {
+        return format!("-{}", format_duration_s(-secs));
+    }
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.1} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else if secs < 120.0 {
+        format!("{secs:.2} s")
+    } else {
+        format!("{:.1} min", secs / 60.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_arithmetic() {
+        let a = Cycles(100) + Cycles(50);
+        assert_eq!(a, Cycles(150));
+        assert_eq!(a - Cycles(50), Cycles(100));
+        assert_eq!(a * 2, Cycles(300));
+        assert_eq!(Cycles(10).saturating_sub(Cycles(20)), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycles_sub_underflow_panics() {
+        let _ = Cycles(1) - Cycles(2);
+    }
+
+    #[test]
+    fn cycles_to_seconds() {
+        // 1.35 GHz (8800 GTX shader clock): 1.35e9 cycles == 1 s.
+        let s = Cycles(1_350_000_000).to_seconds(1.35e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.00 MiB");
+    }
+
+    #[test]
+    fn duration_formatting_bands() {
+        assert!(format_duration_s(5e-9).ends_with("ns"));
+        assert!(format_duration_s(5e-6).ends_with("µs"));
+        assert!(format_duration_s(5e-3).ends_with("ms"));
+        assert!(format_duration_s(5.0).ends_with(" s"));
+        assert!(format_duration_s(600.0).ends_with("min"));
+    }
+}

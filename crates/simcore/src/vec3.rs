@@ -1,0 +1,262 @@
+//! A minimal `f32` 3-vector.
+//!
+//! Single precision is deliberate: the paper's kernels (and the 2007-era GPU
+//! they ran on) are `float` throughout, and the CPU reference must use the
+//! same precision for the functional cross-checks between the simulated GPU
+//! kernels and the native implementation to be meaningful.
+
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use serde::{Deserialize, Serialize};
+
+/// A 3-component single-precision vector.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f32,
+    /// y component.
+    pub y: f32,
+    /// z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// All components one.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+
+    /// Construct from components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// All components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * rhs.z - self.z * rhs.y,
+            y: self.z * rhs.x - self.x * rhs.z,
+            z: self.x * rhs.y - self.y * rhs.x,
+        }
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n > f32::EPSILON {
+            Some(self / n)
+        } else {
+            None
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_component(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// `true` if every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f32 {
+        (self - rhs).norm()
+    }
+
+    /// The components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f32; 3] {
+        [self.x, self.y, self.z]
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f32) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f32) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f32) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f32) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(a + Vec3::ZERO, a);
+        assert_eq!(a - a, Vec3::ZERO);
+        assert_eq!(a * 1.0, a);
+        assert_eq!(a / 1.0, a);
+        assert_eq!(-(-a), a);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.dot(Vec3::new(1.0, 0.0, 0.0)), 3.0);
+    }
+
+    #[test]
+    fn cross_is_orthogonal_and_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        let z = x.cross(y);
+        assert_eq!(z, Vec3::new(0.0, 0.0, 1.0));
+        let a = Vec3::new(1.5, -2.0, 0.25);
+        let b = Vec3::new(-0.5, 3.0, 7.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-5);
+        assert!(c.dot(b).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalized_unit_length_or_none() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(0.0, 2.0, 0.0).normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -3.0);
+        let b = Vec3::new(2.0, 4.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, -3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -1.0));
+        assert_eq!(a.max_component(), 5.0);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Vec3::from(a.to_array()), a);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec3::ONE.is_finite());
+        assert!(!Vec3::new(f32::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f32::INFINITY, 0.0).is_finite());
+    }
+}

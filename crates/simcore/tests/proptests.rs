@@ -1,0 +1,79 @@
+//! Property-based tests for the substrate: RNG determinism, statistics and
+//! vector algebra.
+
+use proptest::prelude::*;
+use simcore::{geometric_mean, linear_fit, Rng64, Summary, Vec3, Xoshiro256pp};
+
+proptest! {
+    /// Same seed ⇒ same stream; different seeds diverge quickly.
+    #[test]
+    fn rng_is_a_pure_function_of_seed(seed in any::<u64>()) {
+        let a: Vec<u64> = { let mut g = Xoshiro256pp::seeded(seed); (0..32).map(|_| g.next_u64()).collect() };
+        let b: Vec<u64> = { let mut g = Xoshiro256pp::seeded(seed); (0..32).map(|_| g.next_u64()).collect() };
+        prop_assert_eq!(a, b);
+    }
+
+    /// `below(n)` is always in range for any n ≥ 1.
+    #[test]
+    fn below_in_range(seed in any::<u64>(), n in 1u64..u64::MAX) {
+        let mut g = Xoshiro256pp::seeded(seed);
+        for _ in 0..32 {
+            prop_assert!(g.below(n) < n);
+        }
+    }
+
+    /// Sampling helpers stay in their domains.
+    #[test]
+    fn samples_in_domain(seed in any::<u64>()) {
+        let mut g = Xoshiro256pp::seeded(seed);
+        for _ in 0..64 {
+            let f = g.next_f32();
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!(g.in_unit_ball().norm_sq() <= 1.0 + 1e-6);
+            prop_assert!((g.on_unit_sphere().norm() - 1.0).abs() < 1e-3);
+        }
+    }
+
+    /// Summary statistics bound the data.
+    #[test]
+    fn summary_bounds(xs in proptest::collection::vec(-1e6f64..1e6, 1..128)) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// A linear fit through exactly-linear data recovers the coefficients.
+    #[test]
+    fn linear_fit_exact(a in -100.0f64..100.0, b in -100.0f64..100.0, n in 3usize..32) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, a + b * i as f64)).collect();
+        let (fa, fb) = linear_fit(&pts);
+        prop_assert!((fa - a).abs() < 1e-6 * (1.0 + a.abs()), "intercept {fa} vs {a}");
+        prop_assert!((fb - b).abs() < 1e-6 * (1.0 + b.abs()), "slope {fb} vs {b}");
+    }
+
+    /// Geometric mean is between min and max for positive samples.
+    #[test]
+    fn geometric_mean_bounds(xs in proptest::collection::vec(1e-6f64..1e6, 1..64)) {
+        let g = geometric_mean(&xs).unwrap();
+        let (mn, mx) = xs.iter().fold((f64::INFINITY, 0.0f64), |(a, b), &x| (a.min(x), b.max(x)));
+        prop_assert!(g >= mn * 0.999999 && g <= mx * 1.000001);
+    }
+
+    /// Vector algebra identities on arbitrary finite vectors.
+    #[test]
+    fn vec3_identities(ax in -1e3f32..1e3, ay in -1e3f32..1e3, az in -1e3f32..1e3,
+                       bx in -1e3f32..1e3, by in -1e3f32..1e3, bz in -1e3f32..1e3) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        // Cross product orthogonality (relative to the magnitudes involved).
+        let c = a.cross(b);
+        let scale = a.norm() * b.norm() * (a.norm() + b.norm());
+        prop_assert!(c.dot(a).abs() <= 1e-3 * scale.max(1e-6));
+        // Dot symmetry and norm consistency.
+        prop_assert_eq!(a.dot(b), b.dot(a));
+        prop_assert!((a.norm_sq() - a.dot(a)).abs() < 1e-3 * a.norm_sq().max(1e-6));
+        // Triangle inequality (with float slack).
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-3);
+    }
+}

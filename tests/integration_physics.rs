@@ -1,0 +1,118 @@
+//! Cross-crate physics integration: trajectories, conservation laws and
+//! algorithmic agreement across every force backend.
+
+use gpu_kernels::force::OptLevel;
+use gpu_sim::DriverModel;
+use gravit_app::backend::Backend;
+use gravit_app::config::{Integrator, SimConfig, SpawnKind};
+use gravit_app::sim::Simulation;
+use nbody::barnes_hut::Octree;
+use nbody::direct::accelerations;
+use nbody::energy::{angular_momentum, total_energy};
+use nbody::model::ForceParams;
+use nbody::spawn;
+
+fn config(n: usize, backend: Backend) -> SimConfig {
+    SimConfig {
+        n,
+        spawn: SpawnKind::DiskGalaxy { radius: 4.0 },
+        seed: 77,
+        dt: 0.002,
+        integrator: Integrator::Leapfrog,
+        backend,
+        ..SimConfig::default()
+    }
+}
+
+/// A multi-step trajectory on the simulated GPU (full optimization) is
+/// bit-identical to the serial CPU trajectory: the whole optimization ladder
+/// is semantics-preserving, end to end, over time.
+#[test]
+fn ten_step_trajectory_identical_cpu_vs_optimized_gpu() {
+    let mut cpu = Simulation::new(config(384, Backend::CpuSerial));
+    let mut gpu = Simulation::new(config(
+        384,
+        Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 },
+    ));
+    for _ in 0..10 {
+        cpu.step();
+        gpu.step();
+    }
+    assert_eq!(cpu.bodies, gpu.bodies);
+    assert_eq!(cpu.accels, gpu.accels);
+}
+
+/// Energy and angular momentum stay bounded for a disk under leapfrog, on
+/// both a CPU and a GPU backend.
+#[test]
+fn conservation_laws_hold_across_backends() {
+    for backend in [
+        Backend::CpuParallel,
+        Backend::GpuSim { level: OptLevel::SoAoaS, driver: DriverModel::Cuda10 },
+    ] {
+        let mut sim = Simulation::new(config(256, backend));
+        let l0 = angular_momentum(&sim.bodies);
+        sim.run(150);
+        let l1 = angular_momentum(&sim.bodies);
+        assert!(sim.energy_drift() < 0.05, "{}: drift {}", backend.label(), sim.energy_drift());
+        let scale = l0.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1e-9);
+        for k in 0..3 {
+            assert!(
+                (l1[k] - l0[k]).abs() < 0.05 * scale,
+                "{}: angular momentum component {k} drifted {} -> {}",
+                backend.label(),
+                l0[k],
+                l1[k]
+            );
+        }
+    }
+}
+
+/// Barnes–Hut with a tight θ tracks the direct sum through an actual
+/// simulation (not just a single force evaluation).
+#[test]
+fn barnes_hut_trajectory_tracks_direct() {
+    let mut exact = Simulation::new(config(300, Backend::CpuSerial));
+    let mut tree = Simulation::new(config(300, Backend::BarnesHut { theta: 0.25 }));
+    exact.run(20);
+    tree.run(20);
+    let mut max_err = 0.0f32;
+    for i in 0..exact.bodies.len() {
+        let d = exact.bodies.pos[i].distance(tree.bodies.pos[i]);
+        max_err = max_err.max(d);
+    }
+    assert!(max_err < 0.05, "trajectories diverged by {max_err}");
+}
+
+/// The tree's bulk properties match the direct solver's inputs at scale.
+#[test]
+fn octree_scales_logarithmically() {
+    let small = spawn::plummer(1_000, 1.0, 1.0, 5);
+    let large = spawn::plummer(16_000, 1.0, 1.0, 5);
+    let ts = Octree::build(&small);
+    let tl = Octree::build(&large);
+    // Depth grows slowly (log-ish), node count roughly linearly.
+    assert!(tl.depth() <= ts.depth() + 6, "depth {} vs {}", tl.depth(), ts.depth());
+    assert!(tl.n_nodes() < 16 * ts.n_nodes());
+    assert!((tl.root_mass() - 1.0).abs() < 1e-2);
+}
+
+/// The energy of a spawned system is negative (bound) for the self-
+/// gravitating workloads — a sanity property of the generators + force law.
+#[test]
+fn spawned_systems_are_gravitationally_bound() {
+    let fp = ForceParams::default();
+    for (name, bodies) in [
+        ("ball", spawn::uniform_ball(500, 2.0, 5.0, 3)),
+        ("plummer", spawn::plummer(500, 0.5, 5.0, 3)),
+    ] {
+        let e = total_energy(&bodies, &fp);
+        assert!(e < 0.0, "{name}: total energy {e} not bound");
+        // And the direct solver pulls everything inward on average.
+        let acc = accelerations(&bodies, &fp);
+        let inward = (0..bodies.len())
+            .filter(|&i| acc[i].dot(bodies.pos[i]) < 0.0)
+            .count();
+        assert!(inward * 10 > bodies.len() * 8, "{name}: only {inward} inward accelerations");
+    }
+}
