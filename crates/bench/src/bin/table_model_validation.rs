@@ -31,14 +31,17 @@ fn main() {
             .map(|i| Particle { pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0), vel: Vec3::ZERO, mass: 1.0 })
             .collect();
         let mut gmem = GlobalMemory::new(256 << 20);
-        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
-        let out = particle_layouts::device::alloc_accel_out(&mut gmem, img.padded_n);
+        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
+            .expect("validation upload fits");
+        let out = particle_layouts::device::alloc_accel_out(&mut gmem, img.padded_n)
+            .expect("output fits");
         let params = force_params(&img, out, 0.05);
         let grid = img.padded_n / cfg.block;
 
         let exact = time_grid(
             &kernel, grid, cfg.block, occ.active_blocks, &params, &mut gmem.clone(), &dev, driver, &tp,
-        );
+        )
+        .expect("exact dispatch is well-formed");
         // The wave model's residency cannot exceed what the grid actually
         // puts on an SM (matters only at validation-scale grids; the Fig. 12
         // sweeps have hundreds of blocks per SM).
@@ -46,7 +49,8 @@ fn main() {
         let resident: Vec<u32> = (0..occ.active_blocks.min(per_sm).min(grid)).collect();
         let wave = time_resident(
             &kernel, &resident, cfg.block, grid, &params, &mut gmem, &dev, driver, &tp,
-        );
+        )
+        .expect("wave launch is well-formed");
         let waves = (grid as u64).div_ceil(dev.num_sms as u64 * resident.len() as u64);
         let est = wave.cycles * waves;
         let err = (est as f64 - exact.cycles as f64) / exact.cycles as f64;

@@ -86,22 +86,24 @@ fn run_with_kernel(layout: Layout, driver: DriverModel, texture: bool) -> Memben
             mass: 1.0,
         })
         .collect();
-    let img = DeviceImage::upload(&mut gmem, layout, &particles, BLOCK);
+    let img = DeviceImage::upload(&mut gmem, layout, &particles, BLOCK)
+        .expect("benchmark particles fit the device");
     let threads = (grid * BLOCK) as u64;
-    let out_delta = gmem.alloc(threads * 4);
-    let out_sum = gmem.alloc(threads * 4);
+    let out_delta = gmem.alloc(threads * 4).expect("output fits");
+    let out_sum = gmem.alloc(threads * 4).expect("output fits");
     let mut params = img.base_params();
     params.push(out_delta.0 as u32);
     params.push(out_sum.0 as u32);
 
-    let run = time_resident(&kernel, &resident, BLOCK, grid, &params, &mut gmem, &dev, driver, &tp);
+    let run = time_resident(&kernel, &resident, BLOCK, grid, &params, &mut gmem, &dev, driver, &tp)
+        .expect("the benchmark launch is well-formed");
 
     // The paper's metric, averaged over every thread of the wave, plus the
     // per-thread distribution.
     let mut total_delta = 0u64;
     let mut per_thread: Vec<f64> = Vec::with_capacity(threads as usize);
     for t in 0..threads {
-        let bytes = gmem.download(out_delta.offset(4 * t), 4);
+        let bytes = gmem.download(out_delta.offset(4 * t), 4).expect("kernel wrote its delta");
         let d = u32::from_le_bytes(bytes.try_into().unwrap()) as u64;
         total_delta += d;
         per_thread.push(d as f64 / cfg.elements() as f64);

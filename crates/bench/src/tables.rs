@@ -30,7 +30,7 @@ pub struct UnrollRow {
 /// reference problem size.
 pub fn unroll_sweep(n: u32) -> Vec<UnrollRow> {
     let block = 128u32;
-    assert!(n % block == 0);
+    assert!(n.is_multiple_of(block));
     let factors = [1u32, 2, 4, 8, 16, 32, 64, 128];
     let mut rows = Vec::new();
     let mut rolled_per_elem = 0.0f64;
@@ -223,8 +223,8 @@ pub fn bank_sweep() -> Vec<BankRow> {
         .map(|stride| {
             let k = build_bank_kernel(stride, 64);
             let mut gmem = GlobalMemory::new(1 << 16);
-            let d = gmem.alloc(128 * 4);
-            let s = gmem.alloc(128 * 4);
+            let d = gmem.alloc(128 * 4).expect("fits");
+            let s = gmem.alloc(128 * 4).expect("fits");
             let run = time_resident(
                 &k,
                 &[0],
@@ -235,7 +235,8 @@ pub fn bank_sweep() -> Vec<BankRow> {
                 &dev,
                 DriverModel::Cuda10,
                 &tp,
-            );
+            )
+            .expect("bank sweep launch is well-formed");
             let addrs: Vec<Option<u64>> = (0..16)
                 .map(|t| Some((((t * stride) & (SMEM_WORDS - 1)) * 4) as u64))
                 .collect();
@@ -387,8 +388,9 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
             let regs = register_demand(&kernel).regs_per_thread as u32;
             let occ = occupancy(&dev, cfg.block, regs, kernel.smem_bytes);
             let mut gmem = GlobalMemory::new(512 << 20);
-            let (mut params, padded) = upload_bh(&mut gmem, &lt, &bodies.pos, cfg.block);
-            let out = gmem.alloc(padded as u64 * 16);
+            let (mut params, padded) = upload_bh(&mut gmem, &lt, &bodies.pos, cfg.block)
+                .expect("tree upload fits the device");
+            let out = gmem.alloc(padded as u64 * 16).expect("output fits");
             params.push(out.0 as u32);
             params.push((theta * theta).to_bits());
             params.push(0.05f32.to_bits());
@@ -403,7 +405,8 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
                 let mut scratch = gmem.clone();
                 let run = time_resident(
                     &kernel, &resident, cfg.block, grid, &params, &mut scratch, &dev, driver, &tp,
-                );
+                )
+                .expect("crossover launch is well-formed");
                 cycles += run.cycles;
             }
             let wave_cycles = cycles / samples as u64;
@@ -465,7 +468,9 @@ pub fn time_kernel_at(
     let regs = register_demand(kernel).regs_per_thread as u32;
     let occ = occupancy(&dev, cfg.block, regs, kernel.smem_bytes);
     let padded = n.div_ceil(cfg.block) * cfg.block;
-    let resident: Vec<u32> = (0..occ.active_blocks).collect();
+    // Clamp residency to the smallest measured grid (see gravit_app::model):
+    // extra resident blocks would read past the uploaded tiles.
+    let resident: Vec<u32> = (0..occ.active_blocks.min(4)).collect();
     let mut measured = Vec::new();
     for tiles in [4u32, 8] {
         let small_n = tiles * cfg.block;
@@ -477,8 +482,10 @@ pub fn time_kernel_at(
             })
             .collect();
         let mut gmem = GlobalMemory::new(64 << 20);
-        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
-        let out = particle_layouts::device::alloc_accel_out(&mut gmem, img.padded_n);
+        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
+            .expect("fit-sized upload fits");
+        let out = particle_layouts::device::alloc_accel_out(&mut gmem, img.padded_n)
+            .expect("output fits");
         let params = force_params(&img, out, 0.05);
         let run = time_resident(
             kernel,
@@ -490,10 +497,12 @@ pub fn time_kernel_at(
             &dev,
             driver,
             &tp,
-        );
+        )
+        .expect("ablation launch is well-formed");
         measured.push((small_n as u64, run.cycles));
     }
-    let wave_cycles = extrapolate_linear(&measured, padded as u64);
+    let wave_cycles =
+        extrapolate_linear(&measured, padded as u64).expect("cost grows with tiles");
     let blocks = (padded / cfg.block) as u64;
     let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
     (wave_cycles * waves) as f64 / dev.clock_hz

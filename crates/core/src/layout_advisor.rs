@@ -185,7 +185,7 @@ pub fn optimize_layout(schema: &StructSchema) -> LayoutPlan {
     // hardware rule the paper's figures assume).
     let baseline_transactions = packed_aos_transactions(schema);
     let optimized_transactions =
-        groups.iter().map(|g| group_transactions(g)).sum::<u32>();
+        groups.iter().map(group_transactions).sum::<u32>();
 
     LayoutPlan { schema: schema.clone(), groups, baseline_transactions, optimized_transactions }
 }

@@ -48,7 +48,7 @@ impl UnrollAdvice {
 /// setting on a device.
 pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) -> UnrollAdvice {
     let n = block * 64; // reference size; per-element budgets are size-stable
-    let factors: Vec<u32> = (0..=block.ilog2()).map(|e| 1 << e).filter(|f| block % f == 0).collect();
+    let factors: Vec<u32> = (0..=block.ilog2()).map(|e| 1 << e).filter(|f| block.is_multiple_of(*f)).collect();
     let mut options = Vec::new();
     let mut rolled = None;
     for &factor in &factors {

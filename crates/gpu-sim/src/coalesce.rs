@@ -135,7 +135,7 @@ pub fn is_strictly_coalesced(addrs: &[Option<u64>], width: AccessWidth) -> bool 
     addrs
         .iter()
         .enumerate()
-        .all(|(k, a)| a.map_or(true, |a| a == base + k as u64 * w))
+        .all(|(k, a)| a.is_none_or(|a| a == base + k as u64 * w))
 }
 
 fn strict_cc10(addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult {

@@ -98,9 +98,9 @@ impl DeviceConfig {
 
     /// Validate internal consistency; panics on a malformed configuration.
     pub fn validate(&self) {
-        assert!(self.warp_size > 0 && self.warp_size % self.half_warp == 0);
+        assert!(self.warp_size > 0 && self.warp_size.is_multiple_of(self.half_warp));
         assert!(self.num_sms > 0);
-        assert!(self.max_threads_per_sm % self.warp_size == 0);
+        assert!(self.max_threads_per_sm.is_multiple_of(self.warp_size));
         assert!(self.max_threads_per_block <= self.max_threads_per_sm);
         assert!(self.reg_alloc_unit.is_power_of_two());
         assert!(self.smem_banks.is_power_of_two());

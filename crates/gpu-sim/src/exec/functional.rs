@@ -10,9 +10,13 @@
 //! validation (their timing numbers come from the timed engine).
 
 use super::machine::{exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv, WARP};
+use crate::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use crate::ir::lower::{lower, LinStmt, Program};
 use crate::ir::Kernel;
 use crate::mem::GlobalMemory;
+
+/// Largest block the G80 accepts (threads per block).
+pub const MAX_BLOCK: u32 = 512;
 
 /// Statistics of a functional run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -26,9 +30,32 @@ pub struct FunctionalRun {
 /// Execute every block of the grid functionally against `gmem`.
 ///
 /// `grid` × `block` threads; `params` are the kernel parameter values.
-pub fn run_grid(kernel: &Kernel, grid: u32, block: u32, params: &[u32], gmem: &mut GlobalMemory) -> FunctionalRun {
+/// Device misuse (bad geometry, out-of-bounds/misaligned/uninitialized
+/// accesses, divergent barriers) returns a typed [`DeviceError`] with fault
+/// coordinates instead of panicking.
+pub fn run_grid(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+) -> DeviceResult<FunctionalRun> {
     let prog = lower(kernel);
     run_grid_lowered(&prog, grid, block, params, gmem)
+}
+
+/// As [`run_grid`], with a fault-injection plan (test harness): matching
+/// memory accesses have their effective addresses mutated before execution.
+pub fn run_grid_injected(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: &FaultPlan,
+) -> DeviceResult<FunctionalRun> {
+    let prog = lower(kernel);
+    run_lowered_inner(&prog, grid, block, params, gmem, Some(plan))
 }
 
 /// As [`run_grid`], for an already-lowered program.
@@ -38,16 +65,44 @@ pub fn run_grid_lowered(
     block: u32,
     params: &[u32],
     gmem: &mut GlobalMemory,
-) -> FunctionalRun {
-    assert!(grid > 0 && block > 0, "empty launch");
+) -> DeviceResult<FunctionalRun> {
+    run_lowered_inner(prog, grid, block, params, gmem, None)
+}
+
+fn run_lowered_inner(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: Option<&FaultPlan>,
+) -> DeviceResult<FunctionalRun> {
+    validate_launch(grid, block).map_err(|e| e.with_kernel(&prog.name))?;
     let env = LaunchEnv { block_dim: block, grid_dim: grid };
     let mut stats = FunctionalRun::default();
     for b in 0..grid {
-        run_block(prog, b, block as usize, params, &env, gmem, &mut stats);
+        run_block(prog, b, block as usize, params, &env, gmem, &mut stats, plan)
+            .map_err(|e| e.with_kernel(&prog.name))?;
     }
-    stats
+    Ok(stats)
 }
 
+/// Validate launch geometry against the G80's limits.
+pub fn validate_launch(grid: u32, block: u32) -> DeviceResult<()> {
+    if grid == 0 || block == 0 {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: format!("empty launch: grid {grid} × block {block}"),
+        }));
+    }
+    if block > MAX_BLOCK {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: format!("block size {block} exceeds the device limit of {MAX_BLOCK} threads"),
+        }));
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_block(
     prog: &Program,
     block_id: u32,
@@ -56,9 +111,10 @@ fn run_block(
     env: &LaunchEnv,
     gmem: &mut GlobalMemory,
     stats: &mut FunctionalRun,
-) {
+    plan: Option<&FaultPlan>,
+) -> DeviceResult<()> {
     let n_warps = n_threads.div_ceil(WARP);
-    let mut ctx = BlockCtx::new(prog, block_id, n_threads, params);
+    let mut ctx = BlockCtx::new(prog, block_id, n_threads, params)?;
     let mut cursors: Vec<Cursor> = (0..n_warps)
         .map(|w| Cursor::new(prog, live_lane_mask(n_threads, w)))
         .collect();
@@ -73,10 +129,7 @@ fn run_block(
                 continue;
             }
             // Run this warp until Sync or completion.
-            loop {
-                let Some(item) = cursors[w].fetch(prog) else {
-                    break;
-                };
+            while let Some(item) = cursors[w].fetch(prog) {
                 let (stmt, mask) = match item {
                     FetchItem::Stmt(s, m) => (s, m),
                     FetchItem::WhileBackedge { pred, negate, mask } => {
@@ -92,7 +145,7 @@ fn run_block(
                 };
                 match stmt {
                     LinStmt::I(i) => {
-                        exec_instr(i, &mut ctx, w, mask, env, gmem, instr_counts[w]);
+                        exec_instr(i, &mut ctx, w, mask, env, gmem, instr_counts[w], plan)?;
                         instr_counts[w] += 1;
                         stats.warp_instructions += 1;
                         cursors[w].step();
@@ -100,11 +153,18 @@ fn run_block(
                     }
                     LinStmt::Bra { pred, negate, target } => {
                         let m = pred_mask(&ctx, w, mask, *pred, *negate);
-                        assert!(
-                            m == 0 || m == mask,
-                            "divergent loop branch in {} (warp {w}): mask {mask:#x}, taken {m:#x}",
-                            prog.name
-                        );
+                        if m != 0 && m != mask {
+                            // Attribute to the first lane disagreeing with
+                            // the majority sense of the branch.
+                            let lane = (m ^ mask).trailing_zeros();
+                            return Err(DeviceError::new(FaultKind::DivergentBranch {
+                                mask,
+                                taken: m,
+                            })
+                            .with_block(block_id)
+                            .with_thread(w as u32 * WARP as u32 + lane)
+                            .with_instruction(instr_counts[w]));
+                        }
                         let target = *target;
                         cursors[w].branch(m == mask, target);
                         instr_counts[w] += 1;
@@ -137,11 +197,12 @@ fn run_block(
         }
         // Every unfinished warp must be parked at the same barrier.
         let all_at_sync = (0..n_warps).all(|w| cursors[w].done() || at_sync[w]);
-        assert!(
-            all_at_sync && any_progress,
-            "deadlock in {}: not all warps reached the barrier (a divergent __syncthreads)",
-            prog.name
-        );
+        if !(all_at_sync && any_progress) {
+            return Err(DeviceError::new(FaultKind::Deadlock {
+                reason: "not all warps reached the barrier (a divergent __syncthreads)".into(),
+            })
+            .with_block(block_id));
+        }
         for (w, c) in cursors.iter_mut().enumerate() {
             if !c.done() && at_sync[w] {
                 c.step();
@@ -150,6 +211,7 @@ fn run_block(
             }
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -179,11 +241,11 @@ mod tests {
         let mut gmem = GlobalMemory::new(1 << 20);
         let xs: Vec<f32> = (0..n).map(|i| i as f32).collect();
         let ys: Vec<f32> = (0..n).map(|i| 2.0 * i as f32).collect();
-        let a = gmem.alloc_f32(&xs);
-        let bb = gmem.alloc_f32(&ys);
-        let o = gmem.alloc(n as u64 * 4);
-        run_grid(&k, 4, 64, &[a.0 as u32, bb.0 as u32, o.0 as u32], &mut gmem);
-        let out = gmem.read_f32(o, n);
+        let a = gmem.alloc_f32(&xs).unwrap();
+        let bb = gmem.alloc_f32(&ys).unwrap();
+        let o = gmem.alloc(n as u64 * 4).unwrap();
+        run_grid(&k, 4, 64, &[a.0 as u32, bb.0 as u32, o.0 as u32], &mut gmem).unwrap();
+        let out = gmem.read_f32(o, n).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 3.0 * i as f32, "lane {i}");
         }
@@ -207,9 +269,9 @@ mod tests {
         let k = b.finish();
 
         let mut gmem = GlobalMemory::new(1 << 16);
-        let o = gmem.alloc(64 * 4);
-        run_grid(&k, 1, 64, &[o.0 as u32, 10], &mut gmem);
-        let out = gmem.read_f32(o, 64);
+        let o = gmem.alloc(64 * 4).unwrap();
+        run_grid(&k, 1, 64, &[o.0 as u32, 10], &mut gmem).unwrap();
+        let out = gmem.read_f32(o, 64).unwrap();
         assert!(out.iter().all(|&v| v == 45.0));
     }
 
@@ -242,11 +304,11 @@ mod tests {
         let k = b.finish();
 
         let mut gmem = GlobalMemory::new(1 << 16);
-        let o = gmem.alloc(64 * 4);
-        run_grid(&k, 1, 64, &[o.0 as u32], &mut gmem);
-        let out = gmem.read_f32(o, 64);
-        for t in 0..64 {
-            assert_eq!(out[t], ((t + 1) % 64) as f32, "thread {t}");
+        let o = gmem.alloc(64 * 4).unwrap();
+        run_grid(&k, 1, 64, &[o.0 as u32], &mut gmem).unwrap();
+        let out = gmem.read_f32(o, 64).unwrap();
+        for (t, v) in out.iter().enumerate() {
+            assert_eq!(*v, ((t + 1) % 64) as f32, "thread {t}");
         }
     }
 
@@ -273,11 +335,11 @@ mod tests {
         let k = b.finish();
 
         let mut gmem = GlobalMemory::new(1 << 16);
-        let o = gmem.alloc(32 * 4);
-        run_grid(&k, 1, 32, &[o.0 as u32], &mut gmem);
-        let out = gmem.read_f32(o, 32);
-        for t in 0..32 {
-            assert_eq!(out[t], if t % 2 == 0 { 1.0 } else { 2.0 });
+        let o = gmem.alloc(32 * 4).unwrap();
+        run_grid(&k, 1, 32, &[o.0 as u32], &mut gmem).unwrap();
+        let out = gmem.read_f32(o, 32).unwrap();
+        for (t, v) in out.iter().enumerate() {
+            assert_eq!(*v, if t % 2 == 0 { 1.0 } else { 2.0 });
         }
     }
 
@@ -292,9 +354,9 @@ mod tests {
         b.st(MemSpace::Global, ao, 0, vec![one.into()]);
         let k = b.finish();
         let mut gmem = GlobalMemory::new(1 << 12);
-        let o = gmem.alloc(40 * 4);
-        run_grid(&k, 1, 40, &[o.0 as u32], &mut gmem);
-        assert!(gmem.read_f32(o, 40).iter().all(|&v| v == 1.0));
+        let o = gmem.alloc(40 * 4).unwrap();
+        run_grid(&k, 1, 40, &[o.0 as u32], &mut gmem).unwrap();
+        assert!(gmem.read_f32(o, 40).unwrap().iter().all(|&v| v == 1.0));
     }
 }
 
@@ -364,10 +426,10 @@ mod while_tests {
     fn divergent_while_computes_collatz_per_lane() {
         let k = collatz_kernel();
         let mut gmem = GlobalMemory::new(1 << 16);
-        let out = gmem.alloc(64 * 4);
-        run_grid(&k, 1, 64, &[out.0 as u32], &mut gmem);
+        let out = gmem.alloc(64 * 4).unwrap();
+        run_grid(&k, 1, 64, &[out.0 as u32], &mut gmem).unwrap();
         for t in 0..64u64 {
-            let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0 + 4 * t), 4).try_into().unwrap());
+            let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0 + 4 * t), 4).unwrap().try_into().unwrap());
             assert_eq!(got, collatz_steps(t as u32 + 1), "thread {t}");
         }
     }
@@ -381,10 +443,10 @@ mod while_tests {
         let dev = DeviceConfig::g8800gtx();
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
         let mut gmem = GlobalMemory::new(1 << 16);
-        let out = gmem.alloc(64 * 4);
-        let run = time_resident(&k, &[0], 64, 1, &[out.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let out = gmem.alloc(64 * 4).unwrap();
+        let run = time_resident(&k, &[0], 64, 1, &[out.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         // Functional result still correct under the timed engine.
-        let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0), 4).try_into().unwrap());
+        let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0), 4).unwrap().try_into().unwrap());
         assert_eq!(got, collatz_steps(1));
         assert!(run.cycles > 0);
         // The warp executes max-lane passes: thread 26 (n=27) needs 111 steps,

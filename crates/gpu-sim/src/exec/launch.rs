@@ -10,6 +10,7 @@
 
 use crate::device::DeviceConfig;
 use crate::driver::DriverModel;
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::exec::timed::{time_resident, TimedRun};
 use crate::ir::Kernel;
 use crate::mem::GlobalMemory;
@@ -73,35 +74,48 @@ pub fn estimate_grid(
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
-) -> GridEstimate {
+) -> DeviceResult<GridEstimate> {
     let occ = occupancy(dev, launch.block, regs_per_thread, kernel.smem_bytes);
     let resident_n = occ.active_blocks.min(launch.grid);
+    if resident_n == 0 {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: format!(
+                "kernel cannot be made resident: {} threads/block with {regs_per_thread} regs/thread and {} B smem fits zero blocks per SM",
+                launch.block, kernel.smem_bytes
+            ),
+        })
+        .with_kernel(&kernel.name));
+    }
     let resident: Vec<u32> = (0..resident_n).collect();
-    let wave = time_resident(kernel, &resident, launch.block, launch.grid, params, gmem, dev, driver, tp);
+    let wave = time_resident(kernel, &resident, launch.block, launch.grid, params, gmem, dev, driver, tp)?;
     let blocks_per_wave = (dev.num_sms * resident_n) as u64;
     let waves = (launch.grid as u64).div_ceil(blocks_per_wave);
     let total_cycles = wave.cycles * waves;
-    GridEstimate {
+    Ok(GridEstimate {
         cycles_per_wave: wave.cycles,
         waves,
         total_cycles,
         seconds: total_cycles as f64 / dev.clock_hz,
         occupancy: occ,
         wave_stats: wave,
-    }
+    })
 }
 
 /// Extrapolate a cost that is affine in a size parameter: measure at two (or
 /// more) sizes, fit `cycles ≈ a + b·size`, and evaluate at `target`.
 ///
-/// Panics if the fit produces a negative slope (a sign the measurements are
-/// not in the steady-state regime).
-pub fn extrapolate_linear(measured: &[(u64, u64)], target: u64) -> u64 {
+/// A negative fitted slope (a sign the measurements are not in the
+/// steady-state regime) is a [`FaultKind::BadConfig`] error.
+pub fn extrapolate_linear(measured: &[(u64, u64)], target: u64) -> DeviceResult<u64> {
     let pts: Vec<(f64, f64)> = measured.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
     let (a, b) = linear_fit(&pts);
-    assert!(b >= 0.0, "negative marginal cost ({b}) — measurements not in steady state");
+    if b < 0.0 {
+        return Err(DeviceError::new(FaultKind::BadConfig {
+            reason: format!("negative marginal cost ({b}) — measurements not in steady state"),
+        }));
+    }
     let v = a + b * target as f64;
-    v.max(0.0).round() as u64
+    Ok(v.max(0.0).round() as u64)
 }
 
 #[cfg(test)]
@@ -120,13 +134,13 @@ mod tests {
     #[test]
     fn extrapolation_recovers_affine_cost() {
         let measured = vec![(4u64, 1000u64), (8, 1800), (16, 3400)];
-        assert_eq!(extrapolate_linear(&measured, 32), 6600);
+        assert_eq!(extrapolate_linear(&measured, 32).unwrap(), 6600);
     }
 
     #[test]
-    #[should_panic]
     fn extrapolation_rejects_negative_slope() {
-        extrapolate_linear(&[(4, 1000), (8, 500)], 100);
+        let err = extrapolate_linear(&[(4, 1000), (8, 500)], 100).unwrap_err();
+        assert!(matches!(err.kind, crate::fault::FaultKind::BadConfig { .. }));
     }
 
     #[test]
@@ -143,7 +157,7 @@ mod tests {
 
         let run = |grid: u32| {
             let mut gmem = GlobalMemory::new(64 << 20);
-            let o = gmem.alloc(grid as u64 * 128 * 4);
+            let o = gmem.alloc(grid as u64 * 128 * 4).unwrap();
             estimate_grid(
                 &k,
                 LaunchConfig { grid, block: 128 },
@@ -154,6 +168,7 @@ mod tests {
                 DriverModel::Cuda10,
                 &tp,
             )
+            .unwrap()
         };
         let small = run(16);
         let big = run(16 * 64);

@@ -6,6 +6,7 @@
 //! side effects are identical in both modes by construction.
 
 use crate::coalesce::AccessWidth;
+use crate::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use crate::ir::lower::{LinStmt, Program};
 use crate::ir::{AluOp, CmpOp, Instr, MemSpace, Operand, Pred, Reg, SpecialReg, UnaryOp};
 use crate::mem::GlobalMemory;
@@ -41,16 +42,27 @@ pub struct BlockCtx {
 
 impl BlockCtx {
     /// Create block state with parameters bound to the first registers of
-    /// every thread (as the lowered ABI requires).
-    pub fn new(prog: &Program, block_id: u32, n_threads: usize, params: &[u32]) -> Self {
-        assert_eq!(params.len(), prog.n_params as usize, "wrong parameter count");
+    /// every thread (as the lowered ABI requires). A parameter-count mismatch
+    /// is a [`FaultKind::BadLaunch`].
+    pub fn new(prog: &Program, block_id: u32, n_threads: usize, params: &[u32]) -> DeviceResult<Self> {
+        if params.len() != prog.n_params as usize {
+            return Err(DeviceError::new(FaultKind::BadLaunch {
+                reason: format!(
+                    "kernel expects {} parameters, launch passed {}",
+                    prog.n_params,
+                    params.len()
+                ),
+            })
+            .with_kernel(&prog.name)
+            .with_block(block_id));
+        }
         let n_regs = prog.n_regs as usize;
         let n_preds = prog.n_preds as usize;
         let mut regs = vec![0u32; n_threads * n_regs];
         for t in 0..n_threads {
             regs[t * n_regs..t * n_regs + params.len()].copy_from_slice(params);
         }
-        BlockCtx {
+        Ok(BlockCtx {
             block_id,
             n_threads,
             n_regs,
@@ -58,7 +70,7 @@ impl BlockCtx {
             regs,
             preds: vec![false; n_threads * n_preds.max(1)],
             smem: vec![0u8; prog.smem_bytes as usize],
-        }
+        })
     }
 
     /// Read a register of a thread.
@@ -84,24 +96,40 @@ impl BlockCtx {
         self.preds[t * self.n_preds.max(1) + p.0 as usize] = v;
     }
 
-    fn smem_load_u32(&self, addr: u64) -> u32 {
-        let a = addr as usize;
-        assert!(
-            a % 4 == 0 && a + 4 <= self.smem.len(),
-            "shared-memory load out of bounds or misaligned: addr {a}, smem {} B",
-            self.smem.len()
-        );
-        u32::from_le_bytes(self.smem[a..a + 4].try_into().unwrap())
+    /// Validate a shared-memory word access. Shared memory is zero-initialized
+    /// on real hardware-adjacent semantics here (no poison tracking): the
+    /// sanitizer checks alignment and bounds only.
+    fn smem_check(&self, addr: u64) -> DeviceResult<()> {
+        if !addr.is_multiple_of(4) {
+            return Err(DeviceError::new(FaultKind::Misaligned {
+                space: MemSpace::Shared,
+                addr,
+                width: 4,
+            }));
+        }
+        if addr + 4 > self.smem.len() as u64 {
+            return Err(DeviceError::new(FaultKind::OutOfBounds {
+                space: MemSpace::Shared,
+                addr,
+                width: 4,
+                limit: self.smem.len() as u64,
+                redzone: false,
+            }));
+        }
+        Ok(())
     }
 
-    fn smem_store_u32(&mut self, addr: u64, v: u32) {
+    fn smem_load_u32(&self, addr: u64) -> DeviceResult<u32> {
+        self.smem_check(addr)?;
         let a = addr as usize;
-        assert!(
-            a % 4 == 0 && a + 4 <= self.smem.len(),
-            "shared-memory store out of bounds or misaligned: addr {a}, smem {} B",
-            self.smem.len()
-        );
+        Ok(u32::from_le_bytes(self.smem[a..a + 4].try_into().expect("4-byte slice")))
+    }
+
+    fn smem_store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()> {
+        self.smem_check(addr)?;
+        let a = addr as usize;
         self.smem[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
     }
 }
 
@@ -123,7 +151,12 @@ pub struct MemTrace {
 ///
 /// `warp` is the warp index within the block, `mask` the active-lane mask,
 /// `clock_value` what a `Clock` instruction should read. Returns the memory
-/// trace if the instruction touched memory.
+/// trace if the instruction touched memory. A memory fault carries the exact
+/// (block, thread, instruction) coordinates of the offending lane.
+///
+/// `plan` is the fault-injection hook: when set, the effective address of a
+/// matching (block, thread, instruction) access is mutated before the access
+/// is performed (test harness only — production paths pass `None`).
 #[allow(clippy::too_many_arguments)]
 pub fn exec_instr(
     i: &Instr,
@@ -133,7 +166,8 @@ pub fn exec_instr(
     env: &LaunchEnv,
     gmem: &mut GlobalMemory,
     clock_value: u64,
-) -> Option<MemTrace> {
+    plan: Option<&FaultPlan>,
+) -> DeviceResult<Option<MemTrace>> {
     let lanes: Vec<usize> = (0..WARP)
         .filter(|l| mask & (1 << l) != 0)
         .map(|l| warp * WARP + l)
@@ -152,7 +186,7 @@ pub fn exec_instr(
                 let v = opv(ctx, t, src);
                 ctx.set_reg(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Special { dst, sr } => {
             for &t in &lanes {
@@ -164,7 +198,7 @@ pub fn exec_instr(
                 };
                 ctx.set_reg(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Alu { op, dst, a, b } => {
             for &t in &lanes {
@@ -173,7 +207,7 @@ pub fn exec_instr(
                 let v = alu(*op, x, y);
                 ctx.set_reg(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Mad { float, dst, a, b, c } => {
             for &t in &lanes {
@@ -190,7 +224,7 @@ pub fn exec_instr(
                 };
                 ctx.set_reg(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Unary { op, dst, a } => {
             for &t in &lanes {
@@ -206,7 +240,7 @@ pub fn exec_instr(
                 };
                 ctx.set_reg(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Setp { dst, cmp, a, b } => {
             for &t in &lanes {
@@ -221,46 +255,92 @@ pub fn exec_instr(
                 };
                 ctx.set_pred(t, *dst, v);
             }
-            None
+            Ok(None)
         }
         Instr::Ld { dsts, space, base, offset } => {
             let width = AccessWidth::from_bytes(4 * dsts.len() as u32).expect("load width");
+            let n_words = dsts.len() as u64;
             let mut addrs = vec![None; WARP];
+            let bid = ctx.block_id;
             for &t in &lanes {
-                let addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
+                let mut addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
+                if let Some(p) = plan {
+                    addr = p.mutate(bid, t as u32, clock_value, addr);
+                }
                 addrs[t % WARP] = Some(addr);
+                // A vector access must be naturally aligned as a whole; the
+                // per-word loop below would only catch word misalignment.
+                let fault_at = move |e: DeviceError| {
+                    e.with_block(bid).with_thread(t as u32).with_instruction(clock_value)
+                };
+                if matches!(space, MemSpace::Global | MemSpace::Texture) && !addr.is_multiple_of(4 * n_words)
+                {
+                    return Err(fault_at(DeviceError::new(FaultKind::Misaligned {
+                        space: *space,
+                        addr,
+                        width: 4 * n_words,
+                    })));
+                }
                 for (w, d) in dsts.iter().enumerate() {
                     let v = match space {
-                        MemSpace::Global | MemSpace::Texture => gmem.load_u32(addr + 4 * w as u64),
-                        MemSpace::Shared => ctx.smem_load_u32(addr + 4 * w as u64),
+                        MemSpace::Global | MemSpace::Texture => {
+                            gmem.load_u32(addr + 4 * w as u64).map_err(fault_at)?
+                        }
+                        MemSpace::Shared => {
+                            ctx.smem_load_u32(addr + 4 * w as u64).map_err(fault_at)?
+                        }
                     };
                     ctx.set_reg(t, *d, v);
                 }
             }
-            Some(MemTrace { space: *space, is_load: true, width, addrs })
+            Ok(Some(MemTrace { space: *space, is_load: true, width, addrs }))
         }
         Instr::St { srcs, space, base, offset } => {
             let width = AccessWidth::from_bytes(4 * srcs.len() as u32).expect("store width");
+            let n_words = srcs.len() as u64;
             let mut addrs = vec![None; WARP];
+            let bid = ctx.block_id;
             for &t in &lanes {
-                let addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
+                let mut addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
+                if let Some(p) = plan {
+                    addr = p.mutate(bid, t as u32, clock_value, addr);
+                }
                 addrs[t % WARP] = Some(addr);
+                let fault_at = move |e: DeviceError| {
+                    e.with_block(bid).with_thread(t as u32).with_instruction(clock_value)
+                };
+                if *space == MemSpace::Global && !addr.is_multiple_of(4 * n_words) {
+                    return Err(fault_at(DeviceError::new(FaultKind::Misaligned {
+                        space: *space,
+                        addr,
+                        width: 4 * n_words,
+                    })));
+                }
                 for (w, s) in srcs.iter().enumerate() {
                     let v = opv(ctx, t, s);
                     match space {
-                        MemSpace::Global => gmem.store_u32(addr + 4 * w as u64, v),
-                        MemSpace::Shared => ctx.smem_store_u32(addr + 4 * w as u64, v),
-                        MemSpace::Texture => panic!("texture memory is read-only"),
+                        MemSpace::Global => {
+                            gmem.store_u32(addr + 4 * w as u64, v).map_err(fault_at)?
+                        }
+                        MemSpace::Shared => {
+                            ctx.smem_store_u32(addr + 4 * w as u64, v).map_err(fault_at)?
+                        }
+                        MemSpace::Texture => {
+                            return Err(fault_at(DeviceError::new(FaultKind::ReadOnlyWrite {
+                                space: MemSpace::Texture,
+                                addr,
+                            })));
+                        }
                     }
                 }
             }
-            Some(MemTrace { space: *space, is_load: false, width, addrs })
+            Ok(Some(MemTrace { space: *space, is_load: false, width, addrs }))
         }
         Instr::Clock { dst } => {
             for &t in &lanes {
                 ctx.set_reg(t, *dst, clock_value as u32);
             }
-            None
+            Ok(None)
         }
     }
 }
@@ -339,9 +419,7 @@ impl Cursor {
     /// predicate values, so those are surfaced for the executor to resolve.
     pub fn fetch<'a>(&mut self, prog: &'a Program) -> Option<FetchItem<'a>> {
         loop {
-            let Some(top) = self.frames.last().copied() else {
-                return None;
-            };
+            let top = self.frames.last().copied()?;
             if top.idx >= prog.seqs[top.seq].len() {
                 if let Some((pred, negate)) = top.while_of {
                     return Some(FetchItem::WhileBackedge { pred, negate, mask: top.mask });
@@ -451,7 +529,7 @@ mod tests {
         let _p1 = b.param();
         let _ = b.iadd(p0.into(), Operand::ImmU(1));
         let prog = lower(&b.finish());
-        let ctx = BlockCtx::new(&prog, 0, 32, &[11, 22]);
+        let ctx = BlockCtx::new(&prog, 0, 32, &[11, 22]).unwrap();
         assert_eq!(ctx.reg(0, Reg(0)), 11);
         assert_eq!(ctx.reg(31, Reg(1)), 22);
     }
@@ -471,7 +549,7 @@ mod tests {
         b.emit(Instr::Mov { dst: r, src: Operand::ImmU(7) });
         let k = b.finish();
         let prog = lower(&k);
-        let mut ctx = BlockCtx::new(&prog, 0, 32, &[]);
+        let mut ctx = BlockCtx::new(&prog, 0, 32, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
         // Only lanes 0 and 3 active.
         exec_instr(
@@ -482,7 +560,9 @@ mod tests {
             &env(),
             &mut gmem,
             0,
-        );
+            None,
+        )
+        .unwrap();
         assert_eq!(ctx.reg(0, r), 7);
         assert_eq!(ctx.reg(1, r), 0);
         assert_eq!(ctx.reg(3, r), 7);
@@ -494,13 +574,13 @@ mod tests {
         let t = b.special(SpecialReg::TidX);
         let k = b.finish();
         let prog = lower(&k);
-        let mut ctx = BlockCtx::new(&prog, 5, 64, &[]);
+        let mut ctx = BlockCtx::new(&prog, 5, 64, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
         let e = LaunchEnv { block_dim: 64, grid_dim: 9 };
-        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::TidX }, &mut ctx, 1, u32::MAX, &e, &mut gmem, 0);
+        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::TidX }, &mut ctx, 1, u32::MAX, &e, &mut gmem, 0, None).unwrap();
         assert_eq!(ctx.reg(32, t), 32);
         assert_eq!(ctx.reg(63, t), 63);
-        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::CtaidX }, &mut ctx, 0, u32::MAX, &e, &mut gmem, 0);
+        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::CtaidX }, &mut ctx, 0, u32::MAX, &e, &mut gmem, 0, None).unwrap();
         assert_eq!(ctx.reg(0, t), 5);
     }
 
@@ -512,8 +592,8 @@ mod tests {
         let k = b.finish();
         let prog = lower(&k);
         let mut gmem = GlobalMemory::new(1024);
-        let ptr = gmem.alloc_f32(&[1.0; 64]);
-        let mut ctx = BlockCtx::new(&prog, 0, 32, &[ptr.0 as u32]);
+        let ptr = gmem.alloc_f32(&[1.0; 64]).unwrap();
+        let mut ctx = BlockCtx::new(&prog, 0, 32, &[ptr.0 as u32]).unwrap();
         // Give each lane a distinct address: addr = base + 4*t via a mad.
         // Simpler: directly execute a load with base reg holding per-thread
         // addresses.
@@ -530,7 +610,9 @@ mod tests {
             &env(),
             &mut gmem,
             0,
+            None,
         )
+        .unwrap()
         .unwrap();
         assert!(tr.is_load);
         assert_eq!(tr.addrs.iter().flatten().count(), 32);
@@ -547,11 +629,11 @@ mod tests {
         let _w = b.ld(MemSpace::Shared, r, 0, 1);
         let k = b.finish();
         let prog = lower(&k);
-        let mut ctx = BlockCtx::new(&prog, 0, 1, &[]);
+        let mut ctx = BlockCtx::new(&prog, 0, 1, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
         for s in &prog.seqs[prog.root] {
             if let LinStmt::I(i) = s {
-                exec_instr(i, &mut ctx, 0, 1, &env(), &mut gmem, 0);
+                exec_instr(i, &mut ctx, 0, 1, &env(), &mut gmem, 0, None).unwrap();
             }
         }
         // The load's destination is the last register.
@@ -568,7 +650,7 @@ mod tests {
         let prog = lower(&b.finish());
         let mut cur = Cursor::new(&prog, u32::MAX);
         let mut executed = 0;
-        let mut ctx = BlockCtx::new(&prog, 0, 32, &[]);
+        let mut ctx = BlockCtx::new(&prog, 0, 32, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
         while let Some(item) = cur.fetch(&prog) {
             let FetchItem::Stmt(stmt, mask) = item else {
@@ -576,7 +658,7 @@ mod tests {
             };
             match stmt {
                 LinStmt::I(i) => {
-                    exec_instr(i, &mut ctx, 0, mask, &env(), &mut gmem, 0);
+                    exec_instr(i, &mut ctx, 0, mask, &env(), &mut gmem, 0, None).unwrap();
                     executed += 1;
                     cur.step();
                 }

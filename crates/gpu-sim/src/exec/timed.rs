@@ -21,8 +21,10 @@
 //! more candidates to hide latencies and barrier bubbles with — which is how
 //! the paper's 50 % → 67 % occupancy step buys its ~6 %.
 
+use super::functional::validate_launch;
 use super::machine::{exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv};
 use crate::banks::conflict_degree;
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::coalesce::coalesce_half_warp;
 use crate::device::DeviceConfig;
 use crate::driver::DriverModel;
@@ -98,7 +100,7 @@ pub fn time_resident(
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
-) -> TimedRun {
+) -> DeviceResult<TimedRun> {
     let prog = lower(kernel);
     time_resident_lowered(&prog, resident, block_size, grid, params, gmem, dev, driver, tp)
 }
@@ -115,7 +117,7 @@ pub fn time_resident_lowered(
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
-) -> TimedRun {
+) -> DeviceResult<TimedRun> {
     time_sm_queue(prog, resident, &[], block_size, grid, params, gmem, dev, driver, tp)
 }
 
@@ -136,18 +138,27 @@ pub fn time_sm_queue(
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
-) -> TimedRun {
-    assert!(!resident.is_empty() && block_size > 0 && grid > 0);
+) -> DeviceResult<TimedRun> {
+    let bad = |reason: String| {
+        Err(DeviceError::new(FaultKind::BadLaunch { reason }).with_kernel(&prog.name))
+    };
+    validate_launch(grid, block_size).map_err(|e| e.with_kernel(&prog.name))?;
+    if resident.is_empty() {
+        return bad("no resident blocks".into());
+    }
     let mut pending: std::collections::VecDeque<u32> = pending.iter().copied().collect();
-    assert!(pending.iter().all(|b| *b < grid));
-    assert!(resident.iter().all(|b| *b < grid), "resident block beyond grid");
+    if let Some(b) = pending.iter().chain(resident.iter()).find(|b| **b >= grid) {
+        return bad(format!("block id {b} beyond grid of {grid}"));
+    }
     let env = LaunchEnv { block_dim: block_size, grid_dim: grid };
     let n_threads = block_size as usize;
     let warps_per_block = n_threads.div_ceil(32);
     let half = dev.half_warp as usize;
 
-    let mut blocks: Vec<BlockCtx> =
-        resident.iter().map(|&b| BlockCtx::new(prog, b, n_threads, params)).collect();
+    let mut blocks: Vec<BlockCtx> = resident
+        .iter()
+        .map(|&b| BlockCtx::new(prog, b, n_threads, params))
+        .collect::<DeviceResult<_>>()?;
     let mut warps: Vec<WarpSim> = Vec::new();
     for (bi, _) in resident.iter().enumerate() {
         for w in 0..warps_per_block {
@@ -224,7 +235,8 @@ pub fn time_sm_queue(
                     let w = &warps[wi];
                     let ctx = &mut blocks[w.block];
                     let wib = w.warp_in_block;
-                    exec_instr(i, ctx, wib, mask, &env, gmem, now)
+                    exec_instr(i, ctx, wib, mask, &env, gmem, now, None)
+                        .map_err(|e| e.with_kernel(&prog.name))?
                 };
                 stats.warp_instructions += 1;
                 let w = &mut warps[wi];
@@ -289,7 +301,7 @@ pub fn time_sm_queue(
                     }
                     (Instr::Ld { space: MemSpace::Shared, .. }, Some(tr))
                     | (Instr::St { space: MemSpace::Shared, .. }, Some(tr)) => {
-                        let words = tr.width.bytes() as u64 / 4;
+                        let words = tr.width.bytes() / 4;
                         // Worst conflict degree across half-warps and phases.
                         let mut degree = 1u64;
                         for h in tr.addrs.chunks(half) {
@@ -334,7 +346,14 @@ pub fn time_sm_queue(
                 stats.warp_instructions += 1;
                 let w = &warps[wi];
                 let m = pred_mask(&blocks[w.block], w.warp_in_block, mask, *pred, *negate);
-                assert!(m == 0 || m == mask, "divergent loop branch in {}", prog.name);
+                if m != 0 && m != mask {
+                    let lane = (m ^ mask).trailing_zeros();
+                    return Err(DeviceError::new(FaultKind::DivergentBranch { mask, taken: m })
+                        .with_kernel(&prog.name)
+                        .with_block(blocks[w.block].block_id)
+                        .with_thread(w.warp_in_block as u32 * 32 + lane)
+                        .with_instruction(now));
+                }
                 let taken = m == mask;
                 let w = &mut warps[wi];
                 issue_free = now + tp.issue_alu;
@@ -422,7 +441,7 @@ pub fn time_sm_queue(
                         .map(|x| x.finish)
                         .max()
                         .unwrap_or(0);
-                    blocks[slot] = BlockCtx::new(prog, next_id, n_threads, params);
+                    blocks[slot] = BlockCtx::new(prog, next_id, n_threads, params)?;
                     for x in warps.iter_mut().filter(|x| x.block == slot) {
                         x.cursor = Cursor::new(prog, live_lane_mask(n_threads, x.warp_in_block));
                         x.phase = WarpPhase::Ready;
@@ -438,15 +457,16 @@ pub fn time_sm_queue(
     }
 
     // Sanity: nobody left parked at a barrier.
-    assert!(
-        warps.iter().all(|w| w.phase == WarpPhase::Done),
-        "deadlock in {}: warp parked at a barrier at end of simulation",
-        prog.name
-    );
+    if !warps.iter().all(|w| w.phase == WarpPhase::Done) {
+        return Err(DeviceError::new(FaultKind::Deadlock {
+            reason: "warp parked at a barrier at end of simulation".into(),
+        })
+        .with_kernel(&prog.name));
+    }
     assert!(pending.is_empty(), "blocks left unadmitted");
     stats.cycles = warps.iter().map(|w| w.finish).max().unwrap_or(0).max(mem_free);
     stats.idle_cycles = stats.idle_cycles.min(stats.cycles);
-    stats
+    Ok(stats)
 }
 
 /// Exact full-grid timing: every block of the launch is simulated, with the
@@ -466,8 +486,13 @@ pub fn time_grid(
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
-) -> TimedRun {
-    assert!(resident_per_sm >= 1);
+) -> DeviceResult<TimedRun> {
+    if resident_per_sm < 1 {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: "resident_per_sm must be at least 1".into(),
+        })
+        .with_kernel(&kernel.name));
+    }
     let prog = lower(kernel);
     let mut total = TimedRun::default();
     for sm in 0..dev.num_sms {
@@ -487,7 +512,7 @@ pub fn time_grid(
             dev,
             driver,
             tp,
-        );
+        )?;
         total.cycles = total.cycles.max(run.cycles);
         total.warp_instructions += run.warp_instructions;
         total.transactions += run.transactions;
@@ -496,7 +521,7 @@ pub fn time_grid(
         total.tex_misses += run.tex_misses;
         total.idle_cycles += run.idle_cycles;
     }
-    total
+    Ok(total)
 }
 
 /// Earliest cycle at which this warp could issue its next instruction, or
@@ -571,11 +596,11 @@ mod tests {
         let k = scale_kernel();
         let mut gmem = GlobalMemory::new(1 << 16);
         let xs: Vec<f32> = (0..64).map(|i| i as f32).collect();
-        let a = gmem.alloc_f32(&xs);
-        let o = gmem.alloc(64 * 4);
-        let run = time_resident(&k, &[0], 64, 1, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let a = gmem.alloc_f32(&xs).unwrap();
+        let o = gmem.alloc(64 * 4).unwrap();
+        let run = time_resident(&k, &[0], 64, 1, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         assert!(run.cycles > tp.mem_latency, "must include a memory round trip");
-        let out = gmem.read_f32(o, 64);
+        let out = gmem.read_f32(o, 64).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2.0 * i as f32);
         }
@@ -607,8 +632,8 @@ mod tests {
         let run_one = |stride: u32| {
             let (dev, tp) = setup();
             let mut gmem = GlobalMemory::new(8 << 20);
-            let a = gmem.alloc(7 << 20);
-            let o = gmem.alloc(64 * 4);
+            let a = gmem.alloc_zeroed(7 << 20).unwrap();
+            let o = gmem.alloc(64 * 4).unwrap();
             time_resident(
                 &mk(stride),
                 &[0],
@@ -620,6 +645,7 @@ mod tests {
                 DriverModel::Cuda10,
                 &tp,
             )
+            .unwrap()
         };
         let _ = (&dev, &tp);
         let coalesced = run_one(1);
@@ -641,9 +667,9 @@ mod tests {
         let grid = 4u32;
         let run_with = |resident: &[u32]| {
             let mut gmem = GlobalMemory::new(1 << 16);
-            let a = gmem.alloc(grid as u64 * 64 * 4);
-            let o = gmem.alloc(grid as u64 * 64 * 4);
-            time_resident(&k, resident, 64, grid, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp)
+            let a = gmem.alloc_zeroed(grid as u64 * 64 * 4).unwrap();
+            let o = gmem.alloc(grid as u64 * 64 * 4).unwrap();
+            time_resident(&k, resident, 64, grid, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap()
         };
         let one = run_with(&[0]);
         let two = run_with(&[0, 1]);
@@ -668,10 +694,10 @@ mod tests {
         b.st(MemSpace::Global, ao, 0, vec![v.into()]);
         let k = b.finish();
         let mut gmem = GlobalMemory::new(1 << 12);
-        let o = gmem.alloc(128 * 4);
-        let run = time_resident(&k, &[0], 128, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let o = gmem.alloc(128 * 4).unwrap();
+        let run = time_resident(&k, &[0], 128, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         assert!(run.cycles > 0);
-        let out = gmem.read_f32(o, 128);
+        let out = gmem.read_f32(o, 128).unwrap();
         for (t, v) in out.iter().enumerate() {
             assert_eq!(*v, t as f32);
         }
@@ -696,9 +722,9 @@ mod tests {
         let _ = acc;
         let k = b.finish();
         let mut gmem = GlobalMemory::new(1 << 12);
-        let o = gmem.alloc(32 * 4);
-        time_resident(&k, &[0], 32, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
-        let dts = gmem.download(o, 4);
+        let o = gmem.alloc(32 * 4).unwrap();
+        time_resident(&k, &[0], 32, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        let dts = gmem.download(o, 4).unwrap();
         let dt0 = u32::from_le_bytes(dts[0..4].try_into().unwrap());
         // 8 dependent fmuls at issue+RAW each — the delta must at least cover
         // the issue costs.
@@ -729,7 +755,7 @@ mod grid_tests {
         let dev = DeviceConfig::g8800gtx();
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
         let mut gmem = GlobalMemory::new(32 << 20);
-        let out = gmem.alloc(n_threads * 4);
+        let out = gmem.alloc(n_threads * 4).unwrap();
         (dev, tp, gmem, out.0)
     }
 
@@ -739,10 +765,10 @@ mod grid_tests {
         let k = work_kernel(5);
         let grid = 64u32; // 4 blocks per SM queue on 16 SMs
         let (dev, tp, mut gmem, out) = setup(grid as u64 * 64);
-        let run = time_grid(&k, grid, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let run = time_grid(&k, grid, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         assert!(run.cycles > 0);
         for t in 0..(grid as u64 * 64) {
-            let v = gmem.load_f32(out + 4 * t);
+            let v = gmem.load_f32(out + 4 * t).unwrap();
             assert_eq!(v, 5.0, "thread {t} never ran");
         }
     }
@@ -752,8 +778,8 @@ mod grid_tests {
         let k = work_kernel(50);
         let (dev, tp, mut gmem, out) = setup(16 * 4 * 64);
         // 16 blocks = 1 per SM; 64 blocks = 4 per SM queued behind each other.
-        let one = time_grid(&k, 16, 64, 1, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp);
-        let four = time_grid(&k, 64, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let one = time_grid(&k, 16, 64, 1, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp).unwrap();
+        let four = time_grid(&k, 64, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         assert!(four.cycles > 2 * one.cycles, "4 sequential blocks per SM: {} vs {}", four.cycles, one.cycles);
         assert!(four.cycles < 6 * one.cycles);
     }
@@ -764,9 +790,9 @@ mod grid_tests {
         let k = work_kernel(40);
         let grid = 96u32; // 6 blocks per SM
         let (dev, tp, mut gmem, out) = setup(grid as u64 * 64);
-        let exact = time_grid(&k, grid, 64, 2, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp);
+        let exact = time_grid(&k, grid, 64, 2, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp).unwrap();
         // Wave model: simulate 2 resident blocks once, times 3 waves.
-        let wave = time_resident(&k, &[0, 1], 64, grid, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+        let wave = time_resident(&k, &[0, 1], 64, grid, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
         let waves = (grid as u64).div_ceil(dev.num_sms as u64 * 2);
         let estimated = wave.cycles * waves;
         let err = (estimated as f64 - exact.cycles as f64).abs() / exact.cycles as f64;
@@ -804,8 +830,8 @@ mod texture_timed_tests {
         let dev = DeviceConfig::g8800gtx();
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
         let mut gmem = GlobalMemory::new(1 << 16);
-        let data = gmem.alloc_f32(&vec![2.5f32; 64]);
-        let out_buf = gmem.alloc(64 * 4);
+        let data = gmem.alloc_f32(&vec![2.5f32; 64]).unwrap();
+        let out_buf = gmem.alloc(64 * 4).unwrap();
         let run = time_resident(
             &k,
             &[0],
@@ -816,11 +842,12 @@ mod texture_timed_tests {
             &dev,
             DriverModel::Cuda10,
             &tp,
-        );
+        )
+        .unwrap();
         // 64 threads × 4 reads = 256 line touches over 8 distinct 32B lines:
         // 8 misses, 248 hits.
         assert_eq!(run.tex_misses, 8);
         assert_eq!(run.tex_hits, 248);
-        assert_eq!(gmem.read_f32(out_buf, 1)[0], 10.0);
+        assert_eq!(gmem.read_f32(out_buf, 1).unwrap()[0], 10.0);
     }
 }

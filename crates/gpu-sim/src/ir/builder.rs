@@ -219,7 +219,7 @@ impl KernelBuilder {
         self.stack.push(Vec::new());
         f(self, var);
         let body = self.stack.pop().expect("builder stack");
-        self.stack.last_mut().unwrap().push(Stmt::For { var, start, end, step, body });
+        self.stack.last_mut().expect("builder stack").push(Stmt::For { var, start, end, step, body });
     }
 
     /// Divergent bottom-tested loop (`do { body } while (pred)`), for
@@ -229,18 +229,18 @@ impl KernelBuilder {
         self.stack.push(Vec::new());
         let pred = f(self);
         let body = self.stack.pop().expect("builder stack");
-        self.stack.last_mut().unwrap().push(Stmt::While { pred, negate: false, body });
+        self.stack.last_mut().expect("builder stack").push(Stmt::While { pred, negate: false, body });
     }
 
     /// Masked two-sided conditional.
     pub fn if_else(&mut self, pred: Pred, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
         self.stack.push(Vec::new());
         then(self);
-        let t = self.stack.pop().unwrap();
+        let t = self.stack.pop().expect("builder stack");
         self.stack.push(Vec::new());
         els(self);
-        let e = self.stack.pop().unwrap();
-        self.stack.last_mut().unwrap().push(Stmt::If { pred, negate: false, then: t, els: e });
+        let e = self.stack.pop().expect("builder stack");
+        self.stack.last_mut().expect("builder stack").push(Stmt::If { pred, negate: false, then: t, els: e });
     }
 
     /// Masked one-sided conditional.
@@ -250,7 +250,7 @@ impl KernelBuilder {
 
     /// Block barrier.
     pub fn sync(&mut self) {
-        self.stack.last_mut().unwrap().push(Stmt::Sync);
+        self.stack.last_mut().expect("builder stack").push(Stmt::Sync);
     }
 
     /// Finish and validate the kernel.
@@ -262,7 +262,7 @@ impl KernelBuilder {
             n_regs: self.next_reg,
             n_preds: self.next_pred,
             smem_bytes: self.smem_bytes,
-            body: self.stack.pop().unwrap(),
+            body: self.stack.pop().expect("builder stack"),
         };
         k.validate();
         k

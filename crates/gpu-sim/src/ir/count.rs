@@ -36,6 +36,9 @@ pub fn trip_count(start: u32, end: u32, step: u32) -> u64 {
 /// iteration the body and the 3-instruction overhead (add, compare, branch).
 /// Both sides of an `If` are charged (divergent serialization — the
 /// conservative SIMT cost).
+// Static analyses treat data-dependent loops as a caller contract violation
+// (a programmer error, not a device fault), hence the panics.
+#[allow(clippy::panic)]
 pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> u64 {
     assert_eq!(kernel.n_params as usize, params.len(), "parameter count mismatch");
     fn count(stmts: &[Stmt], params: &[u32]) -> u64 {
@@ -112,7 +115,7 @@ pub fn inner_loop_profile(kernel: &Kernel) -> Option<InnerLoopProfile> {
                     if !has_nested {
                         let cnt = static_count(body);
                         match best {
-                            Some((d, _)) if *d >= depth + 1 => {}
+                            Some((d, _)) if *d > depth => {}
                             _ => *best = Some((depth + 1, cnt)),
                         }
                     }
@@ -163,6 +166,7 @@ impl InstrMix {
 }
 
 /// Dynamic instruction mix for one thread.
+#[allow(clippy::panic)] // same contract as `dynamic_instructions`
 pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> InstrMix {
     fn classify(i: &Instr, m: &mut InstrMix, mult: u64) {
         match i {

@@ -103,24 +103,28 @@ pub fn unroll_innermost(kernel: &Kernel, factor: u32) -> Kernel {
     k2
 }
 
+// Unrolling a loop with non-immediate bounds is a caller contract violation
+// (asserted, like the divisibility requirement), not a device fault. The
+// recursion conditions cannot become match guards: they call `unroll_in`,
+// which needs the bodies mutably.
+#[allow(clippy::panic, clippy::collapsible_match)]
 fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
     // Find the deepest loop: recurse first.
     for s in stmts.iter_mut() {
         match s {
             Stmt::For { body, .. } => {
-                if body.iter().any(|b| matches!(b, Stmt::For { .. }))
-                    || body.iter().any(|b| matches!(b, Stmt::If { .. }) && contains_loop(b))
+                if (body.iter().any(|b| matches!(b, Stmt::For { .. }))
+                    || body.iter().any(|b| matches!(b, Stmt::If { .. }) && contains_loop(b)))
+                    && unroll_in(body, factor, next_reg)
                 {
-                    if unroll_in(body, factor, next_reg) {
-                        return true;
-                    }
+                    return true;
                 }
             }
             Stmt::If { then, els, .. } => {
-                if then.iter().any(contains_loop) || els.iter().any(contains_loop) {
-                    if unroll_in(then, factor, next_reg) || unroll_in(els, factor, next_reg) {
-                        return true;
-                    }
+                if (then.iter().any(contains_loop) || els.iter().any(contains_loop))
+                    && (unroll_in(then, factor, next_reg) || unroll_in(els, factor, next_reg))
+                {
+                    return true;
                 }
             }
             _ => {}
@@ -141,7 +145,7 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
             assert!(!defines(&body, var), "body must not redefine the induction variable");
             let trips = count::trip_count(s0, e0, step);
             assert!(
-                trips % factor as u64 == 0,
+                trips.is_multiple_of(factor as u64),
                 "unroll factor {factor} must divide trip count {trips}"
             );
             if factor as u64 == trips {
@@ -411,7 +415,7 @@ pub fn fold_addressing(kernel: &Kernel) -> Kernel {
 /// destination, the constant offset baked into the representative).
 type MadTable = HashMap<(Reg, u32, Reg), (Reg, u32)>;
 
-fn fold_walk(stmts: &mut Vec<Stmt>) {
+fn fold_walk(stmts: &mut [Stmt]) {
     // Recurse first.
     for s in stmts.iter_mut() {
         match s {
@@ -679,7 +683,7 @@ mod tests {
         let before = dynamic_instructions(&k, params);
         let after = dynamic_instructions(&u, params);
         // Per iteration: mad + overhead(3) gone, minus the one-time init mov.
-        assert_eq!(before - after, 8 * 4 + 1 - 0);
+        assert_eq!(before - after, 8 * 4 + 1);
     }
 
     #[test]

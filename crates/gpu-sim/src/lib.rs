@@ -37,12 +37,14 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::panic))]
 
 pub mod banks;
 pub mod coalesce;
 pub mod device;
 pub mod driver;
 pub mod exec;
+pub mod fault;
 pub mod ir;
 pub mod mem;
 pub mod occupancy;
@@ -53,6 +55,7 @@ pub mod transfer;
 pub use device::DeviceConfig;
 pub use driver::DriverModel;
 pub use exec::launch::LaunchConfig;
+pub use fault::{DeviceError, DeviceResult, FaultKind, FaultPlan, FaultSite, InjectedFault, Mutation};
 pub use ir::{Kernel, KernelBuilder};
 pub use mem::GlobalMemory;
 pub use timing::TimingParams;

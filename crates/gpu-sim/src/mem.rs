@@ -1,14 +1,41 @@
-//! Simulated device global memory.
+//! Simulated device global memory with a built-in sanitizer.
 //!
 //! A flat byte-addressable store with a bump allocator. Kernel `Ld`/`St`
 //! instructions operate on this memory through typed, bounds- and
 //! alignment-checked accessors, so layout bugs (the paper's whole subject)
-//! surface as hard errors instead of silently wrong physics.
+//! surface as typed [`DeviceError`]s instead of silently wrong physics.
+//!
+//! The sanitizer keeps a shadow byte map mirroring the data:
+//!
+//! * every allocation is preceded by a [`REDZONE`]-byte **guard band**
+//!   (alignment padding is folded into it), so an off-by-one stride or
+//!   padding bug faults as [`FaultKind::OutOfBounds`] with `redzone = true`
+//!   at the exact faulting access;
+//! * fresh allocations are **poison-filled**: loading a byte that was never
+//!   stored (by a kernel, [`GlobalMemory::upload`] or
+//!   [`GlobalMemory::alloc_zeroed`]) is a [`FaultKind::UninitializedRead`].
+
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
+use crate::ir::MemSpace;
 
 /// Alignment guaranteed by [`GlobalMemory::alloc`] — `cudaMalloc` guarantees
 /// at least 256 bytes, which also satisfies every coalescing base-alignment
 /// rule in [`crate::coalesce`].
 pub const ALLOC_ALIGN: u64 = 256;
+
+/// Minimum guard-band bytes preceding every allocation. Equal to
+/// [`ALLOC_ALIGN`] so redzones never perturb the base alignment the
+/// coalescing rules depend on.
+pub const REDZONE: u64 = ALLOC_ALIGN;
+
+/// Byte value poison-filled into fresh allocations (visible in hex dumps).
+pub const POISON_BYTE: u8 = 0xA5;
+
+// Shadow states, one byte per data byte.
+const SH_UNALLOC: u8 = 0; // never allocated (includes the tail of the space)
+const SH_REDZONE: u8 = 1; // guard band between allocations
+const SH_POISON: u8 = 2; // allocated, never written
+const SH_INIT: u8 = 3; // allocated and written
 
 /// A device pointer: byte offset into the simulated global memory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,10 +55,12 @@ impl DevicePtr {
     }
 }
 
-/// Simulated device global memory with a bump allocator.
+/// Simulated device global memory with a bump allocator and sanitizer
+/// shadow map.
 #[derive(Debug, Clone)]
 pub struct GlobalMemory {
     data: Vec<u8>,
+    shadow: Vec<u8>,
     next: u64,
 }
 
@@ -39,7 +68,11 @@ impl GlobalMemory {
     /// Create a memory of `capacity` bytes (the 8800 GTX shipped 768 MiB; the
     /// experiments here need far less, so pick what the workload requires).
     pub fn new(capacity: u64) -> Self {
-        GlobalMemory { data: vec![0u8; capacity as usize], next: 0 }
+        GlobalMemory {
+            data: vec![0u8; capacity as usize],
+            shadow: vec![SH_UNALLOC; capacity as usize],
+            next: 0,
+        }
     }
 
     /// Total capacity in bytes.
@@ -47,109 +80,185 @@ impl GlobalMemory {
         self.data.len() as u64
     }
 
-    /// Bytes allocated so far.
+    /// Bytes consumed by the allocator so far — allocations plus their
+    /// redzones and alignment padding. Deterministic: equal to
+    /// [`GlobalMemory::footprint`] of the allocation sizes made so far.
     pub fn allocated(&self) -> u64 {
         self.next
     }
 
-    /// Allocate `bytes`, aligned to [`ALLOC_ALIGN`]. Panics on exhaustion
-    /// (a simulation configuration error, not a recoverable condition).
-    pub fn alloc(&mut self, bytes: u64) -> DevicePtr {
-        let start = self.next.next_multiple_of(ALLOC_ALIGN);
-        let end = start + bytes;
-        assert!(
-            end <= self.capacity(),
-            "device OOM: need {} bytes at {}, capacity {}",
-            bytes,
-            start,
-            self.capacity()
-        );
+    /// The exact bytes [`GlobalMemory::allocated`] will report after
+    /// allocating `sizes` in order on a fresh memory — the redzone- and
+    /// alignment-aware footprint. Use it to size a memory exactly.
+    pub fn footprint(sizes: &[u64]) -> u64 {
+        let mut next = 0u64;
+        for &s in sizes {
+            let start = (next + REDZONE).next_multiple_of(ALLOC_ALIGN);
+            next = start + s;
+        }
+        next
+    }
+
+    /// Allocate `bytes`, aligned to [`ALLOC_ALIGN`], preceded by a redzone
+    /// guard band and poison-filled (reading before writing is a fault).
+    pub fn alloc(&mut self, bytes: u64) -> DeviceResult<DevicePtr> {
+        let start = (self.next + REDZONE).next_multiple_of(ALLOC_ALIGN);
+        let end = start.checked_add(bytes).ok_or_else(|| {
+            DeviceError::new(FaultKind::OutOfMemory {
+                requested: bytes,
+                in_use: self.next,
+                capacity: self.capacity(),
+            })
+        })?;
+        if end > self.capacity() {
+            return Err(DeviceError::new(FaultKind::OutOfMemory {
+                requested: bytes,
+                in_use: self.next,
+                capacity: self.capacity(),
+            }));
+        }
+        self.shadow[self.next as usize..start as usize].fill(SH_REDZONE);
+        self.shadow[start as usize..end as usize].fill(SH_POISON);
+        self.data[start as usize..end as usize].fill(POISON_BYTE);
         self.next = end;
-        DevicePtr(start)
+        Ok(DevicePtr(start))
+    }
+
+    /// As [`GlobalMemory::alloc`], but zero-filled and marked initialized —
+    /// the `cudaMalloc` + `cudaMemset(0)` idiom for output buffers whose
+    /// unwritten slots are legitimately read back.
+    pub fn alloc_zeroed(&mut self, bytes: u64) -> DeviceResult<DevicePtr> {
+        let ptr = self.alloc(bytes)?;
+        let (s, e) = (ptr.0 as usize, (ptr.0 + bytes) as usize);
+        self.data[s..e].fill(0);
+        self.shadow[s..e].fill(SH_INIT);
+        Ok(ptr)
     }
 
     /// Copy a host byte slice to the device (`cudaMemcpy` host→device).
-    pub fn upload(&mut self, dst: DevicePtr, bytes: &[u8]) {
+    /// The destination range must lie inside a live allocation.
+    pub fn upload(&mut self, dst: DevicePtr, bytes: &[u8]) -> DeviceResult<()> {
+        self.check_range(dst.0, bytes.len() as u64, false)?;
         let s = dst.0 as usize;
         self.data[s..s + bytes.len()].copy_from_slice(bytes);
+        self.shadow[s..s + bytes.len()].fill(SH_INIT);
+        Ok(())
     }
 
     /// Copy device bytes back to the host (`cudaMemcpy` device→host).
-    pub fn download(&self, src: DevicePtr, len: u64) -> Vec<u8> {
+    /// Reading poison (never-written) bytes is a fault.
+    pub fn download(&self, src: DevicePtr, len: u64) -> DeviceResult<Vec<u8>> {
+        self.check_range(src.0, len, true)?;
         let s = src.0 as usize;
-        self.data[s..s + len as usize].to_vec()
+        Ok(self.data[s..s + len as usize].to_vec())
     }
 
     /// Allocate and upload a slice of `f32` in one step; returns the pointer.
-    pub fn alloc_f32(&mut self, values: &[f32]) -> DevicePtr {
-        let ptr = self.alloc(values.len() as u64 * 4);
+    pub fn alloc_f32(&mut self, values: &[f32]) -> DeviceResult<DevicePtr> {
+        let ptr = self.alloc(values.len() as u64 * 4)?;
         for (i, v) in values.iter().enumerate() {
-            self.store_f32(ptr.0 + i as u64 * 4, *v);
+            self.store_f32(ptr.0 + i as u64 * 4, *v)?;
         }
-        ptr
+        Ok(ptr)
     }
 
     /// Read back `n` `f32` values from `ptr`.
-    pub fn read_f32(&self, ptr: DevicePtr, n: usize) -> Vec<f32> {
+    pub fn read_f32(&self, ptr: DevicePtr, n: usize) -> DeviceResult<Vec<f32>> {
         (0..n).map(|i| self.load_f32(ptr.0 + i as u64 * 4)).collect()
     }
 
+    /// Validate an access of `width` bytes at `addr`: natural alignment,
+    /// bounds, redzones, and (for loads) poison.
     #[inline]
-    fn check(&self, addr: u64, width: u64) {
-        assert!(
-            addr % width == 0,
-            "misaligned {width}-byte global access at {addr:#x}"
-        );
-        assert!(
-            addr + width <= self.capacity(),
-            "global access out of bounds: {addr:#x}+{width} > {}",
-            self.capacity()
-        );
+    fn check(&self, addr: u64, width: u64, is_load: bool) -> DeviceResult<()> {
+        if !addr.is_multiple_of(width) {
+            return Err(DeviceError::new(FaultKind::Misaligned {
+                space: MemSpace::Global,
+                addr,
+                width,
+            }));
+        }
+        self.check_range(addr, width, is_load)
+    }
+
+    /// Bounds/redzone/poison validation without an alignment requirement
+    /// (byte copies have none).
+    fn check_range(&self, addr: u64, len: u64, is_load: bool) -> DeviceResult<()> {
+        let oob = |redzone: bool| {
+            DeviceError::new(FaultKind::OutOfBounds {
+                space: MemSpace::Global,
+                addr,
+                width: len,
+                limit: self.capacity(),
+                redzone,
+            })
+        };
+        let end = addr.checked_add(len).ok_or_else(|| oob(false))?;
+        if end > self.capacity() {
+            return Err(oob(false));
+        }
+        for &sh in &self.shadow[addr as usize..end as usize] {
+            match sh {
+                SH_UNALLOC => return Err(oob(false)),
+                SH_REDZONE => return Err(oob(true)),
+                SH_POISON if is_load => {
+                    return Err(DeviceError::new(FaultKind::UninitializedRead {
+                        addr,
+                        width: len,
+                    }));
+                }
+                _ => {}
+            }
+        }
+        Ok(())
     }
 
     /// Load a 32-bit word as raw bits.
     #[inline]
-    pub fn load_u32(&self, addr: u64) -> u32 {
-        self.check(addr, 4);
+    pub fn load_u32(&self, addr: u64) -> DeviceResult<u32> {
+        self.check(addr, 4, true)?;
         let a = addr as usize;
-        u32::from_le_bytes(self.data[a..a + 4].try_into().unwrap())
+        Ok(u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4-byte slice")))
     }
 
     /// Store a 32-bit word as raw bits.
     #[inline]
-    pub fn store_u32(&mut self, addr: u64, v: u32) {
-        self.check(addr, 4);
+    pub fn store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()> {
+        self.check(addr, 4, false)?;
         let a = addr as usize;
         self.data[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        self.shadow[a..a + 4].fill(SH_INIT);
+        Ok(())
     }
 
     /// Load an `f32`.
     #[inline]
-    pub fn load_f32(&self, addr: u64) -> f32 {
-        f32::from_bits(self.load_u32(addr))
+    pub fn load_f32(&self, addr: u64) -> DeviceResult<f32> {
+        Ok(f32::from_bits(self.load_u32(addr)?))
     }
 
     /// Store an `f32`.
     #[inline]
-    pub fn store_f32(&mut self, addr: u64, v: f32) {
-        self.store_u32(addr, v.to_bits());
+    pub fn store_f32(&mut self, addr: u64, v: f32) -> DeviceResult<()> {
+        self.store_u32(addr, v.to_bits())
     }
 
     /// Vector load of `n` consecutive 32-bit words (n ∈ {1, 2, 4}); the CUDA
     /// rule that a 64/128-bit access must be naturally aligned is enforced.
-    pub fn load_vec(&self, addr: u64, n: usize) -> Vec<u32> {
+    pub fn load_vec(&self, addr: u64, n: usize) -> DeviceResult<Vec<u32>> {
         assert!(matches!(n, 1 | 2 | 4), "vector width must be 1, 2 or 4");
-        self.check(addr, 4 * n as u64);
+        self.check(addr, 4 * n as u64, true)?;
         (0..n).map(|i| self.load_u32(addr + 4 * i as u64)).collect()
     }
 
     /// Vector store of `n` consecutive 32-bit words (n ∈ {1, 2, 4}).
-    pub fn store_vec(&mut self, addr: u64, vals: &[u32]) {
+    pub fn store_vec(&mut self, addr: u64, vals: &[u32]) -> DeviceResult<()> {
         assert!(matches!(vals.len(), 1 | 2 | 4), "vector width must be 1, 2 or 4");
-        self.check(addr, 4 * vals.len() as u64);
+        self.check(addr, 4 * vals.len() as u64, false)?;
         for (i, v) in vals.iter().enumerate() {
-            self.store_u32(addr + 4 * i as u64, *v);
+            self.store_u32(addr + 4 * i as u64, *v)?;
         }
+        Ok(())
     }
 }
 
@@ -160,69 +269,134 @@ mod tests {
     #[test]
     fn alloc_is_aligned_and_disjoint() {
         let mut m = GlobalMemory::new(1 << 16);
-        let a = m.alloc(100);
-        let b = m.alloc(100);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(100).unwrap();
         assert_eq!(a.0 % ALLOC_ALIGN, 0);
         assert_eq!(b.0 % ALLOC_ALIGN, 0);
-        assert!(b.0 >= a.0 + 100);
+        assert!(b.0 >= a.0 + 100 + REDZONE, "allocations must be separated by a redzone");
+    }
+
+    #[test]
+    fn footprint_predicts_allocated_exactly() {
+        let sizes = [100u64, 0, 4096, 28 * 64, 17];
+        let mut m = GlobalMemory::new(GlobalMemory::footprint(&sizes));
+        for s in sizes {
+            m.alloc(s).unwrap();
+        }
+        assert_eq!(m.allocated(), m.capacity());
+        // One more byte does not fit.
+        assert_eq!(m.alloc(1).unwrap_err().kind.name(), "OutOfMemory");
     }
 
     #[test]
     fn f32_roundtrip_including_nan_payloads() {
         let mut m = GlobalMemory::new(1024);
-        let p = m.alloc(16);
-        m.store_f32(p.0, -0.0);
-        assert_eq!(m.load_f32(p.0).to_bits(), (-0.0f32).to_bits());
-        m.store_u32(p.0 + 4, 0x7FC0_1234); // NaN with payload survives as bits
-        assert_eq!(m.load_u32(p.0 + 4), 0x7FC0_1234);
+        let p = m.alloc(16).unwrap();
+        m.store_f32(p.0, -0.0).unwrap();
+        assert_eq!(m.load_f32(p.0).unwrap().to_bits(), (-0.0f32).to_bits());
+        m.store_u32(p.0 + 4, 0x7FC0_1234).unwrap(); // NaN with payload survives as bits
+        assert_eq!(m.load_u32(p.0 + 4).unwrap(), 0x7FC0_1234);
     }
 
     #[test]
     fn upload_download_roundtrip() {
         let mut m = GlobalMemory::new(4096);
-        let p = m.alloc(8);
-        m.upload(p, &[1, 2, 3, 4, 5, 6, 7, 8]);
-        assert_eq!(m.download(p, 8), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+        let p = m.alloc(8).unwrap();
+        m.upload(p, &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        assert_eq!(m.download(p, 8).unwrap(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
     }
 
     #[test]
     fn alloc_f32_and_read_back() {
         let mut m = GlobalMemory::new(4096);
         let xs = [1.0f32, -2.5, 3.25];
-        let p = m.alloc_f32(&xs);
-        assert_eq!(m.read_f32(p, 3), xs.to_vec());
+        let p = m.alloc_f32(&xs).unwrap();
+        assert_eq!(m.read_f32(p, 3).unwrap(), xs.to_vec());
     }
 
     #[test]
-    #[should_panic]
-    fn oob_load_panics() {
+    fn oob_load_is_a_typed_fault() {
         let m = GlobalMemory::new(16);
-        m.load_u32(16);
+        let e = m.load_u32(16).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::OutOfBounds { addr: 16, width: 4, .. }));
     }
 
     #[test]
-    #[should_panic]
-    fn misaligned_vec_load_panics() {
-        let mut m = GlobalMemory::new(64);
-        let p = m.alloc(32);
+    fn misaligned_vec_load_is_a_typed_fault() {
+        let mut m = GlobalMemory::new(1024);
+        let p = m.alloc(32).unwrap();
         // float4 load at +4 is not 16-byte aligned.
-        m.load_vec(p.0 + 4, 4);
+        let e = m.load_vec(p.0 + 4, 4).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::Misaligned { width: 16, .. }));
     }
 
     #[test]
-    #[should_panic]
-    fn oom_panics() {
-        let mut m = GlobalMemory::new(512);
-        m.alloc(256);
-        m.alloc(512);
+    fn oom_is_a_typed_fault() {
+        let mut m = GlobalMemory::new(1024);
+        m.alloc(256).unwrap();
+        let e = m.alloc(4096).unwrap_err();
+        match e.kind {
+            FaultKind::OutOfMemory { requested, capacity, .. } => {
+                assert_eq!(requested, 4096);
+                assert_eq!(capacity, 1024);
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+    }
+
+    #[test]
+    fn redzone_between_allocations_is_caught() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(256).unwrap();
+        let _b = m.alloc(256).unwrap();
+        // One word past the end of `a` lands in the guard band.
+        let e = m.load_u32(a.0 + 256).unwrap_err();
+        match e.kind {
+            FaultKind::OutOfBounds { redzone, .. } => assert!(redzone, "must flag the redzone"),
+            k => panic!("wrong kind {k:?}"),
+        }
+        // Stores are rejected identically.
+        let e = m.store_u32(a.0 + 256, 1).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::OutOfBounds { redzone: true, .. }));
+    }
+
+    #[test]
+    fn poison_read_is_caught_and_stores_heal_it() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        let e = m.load_u32(p.0).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::UninitializedRead { addr, width: 4 } if addr == p.0));
+        m.store_u32(p.0, 7).unwrap();
+        assert_eq!(m.load_u32(p.0).unwrap(), 7);
+        // The next word is still poison.
+        assert!(m.load_u32(p.0 + 4).is_err());
+    }
+
+    #[test]
+    fn alloc_zeroed_reads_back_as_zero() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc_zeroed(64).unwrap();
+        assert_eq!(m.read_f32(p, 16).unwrap(), vec![0.0; 16]);
+        assert_eq!(m.download(p, 64).unwrap(), vec![0u8; 64]);
+    }
+
+    #[test]
+    fn partial_poison_overlap_faults_on_download() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(16).unwrap();
+        m.store_u32(p.0, 1).unwrap();
+        // Bytes 4..16 were never written.
+        let e = m.download(p, 16).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::UninitializedRead { .. }));
+        assert_eq!(m.download(p, 4).unwrap(), 1u32.to_le_bytes().to_vec());
     }
 
     #[test]
     fn vec_roundtrip() {
         let mut m = GlobalMemory::new(1024);
-        let p = m.alloc(16);
-        m.store_vec(p.0, &[1, 2, 3, 4]);
-        assert_eq!(m.load_vec(p.0, 4), vec![1, 2, 3, 4]);
-        assert_eq!(m.load_vec(p.0 + 8, 2), vec![3, 4]);
+        let p = m.alloc(16).unwrap();
+        m.store_vec(p.0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.load_vec(p.0, 4).unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(m.load_vec(p.0 + 8, 2).unwrap(), vec![3, 4]);
     }
 }

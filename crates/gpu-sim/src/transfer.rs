@@ -8,6 +8,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
+
 /// PCIe link model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PcieModel {
@@ -21,6 +23,31 @@ impl PcieModel {
     /// PCIe 1.1 ×16, the paper's platform (Core 2 Duo host).
     pub fn pcie1_x16() -> Self {
         PcieModel { bandwidth: 3.0e9, per_copy_overhead_s: 10e-6 }
+    }
+
+    /// A validated custom link model.
+    pub fn new(bandwidth: f64, per_copy_overhead_s: f64) -> DeviceResult<Self> {
+        let m = PcieModel { bandwidth, per_copy_overhead_s };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Check the model parameters are physical.
+    pub fn validate(&self) -> DeviceResult<()> {
+        if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
+            return Err(DeviceError::new(FaultKind::BadConfig {
+                reason: format!("PCIe bandwidth must be positive and finite, got {}", self.bandwidth),
+            }));
+        }
+        if !(self.per_copy_overhead_s >= 0.0 && self.per_copy_overhead_s.is_finite()) {
+            return Err(DeviceError::new(FaultKind::BadConfig {
+                reason: format!(
+                    "per-copy overhead must be non-negative and finite, got {}",
+                    self.per_copy_overhead_s
+                ),
+            }));
+        }
+        Ok(())
     }
 
     /// Time to move `bytes` in one copy.
@@ -62,5 +89,14 @@ mod tests {
     fn zero_bytes_still_pays_overhead() {
         let p = PcieModel::pcie1_x16();
         assert_eq!(p.copy_time_s(0), p.per_copy_overhead_s);
+    }
+
+    #[test]
+    fn unphysical_link_models_are_rejected() {
+        assert!(PcieModel::new(0.0, 10e-6).is_err());
+        assert!(PcieModel::new(f64::NAN, 10e-6).is_err());
+        assert!(PcieModel::new(3.0e9, -1.0).is_err());
+        assert!(PcieModel::new(3.0e9, 10e-6).is_ok());
+        assert!(PcieModel::pcie1_x16().validate().is_ok());
     }
 }

@@ -90,7 +90,7 @@ proptest! {
         let t = trip_count(start, end, step);
         prop_assert!(t >= 1);
         if len > 0 {
-            prop_assert_eq!(t, ((len + step - 1) / step) as u64);
+            prop_assert_eq!(t, len.div_ceil(step) as u64);
         }
     }
 }
@@ -118,16 +118,17 @@ fn reduction_kernel(trips: u32) -> Kernel {
 
 fn run_reduction(k: &Kernel, data: &[f32], threads: u32, scale: f32) -> Vec<f32> {
     let mut gmem = GlobalMemory::new(4 << 20);
-    let d = gmem.alloc_f32(data);
-    let out = gmem.alloc(threads as u64 * 4);
+    let d = gmem.alloc_f32(data).expect("fits");
+    let out = gmem.alloc(threads as u64 * 4).expect("fits");
     gpu_sim::exec::functional::run_grid(
         k,
         1,
         threads,
         &[d.0 as u32, out.0 as u32, scale.to_bits()],
         &mut gmem,
-    );
-    gmem.read_f32(out, threads as usize)
+    )
+    .expect("launch is valid");
+    gmem.read_f32(out, threads as usize).expect("kernel wrote every output")
 }
 
 proptest! {

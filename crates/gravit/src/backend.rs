@@ -11,9 +11,22 @@
 //!   are bit-identical to `CpuSerial`; wall-clock is that of the simulator,
 //!   so use [`modeled_frame_seconds`](Backend::modeled_frame_seconds) for
 //!   device-time questions (that is what Fig. 12 reports).
+//!
+//! # Fault handling
+//!
+//! The simulated device detects out-of-bounds, misaligned, uninitialized and
+//! out-of-memory accesses (see `gpu_sim::fault`). A [`FaultPolicy`] decides
+//! what a device fault means at the application layer:
+//!
+//! * [`FaultPolicy::FailFast`] — propagate the typed [`DeviceError`] to the
+//!   caller (CI, debugging: you want the fault coordinates, not a rescue);
+//! * [`FaultPolicy::FallbackToCpu`] — log a [`FaultReport`] and recompute the
+//!   frame on [`Backend::CpuParallel`], which is bit-identical physics to the
+//!   GPU path, so a degraded run produces the same trajectory.
 
 use gpu_kernels::force::{build_force_kernel, force_params, OptLevel};
-use gpu_sim::exec::functional::run_grid;
+use gpu_sim::exec::functional::{run_grid, run_grid_injected};
+use gpu_sim::fault::{DeviceError, DeviceResult, FaultPlan};
 use gpu_sim::mem::GlobalMemory;
 use gpu_sim::DriverModel;
 use nbody::barnes_hut::accelerations_bh;
@@ -44,6 +57,49 @@ pub enum Backend {
     },
 }
 
+/// What to do when the simulated device reports a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPolicy {
+    /// Propagate the typed error to the caller immediately.
+    FailFast,
+    /// Emit a [`FaultReport`] and recompute the frame on the parallel CPU
+    /// backend (bit-identical physics, so the trajectory is unaffected).
+    #[default]
+    FallbackToCpu,
+}
+
+/// Structured record of a device fault and how the run recovered.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// The device error, with kernel/block/thread/instruction coordinates.
+    pub error: DeviceError,
+    /// Label of the backend that faulted.
+    pub degraded_from: String,
+    /// Label of the backend that took over.
+    pub degraded_to: String,
+}
+
+impl FaultReport {
+    /// Human-readable multi-line report.
+    pub fn render(&self) -> String {
+        format!(
+            "{}\n  recovery: degraded {} -> {}",
+            self.error.report(),
+            self.degraded_from,
+            self.degraded_to
+        )
+    }
+}
+
+/// Accelerations plus the fault (if any) survived along the way.
+#[derive(Debug, Clone)]
+pub struct ForceResult {
+    /// Per-body accelerations.
+    pub accels: Vec<Vec3>,
+    /// Present iff the device faulted and the CPU fallback produced `accels`.
+    pub fault: Option<FaultReport>,
+}
+
 impl Backend {
     /// Short name for reports.
     pub fn label(&self) -> String {
@@ -55,14 +111,67 @@ impl Backend {
         }
     }
 
-    /// Compute accelerations for the bodies.
+    /// Compute accelerations, recovering from device faults via the CPU
+    /// fallback (i.e. [`FaultPolicy::FallbackToCpu`], report discarded).
     pub fn accelerations(&self, bodies: &Bodies, fp: &ForceParams) -> Vec<Vec3> {
-        match self {
+        self.accelerations_with_policy(bodies, fp, FaultPolicy::FallbackToCpu)
+            .map(|r| r.accels)
+            // The fallback path cannot itself fault; this arm is unreachable.
+            .unwrap_or_else(|_| accelerations_par(bodies, fp))
+    }
+
+    /// Compute accelerations, propagating any device fault as a typed error.
+    pub fn try_accelerations(&self, bodies: &Bodies, fp: &ForceParams) -> DeviceResult<Vec<Vec3>> {
+        self.accelerations_with_policy(bodies, fp, FaultPolicy::FailFast).map(|r| r.accels)
+    }
+
+    /// Compute accelerations under an explicit fault policy.
+    pub fn accelerations_with_policy(
+        &self,
+        bodies: &Bodies,
+        fp: &ForceParams,
+        policy: FaultPolicy,
+    ) -> DeviceResult<ForceResult> {
+        self.accelerations_with_policy_injected(bodies, fp, policy, None)
+    }
+
+    /// [`accelerations_with_policy`](Self::accelerations_with_policy) with an
+    /// optional fault-injection plan threaded into the GPU backend — the test
+    /// hook proving detection and recovery work end to end.
+    pub fn accelerations_with_policy_injected(
+        &self,
+        bodies: &Bodies,
+        fp: &ForceParams,
+        policy: FaultPolicy,
+        plan: Option<&FaultPlan>,
+    ) -> DeviceResult<ForceResult> {
+        if bodies.is_empty() {
+            return Ok(ForceResult { accels: Vec::new(), fault: None });
+        }
+        let accels = match self {
             Backend::CpuSerial => accelerations(bodies, fp),
             Backend::CpuParallel => accelerations_par(bodies, fp),
             Backend::BarnesHut { theta } => accelerations_bh(bodies, fp, *theta),
-            Backend::GpuSim { level, .. } => gpu_accelerations(bodies, fp, *level),
-        }
+            Backend::GpuSim { level, .. } => match gpu_accelerations(bodies, fp, *level, plan) {
+                Ok(a) => a,
+                Err(error) => match policy {
+                    FaultPolicy::FailFast => return Err(error),
+                    FaultPolicy::FallbackToCpu => {
+                        let fallback = Backend::CpuParallel;
+                        let accels = accelerations_par(bodies, fp);
+                        return Ok(ForceResult {
+                            accels,
+                            fault: Some(FaultReport {
+                                error,
+                                degraded_from: self.label(),
+                                degraded_to: fallback.label(),
+                            }),
+                        });
+                    }
+                },
+            },
+        };
+        Ok(ForceResult { accels, fault: None })
     }
 
     /// The modeled wall-clock seconds one frame of this backend would take on
@@ -78,8 +187,28 @@ impl Backend {
     }
 }
 
-/// Run the force kernel functionally on the simulated device.
-fn gpu_accelerations(bodies: &Bodies, fp: &ForceParams, level: OptLevel) -> Vec<Vec3> {
+/// Exact device-memory budget of one GPU force frame: the layout's particle
+/// buffers plus the `float4` acceleration output, with the allocator's
+/// alignment and redzone overhead included.
+pub fn frame_memory_budget(level: OptLevel, n: u32) -> u64 {
+    let cfg = level.config();
+    let padded = n.div_ceil(cfg.block) * cfg.block;
+    let mut sizes = DeviceImage::alloc_sizes(cfg.layout, n, cfg.block);
+    sizes.push(padded as u64 * 16);
+    GlobalMemory::footprint(&sizes)
+}
+
+/// Run the force kernel functionally on the simulated device. An empty body
+/// set is a valid no-op frame. `plan` optionally injects address faults.
+fn gpu_accelerations(
+    bodies: &Bodies,
+    fp: &ForceParams,
+    level: OptLevel,
+    plan: Option<&FaultPlan>,
+) -> DeviceResult<Vec<Vec3>> {
+    if bodies.is_empty() {
+        return Ok(Vec::new());
+    }
     let cfg = level.config();
     let kernel = build_force_kernel(cfg);
     let particles: Vec<Particle> = (0..bodies.len())
@@ -90,18 +219,25 @@ fn gpu_accelerations(bodies: &Bodies, fp: &ForceParams, level: OptLevel) -> Vec<
             mass: fp.g * bodies.mass[i],
         })
         .collect();
-    // Memory budget: layout buffers + float4 output, with headroom.
-    let padded = (bodies.len() as u32).div_ceil(cfg.block) * cfg.block;
-    let bytes = (padded as u64 * 64 + (1 << 20)).next_power_of_two();
-    let mut gmem = GlobalMemory::new(bytes);
-    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
-    let out = alloc_accel_out(&mut gmem, img.padded_n);
+    // Memory budget: the exact footprint of the layout buffers + the float4
+    // output under the device allocator (alignment + redzones), not a guess.
+    let budget = frame_memory_budget(level, bodies.len() as u32);
+    let mut gmem = GlobalMemory::new(budget);
+    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)?;
+    let out = alloc_accel_out(&mut gmem, img.padded_n)?;
+    debug_assert_eq!(
+        gmem.allocated(),
+        budget,
+        "frame_memory_budget must predict the allocator exactly"
+    );
     let params = force_params(&img, out, fp.softening);
     let grid = img.padded_n / cfg.block;
-    run_grid(&kernel, grid, cfg.block, &params, &mut gmem);
+    match plan {
+        Some(p) => run_grid_injected(&kernel, grid, cfg.block, &params, &mut gmem, p)?,
+        None => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
+    };
     download_accels(&gmem, out, img.n)
 }
-
 
 /// Run `steps` device-resident Euler steps: upload once, alternate the force
 /// and integration kernels on the simulated device, download once — the full
@@ -115,39 +251,43 @@ pub fn run_device_resident(
     dt: f32,
     steps: u32,
     level: OptLevel,
-) -> Bodies {
+) -> DeviceResult<Bodies> {
     use gpu_kernels::integrate::{build_integrate_kernel, integrate_params};
+    if bodies.is_empty() {
+        return Ok(Bodies::default());
+    }
     let cfg = level.config();
     let force_k = build_force_kernel(cfg);
     let integ_k = build_integrate_kernel(cfg.layout);
     let particles: Vec<Particle> = (0..bodies.len())
         .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: fp.g * bodies.mass[i] })
         .collect();
-    let padded = (bodies.len() as u32).div_ceil(cfg.block) * cfg.block;
-    let bytes = (padded as u64 * 80 + (1 << 20)).next_power_of_two();
-    let mut gmem = GlobalMemory::new(bytes);
-    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
-    let acc = alloc_accel_out(&mut gmem, img.padded_n);
+    let budget = frame_memory_budget(level, bodies.len() as u32);
+    let mut gmem = GlobalMemory::new(budget);
+    let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)?;
+    let acc = alloc_accel_out(&mut gmem, img.padded_n)?;
+    debug_assert_eq!(gmem.allocated(), budget, "resident-loop budget must be exact");
     let grid = img.padded_n / cfg.block;
     let fparams = force_params(&img, acc, fp.softening);
     let iparams = integrate_params(&img, acc, dt);
     for _ in 0..steps {
-        run_grid(&force_k, grid, cfg.block, &fparams, &mut gmem);
-        run_grid(&integ_k, grid, cfg.block, &iparams, &mut gmem);
+        run_grid(&force_k, grid, cfg.block, &fparams, &mut gmem)?;
+        run_grid(&integ_k, grid, cfg.block, &iparams, &mut gmem)?;
     }
-    let out = img.read_all(&gmem);
+    let out = img.read_all(&gmem)?;
     let mut result = Bodies::with_capacity(bodies.len());
     for (i, p) in out.into_iter().enumerate() {
         // Masses were pre-scaled by G for the kernels; restore the originals
         // (they are unchanged on device, so this avoids a divide round trip).
         result.push(p.pos, p.vel, bodies.mass[i]);
     }
-    result
+    Ok(result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::fault::{FaultKind, Mutation};
     use nbody::spawn;
 
     #[test]
@@ -178,7 +318,6 @@ mod tests {
         assert!(t > 0.0 && t < 10.0, "modeled frame {t}s out of plausible range");
     }
 
-
     #[test]
     fn device_resident_loop_matches_host_euler_bitwise() {
         use nbody::integrator::step_euler;
@@ -194,7 +333,7 @@ mod tests {
             step_euler(&mut host, &acc, dt, None);
         }
 
-        let dev = run_device_resident(&bodies0, &fp, dt, steps, OptLevel::Full);
+        let dev = run_device_resident(&bodies0, &fp, dt, steps, OptLevel::Full).unwrap();
         assert_eq!(host, dev, "device-resident trajectory must match the host");
     }
 
@@ -205,5 +344,95 @@ mod tests {
         assert!(Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 }
             .label()
             .contains("SoAoaS"));
+    }
+
+    #[test]
+    fn empty_body_set_is_a_noop_for_every_backend() {
+        let bodies = Bodies::default();
+        let fp = ForceParams::default();
+        for backend in [
+            Backend::CpuSerial,
+            Backend::CpuParallel,
+            Backend::BarnesHut { theta: 0.5 },
+            Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 },
+        ] {
+            assert!(backend.accelerations(&bodies, &fp).is_empty(), "{}", backend.label());
+            assert!(backend.try_accelerations(&bodies, &fp).unwrap().is_empty());
+        }
+        assert_eq!(
+            run_device_resident(&bodies, &fp, 0.01, 3, OptLevel::Full).unwrap().len(),
+            0
+        );
+    }
+
+    fn gpu() -> Backend {
+        Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 }
+    }
+
+    /// A plan that redirects one lane's global accesses far out of bounds
+    /// (keeping 16-byte alignment so the class is OutOfBounds, not
+    /// Misaligned).
+    fn oob_plan() -> FaultPlan {
+        FaultPlan::at_thread(0, 7, Mutation::SetAddr(1 << 40))
+    }
+
+    #[test]
+    fn injected_fault_fails_fast_with_coordinates() {
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        let err = gpu()
+            .accelerations_with_policy_injected(&bodies, &fp, FaultPolicy::FailFast, Some(&oob_plan()))
+            .unwrap_err();
+        assert!(matches!(err.kind, FaultKind::OutOfBounds { .. }), "got {:?}", err.kind);
+        assert_eq!(err.site.block, Some(0));
+        assert_eq!(err.site.thread, Some(7));
+        assert!(err.site.kernel.as_deref().unwrap_or("").contains("force"));
+    }
+
+    #[test]
+    fn injected_fault_degrades_to_cpu_with_identical_physics() {
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        let res = gpu()
+            .accelerations_with_policy_injected(
+                &bodies,
+                &fp,
+                FaultPolicy::FallbackToCpu,
+                Some(&oob_plan()),
+            )
+            .unwrap();
+        let report = res.fault.expect("the injected fault must be reported");
+        assert!(report.degraded_from.contains("gpu-sim"));
+        assert_eq!(report.degraded_to, "cpu-parallel");
+        assert!(report.render().contains("OutOfBounds"));
+        // The degraded frame is bit-identical to the serial CPU reference.
+        assert_eq!(res.accels, Backend::CpuSerial.accelerations(&bodies, &fp));
+    }
+
+    #[test]
+    fn healthy_run_reports_no_fault_and_budget_is_exact() {
+        let bodies = spawn::uniform_ball(300, 5.0, 2.0, 11);
+        let fp = ForceParams::default();
+        let res = gpu()
+            .accelerations_with_policy(&bodies, &fp, FaultPolicy::FailFast)
+            .unwrap();
+        assert!(res.fault.is_none());
+        // The budget helper is exact: a device with one byte less OOMs.
+        let budget = frame_memory_budget(OptLevel::Full, 300);
+        let err = {
+            let cfg = OptLevel::Full.config();
+            let particles: Vec<Particle> = (0..300)
+                .map(|i| Particle {
+                    pos: bodies.pos[i],
+                    vel: bodies.vel[i],
+                    mass: bodies.mass[i],
+                })
+                .collect();
+            let mut gmem = GlobalMemory::new(budget - 1);
+            DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
+                .and_then(|img| alloc_accel_out(&mut gmem, img.padded_n))
+                .unwrap_err()
+        };
+        assert!(matches!(err.kind, FaultKind::OutOfMemory { .. }));
     }
 }

@@ -10,8 +10,9 @@
 //! ```
 
 use gpu_kernels::force::OptLevel;
+use gpu_sim::fault::DeviceError;
 use gpu_sim::{DeviceConfig, DriverModel};
-use gravit_app::backend::Backend;
+use gravit_app::backend::{Backend, FaultPolicy};
 use gravit_app::config::{SimConfig, SpawnKind};
 use gravit_app::recorder::Recording;
 use gravit_app::sim::Simulation;
@@ -51,22 +52,35 @@ fn cmd_run(args: &[String]) {
         Some("collision") => SpawnKind::Collision { separation: 20.0, approach_speed: 0.4 },
         _ => SpawnKind::DiskGalaxy { radius: 5.0 },
     };
-    let cfg = SimConfig { n, spawn, seed, dt, backend, ..SimConfig::default() };
+    let fault_policy = match flag(args, "--fault-policy").as_deref() {
+        Some("fail") => FaultPolicy::FailFast,
+        Some("fallback") | None => FaultPolicy::FallbackToCpu,
+        Some(other) => {
+            eprintln!("unknown --fault-policy {other:?} (expected fail|fallback)");
+            std::process::exit(2);
+        }
+    };
+    let cfg = SimConfig { n, spawn, seed, dt, backend, fault_policy, ..SimConfig::default() };
     println!("gravit: n={n}, steps={steps}, dt={dt}, backend={}", backend.label());
 
     let t0 = Instant::now();
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| device_fault_exit(&e));
     let mut recording = flag(args, "--record").map(|_| Recording::new(n, (n / 512).max(1)));
     if let Some(rec) = recording.as_mut() {
         rec.capture(&sim);
     }
     for s in 1..=steps {
-        sim.step();
+        if let Err(e) = sim.step() {
+            device_fault_exit(&e);
+        }
         if let Some(rec) = recording.as_mut() {
             if s % 5 == 0 {
                 rec.capture(&sim);
             }
         }
+    }
+    for report in &sim.fault_reports {
+        eprintln!("sanitizer: recovered device fault\n{}", report.render());
     }
     let wall = t0.elapsed().as_secs_f64();
     println!(
@@ -81,6 +95,13 @@ fn cmd_run(args: &[String]) {
         rec.write(&path).expect("write recording");
         println!("recording written to {path} ({} frames)", rec_len(&path));
     }
+}
+
+/// Print the sanitizer report and exit with the device-fault code (3),
+/// distinct from usage errors (2).
+fn device_fault_exit(e: &DeviceError) -> ! {
+    eprintln!("gravit: device fault detected by the sanitizer\n{}", e.report());
+    std::process::exit(3);
 }
 
 fn rec_len(path: &str) -> usize {
@@ -166,7 +187,9 @@ fn print_help() {
 USAGE:
   gravit run    [--n N] [--steps S] [--backend cpu|par|bh|gpu]
                 [--spawn ball|disk|collision|plummer] [--dt DT]
-                [--seed SEED] [--record FILE]
+                [--seed SEED] [--record FILE] [--fault-policy fail|fallback]
+                (on a device fault: `fail` exits 3 with the sanitizer
+                report; `fallback` finishes the frame on the CPU)
   gravit ladder             print the paper's optimization ladder
   gravit model  [--n N]     modeled GPU frame times at size N
   gravit render --input REC.json [--out DIR] [--size PX]

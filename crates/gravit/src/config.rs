@@ -1,6 +1,6 @@
 //! Simulation configuration.
 
-use crate::backend::Backend;
+use crate::backend::{Backend, FaultPolicy};
 use nbody::model::{Bodies, ForceParams};
 use nbody::spawn;
 use serde::{Deserialize, Serialize};
@@ -33,8 +33,12 @@ pub enum SpawnKind {
 }
 
 impl SpawnKind {
-    /// Generate `n` bodies deterministically from `seed`.
+    /// Generate `n` bodies deterministically from `seed`. `n == 0` yields an
+    /// empty set (the spawners themselves require a positive count).
     pub fn generate(self, n: usize, g: f32, seed: u64) -> Bodies {
+        if n == 0 {
+            return Bodies::default();
+        }
         match self {
             SpawnKind::UniformBall { radius } => spawn::uniform_ball(n, radius, 1.0, seed),
             SpawnKind::Plummer { a } => spawn::plummer(n, a, 1.0, seed),
@@ -72,6 +76,8 @@ pub struct SimConfig {
     pub integrator: Integrator,
     /// Force backend.
     pub backend: Backend,
+    /// What to do when the simulated device faults.
+    pub fault_policy: FaultPolicy,
 }
 
 impl Default for SimConfig {
@@ -84,14 +90,15 @@ impl Default for SimConfig {
             force: ForceParams::default(),
             integrator: Integrator::Leapfrog,
             backend: Backend::CpuParallel,
+            fault_policy: FaultPolicy::default(),
         }
     }
 }
 
 impl SimConfig {
-    /// Validate the configuration, panicking on nonsense.
+    /// Validate the configuration, panicking on nonsense. An empty body set
+    /// (`n == 0`) is valid: every backend treats it as a no-op frame.
     pub fn validate(&self) {
-        assert!(self.n >= 2, "need at least two bodies");
         assert!(self.dt > 0.0 && self.dt.is_finite(), "bad time step");
         assert!(self.force.softening >= 0.0);
     }
@@ -125,8 +132,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_dt_rejected() {
-        let mut c = SimConfig::default();
-        c.dt = 0.0;
+        let c = SimConfig { dt: 0.0, ..SimConfig::default() };
         c.validate();
     }
 }

@@ -89,8 +89,11 @@ pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -
     let padded = n.div_ceil(cfg.block) * cfg.block;
 
     // Kernel time: simulate the resident wave at two small tile counts and
-    // extrapolate per-wave cycles to the real tile count.
-    let resident: Vec<u32> = (0..occ.active_blocks).collect();
+    // extrapolate per-wave cycles to the real tile count. Residency is
+    // clamped to the smallest measured grid: a resident block beyond the
+    // uploaded tiles would read past the particle buffers (the sanitizer's
+    // redzones catch exactly this).
+    let resident: Vec<u32> = (0..occ.active_blocks.min(FIT_TILES[0])).collect();
     let mut measured = Vec::new();
     for tiles in FIT_TILES {
         let small_n = tiles * cfg.block;
@@ -98,8 +101,9 @@ pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -
             .map(|i| Particle { pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0), vel: Vec3::ZERO, mass: 1.0 })
             .collect();
         let mut gmem = GlobalMemory::new(64 << 20);
-        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block);
-        let out = alloc_accel_out(&mut gmem, img.padded_n);
+        let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
+            .expect("fit-sized upload fits in the model device");
+        let out = alloc_accel_out(&mut gmem, img.padded_n).expect("output buffer fits");
         let params = force_params(&img, out, 0.05);
         let run = time_resident(
             &kernel,
@@ -111,10 +115,12 @@ pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -
             &dev,
             driver,
             &tp,
-        );
+        )
+        .expect("the model launch is well-formed");
         measured.push((small_n as u64, run.cycles));
     }
-    let wave_cycles = extrapolate_linear(&measured, padded as u64);
+    let wave_cycles =
+        extrapolate_linear(&measured, padded as u64).expect("steady-state cost grows with tiles");
 
     let blocks = (padded / cfg.block) as u64;
     let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);

@@ -88,10 +88,10 @@ mod tests {
             backend: Backend::CpuSerial,
             ..SimConfig::default()
         };
-        let mut sim = Simulation::new(cfg);
+        let mut sim = Simulation::new(cfg).unwrap();
         let mut rec = Recording::new(64, 4);
         rec.capture(&sim);
-        sim.run(3);
+        sim.run(3).unwrap();
         rec.capture(&sim);
         assert_eq!(rec.frames.len(), 2);
         assert_eq!(rec.frames[0].positions.len(), 16);

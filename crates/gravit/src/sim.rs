@@ -1,12 +1,20 @@
 //! The simulation loop.
 
+use crate::backend::FaultReport;
 use crate::config::{Integrator, SimConfig};
+use gpu_sim::fault::{DeviceError, DeviceResult};
 use nbody::energy::{momentum, total_energy};
 use nbody::integrator::{step_euler, step_leapfrog};
 use nbody::model::Bodies;
 use simcore::Vec3;
 
 /// A running simulation.
+///
+/// Device faults surface according to the configured
+/// [`FaultPolicy`](crate::backend::FaultPolicy): with `FailFast`,
+/// [`step`](Simulation::step) returns the typed [`DeviceError`]; with
+/// `FallbackToCpu`, the step completes on the CPU (bit-identical physics) and
+/// the fault is appended to [`fault_reports`](Simulation::fault_reports).
 #[derive(Debug)]
 pub struct Simulation {
     /// Configuration (immutable after construction).
@@ -19,45 +27,70 @@ pub struct Simulation {
     pub time: f64,
     /// Steps taken.
     pub steps: u64,
+    /// Device faults survived via CPU fallback, in occurrence order.
+    pub fault_reports: Vec<FaultReport>,
     energy0: f64,
 }
 
 impl Simulation {
     /// Initialize from a configuration: spawn the workload and compute the
     /// initial accelerations.
-    pub fn new(config: SimConfig) -> Simulation {
+    pub fn new(config: SimConfig) -> DeviceResult<Simulation> {
         config.validate();
         let bodies = config.spawn.generate(config.n, config.force.g, config.seed);
-        let accels = config.backend.accelerations(&bodies, &config.force);
+        let mut fault_reports = Vec::new();
+        let accels = compute_accels(&config, &bodies, &mut fault_reports)?;
         let energy0 = total_energy(&bodies, &config.force);
-        Simulation { config, bodies, accels, time: 0.0, steps: 0, energy0 }
+        Ok(Simulation { config, bodies, accels, time: 0.0, steps: 0, fault_reports, energy0 })
     }
 
     /// Advance one time step.
-    pub fn step(&mut self) {
+    pub fn step(&mut self) -> DeviceResult<()> {
         let dt = self.config.dt;
         match self.config.integrator {
             Integrator::Euler => {
                 step_euler(&mut self.bodies, &self.accels, dt, None);
-                self.accels = self.config.backend.accelerations(&self.bodies, &self.config.force);
+                self.accels = compute_accels(&self.config, &self.bodies, &mut self.fault_reports)?;
             }
             Integrator::Leapfrog => {
                 let backend = self.config.backend;
                 let force = self.config.force;
+                let policy = self.config.fault_policy;
+                // `step_leapfrog` takes an infallible closure; a fail-fast
+                // fault is parked here and returned after the call. (The
+                // zero-filled stand-in accelerations are never observed: the
+                // error abandons the simulation state.)
+                let mut pending: Option<DeviceError> = None;
+                let mut reports: Vec<FaultReport> = Vec::new();
                 self.accels = step_leapfrog(&mut self.bodies, &self.accels, dt, None, |b| {
-                    backend.accelerations(b, &force)
+                    match backend.accelerations_with_policy(b, &force, policy) {
+                        Ok(r) => {
+                            reports.extend(r.fault);
+                            r.accels
+                        }
+                        Err(e) => {
+                            pending = Some(e);
+                            vec![Vec3::ZERO; b.len()]
+                        }
+                    }
                 });
+                self.fault_reports.extend(reports);
+                if let Some(e) = pending {
+                    return Err(e);
+                }
             }
         }
         self.time += dt as f64;
         self.steps += 1;
+        Ok(())
     }
 
     /// Advance `n` steps.
-    pub fn run(&mut self, n: u64) {
+    pub fn run(&mut self, n: u64) -> DeviceResult<()> {
         for _ in 0..n {
-            self.step();
+            self.step()?;
         }
+        Ok(())
     }
 
     /// Relative energy drift since t = 0 (diagnostic; small for leapfrog).
@@ -76,6 +109,18 @@ impl Simulation {
         let m = momentum(&self.bodies);
         (m[0] * m[0] + m[1] * m[1] + m[2] * m[2]).sqrt()
     }
+}
+
+/// One force evaluation under the configured policy, appending any survived
+/// fault to `reports`.
+fn compute_accels(
+    config: &SimConfig,
+    bodies: &Bodies,
+    reports: &mut Vec<FaultReport>,
+) -> DeviceResult<Vec<Vec3>> {
+    let r = config.backend.accelerations_with_policy(bodies, &config.force, config.fault_policy)?;
+    reports.extend(r.fault);
+    Ok(r.accels)
 }
 
 #[cfg(test)]
@@ -99,25 +144,26 @@ mod tests {
 
     #[test]
     fn simulation_advances_time_and_steps() {
-        let mut sim = Simulation::new(small_config(Backend::CpuParallel));
-        sim.run(10);
+        let mut sim = Simulation::new(small_config(Backend::CpuParallel)).unwrap();
+        sim.run(10).unwrap();
         assert_eq!(sim.steps, 10);
         assert!((sim.time - 0.05).abs() < 1e-6); // dt is f32; time accumulates its rounding
         sim.bodies.validate();
+        assert!(sim.fault_reports.is_empty());
     }
 
     #[test]
     fn leapfrog_keeps_energy_drift_small() {
-        let mut sim = Simulation::new(small_config(Backend::CpuParallel));
-        sim.run(100);
+        let mut sim = Simulation::new(small_config(Backend::CpuParallel)).unwrap();
+        sim.run(100).unwrap();
         assert!(sim.energy_drift() < 0.05, "drift {}", sim.energy_drift());
     }
 
     #[test]
     fn momentum_stays_conserved() {
-        let mut sim = Simulation::new(small_config(Backend::CpuSerial));
+        let mut sim = Simulation::new(small_config(Backend::CpuSerial)).unwrap();
         let m0 = sim.momentum_magnitude();
-        sim.run(50);
+        sim.run(50).unwrap();
         let m1 = sim.momentum_magnitude();
         // Started at rest: momentum ~0 and stays ~0 relative to |p|·|v| scale.
         let scale: f64 = (0..sim.bodies.len())
@@ -129,13 +175,24 @@ mod tests {
 
     #[test]
     fn gpu_backend_trajectory_matches_cpu_exactly() {
-        let mut cpu = Simulation::new(small_config(Backend::CpuSerial));
+        let mut cpu = Simulation::new(small_config(Backend::CpuSerial)).unwrap();
         let mut gpu = Simulation::new(small_config(Backend::GpuSim {
             level: OptLevel::Full,
             driver: DriverModel::Cuda10,
-        }));
-        cpu.run(5);
-        gpu.run(5);
+        }))
+        .unwrap();
+        cpu.run(5).unwrap();
+        gpu.run(5).unwrap();
         assert_eq!(cpu.bodies, gpu.bodies, "trajectories must be bit-identical");
+    }
+
+    #[test]
+    fn empty_simulation_runs_without_crashing() {
+        let cfg = SimConfig { n: 0, ..small_config(Backend::CpuParallel) };
+        let mut sim = Simulation::new(cfg).unwrap();
+        sim.run(3).unwrap();
+        assert_eq!(sim.steps, 3);
+        assert_eq!(sim.bodies.len(), 0);
+        assert_eq!(sim.energy_drift(), 0.0);
     }
 }

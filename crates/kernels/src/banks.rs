@@ -78,10 +78,11 @@ mod tests {
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
         let k = build_bank_kernel(stride, 32);
         let mut gmem = GlobalMemory::new(1 << 16);
-        let d = gmem.alloc(128 * 4);
-        let s = gmem.alloc(128 * 4);
+        let d = gmem.alloc(128 * 4).unwrap();
+        let s = gmem.alloc(128 * 4).unwrap();
         let run =
-            time_resident(&k, &[0], 128, 1, &[d.0 as u32, s.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp);
+            time_resident(&k, &[0], 128, 1, &[d.0 as u32, s.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp)
+                .unwrap();
         run.cycles
     }
 
@@ -106,10 +107,10 @@ mod tests {
         let iters = 8u32;
         let k = build_bank_kernel(stride, iters);
         let mut gmem = GlobalMemory::new(1 << 16);
-        let d = gmem.alloc(64 * 4);
-        let s = gmem.alloc(64 * 4);
-        run_grid(&k, 1, 64, &[d.0 as u32, s.0 as u32], &mut gmem);
-        let sums = gmem.read_f32(s, 64);
+        let d = gmem.alloc(64 * 4).unwrap();
+        let s = gmem.alloc(64 * 4).unwrap();
+        run_grid(&k, 1, 64, &[d.0 as u32, s.0 as u32], &mut gmem).unwrap();
+        let sums = gmem.read_f32(s, 64).unwrap();
         for (t, v) in sums.iter().enumerate() {
             let word = (t as u32 * stride) & (SMEM_WORDS - 1);
             // smem[word] was seeded with `word as f32` (only the first 64

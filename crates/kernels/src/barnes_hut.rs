@@ -54,7 +54,7 @@ impl BhKernelConfig {
 /// n_bodies — u32s as raw bits), `bodies` (float4 per leaf body), `out`
 /// (float4 per particle), `theta_sq` (f32 bits), `eps` (f32 bits).
 pub fn build_bh_kernel(cfg: BhKernelConfig) -> Kernel {
-    assert!(cfg.block % 32 == 0 && cfg.depth >= 8);
+    assert!(cfg.block.is_multiple_of(32) && cfg.depth >= 8);
     let mut b = KernelBuilder::new(format!("bh_b{}_d{}", cfg.block, cfg.depth));
     b.shared_mem(cfg.smem_bytes());
     let pos = b.param();
@@ -181,44 +181,51 @@ pub fn upload_bh(
     lt: &nbody::barnes_hut::LinearTree,
     targets: &[simcore::Vec3],
     pad_to: u32,
-) -> (Vec<u32>, u32) {
-    assert!(!targets.is_empty());
+) -> gpu_sim::fault::DeviceResult<(Vec<u32>, u32)> {
+    use gpu_sim::fault::{DeviceError, FaultKind};
+    if targets.is_empty() {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: "empty target set for Barnes-Hut upload".into(),
+        }));
+    }
     let padded = (targets.len() as u32).div_ceil(pad_to) * pad_to;
-    let pos = gmem.alloc(padded as u64 * 16);
+    let pos = gmem.alloc(padded as u64 * 16)?;
     for (k, p) in targets.iter().enumerate() {
-        gmem.store_f32(pos.0 + 16 * k as u64, p.x);
-        gmem.store_f32(pos.0 + 16 * k as u64 + 4, p.y);
-        gmem.store_f32(pos.0 + 16 * k as u64 + 8, p.z);
+        gmem.store_f32(pos.0 + 16 * k as u64, p.x)?;
+        gmem.store_f32(pos.0 + 16 * k as u64 + 4, p.y)?;
+        gmem.store_f32(pos.0 + 16 * k as u64 + 8, p.z)?;
+        // The kernel does a float4 load; the pad lane must be initialized.
+        gmem.store_f32(pos.0 + 16 * k as u64 + 12, 0.0)?;
     }
     // Padding targets replay target 0 (their results are discarded).
     for k in targets.len() as u32..padded {
-        for w in 0..3u64 {
-            let v = gmem.load_f32(pos.0 + 4 * w);
-            gmem.store_f32(pos.0 + 16 * k as u64 + 4 * w, v);
+        for w in 0..4u64 {
+            let v = gmem.load_f32(pos.0 + 4 * w)?;
+            gmem.store_f32(pos.0 + 16 * k as u64 + 4 * w, v)?;
         }
     }
-    let com = gmem.alloc(lt.n_nodes() as u64 * 16);
-    let meta = gmem.alloc(lt.n_nodes() as u64 * 16);
+    let com = gmem.alloc(lt.n_nodes() as u64 * 16)?;
+    let meta = gmem.alloc(lt.n_nodes() as u64 * 16)?;
     for n in 0..lt.n_nodes() {
         let a = com.0 + 16 * n as u64;
         for w in 0..4 {
-            gmem.store_f32(a + 4 * w as u64, lt.com[n][w]);
+            gmem.store_f32(a + 4 * w as u64, lt.com[n][w])?;
         }
         let ma = meta.0 + 16 * n as u64;
-        gmem.store_f32(ma, lt.side_sq[n]);
+        gmem.store_f32(ma, lt.side_sq[n])?;
         // first_child for internal nodes, body_start for leaves.
         let first = if lt.meta[n][1] > 0 { lt.meta[n][0] } else { lt.meta[n][2] };
-        gmem.store_u32(ma + 4, first);
-        gmem.store_u32(ma + 8, lt.meta[n][1]);
-        gmem.store_u32(ma + 12, lt.meta[n][3]);
+        gmem.store_u32(ma + 4, first)?;
+        gmem.store_u32(ma + 8, lt.meta[n][1])?;
+        gmem.store_u32(ma + 12, lt.meta[n][3])?;
     }
-    let bodies = gmem.alloc((lt.bodies.len().max(1)) as u64 * 16);
+    let bodies = gmem.alloc((lt.bodies.len().max(1)) as u64 * 16)?;
     for (k, bd) in lt.bodies.iter().enumerate() {
-        for w in 0..4 {
-            gmem.store_f32(bodies.0 + 16 * k as u64 + 4 * w as u64, bd[w]);
+        for (w, v) in bd.iter().enumerate() {
+            gmem.store_f32(bodies.0 + 16 * k as u64 + 4 * w as u64, *v)?;
         }
     }
-    (vec![pos.0 as u32, com.0 as u32, meta.0 as u32, bodies.0 as u32], padded)
+    Ok((vec![pos.0 as u32, com.0 as u32, meta.0 as u32, bodies.0 as u32], padded))
 }
 
 #[cfg(test)]
@@ -241,13 +248,13 @@ mod tests {
     ) -> Vec<simcore::Vec3> {
         let k = build_bh_kernel(cfg);
         let mut gmem = GlobalMemory::new(128 << 20);
-        let (mut params, padded) = upload_bh(&mut gmem, lt, targets, cfg.block);
-        let out = alloc_accel_out(&mut gmem, padded);
+        let (mut params, padded) = upload_bh(&mut gmem, lt, targets, cfg.block).unwrap();
+        let out = alloc_accel_out(&mut gmem, padded).unwrap();
         params.push(out.0 as u32);
         params.push((theta * theta).to_bits());
         params.push(eps.to_bits());
-        run_grid(&k, padded / cfg.block, cfg.block, &params, &mut gmem);
-        download_accels(&gmem, out, targets.len() as u32)
+        run_grid(&k, padded / cfg.block, cfg.block, &params, &mut gmem).unwrap();
+        download_accels(&gmem, out, targets.len() as u32).unwrap()
     }
 
     #[test]
@@ -257,11 +264,11 @@ mod tests {
         let lt = LinearTree::from_bodies(&b, fp.g);
         let theta = 0.5f32;
         let gpu = run_bh(&lt, &b.pos, theta, fp.softening, BhKernelConfig::g80_default());
-        for i in 0..b.len() {
+        for (i, g) in gpu.iter().enumerate() {
             let cpu = lt.accel_kernel_order(b.pos[i], theta * theta, fp.eps_sq());
-            assert_eq!(cpu.x.to_bits(), gpu[i].x.to_bits(), "body {i} x");
-            assert_eq!(cpu.y.to_bits(), gpu[i].y.to_bits(), "body {i} y");
-            assert_eq!(cpu.z.to_bits(), gpu[i].z.to_bits(), "body {i} z");
+            assert_eq!(cpu.x.to_bits(), g.x.to_bits(), "body {i} x");
+            assert_eq!(cpu.y.to_bits(), g.y.to_bits(), "body {i} y");
+            assert_eq!(cpu.z.to_bits(), g.z.to_bits(), "body {i} z");
         }
     }
 

@@ -123,8 +123,8 @@ impl core::fmt::Display for OptLevel {
 /// (ε as raw f32 bits) and `smem0` (the shared-memory tile base, always 0 —
 /// a param so address folding can express "base + hard-coded offset").
 pub fn build_force_kernel(cfg: ForceKernelConfig) -> Kernel {
-    assert!(cfg.block > 0 && cfg.block % 32 == 0, "block must be a warp multiple");
-    assert!(cfg.unroll >= 1 && cfg.block % cfg.unroll == 0, "unroll must divide the block size");
+    assert!(cfg.block > 0 && cfg.block.is_multiple_of(32), "block must be a warp multiple");
+    assert!(cfg.unroll >= 1 && cfg.block.is_multiple_of(cfg.unroll), "unroll must divide the block size");
     let mut k = build_baseline(cfg);
     if cfg.icm {
         k = licm(&k);
@@ -268,12 +268,12 @@ mod tests {
         let k = build_force_kernel(cfg);
         let mut gmem = GlobalMemory::new(64 << 20);
         let ps = to_particles(bodies, params.g);
-        let img = DeviceImage::upload(&mut gmem, cfg.layout, &ps, cfg.block);
-        let out = alloc_accel_out(&mut gmem, img.padded_n);
+        let img = DeviceImage::upload(&mut gmem, cfg.layout, &ps, cfg.block).unwrap();
+        let out = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
         let p = force_params(&img, out, params.softening);
         let grid = img.padded_n / cfg.block;
-        run_grid(&k, grid, cfg.block, &p, &mut gmem);
-        download_accels(&gmem, out, img.n)
+        run_grid(&k, grid, cfg.block, &p, &mut gmem).unwrap();
+        download_accels(&gmem, out, img.n).unwrap()
     }
 
     fn assert_bitwise_eq(a: &[simcore::Vec3], b: &[simcore::Vec3], what: &str) {
@@ -409,7 +409,7 @@ mod tests {
 /// warps. SoAoaS-only (one float4 per tile element).
 pub fn build_force_kernel_prefetch(cfg: ForceKernelConfig) -> Kernel {
     assert_eq!(cfg.layout, Layout::SoAoaS, "prefetch variant is built for the tuned layout");
-    assert!(cfg.block % 32 == 0 && cfg.block % cfg.unroll == 0);
+    assert!(cfg.block.is_multiple_of(32) && cfg.block.is_multiple_of(cfg.unroll));
     let mut b = KernelBuilder::new(format!("force_prefetch_b{}_u{}", cfg.block, cfg.unroll));
     b.shared_mem(cfg.smem_bytes());
     let posmass = b.param();
@@ -517,11 +517,11 @@ mod prefetch_tests {
                     mass: bodies.mass[i],
                 })
                 .collect();
-            let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &ps, cfg.block);
-            let out = alloc_accel_out(&mut gmem, img.padded_n);
+            let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &ps, cfg.block).unwrap();
+            let out = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
             let params = force_params(&img, out, fp.softening);
-            run_grid(&k, img.padded_n / cfg.block, cfg.block, &params, &mut gmem);
-            let gpu = download_accels(&gmem, out, img.n);
+            run_grid(&k, img.padded_n / cfg.block, cfg.block, &params, &mut gmem).unwrap();
+            let gpu = download_accels(&gmem, out, img.n).unwrap();
             for i in 0..cpu.len() {
                 assert_eq!(cpu[i], gpu[i], "unroll {unroll}, body {i}");
             }

@@ -49,10 +49,10 @@ pub fn build_integrate_kernel(layout: Layout) -> Kernel {
 
     // v' = v + a·dt ; p' = p + v'·dt — written back into the loaded word
     // registers so the stores below round-trip the ride-along words.
-    for k in 0..3 {
+    for (k, ak) in a.iter().enumerate().take(3) {
         let (vr, vw) = lanes.vel[k];
         let v = loaded[vr].1[vw];
-        b.fmad_into(v, a[k].into(), dt.into(), v.into());
+        b.fmad_into(v, (*ak).into(), dt.into(), v.into());
         let (pr, pw) = lanes.pos[k];
         let p = loaded[pr].1[pw];
         b.fmad_into(p, v.into(), dt.into(), p.into());
@@ -95,16 +95,16 @@ mod tests {
         let block = 128u32;
         let k = build_integrate_kernel(layout);
         let mut gmem = GlobalMemory::new(32 << 20);
-        let img = DeviceImage::upload(&mut gmem, layout, &to_particles(bodies), block);
-        let acc = alloc_accel_out(&mut gmem, img.padded_n);
+        let img = DeviceImage::upload(&mut gmem, layout, &to_particles(bodies), block).unwrap();
+        let acc = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
         for (i, a) in accels.iter().enumerate() {
-            gmem.store_f32(acc.0 + 16 * i as u64, a.x);
-            gmem.store_f32(acc.0 + 16 * i as u64 + 4, a.y);
-            gmem.store_f32(acc.0 + 16 * i as u64 + 8, a.z);
+            gmem.store_f32(acc.0 + 16 * i as u64, a.x).unwrap();
+            gmem.store_f32(acc.0 + 16 * i as u64 + 4, a.y).unwrap();
+            gmem.store_f32(acc.0 + 16 * i as u64 + 8, a.z).unwrap();
         }
         let params = integrate_params(&img, acc, dt);
-        run_grid(&k, img.padded_n / block, block, &params, &mut gmem);
-        img.read_all(&gmem)
+        run_grid(&k, img.padded_n / block, block, &params, &mut gmem).unwrap();
+        img.read_all(&gmem).unwrap()
     }
 
     #[test]
@@ -117,9 +117,9 @@ mod tests {
         step_euler(&mut bodies, &accels, dt, None);
         for layout in Layout::ALL {
             let dev = device_euler(layout, &before, &accels, dt);
-            for i in 0..bodies.len() {
-                assert_eq!(dev[i].pos, bodies.pos[i], "{layout}: body {i} pos");
-                assert_eq!(dev[i].vel, bodies.vel[i], "{layout}: body {i} vel");
+            for (i, d) in dev.iter().enumerate() {
+                assert_eq!(d.pos, bodies.pos[i], "{layout}: body {i} pos");
+                assert_eq!(d.vel, bodies.vel[i], "{layout}: body {i} vel");
             }
         }
     }
@@ -130,8 +130,8 @@ mod tests {
         let accels = vec![Vec3::new(1.0, 2.0, 3.0); 100];
         for layout in Layout::ALL {
             let dev = device_euler(layout, &bodies, &accels, 0.02);
-            for i in 0..bodies.len() {
-                assert_eq!(dev[i].mass, bodies.mass[i], "{layout}: body {i} mass clobbered");
+            for (i, d) in dev.iter().enumerate() {
+                assert_eq!(d.mass, bodies.mass[i], "{layout}: body {i} mass clobbered");
             }
         }
     }
@@ -141,9 +141,9 @@ mod tests {
         let bodies = spawn::plummer(64, 1.0, 1.0, 5);
         let accels = vec![Vec3::new(9.0, 9.0, 9.0); 64];
         let dev = device_euler(Layout::SoAoaS, &bodies, &accels, 0.0);
-        for i in 0..bodies.len() {
-            assert_eq!(dev[i].pos, bodies.pos[i]);
-            assert_eq!(dev[i].vel, bodies.vel[i]);
+        for (i, d) in dev.iter().enumerate() {
+            assert_eq!(d.pos, bodies.pos[i]);
+            assert_eq!(d.vel, bodies.vel[i]);
         }
     }
 

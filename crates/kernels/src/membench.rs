@@ -128,14 +128,14 @@ mod tests {
             let cfg = MembenchConfig { layout, iters };
             let k = build_membench_kernel(cfg);
             let mut gmem = GlobalMemory::new(16 << 20);
-            let img = DeviceImage::upload(&mut gmem, layout, &ps, block);
-            let out_delta = gmem.alloc((grid * block) as u64 * 4);
-            let out_sum = gmem.alloc((grid * block) as u64 * 4);
+            let img = DeviceImage::upload(&mut gmem, layout, &ps, block).unwrap();
+            let out_delta = gmem.alloc((grid * block) as u64 * 4).unwrap();
+            let out_sum = gmem.alloc((grid * block) as u64 * 4).unwrap();
             let mut params = img.base_params();
             params.push(out_delta.0 as u32);
             params.push(out_sum.0 as u32);
-            run_grid(&k, grid, block, &params, &mut gmem);
-            let sums = gmem.read_f32(out_sum, (grid * block) as usize);
+            run_grid(&k, grid, block, &params, &mut gmem).unwrap();
+            let sums = gmem.read_f32(out_sum, (grid * block) as usize).unwrap();
             // Each thread read `iters` full records; the 7-float sum of a
             // record i is 1+2+3+4+5+6+(7+i%3).
             for (t, s) in sums.iter().enumerate() {
@@ -171,15 +171,15 @@ mod tests {
         let block = 32u32;
         let ps = particles((grid * block * cfg.iters) as usize);
         let mut gmem = GlobalMemory::new(8 << 20);
-        let img = DeviceImage::upload(&mut gmem, Layout::SoA, &ps, block);
-        let out_delta = gmem.alloc(32 * 4);
-        let out_sum = gmem.alloc(32 * 4);
+        let img = DeviceImage::upload(&mut gmem, Layout::SoA, &ps, block).unwrap();
+        let out_delta = gmem.alloc(32 * 4).unwrap();
+        let out_sum = gmem.alloc(32 * 4).unwrap();
         let mut params = img.base_params();
         params.push(out_delta.0 as u32);
         params.push(out_sum.0 as u32);
         // Functional clock counts retired warp instructions: delta > 0.
-        run_grid(&k, grid, block, &params, &mut gmem);
-        let deltas = gmem.download(out_delta, 4);
+        run_grid(&k, grid, block, &params, &mut gmem).unwrap();
+        let deltas = gmem.download(out_delta, 4).unwrap();
         let d0 = u32::from_le_bytes(deltas.try_into().unwrap());
         assert!(d0 > 0, "clock delta must be positive, got {d0}");
     }
@@ -209,14 +209,14 @@ mod texture_tests {
             .map(|i| Particle { pos: Vec3::splat(i as f32), vel: Vec3::ZERO, mass: 1.0 })
             .collect();
         let mut gmem = GlobalMemory::new(16 << 20);
-        let img = DeviceImage::upload(&mut gmem, layout, &ps, block);
-        let d = gmem.alloc(block as u64 * 4);
-        let s = gmem.alloc(block as u64 * 4);
+        let img = DeviceImage::upload(&mut gmem, layout, &ps, block).unwrap();
+        let d = gmem.alloc(block as u64 * 4).unwrap();
+        let s = gmem.alloc(block as u64 * 4).unwrap();
         let mut params = img.base_params();
         params.push(d.0 as u32);
         params.push(s.0 as u32);
-        run_grid(kernel, 1, block, &params, &mut gmem);
-        gmem.read_f32(s, block as usize)
+        run_grid(kernel, 1, block, &params, &mut gmem).unwrap();
+        gmem.read_f32(s, block as usize).unwrap()
     }
 
     #[test]
@@ -238,13 +238,13 @@ mod texture_tests {
             let n = cfg.particles_needed(1, 128) as usize;
             let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
             let mut gmem = GlobalMemory::new(64 << 20);
-            let img = DeviceImage::upload(&mut gmem, cfg.layout, &ps, 128);
-            let d = gmem.alloc(128 * 4);
-            let s = gmem.alloc(128 * 4);
+            let img = DeviceImage::upload(&mut gmem, cfg.layout, &ps, 128).unwrap();
+            let d = gmem.alloc(128 * 4).unwrap();
+            let s = gmem.alloc(128 * 4).unwrap();
             let mut params = img.base_params();
             params.push(d.0 as u32);
             params.push(s.0 as u32);
-            time_resident(k, &[0], 128, 1, &params, &mut gmem, &dev, DriverModel::Cuda10, &tp)
+            time_resident(k, &[0], 128, 1, &params, &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap()
         };
         let global = time(&build_membench_kernel(cfg));
         let tex = time(&build_membench_texture_kernel(cfg));

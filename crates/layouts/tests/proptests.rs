@@ -40,14 +40,14 @@ proptest! {
                                layout in layout_strategy(),
                                pad in prop_oneof![Just(32u32), Just(64), Just(128), Just(192)]) {
         let mut gmem = GlobalMemory::new(8 << 20);
-        let img = DeviceImage::upload(&mut gmem, layout, &ps, pad);
+        let img = DeviceImage::upload(&mut gmem, layout, &ps, pad).expect("upload fits");
         prop_assert_eq!(img.n as usize, ps.len());
         prop_assert_eq!(img.padded_n % pad, 0);
         prop_assert!(img.padded_n >= img.n);
-        prop_assert_eq!(img.read_all(&gmem), ps);
+        prop_assert_eq!(img.read_all(&gmem).expect("readback in bounds"), ps);
         // Padding slots are sentinels.
         for i in img.n..img.padded_n {
-            prop_assert_eq!(img.read_particle(&gmem, i).mass, 0.0);
+            prop_assert_eq!(img.read_particle(&gmem, i).expect("in bounds").mass, 0.0);
         }
     }
 

@@ -288,9 +288,9 @@ mod tests {
         let p = ForceParams::default();
         let t = Octree::build(&b);
         let direct = accelerations(&b, &p);
-        for i in 0..b.len() {
+        for (i, d) in direct.iter().enumerate() {
             let a = t.accel_recursive(&b, &p, b.pos[i], 0.0);
-            let err = (a - direct[i]).norm() / direct[i].norm().max(1e-12);
+            let err = (a - *d).norm() / d.norm().max(1e-12);
             assert!(err < 1e-5, "body {i}: err {err}");
         }
     }
@@ -514,6 +514,9 @@ impl LinearTree {
     /// GPU kernel uses** (push children ascending, pop LIFO; same operation
     /// order in the force accumulation). This is the bit-exact CPU reference
     /// for the GPU Barnes–Hut kernel. Masses are already G-scaled.
+    // Statements mirror the BH kernel's fmad operand order for bit parity;
+    // see `nbody::model::accel_one_exact`.
+    #[allow(clippy::assign_op_pattern)]
     pub fn accel_kernel_order(&self, p: Vec3, theta_sq: f32, eps_sq: f32) -> Vec3 {
         let (mut ax, mut ay, mut az) = (0.0f32, 0.0f32, 0.0f32);
         let mut stack: Vec<u32> = vec![0];
@@ -655,9 +658,9 @@ mod linear_tests {
         let fp = ForceParams::default();
         let direct = accelerations(&b, &fp);
         let lt = LinearTree::from_bodies(&b, fp.g);
-        for i in 0..b.len() {
+        for (i, d) in direct.iter().enumerate() {
             let a = lt.accel_kernel_order(b.pos[i], 0.0, fp.eps_sq());
-            let err = (a - direct[i]).norm() / direct[i].norm().max(1e-12);
+            let err = (a - *d).norm() / d.norm().max(1e-12);
             assert!(err < 1e-4, "body {i}: {err}");
         }
     }

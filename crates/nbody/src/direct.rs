@@ -146,10 +146,10 @@ mod tests {
         let b = ball(200, 11);
         let a = accelerations(&b, &ForceParams::default());
         let (mut fx, mut fy, mut fz) = (0.0f64, 0.0f64, 0.0f64);
-        for i in 0..b.len() {
-            fx += (b.mass[i] * a[i].x) as f64;
-            fy += (b.mass[i] * a[i].y) as f64;
-            fz += (b.mass[i] * a[i].z) as f64;
+        for (i, ai) in a.iter().enumerate() {
+            fx += (b.mass[i] * ai.x) as f64;
+            fy += (b.mass[i] * ai.y) as f64;
+            fz += (b.mass[i] * ai.z) as f64;
         }
         let scale: f64 = a.iter().map(|v| v.norm() as f64).sum::<f64>();
         assert!(fx.abs() < 1e-3 * scale, "net force x {fx} vs scale {scale}");

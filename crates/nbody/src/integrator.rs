@@ -18,8 +18,8 @@ pub type ExternalField<'a> = &'a dyn Fn(Vec3) -> Vec3;
 /// Semi-implicit Euler: `v += a·dt; p += v·dt`.
 pub fn step_euler(b: &mut Bodies, accels: &[Vec3], dt: f32, external: Option<ExternalField>) {
     assert_eq!(accels.len(), b.len());
-    for i in 0..b.len() {
-        let mut a = accels[i];
+    for (i, acc) in accels.iter().enumerate() {
+        let mut a = *acc;
         if let Some(f) = external {
             a += f(b.pos[i]);
         }
@@ -39,8 +39,8 @@ pub fn step_leapfrog(
 ) -> Vec<Vec3> {
     assert_eq!(accels.len(), b.len());
     let half = 0.5 * dt;
-    for i in 0..b.len() {
-        let mut a = accels[i];
+    for (i, acc) in accels.iter().enumerate() {
+        let mut a = *acc;
         if let Some(f) = external {
             a += f(b.pos[i]);
         }
@@ -49,8 +49,8 @@ pub fn step_leapfrog(
     }
     let new_acc = accel(b);
     assert_eq!(new_acc.len(), b.len());
-    for i in 0..b.len() {
-        let mut a = new_acc[i];
+    for (i, acc) in new_acc.iter().enumerate() {
+        let mut a = *acc;
         if let Some(f) = external {
             a += f(b.pos[i]);
         }

@@ -152,7 +152,10 @@ impl Bodies {
 /// `g_mj` is `G · m_j` pre-multiplied (the kernels bake G into the masses at
 /// upload; the CPU does the same for bit parity).
 #[inline]
-#[allow(clippy::too_many_arguments)]
+// The statement forms mirror the GPU kernel's fmad operand order exactly
+// (bit-identical CPU/GPU physics is asserted by the equivalence tests), so
+// clippy's `a += b` rewrite is intentionally not applied.
+#[allow(clippy::too_many_arguments, clippy::assign_op_pattern)]
 pub fn accel_one_exact(
     pi: Vec3,
     pj: Vec3,

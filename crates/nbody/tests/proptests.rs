@@ -60,11 +60,11 @@ proptest! {
         let fp = ForceParams::default();
         let acc = accelerations(&b, &fp);
         let (mut fx, mut fy, mut fz, mut scale) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-        for i in 0..b.len() {
-            fx += (b.mass[i] * acc[i].x) as f64;
-            fy += (b.mass[i] * acc[i].y) as f64;
-            fz += (b.mass[i] * acc[i].z) as f64;
-            scale += (b.mass[i] * acc[i].norm()) as f64;
+        for (i, a) in acc.iter().enumerate() {
+            fx += (b.mass[i] * a.x) as f64;
+            fy += (b.mass[i] * a.y) as f64;
+            fz += (b.mass[i] * a.z) as f64;
+            scale += (b.mass[i] * a.norm()) as f64;
         }
         let tol = 1e-3 * scale.max(1e-12);
         prop_assert!(fx.abs() < tol && fy.abs() < tol && fz.abs() < tol,

@@ -46,7 +46,8 @@ fn main() {
         let acc = Backend::CpuSerial.accelerations(&host, &fp);
         step_euler(&mut host, &acc, dt, None);
     }
-    let device = run_device_resident(&bodies0, &fp, dt, steps, OptLevel::Full);
+    let device = run_device_resident(&bodies0, &fp, dt, steps, OptLevel::Full)
+        .expect("no device faults in a healthy run");
     assert_eq!(host, device);
     println!("{steps} device-resident steps at n=1024: bit-identical to the host loop ✓");
 

@@ -37,13 +37,13 @@ fn main() {
     println!("Colliding galaxies: n={n}, {steps} steps, backend={}", cfg.backend.label());
 
     let t0 = Instant::now();
-    let mut sim = Simulation::new(cfg);
+    let mut sim = Simulation::new(cfg).expect("no device faults in a healthy run");
     let mut rec = Recording::new(n, (n / 1000).max(1));
     rec.capture(&sim);
 
     let com0 = sim.bodies.center_of_mass();
     for s in 1..=steps {
-        sim.step();
+        sim.step().expect("no device faults in a healthy run");
         if s % 10 == 0 {
             rec.capture(&sim);
             println!(

@@ -1,0 +1,89 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! parallel-iterator *API* the workspace uses (`into_par_iter`, `par_iter`,
+//! `par_iter_mut`) backed by ordinary sequential iterators. Results are
+//! identical to real rayon for the deterministic map/collect pipelines this
+//! repo runs — rayon's contribution is wall-clock speed, not semantics — so
+//! swapping the real crate back in later is a Cargo.toml-only change.
+
+// Vendored offline stand-in: lint cleanliness is not meaningful here.
+#![allow(clippy::all)]
+pub mod prelude {
+    /// `into_par_iter()` for any owning iterable (ranges, vectors, ...).
+    pub trait IntoParallelIterator {
+        /// The underlying iterator type.
+        type Iter;
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` over a borrowed collection.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The underlying iterator type.
+        type Iter;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefIterator<'a> for T
+    where
+        &'a T: IntoIterator,
+    {
+        type Iter = <&'a T as IntoIterator>::IntoIter;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` over a mutably borrowed collection.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// The underlying iterator type.
+        type Iter;
+        /// Sequential stand-in for rayon's `par_iter_mut`.
+        fn par_iter_mut(&'a mut self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a + ?Sized> IntoParallelRefMutIterator<'a> for T
+    where
+        &'a mut T: IntoIterator,
+    {
+        type Iter = <&'a mut T as IntoIterator>::IntoIter;
+        fn par_iter_mut(&'a mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_pipelines_match_sequential() {
+        let squares: Vec<u64> = (0u64..100).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[99], 99 * 99);
+        let v = vec![1u32, 2, 3];
+        let doubled: Vec<u32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let mut w = vec![1u32, 2, 3];
+        w.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(w, vec![11, 12, 13]);
+    }
+}

@@ -1,0 +1,350 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde stand-in.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote — the
+//! build environment is offline). Supports the shapes this workspace uses:
+//! unit/tuple/named structs and enums whose variants are unit, tuple, or
+//! struct-like. Generic types are intentionally rejected.
+
+// Vendored offline stand-in: lint cleanliness is not meaningful here.
+#![allow(clippy::all)]
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parse the item into (type name, shape), panicking with a clear message on
+/// anything this stub does not support.
+fn parse(input: TokenStream) -> (String, Shape) {
+    let mut it = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`) and visibility.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                // pub / crate / etc.
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next(); // pub(crate)
+                        }
+                    }
+                }
+            }
+            Some(_) => {}
+            None => panic!("serde stub derive: no struct/enum found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` not supported");
+        }
+    }
+    if kind == "struct" {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::NamedStruct(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                (name, Shape::TupleStruct(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => (name, Shape::UnitStruct),
+            other => panic!("serde stub derive: unsupported struct body {other:?}"),
+        }
+    } else {
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                (name, Shape::Enum(parse_variants(g.stream())))
+            }
+            other => panic!("serde stub derive: expected enum body, got {other:?}"),
+        }
+    }
+}
+
+/// Field names of a `{ a: T, b: U }` body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        // Skip attrs + visibility, then read the field name.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+                None => return fields,
+            }
+        };
+        fields.push(name);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type up to a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => angle -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+}
+
+/// Number of fields in a `(T, U, ...)` body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut seen_any = false;
+    let mut angle = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => n += 1,
+            _ => seen_any = true,
+        }
+    }
+    if seen_any {
+        n + 1
+    } else {
+        n
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+                Some(other) => panic!("serde stub derive: unexpected token in enum: {other:?}"),
+                None => return variants,
+            }
+        };
+        let fields = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                it.next();
+                VariantFields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                it.next();
+                VariantFields::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`); serialization uses the
+        // variant name, matching serde's behavior for unit variants.
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '=' {
+                for tt in it.by_ref() {
+                    if matches!(&tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> =
+                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            format!("serde::Value::Seq(vec![{}])", elems.join(", "))
+        }
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str({vn:?}.to_string()),")
+                        }
+                        VariantFields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => serde::Value::Map(vec![({vn:?}.to_string(), \
+                             serde::Serialize::to_value(x0))]),"
+                        ),
+                        VariantFields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => serde::Value::Map(vec![({vn:?}.to_string(), \
+                                 serde::Value::Seq(vec![{e}]))]),",
+                                b = binds.join(", "),
+                                e = elems.join(", ")
+                            )
+                        }
+                        VariantFields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!("({f:?}.to_string(), serde::Serialize::to_value({f}))")
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => serde::Value::Map(vec![\
+                                 ({vn:?}.to_string(), serde::Value::Map(vec![{e}]))]),",
+                                e = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{ fn to_value(&self) -> serde::Value {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse(input);
+    let body = match &shape {
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n).map(|i| format!("serde::seq_elem(s, {i})?")).collect();
+            format!(
+                "match v {{ serde::Value::Seq(s) => Ok({name}({e})), _ => \
+                 Err(serde::DeError::custom(format!(\"expected sequence for {name}, got \
+                 {{v:?}}\"))) }}",
+                e = elems.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> =
+                fields.iter().map(|f| format!("{f}: serde::field(m, {f:?})?")).collect();
+            format!(
+                "let m = v.as_map().ok_or_else(|| serde::DeError::custom(format!(\"expected map \
+                 for {name}, got {{v:?}}\")))?; Ok({name} {{ {i} }})",
+                i = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| format!("{:?} => Ok({name}::{}),", v.name, v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        VariantFields::Unit => None,
+                        VariantFields::Tuple(1) => Some(format!(
+                            "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(pv)?)),"
+                        )),
+                        VariantFields::Tuple(n) => {
+                            let elems: Vec<String> =
+                                (0..*n).map(|i| format!("serde::seq_elem(s, {i})?")).collect();
+                            Some(format!(
+                                "{vn:?} => match pv {{ serde::Value::Seq(s) => \
+                                 Ok({name}::{vn}({e})), _ => Err(serde::DeError::custom(\
+                                 \"expected sequence payload\")) }},",
+                                e = elems.join(", ")
+                            ))
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{f}: serde::field(pm, {f:?})?"))
+                                .collect();
+                            Some(format!(
+                                "{vn:?} => {{ let pm = pv.as_map().ok_or_else(|| \
+                                 serde::DeError::custom(\"expected map payload\"))?; \
+                                 Ok({name}::{vn} {{ {i} }}) }},",
+                                i = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{ \
+                 serde::Value::Str(s) => match s.as_str() {{ {unit} _ => \
+                 Err(serde::DeError::custom(format!(\"unknown variant {{s}} of {name}\"))) }}, \
+                 serde::Value::Map(m) if m.len() == 1 => {{ let (k, pv) = &m[0]; match \
+                 k.as_str() {{ {data} _ => Err(serde::DeError::custom(format!(\"unknown variant \
+                 {{k}} of {name}\"))) }} }}, \
+                 _ => Err(serde::DeError::custom(format!(\"expected variant of {name}, got \
+                 {{v:?}}\"))) }}",
+                unit = unit_arms.join(" "),
+                data = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{ fn from_value(v: &serde::Value) -> \
+         Result<Self, serde::DeError> {{ {body} }} }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated Deserialize impl parses")
+}

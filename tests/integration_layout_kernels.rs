@@ -49,11 +49,11 @@ fn end_to_end_force_matches_cpu_for_all_layouts_and_blocks() {
             let ps: Vec<Particle> = (0..bodies.len())
                 .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: bodies.mass[i] })
                 .collect();
-            let img = DeviceImage::upload(&mut gmem, layout, &ps, block);
-            let out = alloc_accel_out(&mut gmem, img.padded_n);
+            let img = DeviceImage::upload(&mut gmem, layout, &ps, block).unwrap();
+            let out = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
             let params = force_params(&img, out, fp.softening);
-            run_grid(&kernel, img.padded_n / block, block, &params, &mut gmem);
-            let gpu = download_accels(&gmem, out, img.n);
+            run_grid(&kernel, img.padded_n / block, block, &params, &mut gmem).unwrap();
+            let gpu = download_accels(&gmem, out, img.n).unwrap();
             // CPU sums in the same (padded, ascending) order; padding is
             // zero-mass so the unpadded tiled sum matches exactly.
             let cpu = accelerations_tiled(&bodies, &fp, block as usize);
@@ -79,13 +79,14 @@ fn membench_orders_layouts_under_every_driver() {
             let n = cfg.particles_needed(1, 128) as usize;
             let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
             let mut gmem = GlobalMemory::new(64 << 20);
-            let img = DeviceImage::upload(&mut gmem, layout, &ps, 128);
-            let out_delta = gmem.alloc(128 * 4);
-            let out_sum = gmem.alloc(128 * 4);
+            let img = DeviceImage::upload(&mut gmem, layout, &ps, 128).unwrap();
+            let out_delta = gmem.alloc(128 * 4).unwrap();
+            let out_sum = gmem.alloc(128 * 4).unwrap();
             let mut params = img.base_params();
             params.push(out_delta.0 as u32);
             params.push(out_sum.0 as u32);
-            let run = time_resident(&kernel, &[0], 128, 1, &params, &mut gmem, &dev, driver, &tp);
+            let run = time_resident(&kernel, &[0], 128, 1, &params, &mut gmem, &dev, driver, &tp)
+                .unwrap();
             let cycles = run.cycles as f64;
             worst = worst.max(cycles);
             best = best.min(cycles);
@@ -112,10 +113,10 @@ fn static_count_matches_executed_instructions() {
         .map(|i| Particle { pos: simcore::Vec3::splat(i as f32), vel: simcore::Vec3::ZERO, mass: 1.0 })
         .collect();
     let mut gmem = GlobalMemory::new(8 << 20);
-    let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &ps, 64);
-    let out = alloc_accel_out(&mut gmem, img.padded_n);
+    let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &ps, 64).unwrap();
+    let out = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
     let params = force_params(&img, out, 0.05);
-    let run = run_grid(&kernel, 2, 64, &params, &mut gmem);
+    let run = run_grid(&kernel, 2, 64, &params, &mut gmem).unwrap();
     // Counter counts per-thread; executor counts per-warp. One block has 2
     // warps, grid has 2 blocks → 4 warps; every warp executes the same
     // uniform stream. (Thread 0's tile-loop trip count applies to all.)

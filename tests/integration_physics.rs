@@ -29,14 +29,15 @@ fn config(n: usize, backend: Backend) -> SimConfig {
 /// is semantics-preserving, end to end, over time.
 #[test]
 fn ten_step_trajectory_identical_cpu_vs_optimized_gpu() {
-    let mut cpu = Simulation::new(config(384, Backend::CpuSerial));
+    let mut cpu = Simulation::new(config(384, Backend::CpuSerial)).unwrap();
     let mut gpu = Simulation::new(config(
         384,
         Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 },
-    ));
+    ))
+    .unwrap();
     for _ in 0..10 {
-        cpu.step();
-        gpu.step();
+        cpu.step().unwrap();
+        gpu.step().unwrap();
     }
     assert_eq!(cpu.bodies, gpu.bodies);
     assert_eq!(cpu.accels, gpu.accels);
@@ -50,9 +51,9 @@ fn conservation_laws_hold_across_backends() {
         Backend::CpuParallel,
         Backend::GpuSim { level: OptLevel::SoAoaS, driver: DriverModel::Cuda10 },
     ] {
-        let mut sim = Simulation::new(config(256, backend));
+        let mut sim = Simulation::new(config(256, backend)).unwrap();
         let l0 = angular_momentum(&sim.bodies);
-        sim.run(150);
+        sim.run(150).unwrap();
         let l1 = angular_momentum(&sim.bodies);
         assert!(sim.energy_drift() < 0.05, "{}: drift {}", backend.label(), sim.energy_drift());
         let scale = l0.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1e-9);
@@ -72,10 +73,10 @@ fn conservation_laws_hold_across_backends() {
 /// simulation (not just a single force evaluation).
 #[test]
 fn barnes_hut_trajectory_tracks_direct() {
-    let mut exact = Simulation::new(config(300, Backend::CpuSerial));
-    let mut tree = Simulation::new(config(300, Backend::BarnesHut { theta: 0.25 }));
-    exact.run(20);
-    tree.run(20);
+    let mut exact = Simulation::new(config(300, Backend::CpuSerial)).unwrap();
+    let mut tree = Simulation::new(config(300, Backend::BarnesHut { theta: 0.25 })).unwrap();
+    exact.run(20).unwrap();
+    tree.run(20).unwrap();
     let mut max_err = 0.0f32;
     for i in 0..exact.bodies.len() {
         let d = exact.bodies.pos[i].distance(tree.bodies.pos[i]);
