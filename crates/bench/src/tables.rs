@@ -40,7 +40,8 @@ pub fn unroll_sweep(n: u32) -> Vec<UnrollRow> {
         let mut params = vec![0u32; k.n_params as usize];
         let n_idx = k.n_params as usize - 3; // ..., out, n, eps, smem0
         params[n_idx] = n;
-        let dyn_instrs = dynamic_instructions(&k, &params);
+        let dyn_instrs = dynamic_instructions(&k, &params)
+            .expect("force kernel loop bounds are launch constants");
         let per_elem = dyn_instrs as f64 / n as f64;
         if factor == 1 {
             rolled_per_elem = per_elem;
@@ -444,6 +445,88 @@ mod crossover_tests {
         // (waves quantization softens the exponent at small n).
         let g = rows[1].direct_s / rows[0].direct_s;
         assert!(g > 10.0, "direct growth {g} not superlinear");
+    }
+}
+
+/// One row of the static-vs-dynamic transaction cross-validation: the
+/// `gpu_sim::analyze` symbolic coalescer against the timed executor's
+/// dynamic one, on the same launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintValidationRow {
+    /// Particle layout of the membench kernel.
+    pub layout: Layout,
+    /// Coalescing protocol linted and timed under.
+    pub driver: DriverModel,
+    /// Transactions the static analyzer predicts for the whole launch.
+    pub predicted: u64,
+    /// Transactions the dynamic coalescer actually issued.
+    pub measured: u64,
+    /// Whether the analysis claimed exactness (it must, for these kernels).
+    pub exact: bool,
+}
+
+/// Cross-validate the static analyzer's transaction prediction against the
+/// dynamic coalescer on the *real* membench kernels (not synthetic affine
+/// accesses): per layout × driver, the two counts must be identical. This is
+/// the analyzer's load-bearing property surfaced as a table.
+pub fn lint_cross_validation() -> Vec<LintValidationRow> {
+    use gpu_kernels::membench::{build_membench_kernel, MembenchConfig};
+    use gpu_sim::analyze::{analyze_kernel, AnalysisConfig};
+    use gpu_sim::exec::timed::time_grid;
+    use gpu_sim::mem::GlobalMemory;
+    use gpu_sim::TimingParams;
+    use particle_layouts::{DeviceImage, Particle};
+
+    let dev = DeviceConfig::g8800gtx();
+    let (grid, block) = (2u32, 64u32);
+    let mut rows = Vec::new();
+    for layout in Layout::ALL {
+        let cfg = MembenchConfig { layout, iters: 2 };
+        let kernel = build_membench_kernel(cfg);
+        let n = cfg.particles_needed(grid, block) as usize;
+        let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
+        let mut gmem = GlobalMemory::new(64 << 20);
+        let img = DeviceImage::upload(&mut gmem, layout, &ps, block)
+            .expect("validation upload fits");
+        let out_delta = gmem.alloc(u64::from(grid * block) * 4).expect("delta fits");
+        let out_sum = gmem.alloc(u64::from(grid * block) * 4).expect("sum fits");
+        let mut params = img.base_params();
+        params.push(out_delta.0 as u32);
+        params.push(out_sum.0 as u32);
+        for driver in DriverModel::ALL {
+            let acfg = AnalysisConfig::new(grid, block, params.clone()).with_driver(driver);
+            let report = analyze_kernel(&kernel, &acfg);
+            let tp = TimingParams::for_driver(driver);
+            let run = time_grid(
+                &kernel, grid, block, 1, &params, &mut gmem.clone(), &dev, driver, &tp,
+            )
+            .expect("validation launch is well-formed");
+            rows.push(LintValidationRow {
+                layout,
+                driver,
+                predicted: report.predicted_transactions,
+                measured: run.transactions,
+                exact: report.exact,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod lint_validation_tests {
+    use super::*;
+
+    #[test]
+    fn static_prediction_matches_dynamic_coalescer_on_membench() {
+        for r in lint_cross_validation() {
+            assert!(r.exact, "{} under {}: analysis must be exact", r.layout, r.driver);
+            assert_eq!(
+                r.predicted, r.measured,
+                "{} under {}: static and dynamic transaction counts diverge",
+                r.layout, r.driver
+            );
+        }
     }
 }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod layout_advisor;
+pub mod lint;
 pub mod pipeline;
 pub mod report;
 pub mod unroll_advisor;

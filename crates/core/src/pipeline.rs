@@ -45,7 +45,10 @@ pub fn optimization_ladder(dev: &DeviceConfig, driver: DriverModel) -> Vec<Ladde
                 level,
                 tile_fetch_transactions: analyze_plan(&cfg.layout.read_plan_posmass(), driver)
                     .transactions,
-                instrs_per_element: dynamic_instructions(&kernel, &params) as f64 / n as f64,
+                instrs_per_element: dynamic_instructions(&kernel, &params)
+                    .expect("force kernel loop bounds are launch constants")
+                    as f64
+                    / n as f64,
                 regs,
                 occupancy: occupancy(dev, cfg.block, regs as u32, kernel.smem_bytes),
             }

@@ -56,7 +56,10 @@ pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) 
         let k = build_force_kernel(cfg);
         let mut params = vec![0u32; k.n_params as usize];
         params[k.n_params as usize - 3] = n;
-        let per_elem = dynamic_instructions(&k, &params) as f64 / n as f64;
+        let per_elem = dynamic_instructions(&k, &params)
+            .expect("force kernel loop bounds are launch constants")
+            as f64
+            / n as f64;
         if factor == 1 {
             rolled = Some(per_elem);
         }

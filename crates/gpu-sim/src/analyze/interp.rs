@@ -1,0 +1,879 @@
+//! The per-warp abstract interpreter behind [`crate::analyze`].
+//!
+//! The interpreter walks a kernel's structured body once per (block, warp)
+//! with a 32-lane vector of *optional* register values: `Some(bits)` when the
+//! value is statically known, `None` when it depends on loaded data or on
+//! control flow the analysis cannot resolve. Arithmetic mirrors
+//! `exec::machine` bit-for-bit (the same wrapping u32 ops, the same
+//! `f32::from_bits` float rules, the same `wrapping_add`-then-widen address
+//! computation), so whenever every input of an address is known the derived
+//! per-lane addresses are *exactly* the addresses the dynamic engines see —
+//! which is what lets the static transaction prediction feed the very same
+//! [`crate::coalesce::coalesce_half_warp`] oracle the timed executor uses and
+//! come out equal.
+//!
+//! Unknowns poison forward: an instruction executed under uncertain control
+//! flow, or fed a `None`, defines `None`. Memory sites touched with unknown
+//! addresses are recorded as *inexact* and excluded from the prediction
+//! (reported via an `unanalyzable` info diagnostic instead of a guess).
+
+use std::collections::{BTreeMap, HashSet};
+
+use super::{AnalysisConfig, Diagnostic, LintKind, Severity};
+use crate::banks::conflict_degree;
+use crate::coalesce::{coalesce_half_warp, AccessWidth};
+use crate::fault::FaultSite;
+use crate::ir::{
+    AluOp, CmpOp, Instr, InstrIndexer, Kernel, MemSpace, Operand, Pred, Reg, SpecialReg, Stmt,
+    UnaryOp,
+};
+
+/// Warp width (matches `exec::machine::WARP`).
+const WARP: usize = 32;
+
+/// A statement annotated with the stable instruction indices of
+/// [`InstrIndexer`] — shared coordinate system with `ir::pretty` and the
+/// executors' retired-instruction counters.
+pub(crate) enum IStmt<'k> {
+    /// A plain instruction and its index.
+    I(u64, &'k Instr),
+    /// A counted loop with the indices of its lowered init `mov` and
+    /// `add`/`setp`/`bra` latch triple.
+    For {
+        init: u64,
+        var: Reg,
+        start: &'k Operand,
+        end: &'k Operand,
+        step: u32,
+        body: Vec<IStmt<'k>>,
+        latch: (u64, u64, u64),
+    },
+    /// Masked conditional (no indices: `IfMasked` markers do not retire).
+    If { pred: Pred, negate: bool, then: Vec<IStmt<'k>>, els: Vec<IStmt<'k>> },
+    /// Block barrier (no index).
+    Sync,
+    /// Divergent bottom-tested loop and the index of its backedge branch.
+    While { pred: Pred, body: Vec<IStmt<'k>>, backedge: u64 },
+}
+
+/// Annotate a statement list with stable instruction indices.
+pub(crate) fn index_stmts<'k>(stmts: &'k [Stmt], ix: &mut InstrIndexer) -> Vec<IStmt<'k>> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::I(i) => IStmt::I(ix.instr(), i),
+            Stmt::For { var, start, end, step, body } => {
+                let init = ix.instr();
+                let body = index_stmts(body, ix);
+                let latch = ix.for_latch();
+                IStmt::For { init, var: *var, start, end, step: *step, body, latch }
+            }
+            Stmt::If { pred, negate, then, els } => IStmt::If {
+                pred: *pred,
+                negate: *negate,
+                then: index_stmts(then, ix),
+                els: index_stmts(els, ix),
+            },
+            Stmt::Sync => IStmt::Sync,
+            Stmt::While { pred, body, .. } => {
+                let body = index_stmts(body, ix);
+                let backedge = ix.while_backedge();
+                IStmt::While { pred: *pred, body, backedge }
+            }
+        })
+        .collect()
+}
+
+/// How per-lane address deltas at a site have looked so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StrideTrack {
+    /// No adjacent-lane pair observed yet.
+    Unset,
+    /// Every adjacent active lane pair differed by this many bytes.
+    Const(i64),
+    /// Mixed deltas.
+    Mixed,
+}
+
+/// Accumulated static facts about one `Ld`/`St` site.
+pub(crate) struct SiteAcc {
+    pub instr: u64,
+    pub space: MemSpace,
+    pub is_load: bool,
+    pub width_words: u32,
+    /// Every execution of this site had fully known, in-spec addresses.
+    pub exact: bool,
+    /// A lane was seen with a misaligned address (dynamic run would fault).
+    pub misaligned: bool,
+    pub transactions: u64,
+    pub bus_bytes: u64,
+    /// Transactions a perfectly coalesced access pattern would need.
+    pub ideal: u64,
+    /// Half-warp issues observed (with at least one active lane).
+    pub half_warps: u64,
+    pub stride: StrideTrack,
+    /// Worst shared-memory bank-conflict degree (shared sites only).
+    pub bank_degree: u32,
+}
+
+impl SiteAcc {
+    fn new(instr: u64, space: MemSpace, is_load: bool, width_words: u32) -> SiteAcc {
+        SiteAcc {
+            instr,
+            space,
+            is_load,
+            width_words,
+            exact: true,
+            misaligned: false,
+            transactions: 0,
+            bus_bytes: 0,
+            ideal: 0,
+            half_warps: 0,
+            stride: StrideTrack::Unset,
+            bank_degree: 1,
+        }
+    }
+}
+
+/// One shared-memory word touched by one thread, stamped with the barrier
+/// phase it happened in — the input to the cross-thread race check.
+struct SharedEv {
+    phase: u64,
+    word: u64,
+    thread: u32,
+    is_write: bool,
+    instr: u64,
+}
+
+/// Where the interpreter deposits everything it learns.
+pub(crate) struct Sink {
+    pub sites: BTreeMap<u64, SiteAcc>,
+    pub diags: Vec<Diagnostic>,
+    /// The global-transaction prediction covers every dynamic transaction.
+    pub exact: bool,
+    dedup: HashSet<String>,
+}
+
+impl Sink {
+    pub(crate) fn new() -> Sink {
+        Sink { sites: BTreeMap::new(), diags: Vec::new(), exact: true, dedup: HashSet::new() }
+    }
+
+    fn push_once(&mut self, key: String, d: Diagnostic) {
+        if self.dedup.insert(key) {
+            self.diags.push(d);
+        }
+    }
+}
+
+fn site_at(kernel: &str, block: u32, thread: Option<u32>, instr: Option<u64>) -> FaultSite {
+    FaultSite {
+        kernel: Some(kernel.to_string()),
+        block: Some(block),
+        thread,
+        instruction: instr,
+    }
+}
+
+/// Run the abstract interpretation over every (block, warp) of the launch,
+/// then the per-block race and barrier-deadlock checks.
+pub(crate) fn interpret(kernel: &Kernel, tree: &[IStmt<'_>], cfg: &AnalysisConfig, sink: &mut Sink) {
+    let warps = cfg.block.div_ceil(WARP as u32);
+    for block_id in 0..cfg.grid {
+        let mut events: Vec<SharedEv> = Vec::new();
+        let mut sync_counts: Vec<u64> = Vec::new();
+        let mut any_uncertain = false;
+        let mut any_aborted = false;
+        for w in 0..warps {
+            let mut wi = WarpInterp::new(kernel, cfg, block_id, w, sink, &mut events);
+            let live = wi.live;
+            let aborted = wi.walk(tree, live, true).is_err();
+            sync_counts.push(wi.sync_count);
+            any_uncertain |= wi.sync_uncertain;
+            any_aborted |= aborted;
+        }
+        if !any_aborted && !any_uncertain {
+            check_deadlock(kernel, block_id, &sync_counts, sink);
+        }
+        check_races(kernel, block_id, &events, sink);
+    }
+}
+
+/// Unequal per-warp barrier counts: some warp waits at a `bar.sync` the
+/// others never reach.
+fn check_deadlock(kernel: &Kernel, block_id: u32, sync_counts: &[u64], sink: &mut Sink) {
+    let min = sync_counts.iter().min().copied().unwrap_or(0);
+    let max = sync_counts.iter().max().copied().unwrap_or(0);
+    if min != max {
+        sink.push_once(
+            "barrier-deadlock".to_string(),
+            Diagnostic {
+                severity: Severity::Error,
+                kind: LintKind::BarrierDeadlock,
+                site: site_at(&kernel.name, block_id, None, None),
+                message: format!(
+                    "warps of the same block retire different numbers of barriers ({min} vs \
+                     {max}); the block hangs at bar.sync"
+                ),
+                fixit: Some(
+                    "make every warp execute the same barriers: move the Sync out of divergent \
+                     control flow"
+                        .to_string(),
+                ),
+            },
+        );
+    }
+}
+
+/// Same shared word, same barrier interval, more than one thread, at least
+/// one writer: the inter-thread ordering is undefined.
+fn check_races(kernel: &Kernel, block_id: u32, events: &[SharedEv], sink: &mut Sink) {
+    let mut cells: BTreeMap<(u64, u64), Vec<&SharedEv>> = BTreeMap::new();
+    for e in events {
+        cells.entry((e.phase, e.word)).or_default().push(e);
+    }
+    for ((phase, word), evs) in cells {
+        let Some(writer) = evs.iter().find(|e| e.is_write) else { continue };
+        let Some(other) = evs.iter().find(|e| e.thread != writer.thread) else { continue };
+        let lo = writer.instr.min(other.instr);
+        let hi = writer.instr.max(other.instr);
+        sink.push_once(
+            format!("shared-race:{lo}:{hi}"),
+            Diagnostic {
+                severity: Severity::Error,
+                kind: LintKind::SharedRace,
+                site: site_at(&kernel.name, block_id, Some(other.thread), Some(hi)),
+                message: format!(
+                    "shared word {word} is written by thread {} (instruction {}) and {} by \
+                     thread {} (instruction {}) in the same barrier interval ({phase})",
+                    writer.thread,
+                    writer.instr,
+                    if other.is_write { "also written" } else { "read" },
+                    other.thread,
+                    other.instr
+                ),
+                fixit: Some(
+                    "insert a Sync between the write and the cross-thread access".to_string(),
+                ),
+            },
+        );
+    }
+}
+
+/// Per-warp interpreter state.
+struct WarpInterp<'a, 'k> {
+    cfg: &'a AnalysisConfig,
+    kernel: &'k Kernel,
+    block_id: u32,
+    warp: u32,
+    /// Mask of lanes that exist (thread id < block size).
+    live: u32,
+    /// `[lane][reg]`, `None` = statically unknown.
+    regs: Vec<Vec<Option<u32>>>,
+    preds: Vec<Vec<Option<bool>>>,
+    sync_count: u64,
+    sync_uncertain: bool,
+    sink: &'a mut Sink,
+    events: &'a mut Vec<SharedEv>,
+}
+
+impl<'a, 'k> WarpInterp<'a, 'k> {
+    fn new(
+        kernel: &'k Kernel,
+        cfg: &'a AnalysisConfig,
+        block_id: u32,
+        warp: u32,
+        sink: &'a mut Sink,
+        events: &'a mut Vec<SharedEv>,
+    ) -> Self {
+        let first = warp * WARP as u32;
+        let live = if cfg.block >= first + WARP as u32 {
+            u32::MAX
+        } else {
+            (1u32 << (cfg.block - first)) - 1
+        };
+        // Registers zero-init like `BlockCtx`, params bound to Reg(0..).
+        let mut regs = vec![vec![Some(0u32); kernel.n_regs.max(kernel.n_params) as usize]; WARP];
+        for lane in &mut regs {
+            for (p, v) in cfg.params.iter().enumerate() {
+                lane[p] = Some(*v);
+            }
+        }
+        let preds = vec![vec![None; kernel.n_preds as usize]; WARP];
+        WarpInterp {
+            cfg,
+            kernel,
+            block_id,
+            warp,
+            live,
+            regs,
+            preds,
+            sync_count: 0,
+            sync_uncertain: false,
+            sink,
+            events,
+        }
+    }
+
+    fn lanes(&self, mask: u32) -> Vec<usize> {
+        (0..WARP).filter(|l| mask & (1 << l) != 0).collect()
+    }
+
+    fn operand(&self, lane: usize, op: &Operand) -> Option<u32> {
+        match op {
+            Operand::R(r) => self.regs[lane][r.0 as usize],
+            Operand::ImmF(f) => Some(f.to_bits()),
+            Operand::ImmU(u) => Some(*u),
+        }
+    }
+
+    /// Walk a statement list under a lane mask. `exact` means the mask and
+    /// every iteration count on the path here were statically resolved.
+    /// `Err(())` aborts the warp (mirrors a dynamic `DivergentBranch` fault).
+    fn walk(&mut self, stmts: &[IStmt<'k>], mask: u32, exact: bool) -> Result<(), ()> {
+        for s in stmts {
+            match s {
+                IStmt::I(idx, i) => self.exec(*idx, i, mask, exact),
+                IStmt::Sync => self.sync(exact, mask),
+                IStmt::If { pred, negate, then, els } => {
+                    let mut known = true;
+                    let mut then_mask = 0u32;
+                    for l in self.lanes(mask) {
+                        match self.preds[l][pred.0 as usize] {
+                            Some(v) => {
+                                if v != *negate {
+                                    then_mask |= 1 << l;
+                                }
+                            }
+                            None => known = false,
+                        }
+                    }
+                    if exact && known {
+                        let else_mask = mask & !then_mask;
+                        if then_mask != 0 {
+                            self.walk(then, then_mask, true)?;
+                        }
+                        if else_mask != 0 {
+                            self.walk(els, else_mask, true)?;
+                        }
+                    } else {
+                        self.walk(then, mask, false)?;
+                        self.walk(els, mask, false)?;
+                    }
+                }
+                IStmt::For { init: _, var, start, end, step, body, latch } => {
+                    self.run_for(*var, start, end, *step, body, *latch, mask, exact)?;
+                }
+                IStmt::While { body, backedge, .. } => {
+                    // Data-dependent trip count and per-lane mask narrowing:
+                    // a single unknown-mode pass poisons every def.
+                    self.sink.exact = false;
+                    self.sink.push_once(
+                        format!("while:{backedge}"),
+                        Diagnostic {
+                            severity: Severity::Info,
+                            kind: LintKind::Unanalyzable,
+                            site: site_at(&self.kernel.name, self.block_id, None, Some(*backedge)),
+                            message: "do/while trip count is data-dependent; the body is \
+                                      analyzed for a single symbolic iteration"
+                                .to_string(),
+                            fixit: None,
+                        },
+                    );
+                    self.walk(body, mask, false)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_for(
+        &mut self,
+        var: Reg,
+        start: &Operand,
+        end: &Operand,
+        step: u32,
+        body: &[IStmt<'k>],
+        latch: (u64, u64, u64),
+        mask: u32,
+        exact: bool,
+    ) -> Result<(), ()> {
+        let lanes = self.lanes(mask);
+        for &l in &lanes {
+            self.regs[l][var.0 as usize] = if exact { self.operand(l, start) } else { None };
+        }
+        let starts_known = lanes.iter().all(|&l| self.regs[l][var.0 as usize].is_some());
+        if !exact || !starts_known {
+            return self.run_for_opaque(var, body, mask);
+        }
+        // The lowered form is bottom-tested: the body runs at least once.
+        let mut iters: u64 = 0;
+        loop {
+            iters += 1;
+            if iters > self.cfg.max_steps {
+                self.sink.exact = false;
+                let kernel = self.kernel.name.clone();
+                let block = self.block_id;
+                self.sink.push_once(
+                    format!("budget:{}", latch.2),
+                    Diagnostic {
+                        severity: Severity::Info,
+                        kind: LintKind::Unanalyzable,
+                        site: site_at(&kernel, block, None, Some(latch.2)),
+                        message: format!(
+                            "loop exceeded the static interpretation budget of {} iterations; \
+                             state after it is treated as unknown",
+                            self.cfg.max_steps
+                        ),
+                        fixit: None,
+                    },
+                );
+                return self.run_for_opaque(var, body, mask);
+            }
+            self.walk(body, mask, true)?;
+            // Latch: add var, var, step; setp var < end; bra.
+            for &l in &lanes {
+                let r = &mut self.regs[l][var.0 as usize];
+                *r = r.map(|v| v.wrapping_add(step));
+            }
+            let mut cont = 0u32;
+            let mut known = true;
+            for &l in &lanes {
+                match (self.regs[l][var.0 as usize], self.operand(l, end)) {
+                    (Some(v), Some(e)) => {
+                        if v < e {
+                            cont |= 1 << l;
+                        }
+                    }
+                    _ => known = false,
+                }
+            }
+            if !known {
+                // The bound (or the induction variable) was clobbered by
+                // something unknown inside the body; give up on this loop.
+                return self.run_for_opaque(var, body, mask);
+            }
+            if cont == 0 {
+                return Ok(());
+            }
+            if cont != mask {
+                // The executor refuses non-uniform loop backedges.
+                let lane = (cont ^ mask).trailing_zeros();
+                self.sink.exact = false;
+                let kernel = self.kernel.name.clone();
+                let block = self.block_id;
+                let thread = self.warp * WARP as u32 + lane;
+                self.sink.push_once(
+                    format!("divloop:{}", latch.2),
+                    Diagnostic {
+                        severity: Severity::Error,
+                        kind: LintKind::DivergentLoopBranch,
+                        site: site_at(&kernel, block, Some(thread), Some(latch.2)),
+                        message: format!(
+                            "loop backedge diverges within a warp (taken mask {cont:#010x} of \
+                             active {mask:#010x}); the executor faults with DivergentBranch here"
+                        ),
+                        fixit: Some(
+                            "make the trip count uniform across the warp (pad the bound to a \
+                             multiple of the block size)"
+                                .to_string(),
+                        ),
+                    },
+                );
+                return Err(());
+            }
+        }
+    }
+
+    /// A loop whose trip count could not be resolved: one unknown-mode pass
+    /// over the body (poisons its defs), induction variable unknown after.
+    fn run_for_opaque(&mut self, var: Reg, body: &[IStmt<'k>], mask: u32) -> Result<(), ()> {
+        self.walk(body, mask, false)?;
+        for l in self.lanes(mask) {
+            self.regs[l][var.0 as usize] = None;
+        }
+        Ok(())
+    }
+
+    fn sync(&mut self, exact: bool, mask: u32) {
+        if exact && mask == self.live {
+            self.sync_count += 1;
+            return;
+        }
+        self.sync_uncertain = true;
+        let kernel = self.kernel.name.clone();
+        let block = self.block_id;
+        if exact {
+            // Statically proven: part of the warp skips this barrier.
+            self.sink.push_once(
+                "divergent-sync:error".to_string(),
+                Diagnostic {
+                    severity: Severity::Error,
+                    kind: LintKind::DivergentSync,
+                    site: site_at(&kernel, block, None, None),
+                    message: format!(
+                        "bar.sync reached by a strict subset of the warp's lanes (mask \
+                         {mask:#010x} of {:#010x}): threads that skip the barrier leave the \
+                         block deadlocked",
+                        self.live
+                    ),
+                    fixit: Some("hoist the Sync out of the conditional".to_string()),
+                },
+            );
+        } else {
+            self.sink.push_once(
+                "divergent-sync:warning".to_string(),
+                Diagnostic {
+                    severity: Severity::Warning,
+                    kind: LintKind::DivergentSync,
+                    site: site_at(&kernel, block, None, None),
+                    message: "bar.sync under data-dependent control flow: the analysis cannot \
+                              prove every thread reaches it"
+                        .to_string(),
+                    fixit: None,
+                },
+            );
+        }
+    }
+
+    fn exec(&mut self, idx: u64, i: &Instr, mask: u32, exact: bool) {
+        let lanes = self.lanes(mask);
+        match i {
+            Instr::Mov { dst, src } => {
+                for &l in &lanes {
+                    let v = if exact { self.operand(l, src) } else { None };
+                    self.regs[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Special { dst, sr } => {
+                for &l in &lanes {
+                    let v = if exact {
+                        Some(match sr {
+                            SpecialReg::TidX => self.warp * WARP as u32 + l as u32,
+                            SpecialReg::CtaidX => self.block_id,
+                            SpecialReg::NtidX => self.cfg.block,
+                            SpecialReg::NctaidX => self.cfg.grid,
+                        })
+                    } else {
+                        None
+                    };
+                    self.regs[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Alu { op, dst, a, b } => {
+                for &l in &lanes {
+                    let v = if exact {
+                        match (self.operand(l, a), self.operand(l, b)) {
+                            (Some(x), Some(y)) => Some(alu(*op, x, y)),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    self.regs[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Mad { float, dst, a, b, c } => {
+                for &l in &lanes {
+                    let v = if exact {
+                        match (self.operand(l, a), self.operand(l, b), self.operand(l, c)) {
+                            (Some(x), Some(y), Some(z)) => Some(if *float {
+                                (f32::from_bits(x) * f32::from_bits(y) + f32::from_bits(z))
+                                    .to_bits()
+                            } else {
+                                x.wrapping_mul(y).wrapping_add(z)
+                            }),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    self.regs[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Unary { op, dst, a } => {
+                for &l in &lanes {
+                    let v = if exact {
+                        self.operand(l, a).map(|x| match op {
+                            UnaryOp::FRsqrt => (1.0 / f32::from_bits(x).sqrt()).to_bits(),
+                            UnaryOp::FNeg => (-f32::from_bits(x)).to_bits(),
+                            UnaryOp::U2F => (x as f32).to_bits(),
+                            UnaryOp::F2U => f32::from_bits(x) as u32,
+                        })
+                    } else {
+                        None
+                    };
+                    self.regs[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Setp { dst, cmp, a, b } => {
+                for &l in &lanes {
+                    let v = if exact {
+                        match (self.operand(l, a), self.operand(l, b)) {
+                            (Some(x), Some(y)) => Some(match cmp {
+                                CmpOp::ULt => x < y,
+                                CmpOp::UGe => x >= y,
+                                CmpOp::UEq => x == y,
+                                CmpOp::UNe => x != y,
+                                CmpOp::FLt => f32::from_bits(x) < f32::from_bits(y),
+                            }),
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    self.preds[l][dst.0 as usize] = v;
+                }
+            }
+            Instr::Ld { dsts, space, base, offset } => {
+                self.memory(idx, *space, true, *base, *offset, dsts.len(), mask, exact);
+                for &l in &lanes {
+                    for d in dsts {
+                        self.regs[l][d.0 as usize] = None;
+                    }
+                }
+            }
+            Instr::St { srcs, space, base, offset } => {
+                self.memory(idx, *space, false, *base, *offset, srcs.len(), mask, exact);
+            }
+            Instr::Clock { dst } => {
+                for &l in &lanes {
+                    self.regs[l][dst.0 as usize] = None;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn memory(
+        &mut self,
+        idx: u64,
+        space: MemSpace,
+        is_load: bool,
+        base: Reg,
+        offset: u32,
+        words: usize,
+        mask: u32,
+        exact: bool,
+    ) {
+        let width_bytes = 4 * words as u64;
+        let kernel_name = self.kernel.name.clone();
+        let block = self.block_id;
+        self.sink
+            .sites
+            .entry(idx)
+            .or_insert_with(|| SiteAcc::new(idx, space, is_load, words as u32));
+        let mark_inexact = |sink: &mut Sink| {
+            if let Some(site) = sink.sites.get_mut(&idx) {
+                site.exact = false;
+            }
+            if matches!(space, MemSpace::Global | MemSpace::Texture) {
+                sink.exact = false;
+            }
+        };
+
+        if space == MemSpace::Texture && !is_load {
+            self.sink.push_once(
+                format!("tex-write:{idx}"),
+                Diagnostic {
+                    severity: Severity::Error,
+                    kind: LintKind::MisalignedAccess,
+                    site: site_at(&kernel_name, block, None, Some(idx)),
+                    message: "store to read-only texture space (the executor faults with \
+                              ReadOnlyWrite)"
+                        .to_string(),
+                    fixit: None,
+                },
+            );
+            mark_inexact(self.sink);
+            return;
+        }
+        if !exact {
+            mark_inexact(self.sink);
+            return;
+        }
+
+        // Per-lane addresses, exactly as the machine computes them: u32
+        // wrapping add, then widen.
+        let mut addrs: Vec<Option<u64>> = vec![None; WARP];
+        for l in self.lanes(mask) {
+            addrs[l] = self.regs[l][base.0 as usize].map(|b| b.wrapping_add(offset) as u64);
+        }
+        if self.lanes(mask).iter().any(|&l| addrs[l].is_none()) {
+            mark_inexact(self.sink);
+            return;
+        }
+
+        // Alignment / bounds, mirroring `exec::machine`'s fault checks.
+        let mut faulted = false;
+        for l in self.lanes(mask) {
+            let Some(addr) = addrs[l] else { continue };
+            let thread = self.warp * WARP as u32 + l as u32;
+            match space {
+                MemSpace::Global | MemSpace::Texture => {
+                    if !addr.is_multiple_of(width_bytes) {
+                        faulted = true;
+                        self.sink.push_once(
+                            format!("misaligned:{idx}"),
+                            Diagnostic {
+                                severity: Severity::Error,
+                                kind: LintKind::MisalignedAccess,
+                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                message: format!(
+                                    "{}-byte {} at address {addr:#x} is not naturally aligned; \
+                                     the executor faults with Misaligned",
+                                    width_bytes,
+                                    if is_load { "load" } else { "store" }
+                                ),
+                                fixit: None,
+                            },
+                        );
+                    }
+                }
+                MemSpace::Shared => {
+                    if !addr.is_multiple_of(4) {
+                        faulted = true;
+                        self.sink.push_once(
+                            format!("misaligned:{idx}"),
+                            Diagnostic {
+                                severity: Severity::Error,
+                                kind: LintKind::MisalignedAccess,
+                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                message: format!(
+                                    "shared {} at address {addr:#x} is not word-aligned",
+                                    if is_load { "load" } else { "store" }
+                                ),
+                                fixit: None,
+                            },
+                        );
+                    } else if addr + width_bytes > self.kernel.smem_bytes as u64 {
+                        faulted = true;
+                        self.sink.push_once(
+                            format!("smem-oob:{idx}"),
+                            Diagnostic {
+                                severity: Severity::Error,
+                                kind: LintKind::OutOfBoundsShared,
+                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                message: format!(
+                                    "shared {} of {width_bytes} bytes at address {addr:#x} \
+                                     overruns the {}-byte static allocation",
+                                    if is_load { "load" } else { "store" },
+                                    self.kernel.smem_bytes
+                                ),
+                                fixit: None,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if faulted {
+            if let Some(site) = self.sink.sites.get_mut(&idx) {
+                site.exact = false;
+                site.misaligned = true;
+            }
+            self.sink.exact = false;
+            return;
+        }
+
+        match space {
+            MemSpace::Global => {
+                let Some(width) = AccessWidth::from_bytes(width_bytes as u32) else {
+                    mark_inexact(self.sink);
+                    return;
+                };
+                // Track the adjacent-lane stride (for the fix-it text).
+                let mut stride_here: Option<i64> = None;
+                let mut stride_mixed = false;
+                for l in 0..WARP - 1 {
+                    if let (Some(a), Some(b)) = (addrs[l], addrs[l + 1]) {
+                        let d = b as i64 - a as i64;
+                        match stride_here {
+                            None => stride_here = Some(d),
+                            Some(p) if p != d => stride_mixed = true,
+                            _ => {}
+                        }
+                    }
+                }
+                let half = self.cfg.device.half_warp as usize;
+                let driver = self.cfg.driver;
+                if let Some(site) = self.sink.sites.get_mut(&idx) {
+                    for chunk in addrs.chunks(half) {
+                        if chunk.iter().all(Option::is_none) {
+                            continue;
+                        }
+                        let res = coalesce_half_warp(driver, chunk, width);
+                        site.transactions += res.transactions.len() as u64;
+                        site.bus_bytes +=
+                            res.transactions.iter().map(|t| t.bytes as u64).sum::<u64>();
+                        site.ideal += if width == AccessWidth::W16 { 2 } else { 1 };
+                        site.half_warps += 1;
+                    }
+                    site.stride = match (site.stride, stride_here, stride_mixed) {
+                        (_, _, true) | (StrideTrack::Mixed, _, _) => StrideTrack::Mixed,
+                        (s, None, false) => s,
+                        (StrideTrack::Unset, Some(d), false) => StrideTrack::Const(d),
+                        (StrideTrack::Const(p), Some(d), false) => {
+                            if p == d {
+                                StrideTrack::Const(p)
+                            } else {
+                                StrideTrack::Mixed
+                            }
+                        }
+                    };
+                }
+            }
+            MemSpace::Texture => {
+                // The texture path bypasses the coalescer; its transaction
+                // count depends on dynamic cache state. Excluded from the
+                // prediction (summarized as an info diagnostic later).
+                mark_inexact(self.sink);
+            }
+            MemSpace::Shared => {
+                let half = self.cfg.device.half_warp as usize;
+                let banks = self.cfg.device.smem_banks;
+                let mut degree = 1u32;
+                for chunk in addrs.chunks(half) {
+                    for phase in 0..words as u64 {
+                        let phase_addrs: Vec<Option<u64>> =
+                            chunk.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
+                        degree = degree.max(conflict_degree(&phase_addrs, banks));
+                    }
+                }
+                if let Some(site) = self.sink.sites.get_mut(&idx) {
+                    site.bank_degree = site.bank_degree.max(degree);
+                }
+                for l in self.lanes(mask) {
+                    let Some(addr) = addrs[l] else { continue };
+                    for w in 0..words as u64 {
+                        self.events.push(SharedEv {
+                            phase: self.sync_count,
+                            word: addr / 4 + w,
+                            thread: self.warp * WARP as u32 + l as u32,
+                            is_write: !is_load,
+                            instr: idx,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn alu(op: AluOp, x: u32, y: u32) -> u32 {
+    let (fx, fy) = (f32::from_bits(x), f32::from_bits(y));
+    match op {
+        AluOp::FAdd => (fx + fy).to_bits(),
+        AluOp::FSub => (fx - fy).to_bits(),
+        AluOp::FMul => (fx * fy).to_bits(),
+        AluOp::FMin => fx.min(fy).to_bits(),
+        AluOp::FMax => fx.max(fy).to_bits(),
+        AluOp::IAdd => x.wrapping_add(y),
+        AluOp::ISub => x.wrapping_sub(y),
+        AluOp::IMul => x.wrapping_mul(y),
+        AluOp::IShl => x.wrapping_shl(y),
+        AluOp::IAnd => x & y,
+        AluOp::IMin => x.min(y),
+    }
+}

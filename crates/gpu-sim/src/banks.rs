@@ -130,4 +130,44 @@ mod tests {
         a[15] = Some(64);
         assert_eq!(conflict_degree(&a, 16), 2);
     }
+
+    #[test]
+    fn all_lanes_inactive_is_conflict_free() {
+        // A fully predicated-off half-warp issues no shared access.
+        assert_eq!(conflict_degree(&vec![None; 16], 16), 1);
+    }
+
+    #[test]
+    fn inactive_lanes_do_not_count_toward_conflicts() {
+        // Stride-16 words is the 16-way worst case when all lanes are
+        // active; masking off the odd lanes halves the distinct words.
+        let full = lanes(|k| 64 * k);
+        assert_eq!(conflict_degree(&full, 16), 16);
+        let half: Vec<Option<u64>> =
+            (0..16).map(|k| if k % 2 == 0 { Some(64 * k) } else { None }).collect();
+        assert_eq!(conflict_degree(&half, 16), 8);
+        // A single surviving lane can never conflict.
+        let one: Vec<Option<u64>> = (0..16).map(|k| if k == 7 { Some(64 * k) } else { None }).collect();
+        assert_eq!(conflict_degree(&one, 16), 1);
+    }
+
+    #[test]
+    fn broadcast_with_inactive_lanes_stays_fast() {
+        // Divergent tile read: the active subset still shares one word.
+        let a: Vec<Option<u64>> =
+            (0..16).map(|k| if k < 5 { Some(128) } else { None }).collect();
+        assert_eq!(conflict_degree(&a, 16), 1);
+    }
+
+    #[test]
+    fn sixteen_way_worst_case_is_capped_by_distinct_words() {
+        // 16 lanes, 16 distinct words, all in bank 0: the absolute worst
+        // case on CC 1.x hardware — and the degree can never exceed it.
+        let a = lanes(|k| 64 * k);
+        assert_eq!(conflict_degree(&a, 16), 16);
+        // Two lanes per word (8 distinct words in bank 0): the broadcast
+        // only rescues one word, the other seven still serialize.
+        let b = lanes(|k| 64 * (k / 2));
+        assert_eq!(conflict_degree(&b, 16), 8);
+    }
 }

@@ -15,6 +15,7 @@
 //! used to prove each fault class is detected and attributed correctly.
 
 use crate::ir::MemSpace;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Result alias for every fallible device operation.
@@ -156,7 +157,7 @@ impl fmt::Display for FaultKind {
 /// outward: the memory system knows nothing, the warp stepper attaches
 /// (block, thread, instruction), and the launch wrappers attach the kernel
 /// name. Each is set at most once — the innermost (most precise) value wins.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSite {
     /// Kernel name, once known.
     pub kernel: Option<String>,

@@ -8,6 +8,42 @@
 //! measured rather than assumed.
 
 use super::*;
+use std::fmt;
+
+/// Why a kernel's dynamic instruction count cannot be computed statically.
+///
+/// Counting requires every loop trip count to be a launch-time constant;
+/// data-dependent control flow (the Barnes–Hut traversal's `While` stack
+/// loop, a `For` bounded by a loaded value) has no static count. The
+/// advisors surface this as an "unbounded loop" condition instead of
+/// crashing — see `crate::analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CountError {
+    /// A `For` loop's end operand is neither an immediate nor a parameter.
+    DataDependentBound {
+        /// The loop's induction variable, for locating it in a disassembly.
+        var: Reg,
+    },
+    /// A `While` loop: trip counts are inherently data-dependent.
+    DataDependentLoop,
+}
+
+impl fmt::Display for CountError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CountError::DataDependentBound { var } => write!(
+                f,
+                "loop bound for induction variable %r{} is not a launch constant",
+                var.0
+            ),
+            CountError::DataDependentLoop => {
+                write!(f, "data-dependent While loop has no static trip count")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CountError {}
 
 /// Resolve an operand that must be a launch-time constant: an immediate or a
 /// parameter register. Returns `None` for anything data-dependent.
@@ -35,36 +71,33 @@ pub fn trip_count(start: u32, end: u32, step: u32) -> u64 {
 /// Loop accounting matches [`super::lower`]: one init `mov`, plus per
 /// iteration the body and the 3-instruction overhead (add, compare, branch).
 /// Both sides of an `If` are charged (divergent serialization — the
-/// conservative SIMT cost).
-// Static analyses treat data-dependent loops as a caller contract violation
-// (a programmer error, not a device fault), hence the panics.
-#[allow(clippy::panic)]
-pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> u64 {
+/// conservative SIMT cost). Data-dependent loop bounds are a [`CountError`],
+/// not a panic, so callers (the advisors, the static analyzer) can degrade
+/// to an "unbounded loop" diagnostic.
+pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> Result<u64, CountError> {
     assert_eq!(kernel.n_params as usize, params.len(), "parameter count mismatch");
-    fn count(stmts: &[Stmt], params: &[u32]) -> u64 {
+    fn count(stmts: &[Stmt], params: &[u32]) -> Result<u64, CountError> {
         let mut total = 0u64;
         for s in stmts {
             match s {
                 Stmt::I(_) => total += 1,
                 Stmt::Sync => total += 1,
                 Stmt::If { then, els, .. } => {
-                    total += count(then, params) + count(els, params);
+                    total += count(then, params)? + count(els, params)?;
                 }
-                Stmt::For { start, end, step, body, .. } => {
+                Stmt::For { var, start, end, step, body } => {
                     // A data-dependent start (the grid-strided tile loop
                     // starts at `tid`) counts as thread 0's trip count.
                     let st = resolve_const(start, params).unwrap_or(0);
                     let en = resolve_const(end, params)
-                        .expect("loop end must be an immediate or parameter for counting");
+                        .ok_or(CountError::DataDependentBound { var: *var })?;
                     let trips = trip_count(st, en, *step);
-                    total += 1 + trips * (count(body, params) + 3);
+                    total += 1 + trips * (count(body, params)? + 3);
                 }
-                Stmt::While { .. } => {
-                    panic!("data-dependent While loops cannot be statically counted")
-                }
+                Stmt::While { .. } => return Err(CountError::DataDependentLoop),
             }
         }
-        total
+        Ok(total)
     }
     count(&kernel.body, params)
 }
@@ -165,9 +198,9 @@ impl InstrMix {
     }
 }
 
-/// Dynamic instruction mix for one thread.
-#[allow(clippy::panic)] // same contract as `dynamic_instructions`
-pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> InstrMix {
+/// Dynamic instruction mix for one thread. Same counting contract (and the
+/// same [`CountError`] degradation) as [`dynamic_instructions`].
+pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, CountError> {
     fn classify(i: &Instr, m: &mut InstrMix, mult: u64) {
         match i {
             Instr::Alu { op, .. } if op.is_float() => m.fp += mult,
@@ -180,32 +213,32 @@ pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> InstrMix {
             _ => m.int += mult,
         }
     }
-    fn walk(stmts: &[Stmt], params: &[u32], mult: u64, m: &mut InstrMix) {
+    fn walk(stmts: &[Stmt], params: &[u32], mult: u64, m: &mut InstrMix) -> Result<(), CountError> {
         for s in stmts {
             match s {
                 Stmt::I(i) => classify(i, m, mult),
                 Stmt::Sync => m.control += mult,
                 Stmt::If { then, els, .. } => {
-                    walk(then, params, mult, m);
-                    walk(els, params, mult, m);
+                    walk(then, params, mult, m)?;
+                    walk(els, params, mult, m)?;
                 }
-                Stmt::While { .. } => {
-                    panic!("data-dependent While loops cannot be statically counted")
-                }
-                Stmt::For { start, end, step, body, .. } => {
+                Stmt::While { .. } => return Err(CountError::DataDependentLoop),
+                Stmt::For { var, start, end, step, body } => {
                     let st = resolve_const(start, params).unwrap_or(0);
-                    let en = resolve_const(end, params).expect("countable loop end");
+                    let en = resolve_const(end, params)
+                        .ok_or(CountError::DataDependentBound { var: *var })?;
                     let trips = trip_count(st, en, *step);
                     m.int += mult; // init mov
                     m.control += mult * trips * 3;
-                    walk(body, params, mult * trips, m);
+                    walk(body, params, mult * trips, m)?;
                 }
             }
         }
+        Ok(())
     }
     let mut m = InstrMix::default();
-    walk(&kernel.body, params, 1, &mut m);
-    m
+    walk(&kernel.body, params, 1, &mut m)?;
+    Ok(m)
 }
 
 #[cfg(test)]
@@ -226,7 +259,7 @@ mod tests {
         let mut b = KernelBuilder::new("sl");
         b.mov(Operand::ImmU(1));
         b.mov(Operand::ImmU(2));
-        assert_eq!(dynamic_instructions(&b.finish(), &[]), 2);
+        assert_eq!(dynamic_instructions(&b.finish(), &[]).unwrap(), 2);
     }
 
     #[test]
@@ -237,7 +270,7 @@ mod tests {
             b.mov(Operand::ImmF(1.0));
         });
         // 1 init + 10 × (2 body + 3 overhead) = 51
-        assert_eq!(dynamic_instructions(&b.finish(), &[]), 51);
+        assert_eq!(dynamic_instructions(&b.finish(), &[]).unwrap(), 51);
     }
 
     #[test]
@@ -248,8 +281,8 @@ mod tests {
             b.mov(Operand::ImmF(0.0));
         });
         let k = b.finish();
-        assert_eq!(dynamic_instructions(&k, &[5]), 1 + 5 * 4);
-        assert_eq!(dynamic_instructions(&k, &[100]), 1 + 100 * 4);
+        assert_eq!(dynamic_instructions(&k, &[5]).unwrap(), 1 + 5 * 4);
+        assert_eq!(dynamic_instructions(&k, &[100]).unwrap(), 1 + 100 * 4);
     }
 
     #[test]
@@ -261,7 +294,35 @@ mod tests {
             });
         });
         // outer: 1 + 4 × (inner + 3); inner: 1 + 8 × (1 + 3) = 33
-        assert_eq!(dynamic_instructions(&b.finish(), &[]), 1 + 4 * (33 + 3));
+        assert_eq!(dynamic_instructions(&b.finish(), &[]).unwrap(), 1 + 4 * (33 + 3));
+    }
+
+    #[test]
+    fn data_dependent_bound_is_an_error_not_a_panic() {
+        let mut b = KernelBuilder::new("dd");
+        let base = b.param();
+        let end = b.ld(MemSpace::Global, base, 0, 1)[0];
+        b.for_loop(Operand::ImmU(0), end.into(), 1, |b, _| {
+            b.mov(Operand::ImmF(0.0));
+        });
+        let k = b.finish();
+        let err = dynamic_instructions(&k, &[0]).unwrap_err();
+        assert!(matches!(err, CountError::DataDependentBound { .. }), "{err}");
+        assert!(err.to_string().contains("not a launch constant"));
+        assert!(instruction_mix(&k, &[0]).is_err());
+    }
+
+    #[test]
+    fn while_loop_is_an_error_not_a_panic() {
+        let mut b = KernelBuilder::new("w");
+        let x = b.mov(Operand::ImmU(3));
+        b.do_while(|b| {
+            b.alu_into(x, AluOp::ISub, x.into(), Operand::ImmU(1));
+            b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+        });
+        let k = b.finish();
+        assert_eq!(dynamic_instructions(&k, &[]).unwrap_err(), CountError::DataDependentLoop);
+        assert_eq!(instruction_mix(&k, &[]).unwrap_err(), CountError::DataDependentLoop);
     }
 
     #[test]
@@ -304,7 +365,7 @@ mod tests {
         let y = b.fmul(x.into(), x.into());
         let r = b.frsqrt(y.into());
         b.st(MemSpace::Global, base, 4, vec![r.into()]);
-        let m = instruction_mix(&b.finish(), &[0]);
+        let m = instruction_mix(&b.finish(), &[0]).unwrap();
         assert_eq!(m.loads, 1);
         assert_eq!(m.fp, 1);
         assert_eq!(m.sfu, 1);
@@ -325,6 +386,9 @@ mod tests {
         });
         let k = b.finish();
         let params = &[7u32, 0u32];
-        assert_eq!(instruction_mix(&k, params).total(), dynamic_instructions(&k, params));
+        assert_eq!(
+            instruction_mix(&k, params).unwrap().total(),
+            dynamic_instructions(&k, params).unwrap()
+        );
     }
 }

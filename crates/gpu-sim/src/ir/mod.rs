@@ -418,6 +418,48 @@ impl Kernel {
     }
 }
 
+/// Assigns the **stable instruction indices** used in diagnostic coordinates.
+///
+/// The pretty-printer ([`pretty::disassemble`]) and the static analyzer
+/// (`crate::analyze`) both walk a kernel in structured pre-order and draw
+/// indices from this counter, so a diagnostic's `instruction` coordinate can
+/// be read straight off the disassembly. The numbering mirrors the
+/// functional executor's retired-instruction counter for the first dynamic
+/// execution of each statement: only items that retire are numbered — plain
+/// instructions, a `For`'s lowered init `mov` plus its `add`/`setp`/`bra`
+/// latch triple (after the body), and a `While`'s backedge branch (after the
+/// body). `If` markers and `Sync` barriers retire nothing and get no index
+/// (see `exec::functional`).
+#[derive(Debug, Clone, Default)]
+pub struct InstrIndexer {
+    next: u64,
+}
+
+impl InstrIndexer {
+    /// Start numbering at zero.
+    pub fn new() -> InstrIndexer {
+        InstrIndexer::default()
+    }
+
+    /// Index of the next plain instruction (also a `For`'s init `mov`).
+    pub fn instr(&mut self) -> u64 {
+        let i = self.next;
+        self.next += 1;
+        i
+    }
+
+    /// Indices of a `For` latch, in order: the induction `add`, the bound
+    /// `setp`, the backedge `bra`. Call after indexing the loop body.
+    pub fn for_latch(&mut self) -> (u64, u64, u64) {
+        (self.instr(), self.instr(), self.instr())
+    }
+
+    /// Index of a `While` backedge branch. Call after indexing the body.
+    pub fn while_backedge(&mut self) -> u64 {
+        self.instr()
+    }
+}
+
 mod builder;
 pub use builder::KernelBuilder;
 

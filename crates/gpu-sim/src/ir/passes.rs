@@ -351,8 +351,8 @@ fn licm_walk(stmts: &mut Vec<Stmt>, changed: &mut bool) {
                     }
                 }
             }
-            for (off, h) in hoisted.into_iter().enumerate() {
-                stmts.insert(idx + off, h);
+            for h in hoisted {
+                stmts.insert(idx, h);
                 idx += 1;
             }
         }
@@ -680,8 +680,8 @@ mod tests {
         let k = mini_kernel(true);
         let u = unroll_innermost(&k, 8);
         let params = &[0u32, 0, 0];
-        let before = dynamic_instructions(&k, params);
-        let after = dynamic_instructions(&u, params);
+        let before = dynamic_instructions(&k, params).unwrap();
+        let after = dynamic_instructions(&u, params).unwrap();
         // Per iteration: mad + overhead(3) gone, minus the one-time init mov.
         assert_eq!(before - after, 8 * 4 + 1);
     }
@@ -702,11 +702,11 @@ mod tests {
         let p = inner_loop_profile(&u).expect("loop still present");
         assert_eq!(p.overhead_instrs, 3);
         let params = &[0u32, 0, 0];
-        let d_rolled = dynamic_instructions(&k, params);
-        let d_partial = dynamic_instructions(&u, params);
+        let d_rolled = dynamic_instructions(&k, params).unwrap();
+        let d_partial = dynamic_instructions(&u, params).unwrap();
         assert!(d_partial < d_rolled);
         // Overhead now paid twice (8/4) instead of 8 times.
-        let full = dynamic_instructions(&unroll_innermost(&k, 8), params);
+        let full = dynamic_instructions(&unroll_innermost(&k, 8), params).unwrap();
         assert!(d_partial > full);
     }
 

@@ -5,6 +5,14 @@
 //! add") is easiest to *see* on the printed kernel before and after the
 //! passes. The format is stable enough to test against but is not a parsed
 //! language.
+//!
+//! Every retiring instruction is prefixed with its stable index in
+//! `[  n]` brackets — the same [`InstrIndexer`] numbering the device-fault
+//! sanitizer reports in `instruction:` coordinates and the static analyzer
+//! ([`crate::analyze`]) uses in diagnostics, so a fault or lint at
+//! instruction *n* can be looked up directly in the disassembly. Loop
+//! latches (the lowered `add`/`setp`/`bra` triple) are annotated on the
+//! loop's closing brace.
 
 use super::*;
 use std::fmt::Write as _;
@@ -102,20 +110,28 @@ fn instr(i: &Instr) -> String {
     }
 }
 
-fn walk(stmts: &[Stmt], depth: usize, out: &mut String) {
+/// `[  n] ` index prefix; `NO_IDX` pads unnumbered lines to the same column.
+fn idx(i: u64) -> String {
+    format!("[{i:>3}] ")
+}
+
+const NO_IDX: &str = "      ";
+
+fn walk(stmts: &[Stmt], depth: usize, ix: &mut InstrIndexer, out: &mut String) {
     let pad = "    ".repeat(depth + 1);
     for s in stmts {
         match s {
             Stmt::I(i) => {
-                let _ = writeln!(out, "{pad}{}", instr(i));
+                let _ = writeln!(out, "{pad}{}{}", idx(ix.instr()), instr(i));
             }
             Stmt::Sync => {
-                let _ = writeln!(out, "{pad}bar.sync 0");
+                let _ = writeln!(out, "{pad}{NO_IDX}bar.sync 0");
             }
             Stmt::For { var, start, end, step, body } => {
                 let _ = writeln!(
                     out,
-                    "{pad}for {} = {}; {} < {}; {} += {} {{",
+                    "{pad}{}for {} = {}; {} < {}; {} += {} {{",
+                    idx(ix.instr()),
                     reg(var),
                     op(start),
                     reg(var),
@@ -123,30 +139,31 @@ fn walk(stmts: &[Stmt], depth: usize, out: &mut String) {
                     reg(var),
                     step
                 );
-                walk(body, depth + 1, out);
-                let _ = writeln!(out, "{pad}}}");
+                walk(body, depth + 1, ix, out);
+                let (add, setp, bra) = ix.for_latch();
+                let _ = writeln!(out, "{pad}{NO_IDX}}} // latch: add [{add}], setp [{setp}], bra [{bra}]");
             }
             Stmt::While { pred, negate, body } => {
                 let neg = if *negate { "!" } else { "" };
-                let _ = writeln!(out, "{pad}do {{");
-                walk(body, depth + 1, out);
-                let _ = writeln!(out, "{pad}}} while {neg}%p{}", pred.0);
+                let _ = writeln!(out, "{pad}{NO_IDX}do {{");
+                walk(body, depth + 1, ix, out);
+                let _ = writeln!(out, "{pad}{NO_IDX}}} while {neg}%p{} // bra [{}]", pred.0, ix.while_backedge());
             }
             Stmt::If { pred, negate, then, els } => {
                 let neg = if *negate { "!" } else { "" };
-                let _ = writeln!(out, "{pad}if {neg}%p{} {{", pred.0);
-                walk(then, depth + 1, out);
+                let _ = writeln!(out, "{pad}{NO_IDX}if {neg}%p{} {{", pred.0);
+                walk(then, depth + 1, ix, out);
                 if !els.is_empty() {
-                    let _ = writeln!(out, "{pad}}} else {{");
-                    walk(els, depth + 1, out);
+                    let _ = writeln!(out, "{pad}{NO_IDX}}} else {{");
+                    walk(els, depth + 1, ix, out);
                 }
-                let _ = writeln!(out, "{pad}}}");
+                let _ = writeln!(out, "{pad}{NO_IDX}}}");
             }
         }
     }
 }
 
-/// Render a kernel as PTX-flavoured text.
+/// Render a kernel as PTX-flavoured text with stable instruction indices.
 pub fn disassemble(kernel: &Kernel) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -154,7 +171,8 @@ pub fn disassemble(kernel: &Kernel) -> String {
         ".kernel {} (params: {}, regs: {}, smem: {} B) {{",
         kernel.name, kernel.n_params, kernel.n_regs, kernel.smem_bytes
     );
-    walk(&kernel.body, 0, &mut out);
+    let mut ix = InstrIndexer::new();
+    walk(&kernel.body, 0, &mut ix, &mut out);
     let _ = writeln!(out, "}}");
     out
 }
@@ -202,6 +220,22 @@ mod tests {
         }
         // And the address mads are gone.
         assert!(!after.contains("mad.u32"), "address computation should fold away");
+    }
+
+    /// The printed indices are the sanitizer/analyzer coordinates: the first
+    /// dynamic execution of each statement retires at the printed number.
+    #[test]
+    fn printed_indices_match_retired_numbering() {
+        let text = disassemble(&sample());
+        // param is %r0; acc mov is the first retiring instruction.
+        assert!(text.contains("[  0] mov"), "{text}");
+        // For init mov takes index 1, the two body instructions 2..3, the
+        // ld 4 (mad, ld, add) and the latch add/setp/bra retire 5, 6, 7
+        // after the body.
+        assert!(text.contains("[  1] for %r"), "{text}");
+        assert!(text.contains("latch: add [5], setp [6], bra [7]"), "{text}");
+        // The store after the loop continues the numbering.
+        assert!(text.contains("[  8] st.global"), "{text}");
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::panic))]
 
+pub mod analyze;
 pub mod banks;
 pub mod coalesce;
 pub mod device;
@@ -52,6 +53,7 @@ pub mod texcache;
 pub mod timing;
 pub mod transfer;
 
+pub use analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, Diagnostic, LintKind, Severity};
 pub use device::DeviceConfig;
 pub use driver::DriverModel;
 pub use exec::launch::LaunchConfig;

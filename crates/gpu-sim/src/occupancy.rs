@@ -216,4 +216,44 @@ mod tests {
         let o = occupancy(&DeviceConfig::gtx280(), 128, 16, 2048);
         assert!(o.active_warps > 16, "GT200's larger register file should admit more warps");
     }
+
+    // --- Register-allocation granularity at exact 256-register multiples ---
+
+    #[test]
+    fn reg_alloc_at_exact_unit_multiple_does_not_round() {
+        // 16 regs × 128 threads = 2048 = 8 × 256: already on the allocation
+        // grain, so no rounding waste — this exactness is what makes the
+        // paper's 16-register kernel reach 4 blocks (8192/2048).
+        assert_eq!(regs_per_block(&g80(), 128, 16), 2048);
+        // One register more crosses the boundary: 17 × 128 = 2176 rounds up
+        // to the next 256 multiple.
+        assert_eq!(regs_per_block(&g80(), 128, 17), 2304);
+    }
+
+    #[test]
+    fn reg_alloc_minimum_granule() {
+        // 32 threads allocate as 2 warps (warp granularity 2): 4 regs × 64
+        // threads = 256 — exactly one allocation unit, no rounding.
+        assert_eq!(regs_per_block(&g80(), 32, 4), 256);
+        // 3 regs × 64 = 192 rounds up to a full unit.
+        assert_eq!(regs_per_block(&g80(), 32, 3), 256);
+    }
+
+    #[test]
+    fn exact_multiple_boundary_shifts_block_count() {
+        // At 2048 regs/block the SM fits exactly 4 blocks; the 2304 of one
+        // extra register fits only 3 — the boundary the paper's ICM
+        // optimisation (17 → 16 regs) exploits.
+        assert_eq!(g80().regs_per_sm / regs_per_block(&g80(), 128, 16), 4);
+        assert_eq!(g80().regs_per_sm / regs_per_block(&g80(), 128, 17), 3);
+    }
+
+    #[test]
+    fn gt200_alloc_unit_is_512() {
+        // Same kernel on GT200: 16 × 128 = 2048 = 4 × 512 — still exact.
+        assert_eq!(regs_per_block(&DeviceConfig::gtx280(), 128, 16), 2048);
+        // 17 × 128 = 2176 rounds to 2560 on the coarser 512 grain (vs
+        // 2304 on G80's 256 grain).
+        assert_eq!(regs_per_block(&DeviceConfig::gtx280(), 128, 17), 2560);
+    }
 }

@@ -1,0 +1,149 @@
+//! The load-bearing property of the static analyzer: for kernels whose
+//! addresses are affine in `tid`/`ctaid`/a loop counter — the entire space
+//! the paper's layouts live in — the static transaction prediction equals
+//! the dynamic coalescer's measurement **exactly**, under every driver
+//! model.
+
+use gpu_sim::analyze::{analyze_kernel, AnalysisConfig};
+use gpu_sim::exec::timed::time_grid;
+use gpu_sim::ir::{Kernel, KernelBuilder, MemSpace, Operand};
+use gpu_sim::mem::GlobalMemory;
+use gpu_sim::{DeviceConfig, DriverModel, TimingParams};
+use proptest::prelude::*;
+
+/// One random affine access site: element index
+/// `e = c0 + c1·tid + c2·ctaid (+ c3·i inside the loop)`, byte address
+/// `e·(4·width) + buf` — always width-aligned because the buffer base is
+/// 256-aligned.
+#[derive(Debug, Clone)]
+struct Site {
+    store: bool,
+    width: u32,
+    c0: u32,
+    c1: u32,
+    c2: u32,
+    c3: u32,
+}
+
+fn site_strategy() -> impl Strategy<Value = Site> {
+    (
+        any::<bool>(),
+        prop_oneof![Just(1u32), Just(2u32), Just(4u32)],
+        0u32..64,
+        prop_oneof![Just(0u32), Just(1u32), Just(2u32), Just(4u32), Just(7u32)],
+        0u32..4,
+        0u32..8,
+    )
+        .prop_map(|(store, width, c0, c1, c2, c3)| Site { store, width, c0, c1, c2, c3 })
+}
+
+#[derive(Debug, Clone)]
+struct Case {
+    sites: Vec<Site>,
+    /// Loop trip count; 0 = straight-line kernel (no `c3` term).
+    iters: u32,
+    /// Only lanes with `tid < guard` access memory; `None` = unguarded.
+    guard: Option<u32>,
+    grid: u32,
+    block: u32,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        proptest::collection::vec(site_strategy(), 1..4),
+        0u32..4,
+        prop_oneof![
+            Just(None),
+            Just(Some(8u32)),
+            Just(Some(16u32)),
+            Just(Some(24u32)),
+            Just(Some(48u32))
+        ],
+        1u32..3,
+        prop_oneof![Just(32u32), Just(64u32)],
+    )
+        .prop_map(|(sites, iters, guard, grid, block)| Case { sites, iters, guard, grid, block })
+}
+
+fn build_case_kernel(case: &Case) -> Kernel {
+    let mut b = KernelBuilder::new("affine_case");
+    let buf = b.param();
+    let tid = b.special(gpu_sim::ir::SpecialReg::TidX);
+    let ctaid = b.special(gpu_sim::ir::SpecialReg::CtaidX);
+    let val = b.mov(Operand::ImmF(1.5));
+
+    let emit_sites = |b: &mut KernelBuilder, loop_var: Option<gpu_sim::ir::Reg>| {
+        for s in &case.sites {
+            // e = c0 + c1·tid + c2·ctaid (+ c3·i)
+            let mut e = b.mad_u(tid.into(), Operand::ImmU(s.c1), Operand::ImmU(s.c0));
+            e = b.mad_u(ctaid.into(), Operand::ImmU(s.c2), e.into());
+            if let Some(i) = loop_var {
+                e = b.mad_u(i.into(), Operand::ImmU(s.c3), e.into());
+            }
+            let addr = b.mad_u(e.into(), Operand::ImmU(4 * s.width), buf.into());
+            if s.store {
+                let srcs = (0..s.width).map(|_| val.into()).collect();
+                b.st(MemSpace::Global, addr, 0, srcs);
+            } else {
+                let _ = b.ld(MemSpace::Global, addr, 0, s.width as usize);
+            }
+        }
+    };
+
+    let body = |b: &mut KernelBuilder| {
+        if case.iters > 0 {
+            b.for_loop(Operand::ImmU(0), Operand::ImmU(case.iters), 1, |b, i| {
+                emit_sites(b, Some(i));
+            });
+        } else {
+            emit_sites(b, None);
+        }
+    };
+
+    match case.guard {
+        Some(t) => {
+            let p = b.setp(gpu_sim::ir::CmpOp::ULt, tid.into(), Operand::ImmU(t));
+            b.if_then(p, body);
+        }
+        None => body(&mut b),
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Static `predicted_transactions` == dynamic `TimedRun::transactions`,
+    /// exactly, for every driver model.
+    #[test]
+    fn static_prediction_equals_dynamic_measurement(case in case_strategy()) {
+        let kernel = build_case_kernel(&case);
+        let dev = DeviceConfig::g8800gtx();
+        for driver in DriverModel::ALL {
+            // Fresh memory per run: stores mutate data, never structure.
+            let mut gmem = GlobalMemory::new(1 << 20);
+            // alloc_zeroed: the redzone sanitizer faults loads of
+            // never-written memory, and random sites read anywhere.
+            let buf = gmem.alloc_zeroed(1 << 17).expect("arena");
+            let params = vec![buf.0 as u32];
+
+            let cfg = AnalysisConfig::new(case.grid, case.block, params.clone())
+                .with_driver(driver);
+            let report = analyze_kernel(&kernel, &cfg);
+            prop_assert!(report.exact, "affine kernel must analyze exactly: {:?}", report.diagnostics);
+            prop_assert!(
+                !report.has_errors() || report.diagnostics.iter().any(|d| d.kind == gpu_sim::LintKind::UncoalescedAccess),
+                "only coalescing findings expected: {:?}", report.diagnostics
+            );
+
+            let tp = TimingParams::for_driver(driver);
+            let timed = time_grid(
+                &kernel, case.grid, case.block, 1, &params, &mut gmem, &dev, driver, &tp,
+            ).expect("dynamic run");
+            prop_assert_eq!(
+                report.predicted_transactions, timed.transactions,
+                "driver {}: static prediction diverged from the coalescer", driver
+            );
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! `kernel-lint` — static IR lints for every kernel in the workspace.
+//!
+//! Runs `gpu_sim::analyze` over the curated target set
+//! (`gpu_kernels::lintset`), enriches findings with the paper's remedies
+//! (`gravit_core::lint`), and gates on expectations:
+//!
+//! * default mode: each kernel must produce **exactly** its documented
+//!   findings (the CI gate) — exit 1 on any deviation;
+//! * `--deny`: stricter — exit 1 if *any* error-severity finding exists,
+//!   expected or not (useful when hunting for a clean build);
+//! * `--json`: machine-readable report array on stdout;
+//! * `--driver cuda10|cuda11|cuda22|all`: coalescing protocol(s) to lint
+//!   under (default cuda10, the paper's G80 driver);
+//! * `--kernel <substring>`: only lint matching kernels;
+//! * `--list`: print the target set and exit.
+
+use std::process::ExitCode;
+
+use gpu_kernels::lintset::{workspace_lint_targets, LintTarget};
+use gpu_sim::analyze::analyze_kernel;
+use gpu_sim::DriverModel;
+use gravit_core::lint::{enrich_report, EnrichedReport};
+use serde::Serialize;
+
+struct Options {
+    json: bool,
+    deny: bool,
+    list: bool,
+    kernel_filter: Option<String>,
+    drivers: Vec<DriverModel>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny: false,
+        list: false,
+        kernel_filter: None,
+        drivers: vec![DriverModel::Cuda10],
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => opts.deny = true,
+            "--list" => opts.list = true,
+            "--kernel" => {
+                opts.kernel_filter =
+                    Some(args.next().ok_or("--kernel needs a substring argument")?);
+            }
+            "--driver" => {
+                let d = args.next().ok_or("--driver needs an argument")?;
+                opts.drivers = match d.as_str() {
+                    "cuda10" => vec![DriverModel::Cuda10],
+                    "cuda11" => vec![DriverModel::Cuda11],
+                    "cuda22" => vec![DriverModel::Cuda22],
+                    "all" => DriverModel::ALL.to_vec(),
+                    other => return Err(format!("unknown driver `{other}`")),
+                };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "kernel-lint [--json] [--deny] [--list] [--driver cuda10|cuda11|cuda22|all] \
+                     [--kernel SUBSTR]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}` (see --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One lint run of one kernel under one driver, as emitted by `--json`.
+#[derive(Serialize)]
+struct JsonEntry {
+    driver: String,
+    /// Expectation violations (empty = the gate passes for this kernel).
+    violations: Vec<String>,
+    report: EnrichedReport,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("kernel-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let targets: Vec<LintTarget> = workspace_lint_targets()
+        .into_iter()
+        .filter(|t| match &opts.kernel_filter {
+            Some(f) => t.kernel.name.contains(f.as_str()),
+            None => true,
+        })
+        .collect();
+    if targets.is_empty() {
+        eprintln!("kernel-lint: no kernels match the filter");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.list {
+        for t in &targets {
+            println!(
+                "{:<28} grid {} x block {:<4} expect errors {:?} warnings {:?}",
+                t.kernel.name, t.grid, t.block, t.expect_errors, t.expect_warnings
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut entries: Vec<JsonEntry> = Vec::new();
+    let mut gate_failed = false;
+    for target in &targets {
+        for &driver in &opts.drivers {
+            let cfg = target.config().with_driver(driver);
+            let report = analyze_kernel(&target.kernel, &cfg);
+            // Expectations are curated under the default (CUDA 1.0) rules;
+            // under other drivers only unexpected *kinds* still gate.
+            let violations = if driver == DriverModel::Cuda10 {
+                target.check(&report)
+            } else {
+                Vec::new()
+            };
+            if !violations.is_empty() || (opts.deny && report.has_errors()) {
+                gate_failed = true;
+            }
+            let enriched = enrich_report(report);
+            if !opts.json {
+                print!("{}", enriched.render());
+                for v in &violations {
+                    println!("  GATE: {v}");
+                }
+            }
+            entries.push(JsonEntry { driver: driver.label().to_string(), violations, report: enriched });
+        }
+    }
+
+    if opts.json {
+        match serde_json::to_string_pretty(&entries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("kernel-lint: serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let n_err: usize = entries.iter().filter(|e| e.report.report.has_errors()).count();
+        let n_viol: usize = entries.iter().map(|e| e.violations.len()).sum();
+        println!(
+            "linted {} kernel run(s): {} with error-severity findings, {} gate violation(s)",
+            entries.len(),
+            n_err,
+            n_viol
+        );
+    }
+
+    if gate_failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -351,8 +351,8 @@ mod tests {
             v[idx] = n;
             v
         };
-        let d_rolled = dynamic_instructions(&rolled, &params(&rolled)) as f64;
-        let d_full = dynamic_instructions(&full, &params(&full)) as f64;
+        let d_rolled = dynamic_instructions(&rolled, &params(&rolled)).unwrap() as f64;
+        let d_full = dynamic_instructions(&full, &params(&full)).unwrap() as f64;
         let reduction = 1.0 - d_full / d_rolled;
         assert!(
             (0.15..0.25).contains(&reduction),
@@ -433,8 +433,12 @@ pub fn build_force_kernel_prefetch(cfg: ForceKernelConfig) -> Kernel {
     let ax = b.mov(Operand::ImmF(0.0));
     let ay = b.mov(Operand::ImmF(0.0));
     let az = b.mov(Operand::ImmF(0.0));
-    // Clamp bound for the prefetch index: n - 1 element.
-    let nm1 = b.alu(AluOp::ISub, n.into(), Operand::ImmU(1));
+    // Clamp bound for the prefetch index: the base of the last tile. The
+    // clamp must act on the *tile base*, not the per-lane element — clamping
+    // every lane to `n - 1` would collapse the half-warp onto one address on
+    // the final trip and decay the load into 16 transactions (kernel-lint
+    // flags exactly that pattern as uncoalesced).
+    let nmb = b.alu(AluOp::ISub, n.into(), Operand::ImmU(cfg.block));
 
     // Prefetch tile 0 into the persistent buffer registers.
     let cur: Vec<gpu_sim::ir::Reg> = {
@@ -454,8 +458,12 @@ pub fn build_force_kernel_prefetch(cfg: ForceKernelConfig) -> Kernel {
         // Kick off the next tile's fetch (clamped on the last tile; the
         // value is published but never consumed past the loop).
         let next = b.iadd(jj.into(), Operand::ImmU(cfg.block));
-        let clamped = b.alu(AluOp::IMin, next.into(), nm1.into());
-        let naddr = b.mad_u(clamped.into(), Operand::ImmU(16), posmass.into());
+        // next = tid + (k+1)·block; clamp its tile base (next - tid) to the
+        // last tile so every lane keeps its 16-byte stride.
+        let next_base = b.alu(AluOp::ISub, next.into(), tid.into());
+        let capped = b.alu(AluOp::IMin, next_base.into(), nmb.into());
+        let elem = b.iadd(capped.into(), tid.into());
+        let naddr = b.mad_u(elem.into(), Operand::ImmU(16), posmass.into());
         b.ld_into(MemSpace::Global, naddr, 0, cur.clone());
         // Inner loop over the published tile (identical to the standard
         // kernel, ε² hoisted).

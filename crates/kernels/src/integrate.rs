@@ -153,7 +153,7 @@ mod tests {
             let k = build_integrate_kernel(layout);
             assert!(gpu_sim::ir::count::inner_loop_profile(&k).is_none(), "{layout}: no loops");
             let params = vec![0u32; k.n_params as usize];
-            let d = dynamic_instructions(&k, &params);
+            let d = dynamic_instructions(&k, &params).unwrap();
             assert!(d < 40, "{layout}: {d} instructions — integration must be O(1)/thread");
         }
     }

@@ -32,6 +32,7 @@ pub mod banks;
 pub mod barnes_hut;
 pub mod force;
 pub mod integrate;
+pub mod lintset;
 pub mod membench;
 
 pub use force::{build_force_kernel, force_params, ForceKernelConfig, OptLevel};

@@ -1,0 +1,241 @@
+//! Every kernel family in the workspace, paired with a representative launch
+//! shape and its **expected** lint outcome — the source of truth for both
+//! the `kernel-lint` CLI and the `all_kernels_lint_clean` test gate.
+//!
+//! A target's expectation is a set of [`LintKind`] names per severity.
+//! "Dirty" targets (the paper's baseline layouts) are expected to produce
+//! exactly their documented findings — the gate fails if a finding
+//! *disappears* (the lint lost its teeth) just as it fails if an unexpected
+//! one appears (a kernel regressed).
+
+use gpu_sim::analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, Severity};
+use gpu_sim::ir::Kernel;
+use particle_layouts::Layout;
+
+use crate::banks::build_bank_kernel;
+use crate::barnes_hut::BhKernelConfig;
+use crate::force::{build_force_kernel, build_force_kernel_prefetch, ForceKernelConfig, OptLevel};
+use crate::integrate::build_integrate_kernel;
+use crate::membench::{build_membench_kernel, build_membench_texture_kernel, MembenchConfig};
+
+/// A kernel plus launch shape plus expected lint outcome.
+pub struct LintTarget {
+    /// The kernel to analyze.
+    pub kernel: Kernel,
+    /// Blocks in the representative launch.
+    pub grid: u32,
+    /// Threads per block.
+    pub block: u32,
+    /// Launch parameters (fake 256-aligned device addresses).
+    pub params: Vec<u32>,
+    /// Error-severity [`gpu_sim::analyze::LintKind::name`]s this kernel is
+    /// *supposed* to produce (empty = must lint clean of errors).
+    pub expect_errors: Vec<&'static str>,
+    /// Warning-severity kind names this kernel is supposed to produce.
+    pub expect_warnings: Vec<&'static str>,
+}
+
+impl LintTarget {
+    /// The analysis configuration for this target (default device/driver).
+    pub fn config(&self) -> AnalysisConfig {
+        AnalysisConfig::new(self.grid, self.block, self.params.clone())
+    }
+
+    /// Run the analyzer under the default configuration.
+    pub fn analyze(&self) -> AnalysisReport {
+        analyze_kernel(&self.kernel, &self.config())
+    }
+
+    /// Compare a report against the expectation. Returns one human-readable
+    /// violation per mismatch: an unexpected finding kind, or an expected
+    /// kind that did not fire.
+    pub fn check(&self, report: &AnalysisReport) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (sev, expected) in
+            [(Severity::Error, &self.expect_errors), (Severity::Warning, &self.expect_warnings)]
+        {
+            let mut actual: Vec<&'static str> = report
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == sev)
+                .map(|d| d.kind.name())
+                .collect();
+            actual.sort_unstable();
+            actual.dedup();
+            for kind in &actual {
+                if !expected.contains(kind) {
+                    violations.push(format!("{}: unexpected {sev} `{kind}`", report.kernel));
+                }
+            }
+            for kind in expected {
+                if !actual.contains(kind) {
+                    violations
+                        .push(format!("{}: expected {sev} `{kind}` did not fire", report.kernel));
+                }
+            }
+        }
+        violations
+    }
+}
+
+/// Fake, 64 KiB-apart (hence 256-aligned) device buffer addresses.
+fn fake_buffers(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| 0x1_0000 * (i + 1)).collect()
+}
+
+fn force_target(
+    cfg: ForceKernelConfig,
+    prefetch: bool,
+    expect_errors: Vec<&'static str>,
+    expect_warnings: Vec<&'static str>,
+) -> LintTarget {
+    let grid = 2u32;
+    let n = grid * cfg.block;
+    let mut params = fake_buffers(cfg.layout.buffers().len());
+    params.push(0x20_0000); // out
+    params.push(n);
+    params.push(0.5f32.to_bits()); // eps
+    params.push(0); // smem0
+    let kernel =
+        if prefetch { build_force_kernel_prefetch(cfg) } else { build_force_kernel(cfg) };
+    LintTarget { kernel, grid, block: cfg.block, params, expect_errors, expect_warnings }
+}
+
+fn membench_target(
+    layout: Layout,
+    texture: bool,
+    expect_errors: Vec<&'static str>,
+    expect_warnings: Vec<&'static str>,
+) -> LintTarget {
+    let cfg = MembenchConfig { layout, iters: 2 };
+    let mut params = fake_buffers(layout.buffers().len());
+    params.push(0x20_0000); // out_delta
+    params.push(0x21_0000); // out_sum
+    let kernel =
+        if texture { build_membench_texture_kernel(cfg) } else { build_membench_kernel(cfg) };
+    LintTarget { kernel, grid: 2, block: 64, params, expect_errors, expect_warnings }
+}
+
+fn integrate_target(layout: Layout, expect_errors: Vec<&'static str>) -> LintTarget {
+    let mut params = fake_buffers(layout.buffers().len());
+    params.push(0x20_0000); // acc
+    params.push(0.01f32.to_bits()); // dt
+    LintTarget {
+        kernel: build_integrate_kernel(layout),
+        grid: 2,
+        block: 64,
+        params,
+        expect_errors,
+        expect_warnings: vec![],
+    }
+}
+
+fn bank_target(stride: u32, expect_warnings: Vec<&'static str>) -> LintTarget {
+    LintTarget {
+        kernel: build_bank_kernel(stride, 2),
+        grid: 1,
+        block: 128,
+        params: vec![0x1_0000, 0x2_0000],
+        expect_errors: vec![],
+        expect_warnings,
+    }
+}
+
+/// The full target set: every kernel family under every layout/stride the
+/// workspace exercises, with expected outcomes.
+///
+/// The "dirty" entries are deliberate: the paper's unoptimized layouts
+/// *must* trip the coalescing lint (28/32-byte lane strides), the rolled
+/// force kernels *must* trip the invariant-motion lint (the recomputed ε²),
+/// and the power-of-two bank strides *must* trip the conflict lint — those
+/// findings reproduce Sections III–IV statically.
+pub fn workspace_lint_targets() -> Vec<LintTarget> {
+    let uncoalesced = || vec!["uncoalesced-access"];
+    let mut targets = Vec::new();
+
+    // --- force: the Fig. 12 optimization ladder --------------------------
+    for level in OptLevel::ALL {
+        let cfg = level.config();
+        let (errors, warnings): (Vec<&str>, Vec<&str>) = match level {
+            // Packed records: scalar reads 28 bytes apart + the dead own-mass
+            // load + the recomputed ε² of the rolled baseline.
+            OptLevel::Baseline => (uncoalesced(), vec!["dead-code", "unhoisted-invariant"]),
+            // SoA coalesces but keeps the dead mass-array read and ε².
+            OptLevel::SoA => (vec![], vec!["dead-code", "unhoisted-invariant"]),
+            // 16-byte vectors 32 bytes apart still split transactions; the
+            // own-load's second float4 is fully dead.
+            OptLevel::AoaS => (uncoalesced(), vec!["dead-code", "unhoisted-invariant"]),
+            // The paper's layout coalesces; only ε² remains.
+            OptLevel::SoAoaS => (vec![], vec!["unhoisted-invariant"]),
+            // Full unroll dissolves the inner loop; the ε² copies all write
+            // the same register, which `licm` (and hence the lint, which
+            // diffs against it) cannot hoist — silence is correct here.
+            OptLevel::SoAoaSUnrolled => (vec![], vec![]),
+            // licm + unroll + block 128: fully clean.
+            OptLevel::Full => (vec![], vec![]),
+        };
+        targets.push(force_target(cfg, false, errors, warnings));
+    }
+    // The one layout the ladder skips: classic AoS (32-byte records).
+    targets.push(force_target(
+        ForceKernelConfig { layout: Layout::AoS, block: 192, unroll: 1, icm: false },
+        false,
+        uncoalesced(),
+        vec!["dead-code", "unhoisted-invariant"],
+    ));
+    // The double-buffered variant (regression gate for the tile-base clamp:
+    // a per-lane clamp decays the last prefetch into 16 transactions).
+    targets.push(force_target(
+        ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true },
+        true,
+        vec![],
+        vec![],
+    ));
+
+    // --- membench: the Sec. III read patterns ----------------------------
+    for layout in Layout::ALL {
+        let errors = match layout {
+            Layout::Unopt | Layout::AoS | Layout::AoaS => uncoalesced(),
+            Layout::SoA | Layout::SoAoaS => vec![],
+        };
+        targets.push(membench_target(layout, false, errors, vec![]));
+    }
+    // The texture path bypasses the coalescer entirely: info-only.
+    targets.push(membench_target(Layout::Unopt, true, vec![], vec![]));
+
+    // --- integrate: the cold-group round-trip ----------------------------
+    for layout in Layout::ALL {
+        let errors = match layout {
+            Layout::Unopt | Layout::AoS | Layout::AoaS => uncoalesced(),
+            Layout::SoA | Layout::SoAoaS => vec![],
+        };
+        targets.push(integrate_target(layout, errors));
+    }
+
+    // --- banks: Sec. I-A's serialization rule ----------------------------
+    for stride in [1u32, 2, 3, 4, 8, 16] {
+        let warnings =
+            if stride.is_power_of_two() && stride > 1 { vec!["bank-conflict"] } else { vec![] };
+        targets.push(bank_target(stride, warnings));
+    }
+
+    // --- barnes_hut: data-dependent traversal, info-only -----------------
+    {
+        let cfg = BhKernelConfig::g80_default();
+        targets.push(LintTarget {
+            kernel: crate::barnes_hut::build_bh_kernel(cfg),
+            grid: 2,
+            block: cfg.block,
+            params: {
+                let mut p = fake_buffers(5); // pos, com, side_meta, bodies, out
+                p.push(0.25f32.to_bits()); // theta²
+                p.push(0.5f32.to_bits()); // eps
+                p
+            },
+            expect_errors: vec![],
+            expect_warnings: vec![],
+        });
+    }
+
+    targets
+}

@@ -158,8 +158,8 @@ mod tests {
         let scalar = build_membench_kernel(MembenchConfig { layout: Layout::Unopt, iters: 8 });
         let vector = build_membench_kernel(MembenchConfig { layout: Layout::SoAoaS, iters: 8 });
         // Same param count shape differs; compare per-thread instructions.
-        let ds = dynamic_instructions(&scalar, &[0, 0, 0]);
-        let dv = dynamic_instructions(&vector, &[0, 0, 0, 0]);
+        let ds = dynamic_instructions(&scalar, &[0, 0, 0]).unwrap();
+        let dv = dynamic_instructions(&vector, &[0, 0, 0, 0]).unwrap();
         assert!(dv < ds, "SoAoaS ({dv}) must execute fewer instructions than unopt ({ds})");
     }
 

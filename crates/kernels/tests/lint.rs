@@ -1,0 +1,92 @@
+//! The static-analysis gate over every kernel family (ISSUE 2 satellite):
+//! each kernel must produce exactly its documented lint findings — no
+//! unexpected errors, and no silently-vanished expected ones.
+
+use gpu_kernels::force::{build_force_kernel, ForceKernelConfig, OptLevel};
+use gpu_kernels::lintset::workspace_lint_targets;
+use gpu_sim::analyze::{analyze_kernel, AnalysisConfig, LintKind, Severity};
+use gpu_sim::DriverModel;
+use particle_layouts::Layout;
+
+#[test]
+fn all_kernels_lint_clean() {
+    let mut violations = Vec::new();
+    for target in workspace_lint_targets() {
+        let report = target.analyze();
+        violations.extend(target.check(&report));
+    }
+    assert!(
+        violations.is_empty(),
+        "lint expectations violated:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+/// The acceptance pin: the 28-byte packed-record force kernel is flagged
+/// uncoalesced while the paper's SoAoaS build passes clean — under every
+/// driver model's coalescing rules for the strict protocols, and at minimum
+/// under CUDA 1.0.
+#[test]
+fn aos_force_flagged_soaoas_clean() {
+    let build = |layout: Layout| {
+        let cfg = ForceKernelConfig { layout, block: 128, unroll: 1, icm: true };
+        let k = build_force_kernel(cfg);
+        let n = 2 * cfg.block;
+        let params = vec![0x1_0000, 0x20_0000, n, 0.5f32.to_bits(), 0];
+        (k, params, cfg.block)
+    };
+
+    let (aos, aos_params, block) = build(Layout::Unopt);
+    let (soaoas, so_params, _) = build(Layout::SoAoaS);
+    for driver in DriverModel::ALL {
+        let cfg = |p: &Vec<u32>| AnalysisConfig::new(2, block, p.clone()).with_driver(driver);
+        let dirty = analyze_kernel(&aos, &cfg(&aos_params));
+        let clean = analyze_kernel(&soaoas, &cfg(&so_params));
+        if driver == DriverModel::Cuda10 {
+            assert!(
+                dirty
+                    .diagnostics
+                    .iter()
+                    .any(|d| d.kind == LintKind::UncoalescedAccess && d.severity == Severity::Error),
+                "{driver}: packed layout must be flagged: {:?}",
+                dirty.diagnostics
+            );
+        }
+        assert!(
+            !clean.diagnostics.iter().any(|d| d.kind == LintKind::UncoalescedAccess),
+            "{driver}: SoAoaS must coalesce: {:?}",
+            clean.diagnostics
+        );
+        // And the prediction backs it up: the packed layout moves more
+        // transactions for the same work.
+        assert!(
+            dirty.predicted_transactions > clean.predicted_transactions,
+            "{driver}: {} !> {}",
+            dirty.predicted_transactions,
+            clean.predicted_transactions
+        );
+    }
+}
+
+/// The ladder's transaction story, statically: each Fig. 12 layout step is
+/// no worse than the previous one under CUDA 1.0.
+#[test]
+fn ladder_transactions_monotonically_improve() {
+    let mut last = u64::MAX;
+    for level in [OptLevel::Baseline, OptLevel::AoaS, OptLevel::SoAoaS] {
+        let cfg = level.config();
+        let k = build_force_kernel(cfg);
+        let n = 2 * cfg.block;
+        let mut params: Vec<u32> =
+            (0..cfg.layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+        params.extend([0x20_0000, n, 0.5f32.to_bits(), 0]);
+        let r = analyze_kernel(&k, &AnalysisConfig::new(2, cfg.block, params));
+        assert!(r.exact, "{level}: {:?}", r.diagnostics);
+        assert!(
+            r.predicted_transactions <= last,
+            "{level}: {} transactions, worse than the previous step's {last}",
+            r.predicted_transactions
+        );
+        last = r.predicted_transactions;
+    }
+}

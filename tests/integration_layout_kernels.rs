@@ -120,6 +120,6 @@ fn static_count_matches_executed_instructions() {
     // Counter counts per-thread; executor counts per-warp. One block has 2
     // warps, grid has 2 blocks → 4 warps; every warp executes the same
     // uniform stream. (Thread 0's tile-loop trip count applies to all.)
-    let per_thread = dynamic_instructions(&kernel, &params);
+    let per_thread = dynamic_instructions(&kernel, &params).unwrap();
     assert_eq!(run.warp_instructions, per_thread * 4);
 }
