@@ -1,0 +1,63 @@
+//! Cross-validates the **static cycle model** (`gpu_sim::analyze::cost`)
+//! against the dynamic timing engine: for every driver, the full
+//! optimization ladder is priced statically and timed dynamically, and the
+//! two orderings must agree wherever the measured gap is outside noise
+//! (3 % relative). Exits non-zero on any ranking disagreement — the CI
+//! `verify-kernels` job gates on this.
+use bench::report::emit;
+use bench::tables::{cost_vs_measured, ranking_disagreements};
+use gpu_sim::DriverModel;
+use simcore::{format_duration_s, Table};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let n = 24_576u32;
+    let mut disagreements = 0usize;
+    let mut t = Table::new(
+        format!("Static cycle model vs dynamic engine — force ladder, N = {n}"),
+        &[
+            "driver",
+            "level",
+            "predicted cyc/pair",
+            "measured time",
+            "predicted speedup",
+            "measured speedup",
+        ],
+    );
+    for driver in DriverModel::ALL {
+        let rows = cost_vs_measured(n, driver);
+        let bad = ranking_disagreements(&rows, 0.03);
+        for r in &rows {
+            t.row(vec![
+                driver.label().to_string(),
+                r.level.label().to_string(),
+                format!("{:.2}", r.predicted_cycles_per_pair),
+                format_duration_s(r.measured_seconds),
+                format!("{:.3}x", r.predicted_speedup),
+                format!("{:.3}x", r.measured_speedup),
+            ]);
+        }
+        for &(i, j) in &bad {
+            eprintln!(
+                "RANKING DISAGREEMENT under {}: {} vs {} (predicted {:.2} vs {:.2} cyc/pair, \
+                 measured {:.6}s vs {:.6}s)",
+                driver.label(),
+                rows[i].level.label(),
+                rows[j].level.label(),
+                rows[i].predicted_cycles_per_pair,
+                rows[j].predicted_cycles_per_pair,
+                rows[i].measured_seconds,
+                rows[j].measured_seconds,
+            );
+        }
+        disagreements += bad.len();
+    }
+    emit(&t, "table_verify");
+    if disagreements > 0 {
+        eprintln!("table_verify: {disagreements} static/measured ranking disagreement(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("static and measured rankings agree under every driver");
+        ExitCode::SUCCESS
+    }
+}

@@ -51,7 +51,8 @@ pub fn unroll_sweep(n: u32) -> Vec<UnrollRow> {
             dyn_instrs,
             instrs_per_element: per_elem,
             regs: register_demand(&k).regs_per_thread,
-            eq3_predicted: eq3_speedup(rolled_per_elem, per_elem),
+            eq3_predicted: eq3_speedup(rolled_per_elem, per_elem)
+                .expect("instruction budgets are positive"),
         });
     }
     rows
@@ -589,4 +590,112 @@ pub fn time_kernel_at(
     let blocks = (padded / cfg.block) as u64;
     let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
     (wave_cycles * waves) as f64 / dev.clock_hz
+}
+
+/// One row of the static-cycle-model cross-validation (`table_verify`): the
+/// same optimization level priced by `analyze::cost` and timed by the
+/// dynamic engine, under one driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostValidationRow {
+    /// Optimization ladder level.
+    pub level: gpu_kernels::force::OptLevel,
+    /// Driver model both sides ran under.
+    pub driver: DriverModel,
+    /// Static estimate, normalized to cycles per pairwise interaction so
+    /// different block sizes are comparable.
+    pub predicted_cycles_per_pair: f64,
+    /// Dynamic-engine kernel seconds at the reference size.
+    pub measured_seconds: f64,
+    /// Static speedup over the ladder's baseline level.
+    pub predicted_speedup: f64,
+    /// Measured speedup over the ladder's baseline level.
+    pub measured_speedup: f64,
+}
+
+/// Price and time the full optimization ladder under `driver`. The static
+/// side runs at a tiny 2-block launch (the model normalizes per-interaction,
+/// so size cancels); the dynamic side runs the standard extrapolated harness
+/// at `n` particles.
+pub fn cost_vs_measured(n: u32, driver: DriverModel) -> Vec<CostValidationRow> {
+    use gpu_kernels::force::OptLevel;
+    use gpu_sim::analyze::{cost, AnalysisConfig};
+
+    const VGRID: u32 = 2;
+    let mut rows: Vec<CostValidationRow> = Vec::new();
+    for level in OptLevel::ALL {
+        let fcfg = level.config();
+        let kernel = build_force_kernel(fcfg);
+        let vn = VGRID * fcfg.block;
+        let mut params: Vec<u32> =
+            (0..fcfg.layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+        params.push(0x20_0000); // out
+        params.push(vn); // n
+        params.push(0.05f32.to_bits()); // eps
+        params.push(0); // smem0
+        let acfg = AnalysisConfig::new(VGRID, fcfg.block, params).with_driver(driver);
+        let c = cost::estimate(&kernel, &acfg)
+            .expect("the force ladder is statically analyzable");
+        let pairs = (VGRID * fcfg.block) as f64 * vn as f64;
+        rows.push(CostValidationRow {
+            level,
+            driver,
+            predicted_cycles_per_pair: c.total_cycles() / pairs,
+            measured_seconds: time_kernel_at(&kernel, fcfg, n, driver),
+            predicted_speedup: 1.0,
+            measured_speedup: 1.0,
+        });
+    }
+    let base_pred = rows[0].predicted_cycles_per_pair;
+    let base_meas = rows[0].measured_seconds;
+    for r in &mut rows {
+        r.predicted_speedup = base_pred / r.predicted_cycles_per_pair;
+        r.measured_speedup = base_meas / r.measured_seconds;
+    }
+    rows
+}
+
+/// Pairs of ladder levels whose static and measured orderings disagree,
+/// ignoring pairs the dynamic engine itself places within `tolerance`
+/// (relative measured gap) — those are ties, not rankings.
+pub fn ranking_disagreements(
+    rows: &[CostValidationRow],
+    tolerance: f64,
+) -> Vec<(usize, usize)> {
+    let mut bad = Vec::new();
+    for i in 0..rows.len() {
+        for j in (i + 1)..rows.len() {
+            let (a, b) = (&rows[i], &rows[j]);
+            let gap = (a.measured_seconds - b.measured_seconds).abs()
+                / a.measured_seconds.max(b.measured_seconds);
+            if gap <= tolerance {
+                continue;
+            }
+            let measured_faster = a.measured_seconds < b.measured_seconds;
+            let predicted_faster = a.predicted_cycles_per_pair < b.predicted_cycles_per_pair;
+            if measured_faster != predicted_faster {
+                bad.push((i, j));
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod cost_validation_tests {
+    use super::*;
+
+    #[test]
+    fn static_ranking_agrees_with_the_dynamic_engine() {
+        for driver in DriverModel::ALL {
+            let rows = cost_vs_measured(24_576, driver);
+            let bad = ranking_disagreements(&rows, 0.03);
+            assert!(
+                bad.is_empty(),
+                "{driver}: static/measured ranking disagrees on {:?}",
+                bad.iter()
+                    .map(|&(i, j)| (rows[i].level.label(), rows[j].level.label()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
 }

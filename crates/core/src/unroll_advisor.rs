@@ -67,7 +67,8 @@ pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) 
         options.push(UnrollOption {
             factor,
             instrs_per_element: per_elem,
-            eq3_speedup: eq3_speedup(rolled.expect("factor 1 first"), per_elem),
+            eq3_speedup: eq3_speedup(rolled.expect("factor 1 first"), per_elem)
+                .expect("instruction budgets are positive"),
             regs,
             occupancy: occupancy(dev, block, regs as u32, k.smem_bytes),
         });

@@ -53,7 +53,7 @@ pub(crate) enum IStmt<'k> {
     /// Block barrier (no index).
     Sync,
     /// Divergent bottom-tested loop and the index of its backedge branch.
-    While { pred: Pred, body: Vec<IStmt<'k>>, backedge: u64 },
+    While { pred: Pred, negate: bool, body: Vec<IStmt<'k>>, backedge: u64 },
 }
 
 /// Annotate a statement list with stable instruction indices.
@@ -75,10 +75,10 @@ pub(crate) fn index_stmts<'k>(stmts: &'k [Stmt], ix: &mut InstrIndexer) -> Vec<I
                 els: index_stmts(els, ix),
             },
             Stmt::Sync => IStmt::Sync,
-            Stmt::While { pred, body, .. } => {
+            Stmt::While { pred, negate, body } => {
                 let body = index_stmts(body, ix);
                 let backedge = ix.while_backedge();
-                IStmt::While { pred: *pred, body, backedge }
+                IStmt::While { pred: *pred, negate: *negate, body, backedge }
             }
         })
         .collect()
@@ -578,12 +578,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 for &l in &lanes {
                     let v = if exact {
                         match (self.operand(l, a), self.operand(l, b), self.operand(l, c)) {
-                            (Some(x), Some(y), Some(z)) => Some(if *float {
-                                (f32::from_bits(x) * f32::from_bits(y) + f32::from_bits(z))
-                                    .to_bits()
-                            } else {
-                                x.wrapping_mul(y).wrapping_add(z)
-                            }),
+                            (Some(x), Some(y), Some(z)) => Some(mad(*float, x, y, z)),
                             _ => None,
                         }
                     } else {
@@ -595,12 +590,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             Instr::Unary { op, dst, a } => {
                 for &l in &lanes {
                     let v = if exact {
-                        self.operand(l, a).map(|x| match op {
-                            UnaryOp::FRsqrt => (1.0 / f32::from_bits(x).sqrt()).to_bits(),
-                            UnaryOp::FNeg => (-f32::from_bits(x)).to_bits(),
-                            UnaryOp::U2F => (x as f32).to_bits(),
-                            UnaryOp::F2U => f32::from_bits(x) as u32,
-                        })
+                        self.operand(l, a).map(|x| unary(*op, x))
                     } else {
                         None
                     };
@@ -611,13 +601,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 for &l in &lanes {
                     let v = if exact {
                         match (self.operand(l, a), self.operand(l, b)) {
-                            (Some(x), Some(y)) => Some(match cmp {
-                                CmpOp::ULt => x < y,
-                                CmpOp::UGe => x >= y,
-                                CmpOp::UEq => x == y,
-                                CmpOp::UNe => x != y,
-                                CmpOp::FLt => f32::from_bits(x) < f32::from_bits(y),
-                            }),
+                            (Some(x), Some(y)) => Some(compare(*cmp, x, y)),
                             _ => None,
                         }
                     } else {
@@ -834,7 +818,12 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 let half = self.cfg.device.half_warp as usize;
                 let banks = self.cfg.device.smem_banks;
                 let mut degree = 1u32;
+                let mut issues = 0u64;
                 for chunk in addrs.chunks(half) {
+                    if chunk.iter().all(Option::is_none) {
+                        continue;
+                    }
+                    issues += 1;
                     for phase in 0..words as u64 {
                         let phase_addrs: Vec<Option<u64>> =
                             chunk.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
@@ -843,6 +832,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 }
                 if let Some(site) = self.sink.sites.get_mut(&idx) {
                     site.bank_degree = site.bank_degree.max(degree);
+                    site.half_warps += issues;
                 }
                 for l in self.lanes(mask) {
                     let Some(addr) = addrs[l] else { continue };
@@ -861,7 +851,9 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
     }
 }
 
-fn alu(op: AluOp, x: u32, y: u32) -> u32 {
+/// Exact bit-level ALU semantics, shared with [`super::verify`]'s constant
+/// folder so symbolic proofs rest on the same arithmetic the executors use.
+pub(crate) fn alu(op: AluOp, x: u32, y: u32) -> u32 {
     let (fx, fy) = (f32::from_bits(x), f32::from_bits(y));
     match op {
         AluOp::FAdd => (fx + fy).to_bits(),
@@ -875,5 +867,36 @@ fn alu(op: AluOp, x: u32, y: u32) -> u32 {
         AluOp::IShl => x.wrapping_shl(y),
         AluOp::IAnd => x & y,
         AluOp::IMin => x.min(y),
+    }
+}
+
+/// Exact `mad` semantics (f32 fused form or wrapping u32), as in
+/// `exec::machine`.
+pub(crate) fn mad(float: bool, a: u32, b: u32, c: u32) -> u32 {
+    if float {
+        (f32::from_bits(a) * f32::from_bits(b) + f32::from_bits(c)).to_bits()
+    } else {
+        a.wrapping_mul(b).wrapping_add(c)
+    }
+}
+
+/// Exact unary-op semantics, as in `exec::machine`.
+pub(crate) fn unary(op: UnaryOp, x: u32) -> u32 {
+    match op {
+        UnaryOp::FRsqrt => (1.0 / f32::from_bits(x).sqrt()).to_bits(),
+        UnaryOp::FNeg => (-f32::from_bits(x)).to_bits(),
+        UnaryOp::U2F => (x as f32).to_bits(),
+        UnaryOp::F2U => f32::from_bits(x) as u32,
+    }
+}
+
+/// Exact predicate-compare semantics, as in `exec::machine`.
+pub(crate) fn compare(op: CmpOp, x: u32, y: u32) -> bool {
+    match op {
+        CmpOp::ULt => x < y,
+        CmpOp::UGe => x >= y,
+        CmpOp::UEq => x == y,
+        CmpOp::UNe => x != y,
+        CmpOp::FLt => f32::from_bits(x) < f32::from_bits(y),
     }
 }

@@ -39,6 +39,9 @@
 
 mod interp;
 
+pub mod cost;
+pub mod verify;
+
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::fmt::Write as _;

@@ -17,7 +17,7 @@ use std::fmt;
 /// loop, a `For` bounded by a loaded value) has no static count. The
 /// advisors surface this as an "unbounded loop" condition instead of
 /// crashing — see `crate::analyze`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CountError {
     /// A `For` loop's end operand is neither an immediate nor a parameter.
     DataDependentBound {
@@ -26,6 +26,23 @@ pub enum CountError {
     },
     /// A `While` loop: trip counts are inherently data-dependent.
     DataDependentLoop,
+    /// A loop whose lowered step is zero never advances its induction
+    /// variable: no finite trip count exists.
+    ZeroStep,
+    /// Eq. 3 divides instruction budgets; a non-positive budget has no
+    /// meaningful speedup ratio.
+    NonPositiveBudget {
+        /// The offending budget value.
+        budget: f64,
+    },
+    /// The launch supplied a different number of parameter values than the
+    /// kernel declares.
+    ParamCountMismatch {
+        /// Parameters the kernel declares.
+        expected: u16,
+        /// Values the launch supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for CountError {
@@ -38,6 +55,13 @@ impl fmt::Display for CountError {
             ),
             CountError::DataDependentLoop => {
                 write!(f, "data-dependent While loop has no static trip count")
+            }
+            CountError::ZeroStep => write!(f, "loop step of 0 never terminates"),
+            CountError::NonPositiveBudget { budget } => {
+                write!(f, "instruction budget {budget} is not positive; Eq. 3 is undefined")
+            }
+            CountError::ParamCountMismatch { expected, got } => {
+                write!(f, "kernel takes {expected} parameters, launch supplied {got}")
             }
         }
     }
@@ -56,12 +80,15 @@ fn resolve_const(op: &Operand, params: &[u32]) -> Option<u32> {
 }
 
 /// Trip count of a lowered (bottom-tested) loop: at least one iteration.
-pub fn trip_count(start: u32, end: u32, step: u32) -> u64 {
-    assert!(step > 0);
+/// A zero step is a [`CountError::ZeroStep`], not a panic.
+pub fn trip_count(start: u32, end: u32, step: u32) -> Result<u64, CountError> {
+    if step == 0 {
+        return Err(CountError::ZeroStep);
+    }
     if end <= start {
-        1 // bottom-tested loops execute once even when the bound is degenerate
+        Ok(1) // bottom-tested loops execute once even when the bound is degenerate
     } else {
-        ((end - start) as u64).div_ceil(step as u64)
+        Ok(((end - start) as u64).div_ceil(step as u64))
     }
 }
 
@@ -75,7 +102,12 @@ pub fn trip_count(start: u32, end: u32, step: u32) -> u64 {
 /// not a panic, so callers (the advisors, the static analyzer) can degrade
 /// to an "unbounded loop" diagnostic.
 pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> Result<u64, CountError> {
-    assert_eq!(kernel.n_params as usize, params.len(), "parameter count mismatch");
+    if kernel.n_params as usize != params.len() {
+        return Err(CountError::ParamCountMismatch {
+            expected: kernel.n_params,
+            got: params.len(),
+        });
+    }
     fn count(stmts: &[Stmt], params: &[u32]) -> Result<u64, CountError> {
         let mut total = 0u64;
         for s in stmts {
@@ -91,7 +123,7 @@ pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> Result<u64, Coun
                     let st = resolve_const(start, params).unwrap_or(0);
                     let en = resolve_const(end, params)
                         .ok_or(CountError::DataDependentBound { var: *var })?;
-                    let trips = trip_count(st, en, *step);
+                    let trips = trip_count(st, en, *step)?;
                     total += 1 + trips * (count(body, params)? + 3);
                 }
                 Stmt::While { .. } => return Err(CountError::DataDependentLoop),
@@ -168,10 +200,15 @@ pub fn inner_loop_profile(kernel: &Kernel) -> Option<InnerLoopProfile> {
 }
 
 /// The paper's Eq. 3: predicted speedup from replacing an innermost-loop
-/// budget of `p1` instructions/element with `p2`.
-pub fn eq3_speedup(p1: f64, p2: f64) -> f64 {
-    assert!(p1 > 0.0 && p2 > 0.0);
-    p1 / p2
+/// budget of `p1` instructions/element with `p2`. Non-positive budgets are a
+/// [`CountError::NonPositiveBudget`], not a panic.
+pub fn eq3_speedup(p1: f64, p2: f64) -> Result<f64, CountError> {
+    for b in [p1, p2] {
+        if b.is_nan() || b <= 0.0 {
+            return Err(CountError::NonPositiveBudget { budget: b });
+        }
+    }
+    Ok(p1 / p2)
 }
 
 /// Dynamic instruction histogram by coarse class, for reports.
@@ -201,6 +238,12 @@ impl InstrMix {
 /// Dynamic instruction mix for one thread. Same counting contract (and the
 /// same [`CountError`] degradation) as [`dynamic_instructions`].
 pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, CountError> {
+    if kernel.n_params as usize != params.len() {
+        return Err(CountError::ParamCountMismatch {
+            expected: kernel.n_params,
+            got: params.len(),
+        });
+    }
     fn classify(i: &Instr, m: &mut InstrMix, mult: u64) {
         match i {
             Instr::Alu { op, .. } if op.is_float() => m.fp += mult,
@@ -227,7 +270,7 @@ pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, Coun
                     let st = resolve_const(start, params).unwrap_or(0);
                     let en = resolve_const(end, params)
                         .ok_or(CountError::DataDependentBound { var: *var })?;
-                    let trips = trip_count(st, en, *step);
+                    let trips = trip_count(st, en, *step)?;
                     m.int += mult; // init mov
                     m.control += mult * trips * 3;
                     walk(body, params, mult * trips, m)?;
@@ -248,10 +291,31 @@ mod tests {
 
     #[test]
     fn trip_count_semantics() {
-        assert_eq!(trip_count(0, 10, 1), 10);
-        assert_eq!(trip_count(0, 10, 3), 4);
-        assert_eq!(trip_count(5, 5, 1), 1, "bottom-tested: at least once");
-        assert_eq!(trip_count(2, 10, 4), 2);
+        assert_eq!(trip_count(0, 10, 1).unwrap(), 10);
+        assert_eq!(trip_count(0, 10, 3).unwrap(), 4);
+        assert_eq!(trip_count(5, 5, 1).unwrap(), 1, "bottom-tested: at least once");
+        assert_eq!(trip_count(2, 10, 4).unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_step_is_an_error_not_a_panic() {
+        let err = trip_count(0, 10, 0).unwrap_err();
+        assert_eq!(err, CountError::ZeroStep);
+        assert!(err.to_string().contains("never terminates"));
+    }
+
+    #[test]
+    fn param_count_mismatch_is_an_error_not_a_panic() {
+        let mut b = KernelBuilder::new("pc");
+        let _ = b.param();
+        let k = b.finish();
+        let err = dynamic_instructions(&k, &[]).unwrap_err();
+        assert_eq!(err, CountError::ParamCountMismatch { expected: 1, got: 0 });
+        assert!(err.to_string().contains("takes 1 parameters"));
+        assert_eq!(
+            instruction_mix(&k, &[1, 2]).unwrap_err(),
+            CountError::ParamCountMismatch { expected: 1, got: 2 }
+        );
     }
 
     #[test]
@@ -352,9 +416,16 @@ mod tests {
     fn eq3_matches_paper_example() {
         // Removing 4 of 21 per-iteration instructions predicts ≈ 1.19×,
         // the paper's ~18 % unrolling gain.
-        let s = eq3_speedup(21.0, 17.0);
+        let s = eq3_speedup(21.0, 17.0).unwrap();
         assert!((s - 21.0 / 17.0).abs() < 1e-12);
         assert!(s > 1.18 && s < 1.25);
+    }
+
+    #[test]
+    fn eq3_rejects_non_positive_budgets() {
+        assert_eq!(eq3_speedup(0.0, 17.0).unwrap_err(), CountError::NonPositiveBudget { budget: 0.0 });
+        assert!(matches!(eq3_speedup(21.0, -1.0), Err(CountError::NonPositiveBudget { .. })));
+        assert!(matches!(eq3_speedup(f64::NAN, 1.0), Err(CountError::NonPositiveBudget { .. })));
     }
 
     #[test]

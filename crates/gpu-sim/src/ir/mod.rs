@@ -70,7 +70,7 @@ pub enum SpecialReg {
 }
 
 /// Memory space of a load/store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum MemSpace {
     /// Device global memory (coalescing applies).
     Global,
@@ -83,7 +83,7 @@ pub enum MemSpace {
 
 /// Two-operand ALU operations. The `F*` forms operate on f32, the `I*` forms
 /// on u32 (wrapping, as GPU integer arithmetic does).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum AluOp {
     /// f32 add.
     FAdd,
@@ -117,7 +117,7 @@ impl AluOp {
 }
 
 /// One-operand operations.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnaryOp {
     /// f32 reciprocal square root (SFU instruction).
     FRsqrt,

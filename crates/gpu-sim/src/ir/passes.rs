@@ -143,7 +143,8 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
                 panic!("innermost loop bounds must be immediates to unroll")
             };
             assert!(!defines(&body, var), "body must not redefine the induction variable");
-            let trips = count::trip_count(s0, e0, step);
+            let trips =
+                count::trip_count(s0, e0, step).expect("loop step must be positive to unroll");
             assert!(
                 trips.is_multiple_of(factor as u64),
                 "unroll factor {factor} must divide trip count {trips}"

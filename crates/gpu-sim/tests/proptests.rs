@@ -87,7 +87,7 @@ proptest! {
     #[test]
     fn trip_count_properties(start in 0u32..1000, len in 0u32..1000, step in 1u32..64) {
         let end = start + len;
-        let t = trip_count(start, end, step);
+        let t = trip_count(start, end, step).unwrap();
         prop_assert!(t >= 1);
         if len > 0 {
             prop_assert_eq!(t, len.div_ceil(step) as u64);

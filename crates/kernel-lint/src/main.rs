@@ -12,12 +12,19 @@
 //! * `--driver cuda10|cuda11|cuda22|all`: coalescing protocol(s) to lint
 //!   under (default cuda10, the paper's G80 driver);
 //! * `--kernel <substring>`: only lint matching kernels;
-//! * `--list`: print the target set and exit.
+//! * `--list`: print the target set and exit;
+//! * `--verify`: translation validation instead of linting — prove every
+//!   workspace kernel × pass pair and the cross-layout force ladder
+//!   equivalent (`gpu_kernels::verifyset`); exit 1 on any unproven target
+//!   (a `Mismatch` prints its counterexample fault site);
+//! * `--cost`: static cycle model instead of linting — print the
+//!   `gpu_sim::analyze::cost` estimate per kernel per driver.
 
 use std::process::ExitCode;
 
 use gpu_kernels::lintset::{workspace_lint_targets, LintTarget};
-use gpu_sim::analyze::analyze_kernel;
+use gpu_kernels::verifyset::{layout_ladder_targets, workspace_pass_targets};
+use gpu_sim::analyze::{analyze_kernel, cost};
 use gpu_sim::DriverModel;
 use gravit_core::lint::{enrich_report, EnrichedReport};
 use serde::Serialize;
@@ -26,6 +33,8 @@ struct Options {
     json: bool,
     deny: bool,
     list: bool,
+    verify: bool,
+    cost: bool,
     kernel_filter: Option<String>,
     drivers: Vec<DriverModel>,
 }
@@ -35,6 +44,8 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         deny: false,
         list: false,
+        verify: false,
+        cost: false,
         kernel_filter: None,
         drivers: vec![DriverModel::Cuda10],
     };
@@ -44,6 +55,8 @@ fn parse_args() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--deny" => opts.deny = true,
             "--list" => opts.list = true,
+            "--verify" => opts.verify = true,
+            "--cost" => opts.cost = true,
             "--kernel" => {
                 opts.kernel_filter =
                     Some(args.next().ok_or("--kernel needs a substring argument")?);
@@ -60,8 +73,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "kernel-lint [--json] [--deny] [--list] [--driver cuda10|cuda11|cuda22|all] \
-                     [--kernel SUBSTR]"
+                    "kernel-lint [--json] [--deny] [--list] [--verify] [--cost] \
+                     [--driver cuda10|cuda11|cuda22|all] [--kernel SUBSTR]"
                 );
                 std::process::exit(0);
             }
@@ -80,6 +93,170 @@ struct JsonEntry {
     report: EnrichedReport,
 }
 
+/// One translation-validation proof attempt, as emitted by `--verify --json`.
+#[derive(Serialize)]
+struct VerifyEntry {
+    kernel: String,
+    /// Pass label, or `layout:<from>-><to>` for ladder equivalences.
+    pass: String,
+    proved: bool,
+    detail: String,
+}
+
+/// Run `--verify`: prove the whole `verifyset`, exit 1 on any unproven pair.
+fn run_verify(opts: &Options) -> ExitCode {
+    let mut entries: Vec<VerifyEntry> = Vec::new();
+    let matches = |name: &str| match &opts.kernel_filter {
+        Some(f) => name.contains(f.as_str()),
+        None => true,
+    };
+
+    for t in workspace_pass_targets() {
+        if !matches(&t.kernel.name) {
+            continue;
+        }
+        let r = t.verify();
+        entries.push(VerifyEntry {
+            kernel: t.kernel.name.clone(),
+            pass: t.pass.label(),
+            proved: r.is_proved(),
+            detail: r.to_string(),
+        });
+    }
+    for t in layout_ladder_targets() {
+        if !(matches(&t.a.name) || matches(&t.b.name)) {
+            continue;
+        }
+        let r = t.verify();
+        entries.push(VerifyEntry {
+            kernel: t.a.name.clone(),
+            pass: format!("layout:{}->{}", t.from.label(), t.to.label()),
+            proved: r.is_proved(),
+            detail: r.to_string(),
+        });
+    }
+
+    if entries.is_empty() {
+        eprintln!("kernel-lint: no verify targets match the filter");
+        return ExitCode::FAILURE;
+    }
+
+    let unproven = entries.iter().filter(|e| !e.proved).count();
+    if opts.json {
+        match serde_json::to_string_pretty(&entries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("kernel-lint: serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for e in &entries {
+            let verdict = if e.proved { "proved" } else { "FAILED" };
+            println!("{:<28} {:<24} {verdict}: {}", e.kernel, e.pass, e.detail);
+        }
+        println!(
+            "verified {} target(s): {} proved, {} unproven",
+            entries.len(),
+            entries.len() - unproven,
+            unproven
+        );
+    }
+    if unproven > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One cycle estimate, as emitted by `--cost --json`.
+#[derive(Serialize)]
+struct CostEntry {
+    kernel: String,
+    driver: String,
+    total_cycles: Option<f64>,
+    issue_cycles: Option<f64>,
+    memory_cycles: Option<f64>,
+    smem_conflict_cycles: Option<f64>,
+    exposed_latency_cycles: Option<f64>,
+    active_warps: Option<u32>,
+    regs_per_thread: u16,
+    error: Option<String>,
+}
+
+/// Run `--cost`: price every lint target under each requested driver.
+fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
+    let mut entries: Vec<CostEntry> = Vec::new();
+    for target in targets {
+        for &driver in &opts.drivers {
+            let cfg = target.config().with_driver(driver);
+            let regs = cost::regs_per_thread(&target.kernel);
+            match cost::estimate(&target.kernel, &cfg) {
+                Ok(c) => entries.push(CostEntry {
+                    kernel: target.kernel.name.clone(),
+                    driver: driver.label().to_string(),
+                    total_cycles: Some(c.total_cycles()),
+                    issue_cycles: Some(c.issue_cycles),
+                    memory_cycles: Some(c.memory_cycles),
+                    smem_conflict_cycles: Some(c.smem_conflict_cycles),
+                    exposed_latency_cycles: Some(c.exposed_latency_cycles),
+                    active_warps: Some(c.active_warps),
+                    regs_per_thread: regs,
+                    error: None,
+                }),
+                Err(e) => entries.push(CostEntry {
+                    kernel: target.kernel.name.clone(),
+                    driver: driver.label().to_string(),
+                    total_cycles: None,
+                    issue_cycles: None,
+                    memory_cycles: None,
+                    smem_conflict_cycles: None,
+                    exposed_latency_cycles: None,
+                    active_warps: None,
+                    regs_per_thread: regs,
+                    error: Some(e.to_string()),
+                }),
+            }
+        }
+    }
+    if opts.json {
+        match serde_json::to_string_pretty(&entries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("kernel-lint: serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        println!(
+            "{:<28} {:<7} {:>12} {:>12} {:>12} {:>8} {:>8} {:>5}",
+            "kernel", "driver", "total", "issue", "memory", "smem", "latency", "regs"
+        );
+        for e in &entries {
+            match e.total_cycles {
+                Some(total) => println!(
+                    "{:<28} {:<7} {:>12.0} {:>12.0} {:>12.0} {:>8.0} {:>8.0} {:>5}",
+                    e.kernel,
+                    e.driver,
+                    total,
+                    e.issue_cycles.unwrap_or(0.0),
+                    e.memory_cycles.unwrap_or(0.0),
+                    e.smem_conflict_cycles.unwrap_or(0.0),
+                    e.exposed_latency_cycles.unwrap_or(0.0),
+                    e.regs_per_thread
+                ),
+                None => println!(
+                    "{:<28} {:<7} (no static estimate: {})",
+                    e.kernel,
+                    e.driver,
+                    e.error.as_deref().unwrap_or("unknown")
+                ),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -88,6 +265,10 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if opts.verify {
+        return run_verify(&opts);
+    }
 
     let targets: Vec<LintTarget> = workspace_lint_targets()
         .into_iter()
@@ -99,6 +280,10 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         eprintln!("kernel-lint: no kernels match the filter");
         return ExitCode::FAILURE;
+    }
+
+    if opts.cost {
+        return run_cost(&opts, &targets);
     }
 
     if opts.list {

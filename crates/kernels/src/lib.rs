@@ -34,6 +34,7 @@ pub mod force;
 pub mod integrate;
 pub mod lintset;
 pub mod membench;
+pub mod verifyset;
 
 pub use force::{build_force_kernel, force_params, ForceKernelConfig, OptLevel};
 pub use integrate::{build_integrate_kernel, integrate_params};

@@ -1,0 +1,278 @@
+//! The curated **translation-validation** target set: every workspace kernel
+//! paired with every IR pass that applies to it, plus the cross-layout
+//! equivalences of the force-kernel ladder — the inputs to
+//! `kernel-lint --verify` and the CI `verify-kernels` gate.
+//!
+//! Launch shapes are deliberately small (the proof is per-thread and
+//! symbolic in memory contents, so a 2-block × 32-thread launch already
+//! exercises tiling, staging and grid striding); what matters is coverage of
+//! kernel structure, not problem size.
+
+use gpu_sim::analyze::verify::{InputMap, PassId, VerifyConfig, VerifyResult};
+use gpu_sim::ir::Kernel;
+use particle_layouts::Layout;
+
+use crate::banks::build_bank_kernel;
+use crate::force::{build_force_kernel, build_force_kernel_prefetch, ForceKernelConfig};
+use crate::integrate::build_integrate_kernel;
+use crate::membench::{build_membench_kernel, MembenchConfig};
+
+/// One kernel × pass application to prove equivalent.
+pub struct PassVerifyTarget {
+    /// The kernel before the pass.
+    pub kernel: Kernel,
+    /// The pass under validation.
+    pub pass: PassId,
+    /// Launch shape and parameters to verify under.
+    pub cfg: VerifyConfig,
+}
+
+impl PassVerifyTarget {
+    /// Run the proof.
+    pub fn verify(&self) -> VerifyResult {
+        gpu_sim::analyze::verify::verify_pass(&self.kernel, self.pass, &self.cfg)
+    }
+}
+
+/// One layout-rewrite equivalence of the force ladder: the same physics
+/// computed under two data layouts must store identical accelerations.
+pub struct LayoutVerifyTarget {
+    /// Layout of the original kernel.
+    pub from: Layout,
+    /// Layout the `layout_advisor` fix-it rewrites to.
+    pub to: Layout,
+    /// Force kernel under `from`.
+    pub a: Kernel,
+    /// Force kernel under `to`.
+    pub b: Kernel,
+    /// Verification config carrying both parameter vectors and both
+    /// canonical input maps.
+    pub cfg: VerifyConfig,
+}
+
+impl LayoutVerifyTarget {
+    /// Run the proof.
+    pub fn verify(&self) -> VerifyResult {
+        gpu_sim::analyze::verify::verify_equiv(&self.a, &self.b, &self.cfg)
+    }
+}
+
+/// Fake, 64 KiB-apart device buffer addresses (same scheme as `lintset`).
+fn fake_buffers(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| 0x1_0000 * (i + 1)).collect()
+}
+
+/// Launch shape every verify target uses: 2 blocks of 32 threads — big
+/// enough for grid striding and a 2-tile loop, small enough that symbolic
+/// execution is instant.
+const GRID: u32 = 2;
+const BLOCK: u32 = 32;
+
+/// Force-kernel launch parameters under `layout` for the verify shape.
+fn force_verify_params(layout: Layout) -> Vec<u32> {
+    let mut p = fake_buffers(layout.buffers().len());
+    p.push(0x20_0000); // out
+    p.push(GRID * BLOCK); // n
+    p.push(0.5f32.to_bits()); // eps
+    p.push(0); // smem0
+    p
+}
+
+/// Canonical `(element, field)` naming for every global word the posmass
+/// read plan of `layout` can touch, so the same logical datum gets the same
+/// input term under every layout. Field codes 0–3 are px/py/pz/mass; dead
+/// ride-along words (a vector load's vx or padding) get codes ≥ 4 that are
+/// unique per plan slot and never collide with the hot fields.
+pub fn posmass_input_map(layout: Layout, buffers: &[u32], n: u32) -> InputMap {
+    let plan = layout.read_plan_posmass();
+    let lanes = layout.posmass_lanes();
+    let mut map = InputMap::default();
+    for e in 0..n as u64 {
+        for (ri, r) in plan.reads.iter().enumerate() {
+            let base = buffers[r.buffer] as u64;
+            for w in 0..r.words as u64 {
+                let addr = base + e * r.stride as u64 + r.offset as u64 + 4 * w;
+                let slot = (ri, w as usize);
+                let field = if slot == lanes.px {
+                    0
+                } else if slot == lanes.py {
+                    1
+                } else if slot == lanes.pz {
+                    2
+                } else if slot == lanes.mass {
+                    3
+                } else {
+                    4 + (ri as u64 * 4 + w)
+                };
+                map.global.insert(addr, e * 16 + field);
+            }
+        }
+    }
+    map
+}
+
+/// Every kernel × pass pair `kernel-lint --verify` must prove.
+///
+/// Pass applicability follows each kernel's structure: `unroll_innermost`
+/// requires an innermost loop with immediate bounds (the force tile loop's
+/// inner loop, membench's and banks' iteration loops); `licm` and
+/// `fold_addressing` apply everywhere. The Barnes–Hut kernel is *excluded*:
+/// its data-dependent `While` traversal is undecidable for the checker (it
+/// reports `Unsupported`, which the gate would count as unproven) — the
+/// dynamic differential tests cover it instead.
+pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
+    let mut targets = Vec::new();
+
+    // --- force: every layout, rolled baseline, all passes + compositions --
+    for layout in Layout::ALL {
+        let fcfg = ForceKernelConfig { layout, block: BLOCK, unroll: 1, icm: false };
+        let kernel = build_force_kernel(fcfg);
+        let cfg = VerifyConfig::new(GRID, BLOCK, force_verify_params(layout));
+        let passes: &[PassId] = if layout == Layout::SoAoaS {
+            // The paper's ladder layout additionally proves both composition
+            // orders and the full unroll.
+            &[
+                PassId::Licm,
+                PassId::Fold,
+                PassId::Unroll(4),
+                PassId::Unroll(BLOCK),
+                PassId::LicmThenUnroll(BLOCK),
+                PassId::UnrollThenLicm(BLOCK),
+            ]
+        } else {
+            &[PassId::Licm, PassId::Fold, PassId::Unroll(4)]
+        };
+        for &pass in passes {
+            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+        }
+    }
+
+    // --- force: the prefetch variant (SoAoaS only) ------------------------
+    {
+        let fcfg =
+            ForceKernelConfig { layout: Layout::SoAoaS, block: BLOCK, unroll: 1, icm: false };
+        let kernel = build_force_kernel_prefetch(fcfg);
+        let cfg = VerifyConfig::new(GRID, BLOCK, force_verify_params(Layout::SoAoaS));
+        for pass in [PassId::Licm, PassId::Fold] {
+            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+        }
+    }
+
+    // --- membench: every layout ------------------------------------------
+    for layout in Layout::ALL {
+        let mcfg = MembenchConfig { layout, iters: 2 };
+        let kernel = build_membench_kernel(mcfg);
+        let mut params = fake_buffers(layout.buffers().len());
+        params.push(0x20_0000); // out_delta
+        params.push(0x21_0000); // out_sum
+        let cfg = VerifyConfig::new(1, BLOCK, params);
+        for pass in [PassId::Licm, PassId::Fold, PassId::Unroll(2)] {
+            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+        }
+    }
+
+    // --- integrate: every layout (straight-line: no unroll) ---------------
+    for layout in Layout::ALL {
+        let kernel = build_integrate_kernel(layout);
+        let mut params = fake_buffers(layout.buffers().len());
+        params.push(0x20_0000); // acc
+        params.push(0.01f32.to_bits()); // dt
+        let cfg = VerifyConfig::new(1, BLOCK, params);
+        for pass in [PassId::Licm, PassId::Fold] {
+            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+        }
+    }
+
+    // --- banks: the conflict microbenchmark -------------------------------
+    for stride in [1u32, 2, 16] {
+        let kernel = build_bank_kernel(stride, 2);
+        let cfg = VerifyConfig::new(1, BLOCK, vec![0x20_0000, 0x21_0000]);
+        for pass in [PassId::Licm, PassId::Fold, PassId::Unroll(2)] {
+            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+        }
+    }
+
+    targets
+}
+
+/// The layout ladder as equivalence proofs: every layout's force kernel
+/// against the `SoAoaS` target the `layout_advisor` fix-it rewrites to.
+/// (Membench is *not* here: its reduction sums fields in plan order, so two
+/// layouts legitimately produce different float sums.)
+pub fn layout_ladder_targets() -> Vec<LayoutVerifyTarget> {
+    let to = Layout::SoAoaS;
+    let params_b = force_verify_params(to);
+    let map_b = posmass_input_map(to, &params_b, GRID * BLOCK);
+    let b = build_force_kernel(ForceKernelConfig { layout: to, block: BLOCK, unroll: 1, icm: false });
+    Layout::ALL
+        .into_iter()
+        .filter(|&l| l != to)
+        .map(|from| {
+            let params_a = force_verify_params(from);
+            let map_a = posmass_input_map(from, &params_a, GRID * BLOCK);
+            let a = build_force_kernel(ForceKernelConfig {
+                layout: from,
+                block: BLOCK,
+                unroll: 1,
+                icm: false,
+            });
+            let mut cfg = VerifyConfig::new(GRID, BLOCK, params_a);
+            cfg.params_b = Some(params_b.clone());
+            cfg.input_map = Some(map_a);
+            cfg.input_map_b = Some(map_b.clone());
+            LayoutVerifyTarget { from, to, a: a.clone(), b: b.clone(), cfg }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::barnes_hut::BhKernelConfig;
+
+    #[test]
+    fn every_pass_target_proves() {
+        for t in workspace_pass_targets() {
+            let r = t.verify();
+            assert!(r.is_proved(), "{} / {}: {r}", t.kernel.name, t.pass.label());
+        }
+    }
+
+    #[test]
+    fn the_layout_ladder_proves() {
+        for t in layout_ladder_targets() {
+            let r = t.verify();
+            assert!(r.is_proved(), "{} → {}: {r}", t.from.label(), t.to.label(), r = r);
+        }
+    }
+
+    #[test]
+    fn barnes_hut_is_honestly_unsupported() {
+        let k = crate::barnes_hut::build_bh_kernel(BhKernelConfig::g80_default());
+        let mut params = vec![0x1_0000u32, 0x2_0000, 0x3_0000, 0x20_0000];
+        params.resize(k.n_params as usize, 0x30_0000);
+        let cfg = VerifyConfig::new(1, BLOCK, params);
+        let r = gpu_sim::analyze::verify::verify_equiv(&k, &k, &cfg);
+        assert!(
+            matches!(r, VerifyResult::Unsupported { .. }),
+            "a data-dependent traversal must not be claimed proved: {r}"
+        );
+    }
+
+    #[test]
+    fn input_maps_cover_the_posmass_plan_disjointly() {
+        for layout in Layout::ALL {
+            let params = force_verify_params(layout);
+            let map = posmass_input_map(layout, &params, 64);
+            let plan = layout.read_plan_posmass();
+            assert_eq!(map.global.len(), 64 * plan.words() as usize, "{layout}");
+            // Hot-field keys are layout-independent.
+            let lanes = layout.posmass_lanes();
+            let r = &plan.reads[lanes.px.0];
+            let addr = params[r.buffer] as u64 + 7 * r.stride as u64
+                + r.offset as u64
+                + 4 * lanes.px.1 as u64;
+            assert_eq!(map.global.get(&addr), Some(&(7 * 16)), "{layout}: px of element 7");
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Mutation check for the translation validator on the *real* force kernel:
+//! re-breaking the optimizer (the historical reversed multi-hoist, or any
+//! dependency-violating statement swap) must produce a `Mismatch` with a
+//! counterexample fault site — never a proof.
+
+use gpu_kernels::force::{build_force_kernel, ForceKernelConfig};
+use gpu_sim::analyze::verify::{verify_equiv, VerifyConfig, VerifyResult};
+use gpu_sim::ir::passes::licm;
+use gpu_sim::ir::Stmt;
+use particle_layouts::Layout;
+
+fn verify_cfg(layout: Layout) -> VerifyConfig {
+    let mut params: Vec<u32> =
+        (0..layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+    params.push(0x20_0000); // out
+    params.push(64); // n = grid * block
+    params.push(0.5f32.to_bits()); // eps
+    params.push(0); // smem0
+    VerifyConfig::new(2, 32, params)
+}
+
+/// Swap every adjacent top-level instruction pair of the LICM'd force kernel
+/// in turn. Dataflow-breaking swaps must be refuted with a fault site; only
+/// genuinely order-independent swaps may still prove. At least one swap must
+/// be caught (the hoisted ε-chain is dependent), and none may be
+/// `Unsupported` — the force kernel is squarely in the checker's fragment.
+#[test]
+fn statement_swaps_in_the_hoisted_force_kernel_are_caught() {
+    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 32, unroll: 1, icm: false };
+    let k = build_force_kernel(cfg);
+    let hoisted = licm(&k);
+    let vcfg = verify_cfg(cfg.layout);
+    assert!(verify_equiv(&k, &hoisted, &vcfg).is_proved(), "the fixed pass verifies");
+
+    let mut caught = 0usize;
+    let mut tried = 0usize;
+    for i in 1..hoisted.body.len() {
+        if !(matches!(hoisted.body[i], Stmt::I(_)) && matches!(hoisted.body[i - 1], Stmt::I(_))) {
+            continue;
+        }
+        let mut bad = hoisted.clone();
+        bad.body.swap(i - 1, i);
+        tried += 1;
+        match verify_equiv(&k, &bad, &vcfg) {
+            VerifyResult::Mismatch { site, .. } => {
+                caught += 1;
+                assert!(site.instruction.is_some(), "swap at {i}: site pinpoints the store");
+                assert_eq!(site.kernel.as_deref(), Some(hoisted.name.as_str()));
+            }
+            VerifyResult::Proved { .. } => {} // order-independent pair
+            VerifyResult::Unsupported { reason } => {
+                panic!("swap at {i} must not leave the supported fragment: {reason}");
+            }
+        }
+    }
+    assert!(tried >= 2, "the hoisted prologue has adjacent instruction pairs");
+    assert!(caught >= 1, "at least one dependency-violating swap must be refuted");
+}
