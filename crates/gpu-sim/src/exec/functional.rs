@@ -55,7 +55,24 @@ pub fn run_grid_injected(
     plan: &FaultPlan,
 ) -> DeviceResult<FunctionalRun> {
     let prog = lower(kernel);
-    run_lowered_inner(&prog, grid, block, params, gmem, Some(plan))
+    run_lowered_inner(&prog, grid, block, params, gmem, Some(plan), None)
+}
+
+/// As [`run_grid`], with a step-budget watchdog: if the grid executes more
+/// than `budget` warp instructions in total, the launch is killed with
+/// [`FaultKind::WatchdogTimeout`] — the simulated analogue of the driver's
+/// kernel-execution timeout that turns a hung or runaway kernel into a
+/// recoverable error instead of a wedged device.
+pub fn run_grid_watchdog(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    budget: u64,
+) -> DeviceResult<FunctionalRun> {
+    let prog = lower(kernel);
+    run_lowered_inner(&prog, grid, block, params, gmem, None, Some(budget))
 }
 
 /// As [`run_grid`], for an already-lowered program.
@@ -66,22 +83,23 @@ pub fn run_grid_lowered(
     params: &[u32],
     gmem: &mut GlobalMemory,
 ) -> DeviceResult<FunctionalRun> {
-    run_lowered_inner(prog, grid, block, params, gmem, None)
+    run_lowered_inner(prog, grid, block, params, gmem, None, None)
 }
 
-fn run_lowered_inner(
+pub(crate) fn run_lowered_inner(
     prog: &Program,
     grid: u32,
     block: u32,
     params: &[u32],
     gmem: &mut GlobalMemory,
     plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
 ) -> DeviceResult<FunctionalRun> {
     validate_launch(grid, block).map_err(|e| e.with_kernel(&prog.name))?;
     let env = LaunchEnv { block_dim: block, grid_dim: grid };
     let mut stats = FunctionalRun::default();
     for b in 0..grid {
-        run_block(prog, b, block as usize, params, &env, gmem, &mut stats, plan)
+        run_block(prog, b, block as usize, params, &env, gmem, &mut stats, plan, watchdog)
             .map_err(|e| e.with_kernel(&prog.name))?;
     }
     Ok(stats)
@@ -112,6 +130,7 @@ fn run_block(
     gmem: &mut GlobalMemory,
     stats: &mut FunctionalRun,
     plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
 ) -> DeviceResult<()> {
     let n_warps = n_threads.div_ceil(WARP);
     let mut ctx = BlockCtx::new(prog, block_id, n_threads, params)?;
@@ -130,6 +149,21 @@ fn run_block(
             }
             // Run this warp until Sync or completion.
             while let Some(item) = cursors[w].fetch(prog) {
+                // Step-budget watchdog: a kernel that retires more warp
+                // instructions than its budget is treated as hung and killed
+                // — this is what turns an unbounded `while` into a typed,
+                // retryable fault instead of a non-terminating simulation.
+                if let Some(budget) = watchdog {
+                    if stats.warp_instructions >= budget {
+                        return Err(DeviceError::new(FaultKind::WatchdogTimeout {
+                            budget,
+                            executed: stats.warp_instructions,
+                        })
+                        .with_block(block_id)
+                        .with_thread(w as u32 * WARP as u32)
+                        .with_instruction(instr_counts[w]));
+                    }
+                }
                 let (stmt, mask) = match item {
                     FetchItem::Stmt(s, m) => (s, m),
                     FetchItem::WhileBackedge { pred, negate, mask } => {

@@ -184,6 +184,18 @@ pub fn time_sm_queue(
     let mut busy_until: u64 = 0;
 
     loop {
+        // Step-budget watchdog: a runaway kernel (e.g. a data-dependent loop
+        // that never converges) is killed with a typed, retryable fault
+        // instead of spinning the scheduler forever.
+        if let Some(budget) = tp.watchdog_instructions {
+            if stats.warp_instructions >= budget {
+                return Err(DeviceError::new(FaultKind::WatchdogTimeout {
+                    budget,
+                    executed: stats.warp_instructions,
+                })
+                .with_kernel(&prog.name));
+            }
+        }
         // Find the warp that can issue earliest (round-robin tie-break).
         let mut best: Option<(u64, usize)> = None;
         for off in 0..warps.len() {

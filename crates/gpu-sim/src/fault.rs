@@ -22,7 +22,7 @@ use std::fmt;
 pub type DeviceResult<T> = Result<T, DeviceError>;
 
 /// What went wrong on the device.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// An access touched bytes outside any live allocation (or outside the
     /// address space entirely). `redzone` is set when the access landed in a
@@ -96,6 +96,40 @@ pub enum FaultKind {
         /// Human-readable explanation.
         reason: String,
     },
+    /// ECC-style checksum mismatch detected on readback: a device word was
+    /// corrupted outside any legitimate store path (a soft error). Transient:
+    /// re-uploading and re-running the frame is expected to succeed.
+    EccMismatch {
+        /// Address of the first corrupted 32-bit word.
+        addr: u64,
+        /// Checksum recorded when the word was last legitimately written.
+        expected: u8,
+        /// Checksum recomputed from the (corrupted) data at readback.
+        actual: u8,
+    },
+    /// The kernel exceeded its step budget and was killed by the watchdog
+    /// (a hung or runaway kernel). Transient from the application's view:
+    /// the launch can be retried.
+    WatchdogTimeout {
+        /// The configured step budget (warp instructions or cycles).
+        budget: u64,
+        /// Steps executed when the watchdog fired.
+        executed: u64,
+    },
+    /// The driver transiently refused the launch (spurious
+    /// `CUDA_ERROR_LAUNCH_FAILED`-style error); retrying is expected to
+    /// succeed.
+    TransientLaunch {
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A downloaded result contained a NaN or infinity — corrupted or
+    /// numerically exploded physics that must not propagate silently into
+    /// the integrator.
+    NonFiniteResult {
+        /// Index of the first non-finite element (body index).
+        index: u64,
+    },
 }
 
 impl FaultKind {
@@ -111,7 +145,25 @@ impl FaultKind {
             FaultKind::Deadlock { .. } => "Deadlock",
             FaultKind::DivergentBranch { .. } => "DivergentBranch",
             FaultKind::BadConfig { .. } => "BadConfig",
+            FaultKind::EccMismatch { .. } => "EccMismatch",
+            FaultKind::WatchdogTimeout { .. } => "WatchdogTimeout",
+            FaultKind::TransientLaunch { .. } => "TransientLaunch",
+            FaultKind::NonFiniteResult { .. } => "NonFiniteResult",
         }
+    }
+
+    /// Whether this fault class is *transient*: retrying the operation (after
+    /// re-uploading from host state) is expected to succeed. Permanent faults
+    /// — program bugs like out-of-bounds accesses, misalignment, deadlocks —
+    /// recur deterministically and must not be retried.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::EccMismatch { .. }
+                | FaultKind::WatchdogTimeout { .. }
+                | FaultKind::TransientLaunch { .. }
+                | FaultKind::NonFiniteResult { .. }
+        )
     }
 }
 
@@ -149,6 +201,21 @@ impl fmt::Display for FaultKind {
                 )
             }
             FaultKind::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
+            FaultKind::EccMismatch { addr, expected, actual } => {
+                write!(
+                    f,
+                    "ECC checksum mismatch at {addr:#x}: stored {expected:#04x}, recomputed {actual:#04x} (soft error)"
+                )
+            }
+            FaultKind::WatchdogTimeout { budget, executed } => {
+                write!(f, "watchdog killed the kernel after {executed} steps (budget {budget})")
+            }
+            FaultKind::TransientLaunch { reason } => {
+                write!(f, "transient launch failure: {reason}")
+            }
+            FaultKind::NonFiniteResult { index } => {
+                write!(f, "non-finite value in downloaded results at element {index}")
+            }
         }
     }
 }
@@ -193,7 +260,7 @@ impl fmt::Display for FaultSite {
 }
 
 /// A typed device fault: what went wrong, and where.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceError {
     /// The fault class and payload.
     pub kind: FaultKind,

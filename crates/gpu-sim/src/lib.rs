@@ -52,6 +52,7 @@ pub mod occupancy;
 pub mod texcache;
 pub mod timing;
 pub mod transfer;
+pub mod transient;
 
 pub use analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, Diagnostic, LintKind, Severity};
 pub use device::DeviceConfig;
@@ -61,3 +62,4 @@ pub use fault::{DeviceError, DeviceResult, FaultKind, FaultPlan, FaultSite, Inje
 pub use ir::{Kernel, KernelBuilder};
 pub use mem::GlobalMemory;
 pub use timing::TimingParams;
+pub use transient::{run_grid_chaos, FaultRates, LaunchFault, TransientFaultPlan};

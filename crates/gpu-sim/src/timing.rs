@@ -45,6 +45,12 @@ pub struct TimingParams {
     /// Latency of a texture fetch that hits the per-SM texture cache
     /// (the texture pipeline is long even on a hit — ~100 cycles on G80).
     pub tex_hit_latency: u64,
+    /// Step-budget watchdog for the timed engine: a launch that issues more
+    /// than this many warp instructions on one SM is killed with
+    /// [`crate::fault::FaultKind::WatchdogTimeout`] — the simulated analogue
+    /// of the driver's display-watchdog kernel timeout. `None` disables it
+    /// (the default; long soak runs opt in).
+    pub watchdog_instructions: Option<u64>,
 }
 
 impl TimingParams {
@@ -72,6 +78,7 @@ impl TimingParams {
             max_outstanding_loads: 2,
             issue_sync: 4,
             tex_hit_latency: 110,
+            watchdog_instructions: None,
         };
         match driver {
             DriverModel::Cuda10 => TimingParams { mem_latency: 520, cycles_per_transaction: 4, ..base },

@@ -24,16 +24,19 @@
 //!   frame on [`Backend::CpuParallel`], which is bit-identical physics to the
 //!   GPU path, so a degraded run produces the same trajectory.
 
+use crate::recovery::{RecoveryPolicy, RetryEvent};
 use gpu_kernels::force::{build_force_kernel, force_params, OptLevel};
-use gpu_sim::exec::functional::{run_grid, run_grid_injected};
-use gpu_sim::fault::{DeviceError, DeviceResult, FaultPlan};
+use gpu_sim::exec::functional::{run_grid, run_grid_injected, run_grid_watchdog};
+use gpu_sim::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use gpu_sim::mem::GlobalMemory;
+use gpu_sim::transient::{run_grid_chaos, TransientFaultPlan};
 use gpu_sim::DriverModel;
 use nbody::barnes_hut::accelerations_bh;
 use nbody::direct::{accelerations, accelerations_par};
 use nbody::model::{Bodies, ForceParams};
 use particle_layouts::device::{alloc_accel_out, download_accels};
 use particle_layouts::{DeviceImage, Particle};
+use serde::{Deserialize, Serialize};
 use simcore::Vec3;
 
 /// A force backend.
@@ -68,26 +71,40 @@ pub enum FaultPolicy {
     FallbackToCpu,
 }
 
-/// Structured record of a device fault and how the run recovered.
-#[derive(Debug, Clone)]
+/// Structured record of a device fault and how the run recovered: the retry
+/// history (if the frame was retried) and which backend finally produced the
+/// frame. Serializable so checkpoints and chaos logs preserve full fault
+/// attribution across a crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultReport {
-    /// The device error, with kernel/block/thread/instruction coordinates.
+    /// The first device error of the frame, with kernel/block/thread/
+    /// instruction coordinates.
     pub error: DeviceError,
     /// Label of the backend that faulted.
     pub degraded_from: String,
-    /// Label of the backend that took over.
+    /// Label of the backend (or retry attempt) that produced the frame.
     pub degraded_to: String,
+    /// Every failed attempt of the frame, in order, with the backoff waited
+    /// after each. Empty when the frame was not retried (permanent fault or
+    /// retries disabled).
+    pub retries: Vec<RetryEvent>,
 }
 
 impl FaultReport {
     /// Human-readable multi-line report.
     pub fn render(&self) -> String {
-        format!(
-            "{}\n  recovery: degraded {} -> {}",
-            self.error.report(),
-            self.degraded_from,
-            self.degraded_to
-        )
+        let mut s = self.error.report();
+        for r in &self.retries {
+            s.push_str(&format!(
+                "\n  attempt {}: {} (backoff {} ms)",
+                r.attempt, r.fault, r.backoff_ms
+            ));
+        }
+        s.push_str(&format!(
+            "\n  recovery: degraded {} -> {}",
+            self.degraded_from, self.degraded_to
+        ));
+        s
     }
 }
 
@@ -165,6 +182,7 @@ impl Backend {
                                 error,
                                 degraded_from: self.label(),
                                 degraded_to: fallback.label(),
+                                retries: Vec::new(),
                             }),
                         });
                     }
@@ -172,6 +190,94 @@ impl Backend {
             },
         };
         Ok(ForceResult { accels, fault: None })
+    }
+
+    /// Compute accelerations with transient-fault recovery: a frame that
+    /// fails with a *transient* fault (`EccMismatch`, `WatchdogTimeout`,
+    /// `TransientLaunch`, `NonFiniteResult`) is retried up to
+    /// `recovery.max_retries` times with deterministic backoff — each retry
+    /// rebuilds the device image from host state, so a vanished fault leaves
+    /// the physics bit-identical to a fault-free frame. Only when retries
+    /// exhaust (or the fault is permanent) does `policy` decide between
+    /// propagating the error and degrading to the CPU. `chaos` optionally
+    /// injects transient faults (the soak-test hook); the retry history is
+    /// returned in the [`FaultReport`].
+    pub fn accelerations_recovering(
+        &self,
+        bodies: &Bodies,
+        fp: &ForceParams,
+        policy: FaultPolicy,
+        recovery: &RecoveryPolicy,
+        mut chaos: Option<&mut TransientFaultPlan>,
+    ) -> DeviceResult<ForceResult> {
+        let (level, _) = match self {
+            Backend::GpuSim { level, driver } => (*level, *driver),
+            // CPU backends have no transient faults to recover from.
+            _ => return self.accelerations_with_policy(bodies, fp, policy),
+        };
+        if bodies.is_empty() {
+            return Ok(ForceResult { accels: Vec::new(), fault: None });
+        }
+        let mut retries: Vec<RetryEvent> = Vec::new();
+        let mut first_error: Option<DeviceError> = None;
+        loop {
+            let attempt = retries.len() as u32;
+            let r = gpu_accelerations_transient(
+                bodies,
+                fp,
+                level,
+                chaos.as_deref_mut(),
+                recovery.watchdog_instructions,
+            );
+            match r {
+                Ok(accels) => {
+                    let fault = first_error.map(|error| FaultReport {
+                        error,
+                        degraded_from: self.label(),
+                        degraded_to: format!("{} (retry {})", self.label(), attempt),
+                        retries: std::mem::take(&mut retries),
+                    });
+                    return Ok(ForceResult { accels, fault });
+                }
+                Err(error) => {
+                    let transient = error.kind.is_transient();
+                    if transient && attempt < recovery.max_retries {
+                        let backoff_ms = recovery.backoff.delay_ms(attempt);
+                        retries.push(RetryEvent {
+                            attempt,
+                            fault: error.kind.name().to_string(),
+                            detail: error.to_string(),
+                            backoff_ms,
+                        });
+                        first_error.get_or_insert(error);
+                        if backoff_ms > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                        }
+                        continue;
+                    }
+                    // Permanent fault, or the retry budget is spent: the
+                    // FaultPolicy decides. The report leads with the first
+                    // error of the frame (the root cause) and keeps the full
+                    // retry history.
+                    let error = first_error.unwrap_or(error);
+                    match policy {
+                        FaultPolicy::FailFast => return Err(error),
+                        FaultPolicy::FallbackToCpu => {
+                            let fallback = Backend::CpuParallel;
+                            return Ok(ForceResult {
+                                accels: accelerations_par(bodies, fp),
+                                fault: Some(FaultReport {
+                                    error,
+                                    degraded_from: self.label(),
+                                    degraded_to: fallback.label(),
+                                    retries,
+                                }),
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// The modeled wall-clock seconds one frame of this backend would take on
@@ -206,6 +312,30 @@ fn gpu_accelerations(
     level: OptLevel,
     plan: Option<&FaultPlan>,
 ) -> DeviceResult<Vec<Vec3>> {
+    gpu_frame(bodies, fp, level, plan, None, None)
+}
+
+/// As [`gpu_accelerations`], under a transient-fault plan and/or watchdog —
+/// each call rebuilds the device image from host state, so it is the unit of
+/// retry for [`Backend::accelerations_recovering`].
+fn gpu_accelerations_transient(
+    bodies: &Bodies,
+    fp: &ForceParams,
+    level: OptLevel,
+    chaos: Option<&mut TransientFaultPlan>,
+    watchdog: Option<u64>,
+) -> DeviceResult<Vec<Vec3>> {
+    gpu_frame(bodies, fp, level, None, chaos, watchdog)
+}
+
+fn gpu_frame(
+    bodies: &Bodies,
+    fp: &ForceParams,
+    level: OptLevel,
+    plan: Option<&FaultPlan>,
+    chaos: Option<&mut TransientFaultPlan>,
+    watchdog: Option<u64>,
+) -> DeviceResult<Vec<Vec3>> {
     if bodies.is_empty() {
         return Ok(Vec::new());
     }
@@ -232,11 +362,23 @@ fn gpu_accelerations(
     );
     let params = force_params(&img, out, fp.softening);
     let grid = img.padded_n / cfg.block;
-    match plan {
-        Some(p) => run_grid_injected(&kernel, grid, cfg.block, &params, &mut gmem, p)?,
-        None => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
+    match (chaos, plan, watchdog) {
+        (Some(c), _, w) => run_grid_chaos(&kernel, grid, cfg.block, &params, &mut gmem, c, w)?,
+        (None, Some(p), _) => run_grid_injected(&kernel, grid, cfg.block, &params, &mut gmem, p)?,
+        (None, None, Some(w)) => run_grid_watchdog(&kernel, grid, cfg.block, &params, &mut gmem, w)?,
+        (None, None, None) => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
     };
-    download_accels(&gmem, out, img.n)
+    let accels = download_accels(&gmem, out, img.n)?;
+    // A non-finite acceleration is corrupted physics, not a value to
+    // integrate: surface it as a typed (transient, hence retryable) fault
+    // with the body index attributed.
+    for (i, a) in accels.iter().enumerate() {
+        if !(a.x.is_finite() && a.y.is_finite() && a.z.is_finite()) {
+            return Err(DeviceError::new(FaultKind::NonFiniteResult { index: i as u64 })
+                .with_kernel(&kernel.name));
+        }
+    }
+    Ok(accels)
 }
 
 /// Run `steps` device-resident Euler steps: upload once, alternate the force
@@ -407,6 +549,142 @@ mod tests {
         assert!(report.render().contains("OutOfBounds"));
         // The degraded frame is bit-identical to the serial CPU reference.
         assert_eq!(res.accels, Backend::CpuSerial.accelerations(&bodies, &fp));
+    }
+
+    #[test]
+    fn transient_fault_is_retried_and_physics_stay_bit_identical() {
+        use gpu_sim::transient::{FaultRates, LaunchFault, TransientFaultPlan};
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        let reference = Backend::CpuSerial.accelerations(&bodies, &fp);
+        let recovery = RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::default() };
+        // Find a seed whose first launch faults transiently and whose second
+        // is healthy: retry must succeed without touching the CPU path.
+        let rates = FaultRates { bit_flip: 0.0, launch_failure: 0.5, hang: 0.0 };
+        let seed = (0..200u64)
+            .find(|&s| {
+                let p = TransientFaultPlan::new(s, rates);
+                p.fate_of(0) == LaunchFault::LaunchFailure && p.fate_of(1) == LaunchFault::None
+            })
+            .expect("some seed faults exactly once");
+        let mut plan = TransientFaultPlan::new(seed, rates);
+        let res = gpu()
+            .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &recovery, Some(&mut plan))
+            .expect("the retry must rescue the frame");
+        assert_eq!(res.accels, reference, "recovered frame must be bit-identical");
+        let report = res.fault.expect("the survived fault must be reported");
+        assert_eq!(report.retries.len(), 1);
+        assert_eq!(report.retries[0].attempt, 0);
+        assert_eq!(report.retries[0].fault, "TransientLaunch");
+        assert!(report.degraded_to.contains("retry 1"), "got {}", report.degraded_to);
+        assert!(report.render().contains("attempt 0"));
+    }
+
+    #[test]
+    fn permanent_faults_are_never_retried() {
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        // The permanent-fault path goes through the injection plan, which the
+        // recovering entry point does not accept — so exercise the policy
+        // decision directly: a permanent fault under FallbackToCpu must show
+        // an empty retry history.
+        let res = gpu()
+            .accelerations_with_policy_injected(
+                &bodies,
+                &fp,
+                FaultPolicy::FallbackToCpu,
+                Some(&oob_plan()),
+            )
+            .unwrap();
+        let report = res.fault.expect("reported");
+        assert!(report.retries.is_empty(), "permanent faults must not be retried");
+        assert_eq!(report.degraded_to, "cpu-parallel");
+        // And the recovering path with retries disabled behaves identically
+        // for transient faults: straight to the policy.
+        use gpu_sim::transient::{FaultRates, TransientFaultPlan};
+        let mut plan = TransientFaultPlan::new(
+            1,
+            FaultRates { bit_flip: 0.0, launch_failure: 1.0, hang: 0.0 },
+        );
+        let none = RecoveryPolicy { max_retries: 0, ..RecoveryPolicy::default() };
+        let err = gpu()
+            .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &none, Some(&mut plan))
+            .unwrap_err();
+        assert!(matches!(err.kind, FaultKind::TransientLaunch { .. }));
+        assert_eq!(plan.launches(), 1, "exactly one attempt with retries disabled");
+    }
+
+    #[test]
+    fn exhausted_retries_fall_back_to_cpu_with_full_history() {
+        use gpu_sim::transient::{FaultRates, TransientFaultPlan};
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        let reference = Backend::CpuSerial.accelerations(&bodies, &fp);
+        // Every launch fails: retries exhaust, the CPU takes the frame.
+        let mut plan = TransientFaultPlan::new(
+            9,
+            FaultRates { bit_flip: 0.0, launch_failure: 1.0, hang: 0.0 },
+        );
+        let recovery = RecoveryPolicy { max_retries: 2, ..RecoveryPolicy::default() };
+        let res = gpu()
+            .accelerations_recovering(
+                &bodies,
+                &fp,
+                FaultPolicy::FallbackToCpu,
+                &recovery,
+                Some(&mut plan),
+            )
+            .unwrap();
+        assert_eq!(res.accels, reference, "degraded frame must be bit-identical");
+        let report = res.fault.expect("reported");
+        assert_eq!(report.retries.len(), 2, "max_retries bounds the history");
+        assert_eq!(plan.launches(), 3, "initial attempt + 2 retries");
+        assert_eq!(report.degraded_to, "cpu-parallel");
+        assert!(matches!(report.error.kind, FaultKind::TransientLaunch { .. }));
+    }
+
+    #[test]
+    fn non_finite_accelerations_are_typed_faults_with_the_body_index() {
+        // A near-f32-max mass at a tiny separation overflows the force to
+        // infinity. The GPU path must surface that as a typed fault, not
+        // integrate Inf/NaN.
+        let mut bodies = Bodies::with_capacity(2);
+        bodies.push(Vec3::ZERO, Vec3::ZERO, 1e38);
+        bodies.push(Vec3 { x: 1e-6, y: 0.0, z: 0.0 }, Vec3::ZERO, 1e38);
+        let fp = ForceParams { g: 1.0, softening: 0.0 };
+        let err = gpu().try_accelerations(&bodies, &fp).unwrap_err();
+        match err.kind {
+            FaultKind::NonFiniteResult { index } => assert_eq!(index, 0),
+            other => panic!("expected NonFiniteResult, got {other:?}"),
+        }
+        assert!(err.kind.is_transient(), "retryable by classification");
+        assert!(err.site.kernel.as_deref().unwrap_or("").contains("force"));
+    }
+
+    #[test]
+    fn watchdogged_healthy_frame_is_bit_transparent() {
+        let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
+        let fp = ForceParams::default();
+        let reference = gpu().accelerations(&bodies, &fp);
+        let recovery = RecoveryPolicy {
+            watchdog_instructions: Some(1 << 24),
+            ..RecoveryPolicy::default()
+        };
+        let res = gpu()
+            .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &recovery, None)
+            .unwrap();
+        assert!(res.fault.is_none());
+        assert_eq!(res.accels, reference);
+        // A starved watchdog kills the frame as a transient timeout.
+        let starved = RecoveryPolicy {
+            max_retries: 0,
+            watchdog_instructions: Some(1),
+            ..RecoveryPolicy::default()
+        };
+        let err = gpu()
+            .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &starved, None)
+            .unwrap_err();
+        assert!(matches!(err.kind, FaultKind::WatchdogTimeout { .. }));
     }
 
     #[test]

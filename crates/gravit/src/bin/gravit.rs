@@ -4,18 +4,23 @@
 //! ```text
 //! gravit run    [--n N] [--steps S] [--backend cpu|par|bh|gpu] [--spawn ball|disk|collision|plummer]
 //!               [--dt DT] [--record FILE] [--seed SEED]
+//!               [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
 //! gravit ladder                 # the paper's optimization ladder (Fig. 12 levels)
 //! gravit model  [--n N]         # modeled GPU frame times at size N
 //! gravit help
 //! ```
+//!
+//! Exit codes: 0 success, 2 usage/configuration/checkpoint error, 3 device
+//! fault under `--fault-policy fail`.
 
 use gpu_kernels::force::OptLevel;
 use gpu_sim::fault::DeviceError;
 use gpu_sim::{DeviceConfig, DriverModel};
 use gravit_app::backend::{Backend, FaultPolicy};
+use gravit_app::checkpoint::Checkpoint;
 use gravit_app::config::{SimConfig, SpawnKind};
 use gravit_app::recorder::Recording;
-use gravit_app::sim::Simulation;
+use gravit_app::sim::{SimError, Simulation};
 use simcore::format_duration_s;
 use std::time::Instant;
 
@@ -60,22 +65,47 @@ fn cmd_run(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let cfg = SimConfig { n, spawn, seed, dt, backend, fault_policy, ..SimConfig::default() };
+    let mut cfg = SimConfig { n, spawn, seed, dt, backend, fault_policy, ..SimConfig::default() };
+    if let Some(r) = flag(args, "--max-retries").and_then(|v| v.parse().ok()) {
+        cfg.recovery.max_retries = r;
+    }
+    let ckpt_every: u64 =
+        flag(args, "--checkpoint-every").and_then(|v| v.parse().ok()).unwrap_or(0);
+    cfg.recovery.checkpoint_every = ckpt_every;
+    let ckpt_path = flag(args, "--checkpoint")
+        .or_else(|| (ckpt_every > 0).then(|| "gravit.ckpt".to_string()));
     println!("gravit: n={n}, steps={steps}, dt={dt}, backend={}", backend.label());
 
     let t0 = Instant::now();
-    let mut sim = Simulation::new(cfg).unwrap_or_else(|e| device_fault_exit(&e));
+    let mut sim = match flag(args, "--resume") {
+        Some(path) => {
+            let ckpt = Checkpoint::load(&path).unwrap_or_else(|e| {
+                eprintln!("gravit: cannot resume from {path}: {e}");
+                std::process::exit(2);
+            });
+            let sim = Simulation::resume(cfg, &ckpt).unwrap_or_else(|e| sim_error_exit(&e));
+            println!("resumed from {path} at step {} (t={:.3})", sim.steps, sim.time);
+            sim
+        }
+        None => Simulation::new(cfg).unwrap_or_else(|e| sim_error_exit(&e)),
+    };
     let mut recording = flag(args, "--record").map(|_| Recording::new(n, (n / 512).max(1)));
     if let Some(rec) = recording.as_mut() {
         rec.capture(&sim);
     }
-    for s in 1..=steps {
+    for s in sim.steps + 1..=steps {
         if let Err(e) = sim.step() {
             device_fault_exit(&e);
         }
         if let Some(rec) = recording.as_mut() {
             if s % 5 == 0 {
                 rec.capture(&sim);
+            }
+        }
+        if let (Some(path), true) = (&ckpt_path, ckpt_every > 0 && s % ckpt_every == 0) {
+            if let Err(e) = sim.checkpoint().save(path) {
+                eprintln!("gravit: checkpoint to {path} failed: {e}");
+                std::process::exit(2);
             }
         }
     }
@@ -102,6 +132,19 @@ fn cmd_run(args: &[String]) {
 fn device_fault_exit(e: &DeviceError) -> ! {
     eprintln!("gravit: device fault detected by the sanitizer\n{}", e.report());
     std::process::exit(3);
+}
+
+/// Map construction failures to exit codes: device faults exit 3;
+/// configuration and checkpoint problems are usage errors, exit 2 with a
+/// readable message.
+fn sim_error_exit(e: &SimError) -> ! {
+    match e {
+        SimError::Device(d) => device_fault_exit(d),
+        other => {
+            eprintln!("gravit: {other}");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn rec_len(path: &str) -> usize {
@@ -188,8 +231,15 @@ USAGE:
   gravit run    [--n N] [--steps S] [--backend cpu|par|bh|gpu]
                 [--spawn ball|disk|collision|plummer] [--dt DT]
                 [--seed SEED] [--record FILE] [--fault-policy fail|fallback]
+                [--max-retries R] [--checkpoint FILE] [--checkpoint-every K]
+                [--resume FILE]
                 (on a device fault: `fail` exits 3 with the sanitizer
-                report; `fallback` finishes the frame on the CPU)
+                report; `fallback` retries transient faults up to R times,
+                then finishes the frame on the CPU)
+                (--checkpoint-every K saves a crash-safe checkpoint every K
+                steps; --resume continues a killed run bit-identically;
+                --steps is the total step count of the run, so a resumed
+                run stops at the same step the uninterrupted one would)
   gravit ladder             print the paper's optimization ladder
   gravit model  [--n N]     modeled GPU frame times at size N
   gravit render --input REC.json [--out DIR] [--size PX]

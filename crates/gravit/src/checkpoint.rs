@@ -1,0 +1,334 @@
+//! Frame-granular checkpoint/resume.
+//!
+//! A checkpoint captures the *entire* integration state of a
+//! [`Simulation`](crate::sim::Simulation) — bodies, accelerations, clock,
+//! step count, energy reference and the survived-fault log — so a run killed
+//! at any frame and resumed with `gravit run --resume <ckpt>` finishes
+//! **bit-identical** to the uninterrupted run. To make that guarantee hold:
+//!
+//! * floats that must round-trip exactly are stored as raw bits (`f64`) or
+//!   rely on the shortest-round-trip JSON encoding (`f32`);
+//! * the file is written atomically (temp file in the same directory, then
+//!   rename), so a crash mid-write leaves the previous checkpoint intact;
+//! * a one-line header `GRAVITCKPT v1 crc=<hex> len=<bytes>` carries a
+//!   CRC-32 of the payload: truncation, corruption and version skew are
+//!   typed [`CheckpointError`]s, never a panic or a silently wrong resume.
+
+use crate::backend::FaultReport;
+use crate::config::SimConfig;
+use serde::{Deserialize, Serialize};
+use simcore::crc32;
+use std::fmt;
+use std::path::Path;
+
+/// Checkpoint format version this build writes and reads.
+pub const CKPT_VERSION: u32 = 1;
+
+const MAGIC: &str = "GRAVITCKPT";
+
+/// The complete resumable state of a simulation at a step boundary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Body count (must match the resuming config).
+    pub n: usize,
+    /// Workload seed (must match).
+    pub seed: u64,
+    /// Exact bits of the configured time step (must match).
+    pub dt_bits: u32,
+    /// Integrator label (must match).
+    pub integrator: String,
+    /// Backend label (must match — resuming on a different backend would
+    /// silently change the trajectory).
+    pub backend: String,
+    /// Simulated time, as exact `f64` bits.
+    pub time_bits: u64,
+    /// Steps taken.
+    pub steps: u64,
+    /// Body positions.
+    pub pos: Vec<[f32; 3]>,
+    /// Body velocities.
+    pub vel: Vec<[f32; 3]>,
+    /// Body masses.
+    pub mass: Vec<f32>,
+    /// Accelerations of the last computed step.
+    pub accels: Vec<[f32; 3]>,
+    /// Initial total energy, as exact `f64` bits (the drift reference).
+    pub energy0_bits: u64,
+    /// Device faults survived before the checkpoint, with retry history.
+    pub fault_reports: Vec<FaultReport>,
+}
+
+/// Why a checkpoint could not be saved, loaded, or resumed from.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure while reading or writing.
+    Io(std::io::Error),
+    /// The file does not start with the `GRAVITCKPT` magic.
+    BadMagic,
+    /// The file is a checkpoint, but of an unsupported format version.
+    VersionMismatch {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The payload is shorter or longer than the header promised.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        actual: u64,
+    },
+    /// The payload does not match the header's CRC-32.
+    CrcMismatch {
+        /// CRC recorded in the header.
+        expected: u32,
+        /// CRC of the payload as read.
+        actual: u32,
+    },
+    /// The header or JSON payload is malformed.
+    Parse(String),
+    /// The checkpoint does not belong to the resuming configuration.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::BadMagic => write!(f, "not a gravit checkpoint (bad magic)"),
+            CheckpointError::VersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint format v{found} is not supported (this build reads v{supported})"
+            ),
+            CheckpointError::Truncated { expected, actual } => write!(
+                f,
+                "checkpoint truncated: header promises {expected} payload bytes, found {actual}"
+            ),
+            CheckpointError::CrcMismatch { expected, actual } => write!(
+                f,
+                "checkpoint corrupted: payload crc {actual:08x} != header crc {expected:08x}"
+            ),
+            CheckpointError::Parse(e) => write!(f, "checkpoint malformed: {e}"),
+            CheckpointError::ConfigMismatch(e) => {
+                write!(f, "checkpoint does not match the configuration: {e}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl Checkpoint {
+    /// Reject resuming under a configuration that would not reproduce the
+    /// uninterrupted run: every field that shapes the trajectory must match.
+    pub fn compatible_with(&self, config: &SimConfig) -> Result<(), CheckpointError> {
+        let mismatch = |what: String| Err(CheckpointError::ConfigMismatch(what));
+        if self.n != config.n {
+            return mismatch(format!("n: checkpoint {} vs config {}", self.n, config.n));
+        }
+        if self.seed != config.seed {
+            return mismatch(format!("seed: checkpoint {} vs config {}", self.seed, config.seed));
+        }
+        if self.dt_bits != config.dt.to_bits() {
+            return mismatch(format!(
+                "dt: checkpoint {} vs config {}",
+                f32::from_bits(self.dt_bits),
+                config.dt
+            ));
+        }
+        let integ = format!("{:?}", config.integrator);
+        if self.integrator != integ {
+            return mismatch(format!("integrator: checkpoint {} vs config {integ}", self.integrator));
+        }
+        let backend = config.backend.label();
+        if self.backend != backend {
+            return mismatch(format!("backend: checkpoint {} vs config {backend}", self.backend));
+        }
+        Ok(())
+    }
+
+    /// Serialize to the on-disk format: header line + JSON payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload = serde_json::to_string(self).expect("checkpoint serializes");
+        let mut out = format!(
+            "{MAGIC} v{CKPT_VERSION} crc={:08x} len={}\n",
+            crc32(payload.as_bytes()),
+            payload.len()
+        );
+        out.push_str(&payload);
+        out.into_bytes()
+    }
+
+    /// Parse the on-disk format, verifying magic, version, length and CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let nl = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or(CheckpointError::BadMagic)?;
+        let header =
+            std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadMagic)?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some(MAGIC) {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version: u32 = fields
+            .next()
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("missing version field".into()))?;
+        if version != CKPT_VERSION {
+            return Err(CheckpointError::VersionMismatch { found: version, supported: CKPT_VERSION });
+        }
+        let expected_crc: u32 = fields
+            .next()
+            .and_then(|v| v.strip_prefix("crc="))
+            .and_then(|v| u32::from_str_radix(v, 16).ok())
+            .ok_or_else(|| CheckpointError::Parse("missing crc field".into()))?;
+        let expected_len: u64 = fields
+            .next()
+            .and_then(|v| v.strip_prefix("len="))
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| CheckpointError::Parse("missing len field".into()))?;
+        let payload = &bytes[nl + 1..];
+        if payload.len() as u64 != expected_len {
+            return Err(CheckpointError::Truncated {
+                expected: expected_len,
+                actual: payload.len() as u64,
+            });
+        }
+        let actual_crc = crc32(payload);
+        if actual_crc != expected_crc {
+            return Err(CheckpointError::CrcMismatch { expected: expected_crc, actual: actual_crc });
+        }
+        let payload =
+            std::str::from_utf8(payload).map_err(|e| CheckpointError::Parse(e.to_string()))?;
+        serde_json::from_str(payload).map_err(|e| CheckpointError::Parse(e.to_string()))
+    }
+
+    /// Save atomically: write a temp file in the destination directory, then
+    /// rename over `path`. A crash mid-save never clobbers the previous
+    /// checkpoint.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load and fully verify a checkpoint file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            n: 2,
+            seed: 7,
+            dt_bits: 0.005f32.to_bits(),
+            integrator: "Leapfrog".into(),
+            backend: "cpu-parallel".into(),
+            time_bits: 1.25f64.to_bits(),
+            steps: 250,
+            pos: vec![[1.0, 2.0, 3.0], [-0.5, 0.25, 1e-7]],
+            vel: vec![[0.0, 0.1, 0.2], [0.3, 0.4, 0.5]],
+            mass: vec![1.0, 2.0],
+            accels: vec![[0.01, 0.02, 0.03], [0.04, 0.05, 0.06]],
+            energy0_bits: (-3.5f64).to_bits(),
+            fault_reports: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_exact() {
+        let c = sample();
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_typed_errors() {
+        let bytes = sample().to_bytes();
+        // Truncated payload.
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(matches!(
+            Checkpoint::from_bytes(cut),
+            Err(CheckpointError::Truncated { .. })
+        ));
+        // Flipped payload byte: length intact, CRC wrong.
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x20;
+        assert!(matches!(
+            Checkpoint::from_bytes(&flipped),
+            Err(CheckpointError::CrcMismatch { .. })
+        ));
+        // Not a checkpoint at all.
+        assert!(matches!(
+            Checkpoint::from_bytes(b"{\"frames\": []}\n"),
+            Err(CheckpointError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = sample().to_bytes();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        let header = String::from_utf8(bytes[..header_end].to_vec()).unwrap();
+        let bumped = header.replace("v1", "v2");
+        bytes.splice(..header_end, bumped.into_bytes());
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CheckpointError::VersionMismatch { found: 2, supported: 1 }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_compatibility_is_enforced() {
+        let c = sample();
+        let mut cfg = SimConfig {
+            n: 2,
+            seed: 7,
+            dt: 0.005,
+            ..SimConfig::default()
+        };
+        c.compatible_with(&cfg).unwrap();
+        cfg.n = 3;
+        let e = c.compatible_with(&cfg).unwrap_err();
+        assert!(matches!(e, CheckpointError::ConfigMismatch(_)));
+        assert!(e.to_string().contains("n:"), "{e}");
+    }
+
+    #[test]
+    fn save_is_atomic_and_load_verifies() {
+        let dir = std::env::temp_dir().join("gravit-ckpt-test");
+        let path = dir.join("state.ckpt");
+        let c = sample();
+        c.save(&path).unwrap();
+        assert!(!path.with_extension("ckpt.tmp").exists(), "temp file renamed away");
+        assert_eq!(Checkpoint::load(&path).unwrap(), c);
+        // A damaged file on disk is a typed error, not a panic.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, bytes).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

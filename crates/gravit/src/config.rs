@@ -1,9 +1,11 @@
 //! Simulation configuration.
 
 use crate::backend::{Backend, FaultPolicy};
+use crate::recovery::RecoveryPolicy;
 use nbody::model::{Bodies, ForceParams};
 use nbody::spawn;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
 /// Initial-condition generators (Gravit's spawn scripts).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -78,6 +80,8 @@ pub struct SimConfig {
     pub backend: Backend,
     /// What to do when the simulated device faults.
     pub fault_policy: FaultPolicy,
+    /// Retry/backoff/checkpoint policy for transient faults.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for SimConfig {
@@ -91,16 +95,79 @@ impl Default for SimConfig {
             integrator: Integrator::Leapfrog,
             backend: Backend::CpuParallel,
             fault_policy: FaultPolicy::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
 
+/// A rejected [`SimConfig`], with enough context to print an actionable
+/// message. Surfaced by [`SimConfig::validate`] and threaded through
+/// [`Simulation::new`](crate::sim::Simulation::new) to the CLI, which exits
+/// with status 2 — configuration mistakes are usage errors, never panics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `dt` must be positive and finite.
+    BadTimeStep {
+        /// The offending value.
+        dt: f32,
+    },
+    /// Softening must be non-negative and finite.
+    BadSoftening {
+        /// The offending value.
+        softening: f32,
+    },
+    /// The gravitational constant must be finite.
+    BadGravity {
+        /// The offending value.
+        g: f32,
+    },
+    /// A Barnes–Hut opening angle must be positive and finite.
+    BadOpeningAngle {
+        /// The offending value.
+        theta: f32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadTimeStep { dt } => {
+                write!(f, "time step must be positive and finite, got dt = {dt}")
+            }
+            ConfigError::BadSoftening { softening } => {
+                write!(f, "softening must be non-negative and finite, got {softening}")
+            }
+            ConfigError::BadGravity { g } => {
+                write!(f, "gravitational constant must be finite, got G = {g}")
+            }
+            ConfigError::BadOpeningAngle { theta } => {
+                write!(f, "Barnes-Hut opening angle must be positive and finite, got θ = {theta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 impl SimConfig {
-    /// Validate the configuration, panicking on nonsense. An empty body set
-    /// (`n == 0`) is valid: every backend treats it as a no-op frame.
-    pub fn validate(&self) {
-        assert!(self.dt > 0.0 && self.dt.is_finite(), "bad time step");
-        assert!(self.force.softening >= 0.0);
+    /// Validate the configuration. An empty body set (`n == 0`) is valid:
+    /// every backend treats it as a no-op frame.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.dt > 0.0 && self.dt.is_finite()) {
+            return Err(ConfigError::BadTimeStep { dt: self.dt });
+        }
+        if !(self.force.softening >= 0.0 && self.force.softening.is_finite()) {
+            return Err(ConfigError::BadSoftening { softening: self.force.softening });
+        }
+        if !self.force.g.is_finite() {
+            return Err(ConfigError::BadGravity { g: self.force.g });
+        }
+        if let Backend::BarnesHut { theta } = self.backend {
+            if !(theta > 0.0 && theta.is_finite()) {
+                return Err(ConfigError::BadOpeningAngle { theta });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -110,7 +177,7 @@ mod tests {
 
     #[test]
     fn default_config_is_valid() {
-        SimConfig::default().validate();
+        SimConfig::default().validate().unwrap();
     }
 
     #[test]
@@ -130,9 +197,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_dt_rejected() {
+    fn bad_configs_are_typed_errors_not_panics() {
         let c = SimConfig { dt: 0.0, ..SimConfig::default() };
-        c.validate();
+        assert_eq!(c.validate(), Err(ConfigError::BadTimeStep { dt: 0.0 }));
+        let c = SimConfig { dt: f32::NAN, ..SimConfig::default() };
+        assert!(matches!(c.validate(), Err(ConfigError::BadTimeStep { .. })));
+        let mut c = SimConfig::default();
+        c.force.softening = -1.0;
+        assert_eq!(c.validate(), Err(ConfigError::BadSoftening { softening: -1.0 }));
+        let c = SimConfig { backend: Backend::BarnesHut { theta: 0.0 }, ..SimConfig::default() };
+        assert!(matches!(c.validate(), Err(ConfigError::BadOpeningAngle { .. })));
+        let msg = c.validate().unwrap_err().to_string();
+        assert!(msg.contains("opening angle"), "message must be readable: {msg}");
     }
 }

@@ -12,6 +12,8 @@
 //!   simulated-GPU kernel at any optimization level;
 //! * [`model`] — the device frame-time model (Fig. 12's quantity);
 //! * [`sim`] — the time-stepping loop with energy/momentum diagnostics;
+//! * [`recovery`] — retry/backoff policy for transient device faults;
+//! * [`checkpoint`] — frame-granular, CRC-protected checkpoint/resume;
 //! * [`recorder`] — JSON frame recording;
 //! * [`render`] — PGM/ASCII rendering of recordings (Gravit's visual side).
 //!
@@ -21,12 +23,16 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod checkpoint;
 pub mod config;
 pub mod model;
 pub mod recorder;
+pub mod recovery;
 pub mod render;
 pub mod sim;
 
 pub use backend::Backend;
-pub use config::{Integrator, SimConfig, SpawnKind};
-pub use sim::Simulation;
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use config::{ConfigError, Integrator, SimConfig, SpawnKind};
+pub use recovery::{BackoffSchedule, RecoveryPolicy, RetryEvent};
+pub use sim::{SimError, Simulation};

@@ -59,20 +59,54 @@ impl Recording {
         serde_json::to_string_pretty(self).expect("recording serializes")
     }
 
-    /// Write to a file, creating parent directories.
+    /// Write to a file, creating parent directories. Atomic: the JSON goes
+    /// to a temp file in the destination directory first and is renamed over
+    /// `path`, so a crash mid-write never leaves a truncated recording.
     pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
         let path = path.as_ref();
-        if let Some(parent) = path.parent() {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(path, self.to_json())
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
     }
 
     /// Deserialize from JSON.
     pub fn from_json(s: &str) -> serde_json::Result<Recording> {
         serde_json::from_str(s)
     }
+
+    /// Load a recording file. Missing files, truncation and corrupt JSON are
+    /// typed [`RecordingError`]s, never panics.
+    pub fn load(path: impl AsRef<Path>) -> Result<Recording, RecordingError> {
+        let s = std::fs::read_to_string(path).map_err(RecordingError::Io)?;
+        Recording::from_json(&s).map_err(|e| RecordingError::Parse(e.to_string()))
+    }
 }
+
+/// Why a recording could not be read back.
+#[derive(Debug)]
+pub enum RecordingError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file exists but is not a valid recording (truncated, corrupted,
+    /// or not JSON).
+    Parse(String),
+}
+
+impl std::fmt::Display for RecordingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecordingError::Io(e) => write!(f, "recording I/O error: {e}"),
+            RecordingError::Parse(e) => write!(f, "recording malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordingError {}
 
 #[cfg(test)]
 mod tests {
@@ -114,5 +148,31 @@ mod tests {
     #[should_panic]
     fn zero_stride_rejected() {
         Recording::new(10, 0);
+    }
+
+    #[test]
+    fn write_is_atomic_and_damaged_files_load_as_typed_errors() {
+        let dir = std::env::temp_dir().join("gravit-rec-test");
+        let path = dir.join("run.json");
+        let rec = Recording::new(8, 1);
+        rec.write(&path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(!std::path::Path::new(&tmp).exists(), "temp file renamed away");
+        assert_eq!(Recording::load(&path).unwrap(), rec);
+
+        // Truncated JSON: a typed parse error, not a panic.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(Recording::load(&path), Err(RecordingError::Parse(_))));
+        // Valid JSON of the wrong shape: also a parse error.
+        std::fs::write(&path, "{\"bogus\": 1}").unwrap();
+        assert!(matches!(Recording::load(&path), Err(RecordingError::Parse(_))));
+        // Missing file: an I/O error.
+        assert!(matches!(
+            Recording::load(dir.join("nope.json")),
+            Err(RecordingError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,119 @@
+//! Retry/backoff policy for transient device faults.
+//!
+//! [`crate::backend::FaultPolicy`] decides what a device fault *means*
+//! (propagate vs degrade to CPU). A [`RecoveryPolicy`] sits in front of that
+//! decision and handles the faults that are worth a second try: the
+//! transient classes (`EccMismatch`, `WatchdogTimeout`, `TransientLaunch`,
+//! `NonFiniteResult` — see `gpu_sim::fault::FaultKind::is_transient`) vanish
+//! when the frame is re-uploaded from host state and re-run, so the backend
+//! retries them with a deterministic exponential backoff before giving up
+//! and letting the `FaultPolicy` take over. Permanent faults (out-of-bounds,
+//! misalignment, …) are *never* retried — they recur by construction and the
+//! retries would only delay the diagnosis.
+
+use serde::{Deserialize, Serialize};
+
+/// Deterministic exponential backoff: attempt `k` waits
+/// `min(base_ms << k, cap_ms)` milliseconds. With `base_ms == 0` (the
+/// default) retries are immediate — correct for the simulated device, where
+/// a transient fault does not need wall-clock time to clear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry, in milliseconds.
+    pub base_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub cap_ms: u64,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule { base_ms: 0, cap_ms: 1000 }
+    }
+}
+
+impl BackoffSchedule {
+    /// The delay before retry number `attempt` (0-based), in milliseconds.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        self.base_ms
+            .saturating_mul(1u64 << attempt.min(63))
+            .min(self.cap_ms)
+    }
+}
+
+/// How the application recovers from transient device faults.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Transient-fault retries per frame before the
+    /// [`FaultPolicy`](crate::backend::FaultPolicy) decides (fallback or
+    /// fail). `0` disables retrying.
+    pub max_retries: u32,
+    /// Delay schedule between retries.
+    pub backoff: BackoffSchedule,
+    /// Write a checkpoint every this many steps (`0` disables
+    /// checkpointing). Only consulted by the driver loop, not per-frame
+    /// recovery.
+    pub checkpoint_every: u64,
+    /// Warp-instruction budget per kernel launch: a launch exceeding it is
+    /// killed as a `WatchdogTimeout` (and retried, since the timeout is
+    /// transient). `None` disables the watchdog.
+    pub watchdog_instructions: Option<u64>,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_retries: 3,
+            backoff: BackoffSchedule::default(),
+            checkpoint_every: 0,
+            watchdog_instructions: None,
+        }
+    }
+}
+
+/// One retry, as recorded in a
+/// [`FaultReport`](crate::backend::FaultReport)'s history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetryEvent {
+    /// 0-based attempt number that faulted.
+    pub attempt: u32,
+    /// Fault class name (`FaultKind::name`).
+    pub fault: String,
+    /// Human-readable fault description.
+    pub detail: String,
+    /// Backoff waited after this failure, in milliseconds.
+    pub backoff_ms: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let b = BackoffSchedule { base_ms: 10, cap_ms: 60 };
+        assert_eq!(b.delay_ms(0), 10);
+        assert_eq!(b.delay_ms(1), 20);
+        assert_eq!(b.delay_ms(2), 40);
+        assert_eq!(b.delay_ms(3), 60, "capped");
+        assert_eq!(b.delay_ms(63), 60, "shift overflow saturates to the cap");
+    }
+
+    #[test]
+    fn default_backoff_never_sleeps() {
+        let b = BackoffSchedule::default();
+        assert!((0..10).all(|k| b.delay_ms(k) == 0));
+    }
+
+    #[test]
+    fn policy_round_trips_through_json() {
+        let p = RecoveryPolicy {
+            max_retries: 5,
+            backoff: BackoffSchedule { base_ms: 2, cap_ms: 100 },
+            checkpoint_every: 16,
+            watchdog_instructions: Some(1 << 20),
+        };
+        let json = serde_json::to_string(&p).expect("serialize");
+        let back: RecoveryPolicy = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, p);
+    }
+}

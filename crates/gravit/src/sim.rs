@@ -1,12 +1,56 @@
 //! The simulation loop.
 
 use crate::backend::FaultReport;
-use crate::config::{Integrator, SimConfig};
+use crate::checkpoint::{Checkpoint, CheckpointError};
+use crate::config::{ConfigError, Integrator, SimConfig};
 use gpu_sim::fault::{DeviceError, DeviceResult};
+use gpu_sim::transient::TransientFaultPlan;
 use nbody::energy::{momentum, total_energy};
 use nbody::integrator::{step_euler, step_leapfrog};
 use nbody::model::Bodies;
 use simcore::Vec3;
+use std::fmt;
+
+/// Why a simulation could not be constructed (or resumed).
+#[derive(Debug)]
+pub enum SimError {
+    /// The configuration was rejected — a usage error (CLI exit code 2).
+    Config(ConfigError),
+    /// The device faulted and the policy said fail fast (CLI exit code 3).
+    Device(DeviceError),
+    /// The checkpoint could not be loaded or does not match the config.
+    Checkpoint(CheckpointError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "invalid configuration: {e}"),
+            SimError::Device(e) => write!(f, "{e}"),
+            SimError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+impl From<DeviceError> for SimError {
+    fn from(e: DeviceError) -> Self {
+        SimError::Device(e)
+    }
+}
+
+impl From<CheckpointError> for SimError {
+    fn from(e: CheckpointError) -> Self {
+        SimError::Checkpoint(e)
+    }
+}
 
 /// A running simulation.
 ///
@@ -27,21 +71,98 @@ pub struct Simulation {
     pub time: f64,
     /// Steps taken.
     pub steps: u64,
-    /// Device faults survived via CPU fallback, in occurrence order.
+    /// Device faults survived via CPU fallback or retry, in occurrence order.
     pub fault_reports: Vec<FaultReport>,
     energy0: f64,
+    /// Transient-fault injection plan (chaos testing); `None` in production.
+    fault_plan: Option<TransientFaultPlan>,
 }
 
 impl Simulation {
     /// Initialize from a configuration: spawn the workload and compute the
-    /// initial accelerations.
-    pub fn new(config: SimConfig) -> DeviceResult<Simulation> {
-        config.validate();
+    /// initial accelerations. A rejected configuration is a typed
+    /// [`SimError::Config`], never a panic.
+    pub fn new(config: SimConfig) -> Result<Simulation, SimError> {
+        config.validate()?;
         let bodies = config.spawn.generate(config.n, config.force.g, config.seed);
         let mut fault_reports = Vec::new();
-        let accels = compute_accels(&config, &bodies, &mut fault_reports)?;
+        let accels = compute_accels(&config, &bodies, &mut fault_reports, None)?;
         let energy0 = total_energy(&bodies, &config.force);
-        Ok(Simulation { config, bodies, accels, time: 0.0, steps: 0, fault_reports, energy0 })
+        Ok(Simulation {
+            config,
+            bodies,
+            accels,
+            time: 0.0,
+            steps: 0,
+            fault_reports,
+            energy0,
+            fault_plan: None,
+        })
+    }
+
+    /// Rebuild a simulation mid-run from a [`Checkpoint`]: the resumed run
+    /// continues bit-identical to the uninterrupted one. The configuration
+    /// must describe the same run (same n, seed, dt, integrator, backend) or
+    /// a [`SimError::Checkpoint`] config-mismatch is returned.
+    pub fn resume(config: SimConfig, ckpt: &Checkpoint) -> Result<Simulation, SimError> {
+        config.validate()?;
+        ckpt.compatible_with(&config)?;
+        let mut bodies = Bodies::with_capacity(ckpt.n);
+        for i in 0..ckpt.n {
+            let p = ckpt.pos[i];
+            let v = ckpt.vel[i];
+            bodies.push(
+                Vec3 { x: p[0], y: p[1], z: p[2] },
+                Vec3 { x: v[0], y: v[1], z: v[2] },
+                ckpt.mass[i],
+            );
+        }
+        let accels = ckpt
+            .accels
+            .iter()
+            .map(|a| Vec3 { x: a[0], y: a[1], z: a[2] })
+            .collect();
+        Ok(Simulation {
+            config,
+            bodies,
+            accels,
+            time: f64::from_bits(ckpt.time_bits),
+            steps: ckpt.steps,
+            fault_reports: ckpt.fault_reports.clone(),
+            energy0: f64::from_bits(ckpt.energy0_bits),
+            fault_plan: None,
+        })
+    }
+
+    /// Capture the complete resumable state at the current step boundary.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            n: self.config.n,
+            seed: self.config.seed,
+            dt_bits: self.config.dt.to_bits(),
+            integrator: format!("{:?}", self.config.integrator),
+            backend: self.config.backend.label(),
+            time_bits: self.time.to_bits(),
+            steps: self.steps,
+            pos: self.bodies.pos.iter().map(|p| p.to_array()).collect(),
+            vel: self.bodies.vel.iter().map(|v| v.to_array()).collect(),
+            mass: self.bodies.mass.clone(),
+            accels: self.accels.iter().map(|a| a.to_array()).collect(),
+            energy0_bits: self.energy0.to_bits(),
+            fault_reports: self.fault_reports.clone(),
+        }
+    }
+
+    /// Inject transient device faults from `plan` into every subsequent GPU
+    /// frame (chaos testing; see `gpu_sim::transient`).
+    pub fn set_transient_faults(&mut self, plan: TransientFaultPlan) {
+        self.fault_plan = Some(plan);
+    }
+
+    /// The active transient-fault plan, if any (its launch counter tells how
+    /// many device launches the simulation has attempted).
+    pub fn transient_faults(&self) -> Option<&TransientFaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Advance one time step.
@@ -50,12 +171,19 @@ impl Simulation {
         match self.config.integrator {
             Integrator::Euler => {
                 step_euler(&mut self.bodies, &self.accels, dt, None);
-                self.accels = compute_accels(&self.config, &self.bodies, &mut self.fault_reports)?;
+                self.accels = compute_accels(
+                    &self.config,
+                    &self.bodies,
+                    &mut self.fault_reports,
+                    self.fault_plan.as_mut(),
+                )?;
             }
             Integrator::Leapfrog => {
                 let backend = self.config.backend;
                 let force = self.config.force;
                 let policy = self.config.fault_policy;
+                let recovery = self.config.recovery;
+                let mut plan = self.fault_plan.take();
                 // `step_leapfrog` takes an infallible closure; a fail-fast
                 // fault is parked here and returned after the call. (The
                 // zero-filled stand-in accelerations are never observed: the
@@ -63,7 +191,8 @@ impl Simulation {
                 let mut pending: Option<DeviceError> = None;
                 let mut reports: Vec<FaultReport> = Vec::new();
                 self.accels = step_leapfrog(&mut self.bodies, &self.accels, dt, None, |b| {
-                    match backend.accelerations_with_policy(b, &force, policy) {
+                    match backend.accelerations_recovering(b, &force, policy, &recovery, plan.as_mut())
+                    {
                         Ok(r) => {
                             reports.extend(r.fault);
                             r.accels
@@ -74,6 +203,7 @@ impl Simulation {
                         }
                     }
                 });
+                self.fault_plan = plan;
                 self.fault_reports.extend(reports);
                 if let Some(e) = pending {
                     return Err(e);
@@ -111,14 +241,21 @@ impl Simulation {
     }
 }
 
-/// One force evaluation under the configured policy, appending any survived
-/// fault to `reports`.
+/// One force evaluation under the configured fault and recovery policies,
+/// appending any survived fault (with its retry history) to `reports`.
 fn compute_accels(
     config: &SimConfig,
     bodies: &Bodies,
     reports: &mut Vec<FaultReport>,
+    chaos: Option<&mut TransientFaultPlan>,
 ) -> DeviceResult<Vec<Vec3>> {
-    let r = config.backend.accelerations_with_policy(bodies, &config.force, config.fault_policy)?;
+    let r = config.backend.accelerations_recovering(
+        bodies,
+        &config.force,
+        config.fault_policy,
+        &config.recovery,
+        chaos,
+    )?;
     reports.extend(r.fault);
     Ok(r.accels)
 }

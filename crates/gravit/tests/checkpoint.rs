@@ -1,0 +1,146 @@
+//! Checkpoint/resume acceptance tests.
+//!
+//! The contract under test: a checkpoint captures the *complete* integration
+//! state, so `save → load → resume` reproduces `bodies`, `accels`, `time`,
+//! `steps` and `fault_reports` exactly, and a resumed run finishes
+//! **bit-identical** to the run that was never interrupted. Damaged or
+//! version-skewed checkpoint files are typed errors, never panics or wrong
+//! trajectories.
+
+use gpu_sim::fault::{DeviceError, FaultKind};
+use gravit_app::backend::{Backend, FaultReport};
+use gravit_app::checkpoint::{Checkpoint, CheckpointError, CKPT_VERSION};
+use gravit_app::config::{Integrator, SimConfig, SpawnKind};
+use gravit_app::recovery::RetryEvent;
+use gravit_app::sim::{SimError, Simulation};
+use proptest::prelude::*;
+
+fn config(n: usize, seed: u64, euler: bool) -> SimConfig {
+    SimConfig {
+        n,
+        spawn: SpawnKind::UniformBall { radius: 3.0 },
+        seed,
+        dt: 0.01,
+        integrator: if euler { Integrator::Euler } else { Integrator::Leapfrog },
+        backend: Backend::CpuSerial,
+        ..SimConfig::default()
+    }
+}
+
+/// A synthetic survived fault, to prove the log round-trips with full retry
+/// history.
+fn sample_report() -> FaultReport {
+    FaultReport {
+        error: DeviceError::new(FaultKind::TransientLaunch { reason: "spurious".into() })
+            .with_kernel("force_soaos"),
+        degraded_from: "gpu-sim[SoAoaS]".into(),
+        degraded_to: "gpu-sim[SoAoaS] (retry 1)".into(),
+        retries: vec![RetryEvent {
+            attempt: 0,
+            fault: "TransientLaunch".into(),
+            detail: "spurious".into(),
+            backoff_ms: 0,
+        }],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// save → resume reproduces the full state exactly, and the resumed
+    /// simulation continues bit-identical to the original.
+    #[test]
+    fn checkpoint_round_trip_is_exact(
+        n in 4usize..48,
+        seed in 0u64..1000,
+        warmup in 0u64..6,
+        extra in 1u64..5,
+        euler in any::<bool>(),
+    ) {
+        let mut sim = Simulation::new(config(n, seed, euler)).expect("valid config");
+        sim.run(warmup).expect("cpu backend cannot fault");
+        sim.fault_reports.push(sample_report());
+
+        let bytes = sim.checkpoint().to_bytes();
+        let ckpt = Checkpoint::from_bytes(&bytes).expect("round trip");
+        let mut resumed =
+            Simulation::resume(config(n, seed, euler), &ckpt).expect("compatible");
+
+        prop_assert_eq!(&resumed.bodies, &sim.bodies);
+        prop_assert_eq!(&resumed.accels, &sim.accels);
+        prop_assert_eq!(resumed.time.to_bits(), sim.time.to_bits());
+        prop_assert_eq!(resumed.steps, sim.steps);
+        prop_assert_eq!(&resumed.fault_reports, &sim.fault_reports);
+        prop_assert_eq!(resumed.energy_drift().to_bits(), sim.energy_drift().to_bits());
+
+        // The futures coincide bit-for-bit, step by step.
+        for _ in 0..extra {
+            sim.step().expect("step");
+            resumed.step().expect("step");
+            prop_assert_eq!(&resumed.bodies, &sim.bodies);
+            prop_assert_eq!(&resumed.accels, &sim.accels);
+        }
+    }
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_run_bitwise() {
+    let cfg = || config(64, 7, false);
+    let mut straight = Simulation::new(cfg()).unwrap();
+    straight.run(12).unwrap();
+
+    let dir = std::env::temp_dir().join("gravit-ckpt-resume-test");
+    let path = dir.join("mid.ckpt");
+    let mut first_half = Simulation::new(cfg()).unwrap();
+    first_half.run(5).unwrap();
+    first_half.checkpoint().save(&path).unwrap();
+    drop(first_half); // the "kill"
+
+    let ckpt = Checkpoint::load(&path).unwrap();
+    let mut resumed = Simulation::resume(cfg(), &ckpt).unwrap();
+    resumed.run(12 - resumed.steps).unwrap();
+    assert_eq!(resumed.steps, straight.steps);
+    assert_eq!(resumed.bodies, straight.bodies, "trajectory must be bit-identical");
+    assert_eq!(resumed.accels, straight.accels);
+    assert_eq!(resumed.time.to_bits(), straight.time.to_bits());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn version_skewed_checkpoints_are_rejected_not_misread() {
+    let sim = Simulation::new(config(8, 1, true)).unwrap();
+    let bytes = sim.checkpoint().to_bytes();
+    let text = String::from_utf8(bytes).unwrap();
+    let skewed = text.replacen(
+        &format!("v{CKPT_VERSION} "),
+        &format!("v{} ", CKPT_VERSION + 1),
+        1,
+    );
+    match Checkpoint::from_bytes(skewed.as_bytes()) {
+        Err(CheckpointError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, CKPT_VERSION + 1);
+            assert_eq!(supported, CKPT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn resuming_under_a_different_config_is_a_typed_mismatch() {
+    let sim = Simulation::new(config(8, 1, true)).unwrap();
+    let ckpt = sim.checkpoint();
+    // Different n, seed, dt, integrator and backend must all be rejected.
+    let variants = [
+        config(9, 1, true),
+        config(8, 2, true),
+        SimConfig { dt: 0.02, ..config(8, 1, true) },
+        config(8, 1, false),
+        SimConfig { backend: Backend::CpuParallel, ..config(8, 1, true) },
+    ];
+    for (i, cfg) in variants.into_iter().enumerate() {
+        match Simulation::resume(cfg, &ckpt) {
+            Err(SimError::Checkpoint(CheckpointError::ConfigMismatch(_))) => {}
+            other => panic!("variant {i}: expected ConfigMismatch, got {other:?}"),
+        }
+    }
+}

@@ -68,6 +68,92 @@ fn gpu_backend_runs_from_the_cli() {
 }
 
 #[test]
+fn invalid_config_exits_2_with_a_readable_message() {
+    let out = gravit()
+        .args(["run", "--n", "16", "--steps", "1", "--dt", "0"])
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2), "config errors are usage errors");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("time step"), "message must name the problem: {err}");
+    assert!(!err.contains("panicked"), "never a panic: {err}");
+}
+
+#[test]
+fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
+    let dir = std::env::temp_dir().join(format!("gravit_cli_ckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let common = ["--n", "128", "--spawn", "ball", "--seed", "5", "--dt", "0.01"];
+
+    // Reference: 12 steps uninterrupted, recorded.
+    let ref_rec = dir.join("ref.json");
+    let out = gravit()
+        .args(["run", "--steps", "12"])
+        .args(common)
+        .args(["--record"])
+        .arg(&ref_rec)
+        .output()
+        .expect("reference run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // "Killed" run: stops at step 6, leaving a checkpoint every 3 steps.
+    let ckpt = dir.join("state.ckpt");
+    let out = gravit()
+        .args(["run", "--steps", "6"])
+        .args(common)
+        .args(["--checkpoint-every", "3", "--checkpoint"])
+        .arg(&ckpt)
+        .output()
+        .expect("first half");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(ckpt.exists(), "checkpoint written");
+
+    // Resume to the same total step count, recording the tail.
+    let res_rec = dir.join("resumed.json");
+    let out = gravit()
+        .args(["run", "--steps", "12"])
+        .args(common)
+        .args(["--resume"])
+        .arg(&ckpt)
+        .args(["--record"])
+        .arg(&res_rec)
+        .output()
+        .expect("resumed run");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("resumed from"));
+
+    // The final recorded frame (step 10 = last multiple of 5) must agree
+    // bit-for-bit between the two runs.
+    let ref_json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&ref_rec).unwrap()).unwrap();
+    let res_json: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&res_rec).unwrap()).unwrap();
+    let last = |v: &serde_json::Value| v["frames"].as_array().unwrap().last().unwrap().clone();
+    let (a, b) = (last(&ref_json), last(&res_json));
+    assert_eq!(a["step"], b["step"]);
+    assert_eq!(a["positions"], b["positions"], "resumed trajectory must be bit-identical");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn resuming_from_a_corrupt_checkpoint_exits_2() {
+    let dir = std::env::temp_dir().join(format!("gravit_cli_badckpt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ckpt = dir.join("bad.ckpt");
+    std::fs::write(&ckpt, "GRAVITCKPT v1 crc=deadbeef len=4\n{}").unwrap();
+    let out = gravit()
+        .args(["run", "--n", "16", "--steps", "2", "--resume"])
+        .arg(&ckpt)
+        .output()
+        .expect("run");
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot resume"), "stderr: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn render_without_input_fails_cleanly() {
     let out = gravit().arg("render").output().expect("run render");
     assert!(!out.status.success());

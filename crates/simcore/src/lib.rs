@@ -3,6 +3,8 @@
 //! This crate holds the pieces every other crate in the workspace leans on:
 //!
 //! * [`vec3`] — a small `f32` 3-vector, the currency of the N-body code.
+//! * [`crc`] — CRC-32 (IEEE) for integrity-protecting on-disk artifacts
+//!   (checkpoints, recordings) against truncation and bit rot.
 //! * [`rng`] — deterministic pseudo-random number generation (SplitMix64 and
 //!   Xoshiro256++) plus sampling helpers. We implement these ourselves rather
 //!   than depending on `rand` so that every workload, kernel run and timing
@@ -18,12 +20,14 @@
 
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod rng;
 pub mod stats;
 pub mod table;
 pub mod units;
 pub mod vec3;
 
+pub use crc::crc32;
 pub use rng::{Rng64, SplitMix64, Xoshiro256pp};
 pub use stats::{geometric_mean, linear_fit, percentile, Histogram, Summary};
 pub use table::Table;
