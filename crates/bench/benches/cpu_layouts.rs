@@ -3,7 +3,9 @@
 //! reduction (sum of x+mass over all particles) across the host layout types
 //! from particle-layouts — real `repr(C)` data, real cache behaviour.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use particle_layouts::host::{Particle, ParticleAligned, ParticlePacked, PosMass, SoaParticles, Velocity4};
+use particle_layouts::host::{
+    Particle, ParticleAligned, ParticlePacked, PosMass, SoaParticles, Velocity4,
+};
 use simcore::Vec3;
 use std::hint::black_box;
 use std::time::Duration;
@@ -24,7 +26,8 @@ fn bench_hot_field_sweep(c: &mut Criterion) {
     let packed: Vec<ParticlePacked> = ps.iter().map(|&p| p.into()).collect();
     let aligned: Vec<ParticleAligned> = ps.iter().map(|&p| p.into()).collect();
     let soa = SoaParticles::from_particles(&ps);
-    let split: (Vec<PosMass>, Vec<Velocity4>) = ps.iter().map(|&p| <(PosMass, Velocity4)>::from(p)).unzip();
+    let split: (Vec<PosMass>, Vec<Velocity4>) =
+        ps.iter().map(|&p| <(PosMass, Velocity4)>::from(p)).unzip();
 
     let mut g = c.benchmark_group("cpu_hot_field_sweep");
     g.warm_up_time(Duration::from_secs(1));

@@ -16,8 +16,15 @@
 //!    simulation at a seed-derived step, resumes from the latest checkpoint
 //!    (under fresh fault injection), and must still converge bit-identical.
 //!
+//! With `--device-mem BYTES` the faulty runs additionally execute under a
+//! constricted device capacity: the degradation ladder must engage (every
+//! frame's report carries its downgrade history) while the trajectory stays
+//! bit-identical to the *unconstrained* fault-free reference — memory
+//! pressure and transient chaos soak-tested together.
+//!
 //! Usage: `chaos [--campaigns N] [--steps S] [--n BODIES] [--seed SEED]
-//! [--max-retries R]`. Any violated invariant exits nonzero.
+//! [--max-retries R] [--device-mem BYTES]`. Any violated invariant exits
+//! nonzero.
 
 use gpu_kernels::force::OptLevel;
 use gpu_sim::transient::{FaultRates, LaunchFault, TransientFaultPlan};
@@ -30,7 +37,9 @@ use gravit_app::sim::Simulation;
 use simcore::SplitMix64;
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 struct Violations(usize);
@@ -44,17 +53,21 @@ impl Violations {
     }
 }
 
-fn config(n: usize, seed: u64, max_retries: u32) -> SimConfig {
+fn config(n: usize, seed: u64, max_retries: u32, device_mem: Option<u64>) -> SimConfig {
     SimConfig {
         n,
         spawn: SpawnKind::UniformBall { radius: 4.0 },
         seed,
         dt: 0.01,
-        backend: Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 },
+        backend: Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda10,
+        },
         fault_policy: FaultPolicy::FallbackToCpu,
         recovery: RecoveryPolicy {
             max_retries,
             watchdog_instructions: Some(1 << 22),
+            device_capacity: device_mem,
             ..RecoveryPolicy::default()
         },
         ..SimConfig::default()
@@ -67,7 +80,10 @@ fn config(n: usize, seed: u64, max_retries: u32) -> SimConfig {
 fn guaranteed_faults(plan: &TransientFaultPlan) -> usize {
     (0..plan.launches())
         .filter(|&k| {
-            matches!(plan.fate_of(k), LaunchFault::LaunchFailure | LaunchFault::Hang)
+            matches!(
+                plan.fate_of(k),
+                LaunchFault::LaunchFailure | LaunchFault::Hang
+            )
         })
         .count()
 }
@@ -84,11 +100,51 @@ fn attributed_faults(reports: &[FaultReport]) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let campaigns: u64 = flag(&args, "--campaigns").and_then(|v| v.parse().ok()).unwrap_or(8);
-    let steps: u64 = flag(&args, "--steps").and_then(|v| v.parse().ok()).unwrap_or(32);
-    let n: usize = flag(&args, "--n").and_then(|v| v.parse().ok()).unwrap_or(128);
-    let base_seed: u64 = flag(&args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
-    let max_retries: u32 = flag(&args, "--max-retries").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let campaigns: u64 = flag(&args, "--campaigns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let steps: u64 = flag(&args, "--steps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    let n: usize = flag(&args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(128);
+    let base_seed: u64 = flag(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let max_retries: u32 = flag(&args, "--max-retries")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let device_mem: Option<u64> = flag(&args, "--device-mem").map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--device-mem expects a byte count, got `{v}`");
+            std::process::exit(2);
+        })
+    });
+
+    // With a constricted capacity the plan must degrade off the full rung —
+    // that is the point of the soak; an ample capacity is a usage error.
+    let constricted = match device_mem {
+        Some(cap) => {
+            let plan = gravit_app::pressure::plan_frame(OptLevel::Full, n as u32, Some(cap));
+            if plan.mode == gravit_app::pressure::ExecMode::Full {
+                eprintln!(
+                    "--device-mem {cap} does not constrict n={n} (full budget {} B fits)",
+                    plan.full_budget
+                );
+                std::process::exit(2);
+            }
+            println!(
+                "memory pressure: capacity {cap} B vs {} B working set ({:.1}x constriction), \
+                 planned mode {}",
+                plan.full_budget,
+                plan.full_budget as f64 / cap as f64,
+                plan.mode.label()
+            );
+            true
+        }
+        None => false,
+    };
 
     println!(
         "chaos soak: {campaigns} campaigns x {steps} steps, n={n}, base seed {base_seed}, \
@@ -99,27 +155,50 @@ fn main() {
 
     for c in 0..campaigns {
         let seed = SplitMix64::mix(base_seed ^ c);
-        // Fault-free reference trajectory.
-        let mut reference = Simulation::new(config(n, base_seed, max_retries))
+        // Fault-free, *unconstrained* reference trajectory: the pressured
+        // runs must converge bit-identical across execution modes too.
+        let mut reference = Simulation::new(config(n, base_seed, max_retries, None))
             .expect("chaos config is valid");
         reference.run(steps).expect("fault-free run");
 
         // Campaign fault mix: rotate the stress profile.
         let rates = match c % 4 {
-            0 => FaultRates { bit_flip: 0.5, launch_failure: 0.0, hang: 0.0 },
-            1 => FaultRates { bit_flip: 0.0, launch_failure: 0.4, hang: 0.2 },
-            2 => FaultRates { bit_flip: 0.25, launch_failure: 0.15, hang: 0.15 },
-            _ => FaultRates { bit_flip: 0.2, launch_failure: 0.2, hang: 0.1 },
+            0 => FaultRates {
+                bit_flip: 0.5,
+                launch_failure: 0.0,
+                hang: 0.0,
+            },
+            1 => FaultRates {
+                bit_flip: 0.0,
+                launch_failure: 0.4,
+                hang: 0.2,
+            },
+            2 => FaultRates {
+                bit_flip: 0.25,
+                launch_failure: 0.15,
+                hang: 0.15,
+            },
+            _ => FaultRates {
+                bit_flip: 0.2,
+                launch_failure: 0.2,
+                hang: 0.1,
+            },
         };
         let kill_resume = c % 4 == 3;
-        let label = if kill_resume { "kill+resume" } else { "straight" };
+        let label = if kill_resume {
+            "kill+resume"
+        } else {
+            "straight"
+        };
 
         let (sim, reports, injected) = if kill_resume {
-            run_kill_resume_campaign(n, base_seed, max_retries, steps, seed, rates)
+            run_kill_resume_campaign(n, base_seed, max_retries, device_mem, steps, seed, rates)
         } else {
-            let mut sim = Simulation::new(config(n, base_seed, max_retries)).expect("valid");
+            let mut sim =
+                Simulation::new(config(n, base_seed, max_retries, device_mem)).expect("valid");
             sim.set_transient_faults(TransientFaultPlan::new(seed, rates));
-            sim.run(steps).expect("recovery must survive every transient fault");
+            sim.run(steps)
+                .expect("recovery must survive every transient fault");
             let injected = sim.transient_faults().map(guaranteed_faults).unwrap_or(0);
             let reports = sim.fault_reports.clone();
             (sim, reports, injected)
@@ -153,6 +232,21 @@ fn main() {
                  {attributed} attributed in fault_reports"
             ),
         );
+        // Invariant 4 (pressure soak): under a constricted capacity every
+        // frame is admitted off the full rung, so every report must carry
+        // its degradation ladder starting at `full`.
+        if constricted {
+            violations.check(
+                !reports.is_empty(),
+                &format!("campaign {c} ({label}): constricted run logged no degradations"),
+            );
+            for (i, r) in reports.iter().enumerate() {
+                violations.check(
+                    r.ladder.first().map(|e| e.from == "full").unwrap_or(false),
+                    &format!("campaign {c} ({label}): report {i} missing its pressure ladder"),
+                );
+            }
+        }
         // Retry history shape: a retried frame records attempts 0..k in order.
         for r in &reports {
             for (k, ev) in r.retries.iter().enumerate() {
@@ -166,7 +260,10 @@ fn main() {
         println!(
             "campaign {c:2} [{label:11}] rates(flip={:.2} launch={:.2} hang={:.2}): \
              {} reports, {attributed} faulty launches attributed, state bit-identical",
-            rates.bit_flip, rates.launch_failure, rates.hang, reports.len(),
+            rates.bit_flip,
+            rates.launch_failure,
+            rates.hang,
+            reports.len(),
         );
     }
 
@@ -190,6 +287,7 @@ fn run_kill_resume_campaign(
     n: usize,
     workload_seed: u64,
     max_retries: u32,
+    device_mem: Option<u64>,
     steps: u64,
     seed: u64,
     rates: FaultRates,
@@ -199,7 +297,8 @@ fn run_kill_resume_campaign(
     let dir = std::env::temp_dir().join(format!("gravit-chaos-{}-{seed:x}", std::process::id()));
     let path = dir.join("campaign.ckpt");
 
-    let mut first = Simulation::new(config(n, workload_seed, max_retries)).expect("valid");
+    let mut first =
+        Simulation::new(config(n, workload_seed, max_retries, device_mem)).expect("valid");
     first.set_transient_faults(TransientFaultPlan::new(seed, rates));
     let mut last_ckpt_steps = 0;
     while first.steps < kill_at {
@@ -217,11 +316,15 @@ fn run_kill_resume_campaign(
     // resume; the checkpoint carries the prefix's report log on top.
     let mut sim = if last_ckpt_steps > 0 {
         let ckpt = Checkpoint::load(&path).expect("latest checkpoint loads");
-        Simulation::resume(config(n, workload_seed, max_retries), &ckpt).expect("resume")
+        Simulation::resume(config(n, workload_seed, max_retries, device_mem), &ckpt)
+            .expect("resume")
     } else {
-        Simulation::new(config(n, workload_seed, max_retries)).expect("valid")
+        Simulation::new(config(n, workload_seed, max_retries, device_mem)).expect("valid")
     };
-    sim.set_transient_faults(TransientFaultPlan::new(SplitMix64::mix(seed ^ 0xD1E), rates));
+    sim.set_transient_faults(TransientFaultPlan::new(
+        SplitMix64::mix(seed ^ 0xD1E),
+        rates,
+    ));
     sim.run(steps - sim.steps).expect("resumed run survives");
     let injected_after = sim.transient_faults().map(guaranteed_faults).unwrap_or(0);
     let reports = sim.fault_reports.clone();

@@ -10,7 +10,14 @@ fn main() {
     let sweep = fig10_sweep();
     let mut t = Table::new(
         "Fig. 10 — Average cycle count per single 4-byte read",
-        &["layout", "CUDA 1.0", "CUDA 1.1", "CUDA 2.2", "trans 1.0", "bus bytes 1.0"],
+        &[
+            "layout",
+            "CUDA 1.0",
+            "CUDA 1.1",
+            "CUDA 2.2",
+            "trans 1.0",
+            "bus bytes 1.0",
+        ],
     );
     for layout in Layout::ALL {
         let get = |d: DriverModel| {
@@ -37,7 +44,12 @@ fn main() {
     );
     let sp = fig11_speedups(&sweep);
     for driver in DriverModel::ALL {
-        let get = |l: Layout| sp.iter().find(|(d, ll, _)| *d == driver && *ll == l).unwrap().2;
+        let get = |l: Layout| {
+            sp.iter()
+                .find(|(d, ll, _)| *d == driver && *ll == l)
+                .unwrap()
+                .2
+        };
         s.row(vec![
             driver.label().into(),
             format!("{:.2}x", get(Layout::SoA)),

@@ -14,7 +14,12 @@ fn main() {
         &["driver", "SoA", "AoaS", "SoAoaS"],
     );
     for driver in DriverModel::ALL {
-        let get = |l: Layout| sp.iter().find(|(d, ll, _)| *d == driver && *ll == l).unwrap().2;
+        let get = |l: Layout| {
+            sp.iter()
+                .find(|(d, ll, _)| *d == driver && *ll == l)
+                .unwrap()
+                .2
+        };
         t.row(vec![
             driver.label().into(),
             format!("{:.2}", get(Layout::SoA)),

@@ -18,7 +18,17 @@ fn main() {
 
     let mut t = Table::new(
         format!("Fig. 12 — Gravit frame time by optimization level ({driver})"),
-        &["N", "CPU serial", "GPU base", "SoA", "AoaS", "SoAoaS", "+unroll", "full opt", "full speedup"],
+        &[
+            "N",
+            "CPU serial",
+            "GPU base",
+            "SoA",
+            "AoaS",
+            "SoAoaS",
+            "+unroll",
+            "full opt",
+            "full speedup",
+        ],
     );
     for n in FIG12_SIZES {
         let get = |lvl: OptLevel| {
@@ -43,19 +53,32 @@ fn main() {
             format!("{:.2}x", base / full),
         ]);
     }
-    emit(&t, &format!("fig12_gravit_{}", driver.label().replace([' ', '.'], "_")));
+    emit(
+        &t,
+        &format!("fig12_gravit_{}", driver.label().replace([' ', '.'], "_")),
+    );
 
     // Step-by-step decomposition at the largest size (the paper's narrative).
     let n = *FIG12_SIZES.last().unwrap();
     let mut d = Table::new(
         format!("Fig. 12 decomposition at N = {n} ({driver})"),
-        &["level", "kernel", "transfers", "total", "regs", "occupancy", "vs previous"],
+        &[
+            "level",
+            "kernel",
+            "transfers",
+            "total",
+            "regs",
+            "occupancy",
+            "vs previous",
+        ],
     );
     let mut prev: Option<f64> = None;
     for lvl in OptLevel::ALL {
         let p = sweep.iter().find(|p| p.level == lvl && p.n == n).unwrap();
         let total = p.total_s();
-        let step = prev.map(|x| format!("{:.3}x", x / total)).unwrap_or_else(|| "-".into());
+        let step = prev
+            .map(|x| format!("{:.3}x", x / total))
+            .unwrap_or_else(|| "-".into());
         d.row(vec![
             lvl.label().into(),
             format_duration_s(p.kernel_s),
@@ -67,5 +90,11 @@ fn main() {
         ]);
         prev = Some(total);
     }
-    emit(&d, &format!("fig12_decomposition_{}", driver.label().replace([' ', '.'], "_")));
+    emit(
+        &d,
+        &format!(
+            "fig12_decomposition_{}",
+            driver.label().replace([' ', '.'], "_")
+        ),
+    );
 }

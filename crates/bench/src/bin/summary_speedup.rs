@@ -12,7 +12,11 @@ fn main() {
     let n = 1_000_000u32;
     let mut t = Table::new(
         format!("Headline speedups at N = {n}"),
-        &["driver", "full vs GPU baseline", "full vs serial CPU (this machine)"],
+        &[
+            "driver",
+            "full vs GPU baseline",
+            "full vs serial CPU (this machine)",
+        ],
     );
     for driver in DriverModel::ALL {
         let (vs_base, vs_cpu) = summary_speedups(n, driver, 8192);

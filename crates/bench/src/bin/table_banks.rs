@@ -8,7 +8,12 @@ use simcore::Table;
 fn main() {
     let mut t = Table::new(
         "Shared-memory bank conflicts — strided reads, 16 banks (CUDA 1.0 model)",
-        &["word stride", "conflict degree", "cycles", "vs conflict-free"],
+        &[
+            "word stride",
+            "conflict degree",
+            "cycles",
+            "vs conflict-free",
+        ],
     );
     let rows = bank_sweep();
     let free = rows.iter().find(|r| r.stride == 1).unwrap().cycles as f64;

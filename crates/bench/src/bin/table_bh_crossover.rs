@@ -10,7 +10,13 @@ fn main() {
     let sizes = [1_024u32, 4_096, 16_384, 65_536];
     let mut t = Table::new(
         "GPU Barnes–Hut (θ=0.5) vs tuned direct O(n²) — modeled kernel time",
-        &["N", "direct O(n^2)", "tree O(n log n)", "tree speedup", "tree occupancy"],
+        &[
+            "N",
+            "direct O(n^2)",
+            "tree O(n log n)",
+            "tree speedup",
+            "tree occupancy",
+        ],
     );
     for r in bh_crossover(&sizes) {
         t.row(vec![

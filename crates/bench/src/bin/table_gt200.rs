@@ -11,7 +11,12 @@ fn main() {
         &["device", "active warps", "regs/thread", "occupancy"],
     );
     for (name, warps, regs, pct) in device_sensitivity() {
-        t.row(vec![name, warps.to_string(), regs.to_string(), format!("{pct:.0}%")]);
+        t.row(vec![
+            name,
+            warps.to_string(),
+            regs.to_string(),
+            format!("{pct:.0}%"),
+        ]);
     }
     emit(&t, "table_gt200");
     println!("GT200's doubled register file lifts the ceiling: the same 16-register");

@@ -22,7 +22,12 @@ fn main() {
             r.driver.label().to_string(),
             r.predicted.to_string(),
             r.measured.to_string(),
-            if r.predicted == r.measured { "yes" } else { "NO" }.to_string(),
+            if r.predicted == r.measured {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
         ]);
     }
     emit(&t, "table_lint_validation");

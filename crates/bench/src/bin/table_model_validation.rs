@@ -17,18 +17,33 @@ fn main() {
     let dev = DeviceConfig::g8800gtx();
     let driver = DriverModel::Cuda10;
     let tp = TimingParams::for_driver(driver);
-    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true };
+    let cfg = ForceKernelConfig {
+        layout: Layout::SoAoaS,
+        block: 128,
+        unroll: 128,
+        icm: true,
+    };
     let kernel = build_force_kernel(cfg);
     let regs = register_demand(&kernel).regs_per_thread as u32;
     let occ = occupancy(&dev, cfg.block, regs, kernel.smem_bytes);
 
     let mut t = Table::new(
         "Wave extrapolation vs exact full-grid simulation — tuned force kernel",
-        &["N", "blocks", "exact cycles", "wave-model cycles", "relative error"],
+        &[
+            "N",
+            "blocks",
+            "exact cycles",
+            "wave-model cycles",
+            "relative error",
+        ],
     );
     for n in [2_048u32, 4_096, 8_192] {
         let particles: Vec<Particle> = (0..n)
-            .map(|i| Particle { pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0), vel: Vec3::ZERO, mass: 1.0 })
+            .map(|i| Particle {
+                pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0),
+                vel: Vec3::ZERO,
+                mass: 1.0,
+            })
             .collect();
         let mut gmem = GlobalMemory::new(256 << 20);
         let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
@@ -39,7 +54,15 @@ fn main() {
         let grid = img.padded_n / cfg.block;
 
         let exact = time_grid(
-            &kernel, grid, cfg.block, occ.active_blocks, &params, &mut gmem.clone(), &dev, driver, &tp,
+            &kernel,
+            grid,
+            cfg.block,
+            occ.active_blocks,
+            &params,
+            &mut gmem.clone(),
+            &dev,
+            driver,
+            &tp,
         )
         .expect("exact dispatch is well-formed");
         // The wave model's residency cannot exceed what the grid actually

@@ -19,7 +19,12 @@ fn main() {
         &["variant", "block", "regs", "occupancy", "kernel time"],
     );
     for block in [128u32, 192] {
-        let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block, unroll: block, icm: true };
+        let cfg = ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block,
+            unroll: block,
+            icm: true,
+        };
         for (name, kernel) in [
             ("standard", build_force_kernel(cfg)),
             ("prefetch", build_force_kernel_prefetch(cfg)),

@@ -11,7 +11,13 @@ use simcore::Table;
 fn main() {
     let mut t = Table::new(
         "Texture-path ablation — cycles per 4-byte element (CUDA 1.0 model)",
-        &["layout", "global path", "texture path", "texture speedup", "tex hit rate"],
+        &[
+            "layout",
+            "global path",
+            "texture path",
+            "texture speedup",
+            "tex hit rate",
+        ],
     );
     for layout in Layout::ALL {
         let g = run_membench(layout, DriverModel::Cuda10);

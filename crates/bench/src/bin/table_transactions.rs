@@ -10,7 +10,15 @@ fn main() {
     for driver in DriverModel::ALL {
         let mut t = Table::new(
             format!("Figs. 3/5/7/9 — per-half-warp traffic, full record fetch ({driver})"),
-            &["layout", "loads", "transactions", "bus bytes", "useful bytes", "efficiency", "coalesced"],
+            &[
+                "layout",
+                "loads",
+                "transactions",
+                "bus bytes",
+                "useful bytes",
+                "efficiency",
+                "coalesced",
+            ],
         );
         for a in transaction_table(driver) {
             t.row(vec![
@@ -23,7 +31,13 @@ fn main() {
                 a.all_coalesced.to_string(),
             ]);
         }
-        emit(&t, &format!("table_transactions_{}", driver.label().replace([' ', '.'], "_")));
+        emit(
+            &t,
+            &format!(
+                "table_transactions_{}",
+                driver.label().replace([' ', '.'], "_")
+            ),
+        );
     }
     println!("Paper (CC 1.0): unopt 7 reads -> 112 transactions; SoA 7 -> 7;");
     println!("AoaS 2 -> 32; SoAoaS 2 -> 4 (two coalesced 128-bit reads).");

@@ -93,7 +93,10 @@ mod tests {
         let a = cpu_frame_seconds(10_000, 1_000);
         let b = cpu_frame_seconds(20_000, 1_000);
         let ratio = b / a;
-        assert!((1.5..11.0).contains(&ratio), "quadratic extrapolation, got {ratio}");
+        assert!(
+            (1.5..11.0).contains(&ratio),
+            "quadratic extrapolation, got {ratio}"
+        );
         assert!(a > 0.0 && a.is_finite());
     }
 }

@@ -64,9 +64,15 @@ pub fn run_membench_texture(layout: Layout, driver: DriverModel) -> MembenchResu
 fn run_with_kernel(layout: Layout, driver: DriverModel, texture: bool) -> MembenchResult {
     let dev = DeviceConfig::g8800gtx();
     let tp = TimingParams::for_driver(driver);
-    let cfg = MembenchConfig { layout, iters: ITERS };
-    let kernel =
-        if texture { build_membench_texture_kernel(cfg) } else { build_membench_kernel(cfg) };
+    let cfg = MembenchConfig {
+        layout,
+        iters: ITERS,
+    };
+    let kernel = if texture {
+        build_membench_texture_kernel(cfg)
+    } else {
+        build_membench_kernel(cfg)
+    };
 
     // The stripped-down benchmark runs one block per SM (a small grid keeps
     // the measurement clean of inter-block queueing, as a latency
@@ -95,15 +101,19 @@ fn run_with_kernel(layout: Layout, driver: DriverModel, texture: bool) -> Memben
     params.push(out_delta.0 as u32);
     params.push(out_sum.0 as u32);
 
-    let run = time_resident(&kernel, &resident, BLOCK, grid, &params, &mut gmem, &dev, driver, &tp)
-        .expect("the benchmark launch is well-formed");
+    let run = time_resident(
+        &kernel, &resident, BLOCK, grid, &params, &mut gmem, &dev, driver, &tp,
+    )
+    .expect("the benchmark launch is well-formed");
 
     // The paper's metric, averaged over every thread of the wave, plus the
     // per-thread distribution.
     let mut total_delta = 0u64;
     let mut per_thread: Vec<f64> = Vec::with_capacity(threads as usize);
     for t in 0..threads {
-        let bytes = gmem.download(out_delta.offset(4 * t), 4).expect("kernel wrote its delta");
+        let bytes = gmem
+            .download(out_delta.offset(4 * t), 4)
+            .expect("kernel wrote its delta");
         let d = u32::from_le_bytes(bytes.try_into().unwrap()) as u64;
         total_delta += d;
         per_thread.push(d as f64 / cfg.elements() as f64);
@@ -149,7 +159,11 @@ pub fn fig11_speedups(sweep: &[MembenchResult]) -> Vec<(DriverModel, Layout, f64
                 .iter()
                 .find(|r| r.driver == driver && r.layout == layout)
                 .expect("sweep missing layout");
-            out.push((driver, layout, base.avg_cycles_per_read / r.avg_cycles_per_read));
+            out.push((
+                driver,
+                layout,
+                base.avg_cycles_per_read / r.avg_cycles_per_read,
+            ));
         }
     }
     out

@@ -35,7 +35,12 @@ pub fn unroll_sweep(n: u32) -> Vec<UnrollRow> {
     let mut rows = Vec::new();
     let mut rolled_per_elem = 0.0f64;
     for &factor in &factors {
-        let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block, unroll: factor, icm: false };
+        let cfg = ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block,
+            unroll: factor,
+            icm: false,
+        };
         let k = build_force_kernel(cfg);
         let mut params = vec![0u32; k.n_params as usize];
         let n_idx = k.n_params as usize - 3; // ..., out, n, eps, smem0
@@ -80,19 +85,39 @@ pub fn occupancy_ladder() -> Vec<OccupancyRow> {
     let steps: [(&'static str, ForceKernelConfig); 4] = [
         (
             "baseline (rolled, block 192)",
-            ForceKernelConfig { layout: Layout::SoAoaS, block: 192, unroll: 1, icm: false },
+            ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 192,
+                unroll: 1,
+                icm: false,
+            },
         ),
         (
             "+ full unroll (block 192)",
-            ForceKernelConfig { layout: Layout::SoAoaS, block: 192, unroll: 192, icm: false },
+            ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 192,
+                unroll: 192,
+                icm: false,
+            },
         ),
         (
             "+ ICM (block 192)",
-            ForceKernelConfig { layout: Layout::SoAoaS, block: 192, unroll: 192, icm: true },
+            ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 192,
+                unroll: 192,
+                icm: true,
+            },
         ),
         (
             "+ block 128",
-            ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true },
+            ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 128,
+                unroll: 128,
+                icm: true,
+            },
         ),
     ];
     steps
@@ -115,13 +140,19 @@ pub fn occupancy_ladder() -> Vec<OccupancyRow> {
 /// The per-half-warp transaction table (Figs. 3/5/7/9): full-record fetch
 /// under each layout and driver.
 pub fn transaction_table(driver: DriverModel) -> Vec<TransactionAnalysis> {
-    Layout::ALL.iter().map(|&l| analyze_plan(&l.read_plan_all(), driver)).collect()
+    Layout::ALL
+        .iter()
+        .map(|&l| analyze_plan(&l.read_plan_all(), driver))
+        .collect()
 }
 
 /// The grouping ablation (experiment E8): hot-path (position+mass) fetch
 /// traffic for the grouped SoAoaS vs the ungrouped AoaS.
 pub fn grouping_ablation(driver: DriverModel) -> Vec<TransactionAnalysis> {
-    Layout::ALL.iter().map(|&l| analyze_plan(&l.read_plan_posmass(), driver)).collect()
+    Layout::ALL
+        .iter()
+        .map(|&l| analyze_plan(&l.read_plan_posmass(), driver))
+        .collect()
 }
 
 /// The paper's "a little more than 25 instructions" check: per-iteration
@@ -156,7 +187,10 @@ mod tests {
         let full = rows.last().unwrap();
         let rolled = &rows[0];
         let reduction = 1.0 - full.instrs_per_element / rolled.instrs_per_element;
-        assert!((0.15..0.25).contains(&reduction), "reduction {reduction:.3}");
+        assert!(
+            (0.15..0.25).contains(&reduction),
+            "reduction {reduction:.3}"
+        );
         assert!(full.eq3_predicted > 1.15 && full.eq3_predicted < 1.3);
     }
 
@@ -166,11 +200,17 @@ mod tests {
         assert_eq!(rows[0].regs, 18);
         assert!((rows[0].occupancy_pct - 50.0).abs() < 1e-9);
         assert_eq!(rows[1].regs, 17);
-        assert!((rows[1].occupancy_pct - 50.0).abs() < 1e-9, "unroll alone: no occupancy change");
+        assert!(
+            (rows[1].occupancy_pct - 50.0).abs() < 1e-9,
+            "unroll alone: no occupancy change"
+        );
         assert_eq!(rows[2].regs, 16);
         let last = rows.last().unwrap();
         assert_eq!(last.regs, 16);
-        assert!((last.occupancy_pct - 66.666).abs() < 0.1, "final step reaches 67 %");
+        assert!(
+            (last.occupancy_pct - 66.666).abs() < 0.1,
+            "final step reaches 67 %"
+        );
     }
 
     #[test]
@@ -242,7 +282,11 @@ pub fn bank_sweep() -> Vec<BankRow> {
             let addrs: Vec<Option<u64>> = (0..16)
                 .map(|t| Some((((t * stride) & (SMEM_WORDS - 1)) * 4) as u64))
                 .collect();
-            BankRow { stride, degree: conflict_degree(&addrs, dev.smem_banks), cycles: run.cycles }
+            BankRow {
+                stride,
+                degree: conflict_degree(&addrs, dev.smem_banks),
+                cycles: run.cycles,
+            }
         })
         .collect()
 }
@@ -267,7 +311,12 @@ pub fn block_sweep(n: u32, driver: DriverModel) -> Vec<BlockRow> {
     [64u32, 96, 128, 160, 192, 256]
         .into_iter()
         .map(|block| {
-            let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block, unroll: block, icm: true };
+            let cfg = ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block,
+                unroll: block,
+                icm: true,
+            };
             let (point, regs) = model_frame_config(cfg, n, driver);
             BlockRow {
                 block,
@@ -282,7 +331,12 @@ pub fn block_sweep(n: u32, driver: DriverModel) -> Vec<BlockRow> {
 /// The GT200 sensitivity study (the paper's "different GPU models" future
 /// work): occupancy of the tuned kernel on both devices.
 pub fn device_sensitivity() -> Vec<(String, u32, u16, f64)> {
-    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true };
+    let cfg = ForceKernelConfig {
+        layout: Layout::SoAoaS,
+        block: 128,
+        unroll: 128,
+        icm: true,
+    };
     let k = build_force_kernel(cfg);
     let regs = register_demand(&k).regs_per_thread;
     [DeviceConfig::g8800gtx(), DeviceConfig::gtx280()]
@@ -316,14 +370,23 @@ mod ablation_tests {
     #[test]
     fn block_sweep_puts_128_on_the_occupancy_frontier() {
         let rows = block_sweep(100_000, DriverModel::Cuda10);
-        let best = rows.iter().min_by(|a, b| a.kernel_s.total_cmp(&b.kernel_s)).unwrap();
+        let best = rows
+            .iter()
+            .min_by(|a, b| a.kernel_s.total_cmp(&b.kernel_s))
+            .unwrap();
         let best_occ = rows.iter().map(|r| r.occupancy_pct).fold(0.0f64, f64::max);
         let at = |b: u32| rows.iter().find(|r| r.block == b).unwrap();
         // At 16 registers the design space is nearly flat (within ~6%); the
         // paper's 128 sits on the occupancy frontier and within noise of the
         // time optimum — which is the actual content of their choice.
-        assert!(at(128).kernel_s <= 1.06 * best.kernel_s, "128 far from optimal: {rows:?}");
-        assert!((at(128).occupancy_pct - best_occ).abs() < 1e-9, "128 not at max occupancy");
+        assert!(
+            at(128).kernel_s <= 1.06 * best.kernel_s,
+            "128 far from optimal: {rows:?}"
+        );
+        assert!(
+            (at(128).occupancy_pct - best_occ).abs() < 1e-9,
+            "128 not at max occupancy"
+        );
         assert!(at(128).occupancy_pct > at(192).occupancy_pct);
     }
 
@@ -332,7 +395,12 @@ mod ablation_tests {
         let rows = device_sensitivity();
         assert_eq!(rows.len(), 2);
         let (g80, gt200) = (&rows[0], &rows[1]);
-        assert!(gt200.3 > g80.3, "GT200 occupancy {} should exceed G80 {}", gt200.3, g80.3);
+        assert!(
+            gt200.3 > g80.3,
+            "GT200 occupancy {} should exceed G80 {}",
+            gt200.3,
+            g80.3
+        );
     }
 }
 
@@ -369,8 +437,12 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
         .iter()
         .map(|&n| {
             // Direct kernel at the paper's full optimization level.
-            let direct_cfg =
-                ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true };
+            let direct_cfg = ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 128,
+                unroll: 128,
+                icm: true,
+            };
             let (direct, _) = model_frame_config(direct_cfg, n, driver);
 
             // BH: build the real tree for this workload and simulate sample
@@ -385,7 +457,10 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
             let need = lt.max_stack_depth(&probes, theta * theta) as u32 + 16;
             let block = if 64 * need * 4 <= 15 * 1024 { 64 } else { 32 };
             let cfg = BhKernelConfig { block, depth: need };
-            assert!(cfg.smem_bytes() <= 15 * 1024, "stack depth {need} unservable");
+            assert!(
+                cfg.smem_bytes() <= 15 * 1024,
+                "stack depth {need} unservable"
+            );
             let kernel = build_bh_kernel(cfg);
             let regs = register_demand(&kernel).regs_per_thread as u32;
             let occ = occupancy(&dev, cfg.block, regs, kernel.smem_bytes);
@@ -402,11 +477,20 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
             let mut cycles = 0u64;
             for sidx in 0..samples {
                 let base = sidx * (grid / samples);
-                let resident: Vec<u32> =
-                    (0..occ.active_blocks.min(grid - base)).map(|k| base + k).collect();
+                let resident: Vec<u32> = (0..occ.active_blocks.min(grid - base))
+                    .map(|k| base + k)
+                    .collect();
                 let mut scratch = gmem.clone();
                 let run = time_resident(
-                    &kernel, &resident, cfg.block, grid, &params, &mut scratch, &dev, driver, &tp,
+                    &kernel,
+                    &resident,
+                    cfg.block,
+                    grid,
+                    &params,
+                    &mut scratch,
+                    &dev,
+                    driver,
+                    &tp,
                 )
                 .expect("crossover launch is well-formed");
                 cycles += run.cycles;
@@ -414,7 +498,12 @@ pub fn bh_crossover(sizes: &[u32]) -> Vec<CrossoverRow> {
             let wave_cycles = cycles / samples as u64;
             let waves = (grid as u64).div_ceil(dev.num_sms as u64 * occ.active_blocks as u64);
             let bh_s = (wave_cycles * waves) as f64 / dev.clock_hz;
-            CrossoverRow { n, direct_s: direct.kernel_s, bh_s, bh_occupancy_pct: occ.percent() }
+            CrossoverRow {
+                n,
+                direct_s: direct.kernel_s,
+                bh_s,
+                bh_occupancy_pct: occ.percent(),
+            }
         })
         .collect()
 }
@@ -434,7 +523,10 @@ mod crossover_tests {
         let rows = bh_crossover(&[1_024, 16_384]);
         for r in &rows {
             assert!(r.bh_s > 0.0 && r.direct_s > 0.0);
-            assert!(r.bh_occupancy_pct < 10.0, "smem stacks must starve the launch");
+            assert!(
+                r.bh_occupancy_pct < 10.0,
+                "smem stacks must starve the launch"
+            );
             let ratio = r.direct_s / r.bh_s;
             assert!(
                 (0.05..4.0).contains(&ratio),
@@ -487,8 +579,8 @@ pub fn lint_cross_validation() -> Vec<LintValidationRow> {
         let n = cfg.particles_needed(grid, block) as usize;
         let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
         let mut gmem = GlobalMemory::new(64 << 20);
-        let img = DeviceImage::upload(&mut gmem, layout, &ps, block)
-            .expect("validation upload fits");
+        let img =
+            DeviceImage::upload(&mut gmem, layout, &ps, block).expect("validation upload fits");
         let out_delta = gmem.alloc(u64::from(grid * block) * 4).expect("delta fits");
         let out_sum = gmem.alloc(u64::from(grid * block) * 4).expect("sum fits");
         let mut params = img.base_params();
@@ -499,7 +591,15 @@ pub fn lint_cross_validation() -> Vec<LintValidationRow> {
             let report = analyze_kernel(&kernel, &acfg);
             let tp = TimingParams::for_driver(driver);
             let run = time_grid(
-                &kernel, grid, block, 1, &params, &mut gmem.clone(), &dev, driver, &tp,
+                &kernel,
+                grid,
+                block,
+                1,
+                &params,
+                &mut gmem.clone(),
+                &dev,
+                driver,
+                &tp,
             )
             .expect("validation launch is well-formed");
             rows.push(LintValidationRow {
@@ -521,7 +621,11 @@ mod lint_validation_tests {
     #[test]
     fn static_prediction_matches_dynamic_coalescer_on_membench() {
         for r in lint_cross_validation() {
-            assert!(r.exact, "{} under {}: analysis must be exact", r.layout, r.driver);
+            assert!(
+                r.exact,
+                "{} under {}: analysis must be exact",
+                r.layout, r.driver
+            );
             assert_eq!(
                 r.predicted, r.measured,
                 "{} under {}: static and dynamic transaction counts diverge",
@@ -585,8 +689,7 @@ pub fn time_kernel_at(
         .expect("ablation launch is well-formed");
         measured.push((small_n as u64, run.cycles));
     }
-    let wave_cycles =
-        extrapolate_linear(&measured, padded as u64).expect("cost grows with tiles");
+    let wave_cycles = extrapolate_linear(&measured, padded as u64).expect("cost grows with tiles");
     let blocks = (padded / cfg.block) as u64;
     let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
     (wave_cycles * waves) as f64 / dev.clock_hz
@@ -626,15 +729,15 @@ pub fn cost_vs_measured(n: u32, driver: DriverModel) -> Vec<CostValidationRow> {
         let fcfg = level.config();
         let kernel = build_force_kernel(fcfg);
         let vn = VGRID * fcfg.block;
-        let mut params: Vec<u32> =
-            (0..fcfg.layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+        let mut params: Vec<u32> = (0..fcfg.layout.buffers().len() as u32)
+            .map(|i| 0x1_0000 * (i + 1))
+            .collect();
         params.push(0x20_0000); // out
         params.push(vn); // n
         params.push(0.05f32.to_bits()); // eps
         params.push(0); // smem0
         let acfg = AnalysisConfig::new(VGRID, fcfg.block, params).with_driver(driver);
-        let c = cost::estimate(&kernel, &acfg)
-            .expect("the force ladder is statically analyzable");
+        let c = cost::estimate(&kernel, &acfg).expect("the force ladder is statically analyzable");
         let pairs = (VGRID * fcfg.block) as f64 * vn as f64;
         rows.push(CostValidationRow {
             level,
@@ -657,10 +760,7 @@ pub fn cost_vs_measured(n: u32, driver: DriverModel) -> Vec<CostValidationRow> {
 /// Pairs of ladder levels whose static and measured orderings disagree,
 /// ignoring pairs the dynamic engine itself places within `tolerance`
 /// (relative measured gap) — those are ties, not rankings.
-pub fn ranking_disagreements(
-    rows: &[CostValidationRow],
-    tolerance: f64,
-) -> Vec<(usize, usize)> {
+pub fn ranking_disagreements(rows: &[CostValidationRow], tolerance: f64) -> Vec<(usize, usize)> {
     let mut bad = Vec::new();
     for i in 0..rows.len() {
         for j in (i + 1)..rows.len() {

@@ -40,13 +40,21 @@ pub struct FieldSpec {
 impl FieldSpec {
     /// A 32-bit scalar field.
     pub fn scalar(name: impl Into<String>, freq: AccessFreq) -> FieldSpec {
-        FieldSpec { name: name.into(), words: 1, freq }
+        FieldSpec {
+            name: name.into(),
+            words: 1,
+            freq,
+        }
     }
 
     /// A wider field (2–4 words, e.g. a double or a small vector).
     pub fn wide(name: impl Into<String>, words: u32, freq: AccessFreq) -> FieldSpec {
         assert!((1..=4).contains(&words), "field width must be 1–4 words");
-        FieldSpec { name: name.into(), words, freq }
+        FieldSpec {
+            name: name.into(),
+            words,
+            freq,
+        }
     }
 }
 
@@ -62,7 +70,11 @@ impl StructSchema {
     pub fn new(fields: Vec<FieldSpec>) -> StructSchema {
         assert!(!fields.is_empty(), "empty schema");
         for f in &fields {
-            assert!((1..=4).contains(&f.words), "field {} has invalid width", f.name);
+            assert!(
+                (1..=4).contains(&f.words),
+                "field {} has invalid width",
+                f.name
+            );
         }
         StructSchema { fields }
     }
@@ -176,7 +188,12 @@ pub fn optimize_layout(schema: &StructSchema) -> LayoutPlan {
         }
         for (fields, used) in bins {
             let padded = used.next_power_of_two().max(1);
-            groups.push(SubStruct { fields, freq, used_words: used, padded_words: padded });
+            groups.push(SubStruct {
+                fields,
+                freq,
+                used_words: used,
+                padded_words: padded,
+            });
         }
     }
 
@@ -184,10 +201,14 @@ pub fn optimize_layout(schema: &StructSchema) -> LayoutPlan {
     // Score both layouts through the real coalescer (CC 1.0 protocol, the
     // hardware rule the paper's figures assume).
     let baseline_transactions = packed_aos_transactions(schema);
-    let optimized_transactions =
-        groups.iter().map(group_transactions).sum::<u32>();
+    let optimized_transactions = groups.iter().map(group_transactions).sum::<u32>();
 
-    LayoutPlan { schema: schema.clone(), groups, baseline_transactions, optimized_transactions }
+    LayoutPlan {
+        schema: schema.clone(),
+        groups,
+        baseline_transactions,
+        optimized_transactions,
+    }
 }
 
 /// Transactions per half-warp for a full-record fetch from the naive packed
@@ -201,9 +222,11 @@ fn packed_aos_transactions(schema: &StructSchema) -> u32 {
         // so the baseline reads them as scalars — exactly what the original
         // Gravit code does.
         for w in 0..f.words {
-            let addrs: Vec<Option<u64>> =
-                (0..16).map(|k| Some(k * stride + offset + 4 * w as u64)).collect();
-            total += coalesce_half_warp(DriverModel::Cuda10, &addrs, AccessWidth::W4).count() as u32;
+            let addrs: Vec<Option<u64>> = (0..16)
+                .map(|k| Some(k * stride + offset + 4 * w as u64))
+                .collect();
+            total +=
+                coalesce_half_warp(DriverModel::Cuda10, &addrs, AccessWidth::W4).count() as u32;
         }
         offset += f.words as u64 * 4;
     }
@@ -246,7 +269,10 @@ mod tests {
 
     #[test]
     fn single_hot_scalar_stays_one_array() {
-        let plan = optimize_layout(&StructSchema::new(vec![FieldSpec::scalar("x", AccessFreq::Hot)]));
+        let plan = optimize_layout(&StructSchema::new(vec![FieldSpec::scalar(
+            "x",
+            AccessFreq::Hot,
+        )]));
         assert_eq!(plan.groups.len(), 1);
         assert_eq!(plan.groups[0].padded_words, 1);
         // A single coalesced scalar array: 1 transaction either way.
@@ -256,8 +282,9 @@ mod tests {
     #[test]
     fn large_structure_splits_into_multiple_bins() {
         // 9 hot scalars: 3 bins (4+4+1).
-        let fields: Vec<FieldSpec> =
-            (0..9).map(|i| FieldSpec::scalar(format!("f{i}"), AccessFreq::Hot)).collect();
+        let fields: Vec<FieldSpec> = (0..9)
+            .map(|i| FieldSpec::scalar(format!("f{i}"), AccessFreq::Hot))
+            .collect();
         let plan = optimize_layout(&StructSchema::new(fields));
         assert_eq!(plan.groups.len(), 3);
         let sizes: Vec<u32> = plan.groups.iter().map(|g| g.used_words).collect();
@@ -286,9 +313,15 @@ mod tests {
             FieldSpec::scalar("w1", AccessFreq::Warm),
         ]));
         for g in &plan.groups {
-            let freqs: Vec<AccessFreq> =
-                g.fields.iter().map(|&i| plan.schema.fields[i].freq).collect();
-            assert!(freqs.iter().all(|&f| f == g.freq), "mixed-frequency bin: {g:?}");
+            let freqs: Vec<AccessFreq> = g
+                .fields
+                .iter()
+                .map(|&i| plan.schema.fields[i].freq)
+                .collect();
+            assert!(
+                freqs.iter().all(|&f| f == g.freq),
+                "mixed-frequency bin: {g:?}"
+            );
         }
         // Hot groups come first.
         assert_eq!(plan.groups[0].freq, AccessFreq::Hot);
@@ -297,7 +330,18 @@ mod tests {
     #[test]
     fn every_field_is_placed_exactly_once() {
         let schema = StructSchema::new(
-            (0..13).map(|i| FieldSpec::scalar(format!("f{i}"), if i % 3 == 0 { AccessFreq::Hot } else { AccessFreq::Cold })).collect(),
+            (0..13)
+                .map(|i| {
+                    FieldSpec::scalar(
+                        format!("f{i}"),
+                        if i % 3 == 0 {
+                            AccessFreq::Hot
+                        } else {
+                            AccessFreq::Cold
+                        },
+                    )
+                })
+                .collect(),
         );
         let plan = optimize_layout(&schema);
         let mut placed: Vec<usize> = plan.groups.iter().flat_map(|g| g.fields.clone()).collect();

@@ -61,6 +61,6 @@ pub mod substrates {
 }
 
 pub use layout_advisor::{optimize_layout, LayoutPlan, StructSchema};
-pub use report::{build_report, OptimizationReport};
 pub use pipeline::{optimization_ladder, LadderStep};
+pub use report::{build_report, OptimizationReport};
 pub use unroll_advisor::{advise_unroll, UnrollAdvice};

@@ -107,7 +107,11 @@ pub fn enrich_report(report: AnalysisReport) -> EnrichedReport {
             _ => {}
         }
     }
-    EnrichedReport { report, layout_advice, pass_advice }
+    EnrichedReport {
+        report,
+        layout_advice,
+        pass_advice,
+    }
 }
 
 #[cfg(test)]
@@ -122,7 +126,10 @@ mod tests {
         let target = &workspace_lint_targets()[0];
         let enriched = enrich_report(target.analyze());
         assert!(enriched.report.has_errors());
-        assert!(!enriched.layout_advice.is_empty(), "28-byte stride must get a plan");
+        assert!(
+            !enriched.layout_advice.is_empty(),
+            "28-byte stride must get a plan"
+        );
         let a = &enriched.layout_advice[0];
         assert_eq!(a.lane_stride, 28, "Gravit's packed record");
         assert_eq!(a.plan.baseline_transactions, 112);
@@ -132,7 +139,11 @@ mod tests {
             Severity::Error,
             "advice indexes the uncoalesced error"
         );
-        assert!(enriched.render().contains("112 -> 4 transactions"), "{}", enriched.render());
+        assert!(
+            enriched.render().contains("112 -> 4 transactions"),
+            "{}",
+            enriched.render()
+        );
     }
 
     #[test]

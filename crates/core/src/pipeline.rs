@@ -85,6 +85,9 @@ mod tests {
         // (The instruction difference between scalar/vector tile loads is in
         // the per-tile term, which is tiny per element.)
         let diff = (steps[0].instrs_per_element - steps[3].instrs_per_element).abs();
-        assert!(diff < 0.2, "layout must not touch the hot loop (diff {diff})");
+        assert!(
+            diff < 0.2,
+            "layout must not touch the hot loop (diff {diff})"
+        );
     }
 }

@@ -61,7 +61,11 @@ pub struct OptimizationReport {
 }
 
 /// Produce the full report for a schema on a device.
-pub fn build_report(dev: &DeviceConfig, driver: DriverModel, schema: &StructSchema) -> OptimizationReport {
+pub fn build_report(
+    dev: &DeviceConfig,
+    driver: DriverModel,
+    schema: &StructSchema,
+) -> OptimizationReport {
     let layout = optimize_layout(schema);
     let advice = advise_unroll(dev, Layout::SoAoaS, 128, true);
     let unroll = advice

@@ -48,17 +48,24 @@ impl UnrollAdvice {
 /// setting on a device.
 pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) -> UnrollAdvice {
     let n = block * 64; // reference size; per-element budgets are size-stable
-    let factors: Vec<u32> = (0..=block.ilog2()).map(|e| 1 << e).filter(|f| block.is_multiple_of(*f)).collect();
+    let factors: Vec<u32> = (0..=block.ilog2())
+        .map(|e| 1 << e)
+        .filter(|f| block.is_multiple_of(*f))
+        .collect();
     let mut options = Vec::new();
     let mut rolled = None;
     for &factor in &factors {
-        let cfg = ForceKernelConfig { layout, block, unroll: factor, icm };
+        let cfg = ForceKernelConfig {
+            layout,
+            block,
+            unroll: factor,
+            icm,
+        };
         let k = build_force_kernel(cfg);
         let mut params = vec![0u32; k.n_params as usize];
         params[k.n_params as usize - 3] = n;
         let per_elem = dynamic_instructions(&k, &params)
-            .expect("force kernel loop bounds are launch constants")
-            as f64
+            .expect("force kernel loop bounds are launch constants") as f64
             / n as f64;
         if factor == 1 {
             rolled = Some(per_elem);
@@ -85,7 +92,10 @@ pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) 
             recommended = i;
         }
     }
-    UnrollAdvice { options, recommended }
+    UnrollAdvice {
+        options,
+        recommended,
+    }
 }
 
 #[cfg(test)]
@@ -125,7 +135,13 @@ mod tests {
         // address base shared by the copies, plus copy-boundary temporaries)
         // — the classic register-pressure cost of partial unrolling.
         for o in &advice.options {
-            assert!(o.regs <= rolled + 2, "factor {} uses {} vs rolled {}", o.factor, o.regs, rolled);
+            assert!(
+                o.regs <= rolled + 2,
+                "factor {} uses {} vs rolled {}",
+                o.factor,
+                o.regs,
+                rolled
+            );
         }
         // Full unroll frees the iterator — the paper's point.
         assert!(advice.options.last().unwrap().regs < rolled);

@@ -26,7 +26,11 @@ fn regs(unroll: u32, icm: bool) -> u16 {
 fn the_register_ladder_is_18_17_16() {
     assert_eq!(regs(1, false), 18, "rolled baseline");
     assert_eq!(regs(128, false), 17, "full unroll drops the loop counter");
-    assert_eq!(regs(128, true), 16, "hoisting before unrolling frees one more");
+    assert_eq!(
+        regs(128, true),
+        16,
+        "hoisting before unrolling frees one more"
+    );
 }
 
 #[test]
@@ -45,10 +49,16 @@ fn licm_before_unroll_needs_fewer_registers_than_after() {
 
 #[test]
 fn both_composition_orders_are_proved_equivalent() {
-    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 32, unroll: 1, icm: false };
+    let cfg = ForceKernelConfig {
+        layout: Layout::SoAoaS,
+        block: 32,
+        unroll: 1,
+        icm: false,
+    };
     let k = build_force_kernel(cfg);
-    let mut params: Vec<u32> =
-        (0..cfg.layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+    let mut params: Vec<u32> = (0..cfg.layout.buffers().len() as u32)
+        .map(|i| 0x1_0000 * (i + 1))
+        .collect();
     params.push(0x20_0000); // out
     params.push(64); // n = grid * block
     params.push(0.5f32.to_bits()); // eps
@@ -66,7 +76,11 @@ fn the_advisor_recommends_licm_plus_full_unroll() {
     let with_icm = advise_unroll(&dev, Layout::SoAoaS, 128, true);
     let without = advise_unroll(&dev, Layout::SoAoaS, 128, false);
     assert_eq!(with_icm.best().factor, 128);
-    assert_eq!(with_icm.best().regs, 16, "licm-first reaches the 16-reg point");
+    assert_eq!(
+        with_icm.best().regs,
+        16,
+        "licm-first reaches the 16-reg point"
+    );
     assert_eq!(without.best().regs, 17, "unroll alone stops at 17");
     assert!(
         with_icm.best().occupancy.active_warps >= without.best().occupancy.active_warps,

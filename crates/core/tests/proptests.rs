@@ -6,7 +6,14 @@ use proptest::prelude::*;
 
 fn schema_strategy() -> impl Strategy<Value = StructSchema> {
     proptest::collection::vec(
-        (1u32..=4, prop_oneof![Just(AccessFreq::Hot), Just(AccessFreq::Warm), Just(AccessFreq::Cold)]),
+        (
+            1u32..=4,
+            prop_oneof![
+                Just(AccessFreq::Hot),
+                Just(AccessFreq::Warm),
+                Just(AccessFreq::Cold)
+            ],
+        ),
         1..24,
     )
     .prop_map(|fields| {

@@ -232,8 +232,11 @@ mod tests {
         b.st(MemSpace::Global, oa, 0, vec![acc.into()]);
         let busy = b.finish();
         let cfg = AnalysisConfig::new(1, 64, vec![0x80000]);
-        let lean = estimate(&copy_kernel(4), &AnalysisConfig::new(1, 64, vec![0x1000, 0x80000]))
-            .unwrap();
+        let lean = estimate(
+            &copy_kernel(4),
+            &AnalysisConfig::new(1, 64, vec![0x1000, 0x80000]),
+        )
+        .unwrap();
         let fat = estimate(&busy, &cfg).unwrap();
         assert!(fat.issue_cycles > lean.issue_cycles);
     }

@@ -49,11 +49,21 @@ pub(crate) enum IStmt<'k> {
         latch: (u64, u64, u64),
     },
     /// Masked conditional (no indices: `IfMasked` markers do not retire).
-    If { pred: Pred, negate: bool, then: Vec<IStmt<'k>>, els: Vec<IStmt<'k>> },
+    If {
+        pred: Pred,
+        negate: bool,
+        then: Vec<IStmt<'k>>,
+        els: Vec<IStmt<'k>>,
+    },
     /// Block barrier (no index).
     Sync,
     /// Divergent bottom-tested loop and the index of its backedge branch.
-    While { pred: Pred, negate: bool, body: Vec<IStmt<'k>>, backedge: u64 },
+    While {
+        pred: Pred,
+        negate: bool,
+        body: Vec<IStmt<'k>>,
+        backedge: u64,
+    },
 }
 
 /// Annotate a statement list with stable instruction indices.
@@ -62,13 +72,32 @@ pub(crate) fn index_stmts<'k>(stmts: &'k [Stmt], ix: &mut InstrIndexer) -> Vec<I
         .iter()
         .map(|s| match s {
             Stmt::I(i) => IStmt::I(ix.instr(), i),
-            Stmt::For { var, start, end, step, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let init = ix.instr();
                 let body = index_stmts(body, ix);
                 let latch = ix.for_latch();
-                IStmt::For { init, var: *var, start, end, step: *step, body, latch }
+                IStmt::For {
+                    init,
+                    var: *var,
+                    start,
+                    end,
+                    step: *step,
+                    body,
+                    latch,
+                }
             }
-            Stmt::If { pred, negate, then, els } => IStmt::If {
+            Stmt::If {
+                pred,
+                negate,
+                then,
+                els,
+            } => IStmt::If {
                 pred: *pred,
                 negate: *negate,
                 then: index_stmts(then, ix),
@@ -78,7 +107,12 @@ pub(crate) fn index_stmts<'k>(stmts: &'k [Stmt], ix: &mut InstrIndexer) -> Vec<I
             Stmt::While { pred, negate, body } => {
                 let body = index_stmts(body, ix);
                 let backedge = ix.while_backedge();
-                IStmt::While { pred: *pred, negate: *negate, body, backedge }
+                IStmt::While {
+                    pred: *pred,
+                    negate: *negate,
+                    body,
+                    backedge,
+                }
             }
         })
         .collect()
@@ -156,7 +190,12 @@ pub(crate) struct Sink {
 
 impl Sink {
     pub(crate) fn new() -> Sink {
-        Sink { sites: BTreeMap::new(), diags: Vec::new(), exact: true, dedup: HashSet::new() }
+        Sink {
+            sites: BTreeMap::new(),
+            diags: Vec::new(),
+            exact: true,
+            dedup: HashSet::new(),
+        }
     }
 
     fn push_once(&mut self, key: String, d: Diagnostic) {
@@ -177,7 +216,12 @@ fn site_at(kernel: &str, block: u32, thread: Option<u32>, instr: Option<u64>) ->
 
 /// Run the abstract interpretation over every (block, warp) of the launch,
 /// then the per-block race and barrier-deadlock checks.
-pub(crate) fn interpret(kernel: &Kernel, tree: &[IStmt<'_>], cfg: &AnalysisConfig, sink: &mut Sink) {
+pub(crate) fn interpret(
+    kernel: &Kernel,
+    tree: &[IStmt<'_>],
+    cfg: &AnalysisConfig,
+    sink: &mut Sink,
+) {
     let warps = cfg.block.div_ceil(WARP as u32);
     for block_id in 0..cfg.grid {
         let mut events: Vec<SharedEv> = Vec::new();
@@ -233,8 +277,12 @@ fn check_races(kernel: &Kernel, block_id: u32, events: &[SharedEv], sink: &mut S
         cells.entry((e.phase, e.word)).or_default().push(e);
     }
     for ((phase, word), evs) in cells {
-        let Some(writer) = evs.iter().find(|e| e.is_write) else { continue };
-        let Some(other) = evs.iter().find(|e| e.thread != writer.thread) else { continue };
+        let Some(writer) = evs.iter().find(|e| e.is_write) else {
+            continue;
+        };
+        let Some(other) = evs.iter().find(|e| e.thread != writer.thread) else {
+            continue;
+        };
         let lo = writer.instr.min(other.instr);
         let hi = writer.instr.max(other.instr);
         sink.push_once(
@@ -248,7 +296,11 @@ fn check_races(kernel: &Kernel, block_id: u32, events: &[SharedEv], sink: &mut S
                      thread {} (instruction {}) in the same barrier interval ({phase})",
                     writer.thread,
                     writer.instr,
-                    if other.is_write { "also written" } else { "read" },
+                    if other.is_write {
+                        "also written"
+                    } else {
+                        "read"
+                    },
                     other.thread,
                     other.instr
                 ),
@@ -335,7 +387,12 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             match s {
                 IStmt::I(idx, i) => self.exec(*idx, i, mask, exact),
                 IStmt::Sync => self.sync(exact, mask),
-                IStmt::If { pred, negate, then, els } => {
+                IStmt::If {
+                    pred,
+                    negate,
+                    then,
+                    els,
+                } => {
                     let mut known = true;
                     let mut then_mask = 0u32;
                     for l in self.lanes(mask) {
@@ -361,7 +418,15 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                         self.walk(els, mask, false)?;
                     }
                 }
-                IStmt::For { init: _, var, start, end, step, body, latch } => {
+                IStmt::For {
+                    init: _,
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                    latch,
+                } => {
                     self.run_for(*var, start, end, *step, body, *latch, mask, exact)?;
                 }
                 IStmt::While { body, backedge, .. } => {
@@ -403,7 +468,9 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         for &l in &lanes {
             self.regs[l][var.0 as usize] = if exact { self.operand(l, start) } else { None };
         }
-        let starts_known = lanes.iter().all(|&l| self.regs[l][var.0 as usize].is_some());
+        let starts_known = lanes
+            .iter()
+            .all(|&l| self.regs[l][var.0 as usize].is_some());
         if !exact || !starts_known {
             return self.run_for_opaque(var, body, mask);
         }
@@ -574,7 +641,13 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                     self.regs[l][dst.0 as usize] = v;
                 }
             }
-            Instr::Mad { float, dst, a, b, c } => {
+            Instr::Mad {
+                float,
+                dst,
+                a,
+                b,
+                c,
+            } => {
                 for &l in &lanes {
                     let v = if exact {
                         match (self.operand(l, a), self.operand(l, b), self.operand(l, c)) {
@@ -610,7 +683,12 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                     self.preds[l][dst.0 as usize] = v;
                 }
             }
-            Instr::Ld { dsts, space, base, offset } => {
+            Instr::Ld {
+                dsts,
+                space,
+                base,
+                offset,
+            } => {
                 self.memory(idx, *space, true, *base, *offset, dsts.len(), mask, exact);
                 for &l in &lanes {
                     for d in dsts {
@@ -618,7 +696,12 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                     }
                 }
             }
-            Instr::St { srcs, space, base, offset } => {
+            Instr::St {
+                srcs,
+                space,
+                base,
+                offset,
+            } => {
                 self.memory(idx, *space, false, *base, *offset, srcs.len(), mask, exact);
             }
             Instr::Clock { dst } => {

@@ -54,7 +54,7 @@ use crate::fault::FaultSite;
 use crate::ir::regalloc::register_demand;
 use crate::ir::{count, passes, Instr, InstrIndexer, Kernel, MemSpace, Operand, Stmt};
 use crate::occupancy::{occupancy, regs_per_block, Limiter, Occupancy};
-use interp::{IStmt, SiteAcc, Sink, StrideTrack};
+use interp::{IStmt, Sink, SiteAcc, StrideTrack};
 
 /// How serious a finding is. `Error`-level findings make `kernel-lint` exit
 /// nonzero and correspond to launches the dynamic engines would fault on or
@@ -154,7 +154,13 @@ pub struct Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]: {}", self.severity, self.kind.name(), self.message)
+        write!(
+            f,
+            "{}[{}]: {}",
+            self.severity,
+            self.kind.name(),
+            self.message
+        )
     }
 }
 
@@ -228,7 +234,11 @@ impl AnalysisReport {
             self.kernel,
             self.driver.label(),
             self.predicted_transactions,
-            if self.exact { " (exact)" } else { " (partial: data-dependent accesses)" },
+            if self.exact {
+                " (exact)"
+            } else {
+                " (partial: data-dependent accesses)"
+            },
             self.regs_per_thread,
         );
         if let Some(o) = &self.occupancy {
@@ -319,13 +329,19 @@ pub fn analyze_kernel(kernel: &Kernel, cfg: &AnalysisConfig) -> AnalysisReport {
         report.diagnostics.push(Diagnostic {
             severity: Severity::Error,
             kind: LintKind::Unanalyzable,
-            site: FaultSite { kernel: Some(kernel.name.clone()), ..FaultSite::default() },
+            site: FaultSite {
+                kernel: Some(kernel.name.clone()),
+                ..FaultSite::default()
+            },
             message: msg,
             fixit: None,
         });
     };
     if cfg.grid == 0 || cfg.block == 0 {
-        bad_launch(format!("empty launch: grid {} x block {}", cfg.grid, cfg.block), &mut report);
+        bad_launch(
+            format!("empty launch: grid {} x block {}", cfg.grid, cfg.block),
+            &mut report,
+        );
         return report;
     }
     if cfg.block > cfg.device.max_threads_per_block {
@@ -367,7 +383,12 @@ pub fn analyze_kernel(kernel: &Kernel, cfg: &AnalysisConfig) -> AnalysisReport {
     diags.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)
-            .then(a.site.instruction.unwrap_or(u64::MAX).cmp(&b.site.instruction.unwrap_or(u64::MAX)))
+            .then(
+                a.site
+                    .instruction
+                    .unwrap_or(u64::MAX)
+                    .cmp(&b.site.instruction.unwrap_or(u64::MAX)),
+            )
             .then(a.message.cmp(&b.message))
     });
     report.diagnostics = diags;
@@ -402,7 +423,14 @@ fn def_use_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>
                     }
                     du.sites.push((*idx, defs, matches!(i, Instr::Ld { .. })));
                 }
-                IStmt::For { var, start, end, body, init, .. } => {
+                IStmt::For {
+                    var,
+                    start,
+                    end,
+                    body,
+                    init,
+                    ..
+                } => {
                     // The lowered latch both defines and reads the induction
                     // variable; bound operands are read every iteration.
                     du.def_regs.insert(var.0);
@@ -415,7 +443,9 @@ fn def_use_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>
                     }
                     collect(body, du);
                 }
-                IStmt::If { pred, then, els, .. } => {
+                IStmt::If {
+                    pred, then, els, ..
+                } => {
                     du.used_preds.insert(pred.0);
                     collect(then, du);
                     collect(els, du);
@@ -450,7 +480,11 @@ fn def_use_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>
                     ..FaultSite::default()
                 },
                 message: if *is_load {
-                    format!("loaded value{} {} never read (dead load)", plural(defs.len()), regs.join(", "))
+                    format!(
+                        "loaded value{} {} never read (dead load)",
+                        plural(defs.len()),
+                        regs.join(", ")
+                    )
                 } else {
                     format!("value {} is never read (dead store)", regs.join(", "))
                 },
@@ -480,14 +514,21 @@ fn def_use_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>
             fixit: None,
         });
     }
-    let mut undef_preds: Vec<u16> =
-        du.used_preds.iter().filter(|p| !du.def_preds.contains(p)).copied().collect();
+    let mut undef_preds: Vec<u16> = du
+        .used_preds
+        .iter()
+        .filter(|p| !du.def_preds.contains(p))
+        .copied()
+        .collect();
     undef_preds.sort_unstable();
     for p in undef_preds {
         diags.push(Diagnostic {
             severity: Severity::Error,
             kind: LintKind::UseBeforeDef,
-            site: FaultSite { kernel: Some(kernel.name.clone()), ..FaultSite::default() },
+            site: FaultSite {
+                kernel: Some(kernel.name.clone()),
+                ..FaultSite::default()
+            },
             message: format!("predicate %p{p} is branched on but never set by a setp"),
             fixit: None,
         });
@@ -531,7 +572,11 @@ fn licm_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>) {
         }
         n
     }
-    fn collect_s(stmts: &[Stmt], parent: Option<usize>, out: &mut Vec<(u64, Option<usize>)>) -> u64 {
+    fn collect_s(
+        stmts: &[Stmt],
+        parent: Option<usize>,
+        out: &mut Vec<(u64, Option<usize>)>,
+    ) -> u64 {
         let mut n = 0;
         for s in stmts {
             match s {
@@ -561,8 +606,9 @@ fn licm_pass(kernel: &Kernel, tree: &[IStmt<'_>], diags: &mut Vec<Diagnostic>) {
     if orig.len() != hst.len() {
         return; // licm changed the loop structure; nothing safe to report
     }
-    let diffs: Vec<i64> =
-        (0..orig.len()).map(|i| orig[i].1 as i64 - hst[i].0 as i64).collect();
+    let diffs: Vec<i64> = (0..orig.len())
+        .map(|i| orig[i].1 as i64 - hst[i].0 as i64)
+        .collect();
     let mut child_diff = vec![0i64; orig.len()];
     for i in 0..orig.len() {
         if let Some(p) = orig[i].2 {
@@ -600,7 +646,10 @@ fn trip_count_pass(kernel: &Kernel, cfg: &AnalysisConfig, diags: &mut Vec<Diagno
         diags.push(Diagnostic {
             severity: Severity::Info,
             kind: LintKind::UnboundedLoop,
-            site: FaultSite { kernel: Some(kernel.name.clone()), ..FaultSite::default() },
+            site: FaultSite {
+                kernel: Some(kernel.name.clone()),
+                ..FaultSite::default()
+            },
             message: format!("{e}; instruction counts and Eq. 3 speedups are unavailable"),
             fixit: None,
         });
@@ -753,7 +802,10 @@ fn pressure_pass(
         diags.push(Diagnostic {
             severity: Severity::Error,
             kind: LintKind::RegisterPressure,
-            site: FaultSite { kernel: Some(kernel.name.clone()), ..FaultSite::default() },
+            site: FaultSite {
+                kernel: Some(kernel.name.clone()),
+                ..FaultSite::default()
+            },
             message: msg,
             fixit: None,
         });
@@ -793,7 +845,10 @@ fn pressure_pass(
                 diags.push(Diagnostic {
                     severity: Severity::Info,
                     kind: LintKind::RegisterPressure,
-                    site: FaultSite { kernel: Some(kernel.name.clone()), ..FaultSite::default() },
+                    site: FaultSite {
+                        kernel: Some(kernel.name.clone()),
+                        ..FaultSite::default()
+                    },
                     message: format!(
                         "registers limit occupancy to {} of {} warps ({:.0}%); freeing \
                          {freed} register{} would allow {} warps",
@@ -944,10 +999,17 @@ mod tests {
             b.finish()
         };
         let racy = analyze_kernel(&build(false), &cfg(1, 32, vec![0x8000]));
-        assert!(kinds(&racy, Severity::Error).contains(&"shared-race"), "{:?}", racy.diagnostics);
+        assert!(
+            kinds(&racy, Severity::Error).contains(&"shared-race"),
+            "{:?}",
+            racy.diagnostics
+        );
         let clean = analyze_kernel(&build(true), &cfg(1, 32, vec![0x8000]));
         assert!(
-            !clean.diagnostics.iter().any(|d| d.kind == LintKind::SharedRace),
+            !clean
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == LintKind::SharedRace),
             "{:?}",
             clean.diagnostics
         );
@@ -962,7 +1024,11 @@ mod tests {
         b.if_then(p, |b| b.sync());
         let k = b.finish();
         let r = analyze_kernel(&k, &cfg(1, 32, vec![]));
-        assert!(kinds(&r, Severity::Error).contains(&"divergent-sync"), "{:?}", r.diagnostics);
+        assert!(
+            kinds(&r, Severity::Error).contains(&"divergent-sync"),
+            "{:?}",
+            r.diagnostics
+        );
     }
 
     /// Warp-uniform but block-divergent barriers deadlock the block.
@@ -976,7 +1042,11 @@ mod tests {
         // Block of 64: warp 0 takes the branch wholesale, warp 1 skips it —
         // no divergent-sync, but warp barrier counts are 1 vs 0.
         let r = analyze_kernel(&k, &cfg(1, 64, vec![]));
-        assert!(kinds(&r, Severity::Error).contains(&"barrier-deadlock"), "{:?}", r.diagnostics);
+        assert!(
+            kinds(&r, Severity::Error).contains(&"barrier-deadlock"),
+            "{:?}",
+            r.diagnostics
+        );
     }
 
     #[test]
@@ -1009,8 +1079,16 @@ mod tests {
         b.st(MemSpace::Global, oa, 0, vec![ghost.into()]);
         let k = b.finish();
         let r = analyze_kernel(&k, &cfg(1, 32, vec![0x8000]));
-        assert!(kinds(&r, Severity::Warning).contains(&"dead-code"), "{:?}", r.diagnostics);
-        assert!(kinds(&r, Severity::Error).contains(&"use-before-def"), "{:?}", r.diagnostics);
+        assert!(
+            kinds(&r, Severity::Warning).contains(&"dead-code"),
+            "{:?}",
+            r.diagnostics
+        );
+        assert!(
+            kinds(&r, Severity::Error).contains(&"use-before-def"),
+            "{:?}",
+            r.diagnostics
+        );
     }
 
     #[test]
@@ -1079,7 +1157,9 @@ mod tests {
         let k = b.finish();
         let r = analyze_kernel(&k, &cfg(1, 32, vec![0x1000, 0x8000]));
         assert!(
-            r.diagnostics.iter().any(|d| d.kind == LintKind::UnboundedLoop),
+            r.diagnostics
+                .iter()
+                .any(|d| d.kind == LintKind::UnboundedLoop),
             "{:?}",
             r.diagnostics
         );
@@ -1104,9 +1184,15 @@ mod tests {
         // The texture path is never "uncoalesced" — it bypasses the
         // coalescer — but the prediction stops being exhaustive.
         assert!(!r.has_errors(), "{:?}", r.diagnostics);
-        assert!(r.diagnostics.iter().any(|d| d.kind == LintKind::TextureDependence));
+        assert!(r
+            .diagnostics
+            .iter()
+            .any(|d| d.kind == LintKind::TextureDependence));
         assert!(!r.exact);
-        assert_eq!(r.predicted_transactions, 2, "only the global store is predicted");
+        assert_eq!(
+            r.predicted_transactions, 2,
+            "only the global store is predicted"
+        );
     }
 
     #[test]

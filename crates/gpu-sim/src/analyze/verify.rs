@@ -90,7 +90,10 @@ struct TermArena {
 
 impl TermArena {
     fn new() -> TermArena {
-        TermArena { nodes: Vec::new(), dedup: HashMap::new() }
+        TermArena {
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+        }
     }
 
     fn intern(&mut self, n: Node) -> TermId {
@@ -144,8 +147,7 @@ impl TermArena {
     }
 
     fn mad(&mut self, float: bool, a: TermId, b: TermId, c: TermId) -> TermId {
-        if let (Some(x), Some(y), Some(z)) =
-            (self.as_const(a), self.as_const(b), self.as_const(c))
+        if let (Some(x), Some(y), Some(z)) = (self.as_const(a), self.as_const(b), self.as_const(c))
         {
             return self.konst(interp::mad(float, x, y, z));
         }
@@ -180,7 +182,11 @@ impl TermArena {
             Node::Input { space, key } => format!("{space:?}[{key:#x}]"),
             Node::Clock(n) => format!("clock#{n}"),
             Node::Alu(op, a, b) => {
-                format!("({op:?} {} {})", self.render(*a, depth - 1), self.render(*b, depth - 1))
+                format!(
+                    "({op:?} {} {})",
+                    self.render(*a, depth - 1),
+                    self.render(*b, depth - 1)
+                )
             }
             Node::Mad { float, a, b, c } => format!(
                 "(mad{} {} {} {})",
@@ -285,7 +291,11 @@ impl VerifyResult {
 impl fmt::Display for VerifyResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VerifyResult::Proved { threads, stores, syncs } => write!(
+            VerifyResult::Proved {
+                threads,
+                stores,
+                syncs,
+            } => write!(
                 f,
                 "proved equivalent: {threads} threads, {stores} stores, {syncs} barriers matched"
             ),
@@ -350,7 +360,9 @@ pub fn verify_pass(kernel: &Kernel, pass: PassId, cfg: &VerifyConfig) -> VerifyR
 /// is compared. The first divergence is returned as a counterexample.
 pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult {
     if cfg.block == 0 || cfg.grid == 0 {
-        return VerifyResult::Unsupported { reason: "empty launch".to_string() };
+        return VerifyResult::Unsupported {
+            reason: "empty launch".to_string(),
+        };
     }
     if cfg.params.len() != a.n_params as usize {
         return VerifyResult::Unsupported {
@@ -394,7 +406,10 @@ pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult 
         let trace_b = match run_block(
             b,
             params_b,
-            cfg.input_map_b.as_ref().or(cfg.input_map.as_ref()).unwrap_or(&empty),
+            cfg.input_map_b
+                .as_ref()
+                .or(cfg.input_map.as_ref())
+                .unwrap_or(&empty),
             block_id,
             cfg,
             &mut arena,
@@ -416,11 +431,18 @@ pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult 
                 };
             }
             threads += 1;
-            stores += ta.iter().filter(|e| matches!(e, Event::Store { .. })).count() as u64;
+            stores += ta
+                .iter()
+                .filter(|e| matches!(e, Event::Store { .. }))
+                .count() as u64;
             syncs += ta.iter().filter(|e| matches!(e, Event::Sync)).count() as u64;
         }
     }
-    VerifyResult::Proved { threads, stores, syncs }
+    VerifyResult::Proved {
+        threads,
+        stores,
+        syncs,
+    }
 }
 
 /// One observable event in a thread's trace.
@@ -430,7 +452,12 @@ enum Event {
     Sync,
     /// A store this thread issued: space, resolved byte address, the stored
     /// word terms, and the instruction index (for counterexamples).
-    Store { space: MemSpace, addr: u64, values: Vec<TermId>, instr: u64 },
+    Store {
+        space: MemSpace,
+        addr: u64,
+        values: Vec<TermId>,
+        instr: u64,
+    },
 }
 
 struct TraceMismatch {
@@ -443,8 +470,18 @@ fn compare_traces(a: &[Event], b: &[Event], arena: &TermArena) -> Option<TraceMi
         match (ea, eb) {
             (Event::Sync, Event::Sync) => {}
             (
-                Event::Store { space: sa, addr: aa, values: va, instr: _ },
-                Event::Store { space: sb, addr: ab, values: vb, instr: ib },
+                Event::Store {
+                    space: sa,
+                    addr: aa,
+                    values: va,
+                    instr: _,
+                },
+                Event::Store {
+                    space: sb,
+                    addr: ab,
+                    values: vb,
+                    instr: ib,
+                },
             ) => {
                 if sa != sb || aa != ab {
                     return Some(TraceMismatch {
@@ -477,7 +514,12 @@ fn compare_traces(a: &[Event], b: &[Event], arena: &TermArena) -> Option<TraceMi
                     }
                 }
             }
-            (Event::Sync, Event::Store { instr, space, addr, .. }) => {
+            (
+                Event::Sync,
+                Event::Store {
+                    instr, space, addr, ..
+                },
+            ) => {
                 return Some(TraceMismatch {
                     instruction: Some(*instr),
                     detail: format!(
@@ -502,7 +544,11 @@ fn compare_traces(a: &[Event], b: &[Event], arena: &TermArena) -> Option<TraceMi
         });
         return Some(TraceMismatch {
             instruction: instr,
-            detail: format!("trace lengths differ: {} vs {} observable events", a.len(), b.len()),
+            detail: format!(
+                "trace lengths differ: {} vs {} observable events",
+                a.len(),
+                b.len()
+            ),
         });
     }
     None
@@ -624,7 +670,12 @@ impl BlockRun<'_, '_> {
                         self.traces[t].push(Event::Sync);
                     }
                 }
-                IStmt::If { pred, negate, then, els } => {
+                IStmt::If {
+                    pred,
+                    negate,
+                    then,
+                    els,
+                } => {
                     let mut taken = Vec::new();
                     let mut not_taken = Vec::new();
                     for &t in active {
@@ -650,7 +701,15 @@ impl BlockRun<'_, '_> {
                         self.walk(els, &not_taken)?;
                     }
                 }
-                IStmt::For { init, var, start, end, step, body, latch } => {
+                IStmt::For {
+                    init,
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                    latch,
+                } => {
                     if *step == 0 {
                         return Err(RunStuck {
                             instruction: Some(*init),
@@ -698,7 +757,12 @@ impl BlockRun<'_, '_> {
                         }
                     }
                 }
-                IStmt::While { pred, negate, body, backedge } => {
+                IStmt::While {
+                    pred,
+                    negate,
+                    body,
+                    backedge,
+                } => {
                     let mut live: Vec<usize> = active.to_vec();
                     let mut rounds = 0u64;
                     loop {
@@ -766,10 +830,15 @@ impl BlockRun<'_, '_> {
                     self.regs[t][dst.0 as usize] = v;
                 }
             }
-            Instr::Mad { float, dst, a, b, c } => {
+            Instr::Mad {
+                float,
+                dst,
+                a,
+                b,
+                c,
+            } => {
                 for &t in active {
-                    let (x, y, z) =
-                        (self.operand(t, a), self.operand(t, b), self.operand(t, c));
+                    let (x, y, z) = (self.operand(t, a), self.operand(t, b), self.operand(t, c));
                     let v = self.arena.mad(*float, x, y, z);
                     self.regs[t][dst.0 as usize] = v;
                 }
@@ -791,7 +860,12 @@ impl BlockRun<'_, '_> {
                     self.preds[t][dst.0 as usize] = v;
                 }
             }
-            Instr::Ld { dsts, space, base, offset } => {
+            Instr::Ld {
+                dsts,
+                space,
+                base,
+                offset,
+            } => {
                 for &t in active {
                     let addr = self.address(t, *base, *offset, idx)?;
                     for (w, d) in dsts.iter().enumerate() {
@@ -801,7 +875,12 @@ impl BlockRun<'_, '_> {
                     }
                 }
             }
-            Instr::St { srcs, space, base, offset } => {
+            Instr::St {
+                srcs,
+                space,
+                base,
+                offset,
+            } => {
                 if *space == MemSpace::Texture {
                     return Err(RunStuck {
                         instruction: Some(idx),
@@ -820,7 +899,12 @@ impl BlockRun<'_, '_> {
                             _ => self.global.insert(wa, v),
                         };
                     }
-                    self.traces[t].push(Event::Store { space: *space, addr, values, instr: idx });
+                    self.traces[t].push(Event::Store {
+                        space: *space,
+                        addr,
+                        values,
+                        instr: idx,
+                    });
                 }
             }
             Instr::Clock { dst } => {
@@ -837,7 +921,13 @@ impl BlockRun<'_, '_> {
 
     /// Resolve a memory address; it must be concrete (addresses drive which
     /// input terms are created, so a symbolic address is undecidable).
-    fn address(&mut self, t: usize, base: crate::ir::Reg, offset: u32, idx: u64) -> Result<u64, RunStuck> {
+    fn address(
+        &mut self,
+        t: usize,
+        base: crate::ir::Reg,
+        offset: u32,
+        idx: u64,
+    ) -> Result<u64, RunStuck> {
         let b = self.regs[t][base.0 as usize];
         match self.arena.as_const(b) {
             Some(v) => Ok(v.wrapping_add(offset) as u64),
@@ -854,7 +944,10 @@ impl BlockRun<'_, '_> {
                 if let Some(&v) = self.shared.get(&addr) {
                     return v;
                 }
-                self.arena.intern(Node::Input { space: MemSpace::Shared, key: addr })
+                self.arena.intern(Node::Input {
+                    space: MemSpace::Shared,
+                    key: addr,
+                })
             }
             MemSpace::Global | MemSpace::Texture => {
                 if let Some(&v) = self.global.get(&addr) {
@@ -862,7 +955,10 @@ impl BlockRun<'_, '_> {
                 }
                 let key = self.input_map.key(addr);
                 // The texture path reads the same underlying buffers.
-                self.arena.intern(Node::Input { space: MemSpace::Global, key })
+                self.arena.intern(Node::Input {
+                    space: MemSpace::Global,
+                    key,
+                })
             }
         }
     }
@@ -982,11 +1078,23 @@ mod tests {
         // show up in the rendered detail of a deliberate value flip.
         let k = sample_kernel(2);
         let mut arena = TermArena::new();
-        let t = run_block(&k, &[0x1000, 0x8000, 0x3f000000], &InputMap::default(), 0, &cfg(), &mut arena)
-            .expect("supported");
-        let Event::Store { values, .. } = &t[0][0] else { panic!("store expected") };
+        let t = run_block(
+            &k,
+            &[0x1000, 0x8000, 0x3f000000],
+            &InputMap::default(),
+            0,
+            &cfg(),
+            &mut arena,
+        )
+        .expect("supported");
+        let Event::Store { values, .. } = &t[0][0] else {
+            panic!("store expected")
+        };
         let txt = arena.render(values[0], 12);
-        assert!(txt.contains("Global[0x1000]"), "store value should reference the input: {txt}");
+        assert!(
+            txt.contains("Global[0x1000]"),
+            "store value should reference the input: {txt}"
+        );
     }
 
     #[test]

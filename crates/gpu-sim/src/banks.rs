@@ -143,19 +143,23 @@ mod tests {
         // active; masking off the odd lanes halves the distinct words.
         let full = lanes(|k| 64 * k);
         assert_eq!(conflict_degree(&full, 16), 16);
-        let half: Vec<Option<u64>> =
-            (0..16).map(|k| if k % 2 == 0 { Some(64 * k) } else { None }).collect();
+        let half: Vec<Option<u64>> = (0..16)
+            .map(|k| if k % 2 == 0 { Some(64 * k) } else { None })
+            .collect();
         assert_eq!(conflict_degree(&half, 16), 8);
         // A single surviving lane can never conflict.
-        let one: Vec<Option<u64>> = (0..16).map(|k| if k == 7 { Some(64 * k) } else { None }).collect();
+        let one: Vec<Option<u64>> = (0..16)
+            .map(|k| if k == 7 { Some(64 * k) } else { None })
+            .collect();
         assert_eq!(conflict_degree(&one, 16), 1);
     }
 
     #[test]
     fn broadcast_with_inactive_lanes_stays_fast() {
         // Divergent tile read: the active subset still shares one word.
-        let a: Vec<Option<u64>> =
-            (0..16).map(|k| if k < 5 { Some(128) } else { None }).collect();
+        let a: Vec<Option<u64>> = (0..16)
+            .map(|k| if k < 5 { Some(128) } else { None })
+            .collect();
         assert_eq!(conflict_degree(&a, 16), 1);
     }
 

@@ -88,7 +88,11 @@ impl CoalesceResult {
 /// is inactive (predicated off). All active lanes access `width` bytes.
 /// Addresses must be naturally aligned to `width` — CUDA gives undefined
 /// behaviour otherwise, we panic.
-pub fn coalesce_half_warp(driver: DriverModel, addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult {
+pub fn coalesce_half_warp(
+    driver: DriverModel,
+    addrs: &[Option<u64>],
+    width: AccessWidth,
+) -> CoalesceResult {
     assert!(
         addrs.len() <= 16,
         "a half-warp has at most 16 lanes, got {}",
@@ -103,7 +107,10 @@ pub fn coalesce_half_warp(driver: DriverModel, addrs: &[Option<u64>], width: Acc
         );
     }
     if addrs.iter().all(|a| a.is_none()) {
-        return CoalesceResult { transactions: Vec::new(), coalesced: true };
+        return CoalesceResult {
+            transactions: Vec::new(),
+            coalesced: true,
+        };
     }
     match driver {
         DriverModel::Cuda10 => strict_cc10(addrs, width),
@@ -150,14 +157,29 @@ fn strict_cc10(addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult {
             .expect("at least one active lane");
         let base = a0 - k0 as u64 * w;
         let transactions = match width {
-            AccessWidth::W4 => vec![Transaction { start: base, bytes: 64 }],
-            AccessWidth::W8 => vec![Transaction { start: base, bytes: 128 }],
+            AccessWidth::W4 => vec![Transaction {
+                start: base,
+                bytes: 64,
+            }],
+            AccessWidth::W8 => vec![Transaction {
+                start: base,
+                bytes: 128,
+            }],
             AccessWidth::W16 => vec![
-                Transaction { start: base, bytes: 128 },
-                Transaction { start: base + 128, bytes: 128 },
+                Transaction {
+                    start: base,
+                    bytes: 128,
+                },
+                Transaction {
+                    start: base + 128,
+                    bytes: 128,
+                },
             ],
         };
-        CoalesceResult { transactions, coalesced: true }
+        CoalesceResult {
+            transactions,
+            coalesced: true,
+        }
     } else {
         // Decay: one transaction per active thread. The minimum transaction
         // granularity is 32 bytes.
@@ -165,10 +187,16 @@ fn strict_cc10(addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult {
         let mut transactions: Vec<Transaction> = addrs
             .iter()
             .flatten()
-            .map(|&a| Transaction { start: a - a % tb as u64, bytes: tb })
+            .map(|&a| Transaction {
+                start: a - a % tb as u64,
+                bytes: tb,
+            })
             .collect();
         transactions.sort_by_key(|t| t.start);
-        CoalesceResult { transactions, coalesced: false }
+        CoalesceResult {
+            transactions,
+            coalesced: false,
+        }
     }
 }
 
@@ -190,7 +218,13 @@ fn line_merge_cc11(addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult 
     }
     lines.sort_unstable();
     CoalesceResult {
-        transactions: lines.iter().map(|&l| Transaction { start: l * 128, bytes: 128 }).collect(),
+        transactions: lines
+            .iter()
+            .map(|&l| Transaction {
+                start: l * 128,
+                bytes: 128,
+            })
+            .collect(),
         coalesced: false,
     }
 }
@@ -235,12 +269,19 @@ fn segmented_cc12(addrs: &[Option<u64>], width: AccessWidth) -> CoalesceResult {
     }
     transactions.sort_by_key(|t| t.start);
     let coalesced = transactions.len() <= 2;
-    CoalesceResult { transactions, coalesced }
+    CoalesceResult {
+        transactions,
+        coalesced,
+    }
 }
 
 /// Convenience: coalesce a full warp (32 lanes) as its two half-warps, which
 /// is how CC-1.x hardware processes memory instructions.
-pub fn coalesce_warp(driver: DriverModel, addrs: &[Option<u64>], width: AccessWidth) -> Vec<CoalesceResult> {
+pub fn coalesce_warp(
+    driver: DriverModel,
+    addrs: &[Option<u64>],
+    width: AccessWidth,
+) -> Vec<CoalesceResult> {
     addrs
         .chunks(16)
         .map(|half| coalesce_half_warp(driver, half, width))
@@ -261,7 +302,13 @@ mod tests {
         let addrs = lanes(|k| 4096 + 4 * k);
         let r = coalesce_half_warp(DriverModel::Cuda10, &addrs, AccessWidth::W4);
         assert!(r.coalesced);
-        assert_eq!(r.transactions, vec![Transaction { start: 4096, bytes: 64 }]);
+        assert_eq!(
+            r.transactions,
+            vec![Transaction {
+                start: 4096,
+                bytes: 64
+            }]
+        );
         assert!((r.efficiency(16, AccessWidth::W4) - 1.0).abs() < 1e-12);
     }
 
@@ -297,8 +344,14 @@ mod tests {
         assert_eq!(
             r.transactions,
             vec![
-                Transaction { start: 0, bytes: 128 },
-                Transaction { start: 128, bytes: 128 }
+                Transaction {
+                    start: 0,
+                    bytes: 128
+                },
+                Transaction {
+                    start: 128,
+                    bytes: 128
+                }
             ]
         );
         assert!((r.efficiency(16, AccessWidth::W16) - 1.0).abs() < 1e-12);
@@ -332,7 +385,13 @@ mod tests {
         // All 16 lanes read the same 4-byte word: one 32-byte transaction.
         let addrs = lanes(|_| 256);
         let r = coalesce_half_warp(DriverModel::Cuda22, &addrs, AccessWidth::W4);
-        assert_eq!(r.transactions, vec![Transaction { start: 256, bytes: 32 }]);
+        assert_eq!(
+            r.transactions,
+            vec![Transaction {
+                start: 256,
+                bytes: 32
+            }]
+        );
     }
 
     #[test]
@@ -348,7 +407,11 @@ mod tests {
     fn cuda11_merges_lines_for_uncoalesced() {
         let addrs = lanes(|k| 28 * k);
         let r = coalesce_half_warp(DriverModel::Cuda11, &addrs, AccessWidth::W4);
-        assert_eq!(r.count(), 4, "16 lanes over 448B span 4 distinct 128B lines");
+        assert_eq!(
+            r.count(),
+            4,
+            "16 lanes over 448B span 4 distinct 128B lines"
+        );
         assert!(r.transactions.iter().all(|t| t.bytes == 128));
     }
 
@@ -396,18 +459,21 @@ mod tests {
     fn paper_transaction_counts_per_particle() {
         // The end-to-end counts the paper's Figs. 3/5/7/9 claim, per half-warp
         // per particle (7 floats):
-        let count_for =
-            |reads: Vec<(Vec<Option<u64>>, AccessWidth)>| -> usize {
-                reads
-                    .into_iter()
-                    .map(|(a, w)| coalesce_half_warp(DriverModel::Cuda10, &a, w).count())
-                    .sum()
-            };
+        let count_for = |reads: Vec<(Vec<Option<u64>>, AccessWidth)>| -> usize {
+            reads
+                .into_iter()
+                .map(|(a, w)| coalesce_half_warp(DriverModel::Cuda10, &a, w).count())
+                .sum()
+        };
         // AoS 28B packed: 7 scalar reads, stride 28.
-        let aos: Vec<_> = (0..7).map(|f| (lanes(|k| 28 * k + 4 * f), AccessWidth::W4)).collect();
+        let aos: Vec<_> = (0..7)
+            .map(|f| (lanes(|k| 28 * k + 4 * f), AccessWidth::W4))
+            .collect();
         assert_eq!(count_for(aos), 7 * 16);
         // SoA: 7 scalar reads from 7 arrays.
-        let soa: Vec<_> = (0..7).map(|f| (lanes(|k| 100_000 * f + 4 * k), AccessWidth::W4)).collect();
+        let soa: Vec<_> = (0..7)
+            .map(|f| (lanes(|k| 100_000 * f + 4 * k), AccessWidth::W4))
+            .collect();
         // 100_000 is not 64-byte aligned; align the array bases:
         let soa: Vec<_> = soa
             .into_iter()
@@ -416,11 +482,14 @@ mod tests {
             .collect();
         assert_eq!(count_for(soa), 7);
         // AoaS: 2 float4 reads, stride 32.
-        let aoas: Vec<_> = (0..2).map(|h| (lanes(move |k| 32 * k + 16 * h), AccessWidth::W16)).collect();
+        let aoas: Vec<_> = (0..2)
+            .map(|h| (lanes(move |k| 32 * k + 16 * h), AccessWidth::W16))
+            .collect();
         assert_eq!(count_for(aoas), 2 * 16);
         // SoAoaS: 2 float4 reads from 2 arrays, stride 16.
-        let soaoas: Vec<_> =
-            (0..2).map(|h| (lanes(move |k| 131_072 * h + 16 * k), AccessWidth::W16)).collect();
+        let soaoas: Vec<_> = (0..2)
+            .map(|h| (lanes(move |k| 131_072 * h + 16 * k), AccessWidth::W16))
+            .collect();
         assert_eq!(count_for(soaoas), 4);
     }
 }

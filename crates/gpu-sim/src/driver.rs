@@ -32,7 +32,11 @@ pub enum DriverModel {
 
 impl DriverModel {
     /// All revisions, in the order the paper plots them.
-    pub const ALL: [DriverModel; 3] = [DriverModel::Cuda10, DriverModel::Cuda11, DriverModel::Cuda22];
+    pub const ALL: [DriverModel; 3] = [
+        DriverModel::Cuda10,
+        DriverModel::Cuda11,
+        DriverModel::Cuda22,
+    ];
 
     /// Human-readable label used in tables and figures.
     pub fn label(self) -> &'static str {

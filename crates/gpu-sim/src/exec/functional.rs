@@ -9,7 +9,9 @@
 //! — deterministic, and good enough for the membench kernels' *functional*
 //! validation (their timing numbers come from the timed engine).
 
-use super::machine::{exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv, WARP};
+use super::machine::{
+    exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv, WARP,
+};
 use crate::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use crate::ir::lower::{lower, LinStmt, Program};
 use crate::ir::Kernel;
@@ -96,11 +98,24 @@ pub(crate) fn run_lowered_inner(
     watchdog: Option<u64>,
 ) -> DeviceResult<FunctionalRun> {
     validate_launch(grid, block).map_err(|e| e.with_kernel(&prog.name))?;
-    let env = LaunchEnv { block_dim: block, grid_dim: grid };
+    let env = LaunchEnv {
+        block_dim: block,
+        grid_dim: grid,
+    };
     let mut stats = FunctionalRun::default();
     for b in 0..grid {
-        run_block(prog, b, block as usize, params, &env, gmem, &mut stats, plan, watchdog)
-            .map_err(|e| e.with_kernel(&prog.name))?;
+        run_block(
+            prog,
+            b,
+            block as usize,
+            params,
+            &env,
+            gmem,
+            &mut stats,
+            plan,
+            watchdog,
+        )
+        .map_err(|e| e.with_kernel(&prog.name))?;
     }
     Ok(stats)
 }
@@ -185,7 +200,11 @@ fn run_block(
                         cursors[w].step();
                         any_progress = true;
                     }
-                    LinStmt::Bra { pred, negate, target } => {
+                    LinStmt::Bra {
+                        pred,
+                        negate,
+                        target,
+                    } => {
                         let m = pred_mask(&ctx, w, mask, *pred, *negate);
                         if m != 0 && m != mask {
                             // Attribute to the first lane disagreeing with
@@ -205,14 +224,23 @@ fn run_block(
                         stats.warp_instructions += 1;
                         any_progress = true;
                     }
-                    LinStmt::IfMasked { pred, negate, then_seq, else_seq } => {
+                    LinStmt::IfMasked {
+                        pred,
+                        negate,
+                        then_seq,
+                        else_seq,
+                    } => {
                         let tm = pred_mask(&ctx, w, mask, *pred, *negate);
                         let em = mask & !tm;
                         let (ts, es) = (*then_seq, *else_seq);
                         cursors[w].enter_if(ts, es, tm, em);
                         any_progress = true;
                     }
-                    LinStmt::WhileMasked { pred, negate, body_seq } => {
+                    LinStmt::WhileMasked {
+                        pred,
+                        negate,
+                        body_seq,
+                    } => {
                         let (p, n, bs) = (*pred, *negate, *body_seq);
                         let m = mask;
                         cursors[w].enter_while(bs, p, n, m);
@@ -295,7 +323,11 @@ mod tests {
         let acc = b.mov(Operand::ImmF(0.0));
         b.for_loop(Operand::ImmU(0), m.into(), 1, |b, j| {
             let jf = b.reg();
-            b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: jf, a: j.into() });
+            b.emit(crate::ir::Instr::Unary {
+                op: crate::ir::UnaryOp::U2F,
+                dst: jf,
+                a: j.into(),
+            });
             b.alu_into(acc, crate::ir::AluOp::FAdd, acc.into(), jf.into());
         });
         let ao = b.mad_u(i.into(), Operand::ImmU(4), po.into());
@@ -320,16 +352,26 @@ mod tests {
         let ntid = b.special(crate::ir::SpecialReg::NtidX);
         let my = b.imul(tid.into(), Operand::ImmU(4));
         let tf = b.reg();
-        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: tf, a: tid.into() });
+        b.emit(crate::ir::Instr::Unary {
+            op: crate::ir::UnaryOp::U2F,
+            dst: tf,
+            a: tid.into(),
+        });
         b.st(MemSpace::Shared, my, 0, vec![tf.into()]);
         b.sync();
         let tp1 = b.iadd(tid.into(), Operand::ImmU(1));
         // (t+1) mod blockDim without a mod instruction: if t+1 == ntid → 0.
         let p = b.setp(CmpOp::UEq, tp1.into(), ntid.into());
         let idx = b.reg();
-        b.emit(crate::ir::Instr::Mov { dst: idx, src: tp1.into() });
+        b.emit(crate::ir::Instr::Mov {
+            dst: idx,
+            src: tp1.into(),
+        });
         b.if_then(p, |b| {
-            b.emit(crate::ir::Instr::Mov { dst: idx, src: Operand::ImmU(0) });
+            b.emit(crate::ir::Instr::Mov {
+                dst: idx,
+                src: Operand::ImmU(0),
+            });
         });
         let sa = b.imul(idx.into(), Operand::ImmU(4));
         let v = b.ld(MemSpace::Shared, sa, 0, 1)[0];
@@ -358,10 +400,16 @@ mod tests {
         b.if_else(
             p,
             |b| {
-                b.emit(crate::ir::Instr::Mov { dst: v, src: Operand::ImmF(1.0) });
+                b.emit(crate::ir::Instr::Mov {
+                    dst: v,
+                    src: Operand::ImmF(1.0),
+                });
             },
             |b| {
-                b.emit(crate::ir::Instr::Mov { dst: v, src: Operand::ImmF(2.0) });
+                b.emit(crate::ir::Instr::Mov {
+                    dst: v,
+                    src: Operand::ImmF(2.0),
+                });
             },
         );
         let ao = b.mad_u(tid.into(), Operand::ImmU(4), po.into());
@@ -418,7 +466,10 @@ mod while_tests {
                     |b| {
                         // n = 3n + 1
                         let t = b.mad_u(n.into(), Operand::ImmU(3), Operand::ImmU(1));
-                        b.emit(crate::ir::Instr::Mov { dst: n, src: t.into() });
+                        b.emit(crate::ir::Instr::Mov {
+                            dst: n,
+                            src: t.into(),
+                        });
                     },
                     |b| {
                         // n = n / 2 — no shift-right op; n/2 == (n - bit)/2 via
@@ -433,9 +484,17 @@ mod while_tests {
                         // the high half. Use float conversion: exact for the
                         // magnitudes in this test (n < 2^24).
                         let f = b.reg();
-                        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::U2F, dst: f, a: n.into() });
+                        b.emit(crate::ir::Instr::Unary {
+                            op: crate::ir::UnaryOp::U2F,
+                            dst: f,
+                            a: n.into(),
+                        });
                         let h = b.fmul(f.into(), Operand::ImmF(0.5));
-                        b.emit(crate::ir::Instr::Unary { op: crate::ir::UnaryOp::F2U, dst: n, a: h.into() });
+                        b.emit(crate::ir::Instr::Unary {
+                            op: crate::ir::UnaryOp::F2U,
+                            dst: n,
+                            a: h.into(),
+                        });
                     },
                 );
                 b.alu_into(steps, AluOp::IAdd, steps.into(), Operand::ImmU(1));
@@ -463,7 +522,12 @@ mod while_tests {
         let out = gmem.alloc(64 * 4).unwrap();
         run_grid(&k, 1, 64, &[out.0 as u32], &mut gmem).unwrap();
         for t in 0..64u64 {
-            let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0 + 4 * t), 4).unwrap().try_into().unwrap());
+            let got = u32::from_le_bytes(
+                gmem.download(crate::mem::DevicePtr(out.0 + 4 * t), 4)
+                    .unwrap()
+                    .try_into()
+                    .unwrap(),
+            );
             assert_eq!(got, collatz_steps(t as u32 + 1), "thread {t}");
         }
     }
@@ -478,13 +542,32 @@ mod while_tests {
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
         let mut gmem = GlobalMemory::new(1 << 16);
         let out = gmem.alloc(64 * 4).unwrap();
-        let run = time_resident(&k, &[0], 64, 1, &[out.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        let run = time_resident(
+            &k,
+            &[0],
+            64,
+            1,
+            &[out.0 as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         // Functional result still correct under the timed engine.
-        let got = u32::from_le_bytes(gmem.download(crate::mem::DevicePtr(out.0), 4).unwrap().try_into().unwrap());
+        let got = u32::from_le_bytes(
+            gmem.download(crate::mem::DevicePtr(out.0), 4)
+                .unwrap()
+                .try_into()
+                .unwrap(),
+        );
         assert_eq!(got, collatz_steps(1));
         assert!(run.cycles > 0);
         // The warp executes max-lane passes: thread 26 (n=27) needs 111 steps,
         // so at least 111 body passes were issued by its warp.
-        assert!(run.warp_instructions > 111, "divergence must serialize the warp");
+        assert!(
+            run.warp_instructions > 111,
+            "divergence must serialize the warp"
+        );
     }
 }

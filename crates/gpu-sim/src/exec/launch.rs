@@ -10,8 +10,8 @@
 
 use crate::device::DeviceConfig;
 use crate::driver::DriverModel;
-use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::exec::timed::{time_resident, TimedRun};
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::ir::Kernel;
 use crate::mem::GlobalMemory;
 use crate::occupancy::{occupancy, Occupancy};
@@ -37,7 +37,10 @@ impl LaunchConfig {
     /// up; kernels pad their data, see the layouts crate).
     pub fn covering(n: u32, block: u32) -> LaunchConfig {
         assert!(block > 0);
-        LaunchConfig { grid: n.div_ceil(block).max(1), block }
+        LaunchConfig {
+            grid: n.div_ceil(block).max(1),
+            block,
+        }
     }
 }
 
@@ -87,7 +90,17 @@ pub fn estimate_grid(
         .with_kernel(&kernel.name));
     }
     let resident: Vec<u32> = (0..resident_n).collect();
-    let wave = time_resident(kernel, &resident, launch.block, launch.grid, params, gmem, dev, driver, tp)?;
+    let wave = time_resident(
+        kernel,
+        &resident,
+        launch.block,
+        launch.grid,
+        params,
+        gmem,
+        dev,
+        driver,
+        tp,
+    )?;
     let blocks_per_wave = (dev.num_sms * resident_n) as u64;
     let waves = (launch.grid as u64).div_ceil(blocks_per_wave);
     let total_cycles = wave.cycles * waves;
@@ -107,7 +120,10 @@ pub fn estimate_grid(
 /// A negative fitted slope (a sign the measurements are not in the
 /// steady-state regime) is a [`FaultKind::BadConfig`] error.
 pub fn extrapolate_linear(measured: &[(u64, u64)], target: u64) -> DeviceResult<u64> {
-    let pts: Vec<(f64, f64)> = measured.iter().map(|&(x, y)| (x as f64, y as f64)).collect();
+    let pts: Vec<(f64, f64)> = measured
+        .iter()
+        .map(|&(x, y)| (x as f64, y as f64))
+        .collect();
     let (a, b) = linear_fit(&pts);
     if b < 0.0 {
         return Err(DeviceError::new(FaultKind::BadConfig {
@@ -140,7 +156,10 @@ mod tests {
     #[test]
     fn extrapolation_rejects_negative_slope() {
         let err = extrapolate_linear(&[(4, 1000), (8, 500)], 100).unwrap_err();
-        assert!(matches!(err.kind, crate::fault::FaultKind::BadConfig { .. }));
+        assert!(matches!(
+            err.kind,
+            crate::fault::FaultKind::BadConfig { .. }
+        ));
     }
 
     #[test]

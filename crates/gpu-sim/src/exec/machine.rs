@@ -44,7 +44,12 @@ impl BlockCtx {
     /// Create block state with parameters bound to the first registers of
     /// every thread (as the lowered ABI requires). A parameter-count mismatch
     /// is a [`FaultKind::BadLaunch`].
-    pub fn new(prog: &Program, block_id: u32, n_threads: usize, params: &[u32]) -> DeviceResult<Self> {
+    pub fn new(
+        prog: &Program,
+        block_id: u32,
+        n_threads: usize,
+        params: &[u32],
+    ) -> DeviceResult<Self> {
         if params.len() != prog.n_params as usize {
             return Err(DeviceError::new(FaultKind::BadLaunch {
                 reason: format!(
@@ -122,7 +127,9 @@ impl BlockCtx {
     fn smem_load_u32(&self, addr: u64) -> DeviceResult<u32> {
         self.smem_check(addr)?;
         let a = addr as usize;
-        Ok(u32::from_le_bytes(self.smem[a..a + 4].try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(
+            self.smem[a..a + 4].try_into().expect("4-byte slice"),
+        ))
     }
 
     fn smem_store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()> {
@@ -209,7 +216,13 @@ pub fn exec_instr(
             }
             Ok(None)
         }
-        Instr::Mad { float, dst, a, b, c } => {
+        Instr::Mad {
+            float,
+            dst,
+            a,
+            b,
+            c,
+        } => {
             for &t in &lanes {
                 let x = opv(ctx, t, a);
                 let y = opv(ctx, t, b);
@@ -257,7 +270,12 @@ pub fn exec_instr(
             }
             Ok(None)
         }
-        Instr::Ld { dsts, space, base, offset } => {
+        Instr::Ld {
+            dsts,
+            space,
+            base,
+            offset,
+        } => {
             let width = AccessWidth::from_bytes(4 * dsts.len() as u32).expect("load width");
             let n_words = dsts.len() as u64;
             let mut addrs = vec![None; WARP];
@@ -271,9 +289,12 @@ pub fn exec_instr(
                 // A vector access must be naturally aligned as a whole; the
                 // per-word loop below would only catch word misalignment.
                 let fault_at = move |e: DeviceError| {
-                    e.with_block(bid).with_thread(t as u32).with_instruction(clock_value)
+                    e.with_block(bid)
+                        .with_thread(t as u32)
+                        .with_instruction(clock_value)
                 };
-                if matches!(space, MemSpace::Global | MemSpace::Texture) && !addr.is_multiple_of(4 * n_words)
+                if matches!(space, MemSpace::Global | MemSpace::Texture)
+                    && !addr.is_multiple_of(4 * n_words)
                 {
                     return Err(fault_at(DeviceError::new(FaultKind::Misaligned {
                         space: *space,
@@ -293,9 +314,19 @@ pub fn exec_instr(
                     ctx.set_reg(t, *d, v);
                 }
             }
-            Ok(Some(MemTrace { space: *space, is_load: true, width, addrs }))
+            Ok(Some(MemTrace {
+                space: *space,
+                is_load: true,
+                width,
+                addrs,
+            }))
         }
-        Instr::St { srcs, space, base, offset } => {
+        Instr::St {
+            srcs,
+            space,
+            base,
+            offset,
+        } => {
             let width = AccessWidth::from_bytes(4 * srcs.len() as u32).expect("store width");
             let n_words = srcs.len() as u64;
             let mut addrs = vec![None; WARP];
@@ -307,7 +338,9 @@ pub fn exec_instr(
                 }
                 addrs[t % WARP] = Some(addr);
                 let fault_at = move |e: DeviceError| {
-                    e.with_block(bid).with_thread(t as u32).with_instruction(clock_value)
+                    e.with_block(bid)
+                        .with_thread(t as u32)
+                        .with_instruction(clock_value)
                 };
                 if *space == MemSpace::Global && !addr.is_multiple_of(4 * n_words) {
                     return Err(fault_at(DeviceError::new(FaultKind::Misaligned {
@@ -322,9 +355,9 @@ pub fn exec_instr(
                         MemSpace::Global => {
                             gmem.store_u32(addr + 4 * w as u64, v).map_err(fault_at)?
                         }
-                        MemSpace::Shared => {
-                            ctx.smem_store_u32(addr + 4 * w as u64, v).map_err(fault_at)?
-                        }
+                        MemSpace::Shared => ctx
+                            .smem_store_u32(addr + 4 * w as u64, v)
+                            .map_err(fault_at)?,
                         MemSpace::Texture => {
                             return Err(fault_at(DeviceError::new(FaultKind::ReadOnlyWrite {
                                 space: MemSpace::Texture,
@@ -334,7 +367,12 @@ pub fn exec_instr(
                     }
                 }
             }
-            Ok(Some(MemTrace { space: *space, is_load: false, width, addrs }))
+            Ok(Some(MemTrace {
+                space: *space,
+                is_load: false,
+                width,
+                addrs,
+            }))
         }
         Instr::Clock { dst } => {
             for &t in &lanes {
@@ -406,7 +444,14 @@ pub enum FetchItem<'a> {
 impl Cursor {
     /// Cursor at the program entry with the given initial active mask.
     pub fn new(prog: &Program, mask: u32) -> Self {
-        Cursor { frames: vec![Frame { seq: prog.root, idx: 0, mask, while_of: None }] }
+        Cursor {
+            frames: vec![Frame {
+                seq: prog.root,
+                idx: 0,
+                mask,
+                while_of: None,
+            }],
+        }
     }
 
     /// `true` once the warp has retired every instruction.
@@ -422,7 +467,11 @@ impl Cursor {
             let top = self.frames.last().copied()?;
             if top.idx >= prog.seqs[top.seq].len() {
                 if let Some((pred, negate)) = top.while_of {
-                    return Some(FetchItem::WhileBackedge { pred, negate, mask: top.mask });
+                    return Some(FetchItem::WhileBackedge {
+                        pred,
+                        negate,
+                        mask: top.mask,
+                    });
                 }
                 self.frames.pop();
                 continue;
@@ -452,10 +501,20 @@ impl Cursor {
     pub fn enter_if(&mut self, then_seq: usize, else_seq: usize, then_mask: u32, else_mask: u32) {
         self.step();
         if else_mask != 0 {
-            self.frames.push(Frame { seq: else_seq, idx: 0, mask: else_mask, while_of: None });
+            self.frames.push(Frame {
+                seq: else_seq,
+                idx: 0,
+                mask: else_mask,
+                while_of: None,
+            });
         }
         if then_mask != 0 {
-            self.frames.push(Frame { seq: then_seq, idx: 0, mask: then_mask, while_of: None });
+            self.frames.push(Frame {
+                seq: then_seq,
+                idx: 0,
+                mask: then_mask,
+                while_of: None,
+            });
         }
     }
 
@@ -464,7 +523,12 @@ impl Cursor {
     pub fn enter_while(&mut self, body_seq: usize, pred: Pred, negate: bool, mask: u32) {
         self.step();
         if mask != 0 {
-            self.frames.push(Frame { seq: body_seq, idx: 0, mask, while_of: Some((pred, negate)) });
+            self.frames.push(Frame {
+                seq: body_seq,
+                idx: 0,
+                mask,
+                while_of: Some((pred, negate)),
+            });
         }
     }
 
@@ -519,7 +583,10 @@ mod tests {
     use crate::ir::KernelBuilder;
 
     fn env() -> LaunchEnv {
-        LaunchEnv { block_dim: 32, grid_dim: 1 }
+        LaunchEnv {
+            block_dim: 32,
+            grid_dim: 1,
+        }
     }
 
     #[test]
@@ -536,24 +603,36 @@ mod tests {
 
     #[test]
     fn alu_semantics_float_and_int() {
-        assert_eq!(f32::from_bits(alu(AluOp::FAdd, 1.5f32.to_bits(), 2.5f32.to_bits())), 4.0);
+        assert_eq!(
+            f32::from_bits(alu(AluOp::FAdd, 1.5f32.to_bits(), 2.5f32.to_bits())),
+            4.0
+        );
         assert_eq!(alu(AluOp::IAdd, u32::MAX, 1), 0);
         assert_eq!(alu(AluOp::IShl, 1, 4), 16);
-        assert_eq!(f32::from_bits(alu(AluOp::FMax, (-1.0f32).to_bits(), 2.0f32.to_bits())), 2.0);
+        assert_eq!(
+            f32::from_bits(alu(AluOp::FMax, (-1.0f32).to_bits(), 2.0f32.to_bits())),
+            2.0
+        );
     }
 
     #[test]
     fn exec_mov_respects_mask() {
         let mut b = KernelBuilder::new("m");
         let r = b.reg();
-        b.emit(Instr::Mov { dst: r, src: Operand::ImmU(7) });
+        b.emit(Instr::Mov {
+            dst: r,
+            src: Operand::ImmU(7),
+        });
         let k = b.finish();
         let prog = lower(&k);
         let mut ctx = BlockCtx::new(&prog, 0, 32, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
         // Only lanes 0 and 3 active.
         exec_instr(
-            &Instr::Mov { dst: r, src: Operand::ImmU(7) },
+            &Instr::Mov {
+                dst: r,
+                src: Operand::ImmU(7),
+            },
             &mut ctx,
             0,
             0b1001,
@@ -576,11 +655,40 @@ mod tests {
         let prog = lower(&k);
         let mut ctx = BlockCtx::new(&prog, 5, 64, &[]).unwrap();
         let mut gmem = GlobalMemory::new(64);
-        let e = LaunchEnv { block_dim: 64, grid_dim: 9 };
-        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::TidX }, &mut ctx, 1, u32::MAX, &e, &mut gmem, 0, None).unwrap();
+        let e = LaunchEnv {
+            block_dim: 64,
+            grid_dim: 9,
+        };
+        exec_instr(
+            &Instr::Special {
+                dst: t,
+                sr: SpecialReg::TidX,
+            },
+            &mut ctx,
+            1,
+            u32::MAX,
+            &e,
+            &mut gmem,
+            0,
+            None,
+        )
+        .unwrap();
         assert_eq!(ctx.reg(32, t), 32);
         assert_eq!(ctx.reg(63, t), 63);
-        exec_instr(&Instr::Special { dst: t, sr: SpecialReg::CtaidX }, &mut ctx, 0, u32::MAX, &e, &mut gmem, 0, None).unwrap();
+        exec_instr(
+            &Instr::Special {
+                dst: t,
+                sr: SpecialReg::CtaidX,
+            },
+            &mut ctx,
+            0,
+            u32::MAX,
+            &e,
+            &mut gmem,
+            0,
+            None,
+        )
+        .unwrap();
         assert_eq!(ctx.reg(0, t), 5);
     }
 
@@ -603,7 +711,12 @@ mod tests {
             ctx.set_reg(t, r, a);
         }
         let tr = exec_instr(
-            &Instr::Ld { dsts: vec![Reg(1)], space: MemSpace::Global, base: r, offset: 0 },
+            &Instr::Ld {
+                dsts: vec![Reg(1)],
+                space: MemSpace::Global,
+                base: r,
+                offset: 0,
+            },
             &mut ctx,
             0,
             u32::MAX,
@@ -662,12 +775,18 @@ mod tests {
                     executed += 1;
                     cur.step();
                 }
-                LinStmt::Bra { pred, negate, target } => {
+                LinStmt::Bra {
+                    pred,
+                    negate,
+                    target,
+                } => {
                     let m = pred_mask(&ctx, 0, mask, *pred, *negate);
                     assert!(m == 0 || m == mask, "non-uniform loop branch");
                     cur.branch(m == mask, *target);
                 }
-                LinStmt::IfMasked { .. } | LinStmt::WhileMasked { .. } | LinStmt::Sync => unreachable!(),
+                LinStmt::IfMasked { .. } | LinStmt::WhileMasked { .. } | LinStmt::Sync => {
+                    unreachable!()
+                }
             }
         }
         // mov init + 2 × (body mov + add + setp) = 7 executed instructions.

@@ -22,12 +22,14 @@
 //! the paper's 50 % → 67 % occupancy step buys its ~6 %.
 
 use super::functional::validate_launch;
-use super::machine::{exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv};
+use super::machine::{
+    exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv,
+};
 use crate::banks::conflict_degree;
-use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::coalesce::coalesce_half_warp;
 use crate::device::DeviceConfig;
 use crate::driver::DriverModel;
+use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::ir::lower::{lower, LinStmt, Program};
 use crate::ir::{Instr, Kernel, MemSpace, UnaryOp};
 use crate::mem::GlobalMemory;
@@ -102,7 +104,9 @@ pub fn time_resident(
     tp: &TimingParams,
 ) -> DeviceResult<TimedRun> {
     let prog = lower(kernel);
-    time_resident_lowered(&prog, resident, block_size, grid, params, gmem, dev, driver, tp)
+    time_resident_lowered(
+        &prog, resident, block_size, grid, params, gmem, dev, driver, tp,
+    )
 }
 
 /// As [`time_resident`], for an already-lowered program.
@@ -118,7 +122,18 @@ pub fn time_resident_lowered(
     driver: DriverModel,
     tp: &TimingParams,
 ) -> DeviceResult<TimedRun> {
-    time_sm_queue(prog, resident, &[], block_size, grid, params, gmem, dev, driver, tp)
+    time_sm_queue(
+        prog,
+        resident,
+        &[],
+        block_size,
+        grid,
+        params,
+        gmem,
+        dev,
+        driver,
+        tp,
+    )
 }
 
 /// Simulate one SM running `resident` blocks concurrently, admitting blocks
@@ -150,7 +165,10 @@ pub fn time_sm_queue(
     if let Some(b) = pending.iter().chain(resident.iter()).find(|b| **b >= grid) {
         return bad(format!("block id {b} beyond grid of {grid}"));
     }
-    let env = LaunchEnv { block_dim: block_size, grid_dim: grid };
+    let env = LaunchEnv {
+        block_dim: block_size,
+        grid_dim: grid,
+    };
     let n_threads = block_size as usize;
     let warps_per_block = n_threads.div_ceil(32);
     let half = dev.half_warp as usize;
@@ -218,9 +236,15 @@ pub fn time_sm_queue(
         last_issued = wi;
         let item = {
             let w = &mut warps[wi];
-            match w.cursor.fetch(prog).expect("issueable warp has an instruction") {
+            match w
+                .cursor
+                .fetch(prog)
+                .expect("issueable warp has an instruction")
+            {
                 FetchItem::Stmt(s, m) => (Some(s.clone()), m, None),
-                FetchItem::WhileBackedge { pred, negate, mask } => (None, mask, Some((pred, negate))),
+                FetchItem::WhileBackedge { pred, negate, mask } => {
+                    (None, mask, Some((pred, negate)))
+                }
             }
         };
         if let (None, mask, Some((pred, negate))) = (&item.0, item.1, item.2) {
@@ -254,7 +278,14 @@ pub fn time_sm_queue(
                 let w = &mut warps[wi];
                 let issue_cost;
                 match (i, &trace) {
-                    (Instr::Ld { dsts, space: MemSpace::Global, .. }, Some(tr)) => {
+                    (
+                        Instr::Ld {
+                            dsts,
+                            space: MemSpace::Global,
+                            ..
+                        },
+                        Some(tr),
+                    ) => {
                         issue_cost = tp.issue_mem;
                         // Coalesce each half-warp and push transactions
                         // through the memory pipe.
@@ -275,7 +306,13 @@ pub fn time_sm_queue(
                         w.outstanding.retain(|&d| d > now);
                         w.outstanding.push(data_ready);
                     }
-                    (Instr::St { space: MemSpace::Global, .. }, Some(tr)) => {
+                    (
+                        Instr::St {
+                            space: MemSpace::Global,
+                            ..
+                        },
+                        Some(tr),
+                    ) => {
                         issue_cost = tp.issue_mem;
                         for h in tr.addrs.chunks(half) {
                             let res = coalesce_half_warp(driver, h, tr.width);
@@ -287,7 +324,14 @@ pub fn time_sm_queue(
                             }
                         }
                     }
-                    (Instr::Ld { dsts, space: MemSpace::Texture, .. }, Some(tr)) => {
+                    (
+                        Instr::Ld {
+                            dsts,
+                            space: MemSpace::Texture,
+                            ..
+                        },
+                        Some(tr),
+                    ) => {
                         // Texture path: no coalescing; 32B-line cache per SM.
                         issue_cost = tp.issue_mem;
                         let mut data_ready = now + tp.issue_mem + tp.tex_hit_latency;
@@ -311,8 +355,20 @@ pub fn time_sm_queue(
                         w.outstanding.retain(|&d| d > now);
                         w.outstanding.push(data_ready);
                     }
-                    (Instr::Ld { space: MemSpace::Shared, .. }, Some(tr))
-                    | (Instr::St { space: MemSpace::Shared, .. }, Some(tr)) => {
+                    (
+                        Instr::Ld {
+                            space: MemSpace::Shared,
+                            ..
+                        },
+                        Some(tr),
+                    )
+                    | (
+                        Instr::St {
+                            space: MemSpace::Shared,
+                            ..
+                        },
+                        Some(tr),
+                    ) => {
                         let words = tr.width.bytes() / 4;
                         // Worst conflict degree across half-warps and phases.
                         let mut degree = 1u64;
@@ -320,7 +376,8 @@ pub fn time_sm_queue(
                             for phase in 0..words {
                                 let phase_addrs: Vec<Option<u64>> =
                                     h.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
-                                degree = degree.max(conflict_degree(&phase_addrs, dev.smem_banks) as u64);
+                                degree = degree
+                                    .max(conflict_degree(&phase_addrs, dev.smem_banks) as u64);
                             }
                         }
                         issue_cost = tp.issue_smem * words * degree;
@@ -330,7 +387,14 @@ pub fn time_sm_queue(
                             }
                         }
                     }
-                    (Instr::Unary { op: UnaryOp::FRsqrt, dst, .. }, _) => {
+                    (
+                        Instr::Unary {
+                            op: UnaryOp::FRsqrt,
+                            dst,
+                            ..
+                        },
+                        _,
+                    ) => {
                         issue_cost = tp.issue_sfu;
                         w.reg_ready[dst.0 as usize] = now + issue_cost + SFU_RAW_LATENCY;
                     }
@@ -354,17 +418,23 @@ pub fn time_sm_queue(
                     w.phase = WarpPhase::Done;
                 }
             }
-            LinStmt::Bra { pred, negate, target } => {
+            LinStmt::Bra {
+                pred,
+                negate,
+                target,
+            } => {
                 stats.warp_instructions += 1;
                 let w = &warps[wi];
                 let m = pred_mask(&blocks[w.block], w.warp_in_block, mask, *pred, *negate);
                 if m != 0 && m != mask {
                     let lane = (m ^ mask).trailing_zeros();
-                    return Err(DeviceError::new(FaultKind::DivergentBranch { mask, taken: m })
-                        .with_kernel(&prog.name)
-                        .with_block(blocks[w.block].block_id)
-                        .with_thread(w.warp_in_block as u32 * 32 + lane)
-                        .with_instruction(now));
+                    return Err(
+                        DeviceError::new(FaultKind::DivergentBranch { mask, taken: m })
+                            .with_kernel(&prog.name)
+                            .with_block(blocks[w.block].block_id)
+                            .with_thread(w.warp_in_block as u32 * 32 + lane)
+                            .with_instruction(now),
+                    );
                 }
                 let taken = m == mask;
                 let w = &mut warps[wi];
@@ -377,7 +447,12 @@ pub fn time_sm_queue(
                     w.phase = WarpPhase::Done;
                 }
             }
-            LinStmt::IfMasked { pred, negate, then_seq, else_seq } => {
+            LinStmt::IfMasked {
+                pred,
+                negate,
+                then_seq,
+                else_seq,
+            } => {
                 // The branch instruction guarding the region.
                 stats.warp_instructions += 1;
                 let w = &warps[wi];
@@ -393,7 +468,11 @@ pub fn time_sm_queue(
                     w.phase = WarpPhase::Done;
                 }
             }
-            LinStmt::WhileMasked { pred, negate, body_seq } => {
+            LinStmt::WhileMasked {
+                pred,
+                negate,
+                body_seq,
+            } => {
                 let w = &mut warps[wi];
                 issue_free = now + tp.issue_alu;
                 busy_until = busy_until.max(issue_free);
@@ -406,7 +485,7 @@ pub fn time_sm_queue(
             }
             LinStmt::Sync => {
                 stats.warp_instructions += 1; // bar.sync is an instruction
-                // (fallthrough to barrier handling below)
+                                              // (fallthrough to barrier handling below)
                 let w = &mut warps[wi];
                 issue_free = now + tp.issue_sync;
                 busy_until = busy_until.max(issue_free);
@@ -443,8 +522,10 @@ pub fn time_sm_queue(
         // Block retirement → admit the next pending block into the slot.
         if !pending.is_empty() {
             let slot = warps[wi].block;
-            let all_done =
-                warps.iter().filter(|x| x.block == slot).all(|x| x.phase == WarpPhase::Done);
+            let all_done = warps
+                .iter()
+                .filter(|x| x.block == slot)
+                .all(|x| x.phase == WarpPhase::Done);
             if all_done {
                 if let Some(next_id) = pending.pop_front() {
                     let retire = warps
@@ -476,7 +557,12 @@ pub fn time_sm_queue(
         .with_kernel(&prog.name));
     }
     assert!(pending.is_empty(), "blocks left unadmitted");
-    stats.cycles = warps.iter().map(|w| w.finish).max().unwrap_or(0).max(mem_free);
+    stats.cycles = warps
+        .iter()
+        .map(|w| w.finish)
+        .max()
+        .unwrap_or(0)
+        .max(mem_free);
     stats.idle_cycles = stats.idle_cycles.min(stats.cycles);
     Ok(stats)
 }
@@ -558,9 +644,12 @@ fn earliest_issue(w: &WarpSim, prog: &Program, issue_free: u64, tp: &TimingParam
             for u in i.uses() {
                 t = t.max(w.reg_ready[u.0 as usize]);
             }
-            if let Instr::Ld { space: MemSpace::Global, .. } = i {
-                let in_flight =
-                    w.outstanding.iter().filter(|&&done| done > t).count() as u32;
+            if let Instr::Ld {
+                space: MemSpace::Global,
+                ..
+            } = i
+            {
+                let in_flight = w.outstanding.iter().filter(|&&done| done > t).count() as u32;
                 if in_flight >= tp.max_outstanding_loads {
                     let mut completions: Vec<u64> =
                         w.outstanding.iter().copied().filter(|&d| d > t).collect();
@@ -584,7 +673,10 @@ mod tests {
     use crate::ir::{KernelBuilder, Operand};
 
     fn setup() -> (DeviceConfig, TimingParams) {
-        (DeviceConfig::g8800gtx(), TimingParams::for_driver(DriverModel::Cuda10))
+        (
+            DeviceConfig::g8800gtx(),
+            TimingParams::for_driver(DriverModel::Cuda10),
+        )
     }
 
     /// out[i] = a[i] * 2 — smoke test: values correct AND cycles plausible.
@@ -610,8 +702,22 @@ mod tests {
         let xs: Vec<f32> = (0..64).map(|i| i as f32).collect();
         let a = gmem.alloc_f32(&xs).unwrap();
         let o = gmem.alloc(64 * 4).unwrap();
-        let run = time_resident(&k, &[0], 64, 1, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
-        assert!(run.cycles > tp.mem_latency, "must include a memory round trip");
+        let run = time_resident(
+            &k,
+            &[0],
+            64,
+            1,
+            &[a.0 as u32, o.0 as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
+        assert!(
+            run.cycles > tp.mem_latency,
+            "must include a memory round trip"
+        );
         let out = gmem.read_f32(o, 64).unwrap();
         for (i, v) in out.iter().enumerate() {
             assert_eq!(*v, 2.0 * i as f32);
@@ -681,12 +787,28 @@ mod tests {
             let mut gmem = GlobalMemory::new(1 << 16);
             let a = gmem.alloc_zeroed(grid as u64 * 64 * 4).unwrap();
             let o = gmem.alloc(grid as u64 * 64 * 4).unwrap();
-            time_resident(&k, resident, 64, grid, &[a.0 as u32, o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap()
+            time_resident(
+                &k,
+                resident,
+                64,
+                grid,
+                &[a.0 as u32, o.0 as u32],
+                &mut gmem,
+                &dev,
+                DriverModel::Cuda10,
+                &tp,
+            )
+            .unwrap()
         };
         let one = run_with(&[0]);
         let two = run_with(&[0, 1]);
         // Two blocks do twice the work in less than twice the time.
-        assert!(two.cycles < 2 * one.cycles, "two blocks {} vs one {}", two.cycles, one.cycles);
+        assert!(
+            two.cycles < 2 * one.cycles,
+            "two blocks {} vs one {}",
+            two.cycles,
+            one.cycles
+        );
     }
 
     #[test]
@@ -698,7 +820,11 @@ mod tests {
         let tid = b.special(crate::ir::SpecialReg::TidX);
         let sa = b.imul(tid.into(), Operand::ImmU(4));
         let tf = b.reg();
-        b.emit(Instr::Unary { op: UnaryOp::U2F, dst: tf, a: tid.into() });
+        b.emit(Instr::Unary {
+            op: UnaryOp::U2F,
+            dst: tf,
+            a: tid.into(),
+        });
         b.st(MemSpace::Shared, sa, 0, vec![tf.into()]);
         b.sync();
         let v = b.ld(MemSpace::Shared, sa, 0, 1)[0];
@@ -707,7 +833,18 @@ mod tests {
         let k = b.finish();
         let mut gmem = GlobalMemory::new(1 << 12);
         let o = gmem.alloc(128 * 4).unwrap();
-        let run = time_resident(&k, &[0], 128, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        let run = time_resident(
+            &k,
+            &[0],
+            128,
+            1,
+            &[o.0 as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         assert!(run.cycles > 0);
         let out = gmem.read_f32(o, 128).unwrap();
         for (t, v) in out.iter().enumerate() {
@@ -735,7 +872,18 @@ mod tests {
         let k = b.finish();
         let mut gmem = GlobalMemory::new(1 << 12);
         let o = gmem.alloc(32 * 4).unwrap();
-        time_resident(&k, &[0], 32, 1, &[o.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        time_resident(
+            &k,
+            &[0],
+            32,
+            1,
+            &[o.0 as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         let dts = gmem.download(o, 4).unwrap();
         let dt0 = u32::from_le_bytes(dts[0..4].try_into().unwrap());
         // 8 dependent fmuls at issue+RAW each — the delta must at least cover
@@ -777,7 +925,18 @@ mod grid_tests {
         let k = work_kernel(5);
         let grid = 64u32; // 4 blocks per SM queue on 16 SMs
         let (dev, tp, mut gmem, out) = setup(grid as u64 * 64);
-        let run = time_grid(&k, grid, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        let run = time_grid(
+            &k,
+            grid,
+            64,
+            1,
+            &[out as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         assert!(run.cycles > 0);
         for t in 0..(grid as u64 * 64) {
             let v = gmem.load_f32(out + 4 * t).unwrap();
@@ -790,9 +949,36 @@ mod grid_tests {
         let k = work_kernel(50);
         let (dev, tp, mut gmem, out) = setup(16 * 4 * 64);
         // 16 blocks = 1 per SM; 64 blocks = 4 per SM queued behind each other.
-        let one = time_grid(&k, 16, 64, 1, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp).unwrap();
-        let four = time_grid(&k, 64, 64, 1, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
-        assert!(four.cycles > 2 * one.cycles, "4 sequential blocks per SM: {} vs {}", four.cycles, one.cycles);
+        let one = time_grid(
+            &k,
+            16,
+            64,
+            1,
+            &[out as u32],
+            &mut gmem.clone(),
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
+        let four = time_grid(
+            &k,
+            64,
+            64,
+            1,
+            &[out as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
+        assert!(
+            four.cycles > 2 * one.cycles,
+            "4 sequential blocks per SM: {} vs {}",
+            four.cycles,
+            one.cycles
+        );
         assert!(four.cycles < 6 * one.cycles);
     }
 
@@ -802,9 +988,31 @@ mod grid_tests {
         let k = work_kernel(40);
         let grid = 96u32; // 6 blocks per SM
         let (dev, tp, mut gmem, out) = setup(grid as u64 * 64);
-        let exact = time_grid(&k, grid, 64, 2, &[out as u32], &mut gmem.clone(), &dev, DriverModel::Cuda10, &tp).unwrap();
+        let exact = time_grid(
+            &k,
+            grid,
+            64,
+            2,
+            &[out as u32],
+            &mut gmem.clone(),
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         // Wave model: simulate 2 resident blocks once, times 3 waves.
-        let wave = time_resident(&k, &[0, 1], 64, grid, &[out as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap();
+        let wave = time_resident(
+            &k,
+            &[0, 1],
+            64,
+            grid,
+            &[out as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         let waves = (grid as u64).div_ceil(dev.num_sms as u64 * 2);
         let estimated = wave.cycles * waves;
         let err = (estimated as f64 - exact.cycles as f64).abs() / exact.cycles as f64;

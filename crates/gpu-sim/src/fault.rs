@@ -57,14 +57,25 @@ pub enum FaultKind {
         /// Access width in bytes.
         width: u64,
     },
-    /// The allocator could not satisfy a request.
+    /// The allocator could not satisfy a request. Recoverable by
+    /// construction: the caller can free memory, shrink the working set
+    /// (chunked execution), or fall back to the host.
     OutOfMemory {
         /// Bytes requested.
         requested: u64,
-        /// Bytes already in use (including redzones and alignment padding).
-        in_use: u64,
+        /// Bytes still free (capacity minus allocations, redzones and
+        /// alignment padding).
+        free: u64,
         /// Total capacity of the memory.
         capacity: u64,
+    },
+    /// `free` was called with a pointer that is not the most recent live
+    /// allocation (the bump allocator frees in strict LIFO order).
+    InvalidFree {
+        /// The pointer passed to `free`.
+        ptr: u64,
+        /// Base of the allocation that could legally be freed, if any.
+        expected: Option<u64>,
     },
     /// Invalid launch geometry or kernel-parameter mismatch.
     BadLaunch {
@@ -140,6 +151,7 @@ impl FaultKind {
             FaultKind::Misaligned { .. } => "Misaligned",
             FaultKind::UninitializedRead { .. } => "UninitializedRead",
             FaultKind::OutOfMemory { .. } => "OutOfMemory",
+            FaultKind::InvalidFree { .. } => "InvalidFree",
             FaultKind::BadLaunch { .. } => "BadLaunch",
             FaultKind::ReadOnlyWrite { .. } => "ReadOnlyWrite",
             FaultKind::Deadlock { .. } => "Deadlock",
@@ -170,8 +182,18 @@ impl FaultKind {
 impl fmt::Display for FaultKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FaultKind::OutOfBounds { space, addr, width, limit, redzone } => {
-                let zone = if *redzone { " (in a redzone guard band)" } else { "" };
+            FaultKind::OutOfBounds {
+                space,
+                addr,
+                width,
+                limit,
+                redzone,
+            } => {
+                let zone = if *redzone {
+                    " (in a redzone guard band)"
+                } else {
+                    ""
+                };
                 write!(
                     f,
                     "{width}-byte {space:?} access at {addr:#x} is out of bounds{zone}; space limit {limit:#x}"
@@ -181,14 +203,28 @@ impl fmt::Display for FaultKind {
                 write!(f, "misaligned {width}-byte {space:?} access at {addr:#x}")
             }
             FaultKind::UninitializedRead { addr, width } => {
-                write!(f, "{width}-byte load of uninitialized (poison) memory at {addr:#x}")
-            }
-            FaultKind::OutOfMemory { requested, in_use, capacity } => {
                 write!(
                     f,
-                    "device out of memory: requested {requested} B with {in_use} B in use of {capacity} B"
+                    "{width}-byte load of uninitialized (poison) memory at {addr:#x}"
                 )
             }
+            FaultKind::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => {
+                write!(
+                    f,
+                    "device out of memory: requested {requested} B with {free} B free of {capacity} B"
+                )
+            }
+            FaultKind::InvalidFree { ptr, expected } => match expected {
+                Some(e) => write!(
+                    f,
+                    "invalid free of {ptr:#x}: the bump allocator frees LIFO, expected {e:#x}"
+                ),
+                None => write!(f, "invalid free of {ptr:#x}: no live allocations"),
+            },
             FaultKind::BadLaunch { reason } => write!(f, "bad launch: {reason}"),
             FaultKind::ReadOnlyWrite { space, addr } => {
                 write!(f, "store to read-only {space:?} memory at {addr:#x}")
@@ -201,20 +237,30 @@ impl fmt::Display for FaultKind {
                 )
             }
             FaultKind::BadConfig { reason } => write!(f, "bad configuration: {reason}"),
-            FaultKind::EccMismatch { addr, expected, actual } => {
+            FaultKind::EccMismatch {
+                addr,
+                expected,
+                actual,
+            } => {
                 write!(
                     f,
                     "ECC checksum mismatch at {addr:#x}: stored {expected:#04x}, recomputed {actual:#04x} (soft error)"
                 )
             }
             FaultKind::WatchdogTimeout { budget, executed } => {
-                write!(f, "watchdog killed the kernel after {executed} steps (budget {budget})")
+                write!(
+                    f,
+                    "watchdog killed the kernel after {executed} steps (budget {budget})"
+                )
             }
             FaultKind::TransientLaunch { reason } => {
                 write!(f, "transient launch failure: {reason}")
             }
             FaultKind::NonFiniteResult { index } => {
-                write!(f, "non-finite value in downloaded results at element {index}")
+                write!(
+                    f,
+                    "non-finite value in downloaded results at element {index}"
+                )
             }
         }
     }
@@ -271,7 +317,10 @@ pub struct DeviceError {
 impl DeviceError {
     /// A fault with no coordinates yet.
     pub fn new(kind: FaultKind) -> Self {
-        DeviceError { kind, site: FaultSite::default() }
+        DeviceError {
+            kind,
+            site: FaultSite::default(),
+        }
     }
 
     /// Attach the kernel name, unless already known.
@@ -381,7 +430,14 @@ pub const ANY_INSTRUCTION: u64 = u64::MAX;
 impl FaultPlan {
     /// A plan with a single injected fault.
     pub fn single(block: u32, thread: u32, instruction: u64, mutation: Mutation) -> Self {
-        FaultPlan { faults: vec![InjectedFault { block, thread, instruction, mutation }] }
+        FaultPlan {
+            faults: vec![InjectedFault {
+                block,
+                thread,
+                instruction,
+                mutation,
+            }],
+        }
     }
 
     /// A plan striking every memory access of one thread (see
@@ -460,7 +516,11 @@ mod tests {
 
     #[test]
     fn display_is_one_line_and_informative() {
-        let e = DeviceError::new(FaultKind::Misaligned { space: MemSpace::Global, addr: 0x1c, width: 16 });
+        let e = DeviceError::new(FaultKind::Misaligned {
+            space: MemSpace::Global,
+            addr: 0x1c,
+            width: 16,
+        });
         let s = e.to_string();
         assert!(s.contains("Misaligned"));
         assert!(s.contains("0x1c"));

@@ -58,7 +58,10 @@ impl KernelBuilder {
     /// Declare the next kernel parameter; must precede any instruction.
     /// Returns the register the parameter is bound to at launch.
     pub fn param(&mut self) -> Reg {
-        assert!(!self.params_closed, "declare all parameters before emitting instructions");
+        assert!(
+            !self.params_closed,
+            "declare all parameters before emitting instructions"
+        );
         let r = Reg(self.next_reg);
         self.next_reg += 1;
         self.n_params += 1;
@@ -83,7 +86,10 @@ impl KernelBuilder {
     /// Emit a raw instruction.
     pub fn emit(&mut self, i: Instr) {
         self.params_closed = true;
-        self.stack.last_mut().expect("builder stack").push(Stmt::I(i));
+        self.stack
+            .last_mut()
+            .expect("builder stack")
+            .push(Stmt::I(i));
     }
 
     // ---- Convenience emitters (each returns the destination register) ----
@@ -132,19 +138,37 @@ impl KernelBuilder {
     /// f32 `mad`: `a*b + c`.
     pub fn fmad(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
         let dst = self.reg();
-        self.emit(Instr::Mad { float: true, dst, a, b, c });
+        self.emit(Instr::Mad {
+            float: true,
+            dst,
+            a,
+            b,
+            c,
+        });
         dst
     }
 
     /// f32 `mad` into an existing accumulator register.
     pub fn fmad_into(&mut self, dst: Reg, a: Operand, b: Operand, c: Operand) {
-        self.emit(Instr::Mad { float: true, dst, a, b, c });
+        self.emit(Instr::Mad {
+            float: true,
+            dst,
+            a,
+            b,
+            c,
+        });
     }
 
     /// u32 `mad.lo`: `a*b + c` — the address-computation workhorse.
     pub fn mad_u(&mut self, a: Operand, b: Operand, c: Operand) -> Reg {
         let dst = self.reg();
-        self.emit(Instr::Mad { float: false, dst, a, b, c });
+        self.emit(Instr::Mad {
+            float: false,
+            dst,
+            a,
+            b,
+            c,
+        });
         dst
     }
 
@@ -161,7 +185,11 @@ impl KernelBuilder {
     /// `rsqrt.f32`
     pub fn frsqrt(&mut self, a: Operand) -> Reg {
         let dst = self.reg();
-        self.emit(Instr::Unary { op: UnaryOp::FRsqrt, dst, a });
+        self.emit(Instr::Unary {
+            op: UnaryOp::FRsqrt,
+            dst,
+            a,
+        });
         dst
     }
 
@@ -174,9 +202,17 @@ impl KernelBuilder {
 
     /// Vector load of `width` ∈ {1,2,4} words; returns the destination regs.
     pub fn ld(&mut self, space: MemSpace, base: Reg, offset: u32, width: usize) -> Vec<Reg> {
-        assert!(matches!(width, 1 | 2 | 4), "load width must be 1, 2 or 4 words");
+        assert!(
+            matches!(width, 1 | 2 | 4),
+            "load width must be 1, 2 or 4 words"
+        );
         let dsts: Vec<Reg> = (0..width).map(|_| self.reg()).collect();
-        self.emit(Instr::Ld { dsts: dsts.clone(), space, base, offset });
+        self.emit(Instr::Ld {
+            dsts: dsts.clone(),
+            space,
+            base,
+            offset,
+        });
         dsts
     }
 
@@ -184,14 +220,30 @@ impl KernelBuilder {
     /// double-buffering patterns where the destination must persist across
     /// loop iterations).
     pub fn ld_into(&mut self, space: MemSpace, base: Reg, offset: u32, dsts: Vec<Reg>) {
-        assert!(matches!(dsts.len(), 1 | 2 | 4), "load width must be 1, 2 or 4 words");
-        self.emit(Instr::Ld { dsts, space, base, offset });
+        assert!(
+            matches!(dsts.len(), 1 | 2 | 4),
+            "load width must be 1, 2 or 4 words"
+        );
+        self.emit(Instr::Ld {
+            dsts,
+            space,
+            base,
+            offset,
+        });
     }
 
     /// Vector store.
     pub fn st(&mut self, space: MemSpace, base: Reg, offset: u32, srcs: Vec<Operand>) {
-        assert!(matches!(srcs.len(), 1 | 2 | 4), "store width must be 1, 2 or 4 words");
-        self.emit(Instr::St { srcs, space, base, offset });
+        assert!(
+            matches!(srcs.len(), 1 | 2 | 4),
+            "store width must be 1, 2 or 4 words"
+        );
+        self.emit(Instr::St {
+            srcs,
+            space,
+            base,
+            offset,
+        });
     }
 
     /// `clock()`
@@ -213,13 +265,28 @@ impl KernelBuilder {
 
     /// Counted loop; the closure receives the builder and the induction
     /// register.
-    pub fn for_loop(&mut self, start: Operand, end: Operand, step: u32, f: impl FnOnce(&mut Self, Reg)) {
+    pub fn for_loop(
+        &mut self,
+        start: Operand,
+        end: Operand,
+        step: u32,
+        f: impl FnOnce(&mut Self, Reg),
+    ) {
         assert!(step > 0, "loop step must be positive");
         let var = self.reg();
         self.stack.push(Vec::new());
         f(self, var);
         let body = self.stack.pop().expect("builder stack");
-        self.stack.last_mut().expect("builder stack").push(Stmt::For { var, start, end, step, body });
+        self.stack
+            .last_mut()
+            .expect("builder stack")
+            .push(Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            });
     }
 
     /// Divergent bottom-tested loop (`do { body } while (pred)`), for
@@ -229,18 +296,38 @@ impl KernelBuilder {
         self.stack.push(Vec::new());
         let pred = f(self);
         let body = self.stack.pop().expect("builder stack");
-        self.stack.last_mut().expect("builder stack").push(Stmt::While { pred, negate: false, body });
+        self.stack
+            .last_mut()
+            .expect("builder stack")
+            .push(Stmt::While {
+                pred,
+                negate: false,
+                body,
+            });
     }
 
     /// Masked two-sided conditional.
-    pub fn if_else(&mut self, pred: Pred, then: impl FnOnce(&mut Self), els: impl FnOnce(&mut Self)) {
+    pub fn if_else(
+        &mut self,
+        pred: Pred,
+        then: impl FnOnce(&mut Self),
+        els: impl FnOnce(&mut Self),
+    ) {
         self.stack.push(Vec::new());
         then(self);
         let t = self.stack.pop().expect("builder stack");
         self.stack.push(Vec::new());
         els(self);
         let e = self.stack.pop().expect("builder stack");
-        self.stack.last_mut().expect("builder stack").push(Stmt::If { pred, negate: false, then: t, els: e });
+        self.stack
+            .last_mut()
+            .expect("builder stack")
+            .push(Stmt::If {
+                pred,
+                negate: false,
+                then: t,
+                els: e,
+            });
     }
 
     /// Masked one-sided conditional.
@@ -250,7 +337,10 @@ impl KernelBuilder {
 
     /// Block barrier.
     pub fn sync(&mut self) {
-        self.stack.last_mut().expect("builder stack").push(Stmt::Sync);
+        self.stack
+            .last_mut()
+            .expect("builder stack")
+            .push(Stmt::Sync);
     }
 
     /// Finish and validate the kernel.

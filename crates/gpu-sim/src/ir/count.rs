@@ -58,10 +58,16 @@ impl fmt::Display for CountError {
             }
             CountError::ZeroStep => write!(f, "loop step of 0 never terminates"),
             CountError::NonPositiveBudget { budget } => {
-                write!(f, "instruction budget {budget} is not positive; Eq. 3 is undefined")
+                write!(
+                    f,
+                    "instruction budget {budget} is not positive; Eq. 3 is undefined"
+                )
             }
             CountError::ParamCountMismatch { expected, got } => {
-                write!(f, "kernel takes {expected} parameters, launch supplied {got}")
+                write!(
+                    f,
+                    "kernel takes {expected} parameters, launch supplied {got}"
+                )
             }
         }
     }
@@ -117,7 +123,13 @@ pub fn dynamic_instructions(kernel: &Kernel, params: &[u32]) -> Result<u64, Coun
                 Stmt::If { then, els, .. } => {
                     total += count(then, params)? + count(els, params)?;
                 }
-                Stmt::For { var, start, end, step, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
                     // A data-dependent start (the grid-strided tile loop
                     // starts at `tid`) counts as thread 0's trip count.
                     let st = resolve_const(start, params).unwrap_or(0);
@@ -196,7 +208,11 @@ pub fn inner_loop_profile(kernel: &Kernel) -> Option<InnerLoopProfile> {
     }
     let mut best = None;
     deepest(&kernel.body, 0, &mut best);
-    best.map(|(depth, body_instrs)| InnerLoopProfile { body_instrs, overhead_instrs: 3, depth })
+    best.map(|(depth, body_instrs)| InnerLoopProfile {
+        body_instrs,
+        overhead_instrs: 3,
+        depth,
+    })
 }
 
 /// The paper's Eq. 3: predicted speedup from replacing an innermost-loop
@@ -248,7 +264,10 @@ pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, Coun
         match i {
             Instr::Alu { op, .. } if op.is_float() => m.fp += mult,
             Instr::Mad { float: true, .. } => m.fp += mult,
-            Instr::Unary { op: UnaryOp::FRsqrt, .. } => m.sfu += mult,
+            Instr::Unary {
+                op: UnaryOp::FRsqrt,
+                ..
+            } => m.sfu += mult,
             Instr::Unary { .. } => m.int += mult,
             Instr::Ld { .. } => m.loads += mult,
             Instr::St { .. } => m.stores += mult,
@@ -266,7 +285,13 @@ pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, Coun
                     walk(els, params, mult, m)?;
                 }
                 Stmt::While { .. } => return Err(CountError::DataDependentLoop),
-                Stmt::For { var, start, end, step, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
                     let st = resolve_const(start, params).unwrap_or(0);
                     let en = resolve_const(end, params)
                         .ok_or(CountError::DataDependentBound { var: *var })?;
@@ -293,7 +318,11 @@ mod tests {
     fn trip_count_semantics() {
         assert_eq!(trip_count(0, 10, 1).unwrap(), 10);
         assert_eq!(trip_count(0, 10, 3).unwrap(), 4);
-        assert_eq!(trip_count(5, 5, 1).unwrap(), 1, "bottom-tested: at least once");
+        assert_eq!(
+            trip_count(5, 5, 1).unwrap(),
+            1,
+            "bottom-tested: at least once"
+        );
         assert_eq!(trip_count(2, 10, 4).unwrap(), 2);
     }
 
@@ -310,11 +339,20 @@ mod tests {
         let _ = b.param();
         let k = b.finish();
         let err = dynamic_instructions(&k, &[]).unwrap_err();
-        assert_eq!(err, CountError::ParamCountMismatch { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            CountError::ParamCountMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
         assert!(err.to_string().contains("takes 1 parameters"));
         assert_eq!(
             instruction_mix(&k, &[1, 2]).unwrap_err(),
-            CountError::ParamCountMismatch { expected: 1, got: 2 }
+            CountError::ParamCountMismatch {
+                expected: 1,
+                got: 2
+            }
         );
     }
 
@@ -358,7 +396,10 @@ mod tests {
             });
         });
         // outer: 1 + 4 × (inner + 3); inner: 1 + 8 × (1 + 3) = 33
-        assert_eq!(dynamic_instructions(&b.finish(), &[]).unwrap(), 1 + 4 * (33 + 3));
+        assert_eq!(
+            dynamic_instructions(&b.finish(), &[]).unwrap(),
+            1 + 4 * (33 + 3)
+        );
     }
 
     #[test]
@@ -371,7 +412,10 @@ mod tests {
         });
         let k = b.finish();
         let err = dynamic_instructions(&k, &[0]).unwrap_err();
-        assert!(matches!(err, CountError::DataDependentBound { .. }), "{err}");
+        assert!(
+            matches!(err, CountError::DataDependentBound { .. }),
+            "{err}"
+        );
         assert!(err.to_string().contains("not a launch constant"));
         assert!(instruction_mix(&k, &[0]).is_err());
     }
@@ -385,8 +429,14 @@ mod tests {
             b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
         });
         let k = b.finish();
-        assert_eq!(dynamic_instructions(&k, &[]).unwrap_err(), CountError::DataDependentLoop);
-        assert_eq!(instruction_mix(&k, &[]).unwrap_err(), CountError::DataDependentLoop);
+        assert_eq!(
+            dynamic_instructions(&k, &[]).unwrap_err(),
+            CountError::DataDependentLoop
+        );
+        assert_eq!(
+            instruction_mix(&k, &[]).unwrap_err(),
+            CountError::DataDependentLoop
+        );
     }
 
     #[test]
@@ -423,9 +473,18 @@ mod tests {
 
     #[test]
     fn eq3_rejects_non_positive_budgets() {
-        assert_eq!(eq3_speedup(0.0, 17.0).unwrap_err(), CountError::NonPositiveBudget { budget: 0.0 });
-        assert!(matches!(eq3_speedup(21.0, -1.0), Err(CountError::NonPositiveBudget { .. })));
-        assert!(matches!(eq3_speedup(f64::NAN, 1.0), Err(CountError::NonPositiveBudget { .. })));
+        assert_eq!(
+            eq3_speedup(0.0, 17.0).unwrap_err(),
+            CountError::NonPositiveBudget { budget: 0.0 }
+        );
+        assert!(matches!(
+            eq3_speedup(21.0, -1.0),
+            Err(CountError::NonPositiveBudget { .. })
+        ));
+        assert!(matches!(
+            eq3_speedup(f64::NAN, 1.0),
+            Err(CountError::NonPositiveBudget { .. })
+        ));
     }
 
     #[test]

@@ -103,8 +103,17 @@ impl Lowerer {
             match s {
                 Stmt::I(i) => out.push(LinStmt::I(i.clone())),
                 Stmt::Sync => out.push(LinStmt::Sync),
-                Stmt::For { var, start, end, step, body } => {
-                    out.push(LinStmt::I(Instr::Mov { dst: *var, src: *start }));
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                } => {
+                    out.push(LinStmt::I(Instr::Mov {
+                        dst: *var,
+                        src: *start,
+                    }));
                     let top = out.len();
                     self.lower_into(body, out);
                     out.push(LinStmt::I(Instr::Alu {
@@ -115,17 +124,40 @@ impl Lowerer {
                     }));
                     let p = Pred(self.next_pred);
                     self.next_pred += 1;
-                    out.push(LinStmt::I(Instr::Setp { dst: p, cmp: CmpOp::ULt, a: Operand::R(*var), b: *end }));
-                    out.push(LinStmt::Bra { pred: p, negate: false, target: top });
+                    out.push(LinStmt::I(Instr::Setp {
+                        dst: p,
+                        cmp: CmpOp::ULt,
+                        a: Operand::R(*var),
+                        b: *end,
+                    }));
+                    out.push(LinStmt::Bra {
+                        pred: p,
+                        negate: false,
+                        target: top,
+                    });
                 }
-                Stmt::If { pred, negate, then, els } => {
+                Stmt::If {
+                    pred,
+                    negate,
+                    then,
+                    els,
+                } => {
                     let then_seq = self.lower_body(then);
                     let else_seq = self.lower_body(els);
-                    out.push(LinStmt::IfMasked { pred: *pred, negate: *negate, then_seq, else_seq });
+                    out.push(LinStmt::IfMasked {
+                        pred: *pred,
+                        negate: *negate,
+                        then_seq,
+                        else_seq,
+                    });
                 }
                 Stmt::While { pred, negate, body } => {
                     let body_seq = self.lower_body(body);
-                    out.push(LinStmt::WhileMasked { pred: *pred, negate: *negate, body_seq });
+                    out.push(LinStmt::WhileMasked {
+                        pred: *pred,
+                        negate: *negate,
+                        body_seq,
+                    });
                 }
             }
         }
@@ -135,7 +167,10 @@ impl Lowerer {
 /// Lower a kernel to its executable [`Program`].
 pub fn lower(kernel: &Kernel) -> Program {
     kernel.validate();
-    let mut l = Lowerer { seqs: Vec::new(), next_pred: kernel.n_preds };
+    let mut l = Lowerer {
+        seqs: Vec::new(),
+        next_pred: kernel.n_preds,
+    };
     // Reserve the root slot first so nested sequences come after it.
     let root = l.lower_body(&kernel.body);
     Program {
@@ -188,7 +223,13 @@ mod tests {
         // mov var, body-mov, add, setp, bra
         assert_eq!(seq.len(), 5);
         assert!(matches!(seq[0], LinStmt::I(Instr::Mov { .. })));
-        assert!(matches!(seq[2], LinStmt::I(Instr::Alu { op: AluOp::IAdd, .. })));
+        assert!(matches!(
+            seq[2],
+            LinStmt::I(Instr::Alu {
+                op: AluOp::IAdd,
+                ..
+            })
+        ));
         assert!(matches!(seq[3], LinStmt::I(Instr::Setp { .. })));
         match seq[4] {
             LinStmt::Bra { target, .. } => assert_eq!(target, 1),
@@ -229,7 +270,9 @@ mod tests {
         let p = lower(&b.finish());
         let root = &p.seqs[p.root];
         match root.last().unwrap() {
-            LinStmt::IfMasked { then_seq, else_seq, .. } => {
+            LinStmt::IfMasked {
+                then_seq, else_seq, ..
+            } => {
                 assert_eq!(p.seqs[*then_seq].len(), 1);
                 assert_eq!(p.seqs[*else_seq].len(), 1);
             }

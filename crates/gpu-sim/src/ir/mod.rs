@@ -112,7 +112,10 @@ pub enum AluOp {
 impl AluOp {
     /// `true` for the floating-point forms.
     pub fn is_float(self) -> bool {
-        matches!(self, AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FMin | AluOp::FMax)
+        matches!(
+            self,
+            AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FMin | AluOp::FMax
+        )
     }
 }
 
@@ -392,7 +395,9 @@ impl Kernel {
                         track(r);
                     }
                 }
-                Stmt::For { var, start, end, .. } => {
+                Stmt::For {
+                    var, start, end, ..
+                } => {
                     track(*var);
                     for o in [start, end] {
                         if let Operand::R(r) = o {
@@ -469,11 +474,21 @@ mod tests {
 
     #[test]
     fn defs_and_uses_of_core_instructions() {
-        let i = Instr::Alu { op: AluOp::FAdd, dst: Reg(3), a: Operand::R(Reg(1)), b: Operand::ImmF(1.0) };
+        let i = Instr::Alu {
+            op: AluOp::FAdd,
+            dst: Reg(3),
+            a: Operand::R(Reg(1)),
+            b: Operand::ImmF(1.0),
+        };
         assert_eq!(i.defs(), vec![Reg(3)]);
         assert_eq!(i.uses(), vec![Reg(1)]);
 
-        let ld = Instr::Ld { dsts: vec![Reg(4), Reg(5)], space: MemSpace::Global, base: Reg(2), offset: 8 };
+        let ld = Instr::Ld {
+            dsts: vec![Reg(4), Reg(5)],
+            space: MemSpace::Global,
+            base: Reg(2),
+            offset: 8,
+        };
         assert_eq!(ld.defs(), vec![Reg(4), Reg(5)]);
         assert_eq!(ld.uses(), vec![Reg(2)]);
 
@@ -502,11 +517,17 @@ mod tests {
                     end: Operand::ImmU(4),
                     step: 1,
                     body: vec![
-                        Stmt::I(Instr::Mov { dst: Reg(1), src: Operand::ImmU(1) }),
+                        Stmt::I(Instr::Mov {
+                            dst: Reg(1),
+                            src: Operand::ImmU(1),
+                        }),
                         Stmt::If {
                             pred: Pred(0),
                             negate: false,
-                            then: vec![Stmt::I(Instr::Mov { dst: Reg(2), src: Operand::ImmU(2) })],
+                            then: vec![Stmt::I(Instr::Mov {
+                                dst: Reg(2),
+                                src: Operand::ImmU(2),
+                            })],
                             els: vec![],
                         },
                     ],
@@ -530,7 +551,10 @@ mod tests {
             n_regs: 1,
             n_preds: 0,
             smem_bytes: 0,
-            body: vec![Stmt::I(Instr::Mov { dst: Reg(5), src: Operand::ImmU(0) })],
+            body: vec![Stmt::I(Instr::Mov {
+                dst: Reg(5),
+                src: Operand::ImmU(0),
+            })],
         };
         k.validate();
     }

@@ -49,16 +49,24 @@ fn substitute_uses(stmts: &mut [Stmt], var: Reg, rep: Operand) {
                     sub(b);
                 }
                 Instr::Ld { base, .. } => {
-                    assert_ne!(*base, var, "cannot substitute an immediate into a load base; run fold first");
+                    assert_ne!(
+                        *base, var,
+                        "cannot substitute an immediate into a load base; run fold first"
+                    );
                 }
                 Instr::St { srcs, base, .. } => {
                     for o in srcs {
                         sub(o);
                     }
-                    assert_ne!(*base, var, "cannot substitute an immediate into a store base");
+                    assert_ne!(
+                        *base, var,
+                        "cannot substitute an immediate into a store base"
+                    );
                 }
             },
-            Stmt::For { start, end, body, .. } => {
+            Stmt::For {
+                start, end, body, ..
+            } => {
                 sub(start);
                 sub(end);
                 substitute_uses(body, var, rep);
@@ -96,7 +104,10 @@ pub fn unroll_innermost(kernel: &Kernel, factor: u32) -> Kernel {
     let mut k = kernel.clone();
     let mut next_reg = k.n_regs;
     let done = unroll_in(&mut k.body, factor, &mut next_reg);
-    assert!(done, "kernel has no innermost loop with immediate bounds to unroll");
+    assert!(
+        done,
+        "kernel has no innermost loop with immediate bounds to unroll"
+    );
     k.n_regs = next_reg;
     let k2 = fold_addressing(&k);
     k2.validate();
@@ -114,7 +125,9 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
         match s {
             Stmt::For { body, .. } => {
                 if (body.iter().any(|b| matches!(b, Stmt::For { .. }))
-                    || body.iter().any(|b| matches!(b, Stmt::If { .. }) && contains_loop(b)))
+                    || body
+                        .iter()
+                        .any(|b| matches!(b, Stmt::If { .. }) && contains_loop(b)))
                     && unroll_in(body, factor, next_reg)
                 {
                     return true;
@@ -133,7 +146,14 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
     // No nested loop below any loop here: unroll the first loop at this level.
     for idx in 0..stmts.len() {
         if let Stmt::For { .. } = &stmts[idx] {
-            let Stmt::For { var, start, end, step, body } = stmts[idx].clone() else {
+            let Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } = stmts[idx].clone()
+            else {
                 unreachable!()
             };
             if body.iter().any(contains_loop) {
@@ -142,7 +162,10 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
             let (Operand::ImmU(s0), Operand::ImmU(e0)) = (start, end) else {
                 panic!("innermost loop bounds must be immediates to unroll")
             };
-            assert!(!defines(&body, var), "body must not redefine the induction variable");
+            assert!(
+                !defines(&body, var),
+                "body must not redefine the induction variable"
+            );
             let trips =
                 count::trip_count(s0, e0, step).expect("loop step must be positive to unroll");
             assert!(
@@ -181,7 +204,13 @@ fn unroll_in(stmts: &mut Vec<Stmt>, factor: u32, next_reg: &mut u16) -> bool {
                     }
                     new_body.extend(c);
                 }
-                stmts[idx] = Stmt::For { var, start, end, step: step * factor, body: new_body };
+                stmts[idx] = Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step: step * factor,
+                    body: new_body,
+                };
             }
             return true;
         }
@@ -275,7 +304,9 @@ fn rename_defs(stmts: &mut [Stmt], next_reg: &mut u16, map: &mut HashMap<Reg, Re
 fn contains_loop(s: &Stmt) -> bool {
     match s {
         Stmt::For { .. } | Stmt::While { .. } => true,
-        Stmt::If { then, els, .. } => then.iter().any(contains_loop) || els.iter().any(contains_loop),
+        Stmt::If { then, els, .. } => {
+            then.iter().any(contains_loop) || els.iter().any(contains_loop)
+        }
         _ => false,
     }
 }
@@ -328,11 +359,17 @@ fn licm_walk(stmts: &mut Vec<Stmt>, changed: &mut bool) {
                 let mut i = 0;
                 while i < body.len() {
                     let invariant = match &body[i] {
-                        Stmt::I(ins @ (Instr::Mov { .. } | Instr::Alu { .. } | Instr::Mad { .. } | Instr::Unary { .. })) => {
+                        Stmt::I(
+                            ins @ (Instr::Mov { .. }
+                            | Instr::Alu { .. }
+                            | Instr::Mad { .. }
+                            | Instr::Unary { .. }),
+                        ) => {
                             let dst_once = ins.defs().iter().all(|d| def_counts.get(d) == Some(&1));
-                            let srcs_invariant = ins.uses().iter().all(|u| {
-                                !def_counts.contains_key(u) || hoisted_dsts.contains(u)
-                            });
+                            let srcs_invariant = ins
+                                .uses()
+                                .iter()
+                                .all(|u| !def_counts.contains_key(u) || hoisted_dsts.contains(u));
                             dst_once && srcs_invariant
                         }
                         _ => false,
@@ -478,25 +515,38 @@ fn fold_instr(i: &mut Instr, known: &mut HashMap<Reg, Known>, mads: &mut MadTabl
             *a = resolve(*a, known);
             *b = resolve(*b, known);
             let k = match (*op, *a, *b) {
-                (AluOp::IAdd, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x.wrapping_add(y))),
-                (AluOp::ISub, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x.wrapping_sub(y))),
-                (AluOp::IMul, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x.wrapping_mul(y))),
-                (AluOp::IShl, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x.wrapping_shl(y))),
+                (AluOp::IAdd, Operand::ImmU(x), Operand::ImmU(y)) => {
+                    Some(Known::Const(x.wrapping_add(y)))
+                }
+                (AluOp::ISub, Operand::ImmU(x), Operand::ImmU(y)) => {
+                    Some(Known::Const(x.wrapping_sub(y)))
+                }
+                (AluOp::IMul, Operand::ImmU(x), Operand::ImmU(y)) => {
+                    Some(Known::Const(x.wrapping_mul(y)))
+                }
+                (AluOp::IShl, Operand::ImmU(x), Operand::ImmU(y)) => {
+                    Some(Known::Const(x.wrapping_shl(y)))
+                }
                 (AluOp::IAnd, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x & y)),
                 (AluOp::IMin, Operand::ImmU(x), Operand::ImmU(y)) => Some(Known::Const(x.min(y))),
-                (AluOp::IAdd, Operand::R(r), Operand::ImmU(c)) | (AluOp::IAdd, Operand::ImmU(c), Operand::R(r)) => {
-                    Some(match known.get(&r) {
-                        Some(Known::RegPlus(base, off)) => Known::RegPlus(*base, off.wrapping_add(c)),
-                        _ => Known::RegPlus(r, c),
-                    })
-                }
+                (AluOp::IAdd, Operand::R(r), Operand::ImmU(c))
+                | (AluOp::IAdd, Operand::ImmU(c), Operand::R(r)) => Some(match known.get(&r) {
+                    Some(Known::RegPlus(base, off)) => Known::RegPlus(*base, off.wrapping_add(c)),
+                    _ => Known::RegPlus(r, c),
+                }),
                 _ => None,
             };
             if let Some(k) = k {
                 known.insert(*dst, k);
             }
         }
-        Instr::Mad { float: false, dst, a, b, c } => {
+        Instr::Mad {
+            float: false,
+            dst,
+            a,
+            b,
+            c,
+        } => {
             *a = resolve(*a, known);
             *b = resolve(*b, known);
             *c = resolve(*c, known);
@@ -505,7 +555,12 @@ fn fold_instr(i: &mut Instr, known: &mut HashMap<Reg, Known>, mads: &mut MadTabl
                 // fully-unrolled address pattern.
                 let prod = x.wrapping_mul(y);
                 let c2 = *c;
-                *i = Instr::Alu { op: AluOp::IAdd, dst: *dst, a: c2, b: Operand::ImmU(prod) };
+                *i = Instr::Alu {
+                    op: AluOp::IAdd,
+                    dst: *dst,
+                    a: c2,
+                    b: Operand::ImmU(prod),
+                };
                 fold_instr(i, known, mads);
                 return;
             }
@@ -540,7 +595,9 @@ fn fold_instr(i: &mut Instr, known: &mut HashMap<Reg, Known>, mads: &mut MadTabl
                 *base = *b;
             }
         }
-        Instr::St { base, offset, srcs, .. } => {
+        Instr::St {
+            base, offset, srcs, ..
+        } => {
             for o in srcs.iter_mut() {
                 *o = resolve(*o, known);
             }
@@ -575,7 +632,9 @@ fn count_uses(stmts: &[Stmt], out: &mut HashMap<Reg, u32>) {
                     *out.entry(u).or_insert(0) += 1;
                 }
             }
-            Stmt::For { start, end, body, .. } => {
+            Stmt::For {
+                start, end, body, ..
+            } => {
                 for o in [start, end] {
                     if let Operand::R(r) = o {
                         *out.entry(*r).or_insert(0) += 1;
@@ -641,7 +700,11 @@ mod tests {
         // inner loop (params themselves cost no registers — see regalloc).
         let eps = b.mov(eps_param.into());
         let acc = b.mov(Operand::ImmF(0.0));
-        let eps2_pre = if eps2_hoisted { Some(b.fmul(eps.into(), eps.into())) } else { None };
+        let eps2_pre = if eps2_hoisted {
+            Some(b.fmul(eps.into(), eps.into()))
+        } else {
+            None
+        };
         b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, j| {
             let addr = b.mad_u(j.into(), Operand::ImmU(4), base.into());
             let x = b.ld(MemSpace::Shared, addr, 0, 1)[0];
@@ -673,7 +736,11 @@ mod tests {
             }
         });
         assert_eq!(mads, 0, "address mads must fold away");
-        assert_eq!(offsets, vec![0, 4, 8, 12, 16, 20, 24, 28], "hard-coded offsets");
+        assert_eq!(
+            offsets,
+            vec![0, 4, 8, 12, 16, 20, 24, 28],
+            "hard-coded offsets"
+        );
     }
 
     #[test]
@@ -693,7 +760,10 @@ mod tests {
         let u = unroll_innermost(&k, 8);
         let before = register_demand(&k).max_live;
         let after = register_demand(&u).max_live;
-        assert!(before > after, "unrolling must reduce register pressure ({before} -> {after})");
+        assert!(
+            before > after,
+            "unrolling must reduce register pressure ({before} -> {after})"
+        );
     }
 
     #[test]
@@ -791,7 +861,10 @@ mod tests {
         let k = fold_addressing(&b.finish());
         let mut fmuls = 0;
         k.visit_stmts(&mut |s| {
-            if let Stmt::I(Instr::Alu { op: AluOp::FMul, .. }) = s {
+            if let Stmt::I(Instr::Alu {
+                op: AluOp::FMul, ..
+            }) = s
+            {
                 fmuls += 1;
             }
         });

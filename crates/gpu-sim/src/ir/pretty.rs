@@ -57,7 +57,13 @@ fn instr(i: &Instr) -> String {
             };
             format!("{name} {}, {}, {}", reg(dst), op(a), op(b))
         }
-        Instr::Mad { float, dst, a, b, c } => {
+        Instr::Mad {
+            float,
+            dst,
+            a,
+            b,
+            c,
+        } => {
             let name = if *float { "mad.f32 " } else { "mad.u32 " };
             format!("{name} {}, {}, {}, {}", reg(dst), op(a), op(b), op(c))
         }
@@ -80,7 +86,12 @@ fn instr(i: &Instr) -> String {
             };
             format!("setp.{name} %p{}, {}, {}", dst.0, op(a), op(b))
         }
-        Instr::Ld { dsts, space, base, offset } => {
+        Instr::Ld {
+            dsts,
+            space,
+            base,
+            offset,
+        } => {
             let sp = match space {
                 MemSpace::Global => "global",
                 MemSpace::Shared => "shared",
@@ -91,9 +102,19 @@ fn instr(i: &Instr) -> String {
                 n => format!(".v{n}"),
             };
             let ds: Vec<String> = dsts.iter().map(reg).collect();
-            format!("ld.{sp}{v}  {{{}}}, [{}+{}]", ds.join(","), reg(base), offset)
+            format!(
+                "ld.{sp}{v}  {{{}}}, [{}+{}]",
+                ds.join(","),
+                reg(base),
+                offset
+            )
         }
-        Instr::St { srcs, space, base, offset } => {
+        Instr::St {
+            srcs,
+            space,
+            base,
+            offset,
+        } => {
             let sp = match space {
                 MemSpace::Global => "global",
                 MemSpace::Shared => "shared",
@@ -104,7 +125,12 @@ fn instr(i: &Instr) -> String {
                 n => format!(".v{n}"),
             };
             let ss: Vec<String> = srcs.iter().map(op).collect();
-            format!("st.{sp}{v}  [{}+{}], {{{}}}", reg(base), offset, ss.join(","))
+            format!(
+                "st.{sp}{v}  [{}+{}], {{{}}}",
+                reg(base),
+                offset,
+                ss.join(",")
+            )
         }
         Instr::Clock { dst } => format!("mov      {}, %clock", reg(dst)),
     }
@@ -127,7 +153,13 @@ fn walk(stmts: &[Stmt], depth: usize, ix: &mut InstrIndexer, out: &mut String) {
             Stmt::Sync => {
                 let _ = writeln!(out, "{pad}{NO_IDX}bar.sync 0");
             }
-            Stmt::For { var, start, end, step, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
                 let _ = writeln!(
                     out,
                     "{pad}{}for {} = {}; {} < {}; {} += {} {{",
@@ -141,15 +173,28 @@ fn walk(stmts: &[Stmt], depth: usize, ix: &mut InstrIndexer, out: &mut String) {
                 );
                 walk(body, depth + 1, ix, out);
                 let (add, setp, bra) = ix.for_latch();
-                let _ = writeln!(out, "{pad}{NO_IDX}}} // latch: add [{add}], setp [{setp}], bra [{bra}]");
+                let _ = writeln!(
+                    out,
+                    "{pad}{NO_IDX}}} // latch: add [{add}], setp [{setp}], bra [{bra}]"
+                );
             }
             Stmt::While { pred, negate, body } => {
                 let neg = if *negate { "!" } else { "" };
                 let _ = writeln!(out, "{pad}{NO_IDX}do {{");
                 walk(body, depth + 1, ix, out);
-                let _ = writeln!(out, "{pad}{NO_IDX}}} while {neg}%p{} // bra [{}]", pred.0, ix.while_backedge());
+                let _ = writeln!(
+                    out,
+                    "{pad}{NO_IDX}}} while {neg}%p{} // bra [{}]",
+                    pred.0,
+                    ix.while_backedge()
+                );
             }
-            Stmt::If { pred, negate, then, els } => {
+            Stmt::If {
+                pred,
+                negate,
+                then,
+                els,
+            } => {
                 let neg = if *negate { "!" } else { "" };
                 let _ = writeln!(out, "{pad}{NO_IDX}if {neg}%p{} {{", pred.0);
                 walk(then, depth + 1, ix, out);
@@ -213,13 +258,22 @@ mod tests {
         let before = disassemble(&k);
         let after = disassemble(&unroll_innermost(&k, 4));
         assert!(before.contains("for "));
-        assert!(!after.contains("for "), "fully unrolled kernel has no loop:\n{after}");
+        assert!(
+            !after.contains("for "),
+            "fully unrolled kernel has no loop:\n{after}"
+        );
         // The hard-coded offsets the paper describes.
         for off in [0, 4, 8, 12] {
-            assert!(after.contains(&format!("+{off}]")), "missing offset {off}:\n{after}");
+            assert!(
+                after.contains(&format!("+{off}]")),
+                "missing offset {off}:\n{after}"
+            );
         }
         // And the address mads are gone.
-        assert!(!after.contains("mad.u32"), "address computation should fold away");
+        assert!(
+            !after.contains("mad.u32"),
+            "address computation should fold away"
+        );
     }
 
     /// The printed indices are the sanitizer/analyzer coordinates: the first

@@ -58,7 +58,10 @@ struct Walker {
 
 impl Walker {
     fn touch(&mut self, r: Reg, is_def: bool) {
-        self.touches.entry(r).or_default().push(Touch { pos: self.pos, is_def });
+        self.touches.entry(r).or_default().push(Touch {
+            pos: self.pos,
+            is_def,
+        });
     }
 
     fn touch_operand(&mut self, o: &Operand) {
@@ -83,7 +86,13 @@ impl Walker {
                 Stmt::Sync => {
                     self.pos += 1;
                 }
-                Stmt::For { var, start, end, step: _, body } => {
+                Stmt::For {
+                    var,
+                    start,
+                    end,
+                    step: _,
+                    body,
+                } => {
                     // Loop init: mov var, start.
                     self.pos += 1;
                     self.touch_operand(start);
@@ -143,14 +152,20 @@ pub fn register_demand(kernel: &Kernel) -> RegDemand {
                     // exactly where the new one is born — an allocator reuses
                     // the register, so this is one live value, not two.
                     Some(s) if s.end == t.pos => {}
-                    _ => segs.push(Segment { start: t.pos, end: t.pos }),
+                    _ => segs.push(Segment {
+                        start: t.pos,
+                        end: t.pos,
+                    }),
                 }
             } else {
                 match segs.last_mut() {
                     Some(s) => s.end = s.end.max(t.pos),
                     // Upward-exposed use with no prior def (shouldn't happen
                     // for well-formed kernels once params are excluded).
-                    None => segs.push(Segment { start: 0, end: t.pos }),
+                    None => segs.push(Segment {
+                        start: 0,
+                        end: t.pos,
+                    }),
                 }
             }
         }
@@ -163,7 +178,8 @@ pub fn register_demand(kernel: &Kernel) -> RegDemand {
     // one segment covering the whole loop.
     for &(ls, le) in &w.loops {
         for (r, segs) in segments.iter_mut() {
-            let Some(first_inside) = w.touches[r].iter().find(|t| t.pos >= ls && t.pos <= le) else {
+            let Some(first_inside) = w.touches[r].iter().find(|t| t.pos >= ls && t.pos <= le)
+            else {
                 continue;
             };
             if first_inside.is_def {
@@ -199,7 +215,10 @@ pub fn register_demand(kernel: &Kernel) -> RegDemand {
                 new_end = new_end.max(s.end);
             }
             keep.extend(before);
-            keep.push(Segment { start: new_start, end: new_end });
+            keep.push(Segment {
+                start: new_start,
+                end: new_end,
+            });
             keep.extend(after);
             keep.sort_by_key(|s| s.start);
             *segs = keep;
@@ -221,7 +240,10 @@ pub fn register_demand(kernel: &Kernel) -> RegDemand {
         max_live = max_live.max(live);
     }
     let max_live = max_live as u16;
-    RegDemand { max_live, regs_per_thread: max_live + ABI_RESERVED_REGS }
+    RegDemand {
+        max_live,
+        regs_per_thread: max_live + ABI_RESERVED_REGS,
+    }
 }
 
 #[cfg(test)]
@@ -263,7 +285,10 @@ mod tests {
         let acc = b.mov(Operand::ImmF(0.0));
         let t = b.mov(Operand::ImmF(1.0));
         for _ in 0..8 {
-            b.emit(Instr::Mov { dst: t, src: Operand::ImmF(2.0) });
+            b.emit(Instr::Mov {
+                dst: t,
+                src: Operand::ImmF(2.0),
+            });
             b.alu_into(acc, AluOp::FAdd, acc.into(), t.into());
         }
         let _out = b.fadd(acc.into(), Operand::ImmF(0.0));
@@ -334,7 +359,11 @@ mod tests {
         let u = unroll_innermost(&k, 8);
         // Unrolling frees the induction register AND folds the per-iteration
         // address temporary into hard-coded load offsets.
-        assert_eq!(demand(&k) - demand(&u), 2, "induction register + address temp");
+        assert_eq!(
+            demand(&k) - demand(&u),
+            2,
+            "induction register + address temp"
+        );
     }
 
     #[test]
@@ -344,7 +373,11 @@ mod tests {
             let ep = b.param();
             let eps = b.mov(ep.into());
             let acc = b.mov(Operand::ImmF(0.0));
-            let pre = if hoisted { Some(b.fmul(eps.into(), eps.into())) } else { None };
+            let pre = if hoisted {
+                Some(b.fmul(eps.into(), eps.into()))
+            } else {
+                None
+            };
             b.for_loop(Operand::ImmU(0), Operand::ImmU(8), 1, |b, _| {
                 let e2 = pre.unwrap_or_else(|| b.fmul(eps.into(), eps.into()));
                 b.alu_into(acc, AluOp::FAdd, acc.into(), e2.into());

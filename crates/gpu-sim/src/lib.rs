@@ -58,7 +58,9 @@ pub use analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, Diagnostic, Li
 pub use device::DeviceConfig;
 pub use driver::DriverModel;
 pub use exec::launch::LaunchConfig;
-pub use fault::{DeviceError, DeviceResult, FaultKind, FaultPlan, FaultSite, InjectedFault, Mutation};
+pub use fault::{
+    DeviceError, DeviceResult, FaultKind, FaultPlan, FaultSite, InjectedFault, Mutation,
+};
 pub use ir::{Kernel, KernelBuilder};
 pub use mem::GlobalMemory;
 pub use timing::TimingParams;

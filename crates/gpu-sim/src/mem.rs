@@ -63,6 +63,17 @@ impl DevicePtr {
     }
 }
 
+/// One live allocation, as tracked for [`GlobalMemory::free`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct AllocRecord {
+    /// Value of the bump pointer before this allocation (restored on free).
+    prev_next: u64,
+    /// Base address handed to the caller.
+    start: u64,
+    /// Requested size in bytes (redzone/padding excluded).
+    size: u64,
+}
+
 /// Simulated device global memory with a bump allocator and sanitizer
 /// shadow map.
 #[derive(Debug, Clone)]
@@ -73,6 +84,11 @@ pub struct GlobalMemory {
     /// legitimate store path and deliberately *not* by [`Self::corrupt_bit`].
     ecc: Vec<u8>,
     next: u64,
+    /// Live allocations in order (a stack: the bump allocator frees LIFO).
+    allocs: Vec<AllocRecord>,
+    /// Highest value `next` ever reached — the high-water mark of the
+    /// allocator across the memory's lifetime, `free`/`reset` included.
+    high_water: u64,
 }
 
 impl GlobalMemory {
@@ -86,6 +102,8 @@ impl GlobalMemory {
             // checksum of every word they touch, so the initial fill is moot.
             ecc: vec![0u8; (capacity as usize).div_ceil(4)],
             next: 0,
+            allocs: Vec::new(),
+            high_water: 0,
         }
     }
 
@@ -113,30 +131,97 @@ impl GlobalMemory {
         next
     }
 
+    /// Bytes not yet consumed by the allocator: `capacity - allocated`.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity() - self.next
+    }
+
+    /// Highest value [`GlobalMemory::allocated`] ever reached over the
+    /// memory's lifetime ([`GlobalMemory::free`] and
+    /// [`GlobalMemory::reset`] lower `allocated` but never this).
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.allocs.len()
+    }
+
+    /// The typed, recoverable allocation-failure error for a request of
+    /// `bytes` against the current allocator state.
+    fn oom(&self, bytes: u64) -> DeviceError {
+        DeviceError::new(FaultKind::OutOfMemory {
+            requested: bytes,
+            free: self.free_bytes(),
+            capacity: self.capacity(),
+        })
+    }
+
     /// Allocate `bytes`, aligned to [`ALLOC_ALIGN`], preceded by a redzone
     /// guard band and poison-filled (reading before writing is a fault).
+    ///
+    /// Exhaustion is never a panic and never wraps: any request the bump
+    /// pointer cannot satisfy — including pathological sizes whose redzone
+    /// or end address would overflow `u64` — returns the typed, recoverable
+    /// [`FaultKind::OutOfMemory`] and leaves the allocator untouched.
     pub fn alloc(&mut self, bytes: u64) -> DeviceResult<DevicePtr> {
-        let start = (self.next + REDZONE).next_multiple_of(ALLOC_ALIGN);
-        let end = start.checked_add(bytes).ok_or_else(|| {
-            DeviceError::new(FaultKind::OutOfMemory {
-                requested: bytes,
-                in_use: self.next,
-                capacity: self.capacity(),
-            })
-        })?;
+        let start = self
+            .next
+            .checked_add(REDZONE)
+            .and_then(|s| s.checked_next_multiple_of(ALLOC_ALIGN))
+            .ok_or_else(|| self.oom(bytes))?;
+        let end = start.checked_add(bytes).ok_or_else(|| self.oom(bytes))?;
         if end > self.capacity() {
-            return Err(DeviceError::new(FaultKind::OutOfMemory {
-                requested: bytes,
-                in_use: self.next,
-                capacity: self.capacity(),
-            }));
+            return Err(self.oom(bytes));
         }
         self.shadow[self.next as usize..start as usize].fill(SH_REDZONE);
         self.shadow[start as usize..end as usize].fill(SH_POISON);
         self.data[start as usize..end as usize].fill(POISON_BYTE);
         self.refresh_ecc(start, end);
+        self.allocs.push(AllocRecord {
+            prev_next: self.next,
+            start,
+            size: bytes,
+        });
         self.next = end;
+        self.high_water = self.high_water.max(end);
         Ok(DevicePtr(start))
+    }
+
+    /// Free the most recent live allocation (the bump allocator is a stack,
+    /// so frees must be LIFO — streaming workloads allocate a chunk, run,
+    /// and free it before the next chunk). The freed range *and its redzone*
+    /// revert to unallocated: any later access faults as
+    /// [`FaultKind::OutOfBounds`], exactly like memory that was never
+    /// allocated. Freeing a pointer that is not the top of the stack is a
+    /// typed [`FaultKind::InvalidFree`], never a panic or silent corruption.
+    pub fn free(&mut self, ptr: DevicePtr) -> DeviceResult<()> {
+        match self.allocs.last().copied() {
+            Some(rec) if rec.start == ptr.0 => {
+                self.allocs.pop();
+                // Unallocate the data span and the redzone/padding before it;
+                // the ECC map needs no update (unallocated words are skipped
+                // by verification, and a later alloc refreshes them).
+                self.shadow[rec.prev_next as usize..self.next as usize].fill(SH_UNALLOC);
+                self.next = rec.prev_next;
+                Ok(())
+            }
+            top => Err(DeviceError::new(FaultKind::InvalidFree {
+                ptr: ptr.0,
+                expected: top.map(|r| r.start),
+            })),
+        }
+    }
+
+    /// Free everything: rewind the allocator to an empty memory (shadow map
+    /// cleared, nothing readable). The high-water mark survives — it reports
+    /// peak pressure across the whole lifetime. The `cudaDeviceReset` idiom
+    /// for reusing one device arena across streaming chunks.
+    pub fn reset(&mut self) {
+        self.shadow[..self.next as usize].fill(SH_UNALLOC);
+        self.allocs.clear();
+        self.next = 0;
     }
 
     /// As [`GlobalMemory::alloc`], but zero-filled and marked initialized —
@@ -184,7 +269,9 @@ impl GlobalMemory {
 
     /// Read back `n` `f32` values from `ptr`.
     pub fn read_f32(&self, ptr: DevicePtr, n: usize) -> DeviceResult<Vec<f32>> {
-        (0..n).map(|i| self.load_f32(ptr.0 + i as u64 * 4)).collect()
+        (0..n)
+            .map(|i| self.load_f32(ptr.0 + i as u64 * 4))
+            .collect()
     }
 
     /// Validate an access of `width` bytes at `addr`: natural alignment,
@@ -238,7 +325,9 @@ impl GlobalMemory {
     pub fn load_u32(&self, addr: u64) -> DeviceResult<u32> {
         self.check(addr, 4, true)?;
         let a = addr as usize;
-        Ok(u32::from_le_bytes(self.data[a..a + 4].try_into().expect("4-byte slice")))
+        Ok(u32::from_le_bytes(
+            self.data[a..a + 4].try_into().expect("4-byte slice"),
+        ))
     }
 
     /// Store a 32-bit word as raw bits.
@@ -295,7 +384,10 @@ impl GlobalMemory {
         for w in (addr as usize / 4)..=((end as usize - 1) / 4) {
             let s = w * 4;
             let e = (s + 4).min(cap);
-            if !self.shadow[s..e].iter().any(|&sh| sh == SH_POISON || sh == SH_INIT) {
+            if !self.shadow[s..e]
+                .iter()
+                .any(|&sh| sh == SH_POISON || sh == SH_INIT)
+            {
                 continue;
             }
             let actual = ecc_of(&self.data[s..e]);
@@ -345,12 +437,87 @@ impl GlobalMemory {
 
     /// Vector store of `n` consecutive 32-bit words (n ∈ {1, 2, 4}).
     pub fn store_vec(&mut self, addr: u64, vals: &[u32]) -> DeviceResult<()> {
-        assert!(matches!(vals.len(), 1 | 2 | 4), "vector width must be 1, 2 or 4");
+        assert!(
+            matches!(vals.len(), 1 | 2 | 4),
+            "vector width must be 1, 2 or 4"
+        );
         self.check(addr, 4 * vals.len() as u64, false)?;
         for (i, v) in vals.iter().enumerate() {
             self.store_u32(addr + 4 * i as u64, *v)?;
         }
         Ok(())
+    }
+}
+
+/// Host-side admission control over a device-memory budget.
+///
+/// A `MemoryBudget` accounts for *reservations* — planned footprints checked
+/// **before** any byte is uploaded, so a launch that cannot fit is rejected
+/// up front (typed [`FaultKind::OutOfMemory`]) instead of failing halfway
+/// through a partial upload. Multiple tenants (or pipeline stages) can
+/// reserve against one budget; [`MemoryBudget::high_water`] reports the peak
+/// concurrent reservation for capacity planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryBudget {
+    capacity: u64,
+    reserved: u64,
+    high_water: u64,
+}
+
+impl MemoryBudget {
+    /// A budget of `capacity` bytes with nothing reserved.
+    pub fn new(capacity: u64) -> Self {
+        MemoryBudget {
+            capacity,
+            reserved: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn reserved(&self) -> u64 {
+        self.reserved
+    }
+
+    /// Bytes still available to reserve.
+    pub fn remaining(&self) -> u64 {
+        self.capacity - self.reserved
+    }
+
+    /// Peak concurrent reservation over the budget's lifetime.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Whether a reservation of `bytes` would be admitted right now.
+    pub fn admits(&self, bytes: u64) -> bool {
+        bytes <= self.remaining()
+    }
+
+    /// Reserve `bytes`, or reject with a typed [`FaultKind::OutOfMemory`]
+    /// (the budget is left unchanged on rejection).
+    pub fn reserve(&mut self, bytes: u64) -> DeviceResult<()> {
+        if !self.admits(bytes) {
+            return Err(DeviceError::new(FaultKind::OutOfMemory {
+                requested: bytes,
+                free: self.remaining(),
+                capacity: self.capacity,
+            }));
+        }
+        self.reserved += bytes;
+        self.high_water = self.high_water.max(self.reserved);
+        Ok(())
+    }
+
+    /// Release a prior reservation of `bytes` (saturating: releasing more
+    /// than is reserved clamps to zero rather than wrapping).
+    pub fn release(&mut self, bytes: u64) {
+        self.reserved = self.reserved.saturating_sub(bytes);
     }
 }
 
@@ -373,7 +540,10 @@ mod tests {
         let b = m.alloc(100).unwrap();
         assert_eq!(a.0 % ALLOC_ALIGN, 0);
         assert_eq!(b.0 % ALLOC_ALIGN, 0);
-        assert!(b.0 >= a.0 + 100 + REDZONE, "allocations must be separated by a redzone");
+        assert!(
+            b.0 >= a.0 + 100 + REDZONE,
+            "allocations must be separated by a redzone"
+        );
     }
 
     #[test]
@@ -418,7 +588,14 @@ mod tests {
     fn oob_load_is_a_typed_fault() {
         let m = GlobalMemory::new(16);
         let e = m.load_u32(16).unwrap_err();
-        assert!(matches!(e.kind, FaultKind::OutOfBounds { addr: 16, width: 4, .. }));
+        assert!(matches!(
+            e.kind,
+            FaultKind::OutOfBounds {
+                addr: 16,
+                width: 4,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -436,12 +613,182 @@ mod tests {
         m.alloc(256).unwrap();
         let e = m.alloc(4096).unwrap_err();
         match e.kind {
-            FaultKind::OutOfMemory { requested, capacity, .. } => {
+            FaultKind::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => {
                 assert_eq!(requested, 4096);
+                assert_eq!(free, 1024 - m.allocated());
                 assert_eq!(capacity, 1024);
             }
             k => panic!("wrong kind {k:?}"),
         }
+    }
+
+    /// The exactly-capacity / capacity+1 boundary: a request that fills the
+    /// memory to the last byte succeeds; one byte more is a typed OOM that
+    /// leaves the allocator untouched (no partial state, no wrap, no panic).
+    #[test]
+    fn alloc_boundary_at_exact_capacity() {
+        let fits = GlobalMemory::footprint(&[300]);
+        let mut m = GlobalMemory::new(fits);
+        let p = m.alloc(300).unwrap();
+        assert_eq!(m.allocated(), fits);
+        assert_eq!(m.free_bytes(), 0);
+        m.free(p).unwrap();
+
+        // Same request against one byte less: rejected, allocator untouched.
+        let mut m = GlobalMemory::new(fits - 1);
+        let before = m.allocated();
+        let e = m.alloc(300).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::OutOfMemory { .. }));
+        assert_eq!(
+            m.allocated(),
+            before,
+            "failed alloc must not move the bump pointer"
+        );
+        assert_eq!(m.live_allocations(), 0);
+        // And a request of capacity+1 raw bytes on a fresh memory.
+        let e = m.alloc(m.capacity() + 1).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::OutOfMemory { .. }));
+    }
+
+    /// Pathological sizes whose end address (or redzone arithmetic) would
+    /// overflow u64 are typed OOMs, never wraps or panics.
+    #[test]
+    fn overflowing_requests_are_typed_oom_not_wraps() {
+        let mut m = GlobalMemory::new(1024);
+        for bytes in [u64::MAX, u64::MAX - 1, u64::MAX - REDZONE, 1 << 63] {
+            let e = m.alloc(bytes).unwrap_err();
+            assert!(
+                matches!(e.kind, FaultKind::OutOfMemory { .. }),
+                "{bytes:#x}"
+            );
+        }
+        assert_eq!(m.allocated(), 0);
+        assert!(
+            m.alloc(64).is_ok(),
+            "allocator still serviceable after rejections"
+        );
+    }
+
+    #[test]
+    fn free_is_lifo_and_restores_unallocated_state() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc(100).unwrap();
+        let b = m.alloc(200).unwrap();
+        let after_a = GlobalMemory::footprint(&[100]);
+        // Freeing out of order is a typed fault naming the legal victim.
+        let e = m.free(a).unwrap_err();
+        assert!(
+            matches!(e.kind, FaultKind::InvalidFree { ptr, expected: Some(x) }
+                if ptr == a.0 && x == b.0),
+            "got {:?}",
+            e.kind
+        );
+        m.free(b).unwrap();
+        assert_eq!(m.allocated(), after_a);
+        // The freed span (and its redzone) is unallocated again.
+        let e = m.load_u32(b.0).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            FaultKind::OutOfBounds { redzone: false, .. }
+        ));
+        m.free(a).unwrap();
+        assert_eq!(m.allocated(), 0);
+        let e = m.free(a).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            FaultKind::InvalidFree { expected: None, .. }
+        ));
+        // Alloc/free cycles do not leak: the same sequence fits again.
+        assert_eq!(m.alloc(100).unwrap(), a);
+    }
+
+    #[test]
+    fn freed_then_reallocated_memory_is_poison_again() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        m.store_u32(p.0, 0xFEED_FACE).unwrap();
+        m.free(p).unwrap();
+        let q = m.alloc(64).unwrap();
+        assert_eq!(q, p, "bump pointer rewound");
+        let e = m.load_u32(q.0).unwrap_err();
+        assert!(
+            matches!(e.kind, FaultKind::UninitializedRead { .. }),
+            "stale data must not leak through a free/alloc cycle"
+        );
+    }
+
+    #[test]
+    fn reset_rewinds_everything_but_keeps_high_water() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc_zeroed(1000).unwrap();
+        m.alloc_zeroed(2000).unwrap();
+        let peak = m.allocated();
+        m.reset();
+        assert_eq!(m.allocated(), 0);
+        assert_eq!(m.live_allocations(), 0);
+        assert_eq!(m.high_water(), peak, "high-water survives reset");
+        assert!(m.load_u32(a.0).is_err(), "nothing readable after reset");
+        assert!(m.verify_all().is_ok());
+        // The arena is fully reusable.
+        let b = m.alloc_zeroed(3000).unwrap();
+        assert_eq!(b.0, a.0);
+        assert_eq!(m.download(b, 3000).unwrap(), vec![0u8; 3000]);
+        assert!(m.high_water() >= peak);
+    }
+
+    #[test]
+    fn ecc_shadow_stays_consistent_across_free_and_realloc() {
+        let mut m = GlobalMemory::new(1 << 16);
+        let a = m.alloc_zeroed(256).unwrap();
+        m.store_u32(a.0, 0xABCD_0123).unwrap();
+        let b = m.alloc_zeroed(256).unwrap();
+        m.corrupt_bit(b.0 + 7, 2);
+        // The corrupted word dies with the free: the whole memory verifies.
+        m.free(b).unwrap();
+        assert!(
+            m.verify_all().is_ok(),
+            "freed corruption must not trip the scrub"
+        );
+        let b2 = m.alloc_zeroed(256).unwrap();
+        assert_eq!(b2, b);
+        assert!(m.verify_all().is_ok(), "realloc refreshes the checksums");
+        assert_eq!(
+            m.load_u32(a.0).unwrap(),
+            0xABCD_0123,
+            "survivor data intact"
+        );
+    }
+
+    #[test]
+    fn budget_admission_reserve_release_and_high_water() {
+        let mut b = MemoryBudget::new(1000);
+        assert!(b.admits(1000) && !b.admits(1001));
+        b.reserve(600).unwrap();
+        assert_eq!(b.remaining(), 400);
+        // Rejection is typed, pre-flight, and leaves the budget unchanged.
+        let e = b.reserve(401).unwrap_err();
+        match e.kind {
+            FaultKind::OutOfMemory {
+                requested,
+                free,
+                capacity,
+            } => {
+                assert_eq!((requested, free, capacity), (401, 400, 1000));
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+        assert_eq!(b.reserved(), 600);
+        b.reserve(400).unwrap();
+        assert_eq!(b.high_water(), 1000);
+        b.release(700);
+        assert_eq!(b.remaining(), 700);
+        b.release(u64::MAX); // saturates, never wraps
+        assert_eq!(b.reserved(), 0);
+        assert_eq!(b.high_water(), 1000, "high-water survives releases");
     }
 
     #[test]
@@ -457,7 +804,10 @@ mod tests {
         }
         // Stores are rejected identically.
         let e = m.store_u32(a.0 + 256, 1).unwrap_err();
-        assert!(matches!(e.kind, FaultKind::OutOfBounds { redzone: true, .. }));
+        assert!(matches!(
+            e.kind,
+            FaultKind::OutOfBounds { redzone: true, .. }
+        ));
     }
 
     #[test]
@@ -497,10 +847,17 @@ mod tests {
         let p = m.alloc_zeroed(64).unwrap();
         m.store_f32(p.0 + 8, 3.5).unwrap();
         assert!(m.download(p, 64).is_ok(), "healthy memory verifies clean");
-        assert!(m.corrupt_bit(p.0 + 9, 3), "strike landed in a live allocation");
+        assert!(
+            m.corrupt_bit(p.0 + 9, 3),
+            "strike landed in a live allocation"
+        );
         let e = m.download(p, 64).unwrap_err();
         match e.kind {
-            FaultKind::EccMismatch { addr, expected, actual } => {
+            FaultKind::EccMismatch {
+                addr,
+                expected,
+                actual,
+            } => {
                 assert_eq!(addr, p.0 + 8, "mismatch attributed to the struck word");
                 assert_ne!(expected, actual);
             }

@@ -63,7 +63,10 @@ fn ceil_to(x: u32, unit: u32) -> u32 {
 pub fn regs_per_block(dev: &DeviceConfig, threads_per_block: u32, regs_per_thread: u32) -> u32 {
     let warps = threads_per_block.div_ceil(dev.warp_size);
     let alloc_warps = ceil_to(warps.max(1), dev.warp_alloc_granularity);
-    ceil_to(regs_per_thread * dev.warp_size * alloc_warps, dev.reg_alloc_unit)
+    ceil_to(
+        regs_per_thread * dev.warp_size * alloc_warps,
+        dev.reg_alloc_unit,
+    )
 }
 
 /// Compute occupancy for a kernel with the given block size, registers per
@@ -71,7 +74,12 @@ pub fn regs_per_block(dev: &DeviceConfig, threads_per_block: u32, regs_per_threa
 ///
 /// Panics if the block alone exceeds a hard per-block limit (CUDA would fail
 /// the launch).
-pub fn occupancy(dev: &DeviceConfig, threads_per_block: u32, regs_per_thread: u32, smem_per_block: u32) -> Occupancy {
+pub fn occupancy(
+    dev: &DeviceConfig,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    smem_per_block: u32,
+) -> Occupancy {
     assert!(threads_per_block > 0, "empty block");
     assert!(
         threads_per_block <= dev.max_threads_per_block,
@@ -90,13 +98,25 @@ pub fn occupancy(dev: &DeviceConfig, threads_per_block: u32, regs_per_thread: u3
     let lim_regs = if regs_per_thread == 0 {
         lim_blocks
     } else {
-        assert!(rpb <= dev.regs_per_sm, "kernel needs {rpb} registers per block, SM has {}", dev.regs_per_sm);
+        assert!(
+            rpb <= dev.regs_per_sm,
+            "kernel needs {rpb} registers per block, SM has {}",
+            dev.regs_per_sm
+        );
         dev.regs_per_sm / rpb
     };
     // Limit 4: shared memory.
     let spb = ceil_to(smem_per_block.max(1), dev.smem_alloc_unit);
-    assert!(spb <= dev.smem_per_sm, "kernel needs {spb} B shared memory, SM has {}", dev.smem_per_sm);
-    let lim_smem = if smem_per_block == 0 { lim_blocks } else { dev.smem_per_sm / spb };
+    assert!(
+        spb <= dev.smem_per_sm,
+        "kernel needs {spb} B shared memory, SM has {}",
+        dev.smem_per_sm
+    );
+    let lim_smem = if smem_per_block == 0 {
+        lim_blocks
+    } else {
+        dev.smem_per_sm / spb
+    };
 
     let blocks = lim_threads.min(lim_blocks).min(lim_regs).min(lim_smem);
     assert!(blocks >= 1, "kernel cannot be resident at all");
@@ -214,7 +234,10 @@ mod tests {
     #[test]
     fn gt200_has_more_headroom() {
         let o = occupancy(&DeviceConfig::gtx280(), 128, 16, 2048);
-        assert!(o.active_warps > 16, "GT200's larger register file should admit more warps");
+        assert!(
+            o.active_warps > 16,
+            "GT200's larger register file should admit more warps"
+        );
     }
 
     // --- Register-allocation granularity at exact 256-register multiples ---

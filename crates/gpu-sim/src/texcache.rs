@@ -31,8 +31,15 @@ impl TexCache {
     /// Cache with `capacity_bytes` of storage (G80: 8 KiB per SM).
     pub fn new(capacity_bytes: u64) -> TexCache {
         let lines = (capacity_bytes / TEX_LINE).max(1) as usize;
-        assert!(lines.is_power_of_two(), "cache line count must be a power of two");
-        TexCache { tags: vec![None; lines], hits: 0, misses: 0 }
+        assert!(
+            lines.is_power_of_two(),
+            "cache line count must be a power of two"
+        );
+        TexCache {
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The G80 per-SM texture cache.

@@ -81,9 +81,21 @@ impl TimingParams {
             watchdog_instructions: None,
         };
         match driver {
-            DriverModel::Cuda10 => TimingParams { mem_latency: 520, cycles_per_transaction: 4, ..base },
-            DriverModel::Cuda11 => TimingParams { mem_latency: 560, cycles_per_transaction: 2, ..base },
-            DriverModel::Cuda22 => TimingParams { mem_latency: 430, cycles_per_transaction: 3, ..base },
+            DriverModel::Cuda10 => TimingParams {
+                mem_latency: 520,
+                cycles_per_transaction: 4,
+                ..base
+            },
+            DriverModel::Cuda11 => TimingParams {
+                mem_latency: 560,
+                cycles_per_transaction: 2,
+                ..base
+            },
+            DriverModel::Cuda22 => TimingParams {
+                mem_latency: 430,
+                cycles_per_transaction: 3,
+                ..base
+            },
         }
     }
 

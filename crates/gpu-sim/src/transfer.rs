@@ -22,12 +22,18 @@ pub struct PcieModel {
 impl PcieModel {
     /// PCIe 1.1 ×16, the paper's platform (Core 2 Duo host).
     pub fn pcie1_x16() -> Self {
-        PcieModel { bandwidth: 3.0e9, per_copy_overhead_s: 10e-6 }
+        PcieModel {
+            bandwidth: 3.0e9,
+            per_copy_overhead_s: 10e-6,
+        }
     }
 
     /// A validated custom link model.
     pub fn new(bandwidth: f64, per_copy_overhead_s: f64) -> DeviceResult<Self> {
-        let m = PcieModel { bandwidth, per_copy_overhead_s };
+        let m = PcieModel {
+            bandwidth,
+            per_copy_overhead_s,
+        };
         m.validate()?;
         Ok(m)
     }
@@ -36,7 +42,10 @@ impl PcieModel {
     pub fn validate(&self) -> DeviceResult<()> {
         if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
             return Err(DeviceError::new(FaultKind::BadConfig {
-                reason: format!("PCIe bandwidth must be positive and finite, got {}", self.bandwidth),
+                reason: format!(
+                    "PCIe bandwidth must be positive and finite, got {}",
+                    self.bandwidth
+                ),
             }));
         }
         if !(self.per_copy_overhead_s >= 0.0 && self.per_copy_overhead_s.is_finite()) {

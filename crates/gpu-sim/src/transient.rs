@@ -44,7 +44,11 @@ pub struct FaultRates {
 
 impl FaultRates {
     /// No injected faults at all.
-    pub const QUIET: FaultRates = FaultRates { bit_flip: 0.0, launch_failure: 0.0, hang: 0.0 };
+    pub const QUIET: FaultRates = FaultRates {
+        bit_flip: 0.0,
+        launch_failure: 0.0,
+        hang: 0.0,
+    };
 
     /// Validate: every rate in `[0, 1]` and the sum at most 1.
     pub fn validate(&self) -> Result<(), String> {
@@ -93,7 +97,11 @@ impl TransientFaultPlan {
     /// `seed`.
     pub fn new(seed: u64, rates: FaultRates) -> Self {
         rates.validate().expect("invalid fault rates");
-        TransientFaultPlan { seed, rates, launches: 0 }
+        TransientFaultPlan {
+            seed,
+            rates,
+            launches: 0,
+        }
     }
 
     /// A plan that never injects anything (the fault-free reference).
@@ -217,7 +225,11 @@ mod tests {
     fn mixed() -> TransientFaultPlan {
         TransientFaultPlan::new(
             7,
-            FaultRates { bit_flip: 0.2, launch_failure: 0.1, hang: 0.1 },
+            FaultRates {
+                bit_flip: 0.2,
+                launch_failure: 0.1,
+                hang: 0.1,
+            },
         )
     }
 
@@ -237,7 +249,11 @@ mod tests {
     fn rates_are_roughly_honored() {
         let mut p = TransientFaultPlan::new(
             99,
-            FaultRates { bit_flip: 0.25, launch_failure: 0.25, hang: 0.25 },
+            FaultRates {
+                bit_flip: 0.25,
+                launch_failure: 0.25,
+                hang: 0.25,
+            },
         );
         let n = 4000;
         let mut counts = [0usize; 4];
@@ -263,8 +279,26 @@ mod tests {
 
     #[test]
     fn invalid_rates_are_rejected() {
-        assert!(FaultRates { bit_flip: -0.1, launch_failure: 0.0, hang: 0.0 }.validate().is_err());
-        assert!(FaultRates { bit_flip: 0.6, launch_failure: 0.6, hang: 0.0 }.validate().is_err());
-        assert!(FaultRates { bit_flip: 0.3, launch_failure: 0.3, hang: 0.4 }.validate().is_ok());
+        assert!(FaultRates {
+            bit_flip: -0.1,
+            launch_failure: 0.0,
+            hang: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultRates {
+            bit_flip: 0.6,
+            launch_failure: 0.6,
+            hang: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultRates {
+            bit_flip: 0.3,
+            launch_failure: 0.3,
+            hang: 0.4
+        }
+        .validate()
+        .is_ok());
     }
 }

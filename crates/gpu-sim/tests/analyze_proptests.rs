@@ -34,7 +34,14 @@ fn site_strategy() -> impl Strategy<Value = Site> {
         0u32..4,
         0u32..8,
     )
-        .prop_map(|(store, width, c0, c1, c2, c3)| Site { store, width, c0, c1, c2, c3 })
+        .prop_map(|(store, width, c0, c1, c2, c3)| Site {
+            store,
+            width,
+            c0,
+            c1,
+            c2,
+            c3,
+        })
 }
 
 #[derive(Debug, Clone)]
@@ -62,7 +69,13 @@ fn case_strategy() -> impl Strategy<Value = Case> {
         1u32..3,
         prop_oneof![Just(32u32), Just(64u32)],
     )
-        .prop_map(|(sites, iters, guard, grid, block)| Case { sites, iters, guard, grid, block })
+        .prop_map(|(sites, iters, guard, grid, block)| Case {
+            sites,
+            iters,
+            guard,
+            grid,
+            block,
+        })
 }
 
 fn build_case_kernel(case: &Case) -> Kernel {

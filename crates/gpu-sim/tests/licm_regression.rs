@@ -63,7 +63,10 @@ fn correct_licm_is_proved_and_the_reversed_hoist_is_refuted() {
             assert_eq!(site.kernel.as_deref(), Some("licm_two_invariants"));
             assert_eq!(site.block, Some(0), "first divergence is in block 0");
             assert_eq!(site.thread, Some(0), "…on thread 0");
-            assert!(site.instruction.is_some(), "the faulting store is pinpointed");
+            assert!(
+                site.instruction.is_some(),
+                "the faulting store is pinpointed"
+            );
             assert!(
                 detail.contains("store"),
                 "the counterexample explains the diverging store: {detail}"
@@ -83,5 +86,8 @@ fn the_counterexample_renders_both_symbolic_values() {
     };
     // The detail names the address and shows the two diverging terms so the
     // report is actionable without re-running anything.
-    assert!(detail.contains("0x"), "counterexample shows the store address: {detail}");
+    assert!(
+        detail.contains("0x"),
+        "counterexample shows the store address: {detail}"
+    );
 }

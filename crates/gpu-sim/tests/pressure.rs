@@ -1,0 +1,163 @@
+//! Memory-pressure properties of the device allocator: alloc/free/reset
+//! round-trips preserve the sanitizer's redzone and ECC-shadow invariants,
+//! and exhaustion is always the typed, recoverable `OutOfMemory` — never a
+//! panic, a wrap, or partial allocator state.
+
+use gpu_sim::fault::FaultKind;
+use gpu_sim::mem::{DevicePtr, GlobalMemory, MemoryBudget, ALLOC_ALIGN, REDZONE};
+use proptest::prelude::*;
+
+/// One step of a random allocator workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Allocate this many bytes (zeroed, so every byte is legitimately
+    /// readable and ECC-verified).
+    Alloc(u64),
+    /// Free the most recent live allocation, if any.
+    Free,
+    /// Write a word into a random live allocation (keeps ECC honest).
+    Store(u64),
+    /// Rewind everything.
+    Reset,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Two alloc arms: allocation-heavy mixes exercise the OOM boundary.
+    prop_oneof![
+        (0u64..2048).prop_map(Op::Alloc),
+        (0u64..512).prop_map(Op::Alloc),
+        Just(Op::Free),
+        (0u64..4096).prop_map(Op::Store),
+        Just(Op::Reset),
+    ]
+}
+
+/// The model: sizes of the live allocation stack. `GlobalMemory` must agree
+/// with `footprint` of this stack at every step.
+fn apply(m: &mut GlobalMemory, live: &mut Vec<(DevicePtr, u64)>, op: &Op) {
+    match op {
+        Op::Alloc(bytes) => {
+            let predicted = {
+                let mut sizes: Vec<u64> = live.iter().map(|&(_, s)| s).collect();
+                sizes.push(*bytes);
+                GlobalMemory::footprint(&sizes)
+            };
+            match m.alloc_zeroed(*bytes) {
+                Ok(p) => {
+                    assert!(predicted <= m.capacity());
+                    assert_eq!(m.allocated(), predicted, "footprint must stay exact");
+                    assert_eq!(p.addr() % ALLOC_ALIGN, 0);
+                    live.push((p, *bytes));
+                }
+                Err(e) => {
+                    assert!(
+                        matches!(e.kind, FaultKind::OutOfMemory { .. }),
+                        "alloc failure must be typed OOM, got {:?}",
+                        e.kind
+                    );
+                    assert!(predicted > m.capacity(), "spurious OOM: {predicted} B fits");
+                }
+            }
+        }
+        Op::Free => match live.pop() {
+            Some((p, _)) => m.free(p).expect("LIFO free of the live top succeeds"),
+            None => {
+                let e = m.free(DevicePtr(0)).unwrap_err();
+                assert!(matches!(e.kind, FaultKind::InvalidFree { .. }));
+            }
+        },
+        Op::Store(pick) => {
+            if let Some(&(p, size)) = live.get((*pick as usize) % live.len().max(1)) {
+                if size >= 4 {
+                    let slot = p.addr() + (pick % (size / 4)) * 4;
+                    m.store_u32(slot, (*pick as u32).wrapping_mul(0x9E37))
+                        .unwrap();
+                }
+            }
+        }
+        Op::Reset => {
+            m.reset();
+            live.clear();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random alloc/free/store/reset workloads: the allocator's byte
+    /// accounting matches the `footprint` model exactly, every live byte
+    /// verifies clean under the ECC scrub, every freed or never-allocated
+    /// byte faults, and redzones keep faulting between live allocations.
+    #[test]
+    fn alloc_free_reset_roundtrips_preserve_sanitizer_invariants(
+        capacity_kb in 1u64..32,
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let capacity = capacity_kb * 1024;
+        let mut m = GlobalMemory::new(capacity);
+        let mut live: Vec<(DevicePtr, u64)> = Vec::new();
+        let mut peak = 0u64;
+        for op in &ops {
+            apply(&mut m, &mut live, op);
+            peak = peak.max(m.allocated());
+
+            // Accounting invariants.
+            let sizes: Vec<u64> = live.iter().map(|&(_, s)| s).collect();
+            prop_assert_eq!(m.allocated(), GlobalMemory::footprint(&sizes));
+            prop_assert_eq!(m.live_allocations(), live.len());
+            prop_assert_eq!(m.free_bytes(), capacity - m.allocated());
+            prop_assert_eq!(m.high_water(), peak);
+
+            // ECC shadow: everything live verifies clean.
+            prop_assert!(m.verify_all().is_ok());
+
+            // Redzone invariant: the REDZONE bytes before each live
+            // allocation fault as redzone accesses.
+            for &(p, _) in &live {
+                let e = m.load_u32(p.addr() - REDZONE).unwrap_err();
+                prop_assert!(matches!(
+                    e.kind,
+                    FaultKind::OutOfBounds { redzone: true, .. }
+                ));
+            }
+            // Tail invariant: the first unallocated aligned word faults.
+            let probe = m.allocated().next_multiple_of(4);
+            if probe + 4 <= capacity {
+                let e = m.load_u32(probe).unwrap_err();
+                prop_assert!(matches!(e.kind, FaultKind::OutOfBounds { .. }));
+            }
+        }
+    }
+
+    /// A `MemoryBudget` mirrors a sequence of reserve/release decisions
+    /// exactly: reserved never exceeds capacity, rejected reservations are
+    /// exactly the ones that would overflow, and the high-water mark is the
+    /// running max of reserved.
+    #[test]
+    fn budget_accounting_matches_a_reference_model(
+        capacity in 1u64..100_000,
+        steps in proptest::collection::vec((any::<bool>(), 0u64..50_000), 1..50),
+    ) {
+        let mut b = MemoryBudget::new(capacity);
+        let (mut reserved, mut hw) = (0u64, 0u64);
+        for (is_reserve, bytes) in steps {
+            if is_reserve {
+                if reserved + bytes <= capacity {
+                    b.reserve(bytes).unwrap();
+                    reserved += bytes;
+                    hw = hw.max(reserved);
+                } else {
+                    let e = b.reserve(bytes).unwrap_err();
+                    prop_assert!(matches!(e.kind, FaultKind::OutOfMemory { .. }));
+                }
+            } else {
+                b.release(bytes);
+                reserved = reserved.saturating_sub(bytes);
+            }
+            prop_assert_eq!(b.reserved(), reserved);
+            prop_assert_eq!(b.remaining(), capacity - reserved);
+            prop_assert_eq!(b.high_water(), hw);
+        }
+    }
+}

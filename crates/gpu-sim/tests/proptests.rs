@@ -11,18 +11,27 @@ use gpu_sim::{DeviceConfig, DriverModel};
 use proptest::prelude::*;
 
 fn width_strategy() -> impl Strategy<Value = AccessWidth> {
-    prop_oneof![Just(AccessWidth::W4), Just(AccessWidth::W8), Just(AccessWidth::W16)]
+    prop_oneof![
+        Just(AccessWidth::W4),
+        Just(AccessWidth::W8),
+        Just(AccessWidth::W16)
+    ]
 }
 
 /// Aligned address streams for a half-warp: per-lane slot indices in a
 /// window, scaled by the access width.
 fn addr_strategy() -> impl Strategy<Value = (Vec<Option<u64>>, AccessWidth)> {
-    (width_strategy(), proptest::collection::vec(proptest::option::of(0u64..256), 1..=16)).prop_map(
-        |(w, slots)| {
-            let addrs = slots.into_iter().map(|s| s.map(|s| s * w.bytes())).collect();
-            (addrs, w)
-        },
+    (
+        width_strategy(),
+        proptest::collection::vec(proptest::option::of(0u64..256), 1..=16),
     )
+        .prop_map(|(w, slots)| {
+            let addrs = slots
+                .into_iter()
+                .map(|s| s.map(|s| s * w.bytes()))
+                .collect();
+            (addrs, w)
+        })
 }
 
 proptest! {
@@ -128,7 +137,8 @@ fn run_reduction(k: &Kernel, data: &[f32], threads: u32, scale: f32) -> Vec<f32>
         &mut gmem,
     )
     .expect("launch is valid");
-    gmem.read_f32(out, threads as usize).expect("kernel wrote every output")
+    gmem.read_f32(out, threads as usize)
+        .expect("kernel wrote every output")
 }
 
 proptest! {

@@ -62,7 +62,13 @@ fn injected_oob_is_detected_with_exact_coordinates() {
     let plan = FaultPlan::at_thread(0, 13, Mutation::SetAddr(far));
     let e = fault(run_grid_injected(&k, 1, 32, &[d, out], &mut gmem, &plan));
     match e.kind {
-        FaultKind::OutOfBounds { space, addr, width, limit, redzone } => {
+        FaultKind::OutOfBounds {
+            space,
+            addr,
+            width,
+            limit,
+            redzone,
+        } => {
             assert_eq!(space, MemSpace::Global);
             assert_eq!(addr, far);
             assert_eq!(width, 4);
@@ -74,7 +80,10 @@ fn injected_oob_is_detected_with_exact_coordinates() {
     assert_eq!(e.site.kernel.as_deref(), Some("san_copy"));
     assert_eq!(e.site.block, Some(0));
     assert_eq!(e.site.thread, Some(13));
-    assert!(e.site.instruction.is_some(), "faulting instruction must be recorded");
+    assert!(
+        e.site.instruction.is_some(),
+        "faulting instruction must be recorded"
+    );
 }
 
 #[test]
@@ -111,7 +120,10 @@ fn one_past_the_end_lands_in_the_redzone() {
     match e.kind {
         FaultKind::OutOfBounds { addr, redzone, .. } => {
             assert_eq!(addr, d as u64 + 32 * 4);
-            assert!(redzone, "one-past-the-end must be attributed to the guard band");
+            assert!(
+                redzone,
+                "one-past-the-end must be attributed to the guard band"
+            );
         }
         other => panic!("expected a redzone OutOfBounds, got {other:?}"),
     }
@@ -135,7 +147,11 @@ fn reading_never_written_memory_is_an_uninitialized_read() {
         other => panic!("expected UninitializedRead, got {other:?}"),
     }
     assert_eq!(e.site.block, Some(0));
-    assert_eq!(e.site.thread, Some(0), "thread 0 reads the first poisoned word");
+    assert_eq!(
+        e.site.thread,
+        Some(0),
+        "thread 0 reads the first poisoned word"
+    );
 }
 
 #[test]
@@ -143,7 +159,11 @@ fn allocator_exhaustion_is_a_typed_host_side_fault() {
     let mut gmem = GlobalMemory::new(4096);
     let e = gmem.alloc(1 << 20).expect_err("cannot fit 1 MiB in 4 KiB");
     match e.kind {
-        FaultKind::OutOfMemory { requested, capacity, .. } => {
+        FaultKind::OutOfMemory {
+            requested,
+            capacity,
+            ..
+        } => {
             assert_eq!(requested, 1 << 20);
             assert_eq!(capacity, 4096);
         }
@@ -161,7 +181,10 @@ fn bad_launch_geometry_is_rejected_before_execution() {
     let (mut gmem, d, out) = setup(32);
 
     let e = fault(run_grid(&k, 0, 32, &[d, out], &mut gmem));
-    assert!(matches!(e.kind, FaultKind::BadLaunch { .. }), "empty grid: {e:?}");
+    assert!(
+        matches!(e.kind, FaultKind::BadLaunch { .. }),
+        "empty grid: {e:?}"
+    );
     assert_eq!(e.site.kernel.as_deref(), Some("san_copy"));
 
     let e = fault(run_grid(&k, 1, MAX_BLOCK + 1, &[d, out], &mut gmem));
@@ -233,12 +256,23 @@ fn mispadded_28_byte_aos_faults_instead_of_returning_wrong_physics() {
     match e.kind {
         FaultKind::Misaligned { space, addr, width } => {
             assert_eq!(space, MemSpace::Global);
-            assert_eq!(width, 16, "the whole float4 access is checked, not its words");
-            assert_eq!(addr, d.0 + 28, "thread 1's record starts 28 B in — not 16-B aligned");
+            assert_eq!(
+                width, 16,
+                "the whole float4 access is checked, not its words"
+            );
+            assert_eq!(
+                addr,
+                d.0 + 28,
+                "thread 1's record starts 28 B in — not 16-B aligned"
+            );
         }
         other => panic!("expected Misaligned, got {other:?}"),
     }
-    assert_eq!(e.site.thread, Some(1), "thread 0's record is aligned; thread 1 faults first");
+    assert_eq!(
+        e.site.thread,
+        Some(1),
+        "thread 0's record is aligned; thread 1 faults first"
+    );
     assert_eq!(e.site.kernel.as_deref(), Some("san_aos28"));
 }
 
@@ -249,7 +283,9 @@ fn healthy_injection_free_run_still_computes() {
     let (mut gmem, d, out) = setup(32);
     run_grid_injected(&k, 1, 32, &[d, out], &mut gmem, &FaultPlan::default())
         .expect("no faults injected");
-    let vals = gmem.read_f32(gpu_sim::mem::DevicePtr(out as u64), 32).expect("written");
+    let vals = gmem
+        .read_f32(gpu_sim::mem::DevicePtr(out as u64), 32)
+        .expect("written");
     assert_eq!(vals, (0..32).map(|i| i as f32).collect::<Vec<_>>());
 }
 

@@ -37,11 +37,21 @@ fn setup(threads: u32) -> (GlobalMemory, u32, u32) {
 fn injected_launch_failure_is_typed_and_attributed() {
     let k = copy_kernel();
     let (mut gmem, d, out) = setup(32);
-    let mut plan =
-        TransientFaultPlan::new(3, FaultRates { bit_flip: 0.0, launch_failure: 1.0, hang: 0.0 });
+    let mut plan = TransientFaultPlan::new(
+        3,
+        FaultRates {
+            bit_flip: 0.0,
+            launch_failure: 1.0,
+            hang: 0.0,
+        },
+    );
     let e = run_grid_chaos(&k, 1, 32, &[d, out], &mut gmem, &mut plan, None)
         .expect_err("launch must transiently fail");
-    assert!(matches!(e.kind, FaultKind::TransientLaunch { .. }), "kind: {:?}", e.kind);
+    assert!(
+        matches!(e.kind, FaultKind::TransientLaunch { .. }),
+        "kind: {:?}",
+        e.kind
+    );
     assert!(e.kind.is_transient());
     assert_eq!(e.site.kernel.as_deref(), Some("chaos_copy"));
     // The memory was never touched: a plain retry on the same gmem succeeds.
@@ -53,15 +63,24 @@ fn injected_launch_failure_is_typed_and_attributed() {
 fn injected_hang_is_killed_by_the_watchdog() {
     let k = copy_kernel();
     let (mut gmem, d, out) = setup(32);
-    let mut plan =
-        TransientFaultPlan::new(5, FaultRates { bit_flip: 0.0, launch_failure: 0.0, hang: 1.0 });
+    let mut plan = TransientFaultPlan::new(
+        5,
+        FaultRates {
+            bit_flip: 0.0,
+            launch_failure: 0.0,
+            hang: 1.0,
+        },
+    );
     // Generous caller watchdog: the injected hang must still starve the run.
     let e = run_grid_chaos(&k, 1, 32, &[d, out], &mut gmem, &mut plan, Some(1 << 20))
         .expect_err("hung launch must be killed");
     match e.kind {
         FaultKind::WatchdogTimeout { budget, executed } => {
             assert!(budget <= gpu_sim::transient::HANG_BUDGET);
-            assert!(executed >= budget, "the kill fires only once the budget is exhausted");
+            assert!(
+                executed >= budget,
+                "the kill fires only once the budget is exhausted"
+            );
         }
         other => panic!("expected WatchdogTimeout, got {other:?}"),
     }
@@ -82,14 +101,23 @@ fn bit_flips_never_produce_silently_wrong_results() {
         let (mut gmem, d, out) = setup(32);
         let mut plan = TransientFaultPlan::new(
             seed,
-            FaultRates { bit_flip: 1.0, launch_failure: 0.0, hang: 0.0 },
+            FaultRates {
+                bit_flip: 1.0,
+                launch_failure: 0.0,
+                hang: 0.0,
+            },
         );
         match run_grid_chaos(&k, 1, 32, &[d, out], &mut gmem, &mut plan, None) {
             Ok(_) => {
                 // Strike hit a redzone / was healed by a full overwrite:
                 // results must be exactly right.
-                let got = gmem.read_f32(gpu_sim::mem::DevicePtr(out as u64), 32).expect("readable");
-                assert_eq!(got, expected, "seed {seed}: surviving run must be bit-exact");
+                let got = gmem
+                    .read_f32(gpu_sim::mem::DevicePtr(out as u64), 32)
+                    .expect("readable");
+                assert_eq!(
+                    got, expected,
+                    "seed {seed}: surviving run must be bit-exact"
+                );
                 clean += 1;
             }
             Err(e) => {
@@ -122,7 +150,11 @@ fn ecc_detection_reports_the_struck_word() {
     let e = run_grid_chaos(&k, 1, 32, &[d, out], &mut gmem, &mut plan, None)
         .expect_err("the strike must be detected");
     match e.kind {
-        FaultKind::EccMismatch { addr, expected, actual } => {
+        FaultKind::EccMismatch {
+            addr,
+            expected,
+            actual,
+        } => {
             assert_eq!(addr, d as u64 + 5 * 4);
             assert_ne!(expected, actual);
         }
@@ -191,8 +223,12 @@ fn chaos_wrapper_with_quiet_plan_matches_plain_run() {
         .expect("quiet chaos run");
     let b = run_grid(&k, 2, 32, &[db, ob], &mut gmem_b).expect("plain run");
     assert_eq!(a.warp_instructions, b.warp_instructions);
-    let va = gmem_a.read_f32(gpu_sim::mem::DevicePtr(oa as u64), 64).expect("readable");
-    let vb = gmem_b.read_f32(gpu_sim::mem::DevicePtr(ob as u64), 64).expect("readable");
+    let va = gmem_a
+        .read_f32(gpu_sim::mem::DevicePtr(oa as u64), 64)
+        .expect("readable");
+    let vb = gmem_b
+        .read_f32(gpu_sim::mem::DevicePtr(ob as u64), 64)
+        .expect("readable");
     assert_eq!(va, vb, "the chaos wrapper is bit-transparent when quiet");
 }
 
@@ -201,9 +237,18 @@ fn fault_classes_serialize_round_trip() {
     // FaultReport persistence (checkpoints, chaos logs) depends on the new
     // kinds surviving JSON.
     for kind in [
-        FaultKind::EccMismatch { addr: 4096, expected: 0x5A, actual: 0x58 },
-        FaultKind::WatchdogTimeout { budget: 64, executed: 64 },
-        FaultKind::TransientLaunch { reason: "injected spurious launch failure".into() },
+        FaultKind::EccMismatch {
+            addr: 4096,
+            expected: 0x5A,
+            actual: 0x58,
+        },
+        FaultKind::WatchdogTimeout {
+            budget: 64,
+            executed: 64,
+        },
+        FaultKind::TransientLaunch {
+            reason: "injected spurious launch failure".into(),
+        },
         FaultKind::NonFiniteResult { index: 17 },
     ] {
         assert!(kind.is_transient());
@@ -218,7 +263,11 @@ fn launch_fates_partition_the_unit_interval() {
     // With rates summing to 1, no launch is ever healthy.
     let mut p = TransientFaultPlan::new(
         11,
-        FaultRates { bit_flip: 0.4, launch_failure: 0.3, hang: 0.3 },
+        FaultRates {
+            bit_flip: 0.4,
+            launch_failure: 0.3,
+            hang: 0.3,
+        },
     );
     assert!((0..500).all(|_| p.next_launch() != LaunchFault::None));
 }

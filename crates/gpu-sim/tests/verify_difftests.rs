@@ -71,7 +71,8 @@ fn run(k: &Kernel, data: &[f32], scale: f32) -> Vec<u8> {
     let params = [d.addr() as u32, out.addr() as u32, scale.to_bits()];
     gpu_sim::exec::functional::run_grid(k, GRID, BLOCK, &params, &mut gmem)
         .expect("random affine kernels are well-formed");
-    gmem.download(out, threads as u64 * 8).expect("output region readable")
+    gmem.download(out, threads as u64 * 8)
+        .expect("output region readable")
 }
 
 fn recipe_strategy() -> impl Strategy<Value = Recipe> {

@@ -17,7 +17,10 @@ use nbody::model::ForceParams;
 fn main() {
     let bodies = SpawnKind::UniformBall { radius: 3.0 }.generate(256, 1.0, 7);
     let fp = ForceParams::default();
-    let gpu = Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 };
+    let gpu = Backend::GpuSim {
+        level: OptLevel::Full,
+        driver: DriverModel::Cuda10,
+    };
 
     // Strike thread 9 of block 0: wherever it accesses memory, send it far
     // out of bounds (a synthetic layout/stride bug).

@@ -24,6 +24,7 @@
 //!   frame on [`Backend::CpuParallel`], which is bit-identical physics to the
 //!   GPU path, so a degraded run produces the same trajectory.
 
+use crate::pressure::{downgrade, gpu_frame_chunked, plan_frame, DegradeEvent, ExecMode};
 use crate::recovery::{RecoveryPolicy, RetryEvent};
 use gpu_kernels::force::{build_force_kernel, force_params, OptLevel};
 use gpu_sim::exec::functional::{run_grid, run_grid_injected, run_grid_watchdog};
@@ -88,6 +89,10 @@ pub struct FaultReport {
     /// after each. Empty when the frame was not retried (permanent fault or
     /// retries disabled).
     pub retries: Vec<RetryEvent>,
+    /// Every rung of the memory-pressure degradation ladder the frame
+    /// descended (full → chunked → CPU), in order. Empty when the frame ran
+    /// at its planned residency.
+    pub ladder: Vec<DegradeEvent>,
 }
 
 impl FaultReport {
@@ -99,6 +104,9 @@ impl FaultReport {
                 "\n  attempt {}: {} (backoff {} ms)",
                 r.attempt, r.fault, r.backoff_ms
             ));
+        }
+        for d in &self.ladder {
+            s.push_str(&format!("\n  degrade {} -> {}: {}", d.from, d.to, d.reason));
         }
         s.push_str(&format!(
             "\n  recovery: degraded {} -> {}",
@@ -139,7 +147,8 @@ impl Backend {
 
     /// Compute accelerations, propagating any device fault as a typed error.
     pub fn try_accelerations(&self, bodies: &Bodies, fp: &ForceParams) -> DeviceResult<Vec<Vec3>> {
-        self.accelerations_with_policy(bodies, fp, FaultPolicy::FailFast).map(|r| r.accels)
+        self.accelerations_with_policy(bodies, fp, FaultPolicy::FailFast)
+            .map(|r| r.accels)
     }
 
     /// Compute accelerations under an explicit fault policy.
@@ -163,7 +172,10 @@ impl Backend {
         plan: Option<&FaultPlan>,
     ) -> DeviceResult<ForceResult> {
         if bodies.is_empty() {
-            return Ok(ForceResult { accels: Vec::new(), fault: None });
+            return Ok(ForceResult {
+                accels: Vec::new(),
+                fault: None,
+            });
         }
         let accels = match self {
             Backend::CpuSerial => accelerations(bodies, fp),
@@ -183,25 +195,39 @@ impl Backend {
                                 degraded_from: self.label(),
                                 degraded_to: fallback.label(),
                                 retries: Vec::new(),
+                                ladder: Vec::new(),
                             }),
                         });
                     }
                 },
             },
         };
-        Ok(ForceResult { accels, fault: None })
+        Ok(ForceResult {
+            accels,
+            fault: None,
+        })
     }
 
-    /// Compute accelerations with transient-fault recovery: a frame that
-    /// fails with a *transient* fault (`EccMismatch`, `WatchdogTimeout`,
-    /// `TransientLaunch`, `NonFiniteResult`) is retried up to
-    /// `recovery.max_retries` times with deterministic backoff — each retry
-    /// rebuilds the device image from host state, so a vanished fault leaves
-    /// the physics bit-identical to a fault-free frame. Only when retries
-    /// exhaust (or the fault is permanent) does `policy` decide between
-    /// propagating the error and degrading to the CPU. `chaos` optionally
-    /// injects transient faults (the soak-test hook); the retry history is
-    /// returned in the [`FaultReport`].
+    /// Compute accelerations with transient-fault recovery *and* the
+    /// memory-pressure degradation ladder.
+    ///
+    /// The frame is first planned against `recovery.device_capacity` (see
+    /// [`crate::pressure::plan_frame`]): a working set that does not fit the
+    /// device is admitted as chunked streaming (bit-identical physics) or,
+    /// at the floor, handed to the CPU — each downgrade recorded in the
+    /// [`FaultReport`]'s ladder with the typed OOM that forced it.
+    ///
+    /// Orthogonally, a frame that fails with a *transient* fault
+    /// (`EccMismatch`, `WatchdogTimeout`, `TransientLaunch`,
+    /// `NonFiniteResult`) is retried up to `recovery.max_retries` times with
+    /// deterministic backoff — each retry rebuilds the device image from
+    /// host state, so a vanished fault leaves the physics bit-identical to a
+    /// fault-free frame. A runtime OOM that slipped past planning descends
+    /// the same ladder reactively. Only when retries exhaust (or the fault
+    /// is permanent) does `policy` decide between propagating the error and
+    /// degrading to the CPU. `chaos` optionally injects transient faults
+    /// (the soak-test hook); the retry history is returned in the
+    /// [`FaultReport`].
     pub fn accelerations_recovering(
         &self,
         bodies: &Bodies,
@@ -216,26 +242,67 @@ impl Backend {
             _ => return self.accelerations_with_policy(bodies, fp, policy),
         };
         if bodies.is_empty() {
-            return Ok(ForceResult { accels: Vec::new(), fault: None });
+            return Ok(ForceResult {
+                accels: Vec::new(),
+                fault: None,
+            });
         }
+        let n = bodies.len() as u32;
+        // Admission control: plan the frame before touching device memory.
+        let plan = plan_frame(level, n, recovery.device_capacity);
+        let mut mode = plan.mode;
+        let mut ladder = plan.ladder;
+        let mut first_error: Option<DeviceError> = plan.root;
         let mut retries: Vec<RetryEvent> = Vec::new();
-        let mut first_error: Option<DeviceError> = None;
         loop {
+            // The CPU rung ends the frame: the root-cause OOM propagates
+            // under FailFast, or the CPU takes the frame with full history.
+            if mode == ExecMode::Cpu {
+                let error = first_error.expect("the CPU rung is only reached by a downgrade");
+                match policy {
+                    FaultPolicy::FailFast => return Err(error),
+                    FaultPolicy::FallbackToCpu => {
+                        return Ok(ForceResult {
+                            accels: accelerations_par(bodies, fp),
+                            fault: Some(FaultReport {
+                                error,
+                                degraded_from: self.label(),
+                                degraded_to: Backend::CpuParallel.label(),
+                                retries,
+                                ladder,
+                            }),
+                        });
+                    }
+                }
+            }
             let attempt = retries.len() as u32;
-            let r = gpu_accelerations_transient(
-                bodies,
-                fp,
-                level,
-                chaos.as_deref_mut(),
-                recovery.watchdog_instructions,
-            );
+            let r = match mode {
+                ExecMode::Full => gpu_accelerations_transient(
+                    bodies,
+                    fp,
+                    level,
+                    chaos.as_deref_mut(),
+                    recovery.watchdog_instructions,
+                ),
+                ExecMode::Chunked { chunk } => gpu_frame_chunked(
+                    bodies,
+                    fp,
+                    level,
+                    chunk,
+                    recovery.device_capacity,
+                    chaos.as_deref_mut(),
+                    recovery.watchdog_instructions,
+                ),
+                ExecMode::Cpu => unreachable!("handled above"),
+            };
             match r {
                 Ok(accels) => {
                     let fault = first_error.map(|error| FaultReport {
                         error,
                         degraded_from: self.label(),
-                        degraded_to: format!("{} (retry {})", self.label(), attempt),
+                        degraded_to: self.survival_label(mode, attempt),
                         retries: std::mem::take(&mut retries),
+                        ladder: std::mem::take(&mut ladder),
                     });
                     return Ok(ForceResult { accels, fault });
                 }
@@ -255,6 +322,22 @@ impl Backend {
                         }
                         continue;
                     }
+                    // Reactive safety net: a runtime OOM (exact planning
+                    // makes this unreachable in practice, but the rule is
+                    // cheap insurance) descends the same ladder planning
+                    // uses instead of abandoning the frame.
+                    if matches!(error.kind, FaultKind::OutOfMemory { .. }) {
+                        if let Some(next) = downgrade(level, n, mode) {
+                            ladder.push(DegradeEvent {
+                                from: mode.label(),
+                                to: next.label(),
+                                reason: error.to_string(),
+                            });
+                            first_error.get_or_insert(error);
+                            mode = next;
+                            continue;
+                        }
+                    }
                     // Permanent fault, or the retry budget is spent: the
                     // FaultPolicy decides. The report leads with the first
                     // error of the frame (the root cause) and keeps the full
@@ -263,20 +346,37 @@ impl Backend {
                     match policy {
                         FaultPolicy::FailFast => return Err(error),
                         FaultPolicy::FallbackToCpu => {
-                            let fallback = Backend::CpuParallel;
                             return Ok(ForceResult {
                                 accels: accelerations_par(bodies, fp),
                                 fault: Some(FaultReport {
                                     error,
                                     degraded_from: self.label(),
-                                    degraded_to: fallback.label(),
+                                    degraded_to: Backend::CpuParallel.label(),
                                     retries,
+                                    ladder,
                                 }),
                             });
                         }
                     }
                 }
             }
+        }
+    }
+
+    /// The `degraded_to` label of a frame that survived on the GPU: the
+    /// backend label, tagged with the chunked rung and/or the winning retry.
+    fn survival_label(&self, mode: ExecMode, attempt: u32) -> String {
+        let mut tags = Vec::new();
+        if let ExecMode::Chunked { chunk } = mode {
+            tags.push(format!("chunked c={chunk}"));
+        }
+        if attempt > 0 {
+            tags.push(format!("retry {attempt}"));
+        }
+        if tags.is_empty() {
+            self.label()
+        } else {
+            format!("{} ({})", self.label(), tags.join(", "))
         }
     }
 
@@ -365,7 +465,9 @@ fn gpu_frame(
     match (chaos, plan, watchdog) {
         (Some(c), _, w) => run_grid_chaos(&kernel, grid, cfg.block, &params, &mut gmem, c, w)?,
         (None, Some(p), _) => run_grid_injected(&kernel, grid, cfg.block, &params, &mut gmem, p)?,
-        (None, None, Some(w)) => run_grid_watchdog(&kernel, grid, cfg.block, &params, &mut gmem, w)?,
+        (None, None, Some(w)) => {
+            run_grid_watchdog(&kernel, grid, cfg.block, &params, &mut gmem, w)?
+        }
         (None, None, None) => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
     };
     let accels = download_accels(&gmem, out, img.n)?;
@@ -374,8 +476,10 @@ fn gpu_frame(
     // with the body index attributed.
     for (i, a) in accels.iter().enumerate() {
         if !(a.x.is_finite() && a.y.is_finite() && a.z.is_finite()) {
-            return Err(DeviceError::new(FaultKind::NonFiniteResult { index: i as u64 })
-                .with_kernel(&kernel.name));
+            return Err(
+                DeviceError::new(FaultKind::NonFiniteResult { index: i as u64 })
+                    .with_kernel(&kernel.name),
+            );
         }
     }
     Ok(accels)
@@ -402,13 +506,21 @@ pub fn run_device_resident(
     let force_k = build_force_kernel(cfg);
     let integ_k = build_integrate_kernel(cfg.layout);
     let particles: Vec<Particle> = (0..bodies.len())
-        .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: fp.g * bodies.mass[i] })
+        .map(|i| Particle {
+            pos: bodies.pos[i],
+            vel: bodies.vel[i],
+            mass: fp.g * bodies.mass[i],
+        })
         .collect();
     let budget = frame_memory_budget(level, bodies.len() as u32);
     let mut gmem = GlobalMemory::new(budget);
     let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)?;
     let acc = alloc_accel_out(&mut gmem, img.padded_n)?;
-    debug_assert_eq!(gmem.allocated(), budget, "resident-loop budget must be exact");
+    debug_assert_eq!(
+        gmem.allocated(),
+        budget,
+        "resident-loop budget must be exact"
+    );
     let grid = img.padded_n / cfg.block;
     let fparams = force_params(&img, acc, fp.softening);
     let iparams = integrate_params(&img, acc, dt);
@@ -440,9 +552,15 @@ mod tests {
         // Parallel and GPU are bit-identical.
         let par = Backend::CpuParallel.accelerations(&bodies, &fp);
         assert_eq!(reference, par);
-        let gpu = Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 }
-            .accelerations(&bodies, &fp);
-        assert_eq!(reference, gpu, "GPU functional execution must match CPU bitwise");
+        let gpu = Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda10,
+        }
+        .accelerations(&bodies, &fp);
+        assert_eq!(
+            reference, gpu,
+            "GPU functional execution must match CPU bitwise"
+        );
         // Barnes-Hut is approximate.
         let bh = Backend::BarnesHut { theta: 0.4 }.accelerations(&bodies, &fp);
         for i in 0..bodies.len() {
@@ -454,16 +572,25 @@ mod tests {
     #[test]
     fn only_gpu_backends_have_a_frame_model() {
         assert!(Backend::CpuSerial.modeled_frame_seconds(1000).is_none());
-        let t = Backend::GpuSim { level: OptLevel::SoAoaS, driver: DriverModel::Cuda10 }
-            .modeled_frame_seconds(40_000)
-            .unwrap();
-        assert!(t > 0.0 && t < 10.0, "modeled frame {t}s out of plausible range");
+        let t = Backend::GpuSim {
+            level: OptLevel::SoAoaS,
+            driver: DriverModel::Cuda10,
+        }
+        .modeled_frame_seconds(40_000)
+        .unwrap();
+        assert!(
+            t > 0.0 && t < 10.0,
+            "modeled frame {t}s out of plausible range"
+        );
     }
 
     #[test]
     fn device_resident_loop_matches_host_euler_bitwise() {
         use nbody::integrator::step_euler;
-        let fp = ForceParams { g: 1.0, softening: 0.05 };
+        let fp = ForceParams {
+            g: 1.0,
+            softening: 0.05,
+        };
         let dt = 0.01f32;
         let steps = 4u32;
         let bodies0 = spawn::disk_galaxy(200, 4.0, 1.0, fp.g, 21);
@@ -483,9 +610,12 @@ mod tests {
     fn labels_are_informative() {
         assert_eq!(Backend::CpuSerial.label(), "cpu-serial");
         assert!(Backend::BarnesHut { theta: 0.5 }.label().contains("0.5"));
-        assert!(Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 }
-            .label()
-            .contains("SoAoaS"));
+        assert!(Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda22
+        }
+        .label()
+        .contains("SoAoaS"));
     }
 
     #[test]
@@ -496,19 +626,31 @@ mod tests {
             Backend::CpuSerial,
             Backend::CpuParallel,
             Backend::BarnesHut { theta: 0.5 },
-            Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 },
+            Backend::GpuSim {
+                level: OptLevel::Full,
+                driver: DriverModel::Cuda10,
+            },
         ] {
-            assert!(backend.accelerations(&bodies, &fp).is_empty(), "{}", backend.label());
+            assert!(
+                backend.accelerations(&bodies, &fp).is_empty(),
+                "{}",
+                backend.label()
+            );
             assert!(backend.try_accelerations(&bodies, &fp).unwrap().is_empty());
         }
         assert_eq!(
-            run_device_resident(&bodies, &fp, 0.01, 3, OptLevel::Full).unwrap().len(),
+            run_device_resident(&bodies, &fp, 0.01, 3, OptLevel::Full)
+                .unwrap()
+                .len(),
             0
         );
     }
 
     fn gpu() -> Backend {
-        Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 }
+        Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda10,
+        }
     }
 
     /// A plan that redirects one lane's global accesses far out of bounds
@@ -523,9 +665,18 @@ mod tests {
         let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
         let fp = ForceParams::default();
         let err = gpu()
-            .accelerations_with_policy_injected(&bodies, &fp, FaultPolicy::FailFast, Some(&oob_plan()))
+            .accelerations_with_policy_injected(
+                &bodies,
+                &fp,
+                FaultPolicy::FailFast,
+                Some(&oob_plan()),
+            )
             .unwrap_err();
-        assert!(matches!(err.kind, FaultKind::OutOfBounds { .. }), "got {:?}", err.kind);
+        assert!(
+            matches!(err.kind, FaultKind::OutOfBounds { .. }),
+            "got {:?}",
+            err.kind
+        );
         assert_eq!(err.site.block, Some(0));
         assert_eq!(err.site.thread, Some(7));
         assert!(err.site.kernel.as_deref().unwrap_or("").contains("force"));
@@ -557,10 +708,17 @@ mod tests {
         let bodies = spawn::uniform_ball(256, 5.0, 2.0, 3);
         let fp = ForceParams::default();
         let reference = Backend::CpuSerial.accelerations(&bodies, &fp);
-        let recovery = RecoveryPolicy { max_retries: 3, ..RecoveryPolicy::default() };
+        let recovery = RecoveryPolicy {
+            max_retries: 3,
+            ..RecoveryPolicy::default()
+        };
         // Find a seed whose first launch faults transiently and whose second
         // is healthy: retry must succeed without touching the CPU path.
-        let rates = FaultRates { bit_flip: 0.0, launch_failure: 0.5, hang: 0.0 };
+        let rates = FaultRates {
+            bit_flip: 0.0,
+            launch_failure: 0.5,
+            hang: 0.0,
+        };
         let seed = (0..200u64)
             .find(|&s| {
                 let p = TransientFaultPlan::new(s, rates);
@@ -569,14 +727,27 @@ mod tests {
             .expect("some seed faults exactly once");
         let mut plan = TransientFaultPlan::new(seed, rates);
         let res = gpu()
-            .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &recovery, Some(&mut plan))
+            .accelerations_recovering(
+                &bodies,
+                &fp,
+                FaultPolicy::FailFast,
+                &recovery,
+                Some(&mut plan),
+            )
             .expect("the retry must rescue the frame");
-        assert_eq!(res.accels, reference, "recovered frame must be bit-identical");
+        assert_eq!(
+            res.accels, reference,
+            "recovered frame must be bit-identical"
+        );
         let report = res.fault.expect("the survived fault must be reported");
         assert_eq!(report.retries.len(), 1);
         assert_eq!(report.retries[0].attempt, 0);
         assert_eq!(report.retries[0].fault, "TransientLaunch");
-        assert!(report.degraded_to.contains("retry 1"), "got {}", report.degraded_to);
+        assert!(
+            report.degraded_to.contains("retry 1"),
+            "got {}",
+            report.degraded_to
+        );
         assert!(report.render().contains("attempt 0"));
     }
 
@@ -597,21 +768,35 @@ mod tests {
             )
             .unwrap();
         let report = res.fault.expect("reported");
-        assert!(report.retries.is_empty(), "permanent faults must not be retried");
+        assert!(
+            report.retries.is_empty(),
+            "permanent faults must not be retried"
+        );
         assert_eq!(report.degraded_to, "cpu-parallel");
         // And the recovering path with retries disabled behaves identically
         // for transient faults: straight to the policy.
         use gpu_sim::transient::{FaultRates, TransientFaultPlan};
         let mut plan = TransientFaultPlan::new(
             1,
-            FaultRates { bit_flip: 0.0, launch_failure: 1.0, hang: 0.0 },
+            FaultRates {
+                bit_flip: 0.0,
+                launch_failure: 1.0,
+                hang: 0.0,
+            },
         );
-        let none = RecoveryPolicy { max_retries: 0, ..RecoveryPolicy::default() };
+        let none = RecoveryPolicy {
+            max_retries: 0,
+            ..RecoveryPolicy::default()
+        };
         let err = gpu()
             .accelerations_recovering(&bodies, &fp, FaultPolicy::FailFast, &none, Some(&mut plan))
             .unwrap_err();
         assert!(matches!(err.kind, FaultKind::TransientLaunch { .. }));
-        assert_eq!(plan.launches(), 1, "exactly one attempt with retries disabled");
+        assert_eq!(
+            plan.launches(),
+            1,
+            "exactly one attempt with retries disabled"
+        );
     }
 
     #[test]
@@ -623,9 +808,16 @@ mod tests {
         // Every launch fails: retries exhaust, the CPU takes the frame.
         let mut plan = TransientFaultPlan::new(
             9,
-            FaultRates { bit_flip: 0.0, launch_failure: 1.0, hang: 0.0 },
+            FaultRates {
+                bit_flip: 0.0,
+                launch_failure: 1.0,
+                hang: 0.0,
+            },
         );
-        let recovery = RecoveryPolicy { max_retries: 2, ..RecoveryPolicy::default() };
+        let recovery = RecoveryPolicy {
+            max_retries: 2,
+            ..RecoveryPolicy::default()
+        };
         let res = gpu()
             .accelerations_recovering(
                 &bodies,
@@ -635,12 +827,18 @@ mod tests {
                 Some(&mut plan),
             )
             .unwrap();
-        assert_eq!(res.accels, reference, "degraded frame must be bit-identical");
+        assert_eq!(
+            res.accels, reference,
+            "degraded frame must be bit-identical"
+        );
         let report = res.fault.expect("reported");
         assert_eq!(report.retries.len(), 2, "max_retries bounds the history");
         assert_eq!(plan.launches(), 3, "initial attempt + 2 retries");
         assert_eq!(report.degraded_to, "cpu-parallel");
-        assert!(matches!(report.error.kind, FaultKind::TransientLaunch { .. }));
+        assert!(matches!(
+            report.error.kind,
+            FaultKind::TransientLaunch { .. }
+        ));
     }
 
     #[test]
@@ -650,8 +848,19 @@ mod tests {
         // integrate Inf/NaN.
         let mut bodies = Bodies::with_capacity(2);
         bodies.push(Vec3::ZERO, Vec3::ZERO, 1e38);
-        bodies.push(Vec3 { x: 1e-6, y: 0.0, z: 0.0 }, Vec3::ZERO, 1e38);
-        let fp = ForceParams { g: 1.0, softening: 0.0 };
+        bodies.push(
+            Vec3 {
+                x: 1e-6,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3::ZERO,
+            1e38,
+        );
+        let fp = ForceParams {
+            g: 1.0,
+            softening: 0.0,
+        };
         let err = gpu().try_accelerations(&bodies, &fp).unwrap_err();
         match err.kind {
             FaultKind::NonFiniteResult { index } => assert_eq!(index, 0),

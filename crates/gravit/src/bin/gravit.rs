@@ -37,24 +37,52 @@ fn main() {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse a byte count with an optional K/M/G suffix (binary multiples).
+fn parse_bytes(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (digits, mult) = match v.as_bytes().last()? {
+        b'K' | b'k' => (&v[..v.len() - 1], 1u64 << 10),
+        b'M' | b'm' => (&v[..v.len() - 1], 1u64 << 20),
+        b'G' | b'g' => (&v[..v.len() - 1], 1u64 << 30),
+        _ => (v, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(mult)
 }
 
 fn cmd_run(args: &[String]) {
-    let n: usize = flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(2048);
-    let steps: u64 = flag(args, "--steps").and_then(|v| v.parse().ok()).unwrap_or(50);
-    let dt: f32 = flag(args, "--dt").and_then(|v| v.parse().ok()).unwrap_or(0.005);
-    let seed: u64 = flag(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let n: usize = flag(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2048);
+    let steps: u64 = flag(args, "--steps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    let dt: f32 = flag(args, "--dt")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.005);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
     let backend = match flag(args, "--backend").as_deref() {
         Some("cpu") => Backend::CpuSerial,
         Some("bh") => Backend::BarnesHut { theta: 0.6 },
-        Some("gpu") => Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 },
+        Some("gpu") => Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda10,
+        },
         _ => Backend::CpuParallel,
     };
     let spawn = match flag(args, "--spawn").as_deref() {
         Some("ball") => SpawnKind::UniformBall { radius: 5.0 },
         Some("plummer") => SpawnKind::Plummer { a: 1.0 },
-        Some("collision") => SpawnKind::Collision { separation: 20.0, approach_speed: 0.4 },
+        Some("collision") => SpawnKind::Collision {
+            separation: 20.0,
+            approach_speed: 0.4,
+        },
         _ => SpawnKind::DiskGalaxy { radius: 5.0 },
     };
     let fault_policy = match flag(args, "--fault-policy").as_deref() {
@@ -65,16 +93,51 @@ fn cmd_run(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let mut cfg = SimConfig { n, spawn, seed, dt, backend, fault_policy, ..SimConfig::default() };
+    let mut cfg = SimConfig {
+        n,
+        spawn,
+        seed,
+        dt,
+        backend,
+        fault_policy,
+        ..SimConfig::default()
+    };
     if let Some(r) = flag(args, "--max-retries").and_then(|v| v.parse().ok()) {
         cfg.recovery.max_retries = r;
     }
-    let ckpt_every: u64 =
-        flag(args, "--checkpoint-every").and_then(|v| v.parse().ok()).unwrap_or(0);
+    if let Some(v) = flag(args, "--device-mem") {
+        match parse_bytes(&v) {
+            Some(bytes) => cfg.recovery.device_capacity = Some(bytes),
+            None => {
+                eprintln!("invalid --device-mem {v:?} (expected BYTES with optional K/M/G suffix)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--dry-run") {
+        match backend {
+            Backend::GpuSim { level, .. } => {
+                let plan =
+                    gravit_app::pressure::plan_frame(level, n as u32, cfg.recovery.device_capacity);
+                print!("{}", plan.render());
+            }
+            other => println!(
+                "memory plan: backend {} is not device-bound; no device memory needed",
+                other.label()
+            ),
+        }
+        return;
+    }
+    let ckpt_every: u64 = flag(args, "--checkpoint-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     cfg.recovery.checkpoint_every = ckpt_every;
-    let ckpt_path = flag(args, "--checkpoint")
-        .or_else(|| (ckpt_every > 0).then(|| "gravit.ckpt".to_string()));
-    println!("gravit: n={n}, steps={steps}, dt={dt}, backend={}", backend.label());
+    let ckpt_path =
+        flag(args, "--checkpoint").or_else(|| (ckpt_every > 0).then(|| "gravit.ckpt".to_string()));
+    println!(
+        "gravit: n={n}, steps={steps}, dt={dt}, backend={}",
+        backend.label()
+    );
 
     let t0 = Instant::now();
     let mut sim = match flag(args, "--resume") {
@@ -84,7 +147,10 @@ fn cmd_run(args: &[String]) {
                 std::process::exit(2);
             });
             let sim = Simulation::resume(cfg, &ckpt).unwrap_or_else(|e| sim_error_exit(&e));
-            println!("resumed from {path} at step {} (t={:.3})", sim.steps, sim.time);
+            println!(
+                "resumed from {path} at step {} (t={:.3})",
+                sim.steps, sim.time
+            );
             sim
         }
         None => Simulation::new(cfg).unwrap_or_else(|e| sim_error_exit(&e)),
@@ -109,8 +175,16 @@ fn cmd_run(args: &[String]) {
             }
         }
     }
-    for report in &sim.fault_reports {
+    // A memory-constrained run degrades every frame; cap the noise.
+    const MAX_REPORTS: usize = 8;
+    for report in sim.fault_reports.iter().take(MAX_REPORTS) {
         eprintln!("sanitizer: recovered device fault\n{}", report.render());
+    }
+    if sim.fault_reports.len() > MAX_REPORTS {
+        eprintln!(
+            "sanitizer: ... and {} more recovered faults (identical degradations elided)",
+            sim.fault_reports.len() - MAX_REPORTS
+        );
     }
     let wall = t0.elapsed().as_secs_f64();
     println!(
@@ -130,7 +204,10 @@ fn cmd_run(args: &[String]) {
 /// Print the sanitizer report and exit with the device-fault code (3),
 /// distinct from usage errors (2).
 fn device_fault_exit(e: &DeviceError) -> ! {
-    eprintln!("gravit: device fault detected by the sanitizer\n{}", e.report());
+    eprintln!(
+        "gravit: device fault detected by the sanitizer\n{}",
+        e.report()
+    );
     std::process::exit(3);
 }
 
@@ -175,7 +252,9 @@ fn cmd_ladder() {
 }
 
 fn cmd_model(args: &[String]) {
-    let n: u32 = flag(args, "--n").and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let n: u32 = flag(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
     println!("Modeled 8800 GTX frame times at N = {n} (CUDA 1.0):\n");
     let base = gravit_app::model::model_frame(OptLevel::Baseline, n, DriverModel::Cuda10).total_s();
     for level in OptLevel::ALL {
@@ -194,7 +273,8 @@ fn cmd_model(args: &[String]) {
 fn cmd_report(args: &[String]) {
     use gravit_core::layout_advisor::StructSchema;
     let dev = DeviceConfig::g8800gtx();
-    let report = gravit_core::build_report(&dev, DriverModel::Cuda10, &StructSchema::gravit_particle());
+    let report =
+        gravit_core::build_report(&dev, DriverModel::Cuda10, &StructSchema::gravit_particle());
     let json = report.to_json();
     match flag(args, "--out") {
         Some(path) => {
@@ -211,7 +291,9 @@ fn cmd_render(args: &[String]) {
         std::process::exit(2);
     };
     let out = flag(args, "--out").unwrap_or_else(|| "frames".into());
-    let size: usize = flag(args, "--size").and_then(|v| v.parse().ok()).unwrap_or(256);
+    let size: usize = flag(args, "--size")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
     let rec = Recording::from_json(&std::fs::read_to_string(&input).expect("read recording"))
         .expect("parse recording");
     let n = gravit_app::render::render_recording(&rec, &out, size).expect("render");
@@ -232,10 +314,15 @@ USAGE:
                 [--spawn ball|disk|collision|plummer] [--dt DT]
                 [--seed SEED] [--record FILE] [--fault-policy fail|fallback]
                 [--max-retries R] [--checkpoint FILE] [--checkpoint-every K]
-                [--resume FILE]
+                [--resume FILE] [--device-mem BYTES[K|M|G]] [--dry-run]
                 (on a device fault: `fail` exits 3 with the sanitizer
                 report; `fallback` retries transient faults up to R times,
                 then finishes the frame on the CPU)
+                (--device-mem caps the simulated device memory: a working
+                set that does not fit degrades full -> chunked streaming ->
+                CPU, bit-identical physics throughout; --dry-run prints the
+                per-frame memory plan — budget, per-buffer breakdown, mode,
+                chunk size — and exits without running)
                 (--checkpoint-every K saves a crash-safe checkpoint every K
                 steps; --resume continues a killed run bit-identically;
                 --steps is the total step count of the run, so a resumed

@@ -134,7 +134,10 @@ impl Checkpoint {
             return mismatch(format!("n: checkpoint {} vs config {}", self.n, config.n));
         }
         if self.seed != config.seed {
-            return mismatch(format!("seed: checkpoint {} vs config {}", self.seed, config.seed));
+            return mismatch(format!(
+                "seed: checkpoint {} vs config {}",
+                self.seed, config.seed
+            ));
         }
         if self.dt_bits != config.dt.to_bits() {
             return mismatch(format!(
@@ -145,11 +148,17 @@ impl Checkpoint {
         }
         let integ = format!("{:?}", config.integrator);
         if self.integrator != integ {
-            return mismatch(format!("integrator: checkpoint {} vs config {integ}", self.integrator));
+            return mismatch(format!(
+                "integrator: checkpoint {} vs config {integ}",
+                self.integrator
+            ));
         }
         let backend = config.backend.label();
         if self.backend != backend {
-            return mismatch(format!("backend: checkpoint {} vs config {backend}", self.backend));
+            return mismatch(format!(
+                "backend: checkpoint {} vs config {backend}",
+                self.backend
+            ));
         }
         Ok(())
     }
@@ -172,8 +181,7 @@ impl Checkpoint {
             .iter()
             .position(|&b| b == b'\n')
             .ok_or(CheckpointError::BadMagic)?;
-        let header =
-            std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadMagic)?;
+        let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadMagic)?;
         let mut fields = header.split_whitespace();
         if fields.next() != Some(MAGIC) {
             return Err(CheckpointError::BadMagic);
@@ -184,7 +192,10 @@ impl Checkpoint {
             .and_then(|v| v.parse().ok())
             .ok_or_else(|| CheckpointError::Parse("missing version field".into()))?;
         if version != CKPT_VERSION {
-            return Err(CheckpointError::VersionMismatch { found: version, supported: CKPT_VERSION });
+            return Err(CheckpointError::VersionMismatch {
+                found: version,
+                supported: CKPT_VERSION,
+            });
         }
         let expected_crc: u32 = fields
             .next()
@@ -205,7 +216,10 @@ impl Checkpoint {
         }
         let actual_crc = crc32(payload);
         if actual_crc != expected_crc {
-            return Err(CheckpointError::CrcMismatch { expected: expected_crc, actual: actual_crc });
+            return Err(CheckpointError::CrcMismatch {
+                expected: expected_crc,
+                actual: actual_crc,
+            });
         }
         let payload =
             std::str::from_utf8(payload).map_err(|e| CheckpointError::Parse(e.to_string()))?;
@@ -295,7 +309,10 @@ mod tests {
         let bumped = header.replace("v1", "v2");
         bytes.splice(..header_end, bumped.into_bytes());
         match Checkpoint::from_bytes(&bytes) {
-            Err(CheckpointError::VersionMismatch { found: 2, supported: 1 }) => {}
+            Err(CheckpointError::VersionMismatch {
+                found: 2,
+                supported: 1,
+            }) => {}
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
     }
@@ -322,7 +339,10 @@ mod tests {
         let path = dir.join("state.ckpt");
         let c = sample();
         c.save(&path).unwrap();
-        assert!(!path.with_extension("ckpt.tmp").exists(), "temp file renamed away");
+        assert!(
+            !path.with_extension("ckpt.tmp").exists(),
+            "temp file renamed away"
+        );
         assert_eq!(Checkpoint::load(&path).unwrap(), c);
         // A damaged file on disk is a typed error, not a panic.
         let mut bytes = std::fs::read(&path).unwrap();

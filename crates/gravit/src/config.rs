@@ -45,9 +45,10 @@ impl SpawnKind {
             SpawnKind::UniformBall { radius } => spawn::uniform_ball(n, radius, 1.0, seed),
             SpawnKind::Plummer { a } => spawn::plummer(n, a, 1.0, seed),
             SpawnKind::DiskGalaxy { radius } => spawn::disk_galaxy(n, radius, 1.0, g, seed),
-            SpawnKind::Collision { separation, approach_speed } => {
-                spawn::colliding_galaxies(n / 2, separation, approach_speed, seed)
-            }
+            SpawnKind::Collision {
+                separation,
+                approach_speed,
+            } => spawn::colliding_galaxies(n / 2, separation, approach_speed, seed),
         }
     }
 }
@@ -135,13 +136,19 @@ impl fmt::Display for ConfigError {
                 write!(f, "time step must be positive and finite, got dt = {dt}")
             }
             ConfigError::BadSoftening { softening } => {
-                write!(f, "softening must be non-negative and finite, got {softening}")
+                write!(
+                    f,
+                    "softening must be non-negative and finite, got {softening}"
+                )
             }
             ConfigError::BadGravity { g } => {
                 write!(f, "gravitational constant must be finite, got G = {g}")
             }
             ConfigError::BadOpeningAngle { theta } => {
-                write!(f, "Barnes-Hut opening angle must be positive and finite, got θ = {theta}")
+                write!(
+                    f,
+                    "Barnes-Hut opening angle must be positive and finite, got θ = {theta}"
+                )
             }
         }
     }
@@ -157,7 +164,9 @@ impl SimConfig {
             return Err(ConfigError::BadTimeStep { dt: self.dt });
         }
         if !(self.force.softening >= 0.0 && self.force.softening.is_finite()) {
-            return Err(ConfigError::BadSoftening { softening: self.force.softening });
+            return Err(ConfigError::BadSoftening {
+                softening: self.force.softening,
+            });
         }
         if !self.force.g.is_finite() {
             return Err(ConfigError::BadGravity { g: self.force.g });
@@ -192,22 +201,44 @@ mod tests {
             b.validate();
         }
         // Collision spawns n/2 per galaxy.
-        let b = SpawnKind::Collision { separation: 20.0, approach_speed: 0.5 }.generate(600, 1.0, 7);
+        let b = SpawnKind::Collision {
+            separation: 20.0,
+            approach_speed: 0.5,
+        }
+        .generate(600, 1.0, 7);
         assert_eq!(b.len(), 600);
     }
 
     #[test]
     fn bad_configs_are_typed_errors_not_panics() {
-        let c = SimConfig { dt: 0.0, ..SimConfig::default() };
+        let c = SimConfig {
+            dt: 0.0,
+            ..SimConfig::default()
+        };
         assert_eq!(c.validate(), Err(ConfigError::BadTimeStep { dt: 0.0 }));
-        let c = SimConfig { dt: f32::NAN, ..SimConfig::default() };
+        let c = SimConfig {
+            dt: f32::NAN,
+            ..SimConfig::default()
+        };
         assert!(matches!(c.validate(), Err(ConfigError::BadTimeStep { .. })));
         let mut c = SimConfig::default();
         c.force.softening = -1.0;
-        assert_eq!(c.validate(), Err(ConfigError::BadSoftening { softening: -1.0 }));
-        let c = SimConfig { backend: Backend::BarnesHut { theta: 0.0 }, ..SimConfig::default() };
-        assert!(matches!(c.validate(), Err(ConfigError::BadOpeningAngle { .. })));
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadSoftening { softening: -1.0 })
+        );
+        let c = SimConfig {
+            backend: Backend::BarnesHut { theta: 0.0 },
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadOpeningAngle { .. })
+        ));
         let msg = c.validate().unwrap_err().to_string();
-        assert!(msg.contains("opening angle"), "message must be readable: {msg}");
+        assert!(
+            msg.contains("opening angle"),
+            "message must be readable: {msg}"
+        );
     }
 }

@@ -12,6 +12,8 @@
 //!   simulated-GPU kernel at any optimization level;
 //! * [`model`] — the device frame-time model (Fig. 12's quantity);
 //! * [`sim`] — the time-stepping loop with energy/momentum diagnostics;
+//! * [`pressure`] — per-frame memory planning, chunked streaming execution
+//!   and the full → chunked → CPU degradation ladder;
 //! * [`recovery`] — retry/backoff policy for transient device faults;
 //! * [`checkpoint`] — frame-granular, CRC-protected checkpoint/resume;
 //! * [`recorder`] — JSON frame recording;
@@ -26,6 +28,7 @@ pub mod backend;
 pub mod checkpoint;
 pub mod config;
 pub mod model;
+pub mod pressure;
 pub mod recorder;
 pub mod recovery;
 pub mod render;
@@ -34,5 +37,6 @@ pub mod sim;
 pub use backend::Backend;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ConfigError, Integrator, SimConfig, SpawnKind};
+pub use pressure::{plan_frame, DegradeEvent, ExecMode, MemoryPlan};
 pub use recovery::{BackoffSchedule, RecoveryPolicy, RetryEvent};
 pub use sim::{SimError, Simulation};

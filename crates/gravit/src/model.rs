@@ -78,7 +78,11 @@ pub fn model_frame(level: OptLevel, n: u32, driver: DriverModel) -> FramePoint {
 
 /// Model one Gravit frame for an arbitrary force-kernel configuration.
 /// Returns the decomposition and the registers per thread.
-pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -> (ConfigFrame, u16) {
+pub fn model_frame_config(
+    cfg: ForceKernelConfig,
+    n: u32,
+    driver: DriverModel,
+) -> (ConfigFrame, u16) {
     let dev = DeviceConfig::g8800gtx();
     let tp = TimingParams::for_driver(driver);
     let pcie = PcieModel::pcie1_x16();
@@ -98,7 +102,11 @@ pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -
     for tiles in FIT_TILES {
         let small_n = tiles * cfg.block;
         let particles: Vec<Particle> = (0..small_n)
-            .map(|i| Particle { pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0), vel: Vec3::ZERO, mass: 1.0 })
+            .map(|i| Particle {
+                pos: Vec3::new(i as f32 * 0.01, 1.0, 2.0),
+                vel: Vec3::ZERO,
+                mass: 1.0,
+            })
             .collect();
         let mut gmem = GlobalMemory::new(64 << 20);
         let img = DeviceImage::upload(&mut gmem, cfg.layout, &particles, cfg.block)
@@ -126,8 +134,12 @@ pub fn model_frame_config(cfg: ForceKernelConfig, n: u32, driver: DriverModel) -
     let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
     let kernel_s = (wave_cycles * waves) as f64 / dev.clock_hz;
 
-    let buffer_sizes: Vec<u64> =
-        cfg.layout.buffers().iter().map(|b| b.stride() * padded as u64).collect();
+    let buffer_sizes: Vec<u64> = cfg
+        .layout
+        .buffers()
+        .iter()
+        .map(|b| b.stride() * padded as u64)
+        .collect();
     (
         ConfigFrame {
             upload_s: pcie.copies_time_s(&buffer_sizes),
@@ -149,7 +161,10 @@ mod tests {
         let rolled = model_frame(OptLevel::SoAoaS, n, DriverModel::Cuda10).total_s();
         let unrolled = model_frame(OptLevel::SoAoaSUnrolled, n, DriverModel::Cuda10).total_s();
         let s = rolled / unrolled;
-        assert!((1.1..1.3).contains(&s), "unroll speedup {s:.3} outside the paper's ~1.18 band");
+        assert!(
+            (1.1..1.3).contains(&s),
+            "unroll speedup {s:.3} outside the paper's ~1.18 band"
+        );
     }
 
     #[test]
@@ -158,6 +173,9 @@ mod tests {
         let base = model_frame(OptLevel::Baseline, n, DriverModel::Cuda10).total_s();
         let full = model_frame(OptLevel::Full, n, DriverModel::Cuda10).total_s();
         let s = base / full;
-        assert!((1.15..1.40).contains(&s), "total speedup {s:.3} outside the paper's 1.27 band");
+        assert!(
+            (1.15..1.40).contains(&s),
+            "total speedup {s:.3} outside the paper's 1.27 band"
+        );
     }
 }

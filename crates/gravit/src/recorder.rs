@@ -34,7 +34,11 @@ impl Recording {
     /// New recording sampling every `stride`-th body.
     pub fn new(n: usize, stride: usize) -> Recording {
         assert!(stride >= 1);
-        Recording { n, stride, frames: Vec::new() }
+        Recording {
+            n,
+            stride,
+            frames: Vec::new(),
+        }
     }
 
     /// Capture the current simulation state.
@@ -158,16 +162,25 @@ mod tests {
         rec.write(&path).unwrap();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
-        assert!(!std::path::Path::new(&tmp).exists(), "temp file renamed away");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "temp file renamed away"
+        );
         assert_eq!(Recording::load(&path).unwrap(), rec);
 
         // Truncated JSON: a typed parse error, not a panic.
         let full = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &full[..full.len() / 2]).unwrap();
-        assert!(matches!(Recording::load(&path), Err(RecordingError::Parse(_))));
+        assert!(matches!(
+            Recording::load(&path),
+            Err(RecordingError::Parse(_))
+        ));
         // Valid JSON of the wrong shape: also a parse error.
         std::fs::write(&path, "{\"bogus\": 1}").unwrap();
-        assert!(matches!(Recording::load(&path), Err(RecordingError::Parse(_))));
+        assert!(matches!(
+            Recording::load(&path),
+            Err(RecordingError::Parse(_))
+        ));
         // Missing file: an I/O error.
         assert!(matches!(
             Recording::load(dir.join("nope.json")),

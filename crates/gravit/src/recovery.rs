@@ -27,7 +27,10 @@ pub struct BackoffSchedule {
 
 impl Default for BackoffSchedule {
     fn default() -> Self {
-        BackoffSchedule { base_ms: 0, cap_ms: 1000 }
+        BackoffSchedule {
+            base_ms: 0,
+            cap_ms: 1000,
+        }
     }
 }
 
@@ -57,6 +60,12 @@ pub struct RecoveryPolicy {
     /// killed as a `WatchdogTimeout` (and retried, since the timeout is
     /// transient). `None` disables the watchdog.
     pub watchdog_instructions: Option<u64>,
+    /// Simulated device-memory capacity in bytes. `None` sizes the device to
+    /// the frame (unconstrained). With a capacity set, every GPU frame is
+    /// admission-checked against it and degrades down the ladder —
+    /// full → chunked streaming → CPU — instead of faulting mid-upload (see
+    /// [`crate::pressure`]).
+    pub device_capacity: Option<u64>,
 }
 
 impl Default for RecoveryPolicy {
@@ -66,6 +75,7 @@ impl Default for RecoveryPolicy {
             backoff: BackoffSchedule::default(),
             checkpoint_every: 0,
             watchdog_instructions: None,
+            device_capacity: None,
         }
     }
 }
@@ -90,7 +100,10 @@ mod tests {
 
     #[test]
     fn backoff_is_exponential_and_capped() {
-        let b = BackoffSchedule { base_ms: 10, cap_ms: 60 };
+        let b = BackoffSchedule {
+            base_ms: 10,
+            cap_ms: 60,
+        };
         assert_eq!(b.delay_ms(0), 10);
         assert_eq!(b.delay_ms(1), 20);
         assert_eq!(b.delay_ms(2), 40);
@@ -108,9 +121,13 @@ mod tests {
     fn policy_round_trips_through_json() {
         let p = RecoveryPolicy {
             max_retries: 5,
-            backoff: BackoffSchedule { base_ms: 2, cap_ms: 100 },
+            backoff: BackoffSchedule {
+                base_ms: 2,
+                cap_ms: 100,
+            },
             checkpoint_every: 16,
             watchdog_instructions: Some(1 << 20),
+            device_capacity: Some(1 << 20),
         };
         let json = serde_json::to_string(&p).expect("serialize");
         let back: RecoveryPolicy = serde_json::from_str(&json).expect("deserialize");

@@ -95,7 +95,11 @@ pub fn render_frame(frame: &Frame, width: usize, height: usize, bounds: f32) -> 
         .into_iter()
         .map(|c| ((c as f32 / max).sqrt() * 255.0).round() as u8)
         .collect();
-    GrayImage { width, height, pixels }
+    GrayImage {
+        width,
+        height,
+        pixels,
+    }
 }
 
 /// Auto-fit bounds: the largest |x|,|y| across all frames, padded 10 %.
@@ -126,7 +130,12 @@ mod tests {
     use super::*;
 
     fn frame_with(positions: Vec<[f32; 3]>) -> Frame {
-        Frame { time: 0.0, step: 0, positions, energy_drift: 0.0 }
+        Frame {
+            time: 0.0,
+            step: 0,
+            positions,
+            energy_drift: 0.0,
+        }
     }
 
     #[test]
@@ -157,7 +166,10 @@ mod tests {
             .find(|&(x, y)| img.at(x, y) > 0)
             .map(|(_, y)| y)
             .unwrap();
-        assert!(bright_y < 8, "bright pixel at row {bright_y}, expected near the top");
+        assert!(
+            bright_y < 8,
+            "bright pixel at row {bright_y}, expected near the top"
+        );
     }
 
     #[test]
@@ -175,13 +187,17 @@ mod tests {
         let lines: Vec<&str> = a.lines().collect();
         assert!(lines.iter().all(|l| l.chars().count() == 32));
         assert!(lines.len() >= 4);
-        assert!(a.contains('@') || a.contains('%'), "the splat should be visible");
+        assert!(
+            a.contains('@') || a.contains('%'),
+            "the splat should be visible"
+        );
     }
 
     #[test]
     fn auto_bounds_covers_everything() {
         let mut rec = Recording::new(2, 1);
-        rec.frames.push(frame_with(vec![[3.0, -7.0, 0.0], [1.0, 2.0, 0.0]]));
+        rec.frames
+            .push(frame_with(vec![[3.0, -7.0, 0.0], [1.0, 2.0, 0.0]]));
         let b = auto_bounds(&rec);
         assert!((b - 7.7).abs() < 1e-4);
     }

@@ -112,15 +112,27 @@ impl Simulation {
             let p = ckpt.pos[i];
             let v = ckpt.vel[i];
             bodies.push(
-                Vec3 { x: p[0], y: p[1], z: p[2] },
-                Vec3 { x: v[0], y: v[1], z: v[2] },
+                Vec3 {
+                    x: p[0],
+                    y: p[1],
+                    z: p[2],
+                },
+                Vec3 {
+                    x: v[0],
+                    y: v[1],
+                    z: v[2],
+                },
                 ckpt.mass[i],
             );
         }
         let accels = ckpt
             .accels
             .iter()
-            .map(|a| Vec3 { x: a[0], y: a[1], z: a[2] })
+            .map(|a| Vec3 {
+                x: a[0],
+                y: a[1],
+                z: a[2],
+            })
             .collect();
         Ok(Simulation {
             config,
@@ -190,8 +202,9 @@ impl Simulation {
                 // error abandons the simulation state.)
                 let mut pending: Option<DeviceError> = None;
                 let mut reports: Vec<FaultReport> = Vec::new();
-                self.accels = step_leapfrog(&mut self.bodies, &self.accels, dt, None, |b| {
-                    match backend.accelerations_recovering(b, &force, policy, &recovery, plan.as_mut())
+                self.accels =
+                    step_leapfrog(&mut self.bodies, &self.accels, dt, None, |b| match backend
+                        .accelerations_recovering(b, &force, policy, &recovery, plan.as_mut())
                     {
                         Ok(r) => {
                             reports.extend(r.fault);
@@ -201,8 +214,7 @@ impl Simulation {
                             pending = Some(e);
                             vec![Vec3::ZERO; b.len()]
                         }
-                    }
-                });
+                    });
                 self.fault_plan = plan;
                 self.fault_reports.extend(reports);
                 if let Some(e) = pending {
@@ -307,7 +319,10 @@ mod tests {
             .map(|i| (sim.bodies.mass[i] * sim.bodies.vel[i].norm()) as f64)
             .sum();
         assert!(m0 <= 1e-6);
-        assert!(m1 < 1e-3 * scale.max(1e-9), "momentum {m1} vs scale {scale}");
+        assert!(
+            m1 < 1e-3 * scale.max(1e-9),
+            "momentum {m1} vs scale {scale}"
+        );
     }
 
     #[test]
@@ -325,7 +340,10 @@ mod tests {
 
     #[test]
     fn empty_simulation_runs_without_crashing() {
-        let cfg = SimConfig { n: 0, ..small_config(Backend::CpuParallel) };
+        let cfg = SimConfig {
+            n: 0,
+            ..small_config(Backend::CpuParallel)
+        };
         let mut sim = Simulation::new(cfg).unwrap();
         sim.run(3).unwrap();
         assert_eq!(sim.steps, 3);

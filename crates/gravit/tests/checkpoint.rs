@@ -21,7 +21,11 @@ fn config(n: usize, seed: u64, euler: bool) -> SimConfig {
         spawn: SpawnKind::UniformBall { radius: 3.0 },
         seed,
         dt: 0.01,
-        integrator: if euler { Integrator::Euler } else { Integrator::Leapfrog },
+        integrator: if euler {
+            Integrator::Euler
+        } else {
+            Integrator::Leapfrog
+        },
         backend: Backend::CpuSerial,
         ..SimConfig::default()
     }
@@ -31,8 +35,10 @@ fn config(n: usize, seed: u64, euler: bool) -> SimConfig {
 /// history.
 fn sample_report() -> FaultReport {
     FaultReport {
-        error: DeviceError::new(FaultKind::TransientLaunch { reason: "spurious".into() })
-            .with_kernel("force_soaos"),
+        error: DeviceError::new(FaultKind::TransientLaunch {
+            reason: "spurious".into(),
+        })
+        .with_kernel("force_soaos"),
         degraded_from: "gpu-sim[SoAoaS]".into(),
         degraded_to: "gpu-sim[SoAoaS] (retry 1)".into(),
         retries: vec![RetryEvent {
@@ -40,6 +46,11 @@ fn sample_report() -> FaultReport {
             fault: "TransientLaunch".into(),
             detail: "spurious".into(),
             backoff_ms: 0,
+        }],
+        ladder: vec![gravit_app::pressure::DegradeEvent {
+            from: "full".into(),
+            to: "chunked(c=128)".into(),
+            reason: "device out of memory: requested 1024 B with 512 B free of 512 B".into(),
         }],
     }
 }
@@ -100,7 +111,10 @@ fn killed_and_resumed_run_matches_uninterrupted_run_bitwise() {
     let mut resumed = Simulation::resume(cfg(), &ckpt).unwrap();
     resumed.run(12 - resumed.steps).unwrap();
     assert_eq!(resumed.steps, straight.steps);
-    assert_eq!(resumed.bodies, straight.bodies, "trajectory must be bit-identical");
+    assert_eq!(
+        resumed.bodies, straight.bodies,
+        "trajectory must be bit-identical"
+    );
     assert_eq!(resumed.accels, straight.accels);
     assert_eq!(resumed.time.to_bits(), straight.time.to_bits());
     std::fs::remove_dir_all(&dir).ok();
@@ -133,9 +147,15 @@ fn resuming_under_a_different_config_is_a_typed_mismatch() {
     let variants = [
         config(9, 1, true),
         config(8, 2, true),
-        SimConfig { dt: 0.02, ..config(8, 1, true) },
+        SimConfig {
+            dt: 0.02,
+            ..config(8, 1, true)
+        },
         config(8, 1, false),
-        SimConfig { backend: Backend::CpuParallel, ..config(8, 1, true) },
+        SimConfig {
+            backend: Backend::CpuParallel,
+            ..config(8, 1, true)
+        },
     ];
     for (i, cfg) in variants.into_iter().enumerate() {
         match Simulation::resume(cfg, &ckpt) {

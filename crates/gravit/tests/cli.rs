@@ -33,11 +33,17 @@ fn run_record_render_pipeline() {
     let rec = dir.join("rec.json");
 
     let out = gravit()
-        .args(["run", "--n", "512", "--steps", "10", "--spawn", "disk", "--record"])
+        .args([
+            "run", "--n", "512", "--steps", "10", "--spawn", "disk", "--record",
+        ])
         .arg(&rec)
         .output()
         .expect("run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("energy drift"), "missing diagnostics: {text}");
     assert!(rec.exists());
@@ -50,7 +56,11 @@ fn run_record_render_pipeline() {
         .arg(&frames)
         .output()
         .expect("render");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(frames.join("frame_0000.pgm").exists());
 
     std::fs::remove_dir_all(&dir).unwrap();
@@ -68,6 +78,106 @@ fn gpu_backend_runs_from_the_cli() {
 }
 
 #[test]
+fn dry_run_prints_the_memory_plan_without_running() {
+    let out = gravit()
+        .args([
+            "run",
+            "--n",
+            "960",
+            "--backend",
+            "gpu",
+            "--device-mem",
+            "11712",
+            "--dry-run",
+        ])
+        .output()
+        .expect("dry run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("memory plan: n=960"), "{text}");
+    assert!(text.contains("frame budget:"), "{text}");
+    assert!(
+        text.contains("PosMass4"),
+        "per-buffer breakdown expected: {text}"
+    );
+    assert!(
+        text.contains("mode: chunked, 128 bodies per chunk"),
+        "{text}"
+    );
+    assert!(text.contains("degrade full -> chunked"), "{text}");
+    assert!(!text.contains("done:"), "dry run must not simulate: {text}");
+
+    // Suffixed capacities parse; an ample one plans full residency.
+    let out = gravit()
+        .args([
+            "run",
+            "--n",
+            "960",
+            "--backend",
+            "gpu",
+            "--device-mem",
+            "64M",
+            "--dry-run",
+        ])
+        .output()
+        .expect("dry run");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("mode: full"), "{text}");
+
+    // A malformed capacity is a usage error.
+    let out = gravit()
+        .args([
+            "run",
+            "--n",
+            "64",
+            "--backend",
+            "gpu",
+            "--device-mem",
+            "lots",
+            "--dry-run",
+        ])
+        .output()
+        .expect("dry run");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn constrained_gpu_run_completes_with_chunked_attribution() {
+    let out = gravit()
+        .args([
+            "run",
+            "--n",
+            "256",
+            "--steps",
+            "2",
+            "--backend",
+            "gpu",
+            "--device-mem",
+            "12K",
+        ])
+        .output()
+        .expect("constrained run");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("energy drift"), "run must complete: {text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("degrade full -> chunked"),
+        "ladder must be reported: {err}"
+    );
+    assert!(!err.contains("panicked"), "never a panic: {err}");
+}
+
+#[test]
 fn invalid_config_exits_2_with_a_readable_message() {
     let out = gravit()
         .args(["run", "--n", "16", "--steps", "1", "--dt", "0"])
@@ -75,7 +185,10 @@ fn invalid_config_exits_2_with_a_readable_message() {
         .expect("run");
     assert_eq!(out.status.code(), Some(2), "config errors are usage errors");
     let err = String::from_utf8_lossy(&out.stderr);
-    assert!(err.contains("time step"), "message must name the problem: {err}");
+    assert!(
+        err.contains("time step"),
+        "message must name the problem: {err}"
+    );
     assert!(!err.contains("panicked"), "never a panic: {err}");
 }
 
@@ -83,7 +196,9 @@ fn invalid_config_exits_2_with_a_readable_message() {
 fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
     let dir = std::env::temp_dir().join(format!("gravit_cli_ckpt_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    let common = ["--n", "128", "--spawn", "ball", "--seed", "5", "--dt", "0.01"];
+    let common = [
+        "--n", "128", "--spawn", "ball", "--seed", "5", "--dt", "0.01",
+    ];
 
     // Reference: 12 steps uninterrupted, recorded.
     let ref_rec = dir.join("ref.json");
@@ -94,7 +209,11 @@ fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
         .arg(&ref_rec)
         .output()
         .expect("reference run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // "Killed" run: stops at step 6, leaving a checkpoint every 3 steps.
     let ckpt = dir.join("state.ckpt");
@@ -105,7 +224,11 @@ fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
         .arg(&ckpt)
         .output()
         .expect("first half");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(ckpt.exists(), "checkpoint written");
 
     // Resume to the same total step count, recording the tail.
@@ -119,7 +242,11 @@ fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
         .arg(&res_rec)
         .output()
         .expect("resumed run");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("resumed from"));
 
     // The final recorded frame (step 10 = last multiple of 5) must agree
@@ -131,7 +258,10 @@ fn checkpoint_resume_finishes_bit_identical_to_uninterrupted_run() {
     let last = |v: &serde_json::Value| v["frames"].as_array().unwrap().last().unwrap().clone();
     let (a, b) = (last(&ref_json), last(&res_json));
     assert_eq!(a["step"], b["step"]);
-    assert_eq!(a["positions"], b["positions"], "resumed trajectory must be bit-identical");
+    assert_eq!(
+        a["positions"], b["positions"],
+        "resumed trajectory must be bit-identical"
+    );
 
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -319,7 +319,11 @@ fn main() -> ExitCode {
                     println!("  GATE: {v}");
                 }
             }
-            entries.push(JsonEntry { driver: driver.label().to_string(), violations, report: enriched });
+            entries.push(JsonEntry {
+                driver: driver.label().to_string(),
+                violations,
+                report: enriched,
+            });
         }
     }
 
@@ -332,7 +336,10 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        let n_err: usize = entries.iter().filter(|e| e.report.report.has_errors()).count();
+        let n_err: usize = entries
+            .iter()
+            .filter(|e| e.report.report.has_errors())
+            .count();
         let n_viol: usize = entries.iter().map(|e| e.violations.len()).sum();
         println!(
             "linted {} kernel run(s): {} with error-severity findings, {} gate violation(s)",

@@ -38,7 +38,11 @@ pub fn build_bank_kernel(stride_words: u32, iters: u32) -> Kernel {
     // Seed shared memory (each thread writes its own word, conflict-free).
     let seed_addr = b.imul(tid.into(), Operand::ImmU(4));
     let tf = b.reg();
-    b.emit(gpu_sim::ir::Instr::Unary { op: gpu_sim::ir::UnaryOp::U2F, dst: tf, a: tid.into() });
+    b.emit(gpu_sim::ir::Instr::Unary {
+        op: gpu_sim::ir::UnaryOp::U2F,
+        dst: tf,
+        a: tid.into(),
+    });
     b.st(MemSpace::Shared, seed_addr, 0, vec![tf.into()]);
     b.sync();
 
@@ -80,9 +84,18 @@ mod tests {
         let mut gmem = GlobalMemory::new(1 << 16);
         let d = gmem.alloc(128 * 4).unwrap();
         let s = gmem.alloc(128 * 4).unwrap();
-        let run =
-            time_resident(&k, &[0], 128, 1, &[d.0 as u32, s.0 as u32], &mut gmem, &dev, DriverModel::Cuda10, &tp)
-                .unwrap();
+        let run = time_resident(
+            &k,
+            &[0],
+            128,
+            1,
+            &[d.0 as u32, s.0 as u32],
+            &mut gmem,
+            &dev,
+            DriverModel::Cuda10,
+            &tp,
+        )
+        .unwrap();
         run.cycles
     }
 
@@ -91,8 +104,14 @@ mod tests {
         let free = timed_cycles(1);
         let four_way = timed_cycles(4);
         let full = timed_cycles(16);
-        assert!(four_way > free, "4-way conflicts must cost more: {four_way} vs {free}");
-        assert!(full > four_way, "16-way must cost more than 4-way: {full} vs {four_way}");
+        assert!(
+            four_way > free,
+            "4-way conflicts must cost more: {four_way} vs {free}"
+        );
+        assert!(
+            full > four_way,
+            "16-way must cost more than 4-way: {full} vs {four_way}"
+        );
         // Odd strides are conflict-free regardless of magnitude.
         let odd = timed_cycles(5);
         assert!(
@@ -115,7 +134,11 @@ mod tests {
             let word = (t as u32 * stride) & (SMEM_WORDS - 1);
             // smem[word] was seeded with `word as f32` (only the first 64
             // words are seeded here; strided targets ≥ 64 read zero).
-            let expect = if word < 64 { iters as f32 * word as f32 } else { 0.0 };
+            let expect = if word < 64 {
+                iters as f32 * word as f32
+            } else {
+                0.0
+            };
             assert_eq!(*v, expect, "thread {t}");
         }
     }
@@ -124,7 +147,15 @@ mod tests {
     fn kernel_pattern_matches_model_degree() {
         // The addresses the kernel generates have exactly the analytic
         // conflict degree for a half-warp.
-        for (stride, expected) in [(1u32, 1u32), (2, 2), (4, 4), (8, 8), (16, 16), (3, 1), (5, 1)] {
+        for (stride, expected) in [
+            (1u32, 1u32),
+            (2, 2),
+            (4, 4),
+            (8, 8),
+            (16, 16),
+            (3, 1),
+            (5, 1),
+        ] {
             let addrs: Vec<Option<u64>> = (0..16)
                 .map(|t| Some((((t * stride) & (SMEM_WORDS - 1)) * 4) as u64))
                 .collect();

@@ -37,7 +37,10 @@ pub struct BhKernelConfig {
 impl BhKernelConfig {
     /// A G80-friendly default: 64-thread blocks, 48-deep stacks (12 KiB).
     pub fn g80_default() -> BhKernelConfig {
-        BhKernelConfig { block: 64, depth: 48 }
+        BhKernelConfig {
+            block: 64,
+            depth: 48,
+        }
     }
 
     /// Shared memory the kernel declares.
@@ -127,41 +130,56 @@ pub fn build_bh_kernel(cfg: BhKernelConfig) -> Kernel {
                     is_internal,
                     |b| {
                         // Push children ascending.
-                        b.for_loop(Operand::ImmU(0), Operand::ImmU(LINEAR_FANOUT as u32), 1, |b, cix| {
-                            let in_range = b.setp(CmpOp::ULt, cix.into(), nchild.into());
-                            b.if_then(in_range, |b| {
-                                let child = b.iadd(first.into(), cix.into());
-                                let pa = b.mad_u(sp.into(), stride, slot.into());
-                                b.st(MemSpace::Shared, pa, 0, vec![child.into()]);
-                                b.alu_into(sp, AluOp::IAdd, sp.into(), Operand::ImmU(1));
-                            });
-                        });
+                        b.for_loop(
+                            Operand::ImmU(0),
+                            Operand::ImmU(LINEAR_FANOUT as u32),
+                            1,
+                            |b, cix| {
+                                let in_range = b.setp(CmpOp::ULt, cix.into(), nchild.into());
+                                b.if_then(in_range, |b| {
+                                    let child = b.iadd(first.into(), cix.into());
+                                    let pa = b.mad_u(sp.into(), stride, slot.into());
+                                    b.st(MemSpace::Shared, pa, 0, vec![child.into()]);
+                                    b.alu_into(sp, AluOp::IAdd, sp.into(), Operand::ImmU(1));
+                                });
+                            },
+                        );
                     },
                     |b| {
                         // Leaf: accumulate members.
-                        b.for_loop(Operand::ImmU(0), Operand::ImmU(LINEAR_LEAF_CAP as u32), 1, |b, j| {
-                            let in_range = b.setp(CmpOp::ULt, j.into(), nbody.into());
-                            b.if_then(in_range, |b| {
-                                let bi = b.iadd(first.into(), j.into());
-                                let ba = b.mad_u(bi.into(), Operand::ImmU(16), bodies.into());
-                                let body = b.ld(MemSpace::Global, ba, 0, 4);
-                                let bdx = b.fsub(body[0].into(), px.into());
-                                let bdy = b.fsub(body[1].into(), py.into());
-                                let bdz = b.fsub(body[2].into(), pz.into());
-                                let bt = b.fmul(bdx.into(), bdx.into());
-                                b.fmad_into(bt, bdy.into(), bdy.into(), bt.into());
-                                b.fmad_into(bt, bdz.into(), bdz.into(), bt.into());
-                                let r2 = b.fadd(bt.into(), eps2.into());
-                                b.alu_into(r2, AluOp::FMax, r2.into(), Operand::ImmF(MIN_DIST_SQ));
-                                let rinv = b.frsqrt(r2.into());
-                                let rc = b.fmul(rinv.into(), rinv.into());
-                                b.alu_into(rc, AluOp::FMul, rc.into(), rinv.into());
-                                let s = b.fmul(body[3].into(), rc.into());
-                                b.fmad_into(ax, bdx.into(), s.into(), ax.into());
-                                b.fmad_into(ay, bdy.into(), s.into(), ay.into());
-                                b.fmad_into(az, bdz.into(), s.into(), az.into());
-                            });
-                        });
+                        b.for_loop(
+                            Operand::ImmU(0),
+                            Operand::ImmU(LINEAR_LEAF_CAP as u32),
+                            1,
+                            |b, j| {
+                                let in_range = b.setp(CmpOp::ULt, j.into(), nbody.into());
+                                b.if_then(in_range, |b| {
+                                    let bi = b.iadd(first.into(), j.into());
+                                    let ba = b.mad_u(bi.into(), Operand::ImmU(16), bodies.into());
+                                    let body = b.ld(MemSpace::Global, ba, 0, 4);
+                                    let bdx = b.fsub(body[0].into(), px.into());
+                                    let bdy = b.fsub(body[1].into(), py.into());
+                                    let bdz = b.fsub(body[2].into(), pz.into());
+                                    let bt = b.fmul(bdx.into(), bdx.into());
+                                    b.fmad_into(bt, bdy.into(), bdy.into(), bt.into());
+                                    b.fmad_into(bt, bdz.into(), bdz.into(), bt.into());
+                                    let r2 = b.fadd(bt.into(), eps2.into());
+                                    b.alu_into(
+                                        r2,
+                                        AluOp::FMax,
+                                        r2.into(),
+                                        Operand::ImmF(MIN_DIST_SQ),
+                                    );
+                                    let rinv = b.frsqrt(r2.into());
+                                    let rc = b.fmul(rinv.into(), rinv.into());
+                                    b.alu_into(rc, AluOp::FMul, rc.into(), rinv.into());
+                                    let s = b.fmul(body[3].into(), rc.into());
+                                    b.fmad_into(ax, bdx.into(), s.into(), ax.into());
+                                    b.fmad_into(ay, bdy.into(), s.into(), ay.into());
+                                    b.fmad_into(az, bdz.into(), s.into(), az.into());
+                                });
+                            },
+                        );
                     },
                 );
             },
@@ -170,7 +188,12 @@ pub fn build_bh_kernel(cfg: BhKernelConfig) -> Kernel {
         b.setp(CmpOp::UNe, sp.into(), Operand::ImmU(0))
     });
 
-    b.st(MemSpace::Global, oaddr, 0, vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)]);
+    b.st(
+        MemSpace::Global,
+        oaddr,
+        0,
+        vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)],
+    );
     b.finish()
 }
 
@@ -214,7 +237,11 @@ pub fn upload_bh(
         let ma = meta.0 + 16 * n as u64;
         gmem.store_f32(ma, lt.side_sq[n])?;
         // first_child for internal nodes, body_start for leaves.
-        let first = if lt.meta[n][1] > 0 { lt.meta[n][0] } else { lt.meta[n][2] };
+        let first = if lt.meta[n][1] > 0 {
+            lt.meta[n][0]
+        } else {
+            lt.meta[n][2]
+        };
         gmem.store_u32(ma + 4, first)?;
         gmem.store_u32(ma + 8, lt.meta[n][1])?;
         gmem.store_u32(ma + 12, lt.meta[n][3])?;
@@ -225,7 +252,10 @@ pub fn upload_bh(
             gmem.store_f32(bodies.0 + 16 * k as u64 + 4 * w as u64, *v)?;
         }
     }
-    Ok((vec![pos.0 as u32, com.0 as u32, meta.0 as u32, bodies.0 as u32], padded))
+    Ok((
+        vec![pos.0 as u32, com.0 as u32, meta.0 as u32, bodies.0 as u32],
+        padded,
+    ))
 }
 
 #[cfg(test)]
@@ -260,10 +290,19 @@ mod tests {
     #[test]
     fn gpu_traversal_matches_cpu_kernel_order_bitwise() {
         let b = spawn::plummer(500, 1.0, 2.0, 31);
-        let fp = ForceParams { g: 1.0, softening: 0.05 };
+        let fp = ForceParams {
+            g: 1.0,
+            softening: 0.05,
+        };
         let lt = LinearTree::from_bodies(&b, fp.g);
         let theta = 0.5f32;
-        let gpu = run_bh(&lt, &b.pos, theta, fp.softening, BhKernelConfig::g80_default());
+        let gpu = run_bh(
+            &lt,
+            &b.pos,
+            theta,
+            fp.softening,
+            BhKernelConfig::g80_default(),
+        );
         for (i, g) in gpu.iter().enumerate() {
             let cpu = lt.accel_kernel_order(b.pos[i], theta * theta, fp.eps_sq());
             assert_eq!(cpu.x.to_bits(), g.x.to_bits(), "body {i} x");
@@ -277,7 +316,13 @@ mod tests {
         let b = spawn::uniform_ball(400, 6.0, 1.0, 8);
         let fp = ForceParams::default();
         let lt = LinearTree::from_bodies(&b, fp.g);
-        let gpu = run_bh(&lt, &b.pos, 0.35, fp.softening, BhKernelConfig::g80_default());
+        let gpu = run_bh(
+            &lt,
+            &b.pos,
+            0.35,
+            fp.softening,
+            BhKernelConfig::g80_default(),
+        );
         let direct = accelerations(&b, &fp);
         for i in (0..b.len()).step_by(13) {
             let err = (gpu[i] - direct[i]).norm() / direct[i].norm().max(1e-9);
@@ -297,13 +342,27 @@ mod tests {
     fn kernel_resources_fit_the_device() {
         let cfg = BhKernelConfig::g80_default();
         let k = build_bh_kernel(cfg);
-        assert!(k.smem_bytes <= 16 * 1024 - 256, "stack must fit G80 shared memory");
+        assert!(
+            k.smem_bytes <= 16 * 1024 - 256,
+            "stack must fit G80 shared memory"
+        );
         let regs = gpu_sim::ir::regalloc::register_demand(&k).regs_per_thread;
-        assert!(regs <= 32, "traversal kernel registers {regs} out of CC-1.x range");
+        assert!(
+            regs <= 32,
+            "traversal kernel registers {regs} out of CC-1.x range"
+        );
         // It must be *launchable*:
-        let occ = gpu_sim::occupancy::occupancy(&gpu_sim::DeviceConfig::g8800gtx(), cfg.block, regs as u32, k.smem_bytes);
+        let occ = gpu_sim::occupancy::occupancy(
+            &gpu_sim::DeviceConfig::g8800gtx(),
+            cfg.block,
+            regs as u32,
+            k.smem_bytes,
+        );
         assert!(occ.active_blocks >= 1);
         // ... but at poor occupancy — part of why the paper avoided it.
-        assert!(occ.fraction() <= 0.5, "BH kernel should be resource-starved on G80");
+        assert!(
+            occ.fraction() <= 0.5,
+            "BH kernel should be resource-starved on G80"
+        );
     }
 }

@@ -98,14 +98,42 @@ impl OptLevel {
     /// as the paper does.
     pub fn config(self) -> ForceKernelConfig {
         match self {
-            OptLevel::Baseline => ForceKernelConfig { layout: Layout::Unopt, block: 192, unroll: 1, icm: false },
-            OptLevel::SoA => ForceKernelConfig { layout: Layout::SoA, block: 192, unroll: 1, icm: false },
-            OptLevel::AoaS => ForceKernelConfig { layout: Layout::AoaS, block: 192, unroll: 1, icm: false },
-            OptLevel::SoAoaS => ForceKernelConfig { layout: Layout::SoAoaS, block: 192, unroll: 1, icm: false },
-            OptLevel::SoAoaSUnrolled => {
-                ForceKernelConfig { layout: Layout::SoAoaS, block: 192, unroll: 192, icm: false }
-            }
-            OptLevel::Full => ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true },
+            OptLevel::Baseline => ForceKernelConfig {
+                layout: Layout::Unopt,
+                block: 192,
+                unroll: 1,
+                icm: false,
+            },
+            OptLevel::SoA => ForceKernelConfig {
+                layout: Layout::SoA,
+                block: 192,
+                unroll: 1,
+                icm: false,
+            },
+            OptLevel::AoaS => ForceKernelConfig {
+                layout: Layout::AoaS,
+                block: 192,
+                unroll: 1,
+                icm: false,
+            },
+            OptLevel::SoAoaS => ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 192,
+                unroll: 1,
+                icm: false,
+            },
+            OptLevel::SoAoaSUnrolled => ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 192,
+                unroll: 192,
+                icm: false,
+            },
+            OptLevel::Full => ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 128,
+                unroll: 128,
+                icm: true,
+            },
         }
     }
 }
@@ -123,8 +151,14 @@ impl core::fmt::Display for OptLevel {
 /// (ε as raw f32 bits) and `smem0` (the shared-memory tile base, always 0 —
 /// a param so address folding can express "base + hard-coded offset").
 pub fn build_force_kernel(cfg: ForceKernelConfig) -> Kernel {
-    assert!(cfg.block > 0 && cfg.block.is_multiple_of(32), "block must be a warp multiple");
-    assert!(cfg.unroll >= 1 && cfg.block.is_multiple_of(cfg.unroll), "unroll must divide the block size");
+    assert!(
+        cfg.block > 0 && cfg.block.is_multiple_of(32),
+        "block must be a warp multiple"
+    );
+    assert!(
+        cfg.unroll >= 1 && cfg.block.is_multiple_of(cfg.unroll),
+        "unroll must divide the block size"
+    );
     let mut k = build_baseline(cfg);
     if cfg.icm {
         k = licm(&k);
@@ -178,7 +212,12 @@ fn build_baseline(cfg: ForceKernelConfig) -> Kernel {
     b.for_loop(tid.into(), n.into(), cfg.block, |b, jj| {
         let tile = load_posmass(b, &plan, &bufs, jj);
         let (tpx, tpy, tpz, tm) = extract(&tile, lanes);
-        b.st(MemSpace::Shared, myslot, 0, vec![tpx.into(), tpy.into(), tpz.into(), tm.into()]);
+        b.st(
+            MemSpace::Shared,
+            myslot,
+            0,
+            vec![tpx.into(), tpy.into(), tpz.into(), tm.into()],
+        );
         b.sync();
 
         // --- P: the innermost loop over the tile ------------------------
@@ -208,13 +247,23 @@ fn build_baseline(cfg: ForceKernelConfig) -> Kernel {
     });
 
     // --- epilogue: write the accumulated acceleration as a float4 -------
-    b.st(MemSpace::Global, oaddr, 0, vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)]);
+    b.st(
+        MemSpace::Global,
+        oaddr,
+        0,
+        vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)],
+    );
     b.finish()
 }
 
 /// Emit the posmass reads of `plan` for element index `idx`; returns the
 /// loaded registers grouped per read.
-fn load_posmass(b: &mut KernelBuilder, plan: &particle_layouts::ReadPlan, bufs: &[Reg], idx: Reg) -> Vec<Vec<Reg>> {
+fn load_posmass(
+    b: &mut KernelBuilder,
+    plan: &particle_layouts::ReadPlan,
+    bufs: &[Reg],
+    idx: Reg,
+) -> Vec<Vec<Reg>> {
     plan.reads
         .iter()
         .map(|r| {
@@ -224,7 +273,10 @@ fn load_posmass(b: &mut KernelBuilder, plan: &particle_layouts::ReadPlan, bufs: 
         .collect()
 }
 
-fn extract(reads: &[Vec<Reg>], lanes: particle_layouts::plan::PosMassLanes) -> (Reg, Reg, Reg, Reg) {
+fn extract(
+    reads: &[Vec<Reg>],
+    lanes: particle_layouts::plan::PosMassLanes,
+) -> (Reg, Reg, Reg, Reg) {
     (
         reads[lanes.px.0][lanes.px.1],
         reads[lanes.py.0][lanes.py.1],
@@ -259,12 +311,20 @@ mod tests {
 
     fn to_particles(bodies: &Bodies, g: f32) -> Vec<Particle> {
         (0..bodies.len())
-            .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: g * bodies.mass[i] })
+            .map(|i| Particle {
+                pos: bodies.pos[i],
+                vel: bodies.vel[i],
+                mass: g * bodies.mass[i],
+            })
             .collect()
     }
 
     /// Run a force kernel functionally and return the accelerations.
-    fn run_kernel(cfg: ForceKernelConfig, bodies: &Bodies, params: &ForceParams) -> Vec<simcore::Vec3> {
+    fn run_kernel(
+        cfg: ForceKernelConfig,
+        bodies: &Bodies,
+        params: &ForceParams,
+    ) -> Vec<simcore::Vec3> {
         let k = build_force_kernel(cfg);
         let mut gmem = GlobalMemory::new(64 << 20);
         let ps = to_particles(bodies, params.g);
@@ -294,7 +354,12 @@ mod tests {
         let cpu = accelerations(&bodies, &fp);
         // Padding must not change physics: CPU over unpadded == kernel over padded.
         for layout in Layout::ALL {
-            let cfg = ForceKernelConfig { layout, block: 128, unroll: 1, icm: false };
+            let cfg = ForceKernelConfig {
+                layout,
+                block: 128,
+                unroll: 1,
+                icm: false,
+            };
             let gpu = run_kernel(cfg, &bodies, &fp);
             assert_bitwise_eq(&cpu, &gpu, layout.label());
         }
@@ -303,10 +368,18 @@ mod tests {
     #[test]
     fn unroll_and_icm_preserve_results_bitwise() {
         let bodies = spawn::disk_galaxy(150, 4.0, 1.0, 1.0, 7);
-        let fp = ForceParams { g: 1.0, softening: 0.02 };
+        let fp = ForceParams {
+            g: 1.0,
+            softening: 0.02,
+        };
         let cpu = accelerations(&bodies, &fp);
         for (unroll, icm) in [(1, true), (4, false), (32, true), (128, false), (128, true)] {
-            let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll, icm };
+            let cfg = ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 128,
+                unroll,
+                icm,
+            };
             let gpu = run_kernel(cfg, &bodies, &fp);
             assert_bitwise_eq(&cpu, &gpu, &format!("unroll={unroll},icm={icm}"));
         }
@@ -315,9 +388,17 @@ mod tests {
     #[test]
     fn non_unit_g_is_baked_into_masses() {
         let bodies = spawn::uniform_ball(100, 3.0, 2.0, 5);
-        let fp = ForceParams { g: 6.674e-3, softening: 0.05 };
+        let fp = ForceParams {
+            g: 6.674e-3,
+            softening: 0.05,
+        };
         let cpu = accelerations(&bodies, &fp);
-        let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true };
+        let cfg = ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block: 128,
+            unroll: 128,
+            icm: true,
+        };
         let gpu = run_kernel(cfg, &bodies, &fp);
         assert_bitwise_eq(&cpu, &gpu, "g-scaled");
     }
@@ -395,7 +476,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn non_warp_multiple_block_rejected() {
-        build_force_kernel(ForceKernelConfig { layout: Layout::SoA, block: 100, unroll: 1, icm: false });
+        build_force_kernel(ForceKernelConfig {
+            layout: Layout::SoA,
+            block: 100,
+            unroll: 1,
+            icm: false,
+        });
     }
 }
 
@@ -408,7 +494,11 @@ mod tests {
 /// push the kernel off its occupancy step — latency hiding bought by losing
 /// warps. SoAoaS-only (one float4 per tile element).
 pub fn build_force_kernel_prefetch(cfg: ForceKernelConfig) -> Kernel {
-    assert_eq!(cfg.layout, Layout::SoAoaS, "prefetch variant is built for the tuned layout");
+    assert_eq!(
+        cfg.layout,
+        Layout::SoAoaS,
+        "prefetch variant is built for the tuned layout"
+    );
     assert!(cfg.block.is_multiple_of(32) && cfg.block.is_multiple_of(cfg.unroll));
     let mut b = KernelBuilder::new(format!("force_prefetch_b{}_u{}", cfg.block, cfg.unroll));
     b.shared_mem(cfg.smem_bytes());
@@ -489,7 +579,12 @@ pub fn build_force_kernel_prefetch(cfg: ForceKernelConfig) -> Kernel {
         b.sync();
     });
 
-    b.st(MemSpace::Global, oaddr, 0, vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)]);
+    b.st(
+        MemSpace::Global,
+        oaddr,
+        0,
+        vec![ax.into(), ay.into(), az.into(), Operand::ImmF(0.0)],
+    );
     let mut k = b.finish();
     if cfg.unroll > 1 {
         k = unroll_innermost(&k, cfg.unroll);
@@ -515,7 +610,12 @@ mod prefetch_tests {
         let fp = ForceParams::default();
         let cpu = accelerations(&bodies, &fp);
         for unroll in [1u32, 128] {
-            let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll, icm: true };
+            let cfg = ForceKernelConfig {
+                layout: Layout::SoAoaS,
+                block: 128,
+                unroll,
+                icm: true,
+            };
             let k = build_force_kernel_prefetch(cfg);
             let mut gmem = GlobalMemory::new(64 << 20);
             let ps: Vec<particle_layouts::Particle> = (0..bodies.len())
@@ -538,13 +638,21 @@ mod prefetch_tests {
 
     #[test]
     fn prefetch_costs_registers() {
-        let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true };
+        let cfg = ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block: 128,
+            unroll: 128,
+            icm: true,
+        };
         let standard = register_demand(&build_force_kernel(cfg)).regs_per_thread;
         let prefetch = register_demand(&build_force_kernel_prefetch(cfg)).regs_per_thread;
         assert!(
             prefetch > standard,
             "the double buffer must cost registers: {prefetch} vs {standard}"
         );
-        assert!(prefetch - standard <= 6, "but only the buffer + clamp temps");
+        assert!(
+            prefetch - standard <= 6,
+            "but only the buffer + clamp temps"
+        );
     }
 }

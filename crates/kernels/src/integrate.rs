@@ -59,13 +59,22 @@ pub fn build_integrate_kernel(layout: Layout) -> Kernel {
     }
 
     for (addr, words, offset) in loaded {
-        b.st(MemSpace::Global, addr, offset, words.iter().map(|w| (*w).into()).collect());
+        b.st(
+            MemSpace::Global,
+            addr,
+            offset,
+            words.iter().map(|w| (*w).into()).collect(),
+        );
     }
     b.finish()
 }
 
 /// Assemble the launch parameters for an integration kernel.
-pub fn integrate_params(img: &particle_layouts::DeviceImage, acc: gpu_sim::mem::DevicePtr, dt: f32) -> Vec<u32> {
+pub fn integrate_params(
+    img: &particle_layouts::DeviceImage,
+    acc: gpu_sim::mem::DevicePtr,
+    dt: f32,
+) -> Vec<u32> {
     let mut p = img.base_params();
     p.push(acc.0 as u32);
     p.push(dt.to_bits());
@@ -87,7 +96,11 @@ mod tests {
 
     fn to_particles(b: &Bodies) -> Vec<Particle> {
         (0..b.len())
-            .map(|i| Particle { pos: b.pos[i], vel: b.vel[i], mass: b.mass[i] })
+            .map(|i| Particle {
+                pos: b.pos[i],
+                vel: b.vel[i],
+                mass: b.mass[i],
+            })
             .collect()
     }
 
@@ -110,8 +123,9 @@ mod tests {
     #[test]
     fn device_euler_matches_host_bitwise_for_every_layout() {
         let mut bodies = spawn::disk_galaxy(200, 4.0, 1.0, 1.0, 13);
-        let accels: Vec<Vec3> =
-            (0..bodies.len()).map(|i| Vec3::new(i as f32 * 0.01, -0.5, 0.25)).collect();
+        let accels: Vec<Vec3> = (0..bodies.len())
+            .map(|i| Vec3::new(i as f32 * 0.01, -0.5, 0.25))
+            .collect();
         let dt = 0.01f32;
         let before = bodies.clone();
         step_euler(&mut bodies, &accels, dt, None);
@@ -151,10 +165,16 @@ mod tests {
     fn integration_kernel_is_loop_free_and_small() {
         for layout in Layout::ALL {
             let k = build_integrate_kernel(layout);
-            assert!(gpu_sim::ir::count::inner_loop_profile(&k).is_none(), "{layout}: no loops");
+            assert!(
+                gpu_sim::ir::count::inner_loop_profile(&k).is_none(),
+                "{layout}: no loops"
+            );
             let params = vec![0u32; k.n_params as usize];
             let d = dynamic_instructions(&k, &params).unwrap();
-            assert!(d < 40, "{layout}: {d} instructions — integration must be O(1)/thread");
+            assert!(
+                d < 40,
+                "{layout}: {d} instructions — integration must be O(1)/thread"
+            );
         }
     }
 }

@@ -30,12 +30,14 @@
 
 pub mod banks;
 pub mod barnes_hut;
+pub mod chunk;
 pub mod force;
 pub mod integrate;
 pub mod lintset;
 pub mod membench;
 pub mod verifyset;
 
+pub use chunk::{build_chunk_force_kernel, chunk_force_params};
 pub use force::{build_force_kernel, force_params, ForceKernelConfig, OptLevel};
 pub use integrate::{build_integrate_kernel, integrate_params};
 pub use membench::{build_membench_kernel, MembenchConfig};

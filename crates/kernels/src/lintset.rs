@@ -14,6 +14,7 @@ use particle_layouts::Layout;
 
 use crate::banks::build_bank_kernel;
 use crate::barnes_hut::BhKernelConfig;
+use crate::chunk::build_chunk_force_kernel;
 use crate::force::{build_force_kernel, build_force_kernel_prefetch, ForceKernelConfig, OptLevel};
 use crate::integrate::build_integrate_kernel;
 use crate::membench::{build_membench_kernel, build_membench_texture_kernel, MembenchConfig};
@@ -51,9 +52,10 @@ impl LintTarget {
     /// kind that did not fire.
     pub fn check(&self, report: &AnalysisReport) -> Vec<String> {
         let mut violations = Vec::new();
-        for (sev, expected) in
-            [(Severity::Error, &self.expect_errors), (Severity::Warning, &self.expect_warnings)]
-        {
+        for (sev, expected) in [
+            (Severity::Error, &self.expect_errors),
+            (Severity::Warning, &self.expect_warnings),
+        ] {
             let mut actual: Vec<&'static str> = report
                 .diagnostics
                 .iter()
@@ -69,8 +71,10 @@ impl LintTarget {
             }
             for kind in expected {
                 if !actual.contains(kind) {
-                    violations
-                        .push(format!("{}: expected {sev} `{kind}` did not fire", report.kernel));
+                    violations.push(format!(
+                        "{}: expected {sev} `{kind}` did not fire",
+                        report.kernel
+                    ));
                 }
             }
         }
@@ -96,9 +100,41 @@ fn force_target(
     params.push(n);
     params.push(0.5f32.to_bits()); // eps
     params.push(0); // smem0
-    let kernel =
-        if prefetch { build_force_kernel_prefetch(cfg) } else { build_force_kernel(cfg) };
-    LintTarget { kernel, grid, block: cfg.block, params, expect_errors, expect_warnings }
+    let kernel = if prefetch {
+        build_force_kernel_prefetch(cfg)
+    } else {
+        build_force_kernel(cfg)
+    };
+    LintTarget {
+        kernel,
+        grid,
+        block: cfg.block,
+        params,
+        expect_errors,
+        expect_warnings,
+    }
+}
+
+fn chunk_target(
+    cfg: ForceKernelConfig,
+    expect_errors: Vec<&'static str>,
+    expect_warnings: Vec<&'static str>,
+) -> LintTarget {
+    let grid = 2u32;
+    let n_buffers = cfg.layout.buffers().len();
+    let mut params = fake_buffers(2 * n_buffers); // target chunk + source chunk
+    params.push(0x20_0000); // out
+    params.push(grid * cfg.block); // n_src
+    params.push(0.5f32.to_bits()); // eps
+    params.push(0); // smem0
+    LintTarget {
+        kernel: build_chunk_force_kernel(cfg),
+        grid,
+        block: cfg.block,
+        params,
+        expect_errors,
+        expect_warnings,
+    }
 }
 
 fn membench_target(
@@ -111,9 +147,19 @@ fn membench_target(
     let mut params = fake_buffers(layout.buffers().len());
     params.push(0x20_0000); // out_delta
     params.push(0x21_0000); // out_sum
-    let kernel =
-        if texture { build_membench_texture_kernel(cfg) } else { build_membench_kernel(cfg) };
-    LintTarget { kernel, grid: 2, block: 64, params, expect_errors, expect_warnings }
+    let kernel = if texture {
+        build_membench_texture_kernel(cfg)
+    } else {
+        build_membench_kernel(cfg)
+    };
+    LintTarget {
+        kernel,
+        grid: 2,
+        block: 64,
+        params,
+        expect_errors,
+        expect_warnings,
+    }
 }
 
 fn integrate_target(layout: Layout, expect_errors: Vec<&'static str>) -> LintTarget {
@@ -178,7 +224,12 @@ pub fn workspace_lint_targets() -> Vec<LintTarget> {
     }
     // The one layout the ladder skips: classic AoS (32-byte records).
     targets.push(force_target(
-        ForceKernelConfig { layout: Layout::AoS, block: 192, unroll: 1, icm: false },
+        ForceKernelConfig {
+            layout: Layout::AoS,
+            block: 192,
+            unroll: 1,
+            icm: false,
+        },
         false,
         uncoalesced(),
         vec!["dead-code", "unhoisted-invariant"],
@@ -186,8 +237,45 @@ pub fn workspace_lint_targets() -> Vec<LintTarget> {
     // The double-buffered variant (regression gate for the tile-base clamp:
     // a per-lane clamp decays the last prefetch into 16 transactions).
     targets.push(force_target(
-        ForceKernelConfig { layout: Layout::SoAoaS, block: 128, unroll: 128, icm: true },
+        ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block: 128,
+            unroll: 128,
+            icm: true,
+        },
         true,
+        vec![],
+        vec![],
+    ));
+
+    // --- chunk: the streaming variant of the force kernel ----------------
+    // Same per-layout lint story as the standard kernel: the accumulator
+    // seed load through `out` is a float4 whose w lane is dead, but a vector
+    // load counts as live if any lane is — so no extra dead-code finding.
+    for layout in Layout::ALL {
+        let cfg = ForceKernelConfig {
+            layout,
+            block: 192,
+            unroll: 1,
+            icm: false,
+        };
+        let (errors, warnings): (Vec<&str>, Vec<&str>) = match layout {
+            Layout::Unopt | Layout::AoS | Layout::AoaS => {
+                (uncoalesced(), vec!["dead-code", "unhoisted-invariant"])
+            }
+            Layout::SoA => (vec![], vec!["dead-code", "unhoisted-invariant"]),
+            Layout::SoAoaS => (vec![], vec!["unhoisted-invariant"]),
+        };
+        targets.push(chunk_target(cfg, errors, warnings));
+    }
+    // The tuned chunk kernel (the configuration chunked frames actually run).
+    targets.push(chunk_target(
+        ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block: 128,
+            unroll: 128,
+            icm: true,
+        },
         vec![],
         vec![],
     ));
@@ -214,8 +302,11 @@ pub fn workspace_lint_targets() -> Vec<LintTarget> {
 
     // --- banks: Sec. I-A's serialization rule ----------------------------
     for stride in [1u32, 2, 3, 4, 8, 16] {
-        let warnings =
-            if stride.is_power_of_two() && stride > 1 { vec!["bank-conflict"] } else { vec![] };
+        let warnings = if stride.is_power_of_two() && stride > 1 {
+            vec!["bank-conflict"]
+        } else {
+            vec![]
+        };
         targets.push(bank_target(stride, warnings));
     }
 

@@ -58,7 +58,11 @@ pub fn build_membench_texture_kernel(cfg: MembenchConfig) -> Kernel {
 fn build_membench_with_space(cfg: MembenchConfig, space: MemSpace) -> Kernel {
     let plan = cfg.layout.read_plan_all();
     let n_buffers = cfg.layout.buffers().len();
-    let tag = if space == MemSpace::Texture { "_tex" } else { "" };
+    let tag = if space == MemSpace::Texture {
+        "_tex"
+    } else {
+        ""
+    };
     let mut b = KernelBuilder::new(format!("membench_{}{tag}", cfg.layout.label()));
     let bufs: Vec<_> = (0..n_buffers).map(|_| b.param()).collect();
     let out_delta = b.param();
@@ -155,17 +159,29 @@ mod tests {
 
     #[test]
     fn vector_layouts_issue_fewer_loads() {
-        let scalar = build_membench_kernel(MembenchConfig { layout: Layout::Unopt, iters: 8 });
-        let vector = build_membench_kernel(MembenchConfig { layout: Layout::SoAoaS, iters: 8 });
+        let scalar = build_membench_kernel(MembenchConfig {
+            layout: Layout::Unopt,
+            iters: 8,
+        });
+        let vector = build_membench_kernel(MembenchConfig {
+            layout: Layout::SoAoaS,
+            iters: 8,
+        });
         // Same param count shape differs; compare per-thread instructions.
         let ds = dynamic_instructions(&scalar, &[0, 0, 0]).unwrap();
         let dv = dynamic_instructions(&vector, &[0, 0, 0, 0]).unwrap();
-        assert!(dv < ds, "SoAoaS ({dv}) must execute fewer instructions than unopt ({ds})");
+        assert!(
+            dv < ds,
+            "SoAoaS ({dv}) must execute fewer instructions than unopt ({ds})"
+        );
     }
 
     #[test]
     fn delta_outputs_are_written() {
-        let cfg = MembenchConfig { layout: Layout::SoA, iters: 2 };
+        let cfg = MembenchConfig {
+            layout: Layout::SoA,
+            iters: 2,
+        };
         let k = build_membench_kernel(cfg);
         let grid = 1u32;
         let block = 32u32;
@@ -186,7 +202,10 @@ mod tests {
 
     #[test]
     fn particles_needed_accounting() {
-        let cfg = MembenchConfig { layout: Layout::AoaS, iters: 16 };
+        let cfg = MembenchConfig {
+            layout: Layout::AoaS,
+            iters: 16,
+        };
         assert_eq!(cfg.particles_needed(4, 128), 8192);
         assert_eq!(cfg.elements(), 112);
     }
@@ -206,7 +225,11 @@ mod texture_tests {
         let block = 64u32;
         let n = (block * iters) as usize;
         let ps: Vec<Particle> = (0..n)
-            .map(|i| Particle { pos: Vec3::splat(i as f32), vel: Vec3::ZERO, mass: 1.0 })
+            .map(|i| Particle {
+                pos: Vec3::splat(i as f32),
+                vel: Vec3::ZERO,
+                mass: 1.0,
+            })
             .collect();
         let mut gmem = GlobalMemory::new(16 << 20);
         let img = DeviceImage::upload(&mut gmem, layout, &ps, block).unwrap();
@@ -221,7 +244,10 @@ mod texture_tests {
 
     #[test]
     fn texture_path_is_functionally_identical() {
-        let cfg = MembenchConfig { layout: Layout::Unopt, iters: 4 };
+        let cfg = MembenchConfig {
+            layout: Layout::Unopt,
+            iters: 4,
+        };
         let g = run_sum(&build_membench_kernel(cfg), cfg.layout, cfg.iters);
         let t = run_sum(&build_membench_texture_kernel(cfg), cfg.layout, cfg.iters);
         assert_eq!(g, t);
@@ -233,7 +259,10 @@ mod texture_tests {
         // texture cache vs through the CC-1.0 coalescer.
         let dev = DeviceConfig::g8800gtx();
         let tp = TimingParams::for_driver(DriverModel::Cuda10);
-        let cfg = MembenchConfig { layout: Layout::Unopt, iters: 16 };
+        let cfg = MembenchConfig {
+            layout: Layout::Unopt,
+            iters: 16,
+        };
         let time = |k: &gpu_sim::ir::Kernel| {
             let n = cfg.particles_needed(1, 128) as usize;
             let ps: Vec<Particle> = (0..n).map(|_| Particle::SENTINEL).collect();
@@ -244,7 +273,18 @@ mod texture_tests {
             let mut params = img.base_params();
             params.push(d.0 as u32);
             params.push(s.0 as u32);
-            time_resident(k, &[0], 128, 1, &params, &mut gmem, &dev, DriverModel::Cuda10, &tp).unwrap()
+            time_resident(
+                k,
+                &[0],
+                128,
+                1,
+                &params,
+                &mut gmem,
+                &dev,
+                DriverModel::Cuda10,
+                &tp,
+            )
+            .unwrap()
         };
         let global = time(&build_membench_kernel(cfg));
         let tex = time(&build_membench_texture_kernel(cfg));
@@ -255,6 +295,9 @@ mod texture_tests {
             global.cycles
         );
         assert!(tex.tex_hits > 0, "adjacent threads share 32B lines");
-        assert!(tex.bus_bytes < global.bus_bytes, "the cache deduplicates line traffic");
+        assert!(
+            tex.bus_bytes < global.bus_bytes,
+            "the cache deduplicates line traffic"
+        );
     }
 }

@@ -125,7 +125,12 @@ pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
 
     // --- force: every layout, rolled baseline, all passes + compositions --
     for layout in Layout::ALL {
-        let fcfg = ForceKernelConfig { layout, block: BLOCK, unroll: 1, icm: false };
+        let fcfg = ForceKernelConfig {
+            layout,
+            block: BLOCK,
+            unroll: 1,
+            icm: false,
+        };
         let kernel = build_force_kernel(fcfg);
         let cfg = VerifyConfig::new(GRID, BLOCK, force_verify_params(layout));
         let passes: &[PassId] = if layout == Layout::SoAoaS {
@@ -143,18 +148,30 @@ pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
             &[PassId::Licm, PassId::Fold, PassId::Unroll(4)]
         };
         for &pass in passes {
-            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+            targets.push(PassVerifyTarget {
+                kernel: kernel.clone(),
+                pass,
+                cfg: cfg.clone(),
+            });
         }
     }
 
     // --- force: the prefetch variant (SoAoaS only) ------------------------
     {
-        let fcfg =
-            ForceKernelConfig { layout: Layout::SoAoaS, block: BLOCK, unroll: 1, icm: false };
+        let fcfg = ForceKernelConfig {
+            layout: Layout::SoAoaS,
+            block: BLOCK,
+            unroll: 1,
+            icm: false,
+        };
         let kernel = build_force_kernel_prefetch(fcfg);
         let cfg = VerifyConfig::new(GRID, BLOCK, force_verify_params(Layout::SoAoaS));
         for pass in [PassId::Licm, PassId::Fold] {
-            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+            targets.push(PassVerifyTarget {
+                kernel: kernel.clone(),
+                pass,
+                cfg: cfg.clone(),
+            });
         }
     }
 
@@ -167,7 +184,11 @@ pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
         params.push(0x21_0000); // out_sum
         let cfg = VerifyConfig::new(1, BLOCK, params);
         for pass in [PassId::Licm, PassId::Fold, PassId::Unroll(2)] {
-            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+            targets.push(PassVerifyTarget {
+                kernel: kernel.clone(),
+                pass,
+                cfg: cfg.clone(),
+            });
         }
     }
 
@@ -179,7 +200,11 @@ pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
         params.push(0.01f32.to_bits()); // dt
         let cfg = VerifyConfig::new(1, BLOCK, params);
         for pass in [PassId::Licm, PassId::Fold] {
-            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+            targets.push(PassVerifyTarget {
+                kernel: kernel.clone(),
+                pass,
+                cfg: cfg.clone(),
+            });
         }
     }
 
@@ -188,7 +213,11 @@ pub fn workspace_pass_targets() -> Vec<PassVerifyTarget> {
         let kernel = build_bank_kernel(stride, 2);
         let cfg = VerifyConfig::new(1, BLOCK, vec![0x20_0000, 0x21_0000]);
         for pass in [PassId::Licm, PassId::Fold, PassId::Unroll(2)] {
-            targets.push(PassVerifyTarget { kernel: kernel.clone(), pass, cfg: cfg.clone() });
+            targets.push(PassVerifyTarget {
+                kernel: kernel.clone(),
+                pass,
+                cfg: cfg.clone(),
+            });
         }
     }
 
@@ -203,7 +232,12 @@ pub fn layout_ladder_targets() -> Vec<LayoutVerifyTarget> {
     let to = Layout::SoAoaS;
     let params_b = force_verify_params(to);
     let map_b = posmass_input_map(to, &params_b, GRID * BLOCK);
-    let b = build_force_kernel(ForceKernelConfig { layout: to, block: BLOCK, unroll: 1, icm: false });
+    let b = build_force_kernel(ForceKernelConfig {
+        layout: to,
+        block: BLOCK,
+        unroll: 1,
+        icm: false,
+    });
     Layout::ALL
         .into_iter()
         .filter(|&l| l != to)
@@ -220,7 +254,13 @@ pub fn layout_ladder_targets() -> Vec<LayoutVerifyTarget> {
             cfg.params_b = Some(params_b.clone());
             cfg.input_map = Some(map_a);
             cfg.input_map_b = Some(map_b.clone());
-            LayoutVerifyTarget { from, to, a: a.clone(), b: b.clone(), cfg }
+            LayoutVerifyTarget {
+                from,
+                to,
+                a: a.clone(),
+                b: b.clone(),
+                cfg,
+            }
         })
         .collect()
 }
@@ -242,7 +282,13 @@ mod tests {
     fn the_layout_ladder_proves() {
         for t in layout_ladder_targets() {
             let r = t.verify();
-            assert!(r.is_proved(), "{} → {}: {r}", t.from.label(), t.to.label(), r = r);
+            assert!(
+                r.is_proved(),
+                "{} → {}: {r}",
+                t.from.label(),
+                t.to.label(),
+                r = r
+            );
         }
     }
 
@@ -269,10 +315,15 @@ mod tests {
             // Hot-field keys are layout-independent.
             let lanes = layout.posmass_lanes();
             let r = &plan.reads[lanes.px.0];
-            let addr = params[r.buffer] as u64 + 7 * r.stride as u64
+            let addr = params[r.buffer] as u64
+                + 7 * r.stride as u64
                 + r.offset as u64
                 + 4 * lanes.px.1 as u64;
-            assert_eq!(map.global.get(&addr), Some(&(7 * 16)), "{layout}: px of element 7");
+            assert_eq!(
+                map.global.get(&addr),
+                Some(&(7 * 16)),
+                "{layout}: px of element 7"
+            );
         }
     }
 }

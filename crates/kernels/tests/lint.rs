@@ -29,7 +29,12 @@ fn all_kernels_lint_clean() {
 #[test]
 fn aos_force_flagged_soaoas_clean() {
     let build = |layout: Layout| {
-        let cfg = ForceKernelConfig { layout, block: 128, unroll: 1, icm: true };
+        let cfg = ForceKernelConfig {
+            layout,
+            block: 128,
+            unroll: 1,
+            icm: true,
+        };
         let k = build_force_kernel(cfg);
         let n = 2 * cfg.block;
         let params = vec![0x1_0000, 0x20_0000, n, 0.5f32.to_bits(), 0];
@@ -53,7 +58,10 @@ fn aos_force_flagged_soaoas_clean() {
             );
         }
         assert!(
-            !clean.diagnostics.iter().any(|d| d.kind == LintKind::UncoalescedAccess),
+            !clean
+                .diagnostics
+                .iter()
+                .any(|d| d.kind == LintKind::UncoalescedAccess),
             "{driver}: SoAoaS must coalesce: {:?}",
             clean.diagnostics
         );
@@ -77,8 +85,9 @@ fn ladder_transactions_monotonically_improve() {
         let cfg = level.config();
         let k = build_force_kernel(cfg);
         let n = 2 * cfg.block;
-        let mut params: Vec<u32> =
-            (0..cfg.layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+        let mut params: Vec<u32> = (0..cfg.layout.buffers().len() as u32)
+            .map(|i| 0x1_0000 * (i + 1))
+            .collect();
         params.extend([0x20_0000, n, 0.5f32.to_bits(), 0]);
         let r = analyze_kernel(&k, &AnalysisConfig::new(2, cfg.block, params));
         assert!(r.exact, "{level}: {:?}", r.diagnostics);

@@ -10,8 +10,9 @@ use gpu_sim::ir::Stmt;
 use particle_layouts::Layout;
 
 fn verify_cfg(layout: Layout) -> VerifyConfig {
-    let mut params: Vec<u32> =
-        (0..layout.buffers().len() as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+    let mut params: Vec<u32> = (0..layout.buffers().len() as u32)
+        .map(|i| 0x1_0000 * (i + 1))
+        .collect();
     params.push(0x20_0000); // out
     params.push(64); // n = grid * block
     params.push(0.5f32.to_bits()); // eps
@@ -26,11 +27,19 @@ fn verify_cfg(layout: Layout) -> VerifyConfig {
 /// `Unsupported` — the force kernel is squarely in the checker's fragment.
 #[test]
 fn statement_swaps_in_the_hoisted_force_kernel_are_caught() {
-    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 32, unroll: 1, icm: false };
+    let cfg = ForceKernelConfig {
+        layout: Layout::SoAoaS,
+        block: 32,
+        unroll: 1,
+        icm: false,
+    };
     let k = build_force_kernel(cfg);
     let hoisted = licm(&k);
     let vcfg = verify_cfg(cfg.layout);
-    assert!(verify_equiv(&k, &hoisted, &vcfg).is_proved(), "the fixed pass verifies");
+    assert!(
+        verify_equiv(&k, &hoisted, &vcfg).is_proved(),
+        "the fixed pass verifies"
+    );
 
     let mut caught = 0usize;
     let mut tried = 0usize;
@@ -44,7 +53,10 @@ fn statement_swaps_in_the_hoisted_force_kernel_are_caught() {
         match verify_equiv(&k, &bad, &vcfg) {
             VerifyResult::Mismatch { site, .. } => {
                 caught += 1;
-                assert!(site.instruction.is_some(), "swap at {i}: site pinpoints the store");
+                assert!(
+                    site.instruction.is_some(),
+                    "swap at {i}: site pinpoints the store"
+                );
                 assert_eq!(site.kernel.as_deref(), Some(hoisted.name.as_str()));
             }
             VerifyResult::Proved { .. } => {} // order-independent pair
@@ -53,6 +65,12 @@ fn statement_swaps_in_the_hoisted_force_kernel_are_caught() {
             }
         }
     }
-    assert!(tried >= 2, "the hoisted prologue has adjacent instruction pairs");
-    assert!(caught >= 1, "at least one dependency-violating swap must be refuted");
+    assert!(
+        tried >= 2,
+        "the hoisted prologue has adjacent instruction pairs"
+    );
+    assert!(
+        caught >= 1,
+        "at least one dependency-violating swap must be refuted"
+    );
 }

@@ -49,7 +49,13 @@ impl DeviceImage {
         }
         let n = particles.len() as u32;
         if n == 0 {
-            return Ok(DeviceImage { layout, n: 0, padded_n: 0, buffers: Vec::new(), bytes: 0 });
+            return Ok(DeviceImage {
+                layout,
+                n: 0,
+                padded_n: 0,
+                buffers: Vec::new(),
+                bytes: 0,
+            });
         }
         let padded_n = n.div_ceil(pad_to) * pad_to;
         let kinds = layout.buffers();
@@ -60,12 +66,21 @@ impl DeviceImage {
             let ptr = gmem.alloc(size)?;
             bytes += size;
             for i in 0..padded_n {
-                let p = particles.get(i as usize).copied().unwrap_or(Particle::SENTINEL);
+                let p = particles
+                    .get(i as usize)
+                    .copied()
+                    .unwrap_or(Particle::SENTINEL);
                 write_record(gmem, *kind, ptr, i as u64, &p)?;
             }
             buffers.push(ptr);
         }
-        Ok(DeviceImage { layout, n, padded_n, buffers, bytes })
+        Ok(DeviceImage {
+            layout,
+            n,
+            padded_n,
+            buffers,
+            bytes,
+        })
     }
 
     /// The exact allocation sizes this upload will request, in allocation
@@ -75,7 +90,11 @@ impl DeviceImage {
             return Vec::new();
         }
         let padded_n = n.div_ceil(pad_to) * pad_to;
-        layout.buffers().iter().map(|k| k.stride() * padded_n as u64).collect()
+        layout
+            .buffers()
+            .iter()
+            .map(|k| k.stride() * padded_n as u64)
+            .collect()
     }
 
     /// Read particle `i` back from the device image (for roundtrip checks).
@@ -104,6 +123,18 @@ impl DeviceImage {
     /// Parameter values (buffer base addresses) to pass to a kernel.
     pub fn base_params(&self) -> Vec<u32> {
         self.buffers.iter().map(|p| p.0 as u32).collect()
+    }
+
+    /// Free this image's buffers (reverse allocation order, as the device's
+    /// LIFO allocator requires). The image must be the most recent set of
+    /// live allocations; chunked streaming relies on this to reuse the same
+    /// region for every source chunk. The image is consumed — its pointers
+    /// are dangling afterwards.
+    pub fn free(self, gmem: &mut GlobalMemory) -> DeviceResult<()> {
+        for ptr in self.buffers.into_iter().rev() {
+            gmem.free(ptr)?;
+        }
+        Ok(())
     }
 }
 
@@ -206,7 +237,11 @@ pub fn alloc_accel_out(gmem: &mut GlobalMemory, padded_n: u32) -> DeviceResult<D
 }
 
 /// Read back `n` accelerations from a `float4` output buffer.
-pub fn download_accels(gmem: &GlobalMemory, out: DevicePtr, n: u32) -> DeviceResult<Vec<simcore::Vec3>> {
+pub fn download_accels(
+    gmem: &GlobalMemory,
+    out: DevicePtr,
+    n: u32,
+) -> DeviceResult<Vec<simcore::Vec3>> {
     (0..n as u64)
         .map(|i| {
             Ok(simcore::Vec3::new(
@@ -262,7 +297,11 @@ mod tests {
             let mut gmem = GlobalMemory::new(1 << 20);
             let img = DeviceImage::upload(&mut gmem, layout, &sample(64), 64).unwrap();
             for b in &img.buffers {
-                assert_eq!(b.0 % 128, 0, "{layout}: cudaMalloc-grade alignment expected");
+                assert_eq!(
+                    b.0 % 128,
+                    0,
+                    "{layout}: cudaMalloc-grade alignment expected"
+                );
             }
         }
     }
@@ -287,7 +326,11 @@ mod tests {
             let budget = GlobalMemory::footprint(&sizes);
             let mut gmem = GlobalMemory::new(budget);
             DeviceImage::upload(&mut gmem, layout, &sample(100), 128).unwrap();
-            assert_eq!(gmem.allocated(), budget, "{layout}: footprint must be exact");
+            assert_eq!(
+                gmem.allocated(),
+                budget,
+                "{layout}: footprint must be exact"
+            );
         }
     }
 
@@ -320,6 +363,21 @@ mod tests {
         let mut gmem = GlobalMemory::new(1 << 16);
         let err = DeviceImage::upload(&mut gmem, Layout::SoA, &sample(4), 0).unwrap_err();
         assert!(matches!(err.kind, FaultKind::BadConfig { .. }));
+    }
+
+    #[test]
+    fn free_rewinds_the_allocator_for_every_layout() {
+        for layout in Layout::ALL {
+            let mut gmem = GlobalMemory::new(1 << 20);
+            let before = gmem.allocated();
+            let img = DeviceImage::upload(&mut gmem, layout, &sample(100), 128).unwrap();
+            assert!(gmem.allocated() > before);
+            img.free(&mut gmem).unwrap();
+            assert_eq!(gmem.allocated(), before, "{layout}: free must rewind fully");
+            // The region is reusable: a second upload lands identically.
+            let again = DeviceImage::upload(&mut gmem, layout, &sample(100), 128).unwrap();
+            assert_eq!(again.read_all(&gmem).unwrap(), sample(100));
+        }
     }
 
     #[test]

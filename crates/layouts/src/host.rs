@@ -29,7 +29,9 @@ impl Particle {
     /// The seven floats in the paper's canonical order
     /// (px, py, pz, vx, vy, vz, mass).
     pub fn fields(&self) -> [f32; 7] {
-        [self.pos.x, self.pos.y, self.pos.z, self.vel.x, self.vel.y, self.vel.z, self.mass]
+        [
+            self.pos.x, self.pos.y, self.pos.z, self.vel.x, self.vel.y, self.vel.z, self.mass,
+        ]
     }
 }
 
@@ -159,8 +161,18 @@ impl From<ParticleAligned> for Particle {
 impl From<Particle> for (PosMass, Velocity4) {
     fn from(p: Particle) -> Self {
         (
-            PosMass { x: p.pos.x, y: p.pos.y, z: p.pos.z, mass: p.mass },
-            Velocity4 { x: p.vel.x, y: p.vel.y, z: p.vel.z, _pad: 0.0 },
+            PosMass {
+                x: p.pos.x,
+                y: p.pos.y,
+                z: p.pos.z,
+                mass: p.mass,
+            },
+            Velocity4 {
+                x: p.vel.x,
+                y: p.vel.y,
+                z: p.vel.z,
+                _pad: 0.0,
+            },
         )
     }
 }
@@ -255,7 +267,11 @@ mod tests {
 
     #[test]
     fn conversions_roundtrip() {
-        let p = Particle { pos: Vec3::new(1.0, 2.0, 3.0), vel: Vec3::new(-1.0, -2.0, -3.0), mass: 7.5 };
+        let p = Particle {
+            pos: Vec3::new(1.0, 2.0, 3.0),
+            vel: Vec3::new(-1.0, -2.0, -3.0),
+            mass: 7.5,
+        };
         assert_eq!(Particle::from(ParticlePacked::from(p)), p);
         assert_eq!(Particle::from(ParticleAligned::from(p)), p);
         let (pm, v): (PosMass, Velocity4) = p.into();

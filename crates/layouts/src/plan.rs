@@ -29,7 +29,13 @@ pub enum Layout {
 
 impl Layout {
     /// All layouts in the order the paper plots them.
-    pub const ALL: [Layout; 5] = [Layout::Unopt, Layout::AoS, Layout::SoA, Layout::AoaS, Layout::SoAoaS];
+    pub const ALL: [Layout; 5] = [
+        Layout::Unopt,
+        Layout::AoS,
+        Layout::SoA,
+        Layout::AoaS,
+        Layout::SoAoaS,
+    ];
 
     /// Label used in tables/figures.
     pub fn label(self) -> &'static str {
@@ -76,17 +82,47 @@ impl Layout {
         let reads = match self {
             Layout::Unopt => scalar_reads(0, 28, &[0, 4, 8, 12, 16, 20, 24]),
             Layout::AoS => scalar_reads(0, 32, &[0, 4, 8, 12, 16, 20, 24]),
-            Layout::SoA => (0..7).map(|f| FieldRead { buffer: f, offset: 0, words: 1, stride: 4 }).collect(),
+            Layout::SoA => (0..7)
+                .map(|f| FieldRead {
+                    buffer: f,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                })
+                .collect(),
             Layout::AoaS => vec![
-                FieldRead { buffer: 0, offset: 0, words: 4, stride: 32 },
-                FieldRead { buffer: 0, offset: 16, words: 4, stride: 32 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 4,
+                    stride: 32,
+                },
+                FieldRead {
+                    buffer: 0,
+                    offset: 16,
+                    words: 4,
+                    stride: 32,
+                },
             ],
             Layout::SoAoaS => vec![
-                FieldRead { buffer: 0, offset: 0, words: 4, stride: 16 },
-                FieldRead { buffer: 1, offset: 0, words: 4, stride: 16 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 4,
+                    stride: 16,
+                },
+                FieldRead {
+                    buffer: 1,
+                    offset: 0,
+                    words: 4,
+                    stride: 16,
+                },
             ],
         };
-        ReadPlan { layout: self, reads }
+        ReadPlan {
+            layout: self,
+            reads,
+        }
     }
 
     /// The reads a thread issues to fetch **position + mass** of particle `i`
@@ -99,18 +135,56 @@ impl Layout {
             Layout::Unopt => scalar_reads(0, 28, &[0, 4, 8, 24]),
             Layout::AoS => scalar_reads(0, 32, &[0, 4, 8, 24]),
             Layout::SoA => vec![
-                FieldRead { buffer: 0, offset: 0, words: 1, stride: 4 },
-                FieldRead { buffer: 1, offset: 0, words: 1, stride: 4 },
-                FieldRead { buffer: 2, offset: 0, words: 1, stride: 4 },
-                FieldRead { buffer: 6, offset: 0, words: 1, stride: 4 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                },
+                FieldRead {
+                    buffer: 1,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                },
+                FieldRead {
+                    buffer: 2,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                },
+                FieldRead {
+                    buffer: 6,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                },
             ],
             Layout::AoaS => vec![
-                FieldRead { buffer: 0, offset: 0, words: 4, stride: 32 },
-                FieldRead { buffer: 0, offset: 16, words: 4, stride: 32 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 4,
+                    stride: 32,
+                },
+                FieldRead {
+                    buffer: 0,
+                    offset: 16,
+                    words: 4,
+                    stride: 32,
+                },
             ],
-            Layout::SoAoaS => vec![FieldRead { buffer: 0, offset: 0, words: 4, stride: 16 }],
+            Layout::SoAoaS => vec![FieldRead {
+                buffer: 0,
+                offset: 0,
+                words: 4,
+                stride: 16,
+            }],
         };
-        ReadPlan { layout: self, reads }
+        ReadPlan {
+            layout: self,
+            reads,
+        }
     }
 
     /// Where (buffer, byte offset within the particle's slot, word lane
@@ -127,9 +201,19 @@ impl Layout {
                 mass: (3, 0),
             },
             // AoaS: first float4 = (px,py,pz,vx), second = (vy,vz,mass,pad).
-            Layout::AoaS => PosMassLanes { px: (0, 0), py: (0, 1), pz: (0, 2), mass: (1, 2) },
+            Layout::AoaS => PosMassLanes {
+                px: (0, 0),
+                py: (0, 1),
+                pz: (0, 2),
+                mass: (1, 2),
+            },
             // SoAoaS posmass float4 = (x,y,z,mass).
-            Layout::SoAoaS => PosMassLanes { px: (0, 0), py: (0, 1), pz: (0, 2), mass: (0, 3) },
+            Layout::SoAoaS => PosMassLanes {
+                px: (0, 0),
+                py: (0, 1),
+                pz: (0, 2),
+                mass: (0, 3),
+            },
         }
     }
 }
@@ -155,7 +239,15 @@ pub struct PosMassLanes {
 }
 
 fn scalar_reads(buffer: usize, stride: u32, offsets: &[u32]) -> Vec<FieldRead> {
-    offsets.iter().map(|&o| FieldRead { buffer, offset: o, words: 1, stride }).collect()
+    offsets
+        .iter()
+        .map(|&o| FieldRead {
+            buffer,
+            offset: o,
+            words: 1,
+            stride,
+        })
+        .collect()
 }
 
 /// The scalar fields, for naming SoA buffers.
@@ -273,7 +365,12 @@ mod tests {
 
     #[test]
     fn addresses_follow_stride_and_offset() {
-        let r = FieldRead { buffer: 0, offset: 24, words: 1, stride: 28 };
+        let r = FieldRead {
+            buffer: 0,
+            offset: 24,
+            words: 1,
+            stride: 28,
+        };
         assert_eq!(r.address(1000, 0), 1024);
         assert_eq!(r.address(1000, 3), 1000 + 84 + 24);
     }
@@ -340,17 +437,47 @@ impl Layout {
         let reads = match self {
             Layout::Unopt => scalar_reads(0, 28, &[0, 4, 8, 12, 16, 20]),
             Layout::AoS => scalar_reads(0, 32, &[0, 4, 8, 12, 16, 20]),
-            Layout::SoA => (0..6).map(|f| FieldRead { buffer: f, offset: 0, words: 1, stride: 4 }).collect(),
+            Layout::SoA => (0..6)
+                .map(|f| FieldRead {
+                    buffer: f,
+                    offset: 0,
+                    words: 1,
+                    stride: 4,
+                })
+                .collect(),
             Layout::AoaS => vec![
-                FieldRead { buffer: 0, offset: 0, words: 4, stride: 32 },
-                FieldRead { buffer: 0, offset: 16, words: 4, stride: 32 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 4,
+                    stride: 32,
+                },
+                FieldRead {
+                    buffer: 0,
+                    offset: 16,
+                    words: 4,
+                    stride: 32,
+                },
             ],
             Layout::SoAoaS => vec![
-                FieldRead { buffer: 0, offset: 0, words: 4, stride: 16 },
-                FieldRead { buffer: 1, offset: 0, words: 4, stride: 16 },
+                FieldRead {
+                    buffer: 0,
+                    offset: 0,
+                    words: 4,
+                    stride: 16,
+                },
+                FieldRead {
+                    buffer: 1,
+                    offset: 0,
+                    words: 4,
+                    stride: 16,
+                },
             ],
         };
-        ReadPlan { layout: self, reads }
+        ReadPlan {
+            layout: self,
+            reads,
+        }
     }
 
     /// Lane mapping for [`Layout::read_plan_posvel`].

@@ -12,9 +12,16 @@ use gpu_sim::DriverModel;
 
 /// The address stream of one read of the plan, for one half-warp where lane
 /// `k` handles particle `first + k`.
-pub fn half_warp_addresses(plan: &ReadPlan, bases: &[u64], read_idx: usize, first: u64) -> Vec<Option<u64>> {
+pub fn half_warp_addresses(
+    plan: &ReadPlan,
+    bases: &[u64],
+    read_idx: usize,
+    first: u64,
+) -> Vec<Option<u64>> {
     let r = plan.reads[read_idx];
-    (0..16).map(|k| Some(r.address(bases[r.buffer], first + k))).collect()
+    (0..16)
+        .map(|k| Some(r.address(bases[r.buffer], first + k)))
+        .collect()
 }
 
 /// Transaction analysis of one layout under one driver protocol.
@@ -52,7 +59,9 @@ pub fn analyze_layout(layout: Layout, driver: DriverModel) -> TransactionAnalysi
 
 /// As [`analyze_layout`] but for an arbitrary plan (e.g. the posmass plan).
 pub fn analyze_plan(plan: &ReadPlan, driver: DriverModel) -> TransactionAnalysis {
-    let bases: Vec<u64> = (0..plan.layout.buffers().len()).map(|b| (b as u64 + 1) << 20).collect();
+    let bases: Vec<u64> = (0..plan.layout.buffers().len())
+        .map(|b| (b as u64 + 1) << 20)
+        .collect();
     let mut transactions = 0usize;
     let mut bus_bytes = 0u64;
     let mut useful = 0u64;
@@ -104,7 +113,10 @@ mod tests {
 
         let soaoas = t(Layout::SoAoaS); // Fig. 9
         assert_eq!(soaoas.reads, 2);
-        assert_eq!(soaoas.transactions, 4, "two coalesced float4 reads = 2×2 128B transactions");
+        assert_eq!(
+            soaoas.transactions, 4,
+            "two coalesced float4 reads = 2×2 128B transactions"
+        );
         assert!(soaoas.all_coalesced);
     }
 
@@ -113,7 +125,10 @@ mod tests {
         let aoas = analyze_layout(Layout::AoaS, DriverModel::Cuda10);
         let soaoas = analyze_layout(Layout::SoAoaS, DriverModel::Cuda10);
         assert!(soaoas.efficiency() > aoas.efficiency());
-        assert!((soaoas.efficiency() - 1.0).abs() < 1e-12, "SoAoaS wastes no bus bytes");
+        assert!(
+            (soaoas.efficiency() - 1.0).abs() < 1e-12,
+            "SoAoaS wastes no bus bytes"
+        );
     }
 
     #[test]

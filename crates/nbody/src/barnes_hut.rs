@@ -24,13 +24,9 @@ const LEAF_CAP: usize = 8;
 #[derive(Debug, Clone)]
 enum Node {
     /// A leaf holding body indices.
-    Leaf {
-        bodies: Vec<u32>,
-    },
+    Leaf { bodies: Vec<u32> },
     /// An internal cell with up to 8 children.
-    Cell {
-        children: [Option<u32>; 8],
-    },
+    Cell { children: [Option<u32>; 8] },
 }
 
 /// An octree over a body set.
@@ -56,7 +52,9 @@ impl Octree {
         let center = (lo + hi) * 0.5;
         let side = (hi - lo).max_component().max(1e-6) * 1.0001;
         let mut t = Octree {
-            nodes: vec![Node::Leaf { bodies: (0..b.len() as u32).collect() }],
+            nodes: vec![Node::Leaf {
+                bodies: (0..b.len() as u32).collect(),
+            }],
             centers: vec![center],
             sides: vec![side],
             masses: vec![0.0],
@@ -79,7 +77,12 @@ impl Octree {
             match &t.nodes[n as usize] {
                 Node::Leaf { .. } => 1,
                 Node::Cell { children } => {
-                    1 + children.iter().flatten().map(|&c| d(t, c)).max().unwrap_or(0)
+                    1 + children
+                        .iter()
+                        .flatten()
+                        .map(|&c| d(t, c))
+                        .max()
+                        .unwrap_or(0)
                 }
             }
         }
@@ -157,7 +160,11 @@ impl Octree {
                 (m, w)
             }
         };
-        let com = if m > 0.0 { weighted / m } else { self.centers[node as usize] };
+        let com = if m > 0.0 {
+            weighted / m
+        } else {
+            self.centers[node as usize]
+        };
         self.masses[node as usize] = m;
         self.coms[node as usize] = com;
         (m, com)
@@ -167,7 +174,9 @@ impl Octree {
     pub fn accel_recursive(&self, b: &Bodies, params: &ForceParams, p: Vec3, theta: f32) -> Vec3 {
         let eps2 = params.eps_sq();
         let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        self.accel_rec(self.root, b, params.g, eps2, p, theta, &mut ax, &mut ay, &mut az);
+        self.accel_rec(
+            self.root, b, params.g, eps2, p, theta, &mut ax, &mut ay, &mut az,
+        );
         Vec3::new(ax, ay, az)
     }
 
@@ -198,7 +207,15 @@ impl Octree {
             }
             Node::Leaf { bodies } => {
                 for &bi in bodies {
-                    accel_one_exact(p, b.pos[bi as usize], g * b.mass[bi as usize], eps2, ax, ay, az);
+                    accel_one_exact(
+                        p,
+                        b.pos[bi as usize],
+                        g * b.mass[bi as usize],
+                        eps2,
+                        ax,
+                        ay,
+                        az,
+                    );
                 }
             }
             _ => {
@@ -231,11 +248,27 @@ impl Octree {
                 }
                 Node::Leaf { bodies } => {
                     for &bi in bodies {
-                        accel_one_exact(p, b.pos[bi as usize], g * b.mass[bi as usize], eps2, &mut ax, &mut ay, &mut az);
+                        accel_one_exact(
+                            p,
+                            b.pos[bi as usize],
+                            g * b.mass[bi as usize],
+                            eps2,
+                            &mut ax,
+                            &mut ay,
+                            &mut az,
+                        );
                     }
                 }
                 _ => {
-                    accel_one_exact(p, self.coms[ni], g * self.masses[ni], eps2, &mut ax, &mut ay, &mut az);
+                    accel_one_exact(
+                        p,
+                        self.coms[ni],
+                        g * self.masses[ni],
+                        eps2,
+                        &mut ax,
+                        &mut ay,
+                        &mut az,
+                    );
                 }
             }
         }
@@ -253,7 +286,9 @@ pub fn accelerations_bh(b: &Bodies, params: &ForceParams, theta: f32) -> Vec<Vec
 }
 
 fn octant(center: Vec3, p: Vec3) -> usize {
-    ((p.x >= center.x) as usize) | (((p.y >= center.y) as usize) << 1) | (((p.z >= center.z) as usize) << 2)
+    ((p.x >= center.x) as usize)
+        | (((p.y >= center.y) as usize) << 1)
+        | (((p.z >= center.z) as usize) << 2)
 }
 
 fn octant_offset(o: usize) -> Vec3 {
@@ -306,7 +341,10 @@ mod tests {
             let err = (bh[i] - direct[i]).norm() / direct[i].norm().max(1e-9);
             worst = worst.max(err);
         }
-        assert!(worst < 0.05, "worst relative error {worst} too large for θ=0.5");
+        assert!(
+            worst < 0.05,
+            "worst relative error {worst} too large for θ=0.5"
+        );
     }
 
     #[test]
@@ -348,7 +386,10 @@ mod tests {
         };
         let tight = err_at(0.3);
         let loose = err_at(1.2);
-        assert!(tight < loose, "θ=0.3 err {tight} should beat θ=1.2 err {loose}");
+        assert!(
+            tight < loose,
+            "θ=0.3 err {tight} should beat θ=1.2 err {loose}"
+        );
     }
 }
 
@@ -383,7 +424,12 @@ impl LinearTree {
     /// Flatten an octree. `g` pre-scales the stored masses (both the node
     /// COM masses and the leaf bodies), matching the GPU kernels' convention.
     pub fn build(tree: &Octree, b: &Bodies, g: f32) -> LinearTree {
-        let mut lt = LinearTree { com: Vec::new(), side_sq: Vec::new(), meta: Vec::new(), bodies: Vec::new() };
+        let mut lt = LinearTree {
+            com: Vec::new(),
+            side_sq: Vec::new(),
+            meta: Vec::new(),
+            bodies: Vec::new(),
+        };
         lt.emit(tree, b, g, tree.root);
         lt
     }
@@ -483,7 +529,10 @@ impl LinearTree {
     /// leaves hold ≤ LINEAR_LEAF_CAP bodies each. The pseudo-children share
     /// the parent's cell geometry (conservative for the opening test).
     fn split_oversized(&mut self, id: usize, members: Vec<u32>, b: &Bodies, g: f32, side: f32) {
-        let chunks: Vec<Vec<u32>> = members.chunks(LINEAR_LEAF_CAP).map(|c| c.to_vec()).collect();
+        let chunks: Vec<Vec<u32>> = members
+            .chunks(LINEAR_LEAF_CAP)
+            .map(|c| c.to_vec())
+            .collect();
         if chunks.len() == 1 {
             self.fill_leaf(id, &chunks[0], b, g);
             return;
@@ -612,7 +661,11 @@ mod linear_tests {
     fn linear_tree_conserves_mass_and_bodies() {
         let b = spawn::plummer(700, 1.0, 5.0, 9);
         let lt = LinearTree::from_bodies(&b, 1.0);
-        assert_eq!(lt.bodies.len(), b.len(), "every body lands in exactly one leaf");
+        assert_eq!(
+            lt.bodies.len(),
+            b.len(),
+            "every body lands in exactly one leaf"
+        );
         let leaf_mass: f64 = lt.bodies.iter().map(|x| x[3] as f64).sum();
         assert!((leaf_mass - b.total_mass()).abs() < 1e-2);
         // Every leaf within cap; children ranges valid.
@@ -620,7 +673,10 @@ mod linear_tests {
             assert!(m[3] as usize <= LINEAR_LEAF_CAP, "node {i} leaf too big");
             assert!(m[0] as usize + m[1] as usize <= lt.n_nodes());
             assert!(m[2] as usize + m[3] as usize <= lt.bodies.len());
-            assert!(m[1] > 0 || m[3] > 0 || lt.com[i][3] == 0.0, "node {i} is empty but massive");
+            assert!(
+                m[1] > 0 || m[3] > 0 || lt.com[i][3] == 0.0,
+                "node {i} is empty but massive"
+            );
         }
     }
 

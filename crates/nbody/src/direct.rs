@@ -52,7 +52,15 @@ pub fn accelerations_tiled(b: &Bodies, params: &ForceParams, tile: usize) -> Vec
         while t0 < n {
             let t1 = (t0 + tile).min(n);
             for j in t0..t1 {
-                accel_one_exact(pi, b.pos[j], params.g * b.mass[j], eps2, &mut ax, &mut ay, &mut az);
+                accel_one_exact(
+                    pi,
+                    b.pos[j],
+                    params.g * b.mass[j],
+                    eps2,
+                    &mut ax,
+                    &mut ay,
+                    &mut az,
+                );
             }
             t0 = t1;
         }
@@ -90,7 +98,13 @@ mod tests {
         let mut b = Bodies::default();
         b.push(Vec3::new(-1.0, 0.0, 0.0), Vec3::ZERO, 3.0);
         b.push(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, 1.0);
-        let a = accelerations(&b, &ForceParams { g: 1.0, softening: 0.0 });
+        let a = accelerations(
+            &b,
+            &ForceParams {
+                g: 1.0,
+                softening: 0.0,
+            },
+        );
         // m_i a_i must be equal and opposite.
         assert!((3.0 * a[0].x + 1.0 * a[1].x).abs() < 1e-6);
         assert!(a[0].x > 0.0 && a[1].x < 0.0);

@@ -70,7 +70,10 @@ mod tests {
         let mut b = Bodies::default();
         b.push(Vec3::ZERO, Vec3::ZERO, 2.0);
         b.push(Vec3::new(4.0, 0.0, 0.0), Vec3::ZERO, 3.0);
-        let p = ForceParams { g: 1.0, softening: 0.0 };
+        let p = ForceParams {
+            g: 1.0,
+            softening: 0.0,
+        };
         assert!((potential_energy(&b, &p) + 6.0 / 4.0).abs() < 1e-9);
     }
 

@@ -88,7 +88,10 @@ mod tests {
     fn circular_orbit_stays_circular_under_leapfrog() {
         // Central mass M=1 at origin (softening off), satellite on a circular
         // orbit at r=1: v = sqrt(GM/r) = 1.
-        let p = ForceParams { g: 1.0, softening: 0.0 };
+        let p = ForceParams {
+            g: 1.0,
+            softening: 0.0,
+        };
         let mut b = Bodies::default();
         b.push(Vec3::ZERO, Vec3::ZERO, 1.0);
         b.push(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0), 1e-9);
@@ -103,7 +106,10 @@ mod tests {
 
     #[test]
     fn leapfrog_conserves_energy_better_than_euler() {
-        let p = ForceParams { g: 1.0, softening: 0.1 };
+        let p = ForceParams {
+            g: 1.0,
+            softening: 0.1,
+        };
         let dt = 0.01;
         let steps = 200;
         let run = |leap: bool| {

@@ -36,7 +36,10 @@ impl Default for ForceParams {
     fn default() -> Self {
         // Gravit's dimensionless units: G = 1, with a small softening to keep
         // close encounters integrable.
-        ForceParams { g: 1.0, softening: 0.05 }
+        ForceParams {
+            g: 1.0,
+            softening: 0.05,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ impl Bodies {
 
     /// Append one body.
     pub fn push(&mut self, pos: Vec3, vel: Vec3, mass: f32) {
-        assert!(mass >= 0.0 && mass.is_finite(), "mass must be finite and non-negative");
+        assert!(
+            mass >= 0.0 && mass.is_finite(),
+            "mass must be finite and non-negative"
+        );
         assert!(pos.is_finite() && vel.is_finite(), "non-finite body state");
         self.pos.push(pos);
         self.vel.push(vel);
@@ -138,8 +144,14 @@ impl Bodies {
         assert_eq!(self.pos.len(), self.vel.len());
         assert_eq!(self.pos.len(), self.mass.len());
         for i in 0..self.len() {
-            assert!(self.pos[i].is_finite() && self.vel[i].is_finite(), "body {i} non-finite");
-            assert!(self.mass[i].is_finite() && self.mass[i] >= 0.0, "body {i} bad mass");
+            assert!(
+                self.pos[i].is_finite() && self.vel[i].is_finite(),
+                "body {i} non-finite"
+            );
+            assert!(
+                self.mass[i].is_finite() && self.mass[i] >= 0.0,
+                "body {i} bad mass"
+            );
         }
     }
 }
@@ -198,7 +210,15 @@ mod tests {
     fn unsoftened_matches_newton_for_unit_case() {
         // Two unit masses 2 apart on x: |a| = G·m/r² = 0.25.
         let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        accel_one_exact(Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), 1.0, 0.0, &mut ax, &mut ay, &mut az);
+        accel_one_exact(
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            1.0,
+            0.0,
+            &mut ax,
+            &mut ay,
+            &mut az,
+        );
         assert!((ax - 0.25).abs() < 1e-6, "ax = {ax}");
         assert_eq!((ay, az), (0.0, 0.0));
     }
@@ -207,7 +227,15 @@ mod tests {
     fn softening_bounds_close_encounters() {
         let eps2 = 0.01f32;
         let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        accel_one_exact(Vec3::ZERO, Vec3::new(1e-6, 0.0, 0.0), 1.0, eps2, &mut ax, &mut ay, &mut az);
+        accel_one_exact(
+            Vec3::ZERO,
+            Vec3::new(1e-6, 0.0, 0.0),
+            1.0,
+            eps2,
+            &mut ax,
+            &mut ay,
+            &mut az,
+        );
         assert!(ax.is_finite());
         // Max possible |a| under Plummer softening is bounded by m·d/(ε²)^1.5.
         assert!(ax.abs() < 1.0 / eps2.powf(1.5));
@@ -216,7 +244,15 @@ mod tests {
     #[test]
     fn force_is_attractive_toward_source() {
         let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        accel_one_exact(Vec3::ZERO, Vec3::new(-3.0, 4.0, 0.0), 2.0, 0.0, &mut ax, &mut ay, &mut az);
+        accel_one_exact(
+            Vec3::ZERO,
+            Vec3::new(-3.0, 4.0, 0.0),
+            2.0,
+            0.0,
+            &mut ax,
+            &mut ay,
+            &mut az,
+        );
         assert!(ax < 0.0 && ay > 0.0, "acceleration points at the source");
     }
 

@@ -30,7 +30,11 @@ pub fn plummer(n: usize, a: f32, total_mass: f32, seed: u64) -> Bodies {
     for _ in 0..n {
         let r = loop {
             let u = rng.next_f64().max(1e-9);
-            let r = a * ((u.powf(-2.0 / 3.0) - 1.0) as f32).max(1e-12).sqrt().recip();
+            let r = a
+                * ((u.powf(-2.0 / 3.0) - 1.0) as f32)
+                    .max(1e-12)
+                    .sqrt()
+                    .recip();
             if r.is_finite() && r < 10.0 * a {
                 break r;
             }
@@ -70,7 +74,12 @@ pub fn disk_galaxy(n: usize, radius: f32, central_mass: f32, g: f32, seed: u64) 
 
 /// Two disk galaxies on a collision course — the paper's "beautiful looking
 /// gravity patterns" workload, and our largest-scale example scenario.
-pub fn colliding_galaxies(n_each: usize, separation: f32, approach_speed: f32, seed: u64) -> Bodies {
+pub fn colliding_galaxies(
+    n_each: usize,
+    separation: f32,
+    approach_speed: f32,
+    seed: u64,
+) -> Bodies {
     let g = 1.0;
     let a = disk_galaxy(n_each, separation * 0.25, 1.0, g, seed);
     let b2 = disk_galaxy(n_each, separation * 0.25, 1.0, g, seed.wrapping_add(1));
@@ -112,7 +121,10 @@ mod tests {
         let b = plummer(2000, 1.0, 1.0, 2);
         let inner = b.pos.iter().filter(|p| p.norm() < 1.0).count();
         let outer = b.pos.iter().filter(|p| p.norm() >= 1.0).count();
-        assert!(inner > outer / 2, "Plummer half-mass radius ≈ 1.3a: inner {inner}, outer {outer}");
+        assert!(
+            inner > outer / 2,
+            "Plummer half-mass radius ≈ 1.3a: inner {inner}, outer {outer}"
+        );
         assert!(b.pos.iter().all(|p| p.norm() <= 10.0));
     }
 
@@ -141,9 +153,14 @@ mod tests {
         let right = b.pos.iter().filter(|p| p.x >= 10.0).count();
         assert!(left >= 290 && right >= 290, "split {left}/{right}");
         // The second galaxy approaches.
-        let mean_vx_right: f32 =
-            b.pos.iter().zip(&b.vel).filter(|(p, _)| p.x >= 10.0).map(|(_, v)| v.x).sum::<f32>()
-                / right as f32;
+        let mean_vx_right: f32 = b
+            .pos
+            .iter()
+            .zip(&b.vel)
+            .filter(|(p, _)| p.x >= 10.0)
+            .map(|(_, v)| v.x)
+            .sum::<f32>()
+            / right as f32;
         assert!(mean_vx_right < -0.2);
     }
 }

@@ -170,8 +170,12 @@ impl Xoshiro256pp {
     /// The 2^128-step jump, for carving independent parallel streams out of
     /// one seed (used when sweeps run under Rayon).
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] =
-            [0x180e_c6d3_3cfd_0aba, 0xd5a6_1266_f0c9_392c, 0xa958_2618_e03f_c9aa, 0x39ab_dc45_29b1_661c];
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
         let mut t = [0u64; 4];
         for j in JUMP {
             for b in 0..64 {
@@ -274,7 +278,10 @@ mod tests {
         }
         // Each bucket should be within 10% of the expected 10_000.
         for &c in &counts {
-            assert!((9_000..=11_000).contains(&c), "bucket count {c} out of tolerance");
+            assert!(
+                (9_000..=11_000).contains(&c),
+                "bucket count {c} out of tolerance"
+            );
         }
     }
 
@@ -314,7 +321,11 @@ mod tests {
         let mut sorted = xs.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(xs, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity shuffle");
+        assert_ne!(
+            xs,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity shuffle"
+        );
     }
 
     #[test]

@@ -37,7 +37,13 @@ impl Summary {
             min = min.min(x);
             max = max.max(x);
         }
-        Some(Summary { n, mean, stddev: var.sqrt(), min, max })
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Relative standard deviation (coefficient of variation); 0 if mean is 0.
@@ -62,7 +68,10 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64) {
     let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
     let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
     let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > f64::EPSILON * sxx.max(1.0), "degenerate x values in linear_fit");
+    assert!(
+        denom.abs() > f64::EPSILON * sxx.max(1.0),
+        "degenerate x values in linear_fit"
+    );
     let b = (n * sxy - sx * sy) / denom;
     let a = (sy - b * sx) / n;
     (a, b)
@@ -175,7 +184,13 @@ impl Histogram {
     /// A histogram with `n_bins` equal bins over `[lo, hi)`.
     pub fn new(lo: f64, hi: f64, n_bins: usize) -> Histogram {
         assert!(hi > lo && n_bins > 0);
-        Histogram { lo, hi, bins: vec![0; n_bins], underflow: 0, overflow: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; n_bins],
+            underflow: 0,
+            overflow: 0,
+        }
     }
 
     /// Record one sample.

@@ -97,9 +97,21 @@ impl Table {
             }
         }
         let mut out = String::new();
-        let _ = writeln!(out, "{}", self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
         for row in &self.rows {
-            let _ = writeln!(out, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -138,7 +150,9 @@ mod tests {
         assert!(md.contains("| layout |"));
         assert!(md.contains("AoS"));
         assert!(md.contains("SoAoaS"));
-        assert!(md.lines().any(|l| l.starts_with("|--") || l.starts_with("| -") || l.contains("---")));
+        assert!(md
+            .lines()
+            .any(|l| l.starts_with("|--") || l.starts_with("| -") || l.contains("---")));
     }
 
     #[test]

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 ///
 /// A newtype rather than a bare `u64` so that cycle arithmetic in the timing
 /// engine cannot be silently mixed with byte counts or instruction counts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default, Hash, Serialize, Deserialize,
+)]
 pub struct Cycles(pub u64);
 
 impl Cycles {

@@ -8,12 +8,14 @@
 //!
 //! Run: `cargo run --release --example device_resident`
 
-use gravit_core::substrates::gpu_kernels::force::{build_force_kernel, ForceKernelConfig, OptLevel};
+use gravit_app::backend::{run_device_resident, Backend};
+use gravit_core::substrates::gpu_kernels::force::{
+    build_force_kernel, ForceKernelConfig, OptLevel,
+};
 use gravit_core::substrates::gpu_kernels::integrate::build_integrate_kernel;
 use gravit_core::substrates::gpu_sim::ir::pretty::disassemble;
 use gravit_core::substrates::nbody::{self, model::ForceParams};
 use gravit_core::substrates::particle_layouts::Layout;
-use gravit_app::backend::{run_device_resident, Backend};
 use nbody::integrator::step_euler;
 
 fn main() {
@@ -26,7 +28,10 @@ fn main() {
     });
     let text = disassemble(&rolled);
     println!("Rolled inner loop (note the mad.u32 address and the loop overhead):\n");
-    for line in text.lines().filter(|l| l.contains("for ") || l.contains("mad.u32") || l.contains("rsqrt")) {
+    for line in text
+        .lines()
+        .filter(|l| l.contains("for ") || l.contains("mad.u32") || l.contains("rsqrt"))
+    {
         println!("  {}", line.trim_start());
     }
     let full = build_force_kernel(OptLevel::Full.config());
@@ -36,7 +41,10 @@ fn main() {
     println!("(the paper: \"an additional add to calculate the address offset that now is hard coded\")\n");
 
     // 2. Device-resident run vs host loop: bit-identical trajectories.
-    let fp = ForceParams { g: 1.0, softening: 0.05 };
+    let fp = ForceParams {
+        g: 1.0,
+        softening: 0.05,
+    };
     let dt = 0.01f32;
     let steps = 8u32;
     let bodies0 = nbody::spawn::disk_galaxy(1024, 5.0, 1.0, fp.g, 77);
@@ -53,6 +61,9 @@ fn main() {
 
     // 3. The integration kernel is tiny and loop-free.
     let integ = build_integrate_kernel(Layout::SoAoaS);
-    println!("\nIntegration kernel ({} instructions):", disassemble(&integ).lines().count() - 2);
+    println!(
+        "\nIntegration kernel ({} instructions):",
+        disassemble(&integ).lines().count() - 2
+    );
     print!("{}", disassemble(&integ));
 }

@@ -27,14 +27,20 @@ fn main() {
     let steps = arg("--steps", 150);
     let cfg = SimConfig {
         n,
-        spawn: SpawnKind::Collision { separation: 18.0, approach_speed: 0.35 },
+        spawn: SpawnKind::Collision {
+            separation: 18.0,
+            approach_speed: 0.35,
+        },
         seed: 2009,
         dt: 0.01,
         integrator: Integrator::Leapfrog,
         backend: Backend::CpuParallel,
         ..SimConfig::default()
     };
-    println!("Colliding galaxies: n={n}, {steps} steps, backend={}", cfg.backend.label());
+    println!(
+        "Colliding galaxies: n={n}, {steps} steps, backend={}",
+        cfg.backend.label()
+    );
 
     let t0 = Instant::now();
     let mut sim = Simulation::new(cfg).expect("no device faults in a healthy run");
@@ -63,6 +69,13 @@ fn main() {
 
     let path = std::env::temp_dir().join("gravit_collision.json");
     rec.write(&path).expect("write recording");
-    println!("recording: {} ({} frames)", path.display(), rec.frames.len());
-    assert!(sim.energy_drift() < 0.2, "energy diverged — integration unstable");
+    println!(
+        "recording: {} ({} frames)",
+        path.display(),
+        rec.frames.len()
+    );
+    assert!(
+        sim.energy_drift() < 0.2,
+        "energy diverged — integration unstable"
+    );
 }

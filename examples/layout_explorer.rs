@@ -16,8 +16,11 @@ fn show(name: &str, schema: &StructSchema) {
     let plan = optimize_layout(schema);
     println!("\n{name} ({} words payload):", schema.words());
     for (gi, g) in plan.groups.iter().enumerate() {
-        let members: Vec<&str> =
-            g.fields.iter().map(|&i| plan.schema.fields[i].name.as_str()).collect();
+        let members: Vec<&str> = g
+            .fields
+            .iter()
+            .map(|&i| plan.schema.fields[i].name.as_str())
+            .collect();
         println!(
             "  array {gi}: {{{}}} — {}/{} words used ({:?})",
             members.join(", "),
@@ -36,7 +39,10 @@ fn show(name: &str, schema: &StructSchema) {
 }
 
 fn main() {
-    show("Gravit particle (the paper's case)", &StructSchema::gravit_particle());
+    show(
+        "Gravit particle (the paper's case)",
+        &StructSchema::gravit_particle(),
+    );
 
     show(
         "SPH particle",
@@ -71,6 +77,11 @@ fn main() {
     println!("\nMeasured cycles per 4-byte element (membench, CUDA 1.0 model):");
     for layout in Layout::ALL {
         let r = bench::membench_harness::run_membench(layout, DriverModel::Cuda10);
-        println!("  {:<8} {:>8.1} cycles ({} transactions)", layout.label(), r.avg_cycles_per_read, r.transactions);
+        println!(
+            "  {:<8} {:>8.1} cycles ({} transactions)",
+            layout.label(),
+            r.avg_cycles_per_read,
+            r.transactions
+        );
     }
 }

@@ -7,12 +7,12 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+use gravit_app::backend::Backend;
 use gravit_core::layout_advisor::{optimize_layout, StructSchema};
 use gravit_core::pipeline::optimization_ladder;
 use gravit_core::substrates::gpu_kernels::force::OptLevel;
 use gravit_core::substrates::gpu_sim::{DeviceConfig, DriverModel};
 use gravit_core::substrates::nbody::{self, model::ForceParams};
-use gravit_app::backend::Backend;
 use simcore::format_duration_s;
 
 fn main() {
@@ -45,8 +45,11 @@ fn main() {
     let bodies = nbody::spawn::disk_galaxy(1024, 5.0, 1.0, 1.0, 42);
     let fp = ForceParams::default();
     let cpu = Backend::CpuSerial.accelerations(&bodies, &fp);
-    let gpu = Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda10 }
-        .accelerations(&bodies, &fp);
+    let gpu = Backend::GpuSim {
+        level: OptLevel::Full,
+        driver: DriverModel::Cuda10,
+    }
+    .accelerations(&bodies, &fp);
     assert_eq!(cpu, gpu);
     println!("\nGPU kernel vs CPU reference at n=1024: bit-identical ✓");
 

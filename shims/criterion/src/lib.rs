@@ -23,7 +23,9 @@ impl Criterion {
 
     /// Benchmark a standalone function.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { best: Duration::MAX };
+        let mut b = Bencher {
+            best: Duration::MAX,
+        };
         f(&mut b);
         println!("  {name}: {:?}", b.best);
         self
@@ -61,7 +63,9 @@ impl BenchmarkGroup {
         input: &I,
         mut f: F,
     ) -> &mut Self {
-        let mut b = Bencher { best: Duration::MAX };
+        let mut b = Bencher {
+            best: Duration::MAX,
+        };
         f(&mut b, input);
         println!("  {}: {:?}", id.0, b.best);
         self
@@ -69,7 +73,9 @@ impl BenchmarkGroup {
 
     /// Benchmark a function with no prepared input.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { best: Duration::MAX };
+        let mut b = Bencher {
+            best: Duration::MAX,
+        };
         f(&mut b);
         println!("  {name}: {:?}", b.best);
         self

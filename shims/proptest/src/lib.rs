@@ -36,7 +36,11 @@ pub mod strategy {
         where
             Self: Sized,
         {
-            Filter { inner: self, f, reason }
+            Filter {
+                inner: self,
+                f,
+                reason,
+            }
         }
 
         /// Erase the concrete strategy type.
@@ -263,13 +267,19 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -281,7 +291,10 @@ pub mod collection {
 
     /// Vector strategy (mirrors `proptest::collection::vec`).
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -327,7 +340,9 @@ pub mod test_runner {
     impl TestRng {
         /// Seeded generator (same seed ⇒ same case).
         pub fn new(seed: u64) -> Self {
-            TestRng { state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15) }
+            TestRng {
+                state: seed.wrapping_add(0x9e37_79b9_7f4a_7c15),
+            }
         }
 
         /// Next 64 uniform bits.
@@ -370,7 +385,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
     /// `prop::` path alias used by some proptest idioms.
     pub mod prop {
         pub use crate::{collection, option};
@@ -470,7 +487,11 @@ macro_rules! prop_assert_ne {
                 if left == right {
                     return ::std::result::Result::Err(format!(
                         "assertion failed: {} != {} (both: {:?}) ({}:{})",
-                        stringify!($a), stringify!($b), left, file!(), line!()
+                        stringify!($a),
+                        stringify!($b),
+                        left,
+                        file!(),
+                        line!()
                     ));
                 }
             }

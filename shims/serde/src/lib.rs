@@ -91,7 +91,8 @@ impl Value {
 
     /// Map lookup by key (None if not a map or key absent).
     pub fn get(&self, key: &str) -> Option<&Value> {
-        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        self.as_map()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 }
 
@@ -176,16 +177,16 @@ pub trait Deserialize: Sized {
 /// (so `Option` fields tolerate omission).
 pub fn field<T: Deserialize>(m: &[(String, Value)], name: &str) -> Result<T, DeError> {
     match m.iter().find(|(k, _)| k == name) {
-        Some((_, v)) => T::from_value(v)
-            .map_err(|e| DeError(format!("field `{name}`: {e}"))),
-        None => T::from_value(&Value::Null)
-            .map_err(|_| DeError(format!("missing field `{name}`"))),
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError(format!("field `{name}`: {e}"))),
+        None => T::from_value(&Value::Null).map_err(|_| DeError(format!("missing field `{name}`"))),
     }
 }
 
 /// Sequence element at `i`, required.
 pub fn seq_elem<T: Deserialize>(s: &[Value], i: usize) -> Result<T, DeError> {
-    let v = s.get(i).ok_or_else(|| DeError(format!("missing tuple element {i}")))?;
+    let v = s
+        .get(i)
+        .ok_or_else(|| DeError(format!("missing tuple element {i}")))?;
     T::from_value(v).map_err(|e| DeError(format!("tuple element {i}: {e}")))
 }
 
@@ -236,7 +237,8 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_bool().ok_or_else(|| DeError(format!("expected bool, got {v:?}")))
+        v.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {v:?}")))
     }
 }
 
@@ -248,7 +250,9 @@ impl Serialize for String {
 
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| DeError(format!("expected string, got {v:?}")))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {v:?}")))
     }
 }
 
@@ -295,7 +299,8 @@ impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let vec = Vec::<T>::from_value(v)?;
         let n = vec.len();
-        vec.try_into().map_err(|_| DeError(format!("expected array of {N}, got {n} elements")))
+        vec.try_into()
+            .map_err(|_| DeError(format!("expected array of {N}, got {n} elements")))
     }
 }
 

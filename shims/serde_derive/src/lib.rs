@@ -200,8 +200,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::UnitStruct => "serde::Value::Null".to_string(),
         Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
         Shape::TupleStruct(n) => {
-            let elems: Vec<String> =
-                (0..*n).map(|i| format!("serde::Serialize::to_value(&self.{i})")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
             format!("serde::Value::Seq(vec![{}])", elems.join(", "))
         }
         Shape::NamedStruct(fields) => {
@@ -270,7 +271,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::UnitStruct => format!("let _ = v; Ok({name})"),
         Shape::TupleStruct(1) => format!("Ok({name}(serde::Deserialize::from_value(v)?))"),
         Shape::TupleStruct(n) => {
-            let elems: Vec<String> = (0..*n).map(|i| format!("serde::seq_elem(s, {i})?")).collect();
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("serde::seq_elem(s, {i})?"))
+                .collect();
             format!(
                 "match v {{ serde::Value::Seq(s) => Ok({name}({e})), _ => \
                  Err(serde::DeError::custom(format!(\"expected sequence for {name}, got \
@@ -279,8 +282,10 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
         Shape::NamedStruct(fields) => {
-            let inits: Vec<String> =
-                fields.iter().map(|f| format!("{f}: serde::field(m, {f:?})?")).collect();
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: serde::field(m, {f:?})?"))
+                .collect();
             format!(
                 "let m = v.as_map().ok_or_else(|| serde::DeError::custom(format!(\"expected map \
                  for {name}, got {{v:?}}\")))?; Ok({name} {{ {i} }})",
@@ -303,8 +308,9 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                             "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(pv)?)),"
                         )),
                         VariantFields::Tuple(n) => {
-                            let elems: Vec<String> =
-                                (0..*n).map(|i| format!("serde::seq_elem(s, {i})?")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("serde::seq_elem(s, {i})?"))
+                                .collect();
                             Some(format!(
                                 "{vn:?} => match pv {{ serde::Value::Seq(s) => \
                                  Ok({name}::{vn}({e})), _ => Err(serde::DeError::custom(\

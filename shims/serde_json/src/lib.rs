@@ -42,7 +42,10 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
 
 /// Deserialize from JSON text.
 pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -70,10 +73,22 @@ fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String)
             }
         }
         Value::Str(s) => write_json_string(s, out),
-        Value::Seq(items) => write_block(items.iter().map(|x| (None, x)), indent, depth, '[', ']', out),
-        Value::Map(entries) => {
-            write_block(entries.iter().map(|(k, x)| (Some(k.as_str()), x)), indent, depth, '{', '}', out)
-        }
+        Value::Seq(items) => write_block(
+            items.iter().map(|x| (None, x)),
+            indent,
+            depth,
+            '[',
+            ']',
+            out,
+        ),
+        Value::Map(entries) => write_block(
+            entries.iter().map(|(k, x)| (Some(k.as_str()), x)),
+            indent,
+            depth,
+            '{',
+            '}',
+            out,
+        ),
     }
 }
 
@@ -152,7 +167,10 @@ impl<'a> Parser<'a> {
             self.pos += 1;
             Ok(())
         } else {
-            Err(Error(format!("expected `{}` at byte {}", b as char, self.pos)))
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
         }
     }
 
@@ -180,7 +198,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Seq(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -206,7 +226,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Map(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -250,7 +272,8 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| Error("truncated \\u escape".into()))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
                                 16,
                             )
                             .map_err(|_| Error("bad \\u escape".into()))?;
@@ -293,9 +316,13 @@ impl<'a> Parser<'a> {
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| Error("invalid number".into()))?;
         if is_float {
-            text.parse::<f64>().map(Value::Float).map_err(|e| Error(format!("bad float {text}: {e}")))
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| Error(format!("bad float {text}: {e}")))
         } else {
-            text.parse::<i128>().map(Value::Int).map_err(|e| Error(format!("bad int {text}: {e}")))
+            text.parse::<i128>()
+                .map(Value::Int)
+                .map_err(|e| Error(format!("bad int {text}: {e}")))
         }
     }
 }
@@ -308,7 +335,10 @@ mod tests {
     fn roundtrip_nested() {
         let v = Value::Map(vec![
             ("a".into(), Value::Int(128)),
-            ("b".into(), Value::Seq(vec![Value::Float(1.5), Value::Str("x\"y".into())])),
+            (
+                "b".into(),
+                Value::Seq(vec![Value::Float(1.5), Value::Str("x\"y".into())]),
+            ),
             ("c".into(), Value::Null),
             ("d".into(), Value::Bool(true)),
         ]);

@@ -40,14 +40,26 @@ fn advisor_and_layout_crate_agree_on_soaoas() {
 #[test]
 fn end_to_end_force_matches_cpu_for_all_layouts_and_blocks() {
     let bodies = spawn::colliding_galaxies(150, 15.0, 0.3, 8); // 300 bodies
-    let fp = ForceParams { g: 1.0, softening: 0.05 };
+    let fp = ForceParams {
+        g: 1.0,
+        softening: 0.05,
+    };
     for layout in Layout::ALL {
         for block in [64u32, 128] {
-            let cfg = ForceKernelConfig { layout, block, unroll: 1, icm: false };
+            let cfg = ForceKernelConfig {
+                layout,
+                block,
+                unroll: 1,
+                icm: false,
+            };
             let kernel = build_force_kernel(cfg);
             let mut gmem = GlobalMemory::new(32 << 20);
             let ps: Vec<Particle> = (0..bodies.len())
-                .map(|i| Particle { pos: bodies.pos[i], vel: bodies.vel[i], mass: bodies.mass[i] })
+                .map(|i| Particle {
+                    pos: bodies.pos[i],
+                    vel: bodies.vel[i],
+                    mass: bodies.mass[i],
+                })
                 .collect();
             let img = DeviceImage::upload(&mut gmem, layout, &ps, block).unwrap();
             let out = alloc_accel_out(&mut gmem, img.padded_n).unwrap();
@@ -98,7 +110,10 @@ fn membench_orders_layouts_under_every_driver() {
             }
         }
         assert!(soaoas < unopt, "{driver}: SoAoaS must beat unopt");
-        assert!(worst / best > 1.05, "{driver}: layouts must be distinguishable");
+        assert!(
+            worst / best > 1.05,
+            "{driver}: layouts must be distinguishable"
+        );
     }
 }
 
@@ -106,11 +121,20 @@ fn membench_orders_layouts_under_every_driver() {
 /// the timed executor's issued-instruction tally (same kernel, same work).
 #[test]
 fn static_count_matches_executed_instructions() {
-    let cfg = ForceKernelConfig { layout: Layout::SoAoaS, block: 64, unroll: 1, icm: false };
+    let cfg = ForceKernelConfig {
+        layout: Layout::SoAoaS,
+        block: 64,
+        unroll: 1,
+        icm: false,
+    };
     let kernel = build_force_kernel(cfg);
     let n = 128u32; // 2 tiles
     let ps: Vec<Particle> = (0..n)
-        .map(|i| Particle { pos: simcore::Vec3::splat(i as f32), vel: simcore::Vec3::ZERO, mass: 1.0 })
+        .map(|i| Particle {
+            pos: simcore::Vec3::splat(i as f32),
+            vel: simcore::Vec3::ZERO,
+            mass: 1.0,
+        })
         .collect();
     let mut gmem = GlobalMemory::new(8 << 20);
     let img = DeviceImage::upload(&mut gmem, Layout::SoAoaS, &ps, 64).unwrap();

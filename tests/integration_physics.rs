@@ -32,7 +32,10 @@ fn ten_step_trajectory_identical_cpu_vs_optimized_gpu() {
     let mut cpu = Simulation::new(config(384, Backend::CpuSerial)).unwrap();
     let mut gpu = Simulation::new(config(
         384,
-        Backend::GpuSim { level: OptLevel::Full, driver: DriverModel::Cuda22 },
+        Backend::GpuSim {
+            level: OptLevel::Full,
+            driver: DriverModel::Cuda22,
+        },
     ))
     .unwrap();
     for _ in 0..10 {
@@ -49,13 +52,21 @@ fn ten_step_trajectory_identical_cpu_vs_optimized_gpu() {
 fn conservation_laws_hold_across_backends() {
     for backend in [
         Backend::CpuParallel,
-        Backend::GpuSim { level: OptLevel::SoAoaS, driver: DriverModel::Cuda10 },
+        Backend::GpuSim {
+            level: OptLevel::SoAoaS,
+            driver: DriverModel::Cuda10,
+        },
     ] {
         let mut sim = Simulation::new(config(256, backend)).unwrap();
         let l0 = angular_momentum(&sim.bodies);
         sim.run(150).unwrap();
         let l1 = angular_momentum(&sim.bodies);
-        assert!(sim.energy_drift() < 0.05, "{}: drift {}", backend.label(), sim.energy_drift());
+        assert!(
+            sim.energy_drift() < 0.05,
+            "{}: drift {}",
+            backend.label(),
+            sim.energy_drift()
+        );
         let scale = l0.iter().map(|x| x.abs()).fold(0.0f64, f64::max).max(1e-9);
         for k in 0..3 {
             assert!(
@@ -93,7 +104,12 @@ fn octree_scales_logarithmically() {
     let ts = Octree::build(&small);
     let tl = Octree::build(&large);
     // Depth grows slowly (log-ish), node count roughly linearly.
-    assert!(tl.depth() <= ts.depth() + 6, "depth {} vs {}", tl.depth(), ts.depth());
+    assert!(
+        tl.depth() <= ts.depth() + 6,
+        "depth {} vs {}",
+        tl.depth(),
+        ts.depth()
+    );
     assert!(tl.n_nodes() < 16 * ts.n_nodes());
     assert!((tl.root_mass() - 1.0).abs() < 1e-2);
 }
@@ -114,6 +130,9 @@ fn spawned_systems_are_gravitationally_bound() {
         let inward = (0..bodies.len())
             .filter(|&i| acc[i].dot(bodies.pos[i]) < 0.0)
             .count();
-        assert!(inward * 10 > bodies.len() * 8, "{name}: only {inward} inward accelerations");
+        assert!(
+            inward * 10 > bodies.len() * 8,
+            "{name}: only {inward} inward accelerations"
+        );
     }
 }

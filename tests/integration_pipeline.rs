@@ -19,7 +19,10 @@ fn fig10_shape_holds_under_every_driver() {
         let aoas = run_membench(Layout::AoaS, driver).avg_cycles_per_read;
         let soaoas = run_membench(Layout::SoAoaS, driver).avg_cycles_per_read;
         assert!(soa < unopt, "{driver}: SoA {soa} !< unopt {unopt}");
-        assert!(aoas < soa, "{driver}: AoaS {aoas} !< SoA {soa} (alignment beats pure coalescing)");
+        assert!(
+            aoas < soa,
+            "{driver}: AoaS {aoas} !< SoA {soa} (alignment beats pure coalescing)"
+        );
         assert!(soaoas < aoas, "{driver}: SoAoaS {soaoas} !< AoaS {aoas}");
     }
 }
@@ -52,7 +55,12 @@ fn cuda11_flattens_the_unoptimized_penalty() {
     // speedup collapses toward 1 while the vector layouts keep theirs
     // ("the impact on the performance has a completely different pattern").
     let sp = fig11_speedups(&sweep);
-    let gain = |d: DriverModel, l: Layout| sp.iter().find(|(dd, ll, _)| *dd == d && *ll == l).unwrap().2;
+    let gain = |d: DriverModel, l: Layout| {
+        sp.iter()
+            .find(|(dd, ll, _)| *dd == d && *ll == l)
+            .unwrap()
+            .2
+    };
     assert!(
         gain(DriverModel::Cuda11, Layout::SoA) < 0.6 * gain(DriverModel::Cuda10, Layout::SoA)
             || gain(DriverModel::Cuda11, Layout::SoA) < 1.15,
@@ -99,10 +107,22 @@ fn fig12_speedup_decomposition() {
     let occ_gain = unrolled / full;
     let total = base / full;
 
-    assert!((1.0..1.10).contains(&layout_gain), "layout gain {layout_gain} (paper: a few %)");
-    assert!((1.10..1.30).contains(&unroll_gain), "unroll gain {unroll_gain} (paper: ~18%)");
-    assert!((1.0..1.12).contains(&occ_gain), "occupancy gain {occ_gain} (paper: ~6%)");
-    assert!((1.15..1.40).contains(&total), "total {total} (paper: 1.27x)");
+    assert!(
+        (1.0..1.10).contains(&layout_gain),
+        "layout gain {layout_gain} (paper: a few %)"
+    );
+    assert!(
+        (1.10..1.30).contains(&unroll_gain),
+        "unroll gain {unroll_gain} (paper: ~18%)"
+    );
+    assert!(
+        (1.0..1.12).contains(&occ_gain),
+        "occupancy gain {occ_gain} (paper: ~6%)"
+    );
+    assert!(
+        (1.15..1.40).contains(&total),
+        "total {total} (paper: 1.27x)"
+    );
 }
 
 /// Frame time is transfer-bound at small N and kernel-bound at large N; the
