@@ -2,17 +2,55 @@
 //! predicts per-launch global transaction counts from per-lane symbolic
 //! addresses; this table checks that prediction against the timed executor's
 //! dynamic coalescer on the real membench kernels, per layout × driver.
+//!
+//! The second table covers the interval fragment: on the Barnes–Hut
+//! traversal the analyzer cannot be exact, so its `[best, worst]`
+//! transaction interval must *enclose* the dynamic measurement instead.
+//!
+//! Also emits `BENCH_analyze.json` — analyzer wall time per kernel × driver
+//! across both families, so analysis-cost regressions show up in review.
+//!
+//! Usage: `table_lint_validation [--bh-n BODIES] [--json PATH]`.
 use bench::report::emit;
-use bench::tables::lint_cross_validation;
+use bench::tables::{bh_bounds_validation, lint_cross_validation};
+use serde::Serialize;
 use simcore::Table;
 
+#[derive(Serialize)]
+struct AnalyzeTime {
+    kernel: String,
+    driver: String,
+    analyze_ms: f64,
+    exact: bool,
+}
+
+#[derive(Serialize)]
+struct AnalyzeReport {
+    bench: String,
+    bh_n: u32,
+    kernels: Vec<AnalyzeTime>,
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bh_n: u32 = flag(&args, "--bh-n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(192);
+    let json_path = flag(&args, "--json").unwrap_or_else(|| "BENCH_analyze.json".into());
+
     let rows = lint_cross_validation();
     let mut t = Table::new(
         "Static transaction prediction vs dynamic coalescer — membench kernels",
         &["layout", "driver", "static", "measured", "match"],
     );
     let mut mismatches = 0usize;
+    let mut times = Vec::new();
     for r in &rows {
         if r.predicted != r.measured {
             mismatches += 1;
@@ -29,13 +67,72 @@ fn main() {
             }
             .to_string(),
         ]);
+        times.push(AnalyzeTime {
+            kernel: format!("membench_{}", r.layout.label()),
+            driver: r.driver.label().to_string(),
+            analyze_ms: r.analyze_ms,
+            exact: r.exact,
+        });
     }
     emit(&t, "table_lint_validation");
-    if mismatches == 0 {
+
+    let bh_rows = bh_bounds_validation(bh_n);
+    let mut bt = Table::new(
+        "Interval transaction bounds vs dynamic coalescer — Barnes-Hut traversal",
+        &[
+            "kernel",
+            "driver",
+            "static lo",
+            "static hi",
+            "measured",
+            "enclosed",
+        ],
+    );
+    let mut escapes = 0usize;
+    for r in &bh_rows {
+        if !r.enclosed {
+            escapes += 1;
+        }
+        bt.row(vec![
+            r.kernel.clone(),
+            r.driver.label().to_string(),
+            r.tx_lo.to_string(),
+            r.tx_hi.to_string(),
+            r.measured.to_string(),
+            if r.enclosed { "yes" } else { "NO" }.to_string(),
+        ]);
+        times.push(AnalyzeTime {
+            kernel: r.kernel.clone(),
+            driver: r.driver.label().to_string(),
+            analyze_ms: r.analyze_ms,
+            exact: false,
+        });
+    }
+    emit(&bt, "table_bh_bounds");
+
+    let report = AnalyzeReport {
+        bench: "analyze".into(),
+        bh_n,
+        kernels: times,
+    };
+    std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write BENCH_analyze.json");
+    println!("wrote {json_path}");
+
+    if mismatches == 0 && escapes == 0 {
         println!("The analyzer's symbolic coalescer agrees with the executor on every");
-        println!("layout and driver; `kernel-lint` findings rest on exact counts.");
+        println!("layout and driver, and the Barnes-Hut interval bounds enclose the");
+        println!("dynamic traversal; `kernel-lint` findings rest on sound counts.");
     } else {
-        println!("[FAIL] {mismatches} static/dynamic transaction mismatches");
+        if mismatches > 0 {
+            println!("[FAIL] {mismatches} static/dynamic transaction mismatches");
+        }
+        if escapes > 0 {
+            println!("[FAIL] {escapes} dynamic measurements escaped the static interval");
+        }
         std::process::exit(1);
     }
 }

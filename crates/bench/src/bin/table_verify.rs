@@ -2,10 +2,14 @@
 //! against the dynamic timing engine: for every driver, the full
 //! optimization ladder is priced statically and timed dynamically, and the
 //! two orderings must agree wherever the measured gap is outside noise
-//! (3 % relative). Exits non-zero on any ranking disagreement — the CI
+//! (3 % relative). The Barnes–Hut bounds-certification targets ride in the
+//! same table: their data-dependent traversal is priced as a cycle
+//! *interval* instead of a point, and each target must certify. Exits
+//! non-zero on any ranking disagreement or failed certificate — the CI
 //! `verify-kernels` job gates on this.
 use bench::report::emit;
 use bench::tables::{cost_vs_measured, ranking_disagreements};
+use gpu_kernels::verifyset::bounds_targets;
 use gpu_sim::DriverModel;
 use simcore::{format_duration_s, Table};
 use std::process::ExitCode;
@@ -13,6 +17,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let n = 24_576u32;
     let mut disagreements = 0usize;
+    let mut failed_certificates = 0usize;
     let mut t = Table::new(
         format!("Static cycle model vs dynamic engine — force ladder, N = {n}"),
         &[
@@ -52,12 +57,42 @@ fn main() -> ExitCode {
         }
         disagreements += bad.len();
     }
+    // Barnes–Hut: no exact point prediction exists, so the row carries the
+    // certified [best, worst] cycle interval from the bounds verifier.
+    for target in bounds_targets() {
+        match target.verify() {
+            Ok(cert) => {
+                let (lo, hi) = cert.cycle_bounds;
+                t.row(vec![
+                    "CUDA 1.0".to_string(),
+                    format!("{} [interval]", cert.kernel),
+                    format!("[{lo:.0}, {hi:.0}] cyc"),
+                    "-".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
+                ]);
+            }
+            Err(reason) => {
+                eprintln!(
+                    "BOUNDS CERTIFICATION FAILED: {}: {reason}",
+                    target.kernel.name
+                );
+                failed_certificates += 1;
+            }
+        }
+    }
     emit(&t, "table_verify");
-    if disagreements > 0 {
-        eprintln!("table_verify: {disagreements} static/measured ranking disagreement(s)");
+    if disagreements > 0 || failed_certificates > 0 {
+        if disagreements > 0 {
+            eprintln!("table_verify: {disagreements} static/measured ranking disagreement(s)");
+        }
+        if failed_certificates > 0 {
+            eprintln!("table_verify: {failed_certificates} failed bounds certificate(s)");
+        }
         ExitCode::FAILURE
     } else {
-        println!("static and measured rankings agree under every driver");
+        println!("static and measured rankings agree under every driver, and every");
+        println!("Barnes-Hut target carries a bounds certificate");
         ExitCode::SUCCESS
     }
 }

@@ -556,6 +556,8 @@ pub struct LintValidationRow {
     pub measured: u64,
     /// Whether the analysis claimed exactness (it must, for these kernels).
     pub exact: bool,
+    /// Analyzer wall time for this kernel × driver, milliseconds.
+    pub analyze_ms: f64,
 }
 
 /// Cross-validate the static analyzer's transaction prediction against the
@@ -588,7 +590,9 @@ pub fn lint_cross_validation() -> Vec<LintValidationRow> {
         params.push(out_sum.0 as u32);
         for driver in DriverModel::ALL {
             let acfg = AnalysisConfig::new(grid, block, params.clone()).with_driver(driver);
+            let t0 = std::time::Instant::now();
             let report = analyze_kernel(&kernel, &acfg);
+            let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
             let tp = TimingParams::for_driver(driver);
             let run = time_grid(
                 &kernel,
@@ -608,10 +612,122 @@ pub fn lint_cross_validation() -> Vec<LintValidationRow> {
                 predicted: report.predicted_transactions,
                 measured: run.transactions,
                 exact: report.exact,
+                analyze_ms,
             });
         }
     }
     rows
+}
+
+/// One row of the Barnes–Hut interval-bounds cross-validation: the analyzer
+/// cannot predict the data-dependent traversal exactly, so instead its
+/// `[best, worst]` transaction interval must *enclose* what the dynamic
+/// coalescer measures on a real tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsValidationRow {
+    /// Kernel name (`bh_b<block>_d<depth>`).
+    pub kernel: String,
+    /// Coalescing protocol analyzed and timed under.
+    pub driver: DriverModel,
+    /// Best-case static transaction bound for the whole launch.
+    pub tx_lo: u64,
+    /// Worst-case static transaction bound for the whole launch.
+    pub tx_hi: u64,
+    /// Transactions the dynamic coalescer actually issued.
+    pub measured: u64,
+    /// `tx_lo <= measured <= tx_hi` — the interval fragment's soundness.
+    pub enclosed: bool,
+    /// Analyzer wall time for this kernel × driver, milliseconds.
+    pub analyze_ms: f64,
+}
+
+/// Cross-validate the interval fragment on the Barnes–Hut traversal: build a
+/// real Plummer-sphere tree, analyze the kernel under the per-node trip
+/// budget, run the launch on the timed executor, and require the measured
+/// transactions to land inside the static `[best, worst]` interval.
+pub fn bh_bounds_validation(n: u32) -> Vec<BoundsValidationRow> {
+    use gpu_kernels::barnes_hut::{build_bh_kernel, traversal_budget, upload_bh, BhKernelConfig};
+    use gpu_sim::analyze::{analyze_kernel, AnalysisConfig};
+    use gpu_sim::exec::timed::time_grid;
+    use gpu_sim::mem::GlobalMemory;
+    use gpu_sim::TimingParams;
+    use nbody::barnes_hut::LinearTree;
+    use nbody::spawn;
+
+    let dev = DeviceConfig::g8800gtx();
+    let theta = 0.5f32;
+    let bodies = spawn::plummer(n as usize, 1.0, 1.0, 1234);
+    let lt = LinearTree::from_bodies(&bodies, 1.0);
+    let probes: Vec<simcore::Vec3> = bodies.pos.iter().copied().step_by(17).collect();
+    let need = lt.max_stack_depth(&probes, theta * theta) as u32 + 16;
+    let block = if 64 * need * 4 <= 15 * 1024 { 64 } else { 32 };
+    let cfg = BhKernelConfig { block, depth: need };
+    let kernel = build_bh_kernel(cfg);
+
+    let mut gmem = GlobalMemory::new(512 << 20);
+    let (mut params, padded) =
+        upload_bh(&mut gmem, &lt, &bodies.pos, cfg.block).expect("tree upload fits");
+    let out = gmem.alloc(padded as u64 * 16).expect("output fits");
+    params.push(out.0 as u32);
+    params.push((theta * theta).to_bits());
+    params.push(0.05f32.to_bits());
+    let grid = padded / cfg.block;
+    let budget = traversal_budget(lt.n_nodes() as u32);
+
+    let mut rows = Vec::new();
+    for driver in DriverModel::ALL {
+        let acfg = AnalysisConfig::new(grid, cfg.block, params.clone())
+            .with_driver(driver)
+            .with_trip_budget(budget);
+        let t0 = std::time::Instant::now();
+        let report = analyze_kernel(&kernel, &acfg);
+        let analyze_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (tx_lo, tx_hi) = report.transaction_bounds;
+
+        let tp = TimingParams::for_driver(driver);
+        let run = time_grid(
+            &kernel,
+            grid,
+            cfg.block,
+            1,
+            &params,
+            &mut gmem.clone(),
+            &dev,
+            driver,
+            &tp,
+        )
+        .expect("BH launch is well-formed");
+        rows.push(BoundsValidationRow {
+            kernel: kernel.name.clone(),
+            driver,
+            tx_lo,
+            tx_hi,
+            measured: run.transactions,
+            enclosed: tx_lo <= run.transactions && run.transactions <= tx_hi,
+            analyze_ms,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod bounds_validation_tests {
+    use super::*;
+
+    #[test]
+    fn interval_bounds_enclose_the_dynamic_bh_traversal() {
+        for r in bh_bounds_validation(192) {
+            assert!(
+                r.enclosed,
+                "{} under {}: measured {} outside [{}, {}]",
+                r.kernel, r.driver, r.measured, r.tx_lo, r.tx_hi
+            );
+            assert!(
+                r.tx_lo < r.tx_hi,
+                "a data-dependent traversal is an interval"
+            );
+        }
+    }
 }
 
 #[cfg(test)]

@@ -177,6 +177,142 @@ pub fn estimate(kernel: &Kernel, cfg: &AnalysisConfig) -> Result<KernelCost, Cos
     estimate_from_report(kernel, cfg, &report)
 }
 
+/// A `[best, worst]` cycle estimate for kernels the exact model refuses —
+/// data-dependent loops priced under the trip-count interval the analyzer
+/// walked ([`AnalysisConfig::with_trip_budget`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostBounds {
+    /// The optimistic ledger: best-case instruction mix, `transactions_lo`,
+    /// conflict-free shared accesses at the unknown sites.
+    pub best: KernelCost,
+    /// The pessimistic ledger: worst-case mix, `transactions_hi`, full
+    /// 16-way serialization at unknown shared sites.
+    pub worst: KernelCost,
+}
+
+impl CostBounds {
+    /// The predicted cycle interval `[best, worst]`.
+    pub fn cycle_range(&self) -> (f64, f64) {
+        (self.best.total_cycles(), self.worst.total_cycles())
+    }
+
+    /// `true` when the interval is degenerate — the kernel was statically
+    /// exact and both ledgers priced the same facts.
+    pub fn is_tight(&self) -> bool {
+        self.cycle_range().0 == self.cycle_range().1
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Bound {
+    Best,
+    Worst,
+}
+
+/// Price one end of the interval. Identical skeleton to
+/// [`estimate_from_report`], with per-site facts swapped for their interval
+/// endpoints: `transactions_lo`/`transactions_hi` on the memory pipe, and —
+/// at shared sites whose addresses never resolved — conflict-free (best) vs
+/// fully serialized 16-way (worst) bank behaviour over the worst-case issue
+/// count.
+fn price_bound(
+    kernel: &Kernel,
+    cfg: &AnalysisConfig,
+    report: &AnalysisReport,
+    mix: InstrMix,
+    bound: Bound,
+) -> Result<KernelCost, CostError> {
+    let tp = TimingParams::for_driver(cfg.driver);
+    let warps_per_block = cfg.block.div_ceil(32) as f64;
+    let occ = report.occupancy.as_ref().ok_or_else(|| {
+        CostError::Unanalyzable("launch is not schedulable; no occupancy".to_string())
+    })?;
+    let blocks_per_sm = occ.active_blocks.max(1);
+    let num_sms = cfg.device.num_sms.max(1);
+    let sm_blocks = cfg.grid.div_ceil(num_sms).max(1) as f64;
+    let per_warp_issue = mix.fp as f64 * tp.issue_alu as f64
+        + mix.int as f64 * tp.issue_alu as f64
+        + mix.control as f64 * tp.issue_alu as f64
+        + mix.sfu as f64 * tp.issue_sfu as f64
+        + mix.loads as f64 * tp.issue_mem as f64
+        + mix.stores as f64 * tp.issue_mem as f64;
+    let issue_cycles = per_warp_issue * warps_per_block * sm_blocks;
+
+    let launch_share = 1.0 / num_sms as f64;
+    let mut memory_cycles = 0.0;
+    let mut smem_conflict_cycles = 0.0;
+    let mut load_rounds = 0u64;
+    for site in &report.accesses {
+        match site.space {
+            MemSpace::Global | MemSpace::Texture => {
+                let txns = match bound {
+                    Bound::Best => site.transactions_lo,
+                    Bound::Worst => site.transactions_hi,
+                };
+                let per_txn = tp.transaction_busy(site.width_bytes.max(32)) as f64;
+                memory_cycles += txns as f64 * per_txn * launch_share;
+                if site.is_load {
+                    load_rounds += 1;
+                }
+            }
+            MemSpace::Shared => {
+                let (degree, half) = if site.exact {
+                    (site.bank_degree, site.half_warp_accesses)
+                } else {
+                    match bound {
+                        Bound::Best => (site.width_bytes / 4, 0),
+                        Bound::Worst => (16, site.half_warp_accesses_hi),
+                    }
+                };
+                let extra = degree.saturating_sub(site.width_bytes / 4) as f64;
+                smem_conflict_cycles += extra * half as f64 * tp.issue_smem as f64 * launch_share;
+            }
+        }
+    }
+
+    let active_warps = occ.active_warps.max(1);
+    let hiding = (active_warps as f64) * tp.max_outstanding_loads.max(1) as f64;
+    let exposed_per_round = tp.mem_latency as f64 / hiding;
+    let exposed_latency_cycles =
+        load_rounds as f64 * exposed_per_round * warps_per_block * sm_blocks;
+
+    Ok(KernelCost {
+        kernel: kernel.name.clone(),
+        driver: cfg.driver,
+        mix,
+        issue_cycles,
+        memory_cycles,
+        smem_conflict_cycles,
+        exposed_latency_cycles,
+        active_warps,
+        blocks_per_sm,
+    })
+}
+
+/// Interval cycle estimate from a precomputed report. The exact model
+/// ([`estimate_from_report`]) is untouched: for a statically exact kernel
+/// this returns a degenerate interval equal to its answer; for a kernel with
+/// data-dependent loops — where the exact model refuses with
+/// [`CostError::Count`] — it prices both endpoints of the trip-count
+/// interval instead.
+pub fn estimate_bounds_from_report(
+    kernel: &Kernel,
+    cfg: &AnalysisConfig,
+    report: &AnalysisReport,
+) -> Result<CostBounds, CostError> {
+    let (mix_lo, mix_hi) = count::instruction_mix_bounds(kernel, &cfg.params, cfg.trip_budget)?;
+    Ok(CostBounds {
+        best: price_bound(kernel, cfg, report, mix_lo, Bound::Best)?,
+        worst: price_bound(kernel, cfg, report, mix_hi, Bound::Worst)?,
+    })
+}
+
+/// Analyze and bound in one call.
+pub fn estimate_bounds(kernel: &Kernel, cfg: &AnalysisConfig) -> Result<CostBounds, CostError> {
+    let report = analyze_kernel(kernel, cfg);
+    estimate_bounds_from_report(kernel, cfg, &report)
+}
+
 /// Eq. 3 from cycle estimates: predicted speedup of `after` over `before`.
 pub fn predicted_speedup(before: &KernelCost, after: &KernelCost) -> Result<f64, CountError> {
     count::eq3_speedup(before.total_cycles(), after.total_cycles())
@@ -239,6 +375,42 @@ mod tests {
         .unwrap();
         let fat = estimate(&busy, &cfg).unwrap();
         assert!(fat.issue_cycles > lean.issue_cycles);
+    }
+
+    #[test]
+    fn bounds_collapse_to_exact_estimate_on_affine_kernels() {
+        let cfg = AnalysisConfig::new(2, 64, vec![0x1000, 0x80000]);
+        let k = copy_kernel(4);
+        let exact = estimate(&k, &cfg).unwrap();
+        let bounds = estimate_bounds(&k, &cfg).unwrap();
+        assert!(bounds.is_tight());
+        assert_eq!(bounds.best.total_cycles(), exact.total_cycles());
+        assert_eq!(bounds.worst.mix, exact.mix);
+    }
+
+    #[test]
+    fn data_dependent_loops_get_an_interval_where_exact_refuses() {
+        use crate::ir::{AluOp, CmpOp};
+        let mut b = KernelBuilder::new("walk");
+        let buf = b.param();
+        let i = b.global_thread_index();
+        let a = b.mad_u(i.into(), Operand::ImmU(4), buf.into());
+        let x = b.ld(MemSpace::Global, a, 0, 1)[0];
+        b.do_while(|b| {
+            b.alu_into(x, AluOp::ISub, x.into(), Operand::ImmU(1));
+            b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+        });
+        b.st(MemSpace::Global, a, 0, vec![x.into()]);
+        let k = b.finish();
+        let cfg = AnalysisConfig::new(1, 32, vec![0x1000]).with_trip_budget(64);
+        assert!(matches!(estimate(&k, &cfg), Err(CostError::Count(_))));
+        let bounds = estimate_bounds(&k, &cfg).unwrap();
+        let (lo, hi) = bounds.cycle_range();
+        assert!(
+            lo > 0.0 && lo < hi,
+            "expected widening interval, got [{lo}, {hi}]"
+        );
+        assert!(bounds.worst.issue_cycles > bounds.best.issue_cycles);
     }
 
     #[test]

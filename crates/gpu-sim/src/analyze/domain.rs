@@ -1,0 +1,539 @@
+//! The interval abstract domain behind the analyzer's non-affine fragment.
+//!
+//! Per-lane register values in [`super::interp`] are drawn from a three-level
+//! lattice:
+//!
+//! ```text
+//!                Top                (nothing known)
+//!                 |
+//!          Interval(lo, hi)         (value in [lo, hi], inclusive)
+//!                 |
+//!             Exact(bits)           (value known bit-exactly)
+//! ```
+//!
+//! `Exact` is the affine fragment of PR 2: values derived purely from launch
+//! constants, computed with the executor's own bit-level arithmetic
+//! ([`super::interp::alu`] and friends). `Interval` and `Top` extend the
+//! domain to bounded data-dependent loops and branches.
+//!
+//! Two invariants keep the affine results bit-unchanged:
+//!
+//! * **`Exact` never degrades silently**: a transfer function returns `Exact`
+//!   iff *every* input is `Exact`, in which case it calls the exact scalar
+//!   semantics — the same code path the PR 2 analyzer used.
+//! * **`Interval(p, p)` is never collapsed to `Exact(p)`**: interval-derived
+//!   values stay intervals, so they can never leak into the exact transaction
+//!   prediction (`predicted_transactions`), only into the `[best, worst]`
+//!   bounds.
+//!
+//! Soundness contract (property-tested in `tests/analyze_proptests.rs`): if
+//! the concrete value of an operand lies within its abstract value, then the
+//! concrete result of any operation lies within the abstract result. Integer
+//! transfer functions go through `u64` intermediates and return `Top` on any
+//! possible `u32` wrap, so wrapping executor semantics are over-approximated
+//! rather than mis-modelled. Float operations are `Top` unless every input is
+//! exact (float bit patterns are not order-embeddable over `u32` intervals).
+
+use crate::ir::{AluOp, CmpOp, UnaryOp};
+
+use super::interp;
+
+/// One lane's abstract value: exact bits, a `u32` interval, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AbsVal {
+    /// Bit-exact value (the affine fragment).
+    Exact(u32),
+    /// Value lies in `[lo, hi]`, inclusive. `lo <= hi` always holds.
+    Interval(u32, u32),
+    /// Nothing known.
+    Top,
+}
+
+impl AbsVal {
+    /// The exact bits, when the value is in the affine fragment.
+    pub(crate) fn as_exact(self) -> Option<u32> {
+        match self {
+            AbsVal::Exact(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Inclusive bounds; `None` for `Top`.
+    pub(crate) fn bounds(self) -> Option<(u32, u32)> {
+        match self {
+            AbsVal::Exact(v) => Some((v, v)),
+            AbsVal::Interval(lo, hi) => Some((lo, hi)),
+            AbsVal::Top => None,
+        }
+    }
+
+    /// Bounds with `Top` widened to the full `u32` range.
+    fn wide_bounds(self) -> (u32, u32) {
+        self.bounds().unwrap_or((0, u32::MAX))
+    }
+
+    /// Does the concrete value `v` lie within this abstract value? The
+    /// soundness oracle for the transfer-function proptests below.
+    #[cfg(test)]
+    pub(crate) fn contains(self, v: u32) -> bool {
+        let (lo, hi) = self.wide_bounds();
+        lo <= v && v <= hi
+    }
+
+    /// Make an interval, normalizing a reversed pair. Never yields `Exact`.
+    pub(crate) fn interval(lo: u32, hi: u32) -> AbsVal {
+        AbsVal::Interval(lo.min(hi), lo.max(hi))
+    }
+}
+
+/// Least upper bound. `Exact(v) ⊔ Exact(v)` stays `Exact` (the affine
+/// fragment is closed under joining equal values); everything else that is
+/// bounded becomes the enclosing interval.
+pub(crate) fn join(a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (AbsVal::Exact(x), AbsVal::Exact(y)) = (a, b) {
+        if x == y {
+            return AbsVal::Exact(x);
+        }
+    }
+    match (a.bounds(), b.bounds()) {
+        (Some((al, ah)), Some((bl, bh))) => AbsVal::Interval(al.min(bl), ah.max(bh)),
+        _ => AbsVal::Top,
+    }
+}
+
+/// Widening: if `new` is contained in `old` the state is stable and `old` is
+/// kept; any growth jumps straight to `Top`. The lattice then has height 2
+/// per register, which bounds the fixpoint iteration (the "widening to
+/// bounds" of trip counts happens separately, via the loop budget that caps
+/// the trip-count interval — see `interp::run_for_abstract`).
+pub(crate) fn widen(old: AbsVal, new: AbsVal) -> AbsVal {
+    if old == new {
+        return old;
+    }
+    match (old.bounds(), new.bounds()) {
+        (Some((ol, oh)), Some((nl, nh))) if ol <= nl && nh <= oh => old,
+        _ => AbsVal::Top,
+    }
+}
+
+/// Abstract transfer for [`AluOp`]. All-exact inputs route through the exact
+/// scalar semantics; otherwise integer ops compute interval bounds in `u64`
+/// (any possible wrap ⇒ `Top`) and float ops are `Top`.
+pub(crate) fn alu_abs(op: AluOp, a: AbsVal, b: AbsVal) -> AbsVal {
+    if let (Some(x), Some(y)) = (a.as_exact(), b.as_exact()) {
+        return AbsVal::Exact(interp::alu(op, x, y));
+    }
+    match op {
+        AluOp::IAdd => match (a.bounds(), b.bounds()) {
+            (Some((al, ah)), Some((bl, bh))) => {
+                let hi = ah as u64 + bh as u64;
+                if hi <= u32::MAX as u64 {
+                    AbsVal::Interval(al + bl, hi as u32)
+                } else {
+                    AbsVal::Top
+                }
+            }
+            _ => AbsVal::Top,
+        },
+        AluOp::ISub => match (a.bounds(), b.bounds()) {
+            // Monotone decreasing in b: no wrap iff even the smallest
+            // minuend covers the largest subtrahend.
+            (Some((al, ah)), Some((bl, bh))) if al >= bh => AbsVal::Interval(al - bh, ah - bl),
+            _ => AbsVal::Top,
+        },
+        AluOp::IMul => match (a.bounds(), b.bounds()) {
+            (Some((al, ah)), Some((bl, bh))) => {
+                let hi = ah as u64 * bh as u64;
+                if hi <= u32::MAX as u64 {
+                    AbsVal::Interval((al as u64 * bl as u64) as u32, hi as u32)
+                } else {
+                    AbsVal::Top
+                }
+            }
+            _ => AbsVal::Top,
+        },
+        AluOp::IShl => match (a.bounds(), b.as_exact()) {
+            // Only an exact shift amount keeps the result monotone.
+            (Some((al, ah)), Some(s)) if s < 32 => {
+                let hi = (ah as u64) << s;
+                if hi <= u32::MAX as u64 {
+                    AbsVal::Interval(al << s, hi as u32)
+                } else {
+                    AbsVal::Top
+                }
+            }
+            _ => AbsVal::Top,
+        },
+        // x & y <= min(x, y) for unsigned; a one-sided bound survives Top.
+        AluOp::IAnd => {
+            let (_, ah) = a.wide_bounds();
+            let (_, bh) = b.wide_bounds();
+            AbsVal::Interval(0, ah.min(bh))
+        }
+        AluOp::IMin => {
+            let (al, ah) = a.wide_bounds();
+            let (bl, bh) = b.wide_bounds();
+            AbsVal::Interval(al.min(bl), ah.min(bh))
+        }
+        AluOp::FAdd | AluOp::FSub | AluOp::FMul | AluOp::FMin | AluOp::FMax => AbsVal::Top,
+    }
+}
+
+/// Abstract transfer for `mad`: exact when all inputs are, interval bounds
+/// for the unsigned integer form, `Top` for the float form otherwise.
+pub(crate) fn mad_abs(float: bool, a: AbsVal, b: AbsVal, c: AbsVal) -> AbsVal {
+    if let (Some(x), Some(y), Some(z)) = (a.as_exact(), b.as_exact(), c.as_exact()) {
+        return AbsVal::Exact(interp::mad(float, x, y, z));
+    }
+    if float {
+        return AbsVal::Top;
+    }
+    match (a.bounds(), b.bounds(), c.bounds()) {
+        (Some((al, ah)), Some((bl, bh)), Some((cl, ch))) => {
+            let hi = ah as u64 * bh as u64 + ch as u64;
+            if hi <= u32::MAX as u64 {
+                AbsVal::Interval((al as u64 * bl as u64 + cl as u64) as u32, hi as u32)
+            } else {
+                AbsVal::Top
+            }
+        }
+        _ => AbsVal::Top,
+    }
+}
+
+/// Abstract transfer for unary ops: exact in, exact out; anything else is
+/// `Top` (every unary op crosses the int/float boundary).
+pub(crate) fn unary_abs(op: UnaryOp, a: AbsVal) -> AbsVal {
+    match a.as_exact() {
+        Some(x) => AbsVal::Exact(interp::unary(op, x)),
+        None => AbsVal::Top,
+    }
+}
+
+/// Abstract predicate compare: `Some` only when the outcome is provable for
+/// every concretization. All-exact inputs use the exact semantics; interval
+/// inputs decide unsigned compares by bound separation; float compares need
+/// exact bits.
+pub(crate) fn compare_abs(op: CmpOp, a: AbsVal, b: AbsVal) -> Option<bool> {
+    if let (Some(x), Some(y)) = (a.as_exact(), b.as_exact()) {
+        return Some(interp::compare(op, x, y));
+    }
+    let (al, ah) = a.wide_bounds();
+    let (bl, bh) = b.wide_bounds();
+    match op {
+        CmpOp::ULt => {
+            if ah < bl {
+                Some(true)
+            } else if al >= bh {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::UGe => {
+            if al >= bh {
+                Some(true)
+            } else if ah < bl {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::UEq => {
+            if ah < bl || bh < al {
+                Some(false)
+            } else {
+                None // equal singletons are the exact-exact case above
+            }
+        }
+        CmpOp::UNe => {
+            if ah < bl || bh < al {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        CmpOp::FLt => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_ops_match_scalar_semantics_bitwise() {
+        for (x, y) in [(3u32, 5u32), (u32::MAX, 1), (0, 0), (1 << 31, 1 << 31)] {
+            for op in [
+                AluOp::IAdd,
+                AluOp::ISub,
+                AluOp::IMul,
+                AluOp::IAnd,
+                AluOp::IMin,
+                AluOp::FAdd,
+                AluOp::FMul,
+            ] {
+                assert_eq!(
+                    alu_abs(op, AbsVal::Exact(x), AbsVal::Exact(y)),
+                    AbsVal::Exact(interp::alu(op, x, y)),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_interval_is_not_collapsed_to_exact() {
+        let r = alu_abs(AluOp::IAdd, AbsVal::Interval(7, 7), AbsVal::Interval(1, 1));
+        assert_eq!(r, AbsVal::Interval(8, 8), "interval-ness must be sticky");
+    }
+
+    #[test]
+    fn add_wraps_to_top_at_the_boundary() {
+        let near = AbsVal::Interval(u32::MAX - 1, u32::MAX);
+        assert_eq!(alu_abs(AluOp::IAdd, near, AbsVal::Exact(1)), AbsVal::Top);
+        assert_eq!(
+            alu_abs(
+                AluOp::IAdd,
+                AbsVal::Interval(0, u32::MAX - 1),
+                AbsVal::Interval(1, 1)
+            ),
+            AbsVal::Interval(1, u32::MAX)
+        );
+    }
+
+    #[test]
+    fn sub_underflow_is_top() {
+        assert_eq!(
+            alu_abs(AluOp::ISub, AbsVal::Interval(0, 5), AbsVal::Interval(1, 1)),
+            AbsVal::Top
+        );
+        assert_eq!(
+            alu_abs(AluOp::ISub, AbsVal::Interval(5, 9), AbsVal::Interval(1, 2)),
+            AbsVal::Interval(3, 8)
+        );
+    }
+
+    #[test]
+    fn and_min_survive_top() {
+        assert_eq!(
+            alu_abs(AluOp::IAnd, AbsVal::Top, AbsVal::Interval(0, 31)),
+            AbsVal::Interval(0, 31)
+        );
+        assert_eq!(
+            alu_abs(AluOp::IMin, AbsVal::Top, AbsVal::Interval(2, 31)),
+            AbsVal::Interval(0, 31)
+        );
+    }
+
+    #[test]
+    fn float_ops_on_intervals_are_top() {
+        assert_eq!(
+            alu_abs(AluOp::FAdd, AbsVal::Interval(0, 1), AbsVal::Exact(0)),
+            AbsVal::Top
+        );
+        assert_eq!(
+            mad_abs(true, AbsVal::Top, AbsVal::Exact(0), AbsVal::Exact(0)),
+            AbsVal::Top
+        );
+        assert_eq!(
+            unary_abs(UnaryOp::FRsqrt, AbsVal::Interval(1, 2)),
+            AbsVal::Top
+        );
+    }
+
+    #[test]
+    fn compare_decides_by_separation() {
+        let lo = AbsVal::Interval(0, 4);
+        let hi = AbsVal::Interval(5, 9);
+        assert_eq!(compare_abs(CmpOp::ULt, lo, hi), Some(true));
+        assert_eq!(compare_abs(CmpOp::ULt, hi, lo), Some(false));
+        assert_eq!(compare_abs(CmpOp::UGe, hi, lo), Some(true));
+        assert_eq!(compare_abs(CmpOp::UNe, lo, hi), Some(true));
+        assert_eq!(compare_abs(CmpOp::UEq, lo, hi), Some(false));
+        // Overlap: undecided.
+        let mid = AbsVal::Interval(3, 6);
+        assert_eq!(compare_abs(CmpOp::ULt, lo, mid), None);
+        assert_eq!(compare_abs(CmpOp::UNe, mid, AbsVal::Exact(4)), None);
+        // Top is non-negative: `x >= 0` is decidable even for Top.
+        assert_eq!(
+            compare_abs(CmpOp::UGe, AbsVal::Top, AbsVal::Exact(0)),
+            Some(true)
+        );
+        assert_eq!(
+            compare_abs(CmpOp::ULt, AbsVal::Top, AbsVal::Exact(0)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn join_and_widen_laws() {
+        let a = AbsVal::Interval(2, 5);
+        let b = AbsVal::Interval(4, 9);
+        assert_eq!(join(a, b), AbsVal::Interval(2, 9));
+        assert_eq!(join(AbsVal::Exact(3), AbsVal::Exact(3)), AbsVal::Exact(3));
+        assert_eq!(
+            join(AbsVal::Exact(3), AbsVal::Exact(4)),
+            AbsVal::Interval(3, 4)
+        );
+        assert_eq!(join(a, AbsVal::Top), AbsVal::Top);
+        // Widening keeps contained states, jumps on growth.
+        assert_eq!(
+            widen(AbsVal::Interval(0, 9), AbsVal::Interval(2, 5)),
+            AbsVal::Interval(0, 9)
+        );
+        assert_eq!(
+            widen(AbsVal::Interval(0, 9), AbsVal::Interval(0, 10)),
+            AbsVal::Top
+        );
+        assert_eq!(widen(AbsVal::Exact(1), AbsVal::Interval(1, 2)), AbsVal::Top);
+    }
+
+    #[test]
+    fn reversed_pairs_normalize_instead_of_going_empty() {
+        // The domain has no empty interval: `interval` sorts its endpoints,
+        // so a would-be-empty `[9, 2]` becomes the sound `[2, 9]`.
+        assert_eq!(AbsVal::interval(9, 2), AbsVal::Interval(2, 9));
+        assert_eq!(AbsVal::interval(7, 7), AbsVal::Interval(7, 7));
+        assert!(matches!(AbsVal::interval(7, 7), AbsVal::Interval(..)));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        const INT_OPS: [AluOp; 6] = [
+            AluOp::IAdd,
+            AluOp::ISub,
+            AluOp::IMul,
+            AluOp::IShl,
+            AluOp::IAnd,
+            AluOp::IMin,
+        ];
+        const ALL_OPS: [AluOp; 11] = [
+            AluOp::IAdd,
+            AluOp::ISub,
+            AluOp::IMul,
+            AluOp::IShl,
+            AluOp::IAnd,
+            AluOp::IMin,
+            AluOp::FAdd,
+            AluOp::FSub,
+            AluOp::FMul,
+            AluOp::FMin,
+            AluOp::FMax,
+        ];
+
+        /// A concrete value together with a random abstraction of it. Values
+        /// cluster near 0 and `u32::MAX` so add/sub/mul/shl wrap boundaries
+        /// are exercised, not just the comfortable middle.
+        fn member() -> impl Strategy<Value = (AbsVal, u32)> {
+            let value = prop_oneof![
+                any::<u32>(),
+                0u32..16,
+                (u32::MAX - 16)..=u32::MAX,
+                (0u32..16).prop_map(|k| 1u32 << (31 - k % 32)),
+            ];
+            (value, any::<u32>(), any::<u32>(), 0u8..4).prop_map(|(v, a, b, kind)| {
+                let abs = match kind {
+                    0 => AbsVal::Exact(v),
+                    1 => AbsVal::Top,
+                    // Loose interval around v…
+                    2 => AbsVal::Interval(v.saturating_sub(a), v.saturating_add(b)),
+                    // …and the tight singleton, which must stay an interval.
+                    _ => AbsVal::Interval(v, v),
+                };
+                (abs, v)
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(512))]
+
+            /// Soundness of the binary transfer: whenever the inputs contain
+            /// the concrete operands, the output contains the executor's
+            /// concrete (wrapping) result. Covers add/sub/mul/shl wrap
+            /// boundaries because `member` biases operands toward them.
+            #[test]
+            fn alu_transfer_is_sound((a, x) in member(), (b, y) in member(), op_ix in 0usize..11) {
+                let op = ALL_OPS[op_ix];
+                let r = alu_abs(op, a, b);
+                prop_assert!(
+                    r.contains(interp::alu(op, x, y)),
+                    "{op:?}: {a:?}∋{x} , {b:?}∋{y} gave {r:?} ∌ {}",
+                    interp::alu(op, x, y)
+                );
+            }
+
+            /// Soundness of the `mad` transfer, both integer and float forms.
+            #[test]
+            fn mad_transfer_is_sound(
+                (a, x) in member(), (b, y) in member(), (c, z) in member(), float in any::<bool>()
+            ) {
+                let r = mad_abs(float, a, b, c);
+                prop_assert!(r.contains(interp::mad(float, x, y, z)));
+            }
+
+            /// Soundness of the unary transfer for every op.
+            #[test]
+            fn unary_transfer_is_sound((a, x) in member(), op_ix in 0usize..4) {
+                let op = [UnaryOp::FRsqrt, UnaryOp::FNeg, UnaryOp::U2F, UnaryOp::F2U][op_ix];
+                prop_assert!(unary_abs(op, a).contains(interp::unary(op, x)));
+            }
+
+            /// A decided abstract compare agrees with the concrete compare on
+            /// every contained concretization.
+            #[test]
+            fn decided_compares_are_sound((a, x) in member(), (b, y) in member(), op_ix in 0usize..5) {
+                let op = [CmpOp::ULt, CmpOp::UGe, CmpOp::UEq, CmpOp::UNe, CmpOp::FLt][op_ix];
+                if let Some(decided) = compare_abs(op, a, b) {
+                    prop_assert_eq!(decided, interp::compare(op, x, y));
+                }
+            }
+
+            /// `join` is an upper bound of both arguments.
+            #[test]
+            fn join_is_an_upper_bound((a, x) in member(), (b, y) in member()) {
+                let j = join(a, b);
+                prop_assert!(j.contains(x) && j.contains(y));
+            }
+
+            /// Widening is sound (covers both arguments) and terminates: the
+            /// chain `s := widen(s, join(s, v))` strictly grows at most twice
+            /// for any value sequence — the lattice has height 2 above any
+            /// starting point — so the fixpoint loop's iteration budget holds.
+            #[test]
+            fn widening_is_sound_and_terminates(
+                (s0, x0) in member(),
+                seq in proptest::collection::vec(member(), 1..24)
+            ) {
+                let mut state = s0;
+                let mut changes = 0;
+                for &(v, _) in &seq {
+                    let next = widen(state, join(state, v));
+                    prop_assert!(next.contains(x0), "widening dropped the seed value");
+                    if let Some(xv) = v.bounds() {
+                        prop_assert!(next.contains(xv.0) && next.contains(xv.1));
+                    }
+                    if next != state {
+                        changes += 1;
+                        state = next;
+                    }
+                }
+                prop_assert!(changes <= 2, "widening chain changed {changes} times");
+                // And the fixpoint really is a fixpoint.
+                prop_assert_eq!(widen(state, join(state, state)), state);
+            }
+
+            /// Interval-derived singletons never collapse into the affine
+            /// fragment: if neither input is `Exact`, the output isn't either.
+            #[test]
+            fn intervals_never_reenter_the_exact_fragment(
+                (a, _) in member(), (b, _) in member(), op_ix in 0usize..6
+            ) {
+                prop_assume!(a.as_exact().is_none() || b.as_exact().is_none());
+                let r = alu_abs(INT_OPS[op_ix], a, b);
+                prop_assert!(r.as_exact().is_none(), "{r:?} leaked into the exact fragment");
+            }
+        }
+    }
+}

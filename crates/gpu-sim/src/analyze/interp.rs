@@ -1,24 +1,37 @@
 //! The per-warp abstract interpreter behind [`crate::analyze`].
 //!
 //! The interpreter walks a kernel's structured body once per (block, warp)
-//! with a 32-lane vector of *optional* register values: `Some(bits)` when the
-//! value is statically known, `None` when it depends on loaded data or on
-//! control flow the analysis cannot resolve. Arithmetic mirrors
-//! `exec::machine` bit-for-bit (the same wrapping u32 ops, the same
+//! with a 32-lane vector of abstract register values drawn from the interval
+//! lattice of [`super::domain`]: `Exact(bits)` when the value is statically
+//! known, `Interval(lo, hi)` when only bounds are known (data-dependent but
+//! bounded loops and branches), `Top` when nothing is. Exact arithmetic
+//! mirrors `exec::machine` bit-for-bit (the same wrapping u32 ops, the same
 //! `f32::from_bits` float rules, the same `wrapping_add`-then-widen address
-//! computation), so whenever every input of an address is known the derived
+//! computation), so whenever every input of an address is exact the derived
 //! per-lane addresses are *exactly* the addresses the dynamic engines see —
 //! which is what lets the static transaction prediction feed the very same
 //! [`crate::coalesce::coalesce_half_warp`] oracle the timed executor uses and
 //! come out equal.
 //!
-//! Unknowns poison forward: an instruction executed under uncertain control
-//! flow, or fed a `None`, defines `None`. Memory sites touched with unknown
-//! addresses are recorded as *inexact* and excluded from the prediction
-//! (reported via an `unanalyzable` info diagnostic instead of a guess).
+//! Non-affine control flow is over-approximated rather than abandoned:
+//!
+//! * an `If` whose predicate is not statically known walks both branches
+//!   from the same entry state and **joins** the results (each lane takes
+//!   one branch or the other, so the join covers both);
+//! * a loop whose trip count is not statically known runs a **fixpoint with
+//!   widening** over its body to find an invariant state, then one recorded
+//!   pass under a trip-count interval `[lo, hi]` capped by the analysis
+//!   budget — memory sites inside accumulate `[best, worst]` transaction
+//!   bounds scaled by the trip interval instead of exact counts.
+//!
+//! Sites whose addresses are not exact are still *inexact* (excluded from
+//! `predicted_transactions`, reported via an `unanalyzable` info diagnostic)
+//! but now carry interval address ranges for the bounds certifier and
+//! `[tx_lo, tx_hi]` transaction bounds for the cost model.
 
 use std::collections::{BTreeMap, HashSet};
 
+use super::domain::{self, AbsVal};
 use super::{AnalysisConfig, Diagnostic, LintKind, Severity};
 use crate::banks::conflict_degree;
 use crate::coalesce::{coalesce_half_warp, AccessWidth};
@@ -30,6 +43,11 @@ use crate::ir::{
 
 /// Warp width (matches `exec::machine::WARP`).
 const WARP: usize = 32;
+
+/// Fixpoint rounds before the all-`Top` fallback. Widening makes each round
+/// strictly ascend a height-2 lattice per register, so real kernels converge
+/// in a handful of rounds; the cap is a backstop, not a tuning knob.
+const FIX_ROUNDS: u32 = 64;
 
 /// A statement annotated with the stable instruction indices of
 /// [`InstrIndexer`] — shared coordinate system with `ir::pretty` and the
@@ -118,6 +136,39 @@ pub(crate) fn index_stmts<'k>(stmts: &'k [Stmt], ix: &mut InstrIndexer) -> Vec<I
         .collect()
 }
 
+/// Does this statement list (re)define `var`? Loops whose body clobbers the
+/// induction variable lose the a-priori hull `run_for_abstract` computes.
+fn body_writes(stmts: &[IStmt<'_>], var: Reg) -> bool {
+    stmts.iter().any(|s| match s {
+        IStmt::I(_, i) => match i {
+            Instr::Mov { dst, .. }
+            | Instr::Special { dst, .. }
+            | Instr::Alu { dst, .. }
+            | Instr::Mad { dst, .. }
+            | Instr::Unary { dst, .. }
+            | Instr::Clock { dst } => *dst == var,
+            Instr::Ld { dsts, .. } => dsts.contains(&var),
+            Instr::Setp { .. } | Instr::St { .. } => false,
+        },
+        IStmt::For {
+            var: v, body: b, ..
+        } => *v == var || body_writes(b, var),
+        IStmt::If { then, els, .. } => body_writes(then, var) || body_writes(els, var),
+        IStmt::While { body: b, .. } => body_writes(b, var),
+        IStmt::Sync => false,
+    })
+}
+
+/// Bottom-tested trip count under exact bounds (mirrors `ir::count`):
+/// the body always runs once, then `ceil((end - start) / step)` total.
+fn trip(start: u32, end: u32, step: u32) -> u64 {
+    if end <= start {
+        1
+    } else {
+        ((end - start) as u64).div_ceil(step as u64)
+    }
+}
+
 /// How per-lane address deltas at a site have looked so far.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum StrideTrack {
@@ -148,6 +199,20 @@ pub(crate) struct SiteAcc {
     pub stride: StrideTrack,
     /// Worst shared-memory bank-conflict degree (shared sites only).
     pub bank_degree: u32,
+    /// Best-case transaction bound (global sites; equals `transactions`
+    /// when the site is exact).
+    pub tx_lo: u64,
+    /// Worst-case transaction bound (global sites; equals `transactions`
+    /// when the site is exact).
+    pub tx_hi: u64,
+    /// Worst-case half-warp issue bound (trip-interval scaled).
+    pub half_warps_hi: u64,
+    /// Lowest byte this site can touch (inclusive; `u64::MAX` = none seen).
+    pub addr_lo: u64,
+    /// One past the highest byte this site can touch (exclusive).
+    pub addr_hi: u64,
+    /// Some execution's address range could not be bounded at all.
+    pub addr_unbounded: bool,
 }
 
 impl SiteAcc {
@@ -165,6 +230,12 @@ impl SiteAcc {
             half_warps: 0,
             stride: StrideTrack::Unset,
             bank_degree: 1,
+            tx_lo: 0,
+            tx_hi: 0,
+            half_warps_hi: 0,
+            addr_lo: u64::MAX,
+            addr_hi: 0,
+            addr_unbounded: false,
         }
     }
 }
@@ -312,6 +383,12 @@ fn check_races(kernel: &Kernel, block_id: u32, events: &[SharedEv], sink: &mut S
     }
 }
 
+/// A copy of the value state, for branch joins and loop fixpoints.
+struct Snapshot {
+    regs: Vec<Vec<AbsVal>>,
+    preds: Vec<Vec<Option<bool>>>,
+}
+
 /// Per-warp interpreter state.
 struct WarpInterp<'a, 'k> {
     cfg: &'a AnalysisConfig,
@@ -320,11 +397,20 @@ struct WarpInterp<'a, 'k> {
     warp: u32,
     /// Mask of lanes that exist (thread id < block size).
     live: u32,
-    /// `[lane][reg]`, `None` = statically unknown.
-    regs: Vec<Vec<Option<u32>>>,
+    /// `[lane][reg]`, abstract per-lane values.
+    regs: Vec<Vec<AbsVal>>,
     preds: Vec<Vec<Option<bool>>>,
     sync_count: u64,
     sync_uncertain: bool,
+    /// `false` during fixpoint stabilization walks: value state evolves but
+    /// nothing is deposited in the sink (no sites, no diagnostics, no
+    /// events, no barrier accounting) — only the final recorded pass counts.
+    record: bool,
+    /// `[lo, hi]` bound on how many times the currently-walked statement
+    /// executes dynamically (product of enclosing trip intervals; `lo` drops
+    /// to 0 inside a branch that may be skipped). Scales the per-site
+    /// transaction bounds.
+    mult: (u64, u64),
     sink: &'a mut Sink,
     events: &'a mut Vec<SharedEv>,
 }
@@ -345,10 +431,11 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             (1u32 << (cfg.block - first)) - 1
         };
         // Registers zero-init like `BlockCtx`, params bound to Reg(0..).
-        let mut regs = vec![vec![Some(0u32); kernel.n_regs.max(kernel.n_params) as usize]; WARP];
+        let mut regs =
+            vec![vec![AbsVal::Exact(0); kernel.n_regs.max(kernel.n_params) as usize]; WARP];
         for lane in &mut regs {
             for (p, v) in cfg.params.iter().enumerate() {
-                lane[p] = Some(*v);
+                lane[p] = AbsVal::Exact(*v);
             }
         }
         let preds = vec![vec![None; kernel.n_preds as usize]; WARP];
@@ -362,6 +449,8 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             preds,
             sync_count: 0,
             sync_uncertain: false,
+            record: true,
+            mult: (1, 1),
             sink,
             events,
         }
@@ -371,11 +460,39 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         (0..WARP).filter(|l| mask & (1 << l) != 0).collect()
     }
 
-    fn operand(&self, lane: usize, op: &Operand) -> Option<u32> {
+    fn operand(&self, lane: usize, op: &Operand) -> AbsVal {
         match op {
             Operand::R(r) => self.regs[lane][r.0 as usize],
-            Operand::ImmF(f) => Some(f.to_bits()),
-            Operand::ImmU(u) => Some(*u),
+            Operand::ImmF(f) => AbsVal::Exact(f.to_bits()),
+            Operand::ImmU(u) => AbsVal::Exact(*u),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            regs: self.regs.clone(),
+            preds: self.preds.clone(),
+        }
+    }
+
+    fn restore(&mut self, s: &Snapshot) {
+        self.regs.clone_from(&s.regs);
+        self.preds.clone_from(&s.preds);
+    }
+
+    /// Pointwise join of the current state with `s` (post-states of the two
+    /// arms of a branch): registers via the lattice join, predicates kept
+    /// only when both arms agree.
+    fn join_with(&mut self, s: &Snapshot) {
+        for l in 0..WARP {
+            for r in 0..self.regs[l].len() {
+                self.regs[l][r] = domain::join(self.regs[l][r], s.regs[l][r]);
+            }
+            for p in 0..self.preds[l].len() {
+                if self.preds[l][p] != s.preds[l][p] {
+                    self.preds[l][p] = None;
+                }
+            }
         }
     }
 
@@ -414,8 +531,21 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                             self.walk(els, else_mask, true)?;
                         }
                     } else {
-                        self.walk(then, mask, false)?;
-                        self.walk(els, mask, false)?;
+                        // Unknown predicate: each lane takes one arm or the
+                        // other, so walk both from the same entry state and
+                        // join the post-states. Sites inside may execute
+                        // zero times — the lower execution bound drops to 0.
+                        let saved_mult = self.mult;
+                        self.mult.0 = 0;
+                        let entry = self.snapshot();
+                        let r_then = self.walk(then, mask, false);
+                        let after_then = self.snapshot();
+                        self.restore(&entry);
+                        let r_els = self.walk(els, mask, false);
+                        self.join_with(&after_then);
+                        self.mult = saved_mult;
+                        r_then?;
+                        r_els?;
                     }
                 }
                 IStmt::For {
@@ -431,24 +561,96 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 }
                 IStmt::While { body, backedge, .. } => {
                     // Data-dependent trip count and per-lane mask narrowing:
-                    // a single unknown-mode pass poisons every def.
-                    self.sink.exact = false;
-                    self.sink.push_once(
-                        format!("while:{backedge}"),
-                        Diagnostic {
-                            severity: Severity::Info,
-                            kind: LintKind::Unanalyzable,
-                            site: site_at(&self.kernel.name, self.block_id, None, Some(*backedge)),
-                            message: "do/while trip count is data-dependent; the body is \
-                                      analyzed for a single symbolic iteration"
-                                .to_string(),
-                            fixit: None,
-                        },
-                    );
-                    self.walk(body, mask, false)?;
+                    // the body is stabilized to an invariant state, then
+                    // recorded once under the trip-count interval
+                    // [1, trip_budget].
+                    let budget = self.cfg.trip_budget.max(1);
+                    if self.record {
+                        self.sink.exact = false;
+                        self.sink.push_once(
+                            format!("while:{backedge}"),
+                            Diagnostic {
+                                severity: Severity::Info,
+                                kind: LintKind::Unanalyzable,
+                                site: site_at(
+                                    &self.kernel.name,
+                                    self.block_id,
+                                    None,
+                                    Some(*backedge),
+                                ),
+                                message: format!(
+                                    "do/while trip count is data-dependent; the body is \
+                                     analyzed under the trip-count interval [1, {budget}]"
+                                ),
+                                fixit: None,
+                            },
+                        );
+                    }
+                    self.fix_body(body, mask)?;
+                    let saved_mult = self.mult;
+                    self.mult = (saved_mult.0, saved_mult.1.saturating_mul(budget));
+                    let r = self.walk(body, mask, false);
+                    self.mult = saved_mult;
+                    r?;
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Iterate the loop body (without recording) until the value state is a
+    /// post-fixpoint: `state ⊒ post(state)`. Joins for the first round,
+    /// widening (straight to `Top` on growth) afterwards, with an all-`Top`
+    /// fallback at [`FIX_ROUNDS`] as a termination backstop.
+    fn fix_body(&mut self, body: &[IStmt<'k>], mask: u32) -> Result<(), ()> {
+        let saved_record = self.record;
+        self.record = false;
+        let mut round = 0u32;
+        loop {
+            round += 1;
+            if round > FIX_ROUNDS {
+                for l in self.lanes(mask) {
+                    for r in self.regs[l].iter_mut() {
+                        *r = AbsVal::Top;
+                    }
+                    for p in self.preds[l].iter_mut() {
+                        *p = None;
+                    }
+                }
+                break;
+            }
+            let pre = self.snapshot();
+            if self.walk(body, mask, false).is_err() {
+                self.record = saved_record;
+                return Err(());
+            }
+            let mut stable = true;
+            for l in 0..WARP {
+                for r in 0..self.regs[l].len() {
+                    let old = pre.regs[l][r];
+                    let mut merged = domain::join(old, self.regs[l][r]);
+                    if round >= 2 {
+                        merged = domain::widen(old, merged);
+                    }
+                    if merged != old {
+                        stable = false;
+                    }
+                    self.regs[l][r] = merged;
+                }
+                for p in 0..self.preds[l].len() {
+                    let old = pre.preds[l][p];
+                    let merged = if old == self.preds[l][p] { old } else { None };
+                    if merged != old {
+                        stable = false;
+                    }
+                    self.preds[l][p] = merged;
+                }
+            }
+            if stable {
+                break;
+            }
+        }
+        self.record = saved_record;
         Ok(())
     }
 
@@ -465,14 +667,17 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         exact: bool,
     ) -> Result<(), ()> {
         let lanes = self.lanes(mask);
-        for &l in &lanes {
-            self.regs[l][var.0 as usize] = if exact { self.operand(l, start) } else { None };
+        if exact {
+            for &l in &lanes {
+                self.regs[l][var.0 as usize] = self.operand(l, start);
+            }
         }
-        let starts_known = lanes
-            .iter()
-            .all(|&l| self.regs[l][var.0 as usize].is_some());
-        if !exact || !starts_known {
-            return self.run_for_opaque(var, body, mask);
+        let starts_exact = exact
+            && lanes
+                .iter()
+                .all(|&l| self.regs[l][var.0 as usize].as_exact().is_some());
+        if !starts_exact {
+            return self.run_for_abstract(var, start, end, step, body, mask);
         }
         // The lowered form is bottom-tested: the body runs at least once.
         let mut iters: u64 = 0;
@@ -496,18 +701,25 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                         fixit: None,
                     },
                 );
-                return self.run_for_opaque(var, body, mask);
+                return self.run_for_abstract(var, start, end, step, body, mask);
             }
             self.walk(body, mask, true)?;
             // Latch: add var, var, step; setp var < end; bra.
             for &l in &lanes {
                 let r = &mut self.regs[l][var.0 as usize];
-                *r = r.map(|v| v.wrapping_add(step));
+                if let Some(v) = r.as_exact() {
+                    *r = AbsVal::Exact(v.wrapping_add(step));
+                } else {
+                    *r = domain::alu_abs(AluOp::IAdd, *r, AbsVal::Exact(step));
+                }
             }
             let mut cont = 0u32;
             let mut known = true;
             for &l in &lanes {
-                match (self.regs[l][var.0 as usize], self.operand(l, end)) {
+                match (
+                    self.regs[l][var.0 as usize].as_exact(),
+                    self.operand(l, end).as_exact(),
+                ) {
                     (Some(v), Some(e)) => {
                         if v < e {
                             cont |= 1 << l;
@@ -518,8 +730,8 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             }
             if !known {
                 // The bound (or the induction variable) was clobbered by
-                // something unknown inside the body; give up on this loop.
-                return self.run_for_opaque(var, body, mask);
+                // something unknown inside the body; fall back to bounds.
+                return self.run_for_abstract(var, start, end, step, body, mask);
             }
             if cont == 0 {
                 return Ok(());
@@ -553,17 +765,82 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         }
     }
 
-    /// A loop whose trip count could not be resolved: one unknown-mode pass
-    /// over the body (poisons its defs), induction variable unknown after.
-    fn run_for_opaque(&mut self, var: Reg, body: &[IStmt<'k>], mask: u32) -> Result<(), ()> {
-        self.walk(body, mask, false)?;
-        for l in self.lanes(mask) {
-            self.regs[l][var.0 as usize] = None;
+    /// A loop whose trip count could not be resolved exactly: derive a
+    /// trip-count interval from the bounds' hulls (capped by the budget),
+    /// give the induction variable its over-all-iterations hull, stabilize
+    /// the body to an invariant, and record one pass scaled by the trip
+    /// interval. The induction variable is unknown after the loop.
+    fn run_for_abstract(
+        &mut self,
+        var: Reg,
+        start: &Operand,
+        end: &Operand,
+        step: u32,
+        body: &[IStmt<'k>],
+        mask: u32,
+    ) -> Result<(), ()> {
+        let lanes = self.lanes(mask);
+        let budget = self.cfg.trip_budget.max(1);
+        // Hull of the per-lane start/end bounds across the warp.
+        let hull = |wi: &Self, op: &Operand| {
+            lanes
+                .iter()
+                .map(|&l| wi.operand(l, op))
+                .fold(None, |acc: Option<AbsVal>, v| {
+                    Some(match acc {
+                        None => v,
+                        Some(a) => domain::join(a, v),
+                    })
+                })
+                .unwrap_or(AbsVal::Top)
+        };
+        let sb = hull(self, start);
+        let eb = hull(self, end);
+        let (trips, var_val) = match (sb.bounds(), eb.bounds()) {
+            (Some((sl, sh)), Some((el, eh))) if step > 0 => {
+                let th = trip(sl, eh, step).min(budget);
+                let tl = trip(sh, el, step).min(th);
+                // Entry value of the induction variable at iteration k:
+                // start + (k-1)*step, which for k >= 2 passed the previous
+                // latch test (so it is <= eh - 1) and is <= sh + (th-1)*step.
+                let hi = if th >= 2 {
+                    let later = (sh as u64 + (th - 1) * step as u64)
+                        .min(eh.saturating_sub(1).max(sh) as u64);
+                    sh.max(later.min(u32::MAX as u64) as u32)
+                } else {
+                    sh
+                };
+                let v = if body_writes(body, var) {
+                    AbsVal::Top
+                } else {
+                    AbsVal::interval(sl, hi)
+                };
+                ((tl, th), v)
+            }
+            _ => ((1, budget), AbsVal::Top),
+        };
+        for &l in &lanes {
+            self.regs[l][var.0 as usize] = var_val;
+        }
+        self.fix_body(body, mask)?;
+        let saved_mult = self.mult;
+        self.mult = (
+            saved_mult.0.saturating_mul(trips.0),
+            saved_mult.1.saturating_mul(trips.1),
+        );
+        let r = self.walk(body, mask, false);
+        self.mult = saved_mult;
+        r?;
+        for &l in &lanes {
+            self.regs[l][var.0 as usize] = AbsVal::Top;
         }
         Ok(())
     }
 
     fn sync(&mut self, exact: bool, mask: u32) {
+        if !self.record {
+            return;
+        }
         if exact && mask == self.live {
             self.sync_count += 1;
             return;
@@ -609,35 +886,22 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         match i {
             Instr::Mov { dst, src } => {
                 for &l in &lanes {
-                    let v = if exact { self.operand(l, src) } else { None };
-                    self.regs[l][dst.0 as usize] = v;
+                    self.regs[l][dst.0 as usize] = self.operand(l, src);
                 }
             }
             Instr::Special { dst, sr } => {
                 for &l in &lanes {
-                    let v = if exact {
-                        Some(match sr {
-                            SpecialReg::TidX => self.warp * WARP as u32 + l as u32,
-                            SpecialReg::CtaidX => self.block_id,
-                            SpecialReg::NtidX => self.cfg.block,
-                            SpecialReg::NctaidX => self.cfg.grid,
-                        })
-                    } else {
-                        None
-                    };
-                    self.regs[l][dst.0 as usize] = v;
+                    self.regs[l][dst.0 as usize] = AbsVal::Exact(match sr {
+                        SpecialReg::TidX => self.warp * WARP as u32 + l as u32,
+                        SpecialReg::CtaidX => self.block_id,
+                        SpecialReg::NtidX => self.cfg.block,
+                        SpecialReg::NctaidX => self.cfg.grid,
+                    });
                 }
             }
             Instr::Alu { op, dst, a, b } => {
                 for &l in &lanes {
-                    let v = if exact {
-                        match (self.operand(l, a), self.operand(l, b)) {
-                            (Some(x), Some(y)) => Some(alu(*op, x, y)),
-                            _ => None,
-                        }
-                    } else {
-                        None
-                    };
+                    let v = domain::alu_abs(*op, self.operand(l, a), self.operand(l, b));
                     self.regs[l][dst.0 as usize] = v;
                 }
             }
@@ -649,37 +913,23 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 c,
             } => {
                 for &l in &lanes {
-                    let v = if exact {
-                        match (self.operand(l, a), self.operand(l, b), self.operand(l, c)) {
-                            (Some(x), Some(y), Some(z)) => Some(mad(*float, x, y, z)),
-                            _ => None,
-                        }
-                    } else {
-                        None
-                    };
+                    let v = domain::mad_abs(
+                        *float,
+                        self.operand(l, a),
+                        self.operand(l, b),
+                        self.operand(l, c),
+                    );
                     self.regs[l][dst.0 as usize] = v;
                 }
             }
             Instr::Unary { op, dst, a } => {
                 for &l in &lanes {
-                    let v = if exact {
-                        self.operand(l, a).map(|x| unary(*op, x))
-                    } else {
-                        None
-                    };
-                    self.regs[l][dst.0 as usize] = v;
+                    self.regs[l][dst.0 as usize] = domain::unary_abs(*op, self.operand(l, a));
                 }
             }
             Instr::Setp { dst, cmp, a, b } => {
                 for &l in &lanes {
-                    let v = if exact {
-                        match (self.operand(l, a), self.operand(l, b)) {
-                            (Some(x), Some(y)) => Some(compare(*cmp, x, y)),
-                            _ => None,
-                        }
-                    } else {
-                        None
-                    };
+                    let v = domain::compare_abs(*cmp, self.operand(l, a), self.operand(l, b));
                     self.preds[l][dst.0 as usize] = v;
                 }
             }
@@ -692,7 +942,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
                 self.memory(idx, *space, true, *base, *offset, dsts.len(), mask, exact);
                 for &l in &lanes {
                     for d in dsts {
-                        self.regs[l][d.0 as usize] = None;
+                        self.regs[l][d.0 as usize] = AbsVal::Top;
                     }
                 }
             }
@@ -706,7 +956,7 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             }
             Instr::Clock { dst } => {
                 for &l in &lanes {
-                    self.regs[l][dst.0 as usize] = None;
+                    self.regs[l][dst.0 as usize] = AbsVal::Top;
                 }
             }
         }
@@ -724,6 +974,9 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
         mask: u32,
         exact: bool,
     ) {
+        if !self.record {
+            return;
+        }
         let width_bytes = 4 * words as u64;
         let kernel_name = self.kernel.name.clone();
         let block = self.block_id;
@@ -756,178 +1009,295 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             mark_inexact(self.sink);
             return;
         }
-        if !exact {
-            mark_inexact(self.sink);
-            return;
-        }
 
-        // Per-lane addresses, exactly as the machine computes them: u32
-        // wrapping add, then widen.
+        // Per-lane abstract addresses. Exact bases compute the address
+        // exactly as the machine does (u32 wrapping add, then widen);
+        // interval bases carry `[lo, hi]` byte ranges unless the offset
+        // could wrap, which loses the bound.
+        let lanes = self.lanes(mask);
         let mut addrs: Vec<Option<u64>> = vec![None; WARP];
-        for l in self.lanes(mask) {
-            addrs[l] = self.regs[l][base.0 as usize].map(|b| b.wrapping_add(offset) as u64);
-        }
-        if self.lanes(mask).iter().any(|&l| addrs[l].is_none()) {
-            mark_inexact(self.sink);
-            return;
-        }
-
-        // Alignment / bounds, mirroring `exec::machine`'s fault checks.
-        let mut faulted = false;
-        for l in self.lanes(mask) {
-            let Some(addr) = addrs[l] else { continue };
-            let thread = self.warp * WARP as u32 + l as u32;
-            match space {
-                MemSpace::Global | MemSpace::Texture => {
-                    if !addr.is_multiple_of(width_bytes) {
-                        faulted = true;
-                        self.sink.push_once(
-                            format!("misaligned:{idx}"),
-                            Diagnostic {
-                                severity: Severity::Error,
-                                kind: LintKind::MisalignedAccess,
-                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
-                                message: format!(
-                                    "{}-byte {} at address {addr:#x} is not naturally aligned; \
-                                     the executor faults with Misaligned",
-                                    width_bytes,
-                                    if is_load { "load" } else { "store" }
-                                ),
-                                fixit: None,
-                            },
-                        );
+        let mut ranges: Vec<Option<(u64, u64)>> = vec![None; WARP];
+        let mut any_unbounded = false;
+        for &l in &lanes {
+            match self.regs[l][base.0 as usize] {
+                AbsVal::Exact(b) => {
+                    let a = b.wrapping_add(offset) as u64;
+                    addrs[l] = Some(a);
+                    ranges[l] = Some((a, a));
+                }
+                AbsVal::Interval(lo, hi) => {
+                    if hi as u64 + offset as u64 <= u32::MAX as u64 {
+                        ranges[l] = Some((lo as u64 + offset as u64, hi as u64 + offset as u64));
+                    } else {
+                        any_unbounded = true;
                     }
                 }
-                MemSpace::Shared => {
-                    if !addr.is_multiple_of(4) {
-                        faulted = true;
-                        self.sink.push_once(
-                            format!("misaligned:{idx}"),
-                            Diagnostic {
-                                severity: Severity::Error,
-                                kind: LintKind::MisalignedAccess,
-                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
-                                message: format!(
-                                    "shared {} at address {addr:#x} is not word-aligned",
-                                    if is_load { "load" } else { "store" }
-                                ),
-                                fixit: None,
-                            },
-                        );
-                    } else if addr + width_bytes > self.kernel.smem_bytes as u64 {
-                        faulted = true;
-                        self.sink.push_once(
-                            format!("smem-oob:{idx}"),
-                            Diagnostic {
-                                severity: Severity::Error,
-                                kind: LintKind::OutOfBoundsShared,
-                                site: site_at(&kernel_name, block, Some(thread), Some(idx)),
-                                message: format!(
-                                    "shared {} of {width_bytes} bytes at address {addr:#x} \
-                                     overruns the {}-byte static allocation",
-                                    if is_load { "load" } else { "store" },
-                                    self.kernel.smem_bytes
-                                ),
-                                fixit: None,
-                            },
-                        );
-                    }
-                }
+                AbsVal::Top => any_unbounded = true,
             }
-        }
-        if faulted {
-            if let Some(site) = self.sink.sites.get_mut(&idx) {
-                site.exact = false;
-                site.misaligned = true;
-            }
-            self.sink.exact = false;
-            return;
         }
 
-        match space {
-            MemSpace::Global => {
-                let Some(width) = AccessWidth::from_bytes(width_bytes as u32) else {
-                    mark_inexact(self.sink);
-                    return;
-                };
-                // Track the adjacent-lane stride (for the fix-it text).
-                let mut stride_here: Option<i64> = None;
-                let mut stride_mixed = false;
-                for l in 0..WARP - 1 {
-                    if let (Some(a), Some(b)) = (addrs[l], addrs[l + 1]) {
-                        let d = b as i64 - a as i64;
-                        match stride_here {
-                            None => stride_here = Some(d),
-                            Some(p) if p != d => stride_mixed = true,
-                            _ => {}
+        // Feed the bounds certifier: the byte footprint this site can touch.
+        if let Some(site) = self.sink.sites.get_mut(&idx) {
+            site.addr_unbounded |= any_unbounded;
+            for r in ranges.iter().flatten() {
+                site.addr_lo = site.addr_lo.min(r.0);
+                site.addr_hi = site.addr_hi.max(r.1 + width_bytes);
+            }
+        }
+
+        let all_exact = lanes.iter().all(|&l| addrs[l].is_some());
+        if exact && all_exact {
+            // ---- the affine fragment: bit-identical to the PR 2 path ----
+
+            // Alignment / bounds, mirroring `exec::machine`'s fault checks.
+            let mut faulted = false;
+            for l in self.lanes(mask) {
+                let Some(addr) = addrs[l] else { continue };
+                let thread = self.warp * WARP as u32 + l as u32;
+                match space {
+                    MemSpace::Global | MemSpace::Texture => {
+                        if !addr.is_multiple_of(width_bytes) {
+                            faulted = true;
+                            self.sink.push_once(
+                                format!("misaligned:{idx}"),
+                                Diagnostic {
+                                    severity: Severity::Error,
+                                    kind: LintKind::MisalignedAccess,
+                                    site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                    message: format!(
+                                        "{}-byte {} at address {addr:#x} is not naturally \
+                                         aligned; the executor faults with Misaligned",
+                                        width_bytes,
+                                        if is_load { "load" } else { "store" }
+                                    ),
+                                    fixit: None,
+                                },
+                            );
+                        }
+                    }
+                    MemSpace::Shared => {
+                        if !addr.is_multiple_of(4) {
+                            faulted = true;
+                            self.sink.push_once(
+                                format!("misaligned:{idx}"),
+                                Diagnostic {
+                                    severity: Severity::Error,
+                                    kind: LintKind::MisalignedAccess,
+                                    site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                    message: format!(
+                                        "shared {} at address {addr:#x} is not word-aligned",
+                                        if is_load { "load" } else { "store" }
+                                    ),
+                                    fixit: None,
+                                },
+                            );
+                        } else if addr + width_bytes > self.kernel.smem_bytes as u64 {
+                            faulted = true;
+                            self.sink.push_once(
+                                format!("smem-oob:{idx}"),
+                                Diagnostic {
+                                    severity: Severity::Error,
+                                    kind: LintKind::OutOfBoundsShared,
+                                    site: site_at(&kernel_name, block, Some(thread), Some(idx)),
+                                    message: format!(
+                                        "shared {} of {width_bytes} bytes at address {addr:#x} \
+                                         overruns the {}-byte static allocation",
+                                        if is_load { "load" } else { "store" },
+                                        self.kernel.smem_bytes
+                                    ),
+                                    fixit: None,
+                                },
+                            );
                         }
                     }
                 }
-                let half = self.cfg.device.half_warp as usize;
-                let driver = self.cfg.driver;
+            }
+            if faulted {
                 if let Some(site) = self.sink.sites.get_mut(&idx) {
+                    site.exact = false;
+                    site.misaligned = true;
+                }
+                self.sink.exact = false;
+                return;
+            }
+
+            match space {
+                MemSpace::Global => {
+                    let Some(width) = AccessWidth::from_bytes(width_bytes as u32) else {
+                        mark_inexact(self.sink);
+                        return;
+                    };
+                    // Track the adjacent-lane stride (for the fix-it text).
+                    let mut stride_here: Option<i64> = None;
+                    let mut stride_mixed = false;
+                    for l in 0..WARP - 1 {
+                        if let (Some(a), Some(b)) = (addrs[l], addrs[l + 1]) {
+                            let d = b as i64 - a as i64;
+                            match stride_here {
+                                None => stride_here = Some(d),
+                                Some(p) if p != d => stride_mixed = true,
+                                _ => {}
+                            }
+                        }
+                    }
+                    let half = self.cfg.device.half_warp as usize;
+                    let driver = self.cfg.driver;
+                    if let Some(site) = self.sink.sites.get_mut(&idx) {
+                        for chunk in addrs.chunks(half) {
+                            if chunk.iter().all(Option::is_none) {
+                                continue;
+                            }
+                            let res = coalesce_half_warp(driver, chunk, width);
+                            let tx = res.transactions.len() as u64;
+                            site.transactions += tx;
+                            site.tx_lo += tx;
+                            site.tx_hi += tx;
+                            site.bus_bytes +=
+                                res.transactions.iter().map(|t| t.bytes as u64).sum::<u64>();
+                            site.ideal += if width == AccessWidth::W16 { 2 } else { 1 };
+                            site.half_warps += 1;
+                            site.half_warps_hi += 1;
+                        }
+                        site.stride = match (site.stride, stride_here, stride_mixed) {
+                            (_, _, true) | (StrideTrack::Mixed, _, _) => StrideTrack::Mixed,
+                            (s, None, false) => s,
+                            (StrideTrack::Unset, Some(d), false) => StrideTrack::Const(d),
+                            (StrideTrack::Const(p), Some(d), false) => {
+                                if p == d {
+                                    StrideTrack::Const(p)
+                                } else {
+                                    StrideTrack::Mixed
+                                }
+                            }
+                        };
+                    }
+                }
+                MemSpace::Texture => {
+                    // The texture path bypasses the coalescer; its transaction
+                    // count depends on dynamic cache state. Excluded from the
+                    // prediction (summarized as an info diagnostic later).
+                    mark_inexact(self.sink);
+                }
+                MemSpace::Shared => {
+                    let half = self.cfg.device.half_warp as usize;
+                    let banks = self.cfg.device.smem_banks;
+                    let mut degree = 1u32;
+                    let mut issues = 0u64;
                     for chunk in addrs.chunks(half) {
                         if chunk.iter().all(Option::is_none) {
                             continue;
                         }
-                        let res = coalesce_half_warp(driver, chunk, width);
-                        site.transactions += res.transactions.len() as u64;
-                        site.bus_bytes +=
-                            res.transactions.iter().map(|t| t.bytes as u64).sum::<u64>();
-                        site.ideal += if width == AccessWidth::W16 { 2 } else { 1 };
-                        site.half_warps += 1;
-                    }
-                    site.stride = match (site.stride, stride_here, stride_mixed) {
-                        (_, _, true) | (StrideTrack::Mixed, _, _) => StrideTrack::Mixed,
-                        (s, None, false) => s,
-                        (StrideTrack::Unset, Some(d), false) => StrideTrack::Const(d),
-                        (StrideTrack::Const(p), Some(d), false) => {
-                            if p == d {
-                                StrideTrack::Const(p)
-                            } else {
-                                StrideTrack::Mixed
-                            }
+                        issues += 1;
+                        for phase in 0..words as u64 {
+                            let phase_addrs: Vec<Option<u64>> =
+                                chunk.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
+                            degree = degree.max(conflict_degree(&phase_addrs, banks));
                         }
-                    };
+                    }
+                    if let Some(site) = self.sink.sites.get_mut(&idx) {
+                        site.bank_degree = site.bank_degree.max(degree);
+                        site.half_warps += issues;
+                        site.half_warps_hi += issues;
+                    }
+                    for l in self.lanes(mask) {
+                        let Some(addr) = addrs[l] else { continue };
+                        for w in 0..words as u64 {
+                            self.events.push(SharedEv {
+                                phase: self.sync_count,
+                                word: addr / 4 + w,
+                                thread: self.warp * WARP as u32 + l as u32,
+                                is_write: !is_load,
+                                instr: idx,
+                            });
+                        }
+                    }
                 }
             }
-            MemSpace::Texture => {
-                // The texture path bypasses the coalescer; its transaction
-                // count depends on dynamic cache state. Excluded from the
-                // prediction (summarized as an info diagnostic later).
-                mark_inexact(self.sink);
-            }
-            MemSpace::Shared => {
-                let half = self.cfg.device.half_warp as usize;
-                let banks = self.cfg.device.smem_banks;
-                let mut degree = 1u32;
+            return;
+        }
+
+        // ---- the abstract fragment: bounds instead of exact counts ----
+        // The site is inexact (excluded from `predicted_transactions`), but
+        // each half-warp issue still moves between 1 transaction (perfectly
+        // coalesced) and one per active lane (fully decayed) under every
+        // driver model, and the issue count is scaled by the enclosing
+        // trip-count interval.
+        mark_inexact(self.sink);
+        let half = self.cfg.device.half_warp as usize;
+        match space {
+            MemSpace::Global => {
+                let Some(width) = AccessWidth::from_bytes(width_bytes as u32) else {
+                    if let Some(site) = self.sink.sites.get_mut(&idx) {
+                        site.addr_unbounded = true;
+                    }
+                    return;
+                };
+                let driver = self.cfg.driver;
+                let ideal: u64 = if width == AccessWidth::W16 { 2 } else { 1 };
+                let mut lo_sum = 0u64;
+                let mut hi_sum = 0u64;
                 let mut issues = 0u64;
-                for chunk in addrs.chunks(half) {
-                    if chunk.iter().all(Option::is_none) {
+                for c in 0..WARP.div_ceil(half) {
+                    let chunk_lanes: Vec<usize> =
+                        lanes.iter().copied().filter(|&l| l / half == c).collect();
+                    if chunk_lanes.is_empty() {
                         continue;
                     }
                     issues += 1;
-                    for phase in 0..words as u64 {
-                        let phase_addrs: Vec<Option<u64>> =
-                            chunk.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
-                        degree = degree.max(conflict_degree(&phase_addrs, banks));
+                    lo_sum += 1;
+                    let chunk = &addrs[c * half..(c * half + half).min(WARP)];
+                    let aligned_exact = chunk_lanes
+                        .iter()
+                        .all(|&l| addrs[l].is_some_and(|a| a.is_multiple_of(width_bytes)));
+                    hi_sum += if aligned_exact {
+                        // Every lane address is known and in-spec: the
+                        // oracle's count is itself the worst case (shrinking
+                        // the active set never adds transactions).
+                        coalesce_half_warp(driver, chunk, width).transactions.len() as u64
+                    } else {
+                        // Fully decayed: one transaction per active lane
+                        // (but never below the coalesced-issue cost).
+                        (chunk_lanes.len() as u64).max(ideal)
+                    };
+                }
+                if let Some(site) = self.sink.sites.get_mut(&idx) {
+                    site.tx_lo = site
+                        .tx_lo
+                        .saturating_add(lo_sum.saturating_mul(self.mult.0));
+                    site.tx_hi = site
+                        .tx_hi
+                        .saturating_add(hi_sum.saturating_mul(self.mult.1));
+                    site.half_warps_hi = site
+                        .half_warps_hi
+                        .saturating_add(issues.saturating_mul(self.mult.1));
+                }
+            }
+            MemSpace::Texture => {}
+            MemSpace::Shared => {
+                let banks = self.cfg.device.smem_banks;
+                let mut degree = 1u32;
+                let mut issues = 0u64;
+                for c in 0..WARP.div_ceil(half) {
+                    let chunk_lanes: Vec<usize> =
+                        lanes.iter().copied().filter(|&l| l / half == c).collect();
+                    if chunk_lanes.is_empty() {
+                        continue;
+                    }
+                    issues += 1;
+                    if chunk_lanes.iter().all(|&l| addrs[l].is_some()) {
+                        let chunk = &addrs[c * half..(c * half + half).min(WARP)];
+                        for phase in 0..words as u64 {
+                            let phase_addrs: Vec<Option<u64>> =
+                                chunk.iter().map(|a| a.map(|a| a + 4 * phase)).collect();
+                            degree = degree.max(conflict_degree(&phase_addrs, banks));
+                        }
                     }
                 }
                 if let Some(site) = self.sink.sites.get_mut(&idx) {
                     site.bank_degree = site.bank_degree.max(degree);
-                    site.half_warps += issues;
-                }
-                for l in self.lanes(mask) {
-                    let Some(addr) = addrs[l] else { continue };
-                    for w in 0..words as u64 {
-                        self.events.push(SharedEv {
-                            phase: self.sync_count,
-                            word: addr / 4 + w,
-                            thread: self.warp * WARP as u32 + l as u32,
-                            is_write: !is_load,
-                            instr: idx,
-                        });
-                    }
+                    site.half_warps_hi = site
+                        .half_warps_hi
+                        .saturating_add(issues.saturating_mul(self.mult.1));
                 }
             }
         }

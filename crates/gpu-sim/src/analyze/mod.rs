@@ -37,6 +37,7 @@
 //! [`AnalysisReport::predicted_transactions`] equals the dynamic coalescer's
 //! transaction count **exactly**, under every [`DriverModel`].
 
+mod domain;
 mod interp;
 
 pub mod cost;
@@ -110,6 +111,9 @@ pub enum LintKind {
     UnboundedLoop,
     /// An access through the (dynamically cached) texture path.
     TextureDependence,
+    /// An access whose interval address range is not provably inside a
+    /// declared buffer extent (the static bounds certifier's finding).
+    PossibleOutOfBounds,
     /// Something the static analysis cannot resolve.
     Unanalyzable,
 }
@@ -132,6 +136,7 @@ impl LintKind {
             LintKind::RegisterPressure => "register-pressure",
             LintKind::UnboundedLoop => "unbounded-loop",
             LintKind::TextureDependence => "texture-dependence",
+            LintKind::PossibleOutOfBounds => "possible-out-of-bounds",
             LintKind::Unanalyzable => "unanalyzable",
         }
     }
@@ -189,6 +194,14 @@ pub struct AccessSummary {
     pub lane_stride: Option<i64>,
     /// Worst static bank-conflict degree (shared only; 1 = conflict-free).
     pub bank_degree: u32,
+    /// Best-case transaction bound (equals `transactions` when exact).
+    pub transactions_lo: u64,
+    /// Worst-case transaction bound under the trip-count intervals.
+    pub transactions_hi: u64,
+    /// Worst-case half-warp issue bound (trip-interval scaled).
+    pub half_warp_accesses_hi: u64,
+    /// Interval byte footprint `[lo, hi)` this site can touch, when bounded.
+    pub addr_range: Option<(u64, u64)>,
 }
 
 /// Everything the analyzer learned about one kernel under one launch.
@@ -204,6 +217,11 @@ pub struct AnalysisReport {
     pub exact: bool,
     /// Predicted global-memory transactions for the whole launch.
     pub predicted_transactions: u64,
+    /// `[best, worst]` global-transaction bounds for the whole launch.
+    /// Collapses to `(predicted, predicted)` when the report is exact;
+    /// non-affine sites widen it by their interval transaction bounds
+    /// (texture-path traffic stays excluded from both ends).
+    pub transaction_bounds: (u64, u64),
     /// Register demand per thread (`ir::regalloc`).
     pub regs_per_thread: u16,
     /// Occupancy at the analyzed launch shape, when schedulable.
@@ -241,6 +259,13 @@ impl AnalysisReport {
             },
             self.regs_per_thread,
         );
+        if !self.exact && self.transaction_bounds.1 > self.transaction_bounds.0 {
+            let _ = writeln!(
+                s,
+                "  transaction bounds: [{}, {}]",
+                self.transaction_bounds.0, self.transaction_bounds.1
+            );
+        }
         if let Some(o) = &self.occupancy {
             let _ = writeln!(
                 s,
@@ -265,6 +290,23 @@ impl AnalysisReport {
     }
 }
 
+/// A declared device-buffer extent the bounds certifier checks global and
+/// texture accesses against: bytes `[base, base + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferExtent {
+    /// First byte of the buffer.
+    pub base: u64,
+    /// Size in bytes.
+    pub len: u64,
+}
+
+impl BufferExtent {
+    /// Does `[lo, hi)` fit entirely inside this buffer?
+    pub fn covers(&self, lo: u64, hi: u64) -> bool {
+        self.base <= lo && hi <= self.base + self.len
+    }
+}
+
 /// Launch shape and device context to analyze under.
 #[derive(Debug, Clone)]
 pub struct AnalysisConfig {
@@ -280,11 +322,21 @@ pub struct AnalysisConfig {
     pub params: Vec<u32>,
     /// Per-loop iteration budget before the interpreter gives up.
     pub max_steps: u64,
+    /// Trip-count cap for data-dependent loops: the upper end of the
+    /// `[1, trip_budget]` interval the abstract interpreter analyzes a
+    /// `While` (or unresolvable `For`) under. Sound only if the loop really
+    /// terminates within the budget — pass a structural bound (e.g. the
+    /// Barnes–Hut traversal's node count) when one exists.
+    pub trip_budget: u64,
+    /// Declared device-buffer extents. When non-empty, every global/texture
+    /// access must be provably inside one of them or
+    /// [`LintKind::PossibleOutOfBounds`] fires. Empty = certifier off.
+    pub buffers: Vec<BufferExtent>,
 }
 
 impl AnalysisConfig {
     /// Defaults: GeForce 8800 GTX, CUDA 1.0 coalescing, 4096-iteration
-    /// loop budget.
+    /// loop budget, no declared buffer extents.
     pub fn new(grid: u32, block: u32, params: Vec<u32>) -> AnalysisConfig {
         AnalysisConfig {
             device: DeviceConfig::g8800gtx(),
@@ -293,6 +345,8 @@ impl AnalysisConfig {
             block,
             params,
             max_steps: 4096,
+            trip_budget: 4096,
+            buffers: Vec::new(),
         }
     }
 
@@ -307,6 +361,19 @@ impl AnalysisConfig {
         self.device = device;
         self
     }
+
+    /// Cap data-dependent trip counts at `budget` (must be a true bound on
+    /// the dynamic trip count for the transaction bounds to be sound).
+    pub fn with_trip_budget(mut self, budget: u64) -> AnalysisConfig {
+        self.trip_budget = budget.max(1);
+        self
+    }
+
+    /// Declare buffer extents and switch the bounds certifier on.
+    pub fn with_buffers(mut self, buffers: Vec<BufferExtent>) -> AnalysisConfig {
+        self.buffers = buffers;
+        self
+    }
 }
 
 /// Run every static pass over a kernel and assemble the report.
@@ -316,6 +383,7 @@ pub fn analyze_kernel(kernel: &Kernel, cfg: &AnalysisConfig) -> AnalysisReport {
         driver: cfg.driver,
         exact: true,
         predicted_transactions: 0,
+        transaction_bounds: (0, 0),
         regs_per_thread: 0,
         occupancy: None,
         diagnostics: Vec::new(),
@@ -378,6 +446,7 @@ pub fn analyze_kernel(kernel: &Kernel, cfg: &AnalysisConfig) -> AnalysisReport {
     licm_pass(kernel, &tree, &mut diags);
     trip_count_pass(kernel, cfg, &mut diags);
     summarize_sites(kernel, &sink.sites, &mut report, &mut diags);
+    bounds_pass(kernel, cfg, &sink.sites, &mut diags);
     pressure_pass(kernel, cfg, &mut report, &mut diags);
 
     diags.sort_by(|a, b| {
@@ -716,11 +785,16 @@ fn summarize_sites(
                         site: at(site.instr),
                         message: format!(
                             "global {kind_word} has a data-dependent address; its transactions \
-                             are excluded from the static prediction"
+                             are excluded from the exact prediction and bounded by [{}, {}]",
+                            site.tx_lo, site.tx_hi
                         ),
                         fixit: None,
                     });
                 }
+                report.transaction_bounds.0 =
+                    report.transaction_bounds.0.saturating_add(site.tx_lo);
+                report.transaction_bounds.1 =
+                    report.transaction_bounds.1.saturating_add(site.tx_hi);
             }
             MemSpace::Texture => {
                 report.exact = false;
@@ -780,7 +854,96 @@ fn summarize_sites(
             half_warp_accesses: site.half_warps,
             lane_stride: stride,
             bank_degree: site.bank_degree,
+            transactions_lo: site.tx_lo,
+            transactions_hi: site.tx_hi,
+            half_warp_accesses_hi: site.half_warps_hi,
+            addr_range: if site.addr_unbounded || site.addr_lo >= site.addr_hi {
+                None
+            } else {
+                Some((site.addr_lo, site.addr_hi))
+            },
         });
+    }
+}
+
+/// The static bounds certifier: prove every memory site's interval byte
+/// footprint inside its allocation, or fire
+/// [`LintKind::PossibleOutOfBounds`] with the interval witness.
+///
+/// Global and texture sites are checked against the declared
+/// [`AnalysisConfig::buffers`] (a footprint must fit entirely inside *one*
+/// buffer — spanning two extents is as much a bug as escaping them); the
+/// check is off while no extents are declared. Shared sites with non-exact
+/// addresses are checked against the kernel's static allocation
+/// unconditionally (exact shared addresses already fault as
+/// [`LintKind::OutOfBoundsShared`] in the interpreter).
+fn bounds_pass(
+    kernel: &Kernel,
+    cfg: &AnalysisConfig,
+    sites: &std::collections::BTreeMap<u64, SiteAcc>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for site in sites.values() {
+        let kind_word = if site.is_load { "load" } else { "store" };
+        let touched = site.addr_unbounded || site.addr_lo < site.addr_hi;
+        if !touched {
+            continue;
+        }
+        let at = FaultSite {
+            kernel: Some(kernel.name.clone()),
+            instruction: Some(site.instr),
+            ..FaultSite::default()
+        };
+        let mut warn = |message: String| {
+            diags.push(Diagnostic {
+                severity: Severity::Warning,
+                kind: LintKind::PossibleOutOfBounds,
+                site: at.clone(),
+                message,
+                fixit: None,
+            });
+        };
+        match site.space {
+            MemSpace::Global | MemSpace::Texture => {
+                if cfg.buffers.is_empty() {
+                    continue;
+                }
+                if site.addr_unbounded {
+                    warn(format!(
+                        "global {kind_word} address could not be bounded; in-bounds access is \
+                         unproven for every declared buffer extent"
+                    ));
+                } else if !cfg
+                    .buffers
+                    .iter()
+                    .any(|b| b.covers(site.addr_lo, site.addr_hi))
+                {
+                    warn(format!(
+                        "global {kind_word} may touch bytes [{:#x}, {:#x}) — not provably \
+                         inside any declared buffer extent",
+                        site.addr_lo, site.addr_hi
+                    ));
+                }
+            }
+            MemSpace::Shared => {
+                if site.exact {
+                    continue; // concrete addresses were checked per access
+                }
+                if site.addr_unbounded {
+                    warn(format!(
+                        "shared {kind_word} address could not be bounded against the {}-byte \
+                         static allocation",
+                        kernel.smem_bytes
+                    ));
+                } else if site.addr_hi > kernel.smem_bytes as u64 {
+                    warn(format!(
+                        "shared {kind_word} may touch bytes [{:#x}, {:#x}) — beyond the \
+                         {}-byte static allocation",
+                        site.addr_lo, site.addr_hi, kernel.smem_bytes
+                    ));
+                }
+            }
+        }
     }
 }
 

@@ -233,6 +233,16 @@ pub struct VerifyConfig {
     pub input_map_b: Option<InputMap>,
     /// Per-loop iteration budget before giving up (`Unsupported`).
     pub max_steps: u64,
+    /// Interval-guarded lockstep for the uniform-bound case: when
+    /// `Some(r)`, a data-dependent `While` continuation predicate no longer
+    /// aborts the proof — instead the check is re-run once per assumed
+    /// uniform trip count `t ∈ [1, r]`, forcing every unknown continuation
+    /// to "continue" for the first `t − 1` rounds and "exit" at round `t`,
+    /// and recording each forced decision as an observable [`Event`] both
+    /// kernels must agree on. All `r` proofs together yield
+    /// [`VerifyResult::ProvedBounded`] — equivalence on every execution
+    /// whose data-dependent loops run uniformly at most `r` rounds.
+    pub uniform_while_rounds: Option<u32>,
 }
 
 impl VerifyConfig {
@@ -248,7 +258,15 @@ impl VerifyConfig {
             input_map: None,
             input_map_b: None,
             max_steps: 4096,
+            uniform_while_rounds: None,
         }
+    }
+
+    /// Enable the uniform-bound `While` guard (see
+    /// [`VerifyConfig::uniform_while_rounds`]).
+    pub fn with_uniform_while_rounds(mut self, rounds: u32) -> VerifyConfig {
+        self.uniform_while_rounds = Some(rounds.max(1));
+        self
     }
 }
 
@@ -273,6 +291,22 @@ pub enum VerifyResult {
         /// Human-readable account of the divergence.
         detail: String,
     },
+    /// Equivalent under the uniform-trip-count guard: proved separately for
+    /// every assumed trip count `t ∈ [1, rounds]` of the data-dependent
+    /// `While` loops (see [`VerifyConfig::uniform_while_rounds`]). Weaker
+    /// than [`VerifyResult::Proved`] — executions where lanes exit the loop
+    /// at different rounds, or run more than `rounds` rounds, are not
+    /// covered.
+    ProvedBounded {
+        /// The trip-count bound every assumption was checked up to.
+        rounds: u32,
+        /// Threads compared, summed over all assumed trip counts.
+        threads: u64,
+        /// Store events matched, summed over all assumed trip counts.
+        stores: u64,
+        /// Barrier events matched, summed over all assumed trip counts.
+        syncs: u64,
+    },
     /// The checker cannot decide (data-dependent control flow, address it
     /// cannot resolve, loop budget exhausted) — never counted as proved.
     Unsupported {
@@ -282,9 +316,14 @@ pub enum VerifyResult {
 }
 
 impl VerifyResult {
-    /// `true` only for [`VerifyResult::Proved`].
+    /// `true` only for [`VerifyResult::Proved`] — the unconditional proof.
     pub fn is_proved(&self) -> bool {
         matches!(self, VerifyResult::Proved { .. })
+    }
+
+    /// `true` for the guarded proof ([`VerifyResult::ProvedBounded`]).
+    pub fn is_proved_bounded(&self) -> bool {
+        matches!(self, VerifyResult::ProvedBounded { .. })
     }
 }
 
@@ -298,6 +337,16 @@ impl fmt::Display for VerifyResult {
             } => write!(
                 f,
                 "proved equivalent: {threads} threads, {stores} stores, {syncs} barriers matched"
+            ),
+            VerifyResult::ProvedBounded {
+                rounds,
+                threads,
+                stores,
+                syncs,
+            } => write!(
+                f,
+                "proved equivalent for every uniform trip count <= {rounds}: \
+                 {threads} threads, {stores} stores, {syncs} barriers matched"
             ),
             VerifyResult::Mismatch { site, detail } => {
                 write!(f, "MISMATCH at {site}: {detail}")
@@ -386,6 +435,45 @@ pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult 
         };
     }
 
+    match cfg.uniform_while_rounds {
+        None => verify_under(a, b, params_b, cfg, None),
+        Some(rounds) => {
+            // One full proof per assumed uniform trip count; every one must
+            // hold for the guarded claim.
+            let (mut threads, mut stores, mut syncs) = (0u64, 0u64, 0u64);
+            for t in 1..=rounds.max(1) {
+                match verify_under(a, b, params_b, cfg, Some(t)) {
+                    VerifyResult::Proved {
+                        threads: th,
+                        stores: st,
+                        syncs: sy,
+                    } => {
+                        threads += th;
+                        stores += st;
+                        syncs += sy;
+                    }
+                    other => return other,
+                }
+            }
+            VerifyResult::ProvedBounded {
+                rounds: rounds.max(1),
+                threads,
+                stores,
+                syncs,
+            }
+        }
+    }
+}
+
+/// One equivalence proof, optionally under an assumed uniform trip count for
+/// data-dependent `While` loops.
+fn verify_under(
+    a: &Kernel,
+    b: &Kernel,
+    params_b: &[u32],
+    cfg: &VerifyConfig,
+    assume_rounds: Option<u32>,
+) -> VerifyResult {
     let empty = InputMap::default();
     let mut arena = TermArena::new();
     let mut threads = 0u64;
@@ -398,6 +486,7 @@ pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult 
             cfg.input_map.as_ref().unwrap_or(&empty),
             block_id,
             cfg,
+            assume_rounds,
             &mut arena,
         ) {
             Ok(t) => t,
@@ -412,6 +501,7 @@ pub fn verify_equiv(a: &Kernel, b: &Kernel, cfg: &VerifyConfig) -> VerifyResult 
                 .unwrap_or(&empty),
             block_id,
             cfg,
+            assume_rounds,
             &mut arena,
         ) {
             Ok(t) => t,
@@ -458,6 +548,12 @@ enum Event {
         values: Vec<TermId>,
         instr: u64,
     },
+    /// A forced decision on a data-dependent `While` continuation under the
+    /// uniform-bound guard: at completed round `round`, the predicate was
+    /// *assumed* to be `cont`. Both kernels must consult an unknown
+    /// continuation at the same trace positions with the same outcomes, or
+    /// the per-assumption proofs do not transfer between them.
+    Assume { round: u32, cont: bool },
 }
 
 struct TraceMismatch {
@@ -515,23 +611,43 @@ fn compare_traces(a: &[Event], b: &[Event], arena: &TermArena) -> Option<TraceMi
                 }
             }
             (
-                Event::Sync,
-                Event::Store {
-                    instr, space, addr, ..
+                Event::Assume {
+                    round: ra,
+                    cont: ca,
+                },
+                Event::Assume {
+                    round: rb,
+                    cont: cb,
                 },
             ) => {
-                return Some(TraceMismatch {
-                    instruction: Some(*instr),
-                    detail: format!(
-                        "event {i}: original thread syncs, transformed stores to {space:?}@{addr:#x}"
-                    ),
-                });
+                if ra != rb || ca != cb {
+                    return Some(TraceMismatch {
+                        instruction: None,
+                        detail: format!(
+                            "event {i}: While assumptions diverge: \
+                             round {ra} cont={ca} vs round {rb} cont={cb}"
+                        ),
+                    });
+                }
             }
-            (Event::Store { space, addr, .. }, Event::Sync) => {
+            (ea, eb) => {
+                let describe = |e: &Event| match e {
+                    Event::Sync => "syncs".to_string(),
+                    Event::Store { space, addr, .. } => format!("stores to {space:?}@{addr:#x}"),
+                    Event::Assume { round, cont } => {
+                        format!("assumes While round {round} cont={cont}")
+                    }
+                };
+                let instr = match eb {
+                    Event::Store { instr, .. } => Some(*instr),
+                    _ => None,
+                };
                 return Some(TraceMismatch {
-                    instruction: None,
+                    instruction: instr,
                     detail: format!(
-                        "event {i}: original thread stores to {space:?}@{addr:#x}, transformed syncs"
+                        "event {i}: original thread {}, transformed {}",
+                        describe(ea),
+                        describe(eb)
                     ),
                 });
             }
@@ -540,7 +656,7 @@ fn compare_traces(a: &[Event], b: &[Event], arena: &TermArena) -> Option<TraceMi
     if a.len() != b.len() {
         let instr = b.get(a.len()).and_then(|e| match e {
             Event::Store { instr, .. } => Some(*instr),
-            Event::Sync => None,
+            Event::Sync | Event::Assume { .. } => None,
         });
         return Some(TraceMismatch {
             instruction: instr,
@@ -584,6 +700,9 @@ struct BlockRun<'k, 'a> {
     grid: u32,
     block: u32,
     max_steps: u64,
+    /// `Some(t)` = uniform-bound guard: assume unknown `While` continuations
+    /// run exactly `t` rounds (see [`VerifyConfig::uniform_while_rounds`]).
+    assume_rounds: Option<u32>,
     arena: &'a mut TermArena,
     /// regs[thread][reg]
     regs: Vec<Vec<TermId>>,
@@ -605,6 +724,7 @@ fn run_block(
     input_map: &InputMap,
     block_id: u32,
     cfg: &VerifyConfig,
+    assume_rounds: Option<u32>,
     arena: &mut TermArena,
 ) -> Result<Vec<Vec<Event>>, RunStuck> {
     let n_threads = cfg.block as usize;
@@ -623,6 +743,7 @@ fn run_block(
         grid: cfg.grid,
         block: cfg.block,
         max_steps: cfg.max_steps,
+        assume_rounds,
         arena,
         regs,
         preds: vec![vec![None; kernel.n_preds.max(1) as usize]; n_threads],
@@ -767,23 +888,39 @@ impl BlockRun<'_, '_> {
                     let mut rounds = 0u64;
                     loop {
                         self.walk(body, &live)?;
+                        rounds += 1;
                         let mut next = Vec::new();
                         for &t in &live {
-                            let Some(p) = self.preds[t][pred.0 as usize] else {
-                                return Err(RunStuck {
-                                    instruction: Some(*backedge),
-                                    reason: format!(
-                                        "While continuation predicate %p{} is data-dependent",
-                                        pred.0
-                                    ),
-                                });
+                            let cont = match self.preds[t][pred.0 as usize] {
+                                Some(p) => p != *negate,
+                                None => {
+                                    // Under the uniform-bound guard an
+                                    // unknown continuation is assumed, not
+                                    // fatal: continue for the first t − 1
+                                    // rounds, exit at round t, and make the
+                                    // decision part of the observable trace.
+                                    let Some(t_rounds) = self.assume_rounds else {
+                                        return Err(RunStuck {
+                                            instruction: Some(*backedge),
+                                            reason: format!(
+                                                "While continuation predicate %p{} is data-dependent",
+                                                pred.0
+                                            ),
+                                        });
+                                    };
+                                    let cont = rounds < u64::from(t_rounds);
+                                    self.traces[t].push(Event::Assume {
+                                        round: rounds as u32,
+                                        cont,
+                                    });
+                                    cont
+                                }
                             };
-                            if p != *negate {
+                            if cont {
                                 next.push(t);
                             }
                         }
                         live = next;
-                        rounds += 1;
                         if live.is_empty() {
                             break;
                         }
@@ -1084,6 +1221,7 @@ mod tests {
             &InputMap::default(),
             0,
             &cfg(),
+            None,
             &mut arena,
         )
         .expect("supported");
@@ -1095,6 +1233,92 @@ mod tests {
             txt.contains("Global[0x1000]"),
             "store value should reference the input: {txt}"
         );
+    }
+
+    /// A uniform data-dependent walk: every thread loads the same scalar,
+    /// recomputes an invariant product in the loop, and counts down — the
+    /// continuation is genuinely data-dependent, but uniform across lanes.
+    fn countdown_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("countdown");
+        let buf = b.param();
+        let out = b.param();
+        let scale = b.param();
+        let tid = b.special(SpecialReg::TidX);
+        let n = b.ld(MemSpace::Global, buf, 0, 1)[0];
+        let acc = b.mov(Operand::ImmF(0.0));
+        b.do_while(|b| {
+            let s2 = b.fmul(scale.into(), scale.into());
+            b.alu_into(acc, AluOp::FAdd, acc.into(), s2.into());
+            b.alu_into(n, AluOp::ISub, n.into(), Operand::ImmU(1));
+            b.setp(CmpOp::UNe, n.into(), Operand::ImmU(0))
+        });
+        let oa = b.mad_u(tid.into(), Operand::ImmU(4), out.into());
+        b.st(MemSpace::Global, oa, 0, vec![acc.into()]);
+        b.finish()
+    }
+
+    #[test]
+    fn uniform_while_guard_turns_unsupported_into_bounded_proof() {
+        let k = countdown_kernel();
+        let base = VerifyConfig::new(1, 32, vec![0x1000, 0x8000, 0.5f32.to_bits()]);
+        let r = verify_equiv(&k, &k, &base);
+        assert!(matches!(r, VerifyResult::Unsupported { .. }), "{r}");
+        let guarded = base.with_uniform_while_rounds(5);
+        let r = verify_equiv(&k, &k, &guarded);
+        assert!(r.is_proved_bounded(), "{r}");
+        assert!(!r.is_proved(), "bounded proof must not claim the full one");
+        let VerifyResult::ProvedBounded { rounds, stores, .. } = r else {
+            unreachable!()
+        };
+        assert_eq!(rounds, 5);
+        // One output store per thread per assumed trip count: 32 × 5.
+        assert_eq!(stores, 32 * 5);
+    }
+
+    #[test]
+    fn licm_proves_under_the_uniform_while_guard() {
+        // licm hoists the invariant `scale²` out of the data-dependent loop;
+        // the guarded lockstep must still match the traces round for round.
+        let k = countdown_kernel();
+        let cfg = VerifyConfig::new(1, 32, vec![0x1000, 0x8000, 0.5f32.to_bits()])
+            .with_uniform_while_rounds(4);
+        let r = verify_pass(&k, PassId::Licm, &cfg);
+        assert!(r.is_proved_bounded(), "{}: {r}", PassId::Licm.label());
+    }
+
+    #[test]
+    fn guarded_proof_still_catches_mismatches() {
+        let k = countdown_kernel();
+        let mut bad = k.clone();
+        let Some(Stmt::I(Instr::St { srcs, .. })) = bad.body.last_mut() else {
+            panic!("expected trailing store");
+        };
+        srcs[0] = Operand::R(Reg(2)); // store `scale` instead of the accumulator
+        let cfg = VerifyConfig::new(1, 32, vec![0x1000, 0x8000, 0.5f32.to_bits()])
+            .with_uniform_while_rounds(3);
+        let r = verify_equiv(&k, &bad, &cfg);
+        assert!(matches!(r, VerifyResult::Mismatch { .. }), "{r}");
+    }
+
+    #[test]
+    fn guard_does_not_mask_divergent_while_exits() {
+        // A *non-uniform* continuation (per-lane countdown from tid) resolves
+        // concretely — known predicates keep steering, no assumption fires,
+        // and the result is the plain guarded re-proof of a decidable loop.
+        let mut b = KernelBuilder::new("divexit");
+        let out = b.param();
+        let tid = b.special(SpecialReg::TidX);
+        let n = b.alu(AluOp::IAdd, tid.into(), Operand::ImmU(1));
+        b.do_while(|b| {
+            b.alu_into(n, AluOp::ISub, n.into(), Operand::ImmU(1));
+            b.setp(CmpOp::UNe, n.into(), Operand::ImmU(0))
+        });
+        let oa = b.mad_u(tid.into(), Operand::ImmU(4), out.into());
+        b.st(MemSpace::Global, oa, 0, vec![n.into()]);
+        let k = b.finish();
+        let cfg = VerifyConfig::new(1, 8, vec![0x8000]).with_uniform_while_rounds(2);
+        let r = verify_equiv(&k, &k, &cfg);
+        assert!(r.is_proved_bounded(), "{r}");
     }
 
     #[test]

@@ -309,6 +309,143 @@ pub fn instruction_mix(kernel: &Kernel, params: &[u32]) -> Result<InstrMix, Coun
     Ok(m)
 }
 
+/// Saturating variant of the mix classifier, for the bounds walk: widened
+/// trip budgets can push multipliers toward `u64::MAX`, which must clamp
+/// rather than wrap.
+fn classify_sat(i: &Instr, m: &mut InstrMix, mult: u64) {
+    let slot: &mut u64 = match i {
+        Instr::Alu { op, .. } if op.is_float() => &mut m.fp,
+        Instr::Mad { float: true, .. } => &mut m.fp,
+        Instr::Unary {
+            op: UnaryOp::FRsqrt,
+            ..
+        } => &mut m.sfu,
+        Instr::Unary { .. } => &mut m.int,
+        Instr::Ld { .. } => &mut m.loads,
+        Instr::St { .. } => &mut m.stores,
+        _ => &mut m.int,
+    };
+    *slot = slot.saturating_add(mult);
+}
+
+/// Dynamic instruction-mix **bounds** for one thread: a `[best, worst]`
+/// pair of mixes under the given trip-count budget for data-dependent loops.
+///
+/// The contract extends [`instruction_mix`] instead of replacing it:
+///
+/// * every statically countable construct is charged exactly as the exact
+///   counter charges it — for a kernel with no data-dependent loop the two
+///   mixes are equal *and* equal to [`instruction_mix`]'s result;
+/// * a `While` loop (bottom-tested, so at least one trip) is charged
+///   `[1, trip_budget]` trips plus one backedge branch per trip;
+/// * a `For` loop whose end operand is not a launch constant is charged
+///   `[1, trip_budget]` trips (the caller asserts, via the budget, that its
+///   loops terminate within it — the same contract as
+///   `analyze::AnalysisConfig::with_trip_budget`).
+///
+/// Both sides of an `If` are charged in both bounds, matching the exact
+/// counter's divergent-serialization model. Accumulation saturates.
+pub fn instruction_mix_bounds(
+    kernel: &Kernel,
+    params: &[u32],
+    trip_budget: u64,
+) -> Result<(InstrMix, InstrMix), CountError> {
+    if kernel.n_params as usize != params.len() {
+        return Err(CountError::ParamCountMismatch {
+            expected: kernel.n_params,
+            got: params.len(),
+        });
+    }
+    let budget = trip_budget.max(1);
+    fn walk(
+        stmts: &[Stmt],
+        params: &[u32],
+        budget: u64,
+        mult: (u64, u64),
+        lo: &mut InstrMix,
+        hi: &mut InstrMix,
+    ) -> Result<(), CountError> {
+        for s in stmts {
+            match s {
+                Stmt::I(i) => {
+                    classify_sat(i, lo, mult.0);
+                    classify_sat(i, hi, mult.1);
+                }
+                Stmt::Sync => {
+                    lo.control = lo.control.saturating_add(mult.0);
+                    hi.control = hi.control.saturating_add(mult.1);
+                }
+                Stmt::If { then, els, .. } => {
+                    walk(then, params, budget, mult, lo, hi)?;
+                    walk(els, params, budget, mult, lo, hi)?;
+                }
+                Stmt::While { body, .. } => {
+                    // One backedge branch per trip, trips ∈ [1, budget].
+                    lo.control = lo.control.saturating_add(mult.0);
+                    hi.control = hi.control.saturating_add(mult.1.saturating_mul(budget));
+                    walk(
+                        body,
+                        params,
+                        budget,
+                        (mult.0, mult.1.saturating_mul(budget)),
+                        lo,
+                        hi,
+                    )?;
+                }
+                Stmt::For {
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
+                    let st = resolve_const(start, params).unwrap_or(0);
+                    let (tl, th) = match resolve_const(end, params) {
+                        Some(en) => {
+                            let t = trip_count(st, en, *step)?;
+                            (t, t)
+                        }
+                        None if *step == 0 => return Err(CountError::ZeroStep),
+                        None => (1, budget),
+                    };
+                    lo.int = lo.int.saturating_add(mult.0); // init mov
+                    hi.int = hi.int.saturating_add(mult.1);
+                    lo.control = lo
+                        .control
+                        .saturating_add(mult.0.saturating_mul(tl).saturating_mul(3));
+                    hi.control = hi
+                        .control
+                        .saturating_add(mult.1.saturating_mul(th).saturating_mul(3));
+                    walk(
+                        body,
+                        params,
+                        budget,
+                        (mult.0.saturating_mul(tl), mult.1.saturating_mul(th)),
+                        lo,
+                        hi,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+    let (mut lo, mut hi) = (InstrMix::default(), InstrMix::default());
+    walk(&kernel.body, params, budget, (1, 1), &mut lo, &mut hi)?;
+    Ok((lo, hi))
+}
+
+/// `[best, worst]` dynamic instruction totals for one thread — the bounds
+/// counterpart of [`dynamic_instructions`], same budget contract as
+/// [`instruction_mix_bounds`].
+pub fn dynamic_instruction_bounds(
+    kernel: &Kernel,
+    params: &[u32],
+    trip_budget: u64,
+) -> Result<(u64, u64), CountError> {
+    let (lo, hi) = instruction_mix_bounds(kernel, params, trip_budget)?;
+    Ok((lo.total(), hi.total()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -501,6 +638,86 @@ mod tests {
         assert_eq!(m.sfu, 1);
         assert_eq!(m.stores, 1);
         assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn mix_bounds_collapse_to_exact_without_data_dependence() {
+        let mut b = KernelBuilder::new("cb");
+        let n = b.param();
+        let base = b.param();
+        b.for_loop(Operand::ImmU(0), n.into(), 1, |b, i| {
+            let a = b.mad_u(i.into(), Operand::ImmU(4), base.into());
+            let v = b.ld(MemSpace::Global, a, 0, 1)[0];
+            let w = b.fadd(v.into(), Operand::ImmF(1.0));
+            b.st(MemSpace::Global, a, 0, vec![w.into()]);
+        });
+        let k = b.finish();
+        let params = &[9u32, 0x100];
+        let exact = instruction_mix(&k, params).unwrap();
+        let (lo, hi) = instruction_mix_bounds(&k, params, 4096).unwrap();
+        assert_eq!(lo, exact);
+        assert_eq!(hi, exact);
+    }
+
+    #[test]
+    fn while_bounds_span_one_to_budget_trips() {
+        let mut b = KernelBuilder::new("wb");
+        let x = b.mov(Operand::ImmU(10));
+        b.do_while(|b| {
+            b.fadd(Operand::ImmF(0.0), Operand::ImmF(1.0));
+            b.alu_into(x, AluOp::ISub, x.into(), Operand::ImmU(1));
+            b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+        });
+        let k = b.finish();
+        assert!(
+            instruction_mix(&k, &[]).is_err(),
+            "exact counter must still refuse"
+        );
+        let (lo, hi) = instruction_mix_bounds(&k, &[], 16).unwrap();
+        // Body per trip: 1 fp + 2 int (sub, setp) + 1 backedge control.
+        assert_eq!(lo.fp, 1);
+        assert_eq!(hi.fp, 16);
+        // mov before the loop: 1 int each; body int ×trips.
+        assert_eq!(lo.int, 1 + 2);
+        assert_eq!(hi.int, 1 + 2 * 16);
+        assert_eq!(lo.control, 1);
+        assert_eq!(hi.control, 16);
+        assert!(lo.total() <= hi.total());
+    }
+
+    #[test]
+    fn data_dependent_for_bounds_span_one_to_budget() {
+        let mut b = KernelBuilder::new("df");
+        let base = b.param();
+        let end = b.ld(MemSpace::Global, base, 0, 1)[0];
+        b.for_loop(Operand::ImmU(0), end.into(), 1, |b, _| {
+            b.mov(Operand::ImmF(0.0));
+        });
+        let k = b.finish();
+        assert!(instruction_mix(&k, &[0]).is_err());
+        let (lo, hi) = instruction_mix_bounds(&k, &[0], 8).unwrap();
+        assert_eq!(lo.control, 3);
+        assert_eq!(hi.control, 3 * 8);
+        assert_eq!(lo.total() + 7 * 4, hi.total());
+    }
+
+    #[test]
+    fn bounds_saturate_instead_of_wrapping() {
+        let mut b = KernelBuilder::new("sat");
+        let x = b.mov(Operand::ImmU(1));
+        b.do_while(|b| {
+            b.do_while(|b| {
+                b.do_while(|b| {
+                    b.mov(Operand::ImmU(2));
+                    b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+                });
+                b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+            });
+            b.setp(CmpOp::UNe, x.into(), Operand::ImmU(0))
+        });
+        let (lo, hi) = instruction_mix_bounds(&b.finish(), &[], u64::MAX).unwrap();
+        assert_eq!(hi.int, u64::MAX);
+        assert!(lo.total() < u64::MAX);
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //! the dynamic coalescer's measurement **exactly**, under every driver
 //! model.
 
-use gpu_sim::analyze::{analyze_kernel, AnalysisConfig};
+use gpu_sim::analyze::{analyze_kernel, AnalysisConfig, BufferExtent};
 use gpu_sim::exec::timed::time_grid;
-use gpu_sim::ir::{Kernel, KernelBuilder, MemSpace, Operand};
+use gpu_sim::ir::{AluOp, CmpOp, Kernel, KernelBuilder, MemSpace, Operand, SpecialReg};
 use gpu_sim::mem::GlobalMemory;
 use gpu_sim::{DeviceConfig, DriverModel, TimingParams};
 use proptest::prelude::*;
@@ -123,6 +123,77 @@ fn build_case_kernel(case: &Case) -> Kernel {
     b.finish()
 }
 
+/// One random *bounded data-dependent* kernel, the fragment the interval
+/// domain exists for. The trip count is loaded from `data[0]` — invisible to
+/// the analyzer, concrete to the executor — clamped to `budget` with `IMin`,
+/// and drives a `do_while`. Store addresses are masked (`i & mask`) plus an
+/// affine `tid` term, so the static footprint is an honest interval while the
+/// dynamic footprint depends on the loaded count.
+#[derive(Debug, Clone)]
+struct BoundedCase {
+    /// Value uploaded to `data[0]`; dynamic trips are `max(min(trips, budget), 1)`.
+    trips: u32,
+    /// `IMin` clamp and the analyzer's `with_trip_budget`.
+    budget: u32,
+    /// Store element index is `(i & mask) + c1·tid`.
+    mask: u32,
+    c1: u32,
+    /// Also emit a masked data load inside the loop.
+    with_load: bool,
+    grid: u32,
+    block: u32,
+}
+
+fn bounded_case_strategy() -> impl Strategy<Value = BoundedCase> {
+    (
+        (1u32..13, any::<u32>()),
+        prop_oneof![Just(3u32), Just(7u32), Just(15u32)],
+        0u32..3,
+        any::<bool>(),
+        1u32..3,
+        prop_oneof![Just(32u32), Just(64u32)],
+    )
+        .prop_map(
+            |((budget, seed), mask, c1, with_load, grid, block)| BoundedCase {
+                // The actual count never exceeds the declared budget.
+                trips: seed % (budget + 1),
+                budget,
+                mask,
+                c1,
+                with_load,
+                grid,
+                block,
+            },
+        )
+}
+
+fn build_bounded_kernel(case: &BoundedCase) -> Kernel {
+    let mut b = KernelBuilder::new("bounded_case");
+    let data = b.param();
+    let out = b.param();
+    let tid = b.special(SpecialReg::TidX);
+    let val = b.mov(Operand::ImmF(2.0));
+    // n = data[0]: data-dependent, so the analyzer must fall back to the
+    // interval fragment from here on.
+    let n = b.ld(MemSpace::Global, data, 0, 1)[0];
+    let nc = b.alu(AluOp::IMin, n.into(), Operand::ImmU(case.budget));
+    let i = b.mov(Operand::ImmU(0));
+    b.do_while(|b| {
+        let m = b.alu(AluOp::IAnd, i.into(), Operand::ImmU(case.mask));
+        let e = b.mad_u(tid.into(), Operand::ImmU(case.c1), m.into());
+        let addr = b.mad_u(e.into(), Operand::ImmU(4), out.into());
+        b.st(MemSpace::Global, addr, 0, vec![val.into()]);
+        if case.with_load {
+            let lm = b.alu(AluOp::IAnd, i.into(), Operand::ImmU(7));
+            let la = b.mad_u(lm.into(), Operand::ImmU(4), data.into());
+            let _ = b.ld(MemSpace::Global, la, 4, 1); // data[1 + (i & 7)]
+        }
+        b.alu_into(i, AluOp::IAdd, i.into(), Operand::ImmU(1));
+        b.setp(CmpOp::ULt, i.into(), nc.into())
+    });
+    b.finish()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -157,6 +228,91 @@ proptest! {
                 report.predicted_transactions, timed.transactions,
                 "driver {}: static prediction diverged from the coalescer", driver
             );
+            prop_assert_eq!(
+                report.transaction_bounds,
+                (report.predicted_transactions, report.predicted_transactions),
+                "exact reports must carry a degenerate transaction interval"
+            );
+        }
+    }
+
+    /// The interval fragment's soundness, end to end: on random bounded
+    /// data-dependent loops, the static transaction interval encloses the
+    /// dynamic coalescer's measurement, and every byte the executor verifiably
+    /// wrote lies inside some store site's static address interval. Observed
+    /// store addresses come from the memory system itself: `out` is allocated
+    /// *uninitialized*, so after the run exactly the written words are
+    /// downloadable and everything else is still poison.
+    #[test]
+    fn interval_bounds_enclose_dynamic_observations(case in bounded_case_strategy()) {
+        let kernel = build_bounded_kernel(&case);
+        let dev = DeviceConfig::g8800gtx();
+        let out_len = u64::from(4 * (case.mask + case.c1 * (case.block - 1) + 1));
+        for driver in DriverModel::ALL {
+            let mut gmem = GlobalMemory::new(1 << 20);
+            let data = gmem.alloc_zeroed(64).expect("data arena");
+            gmem.store_u32(data.addr(), case.trips).expect("trip count");
+            let out = gmem.alloc(out_len).expect("out arena");
+            let params = vec![data.addr() as u32, out.addr() as u32];
+
+            let cfg = AnalysisConfig::new(case.grid, case.block, params.clone())
+                .with_driver(driver)
+                .with_trip_budget(u64::from(case.budget))
+                .with_buffers(vec![
+                    BufferExtent { base: data.addr(), len: 64 },
+                    BufferExtent { base: out.addr(), len: out_len },
+                ]);
+            let report = analyze_kernel(&kernel, &cfg);
+            prop_assert!(!report.exact, "a loaded trip count must leave the affine fragment");
+            prop_assert!(
+                !report.diagnostics.iter().any(|d| d.kind == gpu_sim::LintKind::PossibleOutOfBounds),
+                "masked addresses fit the declared extents; certifier disagreed: {:?}",
+                report.diagnostics
+            );
+            // The uniform `data[0]` broadcast load is legitimately uncoalesced
+            // on G80; nothing else may reach error severity.
+            prop_assert!(
+                !report.has_errors()
+                    || report.diagnostics.iter().all(|d|
+                        d.severity != gpu_sim::Severity::Error
+                            || d.kind == gpu_sim::LintKind::UncoalescedAccess),
+                "unexpected errors: {:?}", report.diagnostics
+            );
+
+            let tp = TimingParams::for_driver(driver);
+            let timed = time_grid(
+                &kernel, case.grid, case.block, 1, &params, &mut gmem, &dev, driver, &tp,
+            ).expect("dynamic run");
+            let (lo, hi) = report.transaction_bounds;
+            prop_assert!(
+                lo <= timed.transactions && timed.transactions <= hi,
+                "driver {}: dynamic {} transactions escape the static interval [{}, {}]",
+                driver, timed.transactions, lo, hi
+            );
+
+            // Every store site must carry a finite interval footprint.
+            let hulls: Vec<(u64, u64)> = report
+                .accesses
+                .iter()
+                .filter(|s| s.space == MemSpace::Global && !s.is_load)
+                .map(|s| s.addr_range.expect("masked store must have bounded addresses"))
+                .collect();
+            prop_assert!(!hulls.is_empty(), "the loop stores every trip");
+
+            // Word-probe the output buffer: downloadable == written.
+            let mut observed = 0usize;
+            for w in 0..(out_len / 4) {
+                let addr = out.addr() + 4 * w;
+                if gmem.download(out.offset(4 * w), 4).is_ok() {
+                    observed += 1;
+                    prop_assert!(
+                        hulls.iter().any(|&(lo, hi)| lo <= addr && addr + 4 <= hi),
+                        "written word at {addr:#x} escapes every static store hull {hulls:?}"
+                    );
+                }
+            }
+            // tid 0 stores word `(i & mask)`, so word 0 is written on trip 0.
+            prop_assert!(observed > 0, "a do_while kernel writes at least once");
         }
     }
 }

@@ -23,7 +23,8 @@
 use std::process::ExitCode;
 
 use gpu_kernels::lintset::{workspace_lint_targets, LintTarget};
-use gpu_kernels::verifyset::{layout_ladder_targets, workspace_pass_targets};
+use gpu_kernels::verifyset::{bounds_targets, layout_ladder_targets, workspace_pass_targets};
+use gpu_sim::analyze::verify::VerifyResult;
 use gpu_sim::analyze::{analyze_kernel, cost};
 use gpu_sim::DriverModel;
 use gravit_core::lint::{enrich_report, EnrichedReport};
@@ -74,7 +75,24 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 println!(
                     "kernel-lint [--json] [--deny] [--list] [--verify] [--cost] \
-                     [--driver cuda10|cuda11|cuda22|all] [--kernel SUBSTR]"
+                     [--driver cuda10|cuda11|cuda22|all] [--kernel SUBSTR]\n\
+                     \n\
+                     Modes (mutually exclusive; default is the lint gate):\n\
+                     \x20 --verify  prove every kernel x pass pair, the layout ladder,\n\
+                     \x20           and the interval-bounds certificates (Barnes-Hut)\n\
+                     \x20 --cost    static cycle estimates; data-dependent kernels get\n\
+                     \x20           [best, worst] cycle ranges instead of a point value\n\
+                     \x20 --list    print the target set and exit\n\
+                     \n\
+                     --json composes with every mode: the lint gate emits enriched\n\
+                     reports, --verify emits structured results (including\n\
+                     `unsupported` reasons and interval certificates), --cost emits\n\
+                     per-kernel estimates with cycle ranges.\n\
+                     \n\
+                     Exit codes:\n\
+                     \x20 0  success - gate clean / all targets proved\n\
+                     \x20 1  gate violation, unproven verify target, --deny hit,\n\
+                     \x20    empty filter match, or bad usage"
                 );
                 std::process::exit(0);
             }
@@ -97,10 +115,40 @@ struct JsonEntry {
 #[derive(Serialize)]
 struct VerifyEntry {
     kernel: String,
-    /// Pass label, or `layout:<from>-><to>` for ladder equivalences.
+    /// Pass label, `layout:<from>-><to>` for ladder equivalences, or
+    /// `interval-bounds` for analyzer certificates.
     pass: String,
     proved: bool,
+    /// `proved`, `proved-bounded`, `bounded`, `mismatch`, or `unsupported`.
+    result: String,
+    /// Why the checker could not decide, when `result` is `unsupported`.
+    unsupported_reason: Option<String>,
+    /// `[best, worst]` global transactions (interval-bounds targets only).
+    transaction_bounds: Option<(u64, u64)>,
+    /// `[best, worst]` predicted cycles (interval-bounds targets only).
+    cycle_bounds: Option<(f64, f64)>,
     detail: String,
+}
+
+impl VerifyEntry {
+    fn from_result(kernel: String, pass: String, r: &VerifyResult) -> VerifyEntry {
+        let (result, unsupported_reason) = match r {
+            VerifyResult::Proved { .. } => ("proved", None),
+            VerifyResult::ProvedBounded { .. } => ("proved-bounded", None),
+            VerifyResult::Mismatch { .. } => ("mismatch", None),
+            VerifyResult::Unsupported { reason } => ("unsupported", Some(reason.clone())),
+        };
+        VerifyEntry {
+            kernel,
+            pass,
+            proved: r.is_proved() || r.is_proved_bounded(),
+            result: result.to_string(),
+            unsupported_reason,
+            transaction_bounds: None,
+            cycle_bounds: None,
+            detail: r.to_string(),
+        }
+    }
 }
 
 /// Run `--verify`: prove the whole `verifyset`, exit 1 on any unproven pair.
@@ -116,24 +164,57 @@ fn run_verify(opts: &Options) -> ExitCode {
             continue;
         }
         let r = t.verify();
-        entries.push(VerifyEntry {
-            kernel: t.kernel.name.clone(),
-            pass: t.pass.label(),
-            proved: r.is_proved(),
-            detail: r.to_string(),
-        });
+        entries.push(VerifyEntry::from_result(
+            t.kernel.name.clone(),
+            t.pass.label(),
+            &r,
+        ));
     }
     for t in layout_ladder_targets() {
         if !(matches(&t.a.name) || matches(&t.b.name)) {
             continue;
         }
         let r = t.verify();
-        entries.push(VerifyEntry {
-            kernel: t.a.name.clone(),
-            pass: format!("layout:{}->{}", t.from.label(), t.to.label()),
-            proved: r.is_proved(),
-            detail: r.to_string(),
-        });
+        entries.push(VerifyEntry::from_result(
+            t.a.name.clone(),
+            format!("layout:{}->{}", t.from.label(), t.to.label()),
+            &r,
+        ));
+    }
+    for t in bounds_targets() {
+        if !matches(&t.kernel.name) {
+            continue;
+        }
+        match t.verify() {
+            Ok(cert) => entries.push(VerifyEntry {
+                kernel: cert.kernel.clone(),
+                pass: "interval-bounds".to_string(),
+                proved: true,
+                result: "bounded".to_string(),
+                unsupported_reason: None,
+                transaction_bounds: Some(cert.transaction_bounds),
+                cycle_bounds: Some(cert.cycle_bounds),
+                detail: format!(
+                    "certified: transactions in [{}, {}], cycles in [{:.0}, {:.0}], \
+                     {} possible-out-of-bounds warning(s)",
+                    cert.transaction_bounds.0,
+                    cert.transaction_bounds.1,
+                    cert.cycle_bounds.0,
+                    cert.cycle_bounds.1,
+                    cert.oob_warnings
+                ),
+            }),
+            Err(reason) => entries.push(VerifyEntry {
+                kernel: t.kernel.name.clone(),
+                pass: "interval-bounds".to_string(),
+                proved: false,
+                result: "unsupported".to_string(),
+                unsupported_reason: Some(reason.clone()),
+                transaction_bounds: None,
+                cycle_bounds: None,
+                detail: format!("unsupported: {reason}"),
+            }),
+        }
     }
 
     if entries.is_empty() {
@@ -174,24 +255,38 @@ fn run_verify(opts: &Options) -> ExitCode {
 struct CostEntry {
     kernel: String,
     driver: String,
+    /// Point estimate — only for statically exact kernels.
     total_cycles: Option<f64>,
     issue_cycles: Option<f64>,
     memory_cycles: Option<f64>,
     smem_conflict_cycles: Option<f64>,
     exposed_latency_cycles: Option<f64>,
     active_warps: Option<u32>,
+    /// `[best, worst]` predicted cycles — present whenever the interval
+    /// analyzer could bound the kernel (degenerate iff exact).
+    cycle_bounds: Option<(f64, f64)>,
+    /// `[best, worst]` global transactions over the launch.
+    transaction_bounds: Option<(u64, u64)>,
     regs_per_thread: u16,
     error: Option<String>,
 }
 
 /// Run `--cost`: price every lint target under each requested driver.
+/// Statically exact kernels get a point estimate; data-dependent ones
+/// (Barnes–Hut) get the `[best, worst]` interval from the widening analyzer.
 fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
     let mut entries: Vec<CostEntry> = Vec::new();
     for target in targets {
         for &driver in &opts.drivers {
             let cfg = target.config().with_driver(driver);
             let regs = cost::regs_per_thread(&target.kernel);
-            match cost::estimate(&target.kernel, &cfg) {
+            let report = analyze_kernel(&target.kernel, &cfg);
+            let bounds = cost::estimate_bounds_from_report(&target.kernel, &cfg, &report);
+            let (cycle_bounds, transaction_bounds, bounds_err) = match &bounds {
+                Ok(b) => (Some(b.cycle_range()), Some(report.transaction_bounds), None),
+                Err(e) => (None, None, Some(e.to_string())),
+            };
+            match cost::estimate_from_report(&target.kernel, &cfg, &report) {
                 Ok(c) => entries.push(CostEntry {
                     kernel: target.kernel.name.clone(),
                     driver: driver.label().to_string(),
@@ -201,6 +296,8 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
                     smem_conflict_cycles: Some(c.smem_conflict_cycles),
                     exposed_latency_cycles: Some(c.exposed_latency_cycles),
                     active_warps: Some(c.active_warps),
+                    cycle_bounds,
+                    transaction_bounds,
                     regs_per_thread: regs,
                     error: None,
                 }),
@@ -213,8 +310,14 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
                     smem_conflict_cycles: None,
                     exposed_latency_cycles: None,
                     active_warps: None,
+                    error: if cycle_bounds.is_some() {
+                        None // bounded, just not exact
+                    } else {
+                        Some(bounds_err.unwrap_or_else(|| e.to_string()))
+                    },
+                    cycle_bounds,
+                    transaction_bounds,
                     regs_per_thread: regs,
-                    error: Some(e.to_string()),
                 }),
             }
         }
@@ -233,8 +336,8 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
             "kernel", "driver", "total", "issue", "memory", "smem", "latency", "regs"
         );
         for e in &entries {
-            match e.total_cycles {
-                Some(total) => println!(
+            match (e.total_cycles, e.cycle_bounds) {
+                (Some(total), _) => println!(
                     "{:<28} {:<7} {:>12.0} {:>12.0} {:>12.0} {:>8.0} {:>8.0} {:>5}",
                     e.kernel,
                     e.driver,
@@ -245,7 +348,17 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
                     e.exposed_latency_cycles.unwrap_or(0.0),
                     e.regs_per_thread
                 ),
-                None => println!(
+                (None, Some((lo, hi))) => {
+                    let tx = e
+                        .transaction_bounds
+                        .map(|(a, b)| format!(", transactions in [{a}, {b}]"))
+                        .unwrap_or_default();
+                    println!(
+                        "{:<28} {:<7} cycles in [{lo:.0}, {hi:.0}]{tx} ({} regs)",
+                        e.kernel, e.driver, e.regs_per_thread
+                    );
+                }
+                (None, None) => println!(
                     "{:<28} {:<7} (no static estimate: {})",
                     e.kernel,
                     e.driver,

@@ -49,6 +49,18 @@ impl BhKernelConfig {
     }
 }
 
+/// Static trip-count budget for the traversal's `While` loop.
+///
+/// Every node enters a thread's stack at most once (it has exactly one
+/// parent, and children are pushed only when their parent is popped), so a
+/// traversal over a tree of `n_nodes` nodes pops — and therefore iterates —
+/// at most `n_nodes` times. Feed this to
+/// [`AnalysisConfig::with_trip_budget`](gpu_sim::analyze::AnalysisConfig::with_trip_budget)
+/// to bound the interval analysis of the walk.
+pub fn traversal_budget(n_nodes: u32) -> u64 {
+    u64::from(n_nodes).max(1)
+}
+
 /// Build the Barnes–Hut traversal kernel.
 ///
 /// Parameters, in order:

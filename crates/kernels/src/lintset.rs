@@ -8,7 +8,7 @@
 //! *disappears* (the lint lost its teeth) just as it fails if an unexpected
 //! one appears (a kernel regressed).
 
-use gpu_sim::analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, Severity};
+use gpu_sim::analyze::{analyze_kernel, AnalysisConfig, AnalysisReport, BufferExtent, Severity};
 use gpu_sim::ir::Kernel;
 use particle_layouts::Layout;
 
@@ -34,12 +34,23 @@ pub struct LintTarget {
     pub expect_errors: Vec<&'static str>,
     /// Warning-severity kind names this kernel is supposed to produce.
     pub expect_warnings: Vec<&'static str>,
+    /// Declared buffer extents for the static bounds certifier. Every
+    /// global/texture access must be proven inside one of these (or the
+    /// target carries an expected `possible-out-of-bounds` finding).
+    pub buffers: Vec<BufferExtent>,
+    /// Trip-count budget for data-dependent loops (`None` = analyzer default).
+    pub trip_budget: Option<u64>,
 }
 
 impl LintTarget {
     /// The analysis configuration for this target (default device/driver).
     pub fn config(&self) -> AnalysisConfig {
-        AnalysisConfig::new(self.grid, self.block, self.params.clone())
+        let mut cfg = AnalysisConfig::new(self.grid, self.block, self.params.clone())
+            .with_buffers(self.buffers.clone());
+        if let Some(budget) = self.trip_budget {
+            cfg = cfg.with_trip_budget(budget);
+        }
+        cfg
     }
 
     /// Run the analyzer under the default configuration.
@@ -87,6 +98,18 @@ fn fake_buffers(n: usize) -> Vec<u32> {
     (0..n as u32).map(|i| 0x1_0000 * (i + 1)).collect()
 }
 
+/// Declare a 64 KiB extent at each of the given device addresses — the
+/// extents the fake 64 KiB-apart addressing scheme implies.
+fn extents(addrs: &[u32]) -> Vec<BufferExtent> {
+    addrs
+        .iter()
+        .map(|&base| BufferExtent {
+            base: u64::from(base),
+            len: 0x1_0000,
+        })
+        .collect()
+}
+
 fn force_target(
     cfg: ForceKernelConfig,
     prefetch: bool,
@@ -97,6 +120,7 @@ fn force_target(
     let n = grid * cfg.block;
     let mut params = fake_buffers(cfg.layout.buffers().len());
     params.push(0x20_0000); // out
+    let buffers = extents(&params);
     params.push(n);
     params.push(0.5f32.to_bits()); // eps
     params.push(0); // smem0
@@ -112,6 +136,8 @@ fn force_target(
         params,
         expect_errors,
         expect_warnings,
+        buffers,
+        trip_budget: None,
     }
 }
 
@@ -124,6 +150,7 @@ fn chunk_target(
     let n_buffers = cfg.layout.buffers().len();
     let mut params = fake_buffers(2 * n_buffers); // target chunk + source chunk
     params.push(0x20_0000); // out
+    let buffers = extents(&params);
     params.push(grid * cfg.block); // n_src
     params.push(0.5f32.to_bits()); // eps
     params.push(0); // smem0
@@ -134,6 +161,8 @@ fn chunk_target(
         params,
         expect_errors,
         expect_warnings,
+        buffers,
+        trip_budget: None,
     }
 }
 
@@ -152,6 +181,7 @@ fn membench_target(
     } else {
         build_membench_kernel(cfg)
     };
+    let buffers = extents(&params); // every membench param is an address
     LintTarget {
         kernel,
         grid: 2,
@@ -159,12 +189,15 @@ fn membench_target(
         params,
         expect_errors,
         expect_warnings,
+        buffers,
+        trip_budget: None,
     }
 }
 
 fn integrate_target(layout: Layout, expect_errors: Vec<&'static str>) -> LintTarget {
     let mut params = fake_buffers(layout.buffers().len());
     params.push(0x20_0000); // acc
+    let buffers = extents(&params);
     params.push(0.01f32.to_bits()); // dt
     LintTarget {
         kernel: build_integrate_kernel(layout),
@@ -173,17 +206,22 @@ fn integrate_target(layout: Layout, expect_errors: Vec<&'static str>) -> LintTar
         params,
         expect_errors,
         expect_warnings: vec![],
+        buffers,
+        trip_budget: None,
     }
 }
 
 fn bank_target(stride: u32, expect_warnings: Vec<&'static str>) -> LintTarget {
+    let params = vec![0x1_0000, 0x2_0000];
     LintTarget {
         kernel: build_bank_kernel(stride, 2),
         grid: 1,
         block: 128,
-        params: vec![0x1_0000, 0x2_0000],
+        buffers: extents(&params),
+        params,
         expect_errors: vec![],
         expect_warnings,
+        trip_budget: None,
     }
 }
 
@@ -310,21 +348,29 @@ pub fn workspace_lint_targets() -> Vec<LintTarget> {
         targets.push(bank_target(stride, warnings));
     }
 
-    // --- barnes_hut: data-dependent traversal, info-only -----------------
+    // --- barnes_hut: data-dependent traversal, analyzed with bounds ------
+    // The walk is bounded by the traversal budget (every node is popped at
+    // most once), but the node index itself comes out of shared memory, so
+    // the tree-indexed addresses — and the stack pointer fed through the
+    // pop/push cycle — widen to ⊤. The bounds certifier is *supposed* to
+    // flag those sites: the expected `possible-out-of-bounds` finding below
+    // is the honest statement that in-bounds traversal depends on tree
+    // well-formedness, which the dynamic redzone checks cover.
     {
         let cfg = BhKernelConfig::g80_default();
+        let addrs = fake_buffers(5); // pos, com, side_meta, bodies, out
+        let mut params = addrs.clone();
+        params.push(0.25f32.to_bits()); // theta²
+        params.push(0.5f32.to_bits()); // eps
         targets.push(LintTarget {
             kernel: crate::barnes_hut::build_bh_kernel(cfg),
             grid: 2,
             block: cfg.block,
-            params: {
-                let mut p = fake_buffers(5); // pos, com, side_meta, bodies, out
-                p.push(0.25f32.to_bits()); // theta²
-                p.push(0.5f32.to_bits()); // eps
-                p
-            },
+            params,
             expect_errors: vec![],
-            expect_warnings: vec![],
+            expect_warnings: vec!["possible-out-of-bounds"],
+            buffers: extents(&addrs),
+            trip_budget: Some(crate::barnes_hut::traversal_budget(63)),
         });
     }
 

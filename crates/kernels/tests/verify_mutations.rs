@@ -59,7 +59,9 @@ fn statement_swaps_in_the_hoisted_force_kernel_are_caught() {
                 );
                 assert_eq!(site.kernel.as_deref(), Some(hoisted.name.as_str()));
             }
-            VerifyResult::Proved { .. } => {} // order-independent pair
+            // Order-independent pair (no uniform-bound guard is configured,
+            // so ProvedBounded cannot occur, but the match stays total).
+            VerifyResult::Proved { .. } | VerifyResult::ProvedBounded { .. } => {}
             VerifyResult::Unsupported { reason } => {
                 panic!("swap at {i} must not leave the supported fragment: {reason}");
             }
