@@ -7,16 +7,23 @@
 //! traversal the analyzer cannot be exact, so its `[best, worst]`
 //! transaction interval must *enclose* the dynamic measurement instead.
 //!
-//! Also emits `BENCH_analyze.json` — analyzer wall time per kernel × driver
-//! across both families, so analysis-cost regressions show up in review.
+//! Also emits `BENCH_analyze.json` — analyzer + synthesizer wall time per
+//! kernel × driver across all families, so analysis-cost regressions show
+//! up in review. With `--check-against PATH`, the committed baseline is
+//! loaded *before* the new report overwrites it and any kernel whose wall
+//! time regressed more than 2x (plus a small absolute slack for sub-ms
+//! rows) fails the run — the CI `verify-kernels` job gates on this.
 //!
-//! Usage: `table_lint_validation [--bh-n BODIES] [--json PATH]`.
+//! Usage: `table_lint_validation [--bh-n BODIES] [--json PATH]
+//!         [--check-against PATH]`.
 use bench::report::emit;
 use bench::tables::{bh_bounds_validation, lint_cross_validation};
-use serde::Serialize;
+use gpu_kernels::synthset::synth_targets;
+use gpu_sim::DriverModel;
+use serde::{Deserialize, Serialize};
 use simcore::Table;
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct AnalyzeTime {
     kernel: String,
     driver: String,
@@ -24,11 +31,41 @@ struct AnalyzeTime {
     exact: bool,
 }
 
-#[derive(Serialize)]
+#[derive(Serialize, Deserialize)]
 struct AnalyzeReport {
     bench: String,
     bh_n: u32,
     kernels: Vec<AnalyzeTime>,
+}
+
+/// Maximum tolerated wall-time growth over the committed baseline: 2x,
+/// with 5 ms of absolute slack so scheduler jitter on sub-millisecond
+/// rows cannot trip the gate.
+fn regressed(baseline_ms: f64, new_ms: f64) -> bool {
+    new_ms > 2.0 * baseline_ms + 5.0
+}
+
+/// Compare the fresh timings against a committed baseline report; returns
+/// the number of per-kernel regressions (each printed as it is found).
+fn check_against(baseline: &AnalyzeReport, times: &[AnalyzeTime]) -> usize {
+    let mut regressions = 0usize;
+    for t in times {
+        let Some(b) = baseline
+            .kernels
+            .iter()
+            .find(|b| b.kernel == t.kernel && b.driver == t.driver)
+        else {
+            continue; // new kernel: no baseline to regress against
+        };
+        if regressed(b.analyze_ms, t.analyze_ms) {
+            println!(
+                "[FAIL] {} under {}: {:.3} ms vs committed {:.3} ms (> 2x + 5 ms)",
+                t.kernel, t.driver, t.analyze_ms, b.analyze_ms
+            );
+            regressions += 1;
+        }
+    }
+    regressions
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -43,6 +80,12 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(192);
     let json_path = flag(&args, "--json").unwrap_or_else(|| "BENCH_analyze.json".into());
+    // Load the committed baseline (if requested) before it is overwritten.
+    let baseline: Option<AnalyzeReport> = flag(&args, "--check-against").map(|p| {
+        let text =
+            std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("--check-against {p}: {e}"));
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("--check-against {p}: {e}"))
+    });
 
     let rows = lint_cross_validation();
     let mut t = Table::new(
@@ -110,6 +153,41 @@ fn main() {
     }
     emit(&bt, "table_bh_bounds");
 
+    // The synthesis targets: whole-pipeline wall time (summary extraction,
+    // candidate pricing, translation-validation proofs) per kernel ×
+    // driver. Best of two runs — synthesis is deterministic, so the min is
+    // the honest cost and a transient load spike cannot trip the gate.
+    for driver in DriverModel::ALL {
+        for target in synth_targets(driver) {
+            let mut best_ms = f64::INFINITY;
+            let mut suggested = false;
+            for _ in 0..2 {
+                let t0 = std::time::Instant::now();
+                let report = target
+                    .synthesize()
+                    .unwrap_or_else(|e| panic!("{}: synthesis must price: {e}", target.name));
+                best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+                suggested = !report.suggestions.is_empty();
+            }
+            times.push(AnalyzeTime {
+                kernel: format!("synth_{}", target.name),
+                driver: driver.label().to_string(),
+                analyze_ms: best_ms,
+                exact: suggested,
+            });
+        }
+    }
+
+    let regressions = baseline.as_ref().map_or(0, |b| check_against(b, &times));
+    if let Some(b) = &baseline {
+        println!(
+            "checked {} timings against committed baseline ({} kernels): {} regression(s)",
+            times.len(),
+            b.kernels.len(),
+            regressions
+        );
+    }
+
     let report = AnalyzeReport {
         bench: "analyze".into(),
         bh_n,
@@ -122,6 +200,10 @@ fn main() {
     .expect("write BENCH_analyze.json");
     println!("wrote {json_path}");
 
+    if regressions > 0 {
+        println!("[FAIL] {regressions} analyze/synth wall-time regressions > 2x over baseline");
+        std::process::exit(1);
+    }
     if mismatches == 0 && escapes == 0 {
         println!("The analyzer's symbolic coalescer agrees with the executor on every");
         println!("layout and driver, and the Barnes-Hut interval bounds enclose the");

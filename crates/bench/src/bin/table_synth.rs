@@ -1,0 +1,104 @@
+//! Cross-validates the **layout/schedule synthesizer** (`analyze::synth`)
+//! against the dynamic timing engine: for every driver, the naive 28-byte
+//! AoS force kernel is handed to the synthesizer, and the baseline plus
+//! every *proven* suggestion is timed dynamically with its rewritten
+//! buffers actually allocated and filled. The static and measured
+//! orderings must agree wherever the measured gap is outside noise (3 %
+//! relative), the winner's predicted speedup must land inside the
+//! hand-derived ladder's measured band (1.24× ± 5 %), and every suggestion
+//! must carry a translation-validation certificate. Exits non-zero on any
+//! violation — the CI `verify-kernels` job gates on this.
+use bench::report::emit;
+use bench::tables::{synth_ranking_disagreements, synth_vs_measured};
+use gpu_kernels::synthset::within_ladder_band;
+use gpu_sim::DriverModel;
+use simcore::{format_duration_s, Table};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let n = 24_576u32;
+    let mut failures = 0usize;
+    let mut t = Table::new(
+        format!("Synthesized candidates: static rank vs dynamic engine — naive AoS force kernel, N = {n}"),
+        &[
+            "driver",
+            "candidate",
+            "predicted cycles",
+            "predicted speedup",
+            "measured time",
+            "measured speedup",
+            "regs",
+            "certificate",
+        ],
+    );
+    for driver in DriverModel::ALL {
+        let rows = synth_vs_measured(n, driver);
+        for r in &rows {
+            t.row(vec![
+                driver.label().to_string(),
+                r.label.clone(),
+                format!("{:.0}", r.predicted_cycles),
+                format!("{:.3}x", r.predicted_speedup),
+                format_duration_s(r.measured_seconds),
+                format!("{:.3}x", r.measured_speedup),
+                r.regs.to_string(),
+                r.certificate.clone(),
+            ]);
+        }
+        let bad = synth_ranking_disagreements(&rows, 0.03);
+        for &(i, j) in &bad {
+            eprintln!(
+                "RANKING DISAGREEMENT under {}: {} vs {} (predicted {:.0} vs {:.0} cycles, \
+                 measured {:.6}s vs {:.6}s)",
+                driver.label(),
+                rows[i].label,
+                rows[j].label,
+                rows[i].predicted_cycles,
+                rows[j].predicted_cycles,
+                rows[i].measured_seconds,
+                rows[j].measured_seconds,
+            );
+        }
+        failures += bad.len();
+        // Row 0 is the baseline; row 1, when present, is the proven winner.
+        match rows.get(1) {
+            Some(winner) => {
+                if !within_ladder_band(winner.predicted_speedup) {
+                    eprintln!(
+                        "WINNER OUTSIDE LADDER BAND under {}: {} predicted {:.3}x \
+                         (expected 1.24x ± 5%)",
+                        driver.label(),
+                        winner.label,
+                        winner.predicted_speedup
+                    );
+                    failures += 1;
+                }
+            }
+            None => {
+                eprintln!(
+                    "NO PROVEN SUGGESTION under {}: synthesis found nothing to certify",
+                    driver.label()
+                );
+                failures += 1;
+            }
+        }
+        for r in rows.iter().skip(1) {
+            if r.certificate.contains("MISMATCH") || r.certificate.contains("unsupported") {
+                eprintln!(
+                    "UNCERTIFIED SUGGESTION under {}: {} ({})",
+                    driver.label(),
+                    r.label,
+                    r.certificate
+                );
+                failures += 1;
+            }
+        }
+    }
+    emit(&t, "table_synth");
+    if failures > 0 {
+        eprintln!("table_synth: {failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("table_synth: static and measured rankings agree; all suggestions certified");
+    ExitCode::SUCCESS
+}

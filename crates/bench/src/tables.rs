@@ -877,18 +877,26 @@ pub fn cost_vs_measured(n: u32, driver: DriverModel) -> Vec<CostValidationRow> {
 /// ignoring pairs the dynamic engine itself places within `tolerance`
 /// (relative measured gap) — those are ties, not rankings.
 pub fn ranking_disagreements(rows: &[CostValidationRow], tolerance: f64) -> Vec<(usize, usize)> {
+    let pairs: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.predicted_cycles_per_pair, r.measured_seconds))
+        .collect();
+    rank_disagreements(&pairs, tolerance)
+}
+
+/// Core of the ranking check: index pairs whose `(predicted, measured)`
+/// orderings disagree, ignoring pairs whose measured values are within
+/// `tolerance` of each other (ties, not rankings).
+pub fn rank_disagreements(pairs: &[(f64, f64)], tolerance: f64) -> Vec<(usize, usize)> {
     let mut bad = Vec::new();
-    for i in 0..rows.len() {
-        for j in (i + 1)..rows.len() {
-            let (a, b) = (&rows[i], &rows[j]);
-            let gap = (a.measured_seconds - b.measured_seconds).abs()
-                / a.measured_seconds.max(b.measured_seconds);
+    for i in 0..pairs.len() {
+        for j in (i + 1)..pairs.len() {
+            let ((pa, ma), (pb, mb)) = (pairs[i], pairs[j]);
+            let gap = (ma - mb).abs() / ma.max(mb);
             if gap <= tolerance {
                 continue;
             }
-            let measured_faster = a.measured_seconds < b.measured_seconds;
-            let predicted_faster = a.predicted_cycles_per_pair < b.predicted_cycles_per_pair;
-            if measured_faster != predicted_faster {
+            if (ma < mb) != (pa < pb) {
                 bad.push((i, j));
             }
         }
@@ -914,4 +922,204 @@ mod cost_validation_tests {
             );
         }
     }
+}
+
+/// One row of the synthesis cross-validation (`table_synth`): a candidate
+/// the synthesizer priced (and, for suggestions, proved) next to what the
+/// dynamic engine actually measures for the transformed kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthValidationRow {
+    /// `layout + schedule` candidate label (`baseline` = the kernel as
+    /// written).
+    pub label: String,
+    /// Driver model both sides ran under.
+    pub driver: DriverModel,
+    /// Static estimate under the synthesizer's pricing launch.
+    pub predicted_cycles: f64,
+    /// Static speedup over the unmodified kernel.
+    pub predicted_speedup: f64,
+    /// Dynamic-engine kernel seconds at the reference size.
+    pub measured_seconds: f64,
+    /// Measured speedup over the unmodified kernel.
+    pub measured_speedup: f64,
+    /// Registers per thread of the (transformed) kernel.
+    pub regs: u16,
+    /// Translation-validation certificate summary (`-` for the baseline).
+    pub certificate: String,
+}
+
+/// The word a byte offset into the packed 28-byte Unopt record holds —
+/// the source-side semantics a synthesized [`LayoutRewrite`] is applied to
+/// when uploading real particles into the rewritten buffers.
+fn unopt_word(p: &particle_layouts::Particle, offset: u32) -> f32 {
+    match offset {
+        0 => p.pos.x,
+        4 => p.pos.y,
+        8 => p.pos.z,
+        12 => p.vel.x,
+        16 => p.vel.y,
+        20 => p.vel.z,
+        24 => p.mass,
+        _ => unreachable!("the Unopt record is 28 bytes of f32 words"),
+    }
+}
+
+/// Allocate the rewritten layout's buffers and populate every mapped word
+/// from `particles`, returning the new buffer base parameters. Only the
+/// Unopt source record is understood — the one kernel `table_synth`
+/// measures synthesized rewrites of.
+fn upload_rewritten(
+    gmem: &mut gpu_sim::mem::GlobalMemory,
+    rw: &gpu_sim::ir::layout::LayoutRewrite,
+    particles: &[particle_layouts::Particle],
+) -> Vec<u32> {
+    let n = particles.len() as u64;
+    let bases: Vec<gpu_sim::mem::DevicePtr> = rw
+        .new_strides
+        .iter()
+        .map(|&s| {
+            gmem.alloc_zeroed(n * s as u64)
+                .expect("synthesized buffers fit")
+        })
+        .collect();
+    for m in &rw.maps {
+        assert_eq!(
+            m.param, 0,
+            "table_synth only understands rewrites of the single Unopt buffer"
+        );
+        for &(old_off, dest) in &m.words {
+            let stride = rw.new_strides[dest.buffer] as u64;
+            for (e, p) in particles.iter().enumerate() {
+                gmem.store_f32(
+                    bases[dest.buffer].0 + e as u64 * stride + dest.offset as u64,
+                    unopt_word(p, old_off),
+                )
+                .expect("mapped word lands inside its buffer");
+            }
+        }
+    }
+    bases.iter().map(|b| b.0 as u32).collect()
+}
+
+/// Model the kernel seconds for a synthesized force-kernel candidate:
+/// `rewrite = None` times the kernel over the standard Unopt upload;
+/// `rewrite = Some` allocates and fills the rewritten buffers instead.
+/// Mirrors [`time_kernel_at`] (tiles 4 and 8, linear extrapolation, waves).
+pub fn time_synth_kernel(
+    kernel: &gpu_sim::ir::Kernel,
+    rewrite: Option<&gpu_sim::ir::layout::LayoutRewrite>,
+    block: u32,
+    n: u32,
+    driver: DriverModel,
+) -> f64 {
+    use gpu_sim::exec::launch::extrapolate_linear;
+    use gpu_sim::exec::timed::time_resident;
+    use gpu_sim::mem::GlobalMemory;
+    use gpu_sim::TimingParams;
+    use particle_layouts::Particle;
+
+    let Some(rw) = rewrite else {
+        let cfg = ForceKernelConfig {
+            layout: Layout::Unopt,
+            block,
+            unroll: 1,
+            icm: false,
+        };
+        return time_kernel_at(kernel, cfg, n, driver);
+    };
+
+    let dev = DeviceConfig::g8800gtx();
+    let tp = TimingParams::for_driver(driver);
+    let regs = register_demand(kernel).regs_per_thread as u32;
+    let occ = occupancy(&dev, block, regs, kernel.smem_bytes);
+    let padded = n.div_ceil(block) * block;
+    let resident: Vec<u32> = (0..occ.active_blocks.min(4)).collect();
+    let mut measured = Vec::new();
+    for tiles in [4u32, 8] {
+        let small_n = tiles * block;
+        let particles: Vec<Particle> = (0..small_n)
+            .map(|i| Particle {
+                pos: simcore::Vec3::new(i as f32 * 0.01, 1.0, 2.0),
+                vel: simcore::Vec3::ZERO,
+                mass: 1.0,
+            })
+            .collect();
+        let mut gmem = GlobalMemory::new(64 << 20);
+        let mut params = upload_rewritten(&mut gmem, rw, &particles);
+        let out =
+            particle_layouts::device::alloc_accel_out(&mut gmem, small_n).expect("output fits");
+        params.push(out.0 as u32);
+        params.push(small_n);
+        params.push(0.05f32.to_bits());
+        params.push(0); // smem0
+        let run = time_resident(
+            kernel,
+            &resident,
+            block,
+            resident.len() as u32,
+            &params,
+            &mut gmem,
+            &dev,
+            driver,
+            &tp,
+        )
+        .expect("synthesized launch is well-formed");
+        measured.push((small_n as u64, run.cycles));
+    }
+    let wave_cycles = extrapolate_linear(&measured, padded as u64).expect("cost grows with tiles");
+    let blocks = (padded / block) as u64;
+    let waves = blocks.div_ceil(dev.num_sms as u64 * resident.len() as u64);
+    (wave_cycles * waves) as f64 / dev.clock_hz
+}
+
+/// Run the synthesizer on the headline naive-AoS force target under
+/// `driver`, then time the baseline and every proven suggestion on the
+/// dynamic engine at `n` particles. The static and measured orderings are
+/// what `table_synth` gates on.
+pub fn synth_vs_measured(n: u32, driver: DriverModel) -> Vec<SynthValidationRow> {
+    let mut target = gpu_kernels::synthset::force_unopt_target(driver);
+    // The CI table wants several rows to rank, not just the winner.
+    target.config.max_suggestions = 5;
+    let report = target
+        .synthesize()
+        .expect("the headline synthesis target is priceable");
+    let block = target.config.block;
+    let base_meas = time_synth_kernel(&target.kernel, None, block, n, driver);
+    let mut rows = vec![SynthValidationRow {
+        label: "baseline (as written)".to_string(),
+        driver,
+        predicted_cycles: report.baseline_cycles,
+        predicted_speedup: 1.0,
+        measured_seconds: base_meas,
+        measured_speedup: 1.0,
+        regs: report.baseline_regs,
+        certificate: "-".to_string(),
+    }];
+    for s in &report.suggestions {
+        let meas = time_synth_kernel(&s.kernel, s.rewrite.as_ref(), block, n, driver);
+        rows.push(SynthValidationRow {
+            label: s.label.clone(),
+            driver,
+            predicted_cycles: s.predicted_cycles,
+            predicted_speedup: s.predicted_speedup,
+            measured_seconds: meas,
+            measured_speedup: base_meas / meas,
+            regs: s.regs,
+            certificate: s.certificate.summary(),
+        });
+    }
+    rows
+}
+
+/// Pairs of synthesized candidates whose static and measured orderings
+/// disagree outside measurement ties (see [`rank_disagreements`]).
+pub fn synth_ranking_disagreements(
+    rows: &[SynthValidationRow],
+    tolerance: f64,
+) -> Vec<(usize, usize)> {
+    let pairs: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| (r.predicted_cycles, r.measured_seconds))
+        .collect();
+    rank_disagreements(&pairs, tolerance)
 }

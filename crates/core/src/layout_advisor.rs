@@ -98,6 +98,92 @@ impl StructSchema {
     }
 }
 
+/// Derive the record schema of the dominant packed buffer straight from an
+/// analysis report — the access-summary path that replaces the hand-coded
+/// Gravit schema whenever the interpreter attributed the loads.
+///
+/// Load sites are grouped by [`buffer_param`]
+/// ([`gpu_sim::analyze::AccessSummary::buffer_param`]); the buffer with the
+/// widest record whose sites agree on one positive lane stride becomes the
+/// schema: each read word is a hot scalar field (named by its byte offset),
+/// each never-read word a cold one. Field *identity* (px vs. mass) is
+/// unknowable statically, but the three-step procedure only needs widths
+/// and frequencies, so the derived plan prices identically to the
+/// hand-written one.
+pub fn schema_from_report(report: &gpu_sim::analyze::AnalysisReport) -> Option<StructSchema> {
+    use std::collections::BTreeMap;
+    /// Stride plus raw `(site lo, word offset)` pairs; `None` = poisoned.
+    type BufAcc = Option<(u32, Vec<(u64, u32)>)>;
+    let mut bufs: BTreeMap<u16, BufAcc> = BTreeMap::new();
+    let mut lo_by_param: BTreeMap<u16, u64> = BTreeMap::new();
+    for acc in &report.accesses {
+        if acc.space != gpu_sim::ir::MemSpace::Global || !acc.is_load {
+            continue;
+        }
+        let Some(p) = acc.buffer_param else { continue };
+        let (Some(stride), Some((lo, _)), true) = (acc.lane_stride, acc.addr_range, acc.exact)
+        else {
+            bufs.insert(p, None);
+            continue;
+        };
+        if stride <= 0 || stride % 4 != 0 {
+            bufs.insert(p, None);
+            continue;
+        }
+        let e = lo_by_param.entry(p).or_insert(lo);
+        *e = (*e).min(lo);
+        match bufs
+            .entry(p)
+            .or_insert_with(|| Some((stride as u32, Vec::new())))
+        {
+            Some((s, words)) if *s == stride as u32 => {
+                for w in 0..acc.width_bytes / 4 {
+                    words.push((lo, 4 * w));
+                }
+            }
+            slot => *slot = None,
+        }
+    }
+    // Offsets relative to the lowest site of the buffer (the record base,
+    // assuming the first field is among the reads — true of every packed
+    // AoS kernel the workspace builds).
+    let mut best: Option<(u32, Vec<u32>)> = None;
+    for (p, slot) in bufs {
+        let Some((stride, raw)) = slot else { continue };
+        let base = lo_by_param[&p];
+        let mut hot: Vec<u32> = raw
+            .iter()
+            .map(|&(lo, w)| (((lo - base) as u32) % stride) + w)
+            .collect();
+        hot.sort_unstable();
+        hot.dedup();
+        if hot.iter().any(|&o| o + 4 > stride) {
+            continue;
+        }
+        if best.as_ref().is_none_or(|(s, _)| stride > *s) {
+            best = Some((stride, hot));
+        }
+    }
+    let (stride, hot) = best?;
+    if stride < 8 {
+        return None; // single-word records have no layout to optimize
+    }
+    let fields = (0..stride / 4)
+        .map(|w| {
+            let off = 4 * w;
+            FieldSpec::scalar(
+                format!("+{off}"),
+                if hot.contains(&off) {
+                    AccessFreq::Hot
+                } else {
+                    AccessFreq::Cold
+                },
+            )
+        })
+        .collect();
+    Some(StructSchema::new(fields))
+}
+
 /// One aligned sub-structure (step 2): a bin of fields padded to an
 /// alignable size (1, 2 or 4 words), stored as its own array (step 3).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -10,7 +10,7 @@
 use gpu_sim::analyze::{AnalysisReport, LintKind};
 use serde::Serialize;
 
-use crate::layout_advisor::{optimize_layout, LayoutPlan, StructSchema};
+use crate::layout_advisor::{optimize_layout, schema_from_report, LayoutPlan, StructSchema};
 
 /// A layout remedy attached to one diagnostic of the report.
 #[derive(Debug, Clone, Serialize)]
@@ -62,6 +62,10 @@ impl EnrichedReport {
 pub fn enrich_report(report: AnalysisReport) -> EnrichedReport {
     let mut layout_advice = Vec::new();
     let mut pass_advice = Vec::new();
+    // The schema comes from the report's own access summaries when the
+    // interpreter could attribute the loads (the synthesis path); the
+    // hand-written Gravit schema is only the fallback.
+    let schema = schema_from_report(&report).unwrap_or_else(StructSchema::gravit_particle);
     for (i, d) in report.diagnostics.iter().enumerate() {
         match d.kind {
             LintKind::UncoalescedAccess => {
@@ -71,7 +75,7 @@ pub fn enrich_report(report: AnalysisReport) -> EnrichedReport {
                     .find(|a| Some(a.instruction) == d.site.instruction)
                     .and_then(|a| a.lane_stride);
                 if let Some(stride @ 17..=63) = stride {
-                    let plan = optimize_layout(&StructSchema::gravit_particle());
+                    let plan = optimize_layout(&schema);
                     layout_advice.push(LayoutAdvice {
                         diagnostic: i,
                         lane_stride: stride,

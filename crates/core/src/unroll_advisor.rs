@@ -7,6 +7,7 @@
 //! best predicted speedup, breaking ties toward smaller code.
 
 use gpu_kernels::force::{build_force_kernel, ForceKernelConfig};
+use gpu_sim::analyze::{cost, AnalysisConfig};
 use gpu_sim::ir::count::{dynamic_instructions, eq3_speedup};
 use gpu_sim::ir::regalloc::register_demand;
 use gpu_sim::occupancy::{occupancy, Occupancy};
@@ -26,6 +27,10 @@ pub struct UnrollOption {
     pub regs: u16,
     /// Occupancy at this register demand.
     pub occupancy: Occupancy,
+    /// Whole-kernel predicted cycles from the full cost model
+    /// ([`gpu_sim::analyze::cost::estimate`]) at a reference 2-block
+    /// launch; `None` when the kernel is not exactly analyzable there.
+    pub predicted_cycles: Option<f64>,
 }
 
 /// The advisor's output.
@@ -71,6 +76,15 @@ pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) 
             rolled = Some(per_elem);
         }
         let regs = register_demand(&k).regs_per_thread;
+        // Price the transformed kernel through the same cost model the
+        // layout/schedule synthesizer ranks candidates with, at a small
+        // reference launch (2 blocks, one tile pass per thread).
+        let mut cost_params: Vec<u32> =
+            (0..k.n_params as u32).map(|i| 0x1_0000 * (i + 1)).collect();
+        cost_params[k.n_params as usize - 3] = 2 * block;
+        cost_params[k.n_params as usize - 1] = 0; // smem0
+        let acfg = AnalysisConfig::new(2, block, cost_params);
+        let predicted_cycles = cost::estimate(&k, &acfg).ok().map(|c| c.total_cycles());
         options.push(UnrollOption {
             factor,
             instrs_per_element: per_elem,
@@ -78,18 +92,29 @@ pub fn advise_unroll(dev: &DeviceConfig, layout: Layout, block: u32, icm: bool) 
                 .expect("instruction budgets are positive"),
             regs,
             occupancy: occupancy(dev, block, regs as u32, k.smem_bytes),
+            predicted_cycles,
         });
     }
-    // Recommend the best predicted total benefit: Eq. 3 × occupancy gain,
-    // preferring smaller factors on a tie (code size).
-    let base_occ = options[0].occupancy.fraction();
+    // Recommend the cheapest kernel under the full cost model (the same
+    // yardstick `analyze::synth` ranks schedules with), preferring smaller
+    // factors on a tie; fall back to the Eq. 3 × occupancy score when the
+    // cost model abstains.
     let mut recommended = 0;
-    let mut best_score = 0.0f64;
-    for (i, o) in options.iter().enumerate() {
-        let score = o.eq3_speedup * (o.occupancy.fraction() / base_occ).max(1.0);
-        if score > best_score + 1e-9 {
-            best_score = score;
-            recommended = i;
+    if options.iter().all(|o| o.predicted_cycles.is_some()) {
+        for (i, o) in options.iter().enumerate() {
+            if o.predicted_cycles.unwrap() + 1e-9 < options[recommended].predicted_cycles.unwrap() {
+                recommended = i;
+            }
+        }
+    } else {
+        let base_occ = options[0].occupancy.fraction();
+        let mut best_score = 0.0f64;
+        for (i, o) in options.iter().enumerate() {
+            let score = o.eq3_speedup * (o.occupancy.fraction() / base_occ).max(1.0);
+            if score > best_score + 1e-9 {
+                best_score = score;
+                recommended = i;
+            }
         }
     }
     UnrollAdvice {

@@ -213,6 +213,15 @@ pub(crate) struct SiteAcc {
     pub addr_hi: u64,
     /// Some execution's address range could not be bounded at all.
     pub addr_unbounded: bool,
+    /// Kernel parameter holding the base address of the buffer this site
+    /// falls in (global sites only): the largest nonzero parameter value
+    /// that does not exceed every observed address. `None` until a
+    /// recorded execution attributes the site.
+    pub param_base: Option<u16>,
+    /// Different executions attributed the site to different parameters
+    /// (or some execution could not be attributed at all) — the site does
+    /// not belong to a single buffer.
+    pub param_mixed: bool,
 }
 
 impl SiteAcc {
@@ -236,6 +245,8 @@ impl SiteAcc {
             addr_lo: u64::MAX,
             addr_hi: 0,
             addr_unbounded: false,
+            param_base: None,
+            param_mixed: false,
         }
     }
 }
@@ -1042,6 +1053,39 @@ impl<'a, 'k> WarpInterp<'a, 'k> {
             for r in ranges.iter().flatten() {
                 site.addr_lo = site.addr_lo.min(r.0);
                 site.addr_hi = site.addr_hi.max(r.1 + width_bytes);
+            }
+        }
+
+        // Feed the layout synthesizer: attribute the site to the kernel
+        // parameter holding the base of the buffer it falls in — the
+        // largest nonzero parameter value that does not exceed every
+        // address this execution can touch (ties go to the lowest index).
+        // An execution that cannot be bounded, or that disagrees with a
+        // previous attribution, poisons the site to "mixed".
+        if space == MemSpace::Global && !lanes.is_empty() {
+            let attribution = if any_unbounded {
+                None
+            } else {
+                ranges.iter().flatten().map(|r| r.0).min().and_then(|lo| {
+                    self.cfg
+                        .params
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| v != 0 && (v as u64) <= lo)
+                        .max_by_key(|&(p, &v)| (v, std::cmp::Reverse(p)))
+                        .map(|(p, _)| p as u16)
+                })
+            };
+            if let Some(site) = self.sink.sites.get_mut(&idx) {
+                match (attribution, site.param_base) {
+                    _ if site.param_mixed => {}
+                    (Some(p), None) => site.param_base = Some(p),
+                    (Some(p), Some(q)) if p == q => {}
+                    _ => {
+                        site.param_base = None;
+                        site.param_mixed = true;
+                    }
+                }
             }
         }
 

@@ -41,6 +41,7 @@ mod domain;
 mod interp;
 
 pub mod cost;
+pub mod synth;
 pub mod verify;
 
 use std::collections::{HashMap, HashSet};
@@ -202,6 +203,11 @@ pub struct AccessSummary {
     pub half_warp_accesses_hi: u64,
     /// Interval byte footprint `[lo, hi)` this site can touch, when bounded.
     pub addr_range: Option<(u64, u64)>,
+    /// Kernel parameter holding the base address of the buffer this site
+    /// accesses (global sites only), when every execution attributes the
+    /// site to the same single parameter. The hook the layout synthesizer
+    /// ([`synth`]) uses to group sites into per-buffer access summaries.
+    pub buffer_param: Option<u16>,
 }
 
 /// Everything the analyzer learned about one kernel under one launch.
@@ -449,15 +455,20 @@ pub fn analyze_kernel(kernel: &Kernel, cfg: &AnalysisConfig) -> AnalysisReport {
     bounds_pass(kernel, cfg, &sink.sites, &mut diags);
     pressure_pass(kernel, cfg, &mut report, &mut diags);
 
+    // Deterministic total order so `--json` output is byte-stable across
+    // runs: severity (most severe first), then kernel, then instruction
+    // `[idx]` (site-less findings last), then lint kind, then message.
     diags.sort_by(|a, b| {
         b.severity
             .cmp(&a.severity)
+            .then_with(|| a.site.kernel.cmp(&b.site.kernel))
             .then(
                 a.site
                     .instruction
                     .unwrap_or(u64::MAX)
                     .cmp(&b.site.instruction.unwrap_or(u64::MAX)),
             )
+            .then(a.kind.name().cmp(b.kind.name()))
             .then(a.message.cmp(&b.message))
     });
     report.diagnostics = diags;
@@ -861,6 +872,11 @@ fn summarize_sites(
                 None
             } else {
                 Some((site.addr_lo, site.addr_hi))
+            },
+            buffer_param: if site.param_mixed {
+                None
+            } else {
+                site.param_base
             },
         });
     }

@@ -22,6 +22,7 @@
 //! code motion — are IR-to-IR passes in [`passes`].
 
 pub mod count;
+pub mod layout;
 pub mod lower;
 pub mod passes;
 pub mod pretty;

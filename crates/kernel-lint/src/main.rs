@@ -18,46 +18,88 @@
 //!   equivalent (`gpu_kernels::verifyset`); exit 1 on any unproven target
 //!   (a `Mismatch` prints its counterexample fault site);
 //! * `--cost`: static cycle model instead of linting — print the
-//!   `gpu_sim::analyze::cost` estimate per kernel per driver.
+//!   `gpu_sim::analyze::cost` estimate per kernel per driver;
+//! * `--suggest`: run the layout/schedule synthesizer
+//!   (`gpu_sim::analyze::synth`) over the synthesis targets and print the
+//!   ranked, *proven* rewrite suggestions with predicted cycle deltas;
+//! * `--fix`: like `--suggest`, but emit the winning rewrite as a
+//!   machine-applied patch (transformed kernel IR + synthesized layout
+//!   descriptor), gated on its translation-validation certificate — a
+//!   target whose winner cannot be proven produces no patch and exit 1;
+//! * `--format text|json|sarif`: output format. `sarif` (lint gate only)
+//!   emits SARIF 2.1.0 for GitHub code scanning; `--json` is shorthand
+//!   for `--format json`.
+
+mod sarif;
 
 use std::process::ExitCode;
 
 use gpu_kernels::lintset::{workspace_lint_targets, LintTarget};
+use gpu_kernels::synthset::{synth_targets, synthesized_layout};
 use gpu_kernels::verifyset::{bounds_targets, layout_ladder_targets, workspace_pass_targets};
 use gpu_sim::analyze::verify::VerifyResult;
 use gpu_sim::analyze::{analyze_kernel, cost};
 use gpu_sim::DriverModel;
 use gravit_core::lint::{enrich_report, EnrichedReport};
+use particle_layouts::plan::SynthesizedLayout;
 use serde::Serialize;
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
-    json: bool,
+    format: Format,
     deny: bool,
     list: bool,
     verify: bool,
     cost: bool,
+    suggest: bool,
+    fix: bool,
     kernel_filter: Option<String>,
     drivers: Vec<DriverModel>,
 }
 
+impl Options {
+    fn json(&self) -> bool {
+        self.format == Format::Json
+    }
+}
+
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
-        json: false,
+        format: Format::Text,
         deny: false,
         list: false,
         verify: false,
         cost: false,
+        suggest: false,
+        fix: false,
         kernel_filter: None,
         drivers: vec![DriverModel::Cuda10],
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--json" => opts.json = true,
+            "--json" => opts.format = Format::Json,
             "--deny" => opts.deny = true,
             "--list" => opts.list = true,
             "--verify" => opts.verify = true,
             "--cost" => opts.cost = true,
+            "--suggest" => opts.suggest = true,
+            "--fix" => opts.fix = true,
+            "--format" => {
+                let f = args.next().ok_or("--format needs an argument")?;
+                opts.format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
             "--kernel" => {
                 opts.kernel_filter =
                     Some(args.next().ok_or("--kernel needs a substring argument")?);
@@ -74,7 +116,8 @@ fn parse_args() -> Result<Options, String> {
             }
             "--help" | "-h" => {
                 println!(
-                    "kernel-lint [--json] [--deny] [--list] [--verify] [--cost] \
+                    "kernel-lint [--json | --format text|json|sarif] [--deny] [--list] \
+                     [--verify] [--cost] [--suggest] [--fix] \
                      [--driver cuda10|cuda11|cuda22|all] [--kernel SUBSTR]\n\
                      \n\
                      Modes (mutually exclusive; default is the lint gate):\n\
@@ -82,17 +125,24 @@ fn parse_args() -> Result<Options, String> {
                      \x20           and the interval-bounds certificates (Barnes-Hut)\n\
                      \x20 --cost    static cycle estimates; data-dependent kernels get\n\
                      \x20           [best, worst] cycle ranges instead of a point value\n\
+                     \x20 --suggest synthesize layout+schedule rewrites from the access\n\
+                     \x20           summaries; print only candidates whose equivalence\n\
+                     \x20           the translation validator proved\n\
+                     \x20 --fix     emit the winning proven rewrite per target as a\n\
+                     \x20           machine-applied patch (kernel IR + layout descriptor);\n\
+                     \x20           exit 1 if any target has no certified winner\n\
                      \x20 --list    print the target set and exit\n\
                      \n\
                      --json composes with every mode: the lint gate emits enriched\n\
                      reports, --verify emits structured results (including\n\
                      `unsupported` reasons and interval certificates), --cost emits\n\
-                     per-kernel estimates with cycle ranges.\n\
+                     per-kernel estimates with cycle ranges. --format sarif emits\n\
+                     SARIF 2.1.0 code-scanning annotations (lint gate only).\n\
                      \n\
                      Exit codes:\n\
                      \x20 0  success - gate clean / all targets proved\n\
                      \x20 1  gate violation, unproven verify target, --deny hit,\n\
-                     \x20    empty filter match, or bad usage"
+                     \x20    uncertified --fix winner, empty filter match, or bad usage"
                 );
                 std::process::exit(0);
             }
@@ -223,7 +273,7 @@ fn run_verify(opts: &Options) -> ExitCode {
     }
 
     let unproven = entries.iter().filter(|e| !e.proved).count();
-    if opts.json {
+    if opts.json() {
         match serde_json::to_string_pretty(&entries) {
             Ok(s) => println!("{s}"),
             Err(e) => {
@@ -322,7 +372,7 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
             }
         }
     }
-    if opts.json {
+    if opts.json() {
         match serde_json::to_string_pretty(&entries) {
             Ok(s) => println!("{s}"),
             Err(e) => {
@@ -370,6 +420,158 @@ fn run_cost(opts: &Options, targets: &[LintTarget]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One synthesized candidate, as emitted by `--suggest --json`.
+#[derive(Serialize)]
+struct SuggestCandidate {
+    label: String,
+    predicted_cycles: f64,
+    predicted_speedup: f64,
+    regs: u16,
+}
+
+/// One proven suggestion, as emitted by `--suggest --json` / `--fix`.
+#[derive(Serialize)]
+struct SuggestPatch {
+    label: String,
+    predicted_cycles: f64,
+    predicted_speedup: f64,
+    regs: u16,
+    /// Certificate summary (`layout: proved; schedule: proved`). Present —
+    /// and affirmative — on every emitted patch by construction.
+    certificate: String,
+    /// Host-side layout descriptor (`None` = layout unchanged).
+    layout: Option<SynthesizedLayout>,
+    /// Pass schedule label (`None` = schedule unchanged).
+    schedule: Option<String>,
+    /// The transformed kernel, ready to splice in.
+    kernel: gpu_sim::ir::Kernel,
+}
+
+/// One synthesis run, as emitted by `--suggest --json` / `--fix`.
+#[derive(Serialize)]
+struct SuggestEntry {
+    kernel: String,
+    driver: String,
+    baseline_cycles: f64,
+    baseline_regs: u16,
+    candidates: Vec<SuggestCandidate>,
+    suggestions: Vec<SuggestPatch>,
+    skipped: Vec<String>,
+}
+
+/// Run `--suggest` / `--fix`: synthesize proven rewrites for every target.
+///
+/// `--fix` is `--suggest` restricted to the winner, emitted as JSON
+/// patches, failing when any target lacks a certified winner.
+fn run_suggest(opts: &Options) -> ExitCode {
+    let fixing = opts.fix;
+    let mut entries: Vec<SuggestEntry> = Vec::new();
+    let mut failed = false;
+    for &driver in &opts.drivers {
+        for target in synth_targets(driver) {
+            if let Some(f) = &opts.kernel_filter {
+                if !target.kernel.name.contains(f.as_str()) && !target.name.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            let report = match target.synthesize() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("kernel-lint: {}: {e}", target.name);
+                    failed = true;
+                    continue;
+                }
+            };
+            if report.suggestions.is_empty() {
+                failed = true;
+            }
+            let suggestions = report
+                .suggestions
+                .iter()
+                .take(if fixing { 1 } else { usize::MAX })
+                .map(|s| SuggestPatch {
+                    label: s.label.clone(),
+                    predicted_cycles: s.predicted_cycles,
+                    predicted_speedup: s.predicted_speedup,
+                    regs: s.regs,
+                    certificate: s.certificate.summary(),
+                    layout: s.rewrite.as_ref().map(synthesized_layout),
+                    schedule: s.schedule.as_ref().map(|p| p.label()),
+                    kernel: s.kernel.clone(),
+                })
+                .collect();
+            entries.push(SuggestEntry {
+                kernel: report.kernel.clone(),
+                driver: driver.label().to_string(),
+                baseline_cycles: report.baseline_cycles,
+                baseline_regs: report.baseline_regs,
+                candidates: report
+                    .candidates
+                    .iter()
+                    .map(|c| SuggestCandidate {
+                        label: c.label.clone(),
+                        predicted_cycles: c.predicted_cycles,
+                        predicted_speedup: c.predicted_speedup,
+                        regs: c.regs,
+                    })
+                    .collect(),
+                suggestions,
+                skipped: report.skipped.clone(),
+            });
+        }
+    }
+
+    if entries.is_empty() {
+        eprintln!("kernel-lint: no synthesis targets match the filter");
+        return ExitCode::FAILURE;
+    }
+
+    if fixing || opts.json() {
+        match serde_json::to_string_pretty(&entries) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("kernel-lint: serialization failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        for e in &entries {
+            println!(
+                "{} [{}]: baseline {:.0} cycles, {} regs",
+                e.kernel, e.driver, e.baseline_cycles, e.baseline_regs
+            );
+            for c in &e.candidates {
+                let mark = if e.suggestions.iter().any(|s| s.label == c.label) {
+                    "*"
+                } else {
+                    " "
+                };
+                println!(
+                    " {mark} {:<44} {:>9.0} cyc  {:>6.3}x  {:>2} regs",
+                    c.label, c.predicted_cycles, c.predicted_speedup, c.regs
+                );
+            }
+            for s in &e.suggestions {
+                println!(
+                    "  suggest: {} ({:.3}x) [{}]",
+                    s.label, s.predicted_speedup, s.certificate
+                );
+            }
+            for s in &e.skipped {
+                println!("  skipped: {s}");
+            }
+            if e.suggestions.is_empty() {
+                println!("  NO certified suggestion");
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -378,6 +580,23 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    let modes = [opts.verify, opts.cost, opts.suggest, opts.fix, opts.list]
+        .iter()
+        .filter(|&&m| m)
+        .count();
+    if modes > 1 {
+        eprintln!("kernel-lint: --verify/--cost/--suggest/--fix/--list are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    if opts.format == Format::Sarif && (opts.verify || opts.cost || opts.suggest || opts.fix) {
+        eprintln!("kernel-lint: --format sarif only applies to the lint gate");
+        return ExitCode::FAILURE;
+    }
+
+    if opts.suggest || opts.fix {
+        return run_suggest(&opts);
+    }
 
     if opts.verify {
         return run_verify(&opts);
@@ -426,7 +645,7 @@ fn main() -> ExitCode {
                 gate_failed = true;
             }
             let enriched = enrich_report(report);
-            if !opts.json {
+            if opts.format == Format::Text {
                 print!("{}", enriched.render());
                 for v in &violations {
                     println!("  GATE: {v}");
@@ -440,7 +659,13 @@ fn main() -> ExitCode {
         }
     }
 
-    if opts.json {
+    if opts.format == Format::Sarif {
+        let reports: Vec<(String, &gpu_sim::analyze::AnalysisReport)> = entries
+            .iter()
+            .map(|e| (e.driver.clone(), &e.report.report))
+            .collect();
+        println!("{}", sarif::render(&reports));
+    } else if opts.json() {
         match serde_json::to_string_pretty(&entries) {
             Ok(s) => println!("{s}"),
             Err(e) => {

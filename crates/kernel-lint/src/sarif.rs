@@ -1,0 +1,106 @@
+//! SARIF 2.1.0 emission for the lint gate — the format GitHub code
+//! scanning ingests, so kernel findings annotate pull requests.
+//!
+//! The vendored `serde_json` shim has no dynamic `Value`, so the document
+//! is assembled by hand; [`escape`] covers the JSON string grammar.
+//!
+//! Kernels are IR built in memory, not files on disk, so each finding is
+//! anchored to a pseudo artifact `kernels/<kernel-name>.ir` with the
+//! 1-based instruction index as the line — stable coordinates that
+//! survive re-runs (the report's diagnostics are deterministically
+//! ordered).
+
+use gpu_sim::analyze::{AnalysisReport, Severity};
+
+/// Escape a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Info => "note",
+    }
+}
+
+/// Render one SARIF run over every analyzed report (one result per
+/// diagnostic, one rule per lint kind that fired).
+pub fn render(reports: &[(String, &AnalysisReport)]) -> String {
+    // Rules: every kind that occurs, deduped, sorted for stable output.
+    let mut kinds: Vec<&'static str> = reports
+        .iter()
+        .flat_map(|(_, r)| r.diagnostics.iter().map(|d| d.kind.name()))
+        .collect();
+    kinds.sort_unstable();
+    kinds.dedup();
+
+    let rules = kinds
+        .iter()
+        .map(|k| format!("{{\"id\":\"{}\"}}", escape(k)))
+        .collect::<Vec<_>>()
+        .join(",");
+
+    let mut results: Vec<String> = Vec::new();
+    for (driver, report) in reports {
+        for d in &report.diagnostics {
+            let line = d.site.instruction.map_or(1, |i| i + 1);
+            let msg = format!("[{}] {}", driver, d.message);
+            let fixit = d
+                .fixit
+                .as_ref()
+                .map(|f| format!(" Suggested fix: {f}"))
+                .unwrap_or_default();
+            results.push(format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"kernels/{}.ir\"}},\"region\":{{\"startLine\":{}}}}}}}]}}",
+                escape(d.kind.name()),
+                level(d.severity),
+                escape(&format!("{msg}{fixit}")),
+                escape(&report.kernel),
+                line
+            ));
+        }
+    }
+
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{{\"tool\":\
+         {{\"driver\":{{\"name\":\"kernel-lint\",\"informationUri\":\
+         \"https://github.com/gravit-sim\",\"rules\":[{rules}]}}}},\"results\":[{}]}}]}}",
+        results.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_the_json_string_grammar() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
+    }
+
+    #[test]
+    fn empty_input_is_still_valid_sarif() {
+        let doc = render(&[]);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"results\":[]"));
+    }
+}

@@ -35,6 +35,7 @@ pub mod force;
 pub mod integrate;
 pub mod lintset;
 pub mod membench;
+pub mod synthset;
 pub mod verifyset;
 
 pub use chunk::{build_chunk_force_kernel, chunk_force_params};

@@ -290,6 +290,115 @@ impl BufferKind {
     }
 }
 
+/// Where one word of the *old* record lands in a synthesized layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesizedField {
+    /// Buffer index (kernel parameter order) in the old layout.
+    pub old_buffer: usize,
+    /// Byte offset of the word within the old record.
+    pub old_offset: u32,
+    /// Buffer index in the synthesized layout.
+    pub buffer: usize,
+    /// Byte offset within the synthesized record.
+    pub offset: u32,
+}
+
+/// A layout *synthesized* by the static analyzer rather than drawn from the
+/// fixed [`Layout`] menu: arbitrary per-buffer record strides plus a word
+/// map from the old layout. Old words absent from `fields` are cold — the
+/// synthesized layout drops them (the hot/cold split of Sec. IV).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SynthesizedLayout {
+    /// Synthesis tag, e.g. `soaoas-16`.
+    pub tag: String,
+    /// Bytes per element in each synthesized buffer.
+    pub strides: Vec<u32>,
+    /// Destination of every hot word of the old layout.
+    pub fields: Vec<SynthesizedField>,
+}
+
+impl SynthesizedLayout {
+    /// Build a synthesized layout; panics on malformed specs (empty, word
+    /// out of its buffer's stride, or two words landing on the same slot).
+    pub fn new(
+        tag: impl Into<String>,
+        strides: Vec<u32>,
+        fields: Vec<SynthesizedField>,
+    ) -> SynthesizedLayout {
+        assert!(!strides.is_empty(), "synthesized layout with no buffers");
+        assert!(
+            strides.iter().all(|&s| s > 0 && s % 4 == 0),
+            "strides must be positive word multiples"
+        );
+        for f in &fields {
+            assert!(f.buffer < strides.len(), "field buffer out of range");
+            assert!(
+                f.offset + 4 <= strides[f.buffer],
+                "field offset outside its record"
+            );
+        }
+        let mut slots: Vec<(usize, u32)> = fields.iter().map(|f| (f.buffer, f.offset)).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), fields.len(), "two fields share a slot");
+        SynthesizedLayout {
+            tag: tag.into(),
+            strides,
+            fields,
+        }
+    }
+
+    /// Bytes per element over all synthesized buffers.
+    pub fn bytes_per_element(&self) -> u64 {
+        self.strides.iter().map(|&s| s as u64).sum()
+    }
+
+    /// The per-thread read plan of the synthesized layout: one
+    /// [`FieldRead`] per maximal run of contiguous mapped words in each
+    /// buffer, vector-widened to 2 or 4 words where alignment allows —
+    /// the same grouping rule the IR rewrite pass applies.
+    pub fn reads(&self) -> Vec<FieldRead> {
+        let mut words: Vec<(usize, u32)> =
+            self.fields.iter().map(|f| (f.buffer, f.offset)).collect();
+        words.sort_unstable();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let (buf, start) = words[i];
+            let mut len = 1u32;
+            while i + (len as usize) < words.len()
+                && words[i + len as usize] == (buf, start + 4 * len)
+            {
+                len += 1;
+            }
+            let stride = self.strides[buf];
+            let mut at = 0u32;
+            while at < len {
+                let mut w = 1u32;
+                for cand in [4u32, 2] {
+                    let off = start + 4 * at;
+                    if len - at >= cand
+                        && off.is_multiple_of(4 * cand)
+                        && stride.is_multiple_of(4 * cand)
+                    {
+                        w = cand;
+                        break;
+                    }
+                }
+                out.push(FieldRead {
+                    buffer: buf,
+                    offset: start + 4 * at,
+                    words: w,
+                    stride,
+                });
+                at += w;
+            }
+            i += len as usize;
+        }
+        out
+    }
+}
+
 /// One read a thread issues for its particle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FieldRead {
@@ -334,6 +443,82 @@ impl ReadPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn synthesized_posmass_tile_reads_as_one_float4() {
+        // The synthesizer's soaoas-16 answer for the Gravit record: the four
+        // hot words of the 28-byte record packed into one 16-byte tile.
+        let l = SynthesizedLayout::new(
+            "soaoas-16",
+            vec![16],
+            [0u32, 4, 8, 24]
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| SynthesizedField {
+                    old_buffer: 0,
+                    old_offset: o,
+                    buffer: 0,
+                    offset: 4 * i as u32,
+                })
+                .collect(),
+        );
+        assert_eq!(l.bytes_per_element(), 16);
+        let reads = l.reads();
+        assert_eq!(
+            reads,
+            vec![FieldRead {
+                buffer: 0,
+                offset: 0,
+                words: 4,
+                stride: 16
+            }]
+        );
+    }
+
+    #[test]
+    fn synthesized_misaligned_words_stay_scalar() {
+        // Three words at offsets 4..16 of a 16-byte record: 4 is not
+        // 8-aligned, so the run splits scalar, vector2, scalar-free.
+        let l = SynthesizedLayout::new(
+            "tail",
+            vec![16],
+            (0..3)
+                .map(|i| SynthesizedField {
+                    old_buffer: 0,
+                    old_offset: 4 * i,
+                    buffer: 0,
+                    offset: 4 + 4 * i,
+                })
+                .collect(),
+        );
+        let reads = l.reads();
+        assert_eq!(reads.len(), 2);
+        assert_eq!((reads[0].offset, reads[0].words), (4, 1));
+        assert_eq!((reads[1].offset, reads[1].words), (8, 2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn synthesized_slot_collision_rejected() {
+        SynthesizedLayout::new(
+            "bad",
+            vec![8],
+            vec![
+                SynthesizedField {
+                    old_buffer: 0,
+                    old_offset: 0,
+                    buffer: 0,
+                    offset: 0,
+                },
+                SynthesizedField {
+                    old_buffer: 0,
+                    old_offset: 4,
+                    buffer: 0,
+                    offset: 0,
+                },
+            ],
+        );
+    }
 
     #[test]
     fn all_plans_fetch_seven_words() {
