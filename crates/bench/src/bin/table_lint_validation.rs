@@ -155,13 +155,13 @@ fn main() {
 
     // The synthesis targets: whole-pipeline wall time (summary extraction,
     // candidate pricing, translation-validation proofs) per kernel ×
-    // driver. Best of two runs — synthesis is deterministic, so the min is
-    // the honest cost and a transient load spike cannot trip the gate.
+    // driver. Best of three runs — synthesis is deterministic, so the min
+    // is the honest cost and a transient load spike cannot trip the gate.
     for driver in DriverModel::ALL {
         for target in synth_targets(driver) {
             let mut best_ms = f64::INFINITY;
             let mut suggested = false;
-            for _ in 0..2 {
+            for _ in 0..3 {
                 let t0 = std::time::Instant::now();
                 let report = target
                     .synthesize()

@@ -1,9 +1,16 @@
 //! Functional (untimed) execution of a whole grid.
 //!
-//! Blocks run sequentially; inside a block, warps run round-robin in
-//! barrier-delimited segments (a warp runs until it hits `Sync` or retires,
-//! then the next warp runs), which is equivalent to lock-step execution for
-//! race-free kernels and keeps the interpreter simple and fast.
+//! Inside a block, warps run round-robin in barrier-delimited segments (a
+//! warp runs until it hits `Sync` or retires, then the next warp runs),
+//! which is equivalent to lock-step execution for race-free kernels and
+//! keeps the interpreter simple and fast.
+//!
+//! Blocks run sequentially by default, or across host threads when
+//! `GPU_SIM_THREADS` (or an explicit [`run_lowered_full`] thread count) asks
+//! for it. The parallel path runs every block against its own
+//! [`BlockShard`] write-view and then merges in ascending block-id order, so
+//! memory contents, shadow/ECC state, statistics and first-fault coordinates
+//! are bit-identical to the sequential executor — see DESIGN.md §15.
 //!
 //! In functional mode `clock()` reads a per-warp retired-instruction counter
 //! — deterministic, and good enough for the membench kernels' *functional*
@@ -15,10 +22,29 @@ use super::machine::{
 use crate::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use crate::ir::lower::{lower, LinStmt, Program};
 use crate::ir::Kernel;
-use crate::mem::GlobalMemory;
+use crate::mem::{BlockShard, DeviceMem, GlobalMemory};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
 
 /// Largest block the G80 accepts (threads per block).
 pub const MAX_BLOCK: u32 = 512;
+
+/// Largest grid dimension the G80 accepts (blocks per launch).
+pub const MAX_GRID: u32 = 65535;
+
+/// Host threads the functional executor spreads blocks across, read from
+/// `GPU_SIM_THREADS` once per process (absent/invalid/0/1 → sequential).
+/// CI forces the parallel path onto the whole suite by exporting it.
+pub fn configured_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        std::env::var("GPU_SIM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
 
 /// Statistics of a functional run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -77,6 +103,24 @@ pub fn run_grid_watchdog(
     run_lowered_inner(&prog, grid, block, params, gmem, None, Some(budget))
 }
 
+/// As [`run_grid`], with every option explicit — fault plan, watchdog and
+/// host thread count (the differential tests and `simperf` bench drive the
+/// sequential and parallel paths side by side through this).
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid_full(
+    kernel: &Kernel,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
+    threads: usize,
+) -> DeviceResult<FunctionalRun> {
+    let prog = lower(kernel);
+    run_lowered_full(&prog, grid, block, params, gmem, plan, watchdog, threads)
+}
+
 /// As [`run_grid`], for an already-lowered program.
 pub fn run_grid_lowered(
     prog: &Program,
@@ -88,6 +132,31 @@ pub fn run_grid_lowered(
     run_lowered_inner(prog, grid, block, params, gmem, None, None)
 }
 
+/// As [`run_grid_injected`], for an already-lowered program (decode-once
+/// callers like gravit's frame loop lower each kernel exactly once).
+pub fn run_grid_injected_lowered(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: &FaultPlan,
+) -> DeviceResult<FunctionalRun> {
+    run_lowered_inner(prog, grid, block, params, gmem, Some(plan), None)
+}
+
+/// As [`run_grid_watchdog`], for an already-lowered program.
+pub fn run_grid_watchdog_lowered(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    budget: u64,
+) -> DeviceResult<FunctionalRun> {
+    run_lowered_inner(prog, grid, block, params, gmem, None, Some(budget))
+}
+
 pub(crate) fn run_lowered_inner(
     prog: &Program,
     grid: u32,
@@ -97,27 +166,208 @@ pub(crate) fn run_lowered_inner(
     plan: Option<&FaultPlan>,
     watchdog: Option<u64>,
 ) -> DeviceResult<FunctionalRun> {
+    run_lowered_full(
+        prog,
+        grid,
+        block,
+        params,
+        gmem,
+        plan,
+        watchdog,
+        configured_threads(),
+    )
+}
+
+/// The fully-general entry point: every launch option plus an explicit host
+/// thread count. `threads <= 1` (or a one-block grid) runs the classic
+/// sequential loop; otherwise blocks execute across `threads` scoped host
+/// threads against per-block [`BlockShard`] write-views, and the results are
+/// committed in ascending block-id order — bit-identical to the sequential
+/// path in memory contents, shadow/ECC state, statistics and first-fault
+/// coordinates (the differential proptests in `tests/parallel_difftests.rs`
+/// hold this equivalence under random kernels, geometries, injected faults
+/// and watchdog budgets).
+#[allow(clippy::too_many_arguments)]
+pub fn run_lowered_full(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
+    threads: usize,
+) -> DeviceResult<FunctionalRun> {
     validate_launch(grid, block).map_err(|e| e.with_kernel(&prog.name))?;
     let env = LaunchEnv {
         block_dim: block,
         grid_dim: grid,
     };
-    let mut stats = FunctionalRun::default();
-    for b in 0..grid {
-        run_block(
-            prog,
-            b,
-            block as usize,
-            params,
-            &env,
-            gmem,
-            &mut stats,
-            plan,
-            watchdog,
-        )
-        .map_err(|e| e.with_kernel(&prog.name))?;
+    if threads <= 1 || grid <= 1 {
+        let mut stats = FunctionalRun::default();
+        for b in 0..grid {
+            run_block(
+                prog,
+                b,
+                block as usize,
+                params,
+                &env,
+                gmem,
+                &mut stats,
+                plan,
+                watchdog,
+            )
+            .map_err(|e| e.with_kernel(&prog.name))?;
+        }
+        return Ok(stats);
     }
-    Ok(stats)
+    run_parallel(
+        prog, grid, block, params, &env, gmem, plan, watchdog, threads,
+    )
+}
+
+/// What one block's isolated (sharded) execution produced, queued for the
+/// deterministic merge.
+struct BlockOutcome {
+    /// Final value of every word the block stored, ascending by address.
+    writes: Vec<(u64, u32)>,
+    /// The block's own instruction/barrier counts.
+    stats: FunctionalRun,
+    /// `Ok` if the block retired, or its fault (coordinates already attached
+    /// by the warp stepper).
+    result: Result<(), DeviceError>,
+}
+
+/// Parallel block execution with a sequential-equivalent commit/merge.
+///
+/// Workers pull block ids from a shared counter and run each block against a
+/// fresh [`BlockShard`] (reads see the pre-launch memory plus the block's
+/// own writes; CUDA blocks are independent by construction, so that equals
+/// what the sequential executor would read). The merge then walks blocks in
+/// ascending id order, replaying each block's buffered writes through the
+/// real [`GlobalMemory::store_u32`] and summing its stats — so the final
+/// memory/shadow/ECC state, the merged [`FunctionalRun`], and the *first*
+/// fault in block order are all bit-identical to the sequential loop.
+///
+/// Watchdog accounting: the sequential executor drains one global budget in
+/// block order, so each block runs in isolation against the *full* budget,
+/// and the merge re-runs any block whose accumulated count makes the global
+/// check ambiguous (`T + c >= budget`) directly against the committed
+/// memory with the accumulated count precharged — that re-run *is* the
+/// sequential execution of the block, so the kill site and `executed` count
+/// are exact by construction.
+#[allow(clippy::too_many_arguments)]
+fn run_parallel(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    env: &LaunchEnv,
+    gmem: &mut GlobalMemory,
+    plan: Option<&FaultPlan>,
+    watchdog: Option<u64>,
+    threads: usize,
+) -> DeviceResult<FunctionalRun> {
+    let next = AtomicU32::new(0);
+    // Lowest block id seen to fault in isolation: the merge is guaranteed to
+    // terminate at or before it, so workers skip everything after it.
+    let min_terminal = AtomicU32::new(u32::MAX);
+    let base: &GlobalMemory = gmem;
+    let n_workers = threads.min(grid as usize);
+    let mut outcomes: Vec<Option<BlockOutcome>> = (0..grid).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..n_workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced: Vec<(u32, BlockOutcome)> = Vec::new();
+                    loop {
+                        let b = next.fetch_add(1, Ordering::Relaxed);
+                        if b >= grid {
+                            break;
+                        }
+                        if b > min_terminal.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let mut shard = BlockShard::new(base);
+                        let mut stats = FunctionalRun::default();
+                        let result = run_block(
+                            prog,
+                            b,
+                            block as usize,
+                            params,
+                            env,
+                            &mut shard,
+                            &mut stats,
+                            plan,
+                            watchdog,
+                        );
+                        if result.is_err() {
+                            min_terminal.fetch_min(b, Ordering::Relaxed);
+                        }
+                        produced.push((
+                            b,
+                            BlockOutcome {
+                                writes: shard.into_writes(),
+                                stats,
+                                result,
+                            },
+                        ));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (b, o) in h.join().expect("simulator worker thread panicked") {
+                outcomes[b as usize] = Some(o);
+            }
+        }
+    });
+
+    // Deterministic merge, ascending block id.
+    let mut total = FunctionalRun::default();
+    for (b, slot) in outcomes.iter_mut().enumerate() {
+        let b = b as u32;
+        // A block whose isolated count would straddle the global watchdog
+        // budget (or that was skipped past a terminal block) is replayed
+        // sequentially against the committed prefix — exact by construction.
+        let replay_sequentially = match slot {
+            None => true,
+            Some(o) => watchdog.is_some_and(|budget| {
+                total.warp_instructions + o.stats.warp_instructions >= budget
+            }),
+        };
+        if replay_sequentially {
+            run_block(
+                prog,
+                b,
+                block as usize,
+                params,
+                env,
+                gmem,
+                &mut total,
+                plan,
+                watchdog,
+            )
+            .map_err(|e| e.with_kernel(&prog.name))?;
+            continue;
+        }
+        let o = slot.take().expect("outcome present");
+        // Commit the block's writes — on a fault these are the partial side
+        // effects the sequential executor would also have made.
+        for (a, v) in o.writes {
+            gmem.store_u32(a, v)
+                .map_err(|e| e.with_kernel(&prog.name))?;
+        }
+        match o.result {
+            Ok(()) => {
+                total.warp_instructions += o.stats.warp_instructions;
+                total.barriers += o.stats.barriers;
+            }
+            Err(e) => return Err(e.with_kernel(&prog.name)),
+        }
+    }
+    Ok(total)
 }
 
 /// Validate launch geometry against the G80's limits.
@@ -132,17 +382,22 @@ pub fn validate_launch(grid: u32, block: u32) -> DeviceResult<()> {
             reason: format!("block size {block} exceeds the device limit of {MAX_BLOCK} threads"),
         }));
     }
+    if grid > MAX_GRID {
+        return Err(DeviceError::new(FaultKind::BadLaunch {
+            reason: format!("grid size {grid} exceeds the device limit of {MAX_GRID} blocks"),
+        }));
+    }
     Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
-fn run_block(
+fn run_block<M: DeviceMem>(
     prog: &Program,
     block_id: u32,
     n_threads: usize,
     params: &[u32],
     env: &LaunchEnv,
-    gmem: &mut GlobalMemory,
+    gmem: &mut M,
     stats: &mut FunctionalRun,
     plan: Option<&FaultPlan>,
     watchdog: Option<u64>,
@@ -194,7 +449,17 @@ fn run_block(
                 };
                 match stmt {
                     LinStmt::I(i) => {
-                        exec_instr(i, &mut ctx, w, mask, env, gmem, instr_counts[w], plan)?;
+                        exec_instr(
+                            i,
+                            &mut ctx,
+                            w,
+                            mask,
+                            env,
+                            gmem,
+                            instr_counts[w],
+                            plan,
+                            false,
+                        )?;
                         instr_counts[w] += 1;
                         stats.warp_instructions += 1;
                         cursors[w].step();
@@ -422,6 +687,56 @@ mod tests {
         let out = gmem.read_f32(o, 32).unwrap();
         for (t, v) in out.iter().enumerate() {
             assert_eq!(*v, if t % 2 == 0 { 1.0 } else { 2.0 });
+        }
+    }
+
+    /// G80 grid-dimension cap: 65535 blocks is a legal launch, 65536 is a
+    /// typed `BadLaunch` — previously any grid size silently launched.
+    #[test]
+    fn grid_limit_boundary() {
+        assert!(validate_launch(MAX_GRID, 64).is_ok());
+        let e = validate_launch(MAX_GRID + 1, 64).unwrap_err();
+        match e.kind {
+            FaultKind::BadLaunch { reason } => {
+                assert!(reason.contains("65536"), "reason names the size: {reason}");
+                assert!(reason.contains("65535"), "reason names the limit: {reason}");
+            }
+            k => panic!("wrong kind {k:?}"),
+        }
+        // And through the launch wrapper, with the kernel name attached.
+        let mut b = KernelBuilder::new("toolarge");
+        let _p = b.param();
+        let k = b.finish();
+        let mut gmem = GlobalMemory::new(64);
+        let e = run_grid(&k, MAX_GRID + 1, 32, &[0], &mut gmem).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::BadLaunch { .. }));
+        assert_eq!(e.site.kernel.as_deref(), Some("toolarge"));
+    }
+
+    /// The parallel path commits blocks in id order: memory and stats equal
+    /// the sequential run bit-for-bit (the broad equivalence lives in
+    /// `tests/parallel_difftests.rs`; this is the in-crate smoke check).
+    #[test]
+    fn parallel_matches_sequential_smoke() {
+        let mut b = KernelBuilder::new("pfill");
+        let po = b.param();
+        let i = b.global_thread_index();
+        let ao = b.mad_u(i.into(), Operand::ImmU(4), po.into());
+        b.st(MemSpace::Global, ao, 0, vec![i.into()]);
+        let k = b.finish();
+        let n = 8 * 64;
+        let run = |threads: usize| {
+            let mut gmem = GlobalMemory::new(1 << 20);
+            let o = gmem.alloc(n as u64 * 4).unwrap();
+            let stats =
+                run_grid_full(&k, 8, 64, &[o.0 as u32], &mut gmem, None, None, threads).unwrap();
+            (gmem.download(o, n as u64 * 4).unwrap(), stats)
+        };
+        let (seq_mem, seq_stats) = run(1);
+        for threads in [2, 8] {
+            let (par_mem, par_stats) = run(threads);
+            assert_eq!(seq_mem, par_mem, "{threads} threads");
+            assert_eq!(seq_stats, par_stats, "{threads} threads");
         }
     }
 

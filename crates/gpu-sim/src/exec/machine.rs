@@ -9,7 +9,7 @@ use crate::coalesce::AccessWidth;
 use crate::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
 use crate::ir::lower::{LinStmt, Program};
 use crate::ir::{AluOp, CmpOp, Instr, MemSpace, Operand, Pred, Reg, SpecialReg, UnaryOp};
-use crate::mem::GlobalMemory;
+use crate::mem::DeviceMem;
 
 /// Warp width — fixed at 32 for every CUDA device.
 pub const WARP: usize = 32;
@@ -154,32 +154,46 @@ pub struct MemTrace {
     pub addrs: Vec<Option<u64>>,
 }
 
+/// The block-local thread indices selected by an active-lane mask — the
+/// zero-allocation replacement for collecting lanes into a `Vec` on every
+/// executed instruction (the functional hot loop's biggest malloc source).
+#[inline]
+fn active_lanes(mask: u32, warp: usize, n_threads: usize) -> impl Iterator<Item = usize> {
+    (0..WARP)
+        .filter(move |l| mask & (1 << l) != 0)
+        .map(move |l| warp * WARP + l)
+        .filter(move |t| *t < n_threads)
+}
+
 /// Execute one instruction for a warp.
 ///
 /// `warp` is the warp index within the block, `mask` the active-lane mask,
-/// `clock_value` what a `Clock` instruction should read. Returns the memory
-/// trace if the instruction touched memory. A memory fault carries the exact
-/// (block, thread, instruction) coordinates of the offending lane.
+/// `clock_value` what a `Clock` instruction should read. With `want_trace`
+/// set, returns the memory trace if the instruction touched memory (the
+/// timed engine feeds it to the coalescer/bank models); the functional
+/// executor passes `false` and skips the per-lane address bookkeeping
+/// entirely. A memory fault carries the exact (block, thread, instruction)
+/// coordinates of the offending lane.
+///
+/// Generic over [`DeviceMem`] so the same semantics run against the real
+/// [`crate::mem::GlobalMemory`] (sequential path) and against per-block
+/// [`crate::mem::BlockShard`] write-views (parallel path).
 ///
 /// `plan` is the fault-injection hook: when set, the effective address of a
 /// matching (block, thread, instruction) access is mutated before the access
 /// is performed (test harness only — production paths pass `None`).
 #[allow(clippy::too_many_arguments)]
-pub fn exec_instr(
+pub fn exec_instr<M: DeviceMem>(
     i: &Instr,
     ctx: &mut BlockCtx,
     warp: usize,
     mask: u32,
     env: &LaunchEnv,
-    gmem: &mut GlobalMemory,
+    gmem: &mut M,
     clock_value: u64,
     plan: Option<&FaultPlan>,
+    want_trace: bool,
 ) -> DeviceResult<Option<MemTrace>> {
-    let lanes: Vec<usize> = (0..WARP)
-        .filter(|l| mask & (1 << l) != 0)
-        .map(|l| warp * WARP + l)
-        .filter(|t| *t < ctx.n_threads)
-        .collect();
     let opv = |ctx: &BlockCtx, t: usize, o: &Operand| -> u32 {
         match o {
             Operand::R(r) => ctx.reg(t, *r),
@@ -189,14 +203,14 @@ pub fn exec_instr(
     };
     match i {
         Instr::Mov { dst, src } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let v = opv(ctx, t, src);
                 ctx.set_reg(t, *dst, v);
             }
             Ok(None)
         }
         Instr::Special { dst, sr } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let v = match sr {
                     SpecialReg::TidX => t as u32,
                     SpecialReg::CtaidX => ctx.block_id,
@@ -208,7 +222,7 @@ pub fn exec_instr(
             Ok(None)
         }
         Instr::Alu { op, dst, a, b } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let x = opv(ctx, t, a);
                 let y = opv(ctx, t, b);
                 let v = alu(*op, x, y);
@@ -223,7 +237,7 @@ pub fn exec_instr(
             b,
             c,
         } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let x = opv(ctx, t, a);
                 let y = opv(ctx, t, b);
                 let z = opv(ctx, t, c);
@@ -240,7 +254,7 @@ pub fn exec_instr(
             Ok(None)
         }
         Instr::Unary { op, dst, a } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let x = opv(ctx, t, a);
                 let v = match op {
                     UnaryOp::FRsqrt => {
@@ -256,7 +270,7 @@ pub fn exec_instr(
             Ok(None)
         }
         Instr::Setp { dst, cmp, a, b } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let x = opv(ctx, t, a);
                 let y = opv(ctx, t, b);
                 let v = match cmp {
@@ -278,14 +292,20 @@ pub fn exec_instr(
         } => {
             let width = AccessWidth::from_bytes(4 * dsts.len() as u32).expect("load width");
             let n_words = dsts.len() as u64;
-            let mut addrs = vec![None; WARP];
+            let mut addrs = if want_trace {
+                vec![None; WARP]
+            } else {
+                Vec::new()
+            };
             let bid = ctx.block_id;
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let mut addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
                 if let Some(p) = plan {
                     addr = p.mutate(bid, t as u32, clock_value, addr);
                 }
-                addrs[t % WARP] = Some(addr);
+                if want_trace {
+                    addrs[t % WARP] = Some(addr);
+                }
                 // A vector access must be naturally aligned as a whole; the
                 // per-word loop below would only catch word misalignment.
                 let fault_at = move |e: DeviceError| {
@@ -314,7 +334,7 @@ pub fn exec_instr(
                     ctx.set_reg(t, *d, v);
                 }
             }
-            Ok(Some(MemTrace {
+            Ok(want_trace.then_some(MemTrace {
                 space: *space,
                 is_load: true,
                 width,
@@ -329,14 +349,20 @@ pub fn exec_instr(
         } => {
             let width = AccessWidth::from_bytes(4 * srcs.len() as u32).expect("store width");
             let n_words = srcs.len() as u64;
-            let mut addrs = vec![None; WARP];
+            let mut addrs = if want_trace {
+                vec![None; WARP]
+            } else {
+                Vec::new()
+            };
             let bid = ctx.block_id;
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 let mut addr = ctx.reg(t, *base).wrapping_add(*offset) as u64;
                 if let Some(p) = plan {
                     addr = p.mutate(bid, t as u32, clock_value, addr);
                 }
-                addrs[t % WARP] = Some(addr);
+                if want_trace {
+                    addrs[t % WARP] = Some(addr);
+                }
                 let fault_at = move |e: DeviceError| {
                     e.with_block(bid)
                         .with_thread(t as u32)
@@ -367,7 +393,7 @@ pub fn exec_instr(
                     }
                 }
             }
-            Ok(Some(MemTrace {
+            Ok(want_trace.then_some(MemTrace {
                 space: *space,
                 is_load: false,
                 width,
@@ -375,7 +401,7 @@ pub fn exec_instr(
             }))
         }
         Instr::Clock { dst } => {
-            for &t in &lanes {
+            for t in active_lanes(mask, warp, ctx.n_threads) {
                 ctx.set_reg(t, *dst, clock_value as u32);
             }
             Ok(None)
@@ -581,6 +607,7 @@ mod tests {
     use super::*;
     use crate::ir::lower::lower;
     use crate::ir::KernelBuilder;
+    use crate::mem::GlobalMemory;
 
     fn env() -> LaunchEnv {
         LaunchEnv {
@@ -640,6 +667,7 @@ mod tests {
             &mut gmem,
             0,
             None,
+            true,
         )
         .unwrap();
         assert_eq!(ctx.reg(0, r), 7);
@@ -671,6 +699,7 @@ mod tests {
             &mut gmem,
             0,
             None,
+            true,
         )
         .unwrap();
         assert_eq!(ctx.reg(32, t), 32);
@@ -687,6 +716,7 @@ mod tests {
             &mut gmem,
             0,
             None,
+            true,
         )
         .unwrap();
         assert_eq!(ctx.reg(0, t), 5);
@@ -724,6 +754,7 @@ mod tests {
             &mut gmem,
             0,
             None,
+            true,
         )
         .unwrap()
         .unwrap();
@@ -746,7 +777,7 @@ mod tests {
         let mut gmem = GlobalMemory::new(64);
         for s in &prog.seqs[prog.root] {
             if let LinStmt::I(i) = s {
-                exec_instr(i, &mut ctx, 0, 1, &env(), &mut gmem, 0, None).unwrap();
+                exec_instr(i, &mut ctx, 0, 1, &env(), &mut gmem, 0, None, false).unwrap();
             }
         }
         // The load's destination is the last register.
@@ -771,7 +802,7 @@ mod tests {
             };
             match stmt {
                 LinStmt::I(i) => {
-                    exec_instr(i, &mut ctx, 0, mask, &env(), &mut gmem, 0, None).unwrap();
+                    exec_instr(i, &mut ctx, 0, mask, &env(), &mut gmem, 0, None, false).unwrap();
                     executed += 1;
                     cur.step();
                 }

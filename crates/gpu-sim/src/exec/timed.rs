@@ -21,18 +21,18 @@
 //! more candidates to hide latencies and barrier bubbles with — which is how
 //! the paper's 50 % → 67 % occupancy step buys its ~6 %.
 
-use super::functional::validate_launch;
+use super::functional::{configured_threads, validate_launch};
 use super::machine::{
     exec_instr, live_lane_mask, pred_mask, BlockCtx, Cursor, FetchItem, LaunchEnv,
 };
 use crate::banks::conflict_degree;
-use crate::coalesce::coalesce_half_warp;
+use crate::coalesce::CoalesceCache;
 use crate::device::DeviceConfig;
 use crate::driver::DriverModel;
 use crate::fault::{DeviceError, DeviceResult, FaultKind};
 use crate::ir::lower::{lower, LinStmt, Program};
 use crate::ir::{Instr, Kernel, MemSpace, UnaryOp};
-use crate::mem::GlobalMemory;
+use crate::mem::{BlockShard, DeviceMem, GlobalMemory};
 use crate::texcache::TexCache;
 use crate::timing::TimingParams;
 
@@ -62,6 +62,19 @@ pub struct TimedRun {
     /// Warp-issue opportunities lost to scoreboard/memory stalls (cycles the
     /// issue port sat idle while work remained).
     pub idle_cycles: u64,
+}
+
+impl TimedRun {
+    /// Associative per-SM merge: total time is the slowest SM, counters sum.
+    pub fn merge(&mut self, other: &TimedRun) {
+        self.cycles = self.cycles.max(other.cycles);
+        self.warp_instructions += other.warp_instructions;
+        self.transactions += other.transactions;
+        self.bus_bytes += other.bus_bytes;
+        self.tex_hits += other.tex_hits;
+        self.tex_misses += other.tex_misses;
+        self.idle_cycles += other.idle_cycles;
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -111,13 +124,13 @@ pub fn time_resident(
 
 /// As [`time_resident`], for an already-lowered program.
 #[allow(clippy::too_many_arguments)]
-pub fn time_resident_lowered(
+pub fn time_resident_lowered<M: DeviceMem>(
     prog: &Program,
     resident: &[u32],
     block_size: u32,
     grid: u32,
     params: &[u32],
-    gmem: &mut GlobalMemory,
+    gmem: &mut M,
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
@@ -142,14 +155,14 @@ pub fn time_resident_lowered(
 /// wave-extrapolation path ([`time_resident`]) is its `pending = []` special
 /// case.
 #[allow(clippy::too_many_arguments)]
-pub fn time_sm_queue(
+pub fn time_sm_queue<M: DeviceMem>(
     prog: &Program,
     resident: &[u32],
     pending: &[u32],
     block_size: u32,
     grid: u32,
     params: &[u32],
-    gmem: &mut GlobalMemory,
+    gmem: &mut M,
     dev: &DeviceConfig,
     driver: DriverModel,
     tp: &TimingParams,
@@ -196,6 +209,10 @@ pub fn time_sm_queue(
 
     let mut stats = TimedRun::default();
     let mut tex_cache = TexCache::g80();
+    // Coalescing decisions are translation-invariant modulo 256-byte base
+    // alignment, so identical half-warp access shapes (e.g. every iteration
+    // of a streaming loop) hit this memo instead of re-running the protocol.
+    let mut co_cache = CoalesceCache::new(driver);
     let mut issue_free: u64 = 0;
     let mut mem_free: u64 = 0;
     let mut last_issued: usize = 0;
@@ -271,7 +288,7 @@ pub fn time_sm_queue(
                     let w = &warps[wi];
                     let ctx = &mut blocks[w.block];
                     let wib = w.warp_in_block;
-                    exec_instr(i, ctx, wib, mask, &env, gmem, now, None)
+                    exec_instr(i, ctx, wib, mask, &env, gmem, now, None, true)
                         .map_err(|e| e.with_kernel(&prog.name))?
                 };
                 stats.warp_instructions += 1;
@@ -291,13 +308,12 @@ pub fn time_sm_queue(
                         // through the memory pipe.
                         let mut data_ready = now + tp.issue_mem + tp.mem_latency;
                         for h in tr.addrs.chunks(half) {
-                            let res = coalesce_half_warp(driver, h, tr.width);
-                            for t in &res.transactions {
+                            for &bytes in co_cache.transaction_sizes(h, tr.width) {
                                 let start = mem_free.max(now + tp.issue_mem);
-                                mem_free = start + tp.transaction_busy(t.bytes);
+                                mem_free = start + tp.transaction_busy(bytes);
                                 data_ready = data_ready.max(start + tp.mem_latency);
                                 stats.transactions += 1;
-                                stats.bus_bytes += t.bytes as u64;
+                                stats.bus_bytes += bytes as u64;
                             }
                         }
                         for d in dsts {
@@ -315,12 +331,11 @@ pub fn time_sm_queue(
                     ) => {
                         issue_cost = tp.issue_mem;
                         for h in tr.addrs.chunks(half) {
-                            let res = coalesce_half_warp(driver, h, tr.width);
-                            for t in &res.transactions {
+                            for &bytes in co_cache.transaction_sizes(h, tr.width) {
                                 let start = mem_free.max(now + tp.issue_mem);
-                                mem_free = start + tp.transaction_busy(t.bytes);
+                                mem_free = start + tp.transaction_busy(bytes);
                                 stats.transactions += 1;
-                                stats.bus_bytes += t.bytes as u64;
+                                stats.bus_bytes += bytes as u64;
                             }
                         }
                     }
@@ -585,39 +600,126 @@ pub fn time_grid(
     driver: DriverModel,
     tp: &TimingParams,
 ) -> DeviceResult<TimedRun> {
+    let prog = lower(kernel);
+    time_grid_lowered_full(
+        &prog,
+        grid,
+        block_size,
+        resident_per_sm,
+        params,
+        gmem,
+        dev,
+        driver,
+        tp,
+        configured_threads(),
+    )
+}
+
+/// As [`time_grid`] for an already-lowered program, with an explicit host
+/// thread count. SMs are mutually independent (each owns its block queue and
+/// texture cache, and CUDA blocks never read other blocks' writes within a
+/// launch), so with `threads > 1` each SM's queue runs against its own
+/// [`BlockShard`] write-view and the results are committed in ascending SM
+/// order — memory contents, summed stats and the first-faulting-SM error are
+/// bit-identical to the sequential loop.
+#[allow(clippy::too_many_arguments)]
+pub fn time_grid_lowered_full(
+    prog: &Program,
+    grid: u32,
+    block_size: u32,
+    resident_per_sm: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    dev: &DeviceConfig,
+    driver: DriverModel,
+    tp: &TimingParams,
+    threads: usize,
+) -> DeviceResult<TimedRun> {
     if resident_per_sm < 1 {
         return Err(DeviceError::new(FaultKind::BadLaunch {
             reason: "resident_per_sm must be at least 1".into(),
         })
-        .with_kernel(&kernel.name));
+        .with_kernel(&prog.name));
     }
-    let prog = lower(kernel);
+    let queues: Vec<Vec<u32>> = (0..dev.num_sms)
+        .map(|sm| {
+            (sm..grid)
+                .step_by(dev.num_sms as usize)
+                .collect::<Vec<u32>>()
+        })
+        .filter(|q| !q.is_empty())
+        .collect();
+
     let mut total = TimedRun::default();
-    for sm in 0..dev.num_sms {
-        let queue: Vec<u32> = (sm..grid).step_by(dev.num_sms as usize).collect();
-        if queue.is_empty() {
-            continue;
+    if threads <= 1 || queues.len() <= 1 {
+        for queue in &queues {
+            let r = (resident_per_sm as usize).min(queue.len());
+            let run = time_sm_queue(
+                prog,
+                &queue[..r],
+                &queue[r..],
+                block_size,
+                grid,
+                params,
+                gmem,
+                dev,
+                driver,
+                tp,
+            )?;
+            total.merge(&run);
         }
-        let r = (resident_per_sm as usize).min(queue.len());
-        let run = time_sm_queue(
-            &prog,
-            &queue[..r],
-            &queue[r..],
-            block_size,
-            grid,
-            params,
-            gmem,
-            dev,
-            driver,
-            tp,
-        )?;
-        total.cycles = total.cycles.max(run.cycles);
-        total.warp_instructions += run.warp_instructions;
-        total.transactions += run.transactions;
-        total.bus_bytes += run.bus_bytes;
-        total.tex_hits += run.tex_hits;
-        total.tex_misses += run.tex_misses;
-        total.idle_cycles += run.idle_cycles;
+        return Ok(total);
+    }
+
+    let base: &GlobalMemory = gmem;
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut outcomes: Vec<Option<(Vec<(u64, u32)>, DeviceResult<TimedRun>)>> =
+        (0..queues.len()).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads.min(queues.len()))
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let qi = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(queue) = queues.get(qi) else {
+                            break;
+                        };
+                        let r = (resident_per_sm as usize).min(queue.len());
+                        let mut shard = BlockShard::new(base);
+                        let res = time_sm_queue(
+                            prog,
+                            &queue[..r],
+                            &queue[r..],
+                            block_size,
+                            grid,
+                            params,
+                            &mut shard,
+                            dev,
+                            driver,
+                            tp,
+                        );
+                        produced.push((qi, (shard.into_writes(), res)));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for h in handles {
+            for (qi, o) in h.join().expect("timed worker thread panicked") {
+                outcomes[qi] = Some(o);
+            }
+        }
+    });
+
+    // Deterministic merge, ascending SM index: commit each SM's writes (the
+    // faulting SM's partial writes included — the same side effects the
+    // sequential loop leaves behind), return the lowest-SM error if any.
+    for (writes, res) in outcomes.into_iter().flatten() {
+        for (a, v) in writes {
+            GlobalMemory::store_u32(gmem, a, v).map_err(|e| e.with_kernel(&prog.name))?;
+        }
+        total.merge(&res?);
     }
     Ok(total)
 }

@@ -64,4 +64,6 @@ pub use fault::{
 pub use ir::{Kernel, KernelBuilder};
 pub use mem::GlobalMemory;
 pub use timing::TimingParams;
-pub use transient::{run_grid_chaos, FaultRates, LaunchFault, TransientFaultPlan};
+pub use transient::{
+    run_grid_chaos, run_grid_chaos_lowered, FaultRates, LaunchFault, TransientFaultPlan,
+};

@@ -76,7 +76,11 @@ struct AllocRecord {
 
 /// Simulated device global memory with a bump allocator and sanitizer
 /// shadow map.
-#[derive(Debug, Clone)]
+///
+/// Equality compares the *entire* device state — data, shadow map, ECC
+/// checksums and allocator bookkeeping — which is exactly the witness the
+/// parallel-executor difftests need for "bit-identical to sequential".
+#[derive(Debug, Clone, PartialEq)]
 pub struct GlobalMemory {
     data: Vec<u8>,
     shadow: Vec<u8>,
@@ -445,6 +449,103 @@ impl GlobalMemory {
         for (i, v) in vals.iter().enumerate() {
             self.store_u32(addr + 4 * i as u64, *v)?;
         }
+        Ok(())
+    }
+
+    /// Validate a 32-bit store at `addr` (alignment, bounds, redzones)
+    /// without performing it. [`BlockShard`] uses this so a buffered store
+    /// faults with exactly the error the real [`GlobalMemory::store_u32`]
+    /// would raise — sound because allocation state never changes while a
+    /// kernel is in flight.
+    #[inline]
+    pub fn validate_store_u32(&self, addr: u64) -> DeviceResult<()> {
+        self.check(addr, 4, false)
+    }
+}
+
+/// Word-granular device memory as seen by the warp stepper: everything
+/// [`crate::exec::machine::exec_instr`] needs from a memory. Implemented by
+/// the real [`GlobalMemory`] and by per-block [`BlockShard`] write-views, so
+/// one generic executor serves both the sequential and the parallel path.
+pub trait DeviceMem {
+    /// Load a 32-bit word as raw bits.
+    fn load_u32(&self, addr: u64) -> DeviceResult<u32>;
+    /// Store a 32-bit word as raw bits.
+    fn store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()>;
+}
+
+impl DeviceMem for GlobalMemory {
+    #[inline]
+    fn load_u32(&self, addr: u64) -> DeviceResult<u32> {
+        GlobalMemory::load_u32(self, addr)
+    }
+
+    #[inline]
+    fn store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()> {
+        GlobalMemory::store_u32(self, addr, v)
+    }
+}
+
+/// A per-block copy-on-write view over a shared, immutable [`GlobalMemory`].
+///
+/// The parallel executor runs each block against its own shard: loads read
+/// the block's own buffered writes first (read-your-own-writes) and fall
+/// through to the frozen base otherwise; stores are validated against the
+/// base — allocation state is immutable during a launch, so validity is
+/// identical to what the sequential executor would decide — and buffered at
+/// word granularity. After the blocks finish, [`BlockShard::into_writes`]
+/// yields the final value of every word the block wrote, and the merge step
+/// replays those through the real [`GlobalMemory::store_u32`] in ascending
+/// block-id (then address) order. Because the sequential end state of every
+/// word depends only on the *last* value legitimately stored to it — data,
+/// `SH_INIT` shadow, and the ECC checksum are all pure functions of that
+/// value — the replay reproduces the sequential executor's memory, shadow
+/// map, and ECC state bit-identically (CUDA blocks are independent by
+/// construction: no block reads another block's writes within one launch).
+#[derive(Debug)]
+pub struct BlockShard<'a> {
+    base: &'a GlobalMemory,
+    writes: std::collections::HashMap<u64, u32>,
+}
+
+impl<'a> BlockShard<'a> {
+    /// A shard with no buffered writes over `base`.
+    pub fn new(base: &'a GlobalMemory) -> Self {
+        BlockShard {
+            base,
+            writes: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of distinct words written so far.
+    pub fn written_words(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// The block's buffered writes — the final value of every word it
+    /// stored — in ascending address order, ready to replay.
+    pub fn into_writes(self) -> Vec<(u64, u32)> {
+        let mut ws: Vec<(u64, u32)> = self.writes.into_iter().collect();
+        ws.sort_unstable_by_key(|&(a, _)| a);
+        ws
+    }
+}
+
+impl DeviceMem for BlockShard<'_> {
+    #[inline]
+    fn load_u32(&self, addr: u64) -> DeviceResult<u32> {
+        // Buffered keys are always 4-aligned and validated, so a misaligned
+        // or out-of-bounds load never matches and faults in the base below.
+        if let Some(&v) = self.writes.get(&addr) {
+            return Ok(v);
+        }
+        self.base.load_u32(addr)
+    }
+
+    #[inline]
+    fn store_u32(&mut self, addr: u64, v: u32) -> DeviceResult<()> {
+        self.base.validate_store_u32(addr)?;
+        self.writes.insert(addr, v);
         Ok(())
     }
 }
@@ -909,5 +1010,88 @@ mod tests {
         m.store_vec(p.0, &[1, 2, 3, 4]).unwrap();
         assert_eq!(m.load_vec(p.0, 4).unwrap(), vec![1, 2, 3, 4]);
         assert_eq!(m.load_vec(p.0 + 8, 2).unwrap(), vec![3, 4]);
+    }
+
+    #[test]
+    fn shard_reads_its_own_writes_and_falls_through() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc_zeroed(64).unwrap();
+        m.store_u32(p.0, 11).unwrap();
+        let mut sh = BlockShard::new(&m);
+        assert_eq!(DeviceMem::load_u32(&sh, p.0).unwrap(), 11, "fall-through");
+        DeviceMem::store_u32(&mut sh, p.0, 22).unwrap();
+        DeviceMem::store_u32(&mut sh, p.0 + 4, 33).unwrap();
+        assert_eq!(DeviceMem::load_u32(&sh, p.0).unwrap(), 22, "own write");
+        assert_eq!(m.load_u32(p.0).unwrap(), 11, "base untouched until commit");
+        assert_eq!(sh.into_writes(), vec![(p.0, 22), (p.0 + 4, 33)]);
+    }
+
+    #[test]
+    fn shard_store_heals_poison_for_its_own_loads() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        let mut sh = BlockShard::new(&m);
+        let e = DeviceMem::load_u32(&sh, p.0).unwrap_err();
+        assert!(matches!(e.kind, FaultKind::UninitializedRead { .. }));
+        DeviceMem::store_u32(&mut sh, p.0, 5).unwrap();
+        assert_eq!(DeviceMem::load_u32(&sh, p.0).unwrap(), 5);
+    }
+
+    #[test]
+    fn shard_faults_match_the_base_exactly() {
+        let mut m = GlobalMemory::new(4096);
+        let p = m.alloc(64).unwrap();
+        let mut sh = BlockShard::new(&m);
+        for (addr, is_load) in [
+            (p.0 + 2, true),          // misaligned
+            (p.0 + 2, false),         //
+            (p.0 + 64, false),        // redzone
+            (m.capacity() + 8, true), // out of bounds
+        ] {
+            let shard_err = if is_load {
+                DeviceMem::load_u32(&sh, addr).unwrap_err()
+            } else {
+                DeviceMem::store_u32(&mut sh, addr, 1).unwrap_err()
+            };
+            let base_err = if is_load {
+                m.load_u32(addr).unwrap_err()
+            } else {
+                m.clone().store_u32(addr, 1).unwrap_err()
+            };
+            assert_eq!(shard_err, base_err, "addr {addr:#x} is_load {is_load}");
+        }
+        assert_eq!(sh.written_words(), 0, "faulting stores buffer nothing");
+    }
+
+    /// Replaying a shard's writes through the real store path reproduces the
+    /// sequential end state bit-exactly: data, shadow (poison healed), and
+    /// ECC checksums (a prior soft error on a rewritten word is healed, just
+    /// as a sequential overwrite would heal it).
+    #[test]
+    fn shard_replay_reproduces_sequential_state() {
+        let mk = || {
+            let mut m = GlobalMemory::new(4096);
+            let p = m.alloc(64).unwrap();
+            m.store_u32(p.0 + 8, 0xAAAA_0001).unwrap();
+            m.corrupt_bit(p.0 + 8, 3);
+            (m, p)
+        };
+        // Sequential reference.
+        let (mut seq, p) = mk();
+        seq.store_u32(p.0, 1).unwrap();
+        seq.store_u32(p.0 + 8, 2).unwrap();
+        // Sharded run, then replay.
+        let (mut par, _) = mk();
+        let mut sh = BlockShard::new(&par);
+        DeviceMem::store_u32(&mut sh, p.0 + 8, 99).unwrap();
+        DeviceMem::store_u32(&mut sh, p.0, 1).unwrap();
+        DeviceMem::store_u32(&mut sh, p.0 + 8, 2).unwrap(); // last value wins
+        for (a, v) in sh.into_writes() {
+            par.store_u32(a, v).unwrap();
+        }
+        assert_eq!(seq.data, par.data);
+        assert_eq!(seq.shadow, par.shadow);
+        assert_eq!(seq.ecc, par.ecc);
+        assert!(par.verify_all().is_ok(), "replay healed the soft error");
     }
 }

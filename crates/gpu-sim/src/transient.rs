@@ -22,7 +22,7 @@
 
 use crate::exec::functional::{run_lowered_inner, FunctionalRun};
 use crate::fault::{DeviceError, DeviceResult, FaultKind};
-use crate::ir::lower::lower;
+use crate::ir::lower::{lower, Program};
 use crate::ir::Kernel;
 use crate::mem::GlobalMemory;
 use serde::{Deserialize, Serialize};
@@ -194,6 +194,21 @@ pub fn run_grid_chaos(
     watchdog: Option<u64>,
 ) -> DeviceResult<FunctionalRun> {
     let prog = lower(kernel);
+    run_grid_chaos_lowered(&prog, grid, block, params, gmem, plan, watchdog)
+}
+
+/// [`run_grid_chaos`] over an already-lowered [`Program`]. Lets callers that
+/// launch the same kernel many times (gravit's frame loop, the chaos
+/// harness) pay the decode cost once.
+pub fn run_grid_chaos_lowered(
+    prog: &Program,
+    grid: u32,
+    block: u32,
+    params: &[u32],
+    gmem: &mut GlobalMemory,
+    plan: &mut TransientFaultPlan,
+    watchdog: Option<u64>,
+) -> DeviceResult<FunctionalRun> {
     let fate = plan.next_launch();
     let effective_watchdog = match fate {
         LaunchFault::LaunchFailure => {
@@ -211,7 +226,7 @@ pub fn run_grid_chaos(
         }
         LaunchFault::None => watchdog,
     };
-    let run = run_lowered_inner(&prog, grid, block, params, gmem, None, effective_watchdog)?;
+    let run = run_lowered_inner(prog, grid, block, params, gmem, None, effective_watchdog)?;
     // Scrub: any undetected strike in the working set fails the launch here
     // rather than leaking corrupted physics to the host.
     gmem.verify_all().map_err(|e| e.with_kernel(&prog.name))?;

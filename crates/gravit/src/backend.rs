@@ -27,10 +27,13 @@
 use crate::pressure::{downgrade, gpu_frame_chunked, plan_frame, DegradeEvent, ExecMode};
 use crate::recovery::{RecoveryPolicy, RetryEvent};
 use gpu_kernels::force::{build_force_kernel, force_params, OptLevel};
-use gpu_sim::exec::functional::{run_grid, run_grid_injected, run_grid_watchdog};
+use gpu_sim::exec::functional::{
+    run_grid_injected_lowered, run_grid_lowered, run_grid_watchdog_lowered,
+};
 use gpu_sim::fault::{DeviceError, DeviceResult, FaultKind, FaultPlan};
+use gpu_sim::ir::lower::lower;
 use gpu_sim::mem::GlobalMemory;
-use gpu_sim::transient::{run_grid_chaos, TransientFaultPlan};
+use gpu_sim::transient::{run_grid_chaos_lowered, TransientFaultPlan};
 use gpu_sim::DriverModel;
 use nbody::barnes_hut::accelerations_bh;
 use nbody::direct::{accelerations, accelerations_par};
@@ -441,6 +444,9 @@ fn gpu_frame(
     }
     let cfg = level.config();
     let kernel = build_force_kernel(cfg);
+    // Decode once: the structured kernel is lowered to its flat pre-resolved
+    // form a single time per frame, not once per launch-variant dispatch.
+    let prog = lower(&kernel);
     let particles: Vec<Particle> = (0..bodies.len())
         .map(|i| Particle {
             pos: bodies.pos[i],
@@ -463,12 +469,16 @@ fn gpu_frame(
     let params = force_params(&img, out, fp.softening);
     let grid = img.padded_n / cfg.block;
     match (chaos, plan, watchdog) {
-        (Some(c), _, w) => run_grid_chaos(&kernel, grid, cfg.block, &params, &mut gmem, c, w)?,
-        (None, Some(p), _) => run_grid_injected(&kernel, grid, cfg.block, &params, &mut gmem, p)?,
-        (None, None, Some(w)) => {
-            run_grid_watchdog(&kernel, grid, cfg.block, &params, &mut gmem, w)?
+        (Some(c), _, w) => {
+            run_grid_chaos_lowered(&prog, grid, cfg.block, &params, &mut gmem, c, w)?
         }
-        (None, None, None) => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
+        (None, Some(p), _) => {
+            run_grid_injected_lowered(&prog, grid, cfg.block, &params, &mut gmem, p)?
+        }
+        (None, None, Some(w)) => {
+            run_grid_watchdog_lowered(&prog, grid, cfg.block, &params, &mut gmem, w)?
+        }
+        (None, None, None) => run_grid_lowered(&prog, grid, cfg.block, &params, &mut gmem)?,
     };
     let accels = download_accels(&gmem, out, img.n)?;
     // A non-finite acceleration is corrupted physics, not a value to
@@ -503,8 +513,10 @@ pub fn run_device_resident(
         return Ok(Bodies::default());
     }
     let cfg = level.config();
-    let force_k = build_force_kernel(cfg);
-    let integ_k = build_integrate_kernel(cfg.layout);
+    // Decode once, launch `steps` times: both kernels are lowered before the
+    // step loop so per-launch cost is execution alone.
+    let force_p = lower(&build_force_kernel(cfg));
+    let integ_p = lower(&build_integrate_kernel(cfg.layout));
     let particles: Vec<Particle> = (0..bodies.len())
         .map(|i| Particle {
             pos: bodies.pos[i],
@@ -525,8 +537,8 @@ pub fn run_device_resident(
     let fparams = force_params(&img, acc, fp.softening);
     let iparams = integrate_params(&img, acc, dt);
     for _ in 0..steps {
-        run_grid(&force_k, grid, cfg.block, &fparams, &mut gmem)?;
-        run_grid(&integ_k, grid, cfg.block, &iparams, &mut gmem)?;
+        run_grid_lowered(&force_p, grid, cfg.block, &fparams, &mut gmem)?;
+        run_grid_lowered(&integ_p, grid, cfg.block, &iparams, &mut gmem)?;
     }
     let out = img.read_all(&gmem)?;
     let mut result = Bodies::with_capacity(bodies.len());

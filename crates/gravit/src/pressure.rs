@@ -26,10 +26,11 @@
 use crate::backend::frame_memory_budget;
 use gpu_kernels::chunk::{build_chunk_force_kernel, chunk_force_params};
 use gpu_kernels::force::OptLevel;
-use gpu_sim::exec::functional::{run_grid, run_grid_watchdog};
+use gpu_sim::exec::functional::{run_grid_lowered, run_grid_watchdog_lowered};
 use gpu_sim::fault::{DeviceError, DeviceResult, FaultKind};
+use gpu_sim::ir::lower::lower;
 use gpu_sim::mem::{GlobalMemory, MemoryBudget};
-use gpu_sim::transient::{run_grid_chaos, TransientFaultPlan};
+use gpu_sim::transient::{run_grid_chaos_lowered, TransientFaultPlan};
 use nbody::model::{Bodies, ForceParams};
 use particle_layouts::device::{alloc_accel_out, download_accels};
 use particle_layouts::{DeviceImage, Particle};
@@ -280,6 +281,8 @@ pub fn gpu_frame_chunked(
         "chunk must be block-aligned"
     );
     let kernel = build_chunk_force_kernel(cfg);
+    // Decode once for the whole target × source launch matrix.
+    let prog = lower(&kernel);
     let particles: Vec<Particle> = (0..bodies.len())
         .map(|i| Particle {
             pos: bodies.pos[i],
@@ -305,11 +308,13 @@ pub fn gpu_frame_chunked(
             let src = DeviceImage::upload(&mut gmem, cfg.layout, &particles[s..s_hi], cfg.block)?;
             let params = chunk_force_params(&tgt, &src, out, fp.softening);
             match (chaos.as_deref_mut(), watchdog) {
-                (Some(c), w) => run_grid_chaos(&kernel, grid, cfg.block, &params, &mut gmem, c, w)?,
-                (None, Some(w)) => {
-                    run_grid_watchdog(&kernel, grid, cfg.block, &params, &mut gmem, w)?
+                (Some(c), w) => {
+                    run_grid_chaos_lowered(&prog, grid, cfg.block, &params, &mut gmem, c, w)?
                 }
-                (None, None) => run_grid(&kernel, grid, cfg.block, &params, &mut gmem)?,
+                (None, Some(w)) => {
+                    run_grid_watchdog_lowered(&prog, grid, cfg.block, &params, &mut gmem, w)?
+                }
+                (None, None) => run_grid_lowered(&prog, grid, cfg.block, &params, &mut gmem)?,
             };
             src.free(&mut gmem)?;
             s = s_hi;
