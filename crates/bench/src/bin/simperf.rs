@@ -234,7 +234,8 @@ fn main() {
     });
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    let workloads: Vec<(&str, fn(usize) -> Outcome)> = vec![
+    type Workload = fn(usize) -> Outcome;
+    let workloads: Vec<(&str, Workload)> = vec![
         ("force_n4096", force_frame),
         ("membench_soaos", membench_functional),
         ("timed_membench", membench_timed),

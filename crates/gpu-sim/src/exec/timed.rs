@@ -671,10 +671,11 @@ pub fn time_grid_lowered_full(
         return Ok(total);
     }
 
+    // One finished SM-queue: the shard's buffered writes plus its run result.
+    type QueueOutcome = (Vec<(u64, u32)>, DeviceResult<TimedRun>);
     let base: &GlobalMemory = gmem;
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut outcomes: Vec<Option<(Vec<(u64, u32)>, DeviceResult<TimedRun>)>> =
-        (0..queues.len()).map(|_| None).collect();
+    let mut outcomes: Vec<Option<QueueOutcome>> = (0..queues.len()).map(|_| None).collect();
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads.min(queues.len()))
             .map(|_| {

@@ -49,6 +49,7 @@ pub mod fault;
 pub mod ir;
 pub mod mem;
 pub mod occupancy;
+pub mod pool;
 pub mod texcache;
 pub mod timing;
 pub mod transfer;
@@ -63,6 +64,7 @@ pub use fault::{
 };
 pub use ir::{Kernel, KernelBuilder};
 pub use mem::GlobalMemory;
+pub use pool::{DevicePool, DeviceSpec, SimDevice};
 pub use timing::TimingParams;
 pub use transient::{
     run_grid_chaos, run_grid_chaos_lowered, FaultRates, LaunchFault, TransientFaultPlan,

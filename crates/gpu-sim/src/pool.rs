@@ -1,0 +1,204 @@
+//! A pool of simulated devices for multi-job fleets.
+//!
+//! A production service multiplexes many jobs over many cards, and the cards
+//! are not interchangeable: each has its own memory capacity, its own timing
+//! personality and — the part that matters for supervision — its own fault
+//! behaviour. A [`DevicePool`] models exactly that: `N` devices, each with a
+//! [`DeviceSpec`] (capacity, fault rates, watchdog budget) and a *private*
+//! seeded [`TransientFaultPlan`] derived from the pool seed and the device
+//! id. Device `d` of a pool with seed `s` always draws the same fault
+//! schedule, no matter which jobs land on it or in which order other devices
+//! are serviced — the property that makes whole-fleet chaos campaigns
+//! replayable bit-for-bit (the same idiom as
+//! [`TransientFaultPlan::fate_of`]).
+//!
+//! The pool itself schedules nothing; it is the hardware inventory. The
+//! supervision loop (queues, health states, preemption) lives in the
+//! application layer, which owns which sim runs where and threads each
+//! device's plan through the launches it hosts.
+
+use crate::driver::DriverModel;
+use crate::timing::TimingParams;
+use crate::transient::{FaultRates, TransientFaultPlan};
+use serde::{Deserialize, Serialize};
+use simcore::SplitMix64;
+
+/// The static personality of one pool device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Global-memory capacity in bytes (`None` = unconstrained). Frames that
+    /// do not fit degrade down the application's ladder instead of faulting
+    /// mid-upload.
+    pub capacity: Option<u64>,
+    /// Per-launch transient-fault probabilities of this card.
+    pub fault_rates: FaultRates,
+    /// Warp-instruction watchdog budget per launch (`None` disables).
+    pub watchdog_instructions: Option<u64>,
+}
+
+impl DeviceSpec {
+    /// A healthy, unconstrained device that never faults.
+    pub fn quiet() -> DeviceSpec {
+        DeviceSpec {
+            capacity: None,
+            fault_rates: FaultRates::QUIET,
+            watchdog_instructions: None,
+        }
+    }
+}
+
+/// One simulated device of a pool: its spec plus its private, seeded
+/// transient-fault plan. The plan's launch counter is the device's lifetime
+/// launch count — the supervision layer threads it through every kernel the
+/// device hosts, so fault fates depend only on `(pool seed, device id,
+/// launch index)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimDevice {
+    /// Stable device index within the pool.
+    pub id: usize,
+    /// Static personality.
+    pub spec: DeviceSpec,
+    /// The device's seeded fault schedule (launch counter included).
+    pub plan: TransientFaultPlan,
+    /// Timing personality (the 8800 GTX defaults; kept per device so a
+    /// heterogeneous pool can model mixed cards).
+    pub timing: TimingParams,
+}
+
+/// A fixed inventory of simulated devices sharing one pool seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DevicePool {
+    seed: u64,
+    devices: Vec<SimDevice>,
+}
+
+/// The per-device plan seed: mix the device id into the pool seed so sibling
+/// devices draw independent schedules while staying a pure function of
+/// `(pool seed, id)`.
+fn device_plan_seed(pool_seed: u64, id: usize) -> u64 {
+    SplitMix64::mix(pool_seed ^ SplitMix64::mix(id as u64 + 1))
+}
+
+impl DevicePool {
+    /// Build a pool from explicit per-device specs. Every spec's fault rates
+    /// are validated up front; an invalid spec is a typed error naming the
+    /// device, never a panic later at launch time.
+    pub fn new(seed: u64, specs: Vec<DeviceSpec>) -> Result<DevicePool, String> {
+        let mut devices = Vec::with_capacity(specs.len());
+        for (id, spec) in specs.into_iter().enumerate() {
+            spec.fault_rates
+                .validate()
+                .map_err(|e| format!("device {id}: {e}"))?;
+            devices.push(SimDevice {
+                id,
+                plan: TransientFaultPlan::new(device_plan_seed(seed, id), spec.fault_rates),
+                spec,
+                timing: TimingParams::for_driver(DriverModel::Cuda10),
+            });
+        }
+        Ok(DevicePool { seed, devices })
+    }
+
+    /// A homogeneous pool: `n` copies of one spec.
+    pub fn uniform(seed: u64, n: usize, spec: DeviceSpec) -> Result<DevicePool, String> {
+        DevicePool::new(seed, vec![spec; n])
+    }
+
+    /// The pool seed every device plan derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// All devices, in id order.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Mutable device access (the supervision layer advances plans here).
+    pub fn device_mut(&mut self, id: usize) -> Option<&mut SimDevice> {
+        self.devices.get_mut(id)
+    }
+
+    /// Device access by id.
+    pub fn device(&self, id: usize) -> Option<&SimDevice> {
+        self.devices.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::LaunchFault;
+
+    fn stormy() -> DeviceSpec {
+        DeviceSpec {
+            capacity: Some(1 << 20),
+            fault_rates: FaultRates {
+                bit_flip: 0.2,
+                launch_failure: 0.2,
+                hang: 0.1,
+            },
+            watchdog_instructions: Some(1 << 22),
+        }
+    }
+
+    #[test]
+    fn pools_replay_bit_for_bit() {
+        let a = DevicePool::uniform(7, 4, stormy()).unwrap();
+        let b = DevicePool::uniform(7, 4, stormy()).unwrap();
+        for (da, db) in a.devices().iter().zip(b.devices()) {
+            assert_eq!(da, db);
+            let fates_a: Vec<LaunchFault> = (0..64).map(|k| da.plan.fate_of(k)).collect();
+            let fates_b: Vec<LaunchFault> = (0..64).map(|k| db.plan.fate_of(k)).collect();
+            assert_eq!(fates_a, fates_b);
+        }
+    }
+
+    #[test]
+    fn sibling_devices_draw_independent_schedules() {
+        let pool = DevicePool::uniform(7, 2, stormy()).unwrap();
+        let d0: Vec<LaunchFault> = (0..256)
+            .map(|k| pool.devices()[0].plan.fate_of(k))
+            .collect();
+        let d1: Vec<LaunchFault> = (0..256)
+            .map(|k| pool.devices()[1].plan.fate_of(k))
+            .collect();
+        assert_ne!(d0, d1, "device schedules must not be correlated");
+    }
+
+    #[test]
+    fn invalid_rates_name_the_device() {
+        let bad = DeviceSpec {
+            fault_rates: FaultRates {
+                bit_flip: 0.8,
+                launch_failure: 0.8,
+                hang: 0.0,
+            },
+            ..DeviceSpec::quiet()
+        };
+        let err = DevicePool::new(1, vec![DeviceSpec::quiet(), bad]).unwrap_err();
+        assert!(err.starts_with("device 1:"), "{err}");
+    }
+
+    #[test]
+    fn ids_are_stable_and_ordered() {
+        let pool = DevicePool::uniform(3, 3, DeviceSpec::quiet()).unwrap();
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        for (i, d) in pool.devices().iter().enumerate() {
+            assert_eq!(d.id, i);
+            assert_eq!(pool.device(i).unwrap().id, i);
+        }
+        assert!(pool.device(9).is_none());
+    }
+}

@@ -73,6 +73,7 @@ fn divergent_kernel(mask: u32) -> Kernel {
 
 /// Execute one launch scenario and capture everything observable: the run
 /// result and the complete final device state.
+#[allow(clippy::too_many_arguments)]
 fn execute(
     kernel: &Kernel,
     grid: u32,

@@ -7,6 +7,7 @@
 //!               [--checkpoint FILE] [--checkpoint-every K] [--resume FILE]
 //! gravit ladder                 # the paper's optimization ladder (Fig. 12 levels)
 //! gravit model  [--n N]         # modeled GPU frame times at size N
+//! gravit fleet  [--devices D] [--jobs J] [--seed S] [--fault-rates F,L,H]
 //! gravit help
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() {
         Some("model") => cmd_model(&args[1..]),
         Some("render") => cmd_render(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         _ => print_help(),
     }
 }
@@ -196,7 +198,10 @@ fn cmd_run(args: &[String]) {
         sim.momentum_magnitude()
     );
     if let (Some(rec), Some(path)) = (recording, flag(args, "--record")) {
-        rec.write(&path).expect("write recording");
+        if let Err(e) = rec.write(&path) {
+            eprintln!("gravit: cannot write recording to {path}: {e}");
+            std::process::exit(2);
+        }
         println!("recording written to {path} ({} frames)", rec_len(&path));
     }
 }
@@ -278,7 +283,10 @@ fn cmd_report(args: &[String]) {
     let json = report.to_json();
     match flag(args, "--out") {
         Some(path) => {
-            std::fs::write(&path, &json).expect("write report");
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("gravit: cannot write report to {path}: {e}");
+                std::process::exit(2);
+            }
             println!("optimization report written to {path}");
         }
         None => println!("{json}"),
@@ -294,14 +302,170 @@ fn cmd_render(args: &[String]) {
     let size: usize = flag(args, "--size")
         .and_then(|v| v.parse().ok())
         .unwrap_or(256);
-    let rec = Recording::from_json(&std::fs::read_to_string(&input).expect("read recording"))
-        .expect("parse recording");
-    let n = gravit_app::render::render_recording(&rec, &out, size).expect("render");
+    let rec = Recording::load(&input).unwrap_or_else(|e| {
+        eprintln!("gravit: cannot load recording {input}: {e}");
+        std::process::exit(2);
+    });
+    let n = gravit_app::render::render_recording(&rec, &out, size).unwrap_or_else(|e| {
+        eprintln!("gravit: render failed: {e}");
+        std::process::exit(2);
+    });
     println!("rendered {n} frames to {out}/frame_NNNN.pgm");
     if let Some(last) = rec.frames.last() {
         let bounds = gravit_app::render::auto_bounds(&rec);
-        let img = gravit_app::render::render_frame(last, size, size, bounds);
-        println!("last frame preview:\n{}", img.ascii_preview(64));
+        match gravit_app::render::render_frame(last, size, size, bounds) {
+            Ok(img) => println!("last frame preview:\n{}", img.ascii_preview(64)),
+            Err(e) => eprintln!("gravit: preview skipped: {e}"),
+        }
+    }
+}
+
+/// Parse `--fault-rates flip,launch,hang` (three comma-separated
+/// probabilities).
+fn parse_fault_rates(v: &str) -> Option<gpu_sim::FaultRates> {
+    let mut parts = v.split(',').map(|p| p.trim().parse::<f64>());
+    let rates = gpu_sim::FaultRates {
+        bit_flip: parts.next()?.ok()?,
+        launch_failure: parts.next()?.ok()?,
+        hang: parts.next()?.ok()?,
+    };
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(rates)
+}
+
+fn cmd_fleet(args: &[String]) {
+    use gpu_sim::{DevicePool, DeviceSpec};
+    use gravit_app::fleet::{drive, Fleet, FleetConfig, FleetEvent, JobSpec};
+
+    let devices: usize = flag(args, "--devices")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let jobs: u64 = flag(args, "--jobs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    let seed: u64 = flag(args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let n: usize = flag(args, "--n")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256);
+    let steps: u64 = flag(args, "--steps")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let ticks: u64 = flag(args, "--ticks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    let rates = match flag(args, "--fault-rates") {
+        Some(v) => match parse_fault_rates(&v) {
+            Some(r) => r,
+            None => {
+                eprintln!("invalid --fault-rates {v:?} (expected FLIP,LAUNCH,HANG probabilities)");
+                std::process::exit(2);
+            }
+        },
+        None => gpu_sim::FaultRates::QUIET,
+    };
+    let capacity = match flag(args, "--device-mem") {
+        Some(v) => match parse_bytes(&v) {
+            Some(bytes) => Some(bytes),
+            None => {
+                eprintln!("invalid --device-mem {v:?} (expected BYTES with optional K/M/G suffix)");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+    let spec = DeviceSpec {
+        capacity,
+        fault_rates: rates,
+        watchdog_instructions: Some(1 << 22),
+    };
+    let pool = match DevicePool::uniform(seed, devices, spec) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("gravit: invalid pool: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = FleetConfig {
+        seed,
+        ..FleetConfig::default()
+    };
+    if let Some(s) = flag(args, "--slice").and_then(|v| v.parse().ok()) {
+        cfg.slice_steps = s;
+    }
+    if let Some(q) = flag(args, "--queue-cap").and_then(|v| v.parse().ok()) {
+        cfg.queue_capacity = q;
+    }
+    if let Some(p) = flag(args, "--preempt-rate").and_then(|v| v.parse().ok()) {
+        cfg.preempt_rate = p;
+    }
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|id| JobSpec {
+            id,
+            tenant: format!("tenant-{}", id % 4),
+            config: SimConfig {
+                n,
+                spawn: SpawnKind::UniformBall { radius: 4.0 },
+                seed: seed ^ id,
+                dt: 0.01,
+                backend: Backend::GpuSim {
+                    level: OptLevel::Full,
+                    driver: DriverModel::Cuda10,
+                },
+                fault_policy: FaultPolicy::FallbackToCpu,
+                ..SimConfig::default()
+            },
+            steps,
+        })
+        .collect();
+    println!(
+        "fleet: {devices} device(s), {jobs} job(s) of n={n} x {steps} steps, seed {seed}, \
+         rates (flip {:.2}, launch {:.2}, hang {:.2})",
+        rates.bit_flip, rates.launch_failure, rates.hang
+    );
+    let mut fleet = Fleet::new(cfg, pool);
+    let t0 = Instant::now();
+    let outcome = match drive(&mut fleet, specs, ticks) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gravit: fleet did not converge: {e}");
+            std::process::exit(2);
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let (mut faults, mut migrations, mut preemptions) = (0usize, 0usize, 0usize);
+    for ev in fleet.events() {
+        match ev {
+            FleetEvent::Faulted { .. } => faults += 1,
+            FleetEvent::Migrated { .. } => migrations += 1,
+            FleetEvent::Preempted { .. } => preemptions += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "done: {} completed, {} rejected in {} tick(s), wall={} ({:.1} jobs/s)",
+        fleet.completed().len(),
+        outcome.rejected.len(),
+        outcome.ticks,
+        format_duration_s(wall),
+        fleet.completed().len() as f64 / wall.max(1e-9),
+    );
+    println!("faults seen: {faults}, migrations: {migrations}, preemptions: {preemptions}");
+    for d in 0..devices {
+        let health = fleet
+            .device_health(d)
+            .map(|h| h.label().to_string())
+            .unwrap_or_else(|| "?".into());
+        println!(
+            "device {d}: health {health}, {} fault(s) on record",
+            fleet.fault_history(d).len()
+        );
+    }
+    for (spec, why) in &outcome.rejected {
+        println!("rejected job {} ({}): {why}", spec.id, why.label());
     }
 }
 
@@ -331,6 +495,15 @@ USAGE:
   gravit model  [--n N]     modeled GPU frame times at size N
   gravit render --input REC.json [--out DIR] [--size PX]
   gravit report [--out FILE]    full optimization report as JSON
+  gravit fleet  [--devices D] [--jobs J] [--seed SEED]
+                [--fault-rates FLIP,LAUNCH,HANG] [--n N] [--steps S]
+                [--slice K] [--queue-cap Q] [--preempt-rate P]
+                [--device-mem BYTES[K|M|G]] [--ticks MAX]
+                (runs J simulations across a supervised pool of D
+                simulated devices: faulty devices are quarantined and
+                their queues drained; running jobs preempt/migrate via
+                in-memory checkpoints, bit-identically; the whole
+                schedule and fault history replay from SEED)
   gravit help"
     );
 }

@@ -1,0 +1,240 @@
+//! Per-device health: a pure state machine over slice outcomes.
+//!
+//! ```text
+//!             strikes ≥ threshold                 quarantine_ticks elapsed
+//!   Healthy ──────────────────────► Quarantined ─────────────────────────► Probation
+//!      ▲  │ strike                        ▲                                   │   │
+//!      │  ▼                               │ any strike                        │   │
+//!   Suspect{strikes} ─────────────────────┘◄──────────────────────────────────┘   │
+//!      ▲    (accumulate; clean slices decay)                                      │
+//!      └──────────────────────────────────────────────────────────────────────────┘
+//!                         probation_slices clean slices
+//! ```
+//!
+//! A *strike* is one scheduling slice in which the device produced a
+//! transient fault (`FaultKind::is_transient`) or a watchdog kill — the
+//! signals the ROADMAP says must become scheduling signals. Memory-pressure
+//! degradations are **not** strikes: an undersized device that plans every
+//! frame down the ladder is poor, not sick, and quarantining it would thrash
+//! the pool for a condition retries cannot clear.
+//!
+//! Transitions are a pure function of `(state, policy, strikes, tick)` — no
+//! clocks, no randomness — so a fleet run replays its exact health history
+//! from the event log.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Health state of one pool device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Health {
+    /// Admitting and running jobs normally.
+    Healthy,
+    /// Transient faults observed; still admitting, strikes accumulating.
+    Suspect {
+        /// Faulty slices observed since the device was last healthy.
+        strikes: u32,
+    },
+    /// Drained and not admitting; sits out `quarantine_ticks`.
+    Quarantined {
+        /// Tick the quarantine began.
+        since: u64,
+    },
+    /// Back from quarantine; admitting, but one strike re-quarantines.
+    Probation {
+        /// Consecutive clean slices served on probation so far.
+        healthy_slices: u32,
+    },
+}
+
+impl Health {
+    /// Whether the device may be assigned jobs in this state.
+    pub fn admits(&self) -> bool {
+        !matches!(self, Health::Quarantined { .. })
+    }
+
+    /// Short label for events and reports.
+    pub fn label(&self) -> String {
+        match self {
+            Health::Healthy => "healthy".into(),
+            Health::Suspect { strikes } => format!("suspect(strikes={strikes})"),
+            Health::Quarantined { since } => format!("quarantined(since={since})"),
+            Health::Probation { healthy_slices } => {
+                format!("probation(clean={healthy_slices})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Health {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Thresholds driving the health machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthPolicy {
+    /// Strikes that tip Suspect into Quarantined.
+    pub suspect_threshold: u32,
+    /// Ticks a quarantined device sits out before Probation.
+    pub quarantine_ticks: u64,
+    /// Clean probation slices required to return to Healthy.
+    pub probation_slices: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            suspect_threshold: 3,
+            quarantine_ticks: 4,
+            probation_slices: 2,
+        }
+    }
+}
+
+/// Advance a device's health after one scheduling slice in which it served
+/// `strikes` faulty slices-worth of transient trouble (0 = clean). Pure:
+/// the caller supplies the tick. Quarantine release is *not* handled here —
+/// see [`release_quarantine`] — because a quarantined device serves no
+/// slices.
+pub fn after_slice(state: Health, policy: &HealthPolicy, strikes: u32, tick: u64) -> Health {
+    match state {
+        Health::Healthy => {
+            if strikes == 0 {
+                Health::Healthy
+            } else if strikes >= policy.suspect_threshold {
+                Health::Quarantined { since: tick }
+            } else {
+                Health::Suspect { strikes }
+            }
+        }
+        Health::Suspect { strikes: had } => {
+            if strikes == 0 {
+                // Clean slices decay strikes one by one: a device with a
+                // brief bad patch earns its way back without a quarantine.
+                match had.saturating_sub(1) {
+                    0 => Health::Healthy,
+                    rest => Health::Suspect { strikes: rest },
+                }
+            } else {
+                let total = had.saturating_add(strikes);
+                if total >= policy.suspect_threshold {
+                    Health::Quarantined { since: tick }
+                } else {
+                    Health::Suspect { strikes: total }
+                }
+            }
+        }
+        // A quarantined device hosts no slices; state is unchanged.
+        Health::Quarantined { .. } => state,
+        Health::Probation { healthy_slices } => {
+            if strikes > 0 {
+                // Probation has zero tolerance: straight back.
+                Health::Quarantined { since: tick }
+            } else {
+                let clean = healthy_slices + 1;
+                if clean >= policy.probation_slices {
+                    Health::Healthy
+                } else {
+                    Health::Probation {
+                        healthy_slices: clean,
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Release a quarantine whose sit-out period has elapsed. Returns the new
+/// state (Probation) or the unchanged input.
+pub fn release_quarantine(state: Health, policy: &HealthPolicy, tick: u64) -> Health {
+    match state {
+        Health::Quarantined { since } if tick.saturating_sub(since) >= policy.quarantine_ticks => {
+            Health::Probation { healthy_slices: 0 }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const P: HealthPolicy = HealthPolicy {
+        suspect_threshold: 3,
+        quarantine_ticks: 4,
+        probation_slices: 2,
+    };
+
+    #[test]
+    fn clean_devices_stay_healthy() {
+        let mut h = Health::Healthy;
+        for t in 0..10 {
+            h = after_slice(h, &P, 0, t);
+        }
+        assert_eq!(h, Health::Healthy);
+    }
+
+    #[test]
+    fn strikes_accumulate_to_quarantine() {
+        let h = after_slice(Health::Healthy, &P, 1, 0);
+        assert_eq!(h, Health::Suspect { strikes: 1 });
+        let h = after_slice(h, &P, 1, 1);
+        assert_eq!(h, Health::Suspect { strikes: 2 });
+        let h = after_slice(h, &P, 1, 2);
+        assert_eq!(h, Health::Quarantined { since: 2 });
+        assert!(!h.admits());
+    }
+
+    #[test]
+    fn a_burst_quarantines_in_one_slice() {
+        assert_eq!(
+            after_slice(Health::Healthy, &P, 3, 7),
+            Health::Quarantined { since: 7 }
+        );
+    }
+
+    #[test]
+    fn clean_slices_decay_strikes() {
+        let h = Health::Suspect { strikes: 2 };
+        let h = after_slice(h, &P, 0, 5);
+        assert_eq!(h, Health::Suspect { strikes: 1 });
+        let h = after_slice(h, &P, 0, 6);
+        assert_eq!(h, Health::Healthy);
+    }
+
+    #[test]
+    fn quarantine_releases_to_probation_after_sitout() {
+        let q = Health::Quarantined { since: 10 };
+        assert_eq!(release_quarantine(q, &P, 13), q, "not yet");
+        assert_eq!(
+            release_quarantine(q, &P, 14),
+            Health::Probation { healthy_slices: 0 }
+        );
+    }
+
+    #[test]
+    fn probation_has_zero_tolerance() {
+        let p = Health::Probation { healthy_slices: 1 };
+        assert_eq!(after_slice(p, &P, 1, 20), Health::Quarantined { since: 20 });
+    }
+
+    #[test]
+    fn probation_graduates_to_healthy() {
+        let p = Health::Probation { healthy_slices: 0 };
+        let p = after_slice(p, &P, 0, 1);
+        assert_eq!(p, Health::Probation { healthy_slices: 1 });
+        assert!(p.admits());
+        assert_eq!(after_slice(p, &P, 0, 2), Health::Healthy);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        assert_eq!(Health::Healthy.label(), "healthy");
+        assert_eq!(Health::Suspect { strikes: 2 }.label(), "suspect(strikes=2)");
+        assert!(Health::Quarantined { since: 3 }
+            .to_string()
+            .contains("quarantined"));
+    }
+}

@@ -17,16 +17,20 @@
 //! * [`recovery`] — retry/backoff policy for transient device faults;
 //! * [`checkpoint`] — frame-granular, CRC-protected checkpoint/resume;
 //! * [`recorder`] — JSON frame recording;
-//! * [`render`] — PGM/ASCII rendering of recordings (Gravit's visual side).
+//! * [`render`] — PGM/ASCII rendering of recordings (Gravit's visual side);
+//! * [`fleet`] — the supervised multi-job runtime over a pool of simulated
+//!   devices: typed admission, per-device health supervision with
+//!   quarantine, and checkpoint-backed preemption/migration.
 //!
-//! The `gravit` binary exposes `run`, `ladder` and `model` subcommands; see
-//! `gravit help`.
+//! The `gravit` binary exposes `run`, `ladder`, `model` and `fleet`
+//! subcommands; see `gravit help`.
 
 #![warn(missing_docs)]
 
 pub mod backend;
 pub mod checkpoint;
 pub mod config;
+pub mod fleet;
 pub mod model;
 pub mod pressure;
 pub mod recorder;
@@ -37,6 +41,7 @@ pub mod sim;
 pub use backend::Backend;
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ConfigError, Integrator, SimConfig, SpawnKind};
+pub use fleet::{CompletedJob, Fleet, FleetConfig, FleetEvent, Health, JobSpec, Rejected};
 pub use pressure::{plan_frame, DegradeEvent, ExecMode, MemoryPlan};
 pub use recovery::{BackoffSchedule, RecoveryPolicy, RetryEvent};
 pub use sim::{SimError, Simulation};

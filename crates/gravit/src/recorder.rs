@@ -31,12 +31,13 @@ pub struct Recording {
 }
 
 impl Recording {
-    /// New recording sampling every `stride`-th body.
+    /// New recording sampling every `stride`-th body. A zero stride is
+    /// clamped to 1 (record every body) — a degenerate request must not
+    /// panic a fleet worker thread.
     pub fn new(n: usize, stride: usize) -> Recording {
-        assert!(stride >= 1);
         Recording {
             n,
-            stride,
+            stride: stride.max(1),
             frames: Vec::new(),
         }
     }
@@ -58,24 +59,25 @@ impl Recording {
         });
     }
 
-    /// Serialize to pretty JSON.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("recording serializes")
+    /// Serialize to pretty JSON. Serialization failure (unrepresentable
+    /// state) is a typed error, never a panic.
+    pub fn to_json(&self) -> Result<String, RecordingError> {
+        serde_json::to_string_pretty(self).map_err(|e| RecordingError::Serialize(e.to_string()))
     }
 
     /// Write to a file, creating parent directories. Atomic: the JSON goes
     /// to a temp file in the destination directory first and is renamed over
     /// `path`, so a crash mid-write never leaves a truncated recording.
-    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<(), RecordingError> {
         let path = path.as_ref();
         if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
-            std::fs::create_dir_all(parent)?;
+            std::fs::create_dir_all(parent).map_err(RecordingError::Io)?;
         }
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        std::fs::write(&tmp, self.to_json()?).map_err(RecordingError::Io)?;
+        std::fs::rename(&tmp, path).map_err(RecordingError::Io)
     }
 
     /// Deserialize from JSON.
@@ -91,7 +93,7 @@ impl Recording {
     }
 }
 
-/// Why a recording could not be read back.
+/// Why a recording could not be read back or written out.
 #[derive(Debug)]
 pub enum RecordingError {
     /// Filesystem failure.
@@ -99,6 +101,8 @@ pub enum RecordingError {
     /// The file exists but is not a valid recording (truncated, corrupted,
     /// or not JSON).
     Parse(String),
+    /// The recording could not be serialized.
+    Serialize(String),
 }
 
 impl std::fmt::Display for RecordingError {
@@ -106,6 +110,7 @@ impl std::fmt::Display for RecordingError {
         match self {
             RecordingError::Io(e) => write!(f, "recording I/O error: {e}"),
             RecordingError::Parse(e) => write!(f, "recording malformed: {e}"),
+            RecordingError::Serialize(e) => write!(f, "recording does not serialize: {e}"),
         }
     }
 }
@@ -134,7 +139,7 @@ mod tests {
         assert_eq!(rec.frames.len(), 2);
         assert_eq!(rec.frames[0].positions.len(), 16);
         assert_eq!(rec.frames[1].step, 3);
-        let json = rec.to_json();
+        let json = rec.to_json().unwrap();
         let back = Recording::from_json(&json).unwrap();
         // Positions (f32) roundtrip exactly; f64 metadata may differ by an
         // ulp (serde_json's default float parse is not shortest-roundtrip).
@@ -149,9 +154,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn zero_stride_rejected() {
-        Recording::new(10, 0);
+    fn zero_stride_is_clamped_not_a_panic() {
+        assert_eq!(Recording::new(10, 0).stride, 1);
+        assert_eq!(Recording::new(10, 3).stride, 3);
     }
 
     #[test]

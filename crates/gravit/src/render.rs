@@ -5,8 +5,55 @@
 //! ASCII preview for terminals.
 
 use crate::recorder::{Frame, Recording};
+use std::fmt;
 use std::io;
 use std::path::Path;
+
+/// Why a render request was refused. Degenerate viewports are typed errors,
+/// never panics — a fleet worker thread must not be poisoned by a bad render
+/// request.
+#[derive(Debug)]
+pub enum RenderError {
+    /// The requested image is below the 8×8 minimum.
+    BadSize {
+        /// Requested width.
+        width: usize,
+        /// Requested height.
+        height: usize,
+    },
+    /// The viewport half-extent must be positive and finite.
+    BadBounds {
+        /// The offending value.
+        bounds: f32,
+    },
+    /// Filesystem failure while writing images.
+    Io(io::Error),
+}
+
+impl fmt::Display for RenderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RenderError::BadSize { width, height } => {
+                write!(f, "image {width}x{height} is below the 8x8 minimum")
+            }
+            RenderError::BadBounds { bounds } => {
+                write!(
+                    f,
+                    "viewport bounds must be positive and finite, got {bounds}"
+                )
+            }
+            RenderError::Io(e) => write!(f, "render I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RenderError {}
+
+impl From<io::Error> for RenderError {
+    fn from(e: io::Error) -> Self {
+        RenderError::Io(e)
+    }
+}
 
 /// A grayscale image buffer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,9 +123,18 @@ impl GrayImage {
 /// outside are clipped. Each particle deposits intensity into its pixel;
 /// the result is tone-mapped with a sqrt curve so dense cores do not clip
 /// everything else to white.
-pub fn render_frame(frame: &Frame, width: usize, height: usize, bounds: f32) -> GrayImage {
-    assert!(width >= 8 && height >= 8, "image too small");
-    assert!(bounds > 0.0);
+pub fn render_frame(
+    frame: &Frame,
+    width: usize,
+    height: usize,
+    bounds: f32,
+) -> Result<GrayImage, RenderError> {
+    if width < 8 || height < 8 {
+        return Err(RenderError::BadSize { width, height });
+    }
+    if !(bounds > 0.0 && bounds.is_finite()) {
+        return Err(RenderError::BadBounds { bounds });
+    }
     let mut counts = vec![0u32; width * height];
     for p in &frame.positions {
         let nx = (p[0] / bounds + 1.0) * 0.5;
@@ -95,11 +151,11 @@ pub fn render_frame(frame: &Frame, width: usize, height: usize, bounds: f32) -> 
         .into_iter()
         .map(|c| ((c as f32 / max).sqrt() * 255.0).round() as u8)
         .collect();
-    GrayImage {
+    Ok(GrayImage {
         width,
         height,
         pixels,
-    }
+    })
 }
 
 /// Auto-fit bounds: the largest |x|,|y| across all frames, padded 10 %.
@@ -115,12 +171,16 @@ pub fn auto_bounds(rec: &Recording) -> f32 {
 
 /// Render every frame of a recording into `dir/frame_NNNN.pgm`; returns the
 /// number of images written.
-pub fn render_recording(rec: &Recording, dir: impl AsRef<Path>, size: usize) -> io::Result<usize> {
+pub fn render_recording(
+    rec: &Recording,
+    dir: impl AsRef<Path>,
+    size: usize,
+) -> Result<usize, RenderError> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let bounds = auto_bounds(rec);
     for (i, f) in rec.frames.iter().enumerate() {
-        render_frame(f, size, size, bounds).write_pgm(dir.join(format!("frame_{i:04}.pgm")))?;
+        render_frame(f, size, size, bounds)?.write_pgm(dir.join(format!("frame_{i:04}.pgm")))?;
     }
     Ok(rec.frames.len())
 }
@@ -141,7 +201,7 @@ mod tests {
     #[test]
     fn single_particle_lights_its_pixel() {
         let f = frame_with(vec![[0.0, 0.0, 0.0]]);
-        let img = render_frame(&f, 64, 64, 1.0);
+        let img = render_frame(&f, 64, 64, 1.0).unwrap();
         // Center pixel bright, corners dark.
         let cx = (0.5 * 63.0) as usize;
         assert_eq!(img.at(cx, cx), 255);
@@ -152,7 +212,7 @@ mod tests {
     #[test]
     fn out_of_bounds_particles_are_clipped() {
         let f = frame_with(vec![[100.0, 0.0, 0.0], [0.0, -100.0, 0.0]]);
-        let img = render_frame(&f, 32, 32, 1.0);
+        let img = render_frame(&f, 32, 32, 1.0).unwrap();
         assert!(img.pixels.iter().all(|&p| p == 0));
     }
 
@@ -160,7 +220,7 @@ mod tests {
     fn y_axis_points_up() {
         // A particle at +y should land in the top half of the image.
         let f = frame_with(vec![[0.0, 0.9, 0.0]]);
-        let img = render_frame(&f, 32, 32, 1.0);
+        let img = render_frame(&f, 32, 32, 1.0).unwrap();
         let bright_y = (0..32)
             .flat_map(|y| (0..32).map(move |x| (x, y)))
             .find(|&(x, y)| img.at(x, y) > 0)
@@ -174,7 +234,7 @@ mod tests {
 
     #[test]
     fn pgm_header_is_wellformed() {
-        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 16, 8, 1.0);
+        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 16, 8, 1.0).unwrap();
         let pgm = img.to_pgm();
         assert!(pgm.starts_with(b"P5\n16 8\n255\n"));
         assert_eq!(pgm.len(), "P5\n16 8\n255\n".len() + 16 * 8);
@@ -182,7 +242,7 @@ mod tests {
 
     #[test]
     fn ascii_preview_has_requested_shape() {
-        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 64, 64, 1.0);
+        let img = render_frame(&frame_with(vec![[0.0, 0.0, 0.0]]), 64, 64, 1.0).unwrap();
         let a = img.ascii_preview(32);
         let lines: Vec<&str> = a.lines().collect();
         assert!(lines.iter().all(|l| l.chars().count() == 32));
@@ -200,6 +260,27 @@ mod tests {
             .push(frame_with(vec![[3.0, -7.0, 0.0], [1.0, 2.0, 0.0]]));
         let b = auto_bounds(&rec);
         assert!((b - 7.7).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_requests_are_typed_errors_not_panics() {
+        let f = frame_with(vec![[0.0, 0.0, 0.0]]);
+        assert!(matches!(
+            render_frame(&f, 4, 64, 1.0),
+            Err(RenderError::BadSize { width: 4, .. })
+        ));
+        assert!(matches!(
+            render_frame(&f, 64, 64, 0.0),
+            Err(RenderError::BadBounds { .. })
+        ));
+        assert!(matches!(
+            render_frame(&f, 64, 64, f32::NAN),
+            Err(RenderError::BadBounds { .. })
+        ));
+        assert!(matches!(
+            render_frame(&f, 64, 64, f32::INFINITY),
+            Err(RenderError::BadBounds { .. })
+        ));
     }
 
     #[test]

@@ -104,9 +104,32 @@ impl Simulation {
     /// continues bit-identical to the uninterrupted one. The configuration
     /// must describe the same run (same n, seed, dt, integrator, backend) or
     /// a [`SimError::Checkpoint`] config-mismatch is returned.
+    ///
+    /// The resuming device's capacity is validated against the frame plan
+    /// (see [`crate::pressure::plan_frame`]) *before* any upload: a smaller
+    /// device than the one that wrote the checkpoint degrades down the
+    /// ladder (full → chunked → CPU, bit-identical physics) exactly like a
+    /// fresh run would. Under [`FaultPolicy::FailFast`](crate::backend::FaultPolicy)
+    /// a capacity that cannot admit even the smallest chunk is the typed
+    /// admission `OutOfMemory` here at resume time — not a raw device fault
+    /// in the middle of the first restored frame.
     pub fn resume(config: SimConfig, ckpt: &Checkpoint) -> Result<Simulation, SimError> {
         config.validate()?;
         ckpt.compatible_with(&config)?;
+        if let crate::backend::Backend::GpuSim { level, .. } = config.backend {
+            let plan = crate::pressure::plan_frame(
+                level,
+                config.n as u32,
+                config.recovery.device_capacity,
+            );
+            if plan.mode == crate::pressure::ExecMode::Cpu
+                && config.fault_policy == crate::backend::FaultPolicy::FailFast
+            {
+                if let Some(root) = plan.root {
+                    return Err(SimError::Device(root));
+                }
+            }
+        }
         let mut bodies = Bodies::with_capacity(ckpt.n);
         for i in 0..ckpt.n {
             let p = ckpt.pos[i];
@@ -175,6 +198,14 @@ impl Simulation {
     /// many device launches the simulation has attempted).
     pub fn transient_faults(&self) -> Option<&TransientFaultPlan> {
         self.fault_plan.as_ref()
+    }
+
+    /// Take the transient-fault plan out of the simulation, launch counter
+    /// included. The fleet harvests a device's plan here at slice
+    /// boundaries so its fault schedule stays continuous across the jobs it
+    /// hosts.
+    pub fn take_transient_faults(&mut self) -> Option<TransientFaultPlan> {
+        self.fault_plan.take()
     }
 
     /// Advance one time step.

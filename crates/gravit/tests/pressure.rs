@@ -195,6 +195,94 @@ fn pressure_and_transient_chaos_compose() {
     assert!(sim.fault_reports.iter().any(|r| !r.ladder.is_empty()));
 }
 
+/// Resuming a checkpoint on a *smaller* device replans through
+/// [`plan_frame`] before any upload: under fallback it degrades down the
+/// PR 5 ladder (bit-identically), and a capacity below even the CPU-rung
+/// threshold under fail-fast is a typed admission OOM at resume time — never
+/// a raw mid-restore `OutOfMemory`.
+#[test]
+fn resume_on_smaller_device_degrades_via_the_ladder() {
+    let level = OptLevel::Full;
+    let base = SimConfig {
+        n: 256,
+        spawn: SpawnKind::UniformBall { radius: 3.0 },
+        seed: 23,
+        dt: 0.005,
+        integrator: Integrator::Leapfrog,
+        backend: gpu(level),
+        fault_policy: FaultPolicy::FallbackToCpu,
+        ..SimConfig::default()
+    };
+    // Uninterrupted reference on the big device.
+    let mut free = Simulation::new(base.clone()).unwrap();
+    free.run(6).unwrap();
+    // Interrupt at step 3 and resume on a device a quarter the size.
+    let mut first = Simulation::new(base.clone()).unwrap();
+    first.run(3).unwrap();
+    let ckpt = first.checkpoint();
+    let mut small_cfg = base.clone();
+    small_cfg.recovery.device_capacity = Some(frame_memory_budget(level, 256) / 4);
+    let mut resumed = Simulation::resume(small_cfg, &ckpt).unwrap();
+    resumed.run(3).unwrap();
+    assert_eq!(free.bodies, resumed.bodies, "must be bit-identical");
+    assert_eq!(free.accels, resumed.accels);
+    assert!(
+        resumed.fault_reports.iter().any(|r| !r.ladder.is_empty()),
+        "the constricted continuation must report its degradations"
+    );
+}
+
+/// Fail-fast + a capacity below the chunk floor: the resume itself refuses
+/// with the plan's typed root OOM (exit path, not a panic and not a partial
+/// restore). The same checkpoint under fallback lands on the CPU rung and
+/// stays bit-identical.
+#[test]
+fn hopeless_resume_is_typed_oom_under_failfast_and_cpu_under_fallback() {
+    let level = OptLevel::Full;
+    let base = SimConfig {
+        n: 256,
+        spawn: SpawnKind::UniformBall { radius: 3.0 },
+        seed: 29,
+        dt: 0.005,
+        integrator: Integrator::Leapfrog,
+        backend: gpu(level),
+        ..SimConfig::default()
+    };
+    let mut free = Simulation::new(base.clone()).unwrap();
+    free.run(5).unwrap();
+    let mut first = Simulation::new(base.clone()).unwrap();
+    first.run(2).unwrap();
+    let ckpt = first.checkpoint();
+
+    let mut hopeless = base.clone();
+    hopeless.recovery.device_capacity = Some(128);
+    hopeless.fault_policy = FaultPolicy::FailFast;
+    match Simulation::resume(hopeless, &ckpt) {
+        Err(gravit_app::SimError::Device(e)) => {
+            assert!(
+                matches!(e.kind, FaultKind::OutOfMemory { .. }),
+                "got {:?}",
+                e.kind
+            );
+        }
+        other => panic!("expected a typed admission OOM, got {other:?}"),
+    }
+
+    let mut fallback = base;
+    fallback.recovery.device_capacity = Some(128);
+    fallback.fault_policy = FaultPolicy::FallbackToCpu;
+    let mut resumed = Simulation::resume(fallback, &ckpt).unwrap();
+    resumed.run(3).unwrap();
+    assert_eq!(
+        free.bodies, resumed.bodies,
+        "CPU rung must be bit-identical"
+    );
+    assert!(resumed
+        .fault_reports
+        .iter()
+        .any(|r| r.degraded_to == "cpu-parallel"));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
